@@ -1,0 +1,91 @@
+//! Benchmarks for the representable-triple geometry (experiments E3/E4):
+//! surface evaluation, exact and floating membership tests, and
+//! constructive decomposition.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lll_core::triples::{decompose, f_surface, is_representable, max_c_brute};
+use lll_numeric::BigRational;
+
+fn bench_geometry(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_surface");
+    g.bench_function("f_surface_grid_81", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..=8 {
+                for j in 0..=8 {
+                    let (a, bb) = (i as f64 * 0.5, j as f64 * 0.5);
+                    if a + bb <= 4.0 {
+                        acc += f_surface(black_box(a), black_box(bb));
+                    }
+                }
+            }
+            acc
+        })
+    });
+    g.bench_function("brute_force_point", |b| {
+        b.iter(|| max_c_brute(black_box(1.3), black_box(0.7), black_box(4000)))
+    });
+    g.bench_function("membership_f64", |b| {
+        b.iter(|| is_representable(black_box(&1.3f64), black_box(&0.7), black_box(&0.5)))
+    });
+    let (qa, qb, qc) = (
+        BigRational::from_ratio(13, 10),
+        BigRational::from_ratio(7, 10),
+        BigRational::from_ratio(1, 2),
+    );
+    g.bench_function("membership_exact", |b| {
+        b.iter(|| is_representable(black_box(&qa), black_box(&qb), black_box(&qc)))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("e4_decompose");
+    g.bench_function("decompose_f64", |b| {
+        b.iter(|| decompose(black_box(&0.25f64), black_box(&1.5), black_box(&0.1)))
+    });
+    let (fa, fb, fc) = (
+        BigRational::from_ratio(1, 4),
+        BigRational::from_ratio(3, 2),
+        BigRational::from_ratio(1, 10),
+    );
+    g.bench_function("decompose_exact_figure2", |b| {
+        b.iter(|| decompose(black_box(&fa), black_box(&fb), black_box(&fc)))
+    });
+    g.finish();
+}
+
+fn bench_numeric(c: &mut Criterion) {
+    let mut g = c.benchmark_group("a2_numeric_kernels");
+    let a = BigRational::from_ratio(123_456_789, 987_654_321);
+    let b = BigRational::from_ratio(-987_654_321, 123_456_787);
+    g.bench_function("bigrational_mul", |bch| bch.iter(|| black_box(&a) * black_box(&b)));
+    g.bench_function("bigrational_add", |bch| bch.iter(|| black_box(&a) + black_box(&b)));
+    // The exact square-root comparison at the heart of is_representable.
+    let d = BigRational::from_ratio(35, 16);
+    let r = BigRational::from_ratio(497, 336);
+    g.bench_function("sqrt_leq_exact", |bch| {
+        bch.iter(|| BigRational::sqrt_leq(black_box(&d), black_box(&r)))
+    });
+    // A realistically-sized conditional probability: product of 8
+    // medium rationals (the engine's inner loop shape).
+    let parts: Vec<BigRational> =
+        (1..9i64).map(|i| BigRational::from_ratio(i, 2 * i as u64 + 1)).collect();
+    g.bench_function("probability_product_8", |bch| {
+        bch.iter(|| {
+            let mut acc = BigRational::one();
+            for p in &parts {
+                acc = &acc * black_box(p);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_geometry, bench_numeric
+}
+criterion_main!(benches);

@@ -1,0 +1,188 @@
+//! SVG rendering of Figure 1 — the surface `f(a, b)` bounding `S_rep`.
+//!
+//! The paper's Figure 1 is a 3-D plot of the set of representable
+//! triples; this module regenerates it as a self-contained SVG heatmap
+//! of the bounding surface `c = f(a, b)` over the triangular domain
+//! `a, b ≥ 0`, `a + b ≤ 4` (height = the maximal representable `c`),
+//! with contour-like shading, axes, and a color bar. No plotting
+//! library — the SVG is assembled by hand, which keeps the reproduction
+//! dependency-free and the output deterministic.
+
+use std::fmt::Write as _;
+
+use lll_core::triples::f_surface;
+
+/// Linear interpolation between two RGB colors.
+fn lerp(c0: (u8, u8, u8), c1: (u8, u8, u8), t: f64) -> (u8, u8, u8) {
+    let t = t.clamp(0.0, 1.0);
+    let mix = |a: u8, b: u8| (a as f64 + (b as f64 - a as f64) * t).round() as u8;
+    (mix(c0.0, c1.0), mix(c0.1, c1.1), mix(c0.2, c1.2))
+}
+
+/// Maps a surface height in `[0, 4]` to a color (deep blue → warm
+/// orange, a perceptually reasonable two-stop ramp with a mid stop).
+fn height_color(h: f64) -> (u8, u8, u8) {
+    let t = (h / 4.0).clamp(0.0, 1.0);
+    if t < 0.5 {
+        lerp((28, 42, 97), (94, 160, 173), t * 2.0)
+    } else {
+        lerp((94, 160, 173), (244, 170, 62), (t - 0.5) * 2.0)
+    }
+}
+
+/// Renders the Figure 1 surface as an SVG heatmap.
+///
+/// `cells` is the resolution per axis (e.g. 80 → 80×80 grid over
+/// `[0, 4]²`, cells outside the domain `a + b ≤ 4` are left blank).
+///
+/// # Panics
+///
+/// Panics if `cells == 0`.
+pub fn figure1_svg(cells: usize) -> String {
+    assert!(cells > 0, "need at least one cell");
+    let plot = 520.0f64; // plot area in px
+    let margin = 60.0;
+    let bar_w = 70.0;
+    let width = margin + plot + bar_w + margin;
+    let height = margin + plot + margin;
+    let cell_px = plot / cells as f64;
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"#
+    );
+    let _ = write!(
+        svg,
+        r#"<rect width="{width}" height="{height}" fill="white"/><text x="{tx}" y="28" font-family="sans-serif" font-size="17" text-anchor="middle">Figure 1: the surface f(a,b) bounding S_rep (height = max representable c)</text>"#,
+        tx = width / 2.0
+    );
+
+    // Heatmap cells.
+    for i in 0..cells {
+        for j in 0..cells {
+            let a = (i as f64 + 0.5) * 4.0 / cells as f64;
+            let b = (j as f64 + 0.5) * 4.0 / cells as f64;
+            if a + b > 4.0 {
+                continue;
+            }
+            let h = f_surface(a, b);
+            let (r, g, bl) = height_color(h);
+            // SVG y grows downward; put b on the vertical axis upward.
+            let x = margin + i as f64 * cell_px;
+            let y = margin + plot - (j as f64 + 1.0) * cell_px;
+            let _ = write!(
+                svg,
+                r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{w:.2}" fill="rgb({r},{g},{bl})"/>"#,
+                w = cell_px + 0.35, // slight overlap to avoid hairlines
+            );
+        }
+    }
+
+    // Domain boundary a + b = 4.
+    let _ = write!(
+        svg,
+        r##"<line x1="{x1}" y1="{y1}" x2="{x2}" y2="{y2}" stroke="#444" stroke-width="1.2" stroke-dasharray="6 4"/>"##,
+        x1 = margin,
+        y1 = margin,
+        x2 = margin + plot,
+        y2 = margin + plot,
+    );
+
+    // Axes.
+    let _ = write!(
+        svg,
+        r##"<rect x="{margin}" y="{margin}" width="{plot}" height="{plot}" fill="none" stroke="#222" stroke-width="1"/>"##
+    );
+    for k in 0..=4u32 {
+        let fx = margin + plot * k as f64 / 4.0;
+        let fy = margin + plot - plot * k as f64 / 4.0;
+        let _ = write!(
+            svg,
+            r#"<text x="{fx}" y="{ylab}" font-family="sans-serif" font-size="12" text-anchor="middle">{k}</text>"#,
+            ylab = margin + plot + 18.0
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{xlab}" y="{fyt}" font-family="sans-serif" font-size="12" text-anchor="end">{k}</text>"#,
+            xlab = margin - 8.0,
+            fyt = fy + 4.0
+        );
+    }
+    let _ = write!(
+        svg,
+        r#"<text x="{cx}" y="{cy}" font-family="sans-serif" font-size="14" text-anchor="middle">a</text>"#,
+        cx = margin + plot / 2.0,
+        cy = margin + plot + 40.0
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="20" y="{cy}" font-family="sans-serif" font-size="14" text-anchor="middle">b</text>"#,
+        cy = margin + plot / 2.0
+    );
+
+    // Color bar.
+    let bar_x = margin + plot + 24.0;
+    let steps = 64;
+    for s in 0..steps {
+        let h = 4.0 * (s as f64 + 0.5) / steps as f64;
+        let (r, g, bl) = height_color(h);
+        let seg = plot / steps as f64;
+        let y = margin + plot - (s as f64 + 1.0) * seg;
+        let _ = write!(
+            svg,
+            r#"<rect x="{bar_x}" y="{y:.2}" width="18" height="{seg:.2}" fill="rgb({r},{g},{bl})"/>"#
+        );
+    }
+    for k in 0..=4u32 {
+        let y = margin + plot - plot * k as f64 / 4.0;
+        let _ = write!(
+            svg,
+            r#"<text x="{tx}" y="{ty}" font-family="sans-serif" font-size="11" text-anchor="start">{k}</text>"#,
+            tx = bar_x + 24.0,
+            ty = y + 4.0
+        );
+    }
+    let _ = write!(
+        svg,
+        r#"<text x="{tx}" y="{ty}" font-family="sans-serif" font-size="13" text-anchor="middle">f(a,b)</text>"#,
+        tx = bar_x + 12.0,
+        ty = margin - 10.0
+    );
+
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn svg_is_well_formed_ish() {
+        let svg = figure1_svg(20);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        // One rect per in-domain cell plus chrome; count sanity.
+        let rects = svg.matches("<rect").count();
+        // ~half the 20×20 grid is inside the triangle (+ frame + colorbar).
+        assert!(rects > 200 && rects < 400, "{rects} rects");
+        assert!(svg.contains("Figure 1"));
+    }
+
+    #[test]
+    fn color_ramp_is_monotone_in_brightness_ends() {
+        let low = height_color(0.0);
+        let high = height_color(4.0);
+        assert_ne!(low, high);
+        // Apex (f = 4 at origin) must map to the warm end.
+        assert!(high.0 > high.2, "high end should be warm (r > b): {high:?}");
+        assert!(low.2 > low.0, "low end should be cool (b > r): {low:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_cells_rejected() {
+        figure1_svg(0);
+    }
+}

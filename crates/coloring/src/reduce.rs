@@ -1,0 +1,128 @@
+//! Greedy color-class reduction.
+//!
+//! Given a proper `m`-coloring, one color class is eliminated per round:
+//! in round `t` every node of color `m - t` recolors to the smallest
+//! color in `[0, target)` not used by a neighbor. A color class is an
+//! independent set (the input coloring is proper), so simultaneous
+//! recoloring within a class is safe, and `target > Δ` guarantees a free
+//! color. After `m - target` rounds the palette is `[0, target)`.
+
+use lll_local::{broadcast, NodeContext, NodeProgram, RoundResult};
+
+/// The color-class reduction [`NodeProgram`].
+#[derive(Debug, Clone)]
+pub struct ReduceProgram {
+    color: u64,
+    palette: u64,
+    target: u64,
+    round: u64,
+    port_colors: Vec<u64>,
+}
+
+impl ReduceProgram {
+    /// Creates the program for one node with its input `color`, the input
+    /// `palette` size and the `target` palette size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `color >= palette` or `target >= palette` (the driver
+    /// short-circuits the no-op case) or `target == 0`.
+    pub fn new(color: u64, palette: u64, target: u64) -> ReduceProgram {
+        assert!(color < palette, "input color out of palette");
+        assert!(target > 0 && target < palette, "target must be in (0, palette)");
+        ReduceProgram { color, palette, target, round: 0, port_colors: Vec::new() }
+    }
+
+    fn mex(&self) -> u64 {
+        (0..self.target)
+            .find(|c| !self.port_colors.contains(c))
+            .expect("target > Δ guarantees a free color")
+    }
+}
+
+impl NodeProgram for ReduceProgram {
+    type Message = u64;
+    type Output = u64;
+
+    fn init(&mut self, ctx: &mut NodeContext) -> Vec<Option<u64>> {
+        self.port_colors = vec![u64::MAX; ctx.degree];
+        broadcast(self.color, ctx.degree)
+    }
+
+    fn round(&mut self, ctx: &mut NodeContext, inbox: &[Option<u64>]) -> RoundResult<u64, u64> {
+        for (port, msg) in inbox.iter().enumerate() {
+            if let Some(c) = msg {
+                self.port_colors[port] = *c;
+            }
+        }
+        self.round += 1;
+        let class = self.palette - self.round;
+        if self.color == class {
+            self.color = self.mex();
+        }
+        if class == self.target {
+            RoundResult::Halt(self.color)
+        } else {
+            RoundResult::Continue(broadcast(self.color, ctx.degree))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lll_graphs::gen::{ring, torus};
+    use lll_local::Simulator;
+
+    /// Drives the reduction directly with a hand-made input coloring.
+    fn run_reduce(
+        g: &lll_graphs::Graph,
+        input: &[u64],
+        palette: u64,
+        target: u64,
+    ) -> (Vec<usize>, usize) {
+        let sim = Simulator::new(g);
+        let input = input.to_vec();
+        let run = sim
+            .run(
+                |ctx| ReduceProgram::new(input[ctx.id as usize], palette, target),
+                10_000,
+            )
+            .unwrap();
+        (run.outputs.iter().map(|&c| c as usize).collect(), run.rounds)
+    }
+
+    #[test]
+    fn reduces_ring_to_three_colors() {
+        let g = ring(12);
+        // A valid 4-coloring using colors {0,1,2,3}.
+        let input: Vec<u64> = (0..12).map(|i| (i % 2) as u64 + if i == 11 { 2 } else { 0 }).collect();
+        assert!(g.is_proper_coloring(&input.iter().map(|&c| c as usize).collect::<Vec<_>>()));
+        let (out, rounds) = run_reduce(&g, &input, 4, 3);
+        assert!(g.is_proper_coloring(&out));
+        assert!(out.iter().all(|&c| c < 3));
+        assert_eq!(rounds, 1); // one class (color 3) to clear
+    }
+
+    #[test]
+    fn round_count_is_palette_minus_target() {
+        let g = torus(5, 5);
+        // Inflate a greedy coloring into a sparse large palette.
+        let greedy = crate::greedy_coloring_sequential(&g);
+        let input: Vec<u64> = greedy.iter().map(|&c| (c * 7 + 3) as u64).collect();
+        let palette = 5 * 7 + 3 + 1;
+        let proper: Vec<usize> = input.iter().map(|&c| c as usize).collect();
+        assert!(g.is_proper_coloring(&proper));
+        let target = g.max_degree() as u64 + 1;
+        let (out, rounds) = run_reduce(&g, &input, palette as u64, target);
+        assert!(g.is_proper_coloring(&out));
+        assert!(out.iter().all(|&c| (c as u64) < target));
+        assert_eq!(rounds, palette - target as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "input color out of palette")]
+    fn rejects_out_of_palette_color() {
+        ReduceProgram::new(5, 5, 3);
+    }
+}

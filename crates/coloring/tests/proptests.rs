@@ -1,0 +1,96 @@
+//! Property tests for the distributed coloring pipeline.
+
+use lll_coloring::{
+    cole_vishkin_ring, distance2_coloring, edge_coloring, is_mis, linial_coloring, luby_mis,
+    vertex_coloring, vertex_coloring_with_target,
+};
+use lll_graphs::gen::{gnp, random_regular, ring};
+use lll_local::Simulator;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn vertex_coloring_on_random_graphs(n in 4usize..40, p in 0.05f64..0.5, seed in 0u64..1000) {
+        let g = gnp(n, p, seed);
+        prop_assume!(g.max_degree() >= 1);
+        let sim = Simulator::with_shuffled_ids(&g, seed);
+        let c = vertex_coloring(&sim, 100_000).expect("converges");
+        prop_assert!(g.is_proper_coloring(&c.colors));
+        prop_assert_eq!(c.palette, g.max_degree() + 1);
+        prop_assert!(c.colors.iter().all(|&x| x < c.palette));
+    }
+
+    #[test]
+    fn linial_always_proper(n in 4usize..60, seed in 0u64..1000) {
+        let g = gnp(n, 0.2, seed);
+        prop_assume!(g.max_degree() >= 1);
+        let sim = Simulator::with_shuffled_ids(&g, seed ^ 1);
+        let c = linial_coloring(&sim, 100_000).expect("converges");
+        prop_assert!(g.is_proper_coloring(&c.colors));
+    }
+
+    #[test]
+    fn explicit_targets_are_respected(n in 6usize..30, seed in 0u64..100) {
+        let g = gnp(n, 0.3, seed);
+        prop_assume!(g.max_degree() >= 1);
+        let target = g.max_degree() + 3;
+        let sim = Simulator::with_shuffled_ids(&g, seed);
+        let c = vertex_coloring_with_target(&sim, target, 100_000).expect("converges");
+        prop_assert!(g.is_proper_coloring(&c.colors));
+        prop_assert!(c.colors.iter().all(|&x| x < target));
+    }
+
+    #[test]
+    fn edge_coloring_on_random_regular(k in 3usize..12, seed in 0u64..100) {
+        let n = 2 * k + 6;
+        let g = random_regular(n, 3, seed).expect("feasible");
+        let sim = Simulator::with_shuffled_ids(&g, seed);
+        let c = edge_coloring(&sim, 100_000).expect("converges");
+        prop_assert!(g.is_proper_edge_coloring(&c.colors));
+        prop_assert!(c.palette < 2 * g.max_degree());
+    }
+
+    #[test]
+    fn distance2_coloring_on_random_regular(k in 3usize..10, seed in 0u64..100) {
+        let n = 2 * k + 8;
+        let g = random_regular(n, 4, seed).expect("feasible");
+        let sim = Simulator::with_shuffled_ids(&g, seed);
+        let c = distance2_coloring(&sim, 100_000).expect("converges");
+        prop_assert!(g.is_distance2_coloring(&c.colors));
+    }
+
+    #[test]
+    fn cole_vishkin_on_arbitrary_ring_sizes(n in 3usize..200, seed in 0u64..100) {
+        let g = ring(n);
+        let sim = Simulator::with_shuffled_ids(&g, seed);
+        let c = cole_vishkin_ring(&sim, 10_000).expect("converges");
+        prop_assert!(g.is_proper_coloring(&c.colors));
+        prop_assert!(c.colors.iter().all(|&x| x < 3));
+    }
+
+    #[test]
+    fn colorings_work_under_adversarial_id_orders(n in 8usize..40, seed in 0u64..50) {
+        // Reversed ids (high ids clustered at low indices) and identity
+        // ids — deterministic LOCAL algorithms must handle any distinct
+        // assignment.
+        let g = gnp(n, 0.25, seed);
+        prop_assume!(g.max_degree() >= 1);
+        let rev: Vec<u64> = (0..n as u64).rev().collect();
+        let sim = Simulator::with_ids(&g, rev).expect("distinct ids");
+        let c = vertex_coloring(&sim, 100_000).expect("converges");
+        prop_assert!(g.is_proper_coloring(&c.colors));
+        let sim = Simulator::new(&g);
+        let c = vertex_coloring(&sim, 100_000).expect("converges");
+        prop_assert!(g.is_proper_coloring(&c.colors));
+    }
+
+    #[test]
+    fn luby_mis_on_random_graphs(n in 2usize..40, p in 0.0f64..0.6, seed in 0u64..1000) {
+        let g = gnp(n, p, seed);
+        let sim = Simulator::with_shuffled_ids(&g, seed);
+        let res = luby_mis(&sim, seed ^ 7).expect("converges");
+        prop_assert!(is_mis(&g, &res.in_mis));
+    }
+}

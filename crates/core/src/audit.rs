@@ -1,0 +1,148 @@
+//! Exact audit of the paper's property `P*` (Definition 3.1).
+//!
+//! `(G, φ)` satisfies `P*` for a partially fixed instance iff
+//!
+//! 1. `φ_e^u + φ_e^v ≤ 2` for every dependency-graph edge `e = {u, v}`,
+//! 2. `Pr[E_v | fixed] ≤ p · Π_{e∋v} φ_e^v` for every event `v`,
+//!
+//! where `p` is the symmetric bound on the initial event probabilities.
+//! The fixers maintain `P*` implicitly; tests drive [`audit_p_star`]
+//! after every single fixing step with the exact rational backend, which
+//! turns the paper's induction into an executable invariant.
+
+use lll_numeric::Num;
+
+use crate::instance::{Instance, PartialAssignment};
+use crate::triples::Phi;
+
+/// Outcome of a `P*` audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Edges whose pair sum exceeds 2 (+tolerance).
+    pub pair_violations: Vec<usize>,
+    /// Events whose conditional probability exceeds `p · Π φ`
+    /// (+tolerance).
+    pub prob_violations: Vec<usize>,
+}
+
+impl AuditReport {
+    /// `true` iff property `P*` holds.
+    pub fn holds(&self) -> bool {
+        self.pair_violations.is_empty() && self.prob_violations.is_empty()
+    }
+}
+
+/// Audits property `P*` for the given partial assignment and potential.
+///
+/// `p_bound` is the symmetric probability bound `p` (usually
+/// [`Instance::max_event_probability`]); `tol` absorbs floating-point
+/// drift (`0` for exact backends).
+pub fn audit_p_star<T: Num>(
+    inst: &Instance<T>,
+    partial: &PartialAssignment,
+    phi: &Phi<T>,
+    p_bound: &T,
+    tol: &T,
+) -> AuditReport {
+    let g = inst.dependency_graph();
+    let two = T::from_ratio(2, 1);
+    let mut pair_violations = Vec::new();
+    for eid in 0..g.num_edges() {
+        if phi.pair_sum(eid) > two.clone() + tol.clone() {
+            pair_violations.push(eid);
+        }
+    }
+    let mut prob_violations = Vec::new();
+    for v in 0..inst.num_events() {
+        let pr = inst.probability(v, partial);
+        let bound = p_bound.clone() * phi.product_at(g, v);
+        if pr > bound + tol.clone() {
+            prob_violations.push(v);
+        }
+    }
+    AuditReport { pair_violations, prob_violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use lll_numeric::BigRational;
+
+    fn q(n: i64, d: u64) -> BigRational {
+        BigRational::from_ratio(n, d)
+    }
+
+    /// Triangle instance: 4-valued fair variables on the edges, event
+    /// occurs iff both incident variables are 0 (p = 1/16, d = 2).
+    fn triangle() -> Instance<BigRational> {
+        let mut b = InstanceBuilder::new(3);
+        let x = b.add_uniform_variable(&[0, 1], 4);
+        let y = b.add_uniform_variable(&[1, 2], 4);
+        let z = b.add_uniform_variable(&[0, 2], 4);
+        b.set_event_predicate(0, move |vals| vals[x] == 0 && vals[z] == 0);
+        b.set_event_predicate(1, move |vals| vals[x] == 0 && vals[y] == 0);
+        b.set_event_predicate(2, move |vals| vals[y] == 0 && vals[z] == 0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn initial_state_satisfies_p_star() {
+        let inst = triangle();
+        let phi = Phi::ones(inst.dependency_graph());
+        let partial = PartialAssignment::new(3);
+        let p = inst.max_event_probability();
+        assert_eq!(p, q(1, 16));
+        let report = audit_p_star(&inst, &partial, &phi, &p, &BigRational::zero());
+        assert!(report.holds(), "{report:?}");
+    }
+
+    #[test]
+    fn detects_probability_violation() {
+        let inst = triangle();
+        let phi = Phi::ones(inst.dependency_graph());
+        // Fix both variables of event 1 to 0: Pr[E_1 | fixed] = 1 > p·1.
+        let mut partial = PartialAssignment::new(3);
+        partial.fix(0, 0);
+        partial.fix(1, 0);
+        let p = inst.max_event_probability();
+        let report = audit_p_star(&inst, &partial, &phi, &p, &BigRational::zero());
+        assert!(!report.holds());
+        assert!(report.prob_violations.contains(&1));
+        assert!(report.pair_violations.is_empty());
+    }
+
+    #[test]
+    fn detects_pair_violation() {
+        let inst = triangle();
+        let g = inst.dependency_graph();
+        let mut phi = Phi::ones(g);
+        let e = g.edge_id(0, 1).unwrap();
+        phi.set(e, 0, q(3, 2));
+        phi.set(e, 1, q(3, 2));
+        let partial = PartialAssignment::new(3);
+        // Bump p so that condition (2) stays satisfied despite larger φ.
+        let report = audit_p_star(&inst, &partial, &phi, &q(1, 16), &BigRational::zero());
+        assert_eq!(report.pair_violations, vec![e]);
+        assert!(report.prob_violations.is_empty());
+    }
+
+    #[test]
+    fn tolerance_absorbs_f64_noise() {
+        let mut b = InstanceBuilder::<f64>::new(2);
+        let x = b.add_uniform_variable(&[0, 1], 2);
+        b.set_event_predicate(0, move |vals| vals[x] == 0);
+        b.set_event_predicate(1, move |vals| vals[x] == 1);
+        let inst = b.build().unwrap();
+        let phi = Phi::ones(inst.dependency_graph());
+        let partial = PartialAssignment::new(1);
+        // p = 0.5 exactly; noise-free here, but the tolerance path must
+        // not reject a state that holds with slack 0.
+        let report = audit_p_star(&inst, &partial, &phi, &0.5, &1e-9);
+        assert!(report.holds());
+        let report = audit_p_star(&inst, &partial, &phi, &0.4999999, &1e-6);
+        assert!(report.holds());
+        let report = audit_p_star(&inst, &partial, &phi, &0.4, &0.0);
+        assert!(!report.holds());
+    }
+}

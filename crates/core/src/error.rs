@@ -1,0 +1,110 @@
+//! Error types of the core crate.
+
+use std::fmt;
+
+/// Error produced while building or evaluating an [`Instance`]
+/// (see [`InstanceBuilder::build`]).
+///
+/// [`Instance`]: crate::Instance
+/// [`InstanceBuilder::build`]: crate::InstanceBuilder::build
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A variable affects no event.
+    EmptyAffects(usize),
+    /// A variable affects an event index `>= num_events`.
+    EventOutOfRange {
+        /// The offending variable.
+        variable: usize,
+        /// The out-of-range event index.
+        event: usize,
+    },
+    /// A variable has an empty value set.
+    NoValues(usize),
+    /// A variable has a zero or negative probability.
+    NonPositiveProbability(usize),
+    /// A variable's probabilities do not sum to 1.
+    BadProbabilitySum(usize),
+    /// A complete assignment handed to the instance was malformed.
+    InvalidAssignment(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::EmptyAffects(x) => write!(f, "variable {x} affects no event"),
+            BuildError::EventOutOfRange { variable, event } => {
+                write!(f, "variable {variable} affects out-of-range event {event}")
+            }
+            BuildError::NoValues(x) => write!(f, "variable {x} has no values"),
+            BuildError::NonPositiveProbability(x) => {
+                write!(f, "variable {x} has a non-positive probability")
+            }
+            BuildError::BadProbabilitySum(x) => {
+                write!(f, "probabilities of variable {x} do not sum to 1")
+            }
+            BuildError::InvalidAssignment(msg) => write!(f, "invalid assignment: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Error produced when constructing or running a fixer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FixerError {
+    /// The instance's maximum variable rank exceeds what the fixer
+    /// supports (2 for [`Fixer2`], 3 for [`Fixer3`]).
+    ///
+    /// [`Fixer2`]: crate::Fixer2
+    /// [`Fixer3`]: crate::Fixer3
+    RankTooLarge {
+        /// Maximum rank found in the instance.
+        found: usize,
+        /// Rank the fixer supports.
+        supported: usize,
+    },
+    /// The exponential criterion `p < 2^-d` is violated: the paper's
+    /// guarantee does not apply. (Use the `_unchecked` constructors to
+    /// run the greedy process anyway — that is what the threshold
+    /// experiments do.)
+    CriterionViolated {
+        /// The criterion value `p·2^d` (must be `< 1`), as `f64` for
+        /// display.
+        p_times_2_to_d: f64,
+    },
+    /// A fixing step found no value keeping the bookkeeping invariant —
+    /// impossible below the threshold (Lemma 3.2); can be reported when
+    /// running unchecked above the threshold.
+    NoGoodValue {
+        /// The variable for which every value was "evil".
+        variable: usize,
+    },
+    /// Decomposing a representable triple into edge values failed — this
+    /// indicates the triple was out of `S_rep` (above threshold) or, for
+    /// the `f64` backend, numerically on the boundary.
+    DecompositionFailed {
+        /// The variable being fixed.
+        variable: usize,
+    },
+}
+
+impl fmt::Display for FixerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FixerError::RankTooLarge { found, supported } => {
+                write!(f, "instance has rank-{found} variables, fixer supports rank {supported}")
+            }
+            FixerError::CriterionViolated { p_times_2_to_d } => {
+                write!(f, "exponential criterion violated: p*2^d = {p_times_2_to_d} >= 1")
+            }
+            FixerError::NoGoodValue { variable } => {
+                write!(f, "no good value for variable {variable} (above threshold?)")
+            }
+            FixerError::DecompositionFailed { variable } => {
+                write!(f, "triple decomposition failed while fixing variable {variable}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FixerError {}

@@ -1,0 +1,357 @@
+//! The rank-2 deterministic fixer (Theorem 1.1).
+//!
+//! Every variable affects at most two events, i.e. sits on one edge of
+//! the dependency graph. Fixing variable `X` on edge `e = {u, v}`: by
+//! linearity of expectation there is a value `y` with
+//!
+//! ```text
+//! Inc(u, y)·s + Inc(v, y)·t ≤ s + t ≤ 2,
+//! ```
+//!
+//! where `s = φ_e^u`, `t = φ_e^v` are the current bookkeeping weights
+//! (all 1 initially) and `Inc(·, y)` are the conditional-probability
+//! increase factors. Picking the minimiser and updating
+//! `φ_e^u ← Inc(u,y)·φ_e^u`, `φ_e^v ← Inc(v,y)·φ_e^v` keeps the weighted
+//! sum on every edge ≤ 2 and the conditional probability of every event
+//! ≤ `p·Π_{e∋v} φ_e^v` — so after all variables are fixed, every event's
+//! probability is `< p·2^d < 1`, i.e. `0`. The order of fixing is
+//! irrelevant (the process is *order-oblivious*), which is what makes
+//! the distributed schedule of Corollary 1.2 correct.
+
+use lll_numeric::Num;
+
+use crate::error::FixerError;
+use crate::instance::{Instance, PartialAssignment};
+use crate::triples::Phi;
+use crate::FixReport;
+
+/// The sequential rank-2 fixing process.
+///
+/// Construct with [`Fixer2::new`] (validates rank ≤ 2 and the
+/// exponential criterion) or [`Fixer2::new_unchecked`] (skips the
+/// criterion check — the greedy process is still well defined above the
+/// threshold, it merely loses its guarantee; the threshold experiments
+/// rely on exactly this).
+///
+/// # Examples
+///
+/// ```
+/// use lll_core::{Fixer2, InstanceBuilder};
+///
+/// let mut b = InstanceBuilder::<f64>::new(2);
+/// let x = b.add_uniform_variable(&[0, 1], 4);
+/// b.set_event_predicate(0, move |vals| vals[x] == 0);
+/// b.set_event_predicate(1, move |vals| vals[x] == 1);
+/// let inst = b.build()?;
+/// let report = Fixer2::new(&inst)?.run_default();
+/// assert!(report.is_success());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fixer2<'i, T> {
+    inst: &'i Instance<T>,
+    partial: PartialAssignment,
+    phi: Phi<T>,
+}
+
+impl<'i, T: Num> Fixer2<'i, T> {
+    /// Creates a fixer, validating that every variable has rank ≤ 2 and
+    /// that the instance satisfies `p < 2^-d`.
+    ///
+    /// # Errors
+    ///
+    /// [`FixerError::RankTooLarge`] or [`FixerError::CriterionViolated`].
+    pub fn new(inst: &'i Instance<T>) -> Result<Fixer2<'i, T>, FixerError> {
+        let fixer = Fixer2::new_unchecked(inst)?;
+        if !inst.satisfies_exponential_criterion() {
+            return Err(FixerError::CriterionViolated {
+                p_times_2_to_d: inst.criterion_value().to_f64(),
+            });
+        }
+        Ok(fixer)
+    }
+
+    /// Creates a fixer without checking the criterion (rank ≤ 2 is still
+    /// required — the bookkeeping lives on single edges).
+    ///
+    /// # Errors
+    ///
+    /// [`FixerError::RankTooLarge`].
+    pub fn new_unchecked(inst: &'i Instance<T>) -> Result<Fixer2<'i, T>, FixerError> {
+        let rank = inst.max_rank();
+        if rank > 2 {
+            return Err(FixerError::RankTooLarge { found: rank, supported: 2 });
+        }
+        Ok(Fixer2 {
+            inst,
+            partial: PartialAssignment::new(inst.num_variables()),
+            phi: Phi::ones(inst.dependency_graph()),
+        })
+    }
+
+    /// The instance being fixed.
+    pub fn instance(&self) -> &'i Instance<T> {
+        self.inst
+    }
+
+    /// Current partial assignment.
+    pub fn partial(&self) -> &PartialAssignment {
+        &self.partial
+    }
+
+    /// Current bookkeeping weights (`φ` restricted to the rank-2
+    /// reading: edge weights whose per-edge sums stay ≤ 2 below the
+    /// threshold).
+    pub fn phi(&self) -> &Phi<T> {
+        &self.phi
+    }
+
+    /// The increase factor `Inc(t, y)` of event `ev` when fixing
+    /// variable `x` to `y` (0 if the event is already impossible, as in
+    /// the paper).
+    fn inc(&self, ev: usize, x: usize, y: usize) -> T {
+        let old = self.inst.probability(ev, &self.partial);
+        if old.is_zero() {
+            return T::zero();
+        }
+        self.inst.probability_with(ev, &self.partial, x, y) / old
+    }
+
+    /// Fixes variable `x` (which must be unfixed), choosing the value
+    /// minimising the φ-weighted sum of increase factors; returns the
+    /// chosen value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is already fixed.
+    pub fn fix_variable(&mut self, x: usize) -> usize {
+        assert!(self.partial.get(x).is_none(), "variable {x} already fixed");
+        let var = self.inst.variable(x);
+        let k = var.num_values();
+        let choice = match *var.affects() {
+            [u] => {
+                // Rank 1: any value with Inc ≤ 1 exists by expectation.
+                (0..k)
+                    .map(|y| (self.inc(u, x, y), y))
+                    .min_by(|(a, _), (b, _)| a.partial_cmp(b).expect("finite increase factors"))
+                    .expect("variables have at least one value")
+                    .1
+            }
+            [u, v] => {
+                let g = self.inst.dependency_graph();
+                let eid = g.edge_id(u, v).expect("co-affected events are adjacent");
+                let s = self.phi.get(eid, u).clone();
+                let t = self.phi.get(eid, v).clone();
+                let best = (0..k)
+                    .map(|y| {
+                        let cost = self.inc(u, x, y) * s.clone() + self.inc(v, x, y) * t.clone();
+                        (cost, y)
+                    })
+                    .min_by(|(a, _), (b, _)| a.partial_cmp(b).expect("finite costs"))
+                    .expect("variables have at least one value")
+                    .1;
+                let new_u = self.inc(u, x, best) * s;
+                let new_v = self.inc(v, x, best) * t;
+                self.phi.set(eid, u, new_u);
+                self.phi.set(eid, v, new_v);
+                best
+            }
+            _ => unreachable!("rank validated at construction"),
+        };
+        self.partial.fix(x, choice);
+        choice
+    }
+
+    /// Runs the process over the given variable order (must enumerate
+    /// every unfixed variable exactly once) and reports the outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the order re-fixes or misses a variable.
+    pub fn run(mut self, order: impl IntoIterator<Item = usize>) -> FixReport {
+        for x in order {
+            self.fix_variable(x);
+        }
+        assert!(self.partial.is_complete(), "order must cover all variables");
+        self.into_report()
+    }
+
+    /// Runs the process in variable-id order.
+    pub fn run_default(self) -> FixReport {
+        let m = self.inst.num_variables();
+        self.run(0..m)
+    }
+
+    /// Finalizes into a report (all variables must be fixed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some variable is unfixed.
+    pub fn into_report(self) -> FixReport {
+        let assignment = self.partial.into_complete();
+        let violated =
+            self.inst.violated_events(&assignment).expect("assignment is complete and in range");
+        FixReport::new(assignment, violated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::audit_p_star;
+    use crate::instance::InstanceBuilder;
+    use lll_numeric::BigRational;
+    use rand::seq::SliceRandom;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn q(n: i64, d: u64) -> BigRational {
+        BigRational::from_ratio(n, d)
+    }
+
+    /// Ring instance: one k-valued fair variable per ring edge; the
+    /// event at node i occurs iff both incident variables equal 0.
+    /// p = 1/k², d = 2 ⇒ criterion needs k² > 4.
+    fn ring_instance(n: usize, k: usize) -> Instance<BigRational> {
+        let mut b = InstanceBuilder::new(n);
+        let vars: Vec<usize> =
+            (0..n).map(|i| b.add_uniform_variable(&[i, (i + 1) % n], k)).collect();
+        for i in 0..n {
+            let left = vars[(i + n - 1) % n];
+            let right = vars[i];
+            b.set_event_predicate(i, move |vals| vals[left] == 0 && vals[right] == 0);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn solves_ring_below_threshold() {
+        let inst = ring_instance(12, 3); // p·2^d = 4/9 < 1
+        assert!(inst.satisfies_exponential_criterion());
+        let report = Fixer2::new(&inst).unwrap().run_default();
+        assert!(report.is_success(), "violated: {:?}", report.violated_events());
+        assert!(inst.no_event_occurs(report.assignment()).unwrap());
+    }
+
+    #[test]
+    fn order_oblivious_with_p_star_audit() {
+        let inst = ring_instance(10, 3);
+        let p = inst.max_event_probability();
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..10 {
+            let mut order: Vec<usize> = (0..inst.num_variables()).collect();
+            order.shuffle(&mut rng);
+            let mut fixer = Fixer2::new(&inst).unwrap();
+            for &x in &order {
+                fixer.fix_variable(x);
+                let audit =
+                    audit_p_star(&inst, fixer.partial(), fixer.phi(), &p, &BigRational::zero());
+                assert!(audit.holds(), "trial {trial}: P* broken after fixing {x}: {audit:?}");
+            }
+            let report = fixer.into_report();
+            assert!(report.is_success(), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn rejects_rank3_instances() {
+        let mut b = InstanceBuilder::<f64>::new(3);
+        b.add_uniform_variable(&[0, 1, 2], 2);
+        let inst = b.build().unwrap();
+        assert!(matches!(
+            Fixer2::new(&inst),
+            Err(FixerError::RankTooLarge { found: 3, supported: 2 })
+        ));
+    }
+
+    #[test]
+    fn rejects_at_threshold_but_unchecked_runs() {
+        // Sinkless-orientation-style tightness: p = 2^-d exactly.
+        let inst = ring_instance(8, 2); // p = 1/4, d = 2: p·2^d = 1
+        assert!(!inst.satisfies_exponential_criterion());
+        assert!(matches!(Fixer2::new(&inst), Err(FixerError::CriterionViolated { .. })));
+        // Unchecked: the greedy process still runs to completion (it may
+        // or may not succeed — on this instance it happens to succeed,
+        // the guarantee is simply gone).
+        let report = Fixer2::new_unchecked(&inst).unwrap().run_default();
+        assert_eq!(report.assignment().len(), 8);
+    }
+
+    #[test]
+    fn rank1_variables_are_handled() {
+        let mut b = InstanceBuilder::<BigRational>::new(1);
+        let x = b.add_uniform_variable(&[0], 4);
+        let y = b.add_uniform_variable(&[0], 4);
+        b.set_event_predicate(0, move |vals| vals[x] == 2 && vals[y] == 3);
+        let inst = b.build().unwrap();
+        assert_eq!(inst.max_dependency_degree(), 0);
+        // p = 1/16 < 2^0 = 1.
+        let report = Fixer2::new(&inst).unwrap().run_default();
+        assert!(report.is_success());
+    }
+
+    #[test]
+    fn biased_distributions() {
+        // Non-uniform variables: value 0 with prob 9/10. Event at i
+        // occurs iff both incident variables are 0 — the fixer must
+        // steer away from the likely-bad values deterministically.
+        let n = 6;
+        let mut b = InstanceBuilder::<BigRational>::new(n);
+        let vars: Vec<usize> = (0..n)
+            .map(|i| b.add_variable(&[i, (i + 1) % n], vec![q(9, 10), q(1, 20), q(1, 20)]))
+            .collect();
+        for i in 0..n {
+            let left = vars[(i + n - 1) % n];
+            let right = vars[i];
+            // Event: both incident variables *differ* (asymmetric, rare).
+            b.set_event_predicate(i, move |vals| vals[left] == 1 && vals[right] == 2);
+        }
+        let inst = b.build().unwrap();
+        // p = 1/400, d = 2 ⇒ p·2^d = 1/100 < 1.
+        assert!(inst.satisfies_exponential_criterion());
+        let report = Fixer2::new(&inst).unwrap().run_default();
+        assert!(report.is_success());
+    }
+
+    #[test]
+    fn multiple_variables_per_edge() {
+        // Two variables on the same event pair — the weighted-sum
+        // bookkeeping must absorb repeated fixings on one edge.
+        let mut b = InstanceBuilder::<BigRational>::new(2);
+        let x = b.add_uniform_variable(&[0, 1], 4);
+        let y = b.add_uniform_variable(&[0, 1], 4);
+        b.set_event_predicate(0, move |vals| vals[x] == 0 && vals[y] == 0);
+        b.set_event_predicate(1, move |vals| vals[x] == 1 && vals[y] == 1);
+        let inst = b.build().unwrap();
+        // p = 1/16, d = 1 ⇒ p·2 = 1/8 < 1.
+        assert!(inst.satisfies_exponential_criterion());
+        let p = inst.max_event_probability();
+        for order in [vec![0, 1], vec![1, 0]] {
+            let mut fixer = Fixer2::new(&inst).unwrap();
+            for &v in &order {
+                fixer.fix_variable(v);
+                let audit =
+                    audit_p_star(&inst, fixer.partial(), fixer.phi(), &p, &BigRational::zero());
+                assert!(audit.holds());
+            }
+            assert!(fixer.into_report().is_success());
+        }
+    }
+
+    #[test]
+    fn f64_backend_agrees_with_exact() {
+        let exact = ring_instance(10, 3);
+        let mut b = InstanceBuilder::<f64>::new(10);
+        let vars: Vec<usize> =
+            (0..10).map(|i| b.add_uniform_variable(&[i, (i + 1) % 10], 3)).collect();
+        for i in 0..10 {
+            let left = vars[(i + 10 - 1) % 10];
+            let right = vars[i];
+            b.set_event_predicate(i, move |vals| vals[left] == 0 && vals[right] == 0);
+        }
+        let float = b.build().unwrap();
+        let re = Fixer2::new(&exact).unwrap().run_default();
+        let rf = Fixer2::new(&float).unwrap().run_default();
+        assert!(re.is_success() && rf.is_success());
+        assert_eq!(re.assignment(), rf.assignment());
+    }
+}

@@ -1,0 +1,440 @@
+//! The rank-3 deterministic fixer (Theorem 1.3) — the paper's main
+//! contribution.
+//!
+//! Bookkeeping is the potential `φ : (edge, endpoint) → [0, 2]` of
+//! property `P*` (Definition 3.1). To fix a rank-3 variable `X` on the
+//! hyperedge `{u, v, w}` (dependency edges `e = {u,v}`, `e' = {u,w}`,
+//! `e'' = {v,w}`), form the current product triple
+//!
+//! ```text
+//! (a, b, c) = (φ_e^u·φ_{e'}^u,  φ_e^v·φ_{e''}^v,  φ_{e'}^w·φ_{e''}^w) ∈ S_rep
+//! ```
+//!
+//! and, for every value `y` of `X`, the scaled triple
+//! `s_y = (Inc(u,y)·a, Inc(v,y)·b, Inc(w,y)·c)`. Lemma 3.2 — via the
+//! incurvedness of `S_rep` (Lemma 3.7) and the averaging argument of
+//! Lemma 3.9 — guarantees that some `s_y` is representable; fixing
+//! `X = y` and splicing a decomposition of `s_y` into `φ` preserves
+//! `P*`. This module chooses the `y` whose triple is *most robustly*
+//! representable (highest [`representability_score`]), which the
+//! ablation experiment compares against first-feasible selection.
+//!
+//! Rank-2 and rank-1 variables are handled by the weighted rank-2 rule
+//! and plain expectation, matching the paper's "virtual third event"
+//! reduction without materialising virtual nodes.
+
+use lll_numeric::Num;
+
+use crate::error::FixerError;
+use crate::instance::{Instance, PartialAssignment};
+use crate::triples::{decompose, representability_score, Phi};
+use crate::FixReport;
+
+/// How the fixer chooses among the values whose triples are
+/// representable (ablation A1; the default is [`ValueRule::BestScore`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ValueRule {
+    /// Pick the value with the maximum representability score (deepest
+    /// inside `S_rep`) — numerically robust.
+    #[default]
+    BestScore,
+    /// Pick the first value (smallest index) whose triple is
+    /// representable — the minimal rule the existence proof supports.
+    FirstFeasible,
+}
+
+/// The sequential rank-3 fixing process.
+///
+/// See the crate-level example. Like [`Fixer2`](crate::Fixer2), the
+/// process is order-oblivious; `new` validates rank ≤ 3 and the
+/// exponential criterion, `new_unchecked` skips the criterion for the
+/// threshold experiments.
+#[derive(Debug, Clone)]
+pub struct Fixer3<'i, T> {
+    inst: &'i Instance<T>,
+    partial: PartialAssignment,
+    phi: Phi<T>,
+    rule: ValueRule,
+    invariant_intact: bool,
+}
+
+impl<'i, T: Num> Fixer3<'i, T> {
+    /// Creates a fixer, validating rank ≤ 3 and `p < 2^-d`.
+    ///
+    /// # Errors
+    ///
+    /// [`FixerError::RankTooLarge`] or [`FixerError::CriterionViolated`].
+    pub fn new(inst: &'i Instance<T>) -> Result<Fixer3<'i, T>, FixerError> {
+        let fixer = Fixer3::new_unchecked(inst)?;
+        if !inst.satisfies_exponential_criterion() {
+            return Err(FixerError::CriterionViolated {
+                p_times_2_to_d: inst.criterion_value().to_f64(),
+            });
+        }
+        Ok(fixer)
+    }
+
+    /// Creates a fixer without the criterion check (rank ≤ 3 is still
+    /// required).
+    ///
+    /// # Errors
+    ///
+    /// [`FixerError::RankTooLarge`].
+    pub fn new_unchecked(inst: &'i Instance<T>) -> Result<Fixer3<'i, T>, FixerError> {
+        let rank = inst.max_rank();
+        if rank > 3 {
+            return Err(FixerError::RankTooLarge { found: rank, supported: 3 });
+        }
+        Ok(Fixer3 {
+            inst,
+            partial: PartialAssignment::new(inst.num_variables()),
+            phi: Phi::ones(inst.dependency_graph()),
+            rule: ValueRule::default(),
+            invariant_intact: true,
+        })
+    }
+
+    /// Selects the value-selection rule (ablation A1); returns `self`.
+    pub fn with_rule(mut self, rule: ValueRule) -> Fixer3<'i, T> {
+        self.rule = rule;
+        self
+    }
+
+    /// The instance being fixed.
+    pub fn instance(&self) -> &'i Instance<T> {
+        self.inst
+    }
+
+    /// Current partial assignment.
+    pub fn partial(&self) -> &PartialAssignment {
+        &self.partial
+    }
+
+    /// Current potential `φ`.
+    pub fn phi(&self) -> &Phi<T> {
+        &self.phi
+    }
+
+    /// Whether every fixing step so far maintained property `P*`
+    /// (always `true` below the threshold; above it the greedy fallback
+    /// may have to break sub-property (1)).
+    pub fn invariant_intact(&self) -> bool {
+        self.invariant_intact
+    }
+
+    fn inc(&self, ev: usize, x: usize, y: usize) -> T {
+        let old = self.inst.probability(ev, &self.partial);
+        if old.is_zero() {
+            return T::zero();
+        }
+        self.inst.probability_with(ev, &self.partial, x, y) / old
+    }
+
+    /// Fixes variable `x`, returning the chosen value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is already fixed.
+    pub fn fix_variable(&mut self, x: usize) -> usize {
+        assert!(self.partial.get(x).is_none(), "variable {x} already fixed");
+        let var = self.inst.variable(x);
+        let k = var.num_values();
+        let choice = match *var.affects() {
+            [u] => (0..k)
+                .map(|y| (self.inc(u, x, y), y))
+                .min_by(|(a, _), (b, _)| a.partial_cmp(b).expect("finite increase factors"))
+                .expect("variables have at least one value")
+                .1,
+            [u, v] => {
+                let g = self.inst.dependency_graph();
+                let eid = g.edge_id(u, v).expect("co-affected events are adjacent");
+                let s = self.phi.get(eid, u).clone();
+                let t = self.phi.get(eid, v).clone();
+                let best = (0..k)
+                    .map(|y| {
+                        (self.inc(u, x, y) * s.clone() + self.inc(v, x, y) * t.clone(), y)
+                    })
+                    .min_by(|(a, _), (b, _)| a.partial_cmp(b).expect("finite costs"))
+                    .expect("variables have at least one value")
+                    .1;
+                let new_u = self.inc(u, x, best) * s;
+                let new_v = self.inc(v, x, best) * t;
+                self.phi.set(eid, u, new_u);
+                self.phi.set(eid, v, new_v);
+                best
+            }
+            [u, v, w] => self.fix_rank3(x, u, v, w),
+            _ => unreachable!("rank validated at construction"),
+        };
+        self.partial.fix(x, choice);
+        choice
+    }
+
+    /// The rank-3 step described in the module docs.
+    fn fix_rank3(&mut self, x: usize, u: usize, v: usize, w: usize) -> usize {
+        let g = self.inst.dependency_graph();
+        let e = g.edge_id(u, v).expect("u, v share variable x");
+        let e1 = g.edge_id(u, w).expect("u, w share variable x");
+        let e2 = g.edge_id(v, w).expect("v, w share variable x");
+        let a = self.phi.get(e, u).clone() * self.phi.get(e1, u).clone();
+        let b = self.phi.get(e, v).clone() * self.phi.get(e2, v).clone();
+        let c = self.phi.get(e1, w).clone() * self.phi.get(e2, w).clone();
+
+        let k = self.inst.variable(x).num_values();
+        // Candidate triples, most robustly representable first.
+        let mut candidates: Vec<(T, usize, (T, T, T))> = (0..k)
+            .map(|y| {
+                let sa = self.inc(u, x, y) * a.clone();
+                let sb = self.inc(v, x, y) * b.clone();
+                let sc = self.inc(w, x, y) * c.clone();
+                (representability_score(&sa, &sb, &sc), y, (sa, sb, sc))
+            })
+            .collect();
+        match self.rule {
+            ValueRule::BestScore => candidates.sort_by(|(s1, y1, _), (s2, y2, _)| {
+                s2.partial_cmp(s1).expect("finite scores").then(y1.cmp(y2))
+            }),
+            ValueRule::FirstFeasible => {
+                // Keep index order, but move non-representable triples to
+                // the back (still sorted by score there) so the fallback
+                // below remains the best available option.
+                candidates.sort_by(|(s1, y1, _), (s2, y2, _)| {
+                    let r1 = *s1 >= T::zero();
+                    let r2 = *s2 >= T::zero();
+                    r2.cmp(&r1)
+                        .then(if r1 && r2 {
+                            y1.cmp(y2)
+                        } else {
+                            s2.partial_cmp(s1).expect("finite scores")
+                        })
+                        .then(y1.cmp(y2))
+                });
+            }
+        }
+
+        for (_, y, (sa, sb, sc)) in &candidates {
+            if let Some(d) = decompose(sa, sb, sc) {
+                self.phi.set(e, u, d.a1);
+                self.phi.set(e1, u, d.a2);
+                self.phi.set(e, v, d.b1);
+                self.phi.set(e2, v, d.b3);
+                self.phi.set(e1, w, d.c2);
+                self.phi.set(e2, w, d.c3);
+                return *y;
+            }
+        }
+
+        // Above the threshold (or, for f64, on a razor-thin boundary) no
+        // candidate decomposes: fall back to a multiplicative update that
+        // keeps sub-property (2) — each node's φ-product scales by its
+        // Inc — but may break the pair sums of sub-property (1).
+        self.invariant_intact = false;
+        let (_, y, (sa, sb, sc)) = candidates.into_iter().next().expect("k >= 1 values");
+        let scale = |target: T, denom: &T| {
+            if denom.is_zero() {
+                T::zero()
+            } else {
+                target / denom.clone()
+            }
+        };
+        let new_a1 = scale(sa, &self.phi.get(e1, u).clone());
+        self.phi.set(e, u, new_a1);
+        let new_b1 = scale(sb, &self.phi.get(e2, v).clone());
+        self.phi.set(e, v, new_b1);
+        let new_c2 = scale(sc, &self.phi.get(e2, w).clone());
+        self.phi.set(e1, w, new_c2);
+        y
+    }
+
+    /// Runs the process over the given variable order (must enumerate
+    /// every variable exactly once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the order re-fixes or misses a variable.
+    pub fn run(mut self, order: impl IntoIterator<Item = usize>) -> FixReport {
+        for x in order {
+            self.fix_variable(x);
+        }
+        assert!(self.partial.is_complete(), "order must cover all variables");
+        self.into_report()
+    }
+
+    /// Runs the process in variable-id order.
+    pub fn run_default(self) -> FixReport {
+        let m = self.inst.num_variables();
+        self.run(0..m)
+    }
+
+    /// Finalizes into a report (all variables must be fixed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some variable is unfixed.
+    pub fn into_report(self) -> FixReport {
+        let assignment = self.partial.into_complete();
+        let violated =
+            self.inst.violated_events(&assignment).expect("assignment is complete and in range");
+        FixReport::new(assignment, violated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::audit_p_star;
+    use crate::instance::InstanceBuilder;
+    use lll_numeric::BigRational;
+    use rand::seq::SliceRandom;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// Hyper-ring instance: variable i (k-valued, fair) affects events
+    /// {i, i+1, i+2}; the event at node j occurs iff its three variables
+    /// all take value 0. p = k^-3, d = 4 ⇒ criterion needs k³ > 16.
+    fn hyper_ring_instance<T: Num>(n: usize, k: usize) -> Instance<T> {
+        let mut b = InstanceBuilder::<T>::new(n);
+        let vars: Vec<usize> =
+            (0..n).map(|i| b.add_uniform_variable(&[i, (i + 1) % n, (i + 2) % n], k)).collect();
+        for j in 0..n {
+            let (x1, x2, x3) = (vars[(j + n - 2) % n], vars[(j + n - 1) % n], vars[j]);
+            b.set_event_predicate(j, move |vals| {
+                vals[x1] == 0 && vals[x2] == 0 && vals[x3] == 0
+            });
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn solves_hyper_ring_below_threshold() {
+        let inst = hyper_ring_instance::<BigRational>(12, 3); // 1/27 · 2^4 < 1
+        assert_eq!(inst.max_dependency_degree(), 4);
+        assert!(inst.satisfies_exponential_criterion());
+        let report = Fixer3::new(&inst).unwrap().run_default();
+        assert!(report.is_success(), "violated: {:?}", report.violated_events());
+        assert!(inst.no_event_occurs(report.assignment()).unwrap());
+    }
+
+    #[test]
+    fn order_oblivious_with_exact_p_star_audit() {
+        let inst = hyper_ring_instance::<BigRational>(9, 3);
+        let p = inst.max_event_probability();
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..5 {
+            let mut order: Vec<usize> = (0..inst.num_variables()).collect();
+            order.shuffle(&mut rng);
+            let mut fixer = Fixer3::new(&inst).unwrap();
+            for &x in &order {
+                fixer.fix_variable(x);
+                let audit =
+                    audit_p_star(&inst, fixer.partial(), fixer.phi(), &p, &BigRational::zero());
+                assert!(audit.holds(), "trial {trial}: P* broken after fixing {x}: {audit:?}");
+            }
+            assert!(fixer.invariant_intact());
+            let report = fixer.into_report();
+            assert!(report.is_success(), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn first_feasible_rule_also_succeeds() {
+        let inst = hyper_ring_instance::<BigRational>(10, 3);
+        let report =
+            Fixer3::new(&inst).unwrap().with_rule(ValueRule::FirstFeasible).run_default();
+        assert!(report.is_success());
+    }
+
+    #[test]
+    fn mixed_ranks_in_one_instance() {
+        // Rank 1, 2 and 3 variables together; events demand specific
+        // joint values, each with probability at most 1/27; d = 2.
+        let mut b = InstanceBuilder::<BigRational>::new(3);
+        let r1 = b.add_uniform_variable(&[0], 27);
+        let r2 = b.add_uniform_variable(&[0, 1], 9);
+        let r3 = b.add_uniform_variable(&[0, 1, 2], 3);
+        b.set_event_predicate(0, move |vals| vals[r1] == 0 && vals[r2] == 0 && vals[r3] == 0);
+        b.set_event_predicate(1, move |vals| vals[r2] == 1 && vals[r3] == 1);
+        b.set_event_predicate(2, move |vals| vals[r3] == 2);
+        let inst = b.build().unwrap();
+        assert_eq!(inst.max_rank(), 3);
+        // p = max(1/2187, 1/27, 1/3) = 1/3... too big for d = 2 (needs
+        // < 1/4): sharpen event 2 to a rarer predicate below.
+        let mut b = InstanceBuilder::<BigRational>::new(3);
+        let r1 = b.add_uniform_variable(&[0], 27);
+        let r2 = b.add_uniform_variable(&[0, 1], 9);
+        let r3 = b.add_uniform_variable(&[0, 1, 2], 9);
+        b.set_event_predicate(0, move |vals| vals[r1] == 0 && vals[r2] == 0 && vals[r3] == 0);
+        b.set_event_predicate(1, move |vals| vals[r2] == 1 && vals[r3] == 1);
+        b.set_event_predicate(2, move |vals| vals[r3] == 2);
+        let inst = b.build().unwrap();
+        // p = 1/9 < 2^-2? 1/9 < 1/4 yes.
+        assert!(inst.satisfies_exponential_criterion());
+        for order in [vec![0, 1, 2], vec![2, 1, 0], vec![1, 2, 0]] {
+            let report = Fixer3::new(&inst).unwrap().run(order.clone());
+            assert!(report.is_success(), "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn multiple_variables_per_hyperedge() {
+        // The paper remarks that several variables on the same three
+        // events can be processed individually — the φ bookkeeping
+        // absorbs repeated fixings of the same triangle.
+        let mut b = InstanceBuilder::<BigRational>::new(3);
+        let x = b.add_uniform_variable(&[0, 1, 2], 4);
+        let y = b.add_uniform_variable(&[0, 1, 2], 4);
+        let z = b.add_uniform_variable(&[0, 1, 2], 4);
+        b.set_event_predicate(0, move |vals| vals[x] == 0 && vals[y] == 0 && vals[z] == 0);
+        b.set_event_predicate(1, move |vals| vals[x] == 1 && vals[y] == 1 && vals[z] == 1);
+        b.set_event_predicate(2, move |vals| vals[x] == 2 && vals[y] == 2 && vals[z] == 2);
+        let inst = b.build().unwrap();
+        // p = 1/64 < 2^-2.
+        assert!(inst.satisfies_exponential_criterion());
+        let p = inst.max_event_probability();
+        let mut fixer = Fixer3::new(&inst).unwrap();
+        for v in 0..3 {
+            fixer.fix_variable(v);
+            let audit =
+                audit_p_star(&inst, fixer.partial(), fixer.phi(), &p, &BigRational::zero());
+            assert!(audit.holds(), "after variable {v}: {audit:?}");
+        }
+        assert!(fixer.into_report().is_success());
+    }
+
+    #[test]
+    fn rejects_rank4() {
+        let mut b = InstanceBuilder::<f64>::new(4);
+        b.add_uniform_variable(&[0, 1, 2, 3], 2);
+        let inst = b.build().unwrap();
+        assert!(matches!(
+            Fixer3::new(&inst),
+            Err(FixerError::RankTooLarge { found: 4, supported: 3 })
+        ));
+    }
+
+    #[test]
+    fn at_threshold_unchecked_still_completes() {
+        let inst = hyper_ring_instance::<BigRational>(8, 2); // 1/8·2^4 = 2 ≥ 1
+        assert!(!inst.satisfies_exponential_criterion());
+        assert!(matches!(Fixer3::new(&inst), Err(FixerError::CriterionViolated { .. })));
+        let report = Fixer3::new_unchecked(&inst).unwrap().run_default();
+        assert_eq!(report.assignment().len(), 8);
+    }
+
+    #[test]
+    fn f64_backend_succeeds_on_hyper_ring() {
+        let inst = hyper_ring_instance::<f64>(15, 3);
+        let report = Fixer3::new(&inst).unwrap().run_default();
+        assert!(report.is_success(), "violated: {:?}", report.violated_events());
+    }
+
+    #[test]
+    fn f64_and_exact_choose_identically_on_hyper_ring() {
+        let fe = Fixer3::new_unchecked(&hyper_ring_instance::<BigRational>(10, 3))
+            .unwrap()
+            .run_default();
+        let ff = Fixer3::new_unchecked(&hyper_ring_instance::<f64>(10, 3))
+            .unwrap()
+            .run_default();
+        assert_eq!(fe.assignment(), ff.assignment());
+    }
+}

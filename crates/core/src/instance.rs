@@ -1,0 +1,854 @@
+//! LLL instances: discrete random variables, bad events, and the exact
+//! conditional-probability engine.
+
+use std::fmt;
+use std::ops::Index;
+use std::sync::Arc;
+
+use lll_graphs::{Graph, GraphBuilder, Hyperedge, Hypergraph};
+use lll_numeric::Num;
+
+use crate::error::BuildError;
+
+/// Threshold on the truth-table size below which event predicates are
+/// precomputed into a lookup table (pure optimization; semantics are
+/// unchanged).
+const TABLE_LIMIT: usize = 1 << 15;
+
+/// A view of the values assigned to the support variables of an event,
+/// indexable by variable id.
+///
+/// Passed to event predicates; `vals[x]` is the value of variable `x`,
+/// which must belong to the event's support.
+#[derive(Debug, Clone, Copy)]
+pub struct VarValues<'a> {
+    support: &'a [usize],
+    values: &'a [usize],
+}
+
+impl Index<usize> for VarValues<'_> {
+    type Output = usize;
+
+    /// # Panics
+    ///
+    /// Panics if `var` is not in the event's support.
+    fn index(&self, var: usize) -> &usize {
+        let pos = self
+            .support
+            .binary_search(&var)
+            .unwrap_or_else(|_| panic!("variable {var} is not in this event's support"));
+        &self.values[pos]
+    }
+}
+
+type Predicate = Arc<dyn Fn(&VarValues<'_>) -> bool + Send + Sync>;
+
+/// A discrete random variable of the instance.
+#[derive(Clone)]
+pub struct Variable<T> {
+    probs: Vec<T>,
+    affects: Vec<usize>,
+}
+
+impl<T: Num> Variable<T> {
+    /// Number of values the variable can assume (values are `0..k`).
+    pub fn num_values(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Probability of value `y`.
+    pub fn prob(&self, y: usize) -> &T {
+        &self.probs[y]
+    }
+
+    /// The events this variable affects (sorted). Its length is the
+    /// variable's *rank* — the paper's parameter `r` bounds this.
+    pub fn affects(&self) -> &[usize] {
+        &self.affects
+    }
+
+    /// Rank of the variable (`affects().len()`).
+    pub fn rank(&self) -> usize {
+        self.affects.len()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Variable<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Variable")
+            .field("probs", &self.probs)
+            .field("affects", &self.affects)
+            .finish()
+    }
+}
+
+/// A bad event of the instance.
+#[derive(Clone)]
+pub struct Event<T> {
+    support: Vec<usize>,
+    predicate: Predicate,
+    /// Mixed-radix truth table over support values (small supports only).
+    table: Option<Vec<bool>>,
+    /// Strides for table indexing, aligned with `support`.
+    strides: Vec<usize>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Num> Event<T> {
+    /// The variables the event depends on (sorted ascending).
+    pub fn support(&self) -> &[usize] {
+        &self.support
+    }
+
+    /// Evaluates the event: does it occur under these support values?
+    ///
+    /// `values[i]` is the value of `support()[i]`.
+    pub fn occurs(&self, values: &[usize]) -> bool {
+        debug_assert_eq!(values.len(), self.support.len());
+        if let Some(table) = &self.table {
+            let idx: usize =
+                values.iter().zip(&self.strides).map(|(&v, &s)| v * s).sum();
+            table[idx]
+        } else {
+            (self.predicate)(&VarValues { support: &self.support, values })
+        }
+    }
+}
+
+impl<T> fmt::Debug for Event<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Event")
+            .field("support", &self.support)
+            .field("tabled", &self.table.is_some())
+            .finish()
+    }
+}
+
+/// A partial assignment of values to variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialAssignment {
+    values: Vec<Option<usize>>,
+    fixed: usize,
+}
+
+impl PartialAssignment {
+    /// The empty assignment over `num_vars` variables.
+    pub fn new(num_vars: usize) -> PartialAssignment {
+        PartialAssignment { values: vec![None; num_vars], fixed: 0 }
+    }
+
+    /// The value of variable `x`, if fixed.
+    pub fn get(&self, x: usize) -> Option<usize> {
+        self.values[x]
+    }
+
+    /// Fixes variable `x` to `value` (irrevocably, matching the paper's
+    /// process).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is already fixed — the fixers never re-fix.
+    pub fn fix(&mut self, x: usize, value: usize) {
+        assert!(self.values[x].is_none(), "variable {x} already fixed");
+        self.values[x] = Some(value);
+        self.fixed += 1;
+    }
+
+    /// Number of fixed variables.
+    pub fn num_fixed(&self) -> usize {
+        self.fixed
+    }
+
+    /// Whether every variable is fixed.
+    pub fn is_complete(&self) -> bool {
+        self.fixed == self.values.len()
+    }
+
+    /// Extracts the complete assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some variable is unfixed.
+    pub fn into_complete(self) -> Vec<usize> {
+        self.values
+            .into_iter()
+            .map(|v| v.expect("assignment is complete"))
+            .collect()
+    }
+}
+
+/// An immutable LLL instance.
+///
+/// Construct through [`InstanceBuilder`]. The instance owns the derived
+/// dependency graph and variable hypergraph, and provides the exact
+/// conditional-probability engine the fixers and the `P*` audit rely on.
+#[derive(Debug, Clone)]
+pub struct Instance<T> {
+    variables: Vec<Variable<T>>,
+    events: Vec<Event<T>>,
+    dependency: Graph,
+    hypergraph: Hypergraph,
+}
+
+impl<T: Num> Instance<T> {
+    /// Number of bad events.
+    pub fn num_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of random variables.
+    pub fn num_variables(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// The variable with id `x`.
+    pub fn variable(&self, x: usize) -> &Variable<T> {
+        &self.variables[x]
+    }
+
+    /// The event at node `v`.
+    pub fn event(&self, v: usize) -> &Event<T> {
+        &self.events[v]
+    }
+
+    /// Maximum rank over all variables (the paper's `r`).
+    pub fn max_rank(&self) -> usize {
+        self.variables.iter().map(Variable::rank).max().unwrap_or(0)
+    }
+
+    /// The dependency graph: events are adjacent iff they share a
+    /// variable.
+    pub fn dependency_graph(&self) -> &Graph {
+        &self.dependency
+    }
+
+    /// The variable hypergraph `H`: one hyperedge per variable,
+    /// connecting the events it affects (hyperedge index = variable id).
+    pub fn hypergraph(&self) -> &Hypergraph {
+        &self.hypergraph
+    }
+
+    /// Maximum dependency degree `d` — the `d` of the criterion
+    /// `p < 2^-d`.
+    pub fn max_dependency_degree(&self) -> usize {
+        self.dependency.max_degree()
+    }
+
+    /// Conditional probability of event `v` given the fixed variables of
+    /// `partial` (unfixed variables keep their distribution).
+    ///
+    /// Exact for exact backends: enumerates the product distribution of
+    /// the unfixed support variables — the cost is exponential in the
+    /// number of *unfixed* support variables (`Π k_x`), which is what
+    /// bounded dependency degree keeps small in every LLL workload.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lll_core::{InstanceBuilder, PartialAssignment};
+    /// use lll_numeric::BigRational;
+    ///
+    /// let mut b = InstanceBuilder::<BigRational>::new(1);
+    /// let x = b.add_uniform_variable(&[0], 2);
+    /// let y = b.add_uniform_variable(&[0], 2);
+    /// b.set_event_predicate(0, move |vals| vals[x] == 0 && vals[y] == 0);
+    /// let inst = b.build()?;
+    ///
+    /// let mut partial = PartialAssignment::new(2);
+    /// assert_eq!(inst.probability(0, &partial), BigRational::from_ratio(1, 4));
+    /// partial.fix(x, 0); // conditioning doubles the probability
+    /// assert_eq!(inst.probability(0, &partial), BigRational::from_ratio(1, 2));
+    /// # Ok::<(), lll_core::BuildError>(())
+    /// ```
+    pub fn probability(&self, v: usize, partial: &PartialAssignment) -> T {
+        self.prob_impl(v, |x| partial.get(x))
+    }
+
+    /// Conditional probability of event `v` given `partial` *and* the
+    /// hypothetical additional fix `var = value` — the quantity inside
+    /// the paper's increase factor `Inc(v, y)`, without cloning the
+    /// assignment.
+    pub fn probability_with(
+        &self,
+        v: usize,
+        partial: &PartialAssignment,
+        var: usize,
+        value: usize,
+    ) -> T {
+        self.prob_impl(v, |x| if x == var { Some(value) } else { partial.get(x) })
+    }
+
+    fn prob_impl(&self, v: usize, lookup: impl Fn(usize) -> Option<usize>) -> T {
+        let event = &self.events[v];
+        let support = &event.support;
+        let mut values: Vec<usize> = vec![0; support.len()];
+        let mut free: Vec<usize> = Vec::new(); // positions in support
+        for (pos, &x) in support.iter().enumerate() {
+            match lookup(x) {
+                Some(val) => values[pos] = val,
+                None => free.push(pos),
+            }
+        }
+        if free.is_empty() {
+            return if event.occurs(&values) { T::one() } else { T::zero() };
+        }
+        // Odometer over the free positions.
+        let mut total = T::zero();
+        let mut counters = vec![0usize; free.len()];
+        loop {
+            for (ci, &pos) in free.iter().enumerate() {
+                values[pos] = counters[ci];
+            }
+            if event.occurs(&values) {
+                let mut w = T::one();
+                for (ci, &pos) in free.iter().enumerate() {
+                    w = w * self.variables[support[pos]].probs[counters[ci]].clone();
+                }
+                total = total + w;
+            }
+            // increment odometer
+            let mut ci = 0;
+            loop {
+                if ci == free.len() {
+                    return total;
+                }
+                counters[ci] += 1;
+                if counters[ci] < self.variables[support[free[ci]]].num_values() {
+                    break;
+                }
+                counters[ci] = 0;
+                ci += 1;
+            }
+        }
+    }
+
+    /// Unconditional probability of event `v`.
+    pub fn unconditional_probability(&self, v: usize) -> T {
+        self.probability(v, &PartialAssignment::new(self.num_variables()))
+    }
+
+    /// The maximum unconditional event probability `p`.
+    pub fn max_event_probability(&self) -> T {
+        let mut best = T::zero();
+        for v in 0..self.num_events() {
+            let p = self.unconditional_probability(v);
+            if p > best {
+                best = p;
+            }
+        }
+        best
+    }
+
+    /// The criterion value `p · 2^d`; the paper's sharp threshold sits at
+    /// exactly 1.
+    pub fn criterion_value(&self) -> T {
+        let mut c = self.max_event_probability();
+        for _ in 0..self.max_dependency_degree() {
+            c = c * T::from_ratio(2, 1);
+        }
+        c
+    }
+
+    /// Whether the exponential criterion `p < 2^-d` holds (the regime of
+    /// Theorems 1.1/1.3).
+    pub fn satisfies_exponential_criterion(&self) -> bool {
+        self.criterion_value() < T::one()
+    }
+
+    /// Whether the classic symmetric LLL criterion `e·p·(d+1) < 1` holds
+    /// (the regime of the Moser–Tardos baseline). Evaluated in `f64` —
+    /// `e` is irrational, and nothing downstream needs this exactly.
+    pub fn satisfies_classic_criterion(&self) -> bool {
+        let p = self.max_event_probability().to_f64();
+        let d = self.max_dependency_degree() as f64;
+        std::f64::consts::E * p * (d + 1.0) < 1.0
+    }
+
+    /// Whether the Chung–Pettie–Su polynomial criterion `e·p·d² < 1`
+    /// holds (the regime of their `O(log_{1/epd²} n)` algorithm the
+    /// paper's related-work section discusses). Evaluated in `f64`.
+    pub fn satisfies_cps_criterion(&self) -> bool {
+        let p = self.max_event_probability().to_f64();
+        let d = self.max_dependency_degree() as f64;
+        std::f64::consts::E * p * d * d < 1.0
+    }
+
+    /// A one-stop summary of the instance's LLL parameters, for display
+    /// and logging.
+    pub fn summary(&self) -> InstanceSummary {
+        InstanceSummary {
+            num_events: self.num_events(),
+            num_variables: self.num_variables(),
+            max_rank: self.max_rank(),
+            max_dependency_degree: self.max_dependency_degree(),
+            max_event_probability: self.max_event_probability().to_f64(),
+            criterion_value: self.criterion_value().to_f64(),
+            exponential_criterion: self.satisfies_exponential_criterion(),
+            classic_criterion: self.satisfies_classic_criterion(),
+        }
+    }
+
+    /// Events occurring under a complete assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::InvalidAssignment`] if the assignment has
+    /// the wrong length or an out-of-range value.
+    pub fn violated_events(&self, assignment: &[usize]) -> Result<Vec<usize>, BuildError> {
+        if assignment.len() != self.num_variables() {
+            return Err(BuildError::InvalidAssignment(format!(
+                "assignment length {} != {} variables",
+                assignment.len(),
+                self.num_variables()
+            )));
+        }
+        for (x, &val) in assignment.iter().enumerate() {
+            if val >= self.variables[x].num_values() {
+                return Err(BuildError::InvalidAssignment(format!(
+                    "value {val} out of range for variable {x}"
+                )));
+            }
+        }
+        let mut bad = Vec::new();
+        for (v, event) in self.events.iter().enumerate() {
+            let values: Vec<usize> = event.support.iter().map(|&x| assignment[x]).collect();
+            if event.occurs(&values) {
+                bad.push(v);
+            }
+        }
+        Ok(bad)
+    }
+
+    /// Whether no bad event occurs under a complete assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::InvalidAssignment`] on malformed input.
+    pub fn no_event_occurs(&self, assignment: &[usize]) -> Result<bool, BuildError> {
+        Ok(self.violated_events(assignment)?.is_empty())
+    }
+}
+
+/// Summary of an instance's LLL parameters (see [`Instance::summary`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceSummary {
+    /// Number of bad events.
+    pub num_events: usize,
+    /// Number of random variables.
+    pub num_variables: usize,
+    /// Maximum variable rank `r`.
+    pub max_rank: usize,
+    /// Maximum dependency degree `d`.
+    pub max_dependency_degree: usize,
+    /// Maximum event probability `p` (as `f64` for display).
+    pub max_event_probability: f64,
+    /// The criterion value `p·2^d`.
+    pub criterion_value: f64,
+    /// Whether `p < 2^-d` holds.
+    pub exponential_criterion: bool,
+    /// Whether `e·p·(d+1) < 1` holds.
+    pub classic_criterion: bool,
+}
+
+impl fmt::Display for InstanceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "events:            {}", self.num_events)?;
+        writeln!(f, "variables:         {}", self.num_variables)?;
+        writeln!(f, "max rank r:        {}", self.max_rank)?;
+        writeln!(f, "dependency deg d:  {}", self.max_dependency_degree)?;
+        writeln!(f, "max event prob p:  {:.6}", self.max_event_probability)?;
+        writeln!(f, "criterion p*2^d:   {:.6}", self.criterion_value)?;
+        writeln!(f, "sharp criterion:   {}", self.exponential_criterion)?;
+        write!(f, "classic criterion: {}", self.classic_criterion)
+    }
+}
+
+/// Builder for [`Instance`].
+///
+/// The number of events is fixed up front; variables are added with the
+/// list of events they affect; predicates are attached per event (the
+/// default predicate never occurs). See the crate-level example.
+pub struct InstanceBuilder<T> {
+    num_events: usize,
+    variables: Vec<(Vec<usize>, Vec<T>)>,
+    predicates: Vec<Option<Predicate>>,
+}
+
+impl<T: Num> InstanceBuilder<T> {
+    /// Starts an instance with `num_events` bad events.
+    pub fn new(num_events: usize) -> InstanceBuilder<T> {
+        InstanceBuilder {
+            num_events,
+            variables: Vec::new(),
+            predicates: vec![None; num_events],
+        }
+    }
+
+    /// Adds a variable with explicit value probabilities; returns its id.
+    ///
+    /// `affects` lists the events depending on the variable (its rank is
+    /// `affects.len()` after deduplication). Validation happens in
+    /// [`InstanceBuilder::build`].
+    pub fn add_variable(&mut self, affects: &[usize], probs: Vec<T>) -> usize {
+        let mut a = affects.to_vec();
+        a.sort_unstable();
+        a.dedup();
+        self.variables.push((a, probs));
+        self.variables.len() - 1
+    }
+
+    /// Adds a uniform variable over `k` values; returns its id.
+    pub fn add_uniform_variable(&mut self, affects: &[usize], k: usize) -> usize {
+        let probs = (0..k).map(|_| T::from_ratio(1, k as u64)).collect();
+        self.add_variable(affects, probs)
+    }
+
+    /// Sets the predicate of event `v` (replacing any previous one).
+    ///
+    /// The predicate receives the values of the event's support variables
+    /// and returns `true` iff the bad event occurs.
+    pub fn set_event_predicate<F>(&mut self, v: usize, pred: F) -> &mut Self
+    where
+        F: Fn(&VarValues<'_>) -> bool + Send + Sync + 'static,
+    {
+        self.predicates[v] = Some(Arc::new(pred));
+        self
+    }
+
+    /// Finalizes the instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] if a variable affects an out-of-range or
+    /// empty event set, has no values, has a non-positive probability, or
+    /// probabilities that do not sum to 1 (exactly for exact backends,
+    /// within `1e-9` for `f64`).
+    pub fn build(&self) -> Result<Instance<T>, BuildError> {
+        // Validate variables.
+        for (x, (affects, probs)) in self.variables.iter().enumerate() {
+            if affects.is_empty() {
+                return Err(BuildError::EmptyAffects(x));
+            }
+            if let Some(&v) = affects.iter().find(|&&v| v >= self.num_events) {
+                return Err(BuildError::EventOutOfRange { variable: x, event: v });
+            }
+            if probs.is_empty() {
+                return Err(BuildError::NoValues(x));
+            }
+            let mut sum = T::zero();
+            for p in probs {
+                if !p.is_positive() {
+                    return Err(BuildError::NonPositiveProbability(x));
+                }
+                sum = sum + p.clone();
+            }
+            let ok = if T::is_exact() {
+                sum == T::one()
+            } else {
+                (sum.to_f64() - 1.0).abs() <= 1e-9
+            };
+            if !ok {
+                return Err(BuildError::BadProbabilitySum(x));
+            }
+        }
+
+        // Support of each event = variables affecting it, ascending.
+        let mut supports: Vec<Vec<usize>> = vec![Vec::new(); self.num_events];
+        for (x, (affects, _)) in self.variables.iter().enumerate() {
+            for &v in affects {
+                supports[v].push(x);
+            }
+        }
+
+        let variables: Vec<Variable<T>> = self
+            .variables
+            .iter()
+            .map(|(affects, probs)| Variable { probs: probs.clone(), affects: affects.clone() })
+            .collect();
+
+        let mut events = Vec::with_capacity(self.num_events);
+        for (v, support) in supports.into_iter().enumerate() {
+            let predicate: Predicate =
+                self.predicates[v].clone().unwrap_or_else(|| Arc::new(|_| false));
+            // Truth-table precomputation for small supports.
+            let mut strides = vec![0usize; support.len()];
+            let mut size: usize = 1;
+            let mut fits = true;
+            for (pos, &x) in support.iter().enumerate() {
+                strides[pos] = size;
+                size = match size.checked_mul(variables[x].num_values()) {
+                    Some(s) if s <= TABLE_LIMIT => s,
+                    _ => {
+                        fits = false;
+                        break;
+                    }
+                };
+            }
+            let table = if fits {
+                let mut table = vec![false; size];
+                let mut values = vec![0usize; support.len()];
+                for (idx, slot) in table.iter_mut().enumerate() {
+                    let mut rest = idx;
+                    for (pos, &x) in support.iter().enumerate() {
+                        values[pos] = rest % variables[x].num_values();
+                        rest /= variables[x].num_values();
+                    }
+                    *slot = predicate(&VarValues { support: &support, values: &values });
+                }
+                Some(table)
+            } else {
+                None
+            };
+            events.push(Event {
+                support,
+                predicate,
+                table,
+                strides,
+                _marker: std::marker::PhantomData,
+            });
+        }
+
+        // Dependency graph & hypergraph.
+        let mut gb = GraphBuilder::new(self.num_events);
+        let mut hyperedges = Vec::with_capacity(variables.len());
+        let mut max_rank = 1;
+        for var in &variables {
+            let a = &var.affects;
+            max_rank = max_rank.max(a.len());
+            hyperedges.push(Hyperedge::new(a.iter().copied()));
+            for i in 0..a.len() {
+                for j in i + 1..a.len() {
+                    gb.add_edge(a[i], a[j]);
+                }
+            }
+        }
+        let dependency = gb.build().expect("validated event indices");
+        let hypergraph = Hypergraph::new(self.num_events, hyperedges, max_rank)
+            .expect("validated event indices");
+
+        Ok(Instance { variables, events, dependency, hypergraph })
+    }
+}
+
+impl<T: Num> fmt::Debug for InstanceBuilder<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InstanceBuilder")
+            .field("num_events", &self.num_events)
+            .field("num_variables", &self.variables.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lll_numeric::BigRational;
+
+    /// Two events, one shared fair coin plus one private coin each; event
+    /// occurs iff both its coins are heads (value 0).
+    fn two_event_instance<T: Num>() -> Instance<T> {
+        let mut b = InstanceBuilder::<T>::new(2);
+        let shared = b.add_uniform_variable(&[0, 1], 2);
+        let p0 = b.add_uniform_variable(&[0], 2);
+        let p1 = b.add_uniform_variable(&[1], 2);
+        b.set_event_predicate(0, move |vals| vals[shared] == 0 && vals[p0] == 0);
+        b.set_event_predicate(1, move |vals| vals[shared] == 0 && vals[p1] == 0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_dependency_structures() {
+        let inst = two_event_instance::<f64>();
+        assert_eq!(inst.num_events(), 2);
+        assert_eq!(inst.num_variables(), 3);
+        assert_eq!(inst.max_rank(), 2);
+        assert!(inst.dependency_graph().has_edge(0, 1));
+        assert_eq!(inst.max_dependency_degree(), 1);
+        assert_eq!(inst.hypergraph().num_edges(), 3);
+        assert_eq!(inst.hypergraph().edge(0).nodes(), &[0, 1]);
+    }
+
+    #[test]
+    fn exact_probabilities() {
+        let inst = two_event_instance::<BigRational>();
+        let empty = PartialAssignment::new(3);
+        assert_eq!(inst.probability(0, &empty), BigRational::from_ratio(1, 4));
+        assert_eq!(inst.max_event_probability(), BigRational::from_ratio(1, 4));
+        // criterion: p·2^d = 1/4 · 2 = 1/2 < 1
+        assert_eq!(inst.criterion_value(), BigRational::from_ratio(1, 2));
+        assert!(inst.satisfies_exponential_criterion());
+        // CPS: e·(1/4)·1 < 1 holds; classic: e·(1/4)·2 > 1 fails.
+        assert!(inst.satisfies_cps_criterion());
+        assert!(!inst.satisfies_classic_criterion());
+
+        // Condition on the shared coin being heads.
+        let mut partial = PartialAssignment::new(3);
+        partial.fix(0, 0);
+        assert_eq!(inst.probability(0, &partial), BigRational::from_ratio(1, 2));
+        // Condition on the shared coin being tails: impossible.
+        let mut partial = PartialAssignment::new(3);
+        partial.fix(0, 1);
+        assert_eq!(inst.probability(0, &partial), BigRational::zero());
+        // Fully fixed.
+        let mut partial = PartialAssignment::new(3);
+        partial.fix(0, 0);
+        partial.fix(1, 0);
+        partial.fix(2, 1);
+        assert_eq!(inst.probability(0, &partial), BigRational::one());
+        assert_eq!(inst.probability(1, &partial), BigRational::zero());
+    }
+
+    #[test]
+    fn f64_probabilities_match_exact() {
+        let f = two_event_instance::<f64>();
+        let r = two_event_instance::<BigRational>();
+        let empty_f = PartialAssignment::new(3);
+        for v in 0..2 {
+            let pf = f.probability(v, &empty_f);
+            let pr = r.probability(v, &empty_f).to_f64();
+            assert!((pf - pr).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn violated_events_and_validation() {
+        let inst = two_event_instance::<f64>();
+        assert_eq!(inst.violated_events(&[0, 0, 1]).unwrap(), vec![0]);
+        assert_eq!(inst.violated_events(&[0, 0, 0]).unwrap(), vec![0, 1]);
+        assert_eq!(inst.violated_events(&[1, 0, 0]).unwrap(), Vec::<usize>::new());
+        assert!(inst.no_event_occurs(&[1, 0, 0]).unwrap());
+        assert!(inst.violated_events(&[0, 0]).is_err());
+        assert!(inst.violated_events(&[0, 0, 2]).is_err());
+    }
+
+    #[test]
+    fn default_predicate_never_occurs() {
+        let mut b = InstanceBuilder::<f64>::new(1);
+        b.add_uniform_variable(&[0], 2);
+        let inst = b.build().unwrap();
+        assert_eq!(inst.unconditional_probability(0), 0.0);
+        assert!(inst.no_event_occurs(&[1]).unwrap());
+    }
+
+    #[test]
+    fn empty_support_events() {
+        let b = InstanceBuilder::<f64>::new(1);
+        let inst = b.build().unwrap();
+        assert_eq!(inst.unconditional_probability(0), 0.0);
+        assert_eq!(inst.max_dependency_degree(), 0);
+    }
+
+    #[test]
+    fn build_validation_errors() {
+        let mut b = InstanceBuilder::<f64>::new(1);
+        b.add_variable(&[], vec![1.0]);
+        assert!(matches!(b.build(), Err(BuildError::EmptyAffects(0))));
+
+        let mut b = InstanceBuilder::<f64>::new(1);
+        b.add_variable(&[3], vec![1.0]);
+        assert!(matches!(b.build(), Err(BuildError::EventOutOfRange { variable: 0, event: 3 })));
+
+        let mut b = InstanceBuilder::<f64>::new(1);
+        b.add_variable(&[0], vec![]);
+        assert!(matches!(b.build(), Err(BuildError::NoValues(0))));
+
+        let mut b = InstanceBuilder::<f64>::new(1);
+        b.add_variable(&[0], vec![0.5, 0.6]);
+        assert!(matches!(b.build(), Err(BuildError::BadProbabilitySum(0))));
+
+        let mut b = InstanceBuilder::<f64>::new(1);
+        b.add_variable(&[0], vec![1.5, -0.5]);
+        assert!(matches!(b.build(), Err(BuildError::NonPositiveProbability(0))));
+
+        let mut b = InstanceBuilder::<BigRational>::new(1);
+        b.add_variable(
+            &[0],
+            vec![BigRational::from_ratio(1, 3), BigRational::from_ratio(1, 3)],
+        );
+        assert!(matches!(b.build(), Err(BuildError::BadProbabilitySum(0))));
+    }
+
+    #[test]
+    fn duplicate_affects_are_deduplicated() {
+        let mut b = InstanceBuilder::<f64>::new(2);
+        let x = b.add_uniform_variable(&[1, 0, 1], 2);
+        let inst = b.build().unwrap();
+        assert_eq!(inst.variable(x).affects(), &[0, 1]);
+        assert_eq!(inst.variable(x).rank(), 2);
+    }
+
+    #[test]
+    fn biased_variable_probabilities() {
+        let mut b = InstanceBuilder::<BigRational>::new(1);
+        let x = b.add_variable(
+            &[0],
+            vec![BigRational::from_ratio(1, 4), BigRational::from_ratio(3, 4)],
+        );
+        b.set_event_predicate(0, move |vals| vals[x] == 0);
+        let inst = b.build().unwrap();
+        assert_eq!(inst.unconditional_probability(0), BigRational::from_ratio(1, 4));
+    }
+
+    #[test]
+    fn large_support_skips_table_but_matches() {
+        // 15 binary variables on one event -> table (2^15 > limit) skipped.
+        let mut b = InstanceBuilder::<f64>::new(1);
+        let vars: Vec<usize> = (0..15).map(|_| b.add_uniform_variable(&[0], 2)).collect();
+        let v0 = vars[0];
+        b.set_event_predicate(0, move |vals| vals[v0] == 0);
+        let inst = b.build().unwrap();
+        assert!((inst.unconditional_probability(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_reports_the_parameters() {
+        let inst = two_event_instance::<f64>();
+        let s = inst.summary();
+        assert_eq!(s.num_events, 2);
+        assert_eq!(s.num_variables, 3);
+        assert_eq!(s.max_rank, 2);
+        assert_eq!(s.max_dependency_degree, 1);
+        assert!((s.max_event_probability - 0.25).abs() < 1e-12);
+        assert!(s.exponential_criterion);
+        let text = s.to_string();
+        assert!(text.contains("criterion p*2^d"));
+        assert!(text.contains("events:            2"));
+    }
+
+    #[test]
+    fn single_valued_variables_are_legal() {
+        // k = 1 (a constant "random" variable): probability 1 on its
+        // only value; the engine and fixers must handle it.
+        let mut b = InstanceBuilder::<f64>::new(2);
+        let c = b.add_uniform_variable(&[0, 1], 1);
+        let x = b.add_uniform_variable(&[0, 1], 8);
+        b.set_event_predicate(0, move |vals| vals[c] == 0 && vals[x] == 0);
+        b.set_event_predicate(1, move |vals| vals[x] == 1);
+        let inst = b.build().unwrap();
+        assert!((inst.unconditional_probability(0) - 0.125).abs() < 1e-12);
+        let report = crate::Fixer3::new(&inst).unwrap().run_default();
+        assert!(report.is_success());
+    }
+
+    #[test]
+    fn partial_assignment_bookkeeping() {
+        let mut pa = PartialAssignment::new(3);
+        assert_eq!(pa.num_fixed(), 0);
+        assert!(!pa.is_complete());
+        pa.fix(1, 7);
+        assert_eq!(pa.get(1), Some(7));
+        assert_eq!(pa.get(0), None);
+        pa.fix(0, 1);
+        pa.fix(2, 0);
+        assert!(pa.is_complete());
+        assert_eq!(pa.into_complete(), vec![1, 7, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already fixed")]
+    fn refixing_panics() {
+        let mut pa = PartialAssignment::new(1);
+        pa.fix(0, 0);
+        pa.fix(0, 1);
+    }
+}

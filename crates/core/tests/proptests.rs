@@ -1,0 +1,136 @@
+//! Crate-level property tests for `lll-core`: the probability engine and
+//! the `P*` bookkeeping under randomized small instances.
+//!
+//! (Cross-crate properties — fixers on generated topologies, geometry of
+//! `S_rep` — live in the workspace-root `tests/`; these focus on the
+//! engine itself.)
+
+use lll_core::{Fixer2, Fixer3, Instance, InstanceBuilder, PartialAssignment};
+use lll_numeric::BigRational;
+use proptest::prelude::*;
+
+fn q(n: i64, d: u64) -> BigRational {
+    BigRational::from_ratio(n, d)
+}
+
+/// A tiny random instance: 3 events, 3–5 variables of rank ≤ 3 with
+/// random supports and random single-point bad sets.
+fn small_instance(var_specs: &[(u8, u8)], patterns: &[u8]) -> Instance<BigRational> {
+    let mut b = InstanceBuilder::<BigRational>::new(3);
+    let mut var_ids = Vec::new();
+    for &(affects_mask, k) in var_specs {
+        let affects: Vec<usize> =
+            (0..3).filter(|&v| (affects_mask >> v) & 1 == 1).collect();
+        let affects = if affects.is_empty() { vec![0] } else { affects };
+        let k = 2 + (k % 4) as usize;
+        var_ids.push((b.add_uniform_variable(&affects, k), k));
+    }
+    for v in 0..3usize {
+        let supp: Vec<(usize, usize)> = var_ids
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| {
+                let mask = var_specs[i].0;
+                let affects: Vec<usize> =
+                    (0..3).filter(|&w| (mask >> w) & 1 == 1).collect();
+                let affects = if affects.is_empty() { vec![0] } else { affects };
+                affects.contains(&v)
+            })
+            .map(|(i, &(id, k))| (id, patterns[i % patterns.len()] as usize % k))
+            .collect();
+        b.set_event_predicate(v, move |vals| {
+            !supp.is_empty() && supp.iter().all(|&(x, want)| vals[x] == want)
+        });
+    }
+    b.build().expect("valid instance")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Law of total probability: conditioning on every value of a
+    /// variable and re-weighting recovers the unconditional probability.
+    #[test]
+    fn law_of_total_probability(
+        specs in prop::collection::vec((0u8..8, any::<u8>()), 3..6),
+        patterns in prop::collection::vec(any::<u8>(), 3),
+    ) {
+        let inst = small_instance(&specs, &patterns);
+        let empty = PartialAssignment::new(inst.num_variables());
+        for v in 0..inst.num_events() {
+            let total = inst.probability(v, &empty);
+            for x in 0..inst.num_variables() {
+                let var = inst.variable(x);
+                let mut recomposed = BigRational::zero();
+                for y in 0..var.num_values() {
+                    recomposed = &recomposed
+                        + &(var.prob(y) * &inst.probability_with(v, &empty, x, y));
+                }
+                prop_assert_eq!(recomposed, total.clone(), "event {}, var {}", v, x);
+            }
+        }
+    }
+
+    /// Probabilities are monotone under knowledge: fully fixing the
+    /// support collapses to 0 or 1, and the violated-events check agrees
+    /// with the collapsed probabilities.
+    #[test]
+    fn full_conditioning_collapses_to_indicator(
+        specs in prop::collection::vec((0u8..8, any::<u8>()), 3..6),
+        patterns in prop::collection::vec(any::<u8>(), 3),
+        choices in prop::collection::vec(any::<u8>(), 8),
+    ) {
+        let inst = small_instance(&specs, &patterns);
+        let mut partial = PartialAssignment::new(inst.num_variables());
+        let mut assignment = Vec::new();
+        for x in 0..inst.num_variables() {
+            let k = inst.variable(x).num_values();
+            let val = choices[x % choices.len()] as usize % k;
+            partial.fix(x, val);
+            assignment.push(val);
+        }
+        let violated = inst.violated_events(&assignment).expect("complete");
+        for v in 0..inst.num_events() {
+            let p = inst.probability(v, &partial);
+            let expect = if violated.contains(&v) { BigRational::one() } else { BigRational::zero() };
+            prop_assert_eq!(p, expect, "event {}", v);
+        }
+    }
+
+    /// Below the threshold both fixers succeed on these tiny instances
+    /// (when the rank permits); criterion checks agree across fixers.
+    #[test]
+    fn fixers_agree_on_applicability(
+        specs in prop::collection::vec((1u8..8, any::<u8>()), 3..6),
+        patterns in prop::collection::vec(any::<u8>(), 3),
+    ) {
+        let inst = small_instance(&specs, &patterns);
+        let below = inst.satisfies_exponential_criterion();
+        let f3 = Fixer3::new(&inst);
+        prop_assert_eq!(f3.is_ok(), below && inst.max_rank() <= 3);
+        if inst.max_rank() <= 2 {
+            let f2 = Fixer2::new(&inst);
+            prop_assert_eq!(f2.is_ok(), below);
+        }
+        if let Ok(fixer) = f3 {
+            let report = fixer.run_default();
+            prop_assert!(report.is_success());
+        }
+    }
+
+    /// The criterion value is consistent: p·2^d computed by the instance
+    /// equals max probability shifted by the dependency degree.
+    #[test]
+    fn criterion_arithmetic(
+        specs in prop::collection::vec((0u8..8, any::<u8>()), 3..6),
+        patterns in prop::collection::vec(any::<u8>(), 3),
+    ) {
+        let inst = small_instance(&specs, &patterns);
+        let p = inst.max_event_probability();
+        let mut expected = p;
+        for _ in 0..inst.max_dependency_degree() {
+            expected = &expected * &q(2, 1);
+        }
+        prop_assert_eq!(inst.criterion_value(), expected);
+    }
+}

@@ -1,0 +1,383 @@
+//! Workload generators: deterministic topologies and seeded random
+//! graphs/hypergraphs used by the experiments.
+//!
+//! All random generators take an explicit `seed` and are fully
+//! reproducible. Generators that use rejection sampling (random regular
+//! graphs, random 3-uniform hypergraphs, bipartite biregular graphs)
+//! return an error after a bounded number of attempts instead of looping
+//! forever on infeasible parameters.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::graph::{Graph, GraphBuilder};
+use crate::hypergraph::{Hyperedge, Hypergraph};
+
+/// Maximum number of rejection-sampling attempts before giving up.
+const MAX_ATTEMPTS: usize = 500;
+
+/// Error produced by the random generators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenError {
+    /// The requested parameters are structurally impossible
+    /// (e.g. `n*d` odd for a `d`-regular graph).
+    InvalidParameters(String),
+    /// Rejection sampling failed `MAX_ATTEMPTS` (500) times; the parameters
+    /// are likely too dense for a simple structure.
+    RetriesExhausted,
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::InvalidParameters(msg) => write!(f, "invalid generator parameters: {msg}"),
+            GenError::RetriesExhausted => write!(f, "generator retries exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+/// The cycle `C_n` (requires `n >= 3`).
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize) -> Graph {
+    assert!(n >= 3, "ring needs n >= 3");
+    Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n))).expect("ring edges are valid")
+}
+
+/// The path `P_n` on `n` nodes.
+pub fn path(n: usize) -> Graph {
+    Graph::from_edges(n, (1..n).map(|i| (i - 1, i))).expect("path edges are valid")
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            b.add_edge(u, v);
+        }
+    }
+    b.build().expect("complete graph is valid")
+}
+
+/// The `w × h` torus (4-regular; requires `w, h >= 3`).
+///
+/// # Panics
+///
+/// Panics if `w < 3` or `h < 3`.
+pub fn torus(w: usize, h: usize) -> Graph {
+    assert!(w >= 3 && h >= 3, "torus needs both dimensions >= 3");
+    let idx = |x: usize, y: usize| y * w + x;
+    let mut b = GraphBuilder::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            b.add_edge(idx(x, y), idx((x + 1) % w, y));
+            b.add_edge(idx(x, y), idx(x, (y + 1) % h));
+        }
+    }
+    b.build().expect("torus is valid")
+}
+
+/// The `dim`-dimensional hypercube `Q_dim` on `2^dim` nodes.
+pub fn hypercube(dim: u32) -> Graph {
+    let n = 1usize << dim;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for bit in 0..dim {
+            b.add_edge(v, v ^ (1 << bit));
+        }
+    }
+    b.build().expect("hypercube is valid")
+}
+
+/// A random simple `d`-regular graph on `n` nodes (configuration model
+/// with edge-switching repair).
+///
+/// The raw configuration pairing is repaired by double-edge swaps: while
+/// a self loop or parallel edge exists, it is switched with a random
+/// other pair — the standard technique that keeps the degree sequence
+/// intact and converges quickly for `d ≪ n`.
+///
+/// # Errors
+///
+/// Returns [`GenError::InvalidParameters`] if `n*d` is odd or `d >= n`,
+/// and [`GenError::RetriesExhausted`] if repair failed repeatedly.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GenError> {
+    if !(n * d).is_multiple_of(2) {
+        return Err(GenError::InvalidParameters(format!("n*d = {} is odd", n * d)));
+    }
+    if d >= n {
+        return Err(GenError::InvalidParameters(format!("d = {d} >= n = {n}")));
+    }
+    if d == 0 {
+        return Ok(Graph::empty(n));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    'attempt: for _ in 0..MAX_ATTEMPTS {
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        stubs.shuffle(&mut rng);
+        let mut edges: Vec<(usize, usize)> =
+            stubs.chunks_exact(2).map(|p| (p[0].min(p[1]), p[0].max(p[1]))).collect();
+        // Switching repair: bounded number of double-edge swaps.
+        let mut budget = 100 * edges.len() + 1000;
+        loop {
+            let mut multiplicity: BTreeSet<(usize, usize)> = BTreeSet::new();
+            let mut bad: Vec<usize> = Vec::new();
+            for (i, &e) in edges.iter().enumerate() {
+                if e.0 == e.1 || !multiplicity.insert(e) {
+                    bad.push(i);
+                }
+            }
+            if bad.is_empty() {
+                return Ok(Graph::from_edges(n, edges).expect("repaired edges are simple"));
+            }
+            for &i in &bad {
+                if budget == 0 {
+                    continue 'attempt;
+                }
+                budget -= 1;
+                let j = rng.random_range(0..edges.len());
+                if i == j {
+                    continue;
+                }
+                let (u, v) = edges[i];
+                let (x, y) = edges[j];
+                // Swap to (u, x), (v, y); orientation of the partner pair
+                // is randomized by the shuffle above over attempts.
+                let e1 = (u.min(x), u.max(x));
+                let e2 = (v.min(y), v.max(y));
+                if u != x && v != y && !edges.contains(&e1) && !edges.contains(&e2) {
+                    edges[i] = e1;
+                    edges[j] = e2;
+                }
+            }
+        }
+    }
+    Err(GenError::RetriesExhausted)
+}
+
+/// Erdős–Rényi `G(n, p)`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            if rng.random::<f64>() < p {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build().expect("gnp graph is valid")
+}
+
+/// A random simple bipartite biregular graph: sides `V = 0..nv` (degree
+/// `dv`) and `U = nv..nv+nu` (degree `du`), with `nv*dv == nu*du`.
+///
+/// Used by the weak-splitting application (`V` = constraint nodes, `U` =
+/// variable nodes of degree `r`).
+///
+/// # Errors
+///
+/// Returns [`GenError::InvalidParameters`] if the stub counts disagree,
+/// and [`GenError::RetriesExhausted`] if no simple pairing was found.
+pub fn random_bipartite_biregular(
+    nv: usize,
+    dv: usize,
+    nu: usize,
+    du: usize,
+    seed: u64,
+) -> Result<Graph, GenError> {
+    if nv * dv != nu * du {
+        return Err(GenError::InvalidParameters(format!(
+            "stub mismatch: {nv}*{dv} != {nu}*{du}"
+        )));
+    }
+    if dv > nu || du > nv {
+        return Err(GenError::InvalidParameters(
+            "degree exceeds opposite side size".to_owned(),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    'attempt: for _ in 0..MAX_ATTEMPTS {
+        let mut u_stubs: Vec<usize> =
+            (0..nu).flat_map(|u| std::iter::repeat_n(nv + u, du)).collect();
+        u_stubs.shuffle(&mut rng);
+        let mut seen = BTreeSet::new();
+        let mut k = 0;
+        for v in 0..nv {
+            for _ in 0..dv {
+                let u = u_stubs[k];
+                k += 1;
+                if !seen.insert((v, u)) {
+                    continue 'attempt;
+                }
+            }
+        }
+        return Ok(Graph::from_edges(nv + nu, seen).expect("checked bipartite edges"));
+    }
+    Err(GenError::RetriesExhausted)
+}
+
+/// The 3-uniform "hyper-ring": hyperedges `{i, i+1, i+2}` for every `i`
+/// (indices mod `n`). Every node has hypergraph degree 3 and dependency
+/// degree 4.
+///
+/// # Panics
+///
+/// Panics if `n < 5` (smaller rings degenerate to overlapping edges).
+pub fn hyper_ring(n: usize) -> Hypergraph {
+    assert!(n >= 5, "hyper_ring needs n >= 5");
+    let edges = (0..n).map(|i| Hyperedge::new([i, (i + 1) % n, (i + 2) % n])).collect();
+    Hypergraph::new(n, edges, 3).expect("hyper ring is valid")
+}
+
+/// A random 3-uniform hypergraph where every node lies in exactly `deg`
+/// hyperedges (configuration model over triples with rejection of
+/// degenerate triples). Parallel hyperedges are permitted — the LLL
+/// framework explicitly allows several variables on the same event set.
+///
+/// # Errors
+///
+/// Returns [`GenError::InvalidParameters`] if `n*deg` is not divisible by
+/// 3 or `n < 3`, and [`GenError::RetriesExhausted`] on sampling failure.
+pub fn random_3_uniform(n: usize, deg: usize, seed: u64) -> Result<Hypergraph, GenError> {
+    if n < 3 {
+        return Err(GenError::InvalidParameters(format!("n = {n} < 3")));
+    }
+    if !(n * deg).is_multiple_of(3) {
+        return Err(GenError::InvalidParameters(format!(
+            "n*deg = {} not divisible by 3",
+            n * deg
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    'attempt: for _ in 0..MAX_ATTEMPTS {
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, deg)).collect();
+        stubs.shuffle(&mut rng);
+        let mut edges = Vec::with_capacity(stubs.len() / 3);
+        for tri in stubs.chunks_exact(3) {
+            if tri[0] == tri[1] || tri[1] == tri[2] || tri[0] == tri[2] {
+                continue 'attempt;
+            }
+            edges.push(Hyperedge::new(tri.iter().copied()));
+        }
+        return Ok(Hypergraph::new(n, edges, 3).expect("checked 3-uniform edges"));
+    }
+    Err(GenError::RetriesExhausted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_and_path() {
+        let r = ring(5);
+        assert_eq!(r.num_edges(), 5);
+        assert!((0..5).all(|v| r.degree(v) == 2));
+        assert!(r.is_connected());
+        let p = path(4);
+        assert_eq!(p.num_edges(), 3);
+        assert_eq!(p.degree(0), 1);
+        assert_eq!(p.degree(1), 2);
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let t = torus(4, 5);
+        assert_eq!(t.num_nodes(), 20);
+        assert!((0..20).all(|v| t.degree(v) == 4));
+        assert_eq!(t.num_edges(), 40);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let q = hypercube(4);
+        assert_eq!(q.num_nodes(), 16);
+        assert!((0..16).all(|v| q.degree(v) == 4));
+        assert!(q.is_connected());
+        assert!(q.has_edge(0b0000, 0b1000));
+        assert!(!q.has_edge(0b0000, 0b0011));
+    }
+
+    #[test]
+    fn complete_graph() {
+        let k = complete(6);
+        assert_eq!(k.num_edges(), 15);
+        assert_eq!(k.max_degree(), 5);
+    }
+
+    #[test]
+    fn random_regular_is_regular_and_reproducible() {
+        let g = random_regular(50, 4, 7).unwrap();
+        assert!((0..50).all(|v| g.degree(v) == 4));
+        let g2 = random_regular(50, 4, 7).unwrap();
+        assert_eq!(g, g2);
+        let g3 = random_regular(50, 4, 8).unwrap();
+        assert_ne!(g, g3);
+    }
+
+    #[test]
+    fn random_regular_rejects_bad_params() {
+        assert!(matches!(random_regular(5, 3, 0), Err(GenError::InvalidParameters(_))));
+        assert!(matches!(random_regular(4, 5, 0), Err(GenError::InvalidParameters(_))));
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, 1).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, 1).num_edges(), 45);
+        let g = gnp(30, 0.2, 42);
+        assert!(g.num_edges() > 30 && g.num_edges() < 160);
+    }
+
+    #[test]
+    fn bipartite_biregular_degrees() {
+        // nv=12 of degree 3, nu=9 of degree 4
+        let g = random_bipartite_biregular(12, 3, 9, 4, 3).unwrap();
+        assert_eq!(g.num_nodes(), 21);
+        assert!((0..12).all(|v| g.degree(v) == 3));
+        assert!((12..21).all(|u| g.degree(u) == 4));
+        // bipartite: no edge within a side
+        for &(a, b) in g.edges() {
+            assert!(a < 12 && b >= 12, "edge ({a},{b}) crosses sides");
+        }
+        assert!(matches!(
+            random_bipartite_biregular(3, 2, 4, 2, 0),
+            Err(GenError::InvalidParameters(_))
+        ));
+    }
+
+    #[test]
+    fn hyper_ring_structure() {
+        let h = hyper_ring(7);
+        assert_eq!(h.num_edges(), 7);
+        assert!((0..7).all(|v| h.degree(v) == 3));
+        assert_eq!(h.rank(), 3);
+        assert_eq!(h.max_dependency_degree(), 4);
+    }
+
+    #[test]
+    fn random_3_uniform_degrees() {
+        let h = random_3_uniform(30, 3, 11).unwrap();
+        assert_eq!(h.num_edges(), 30);
+        assert!((0..30).all(|v| h.degree(v) == 3));
+        assert_eq!(h.rank(), 3);
+        let h2 = random_3_uniform(30, 3, 11).unwrap();
+        assert_eq!(h, h2);
+        assert!(matches!(random_3_uniform(10, 2, 0), Err(GenError::InvalidParameters(_))));
+    }
+}

@@ -1,0 +1,482 @@
+//! Undirected simple graphs in CSR form with stable port numbers.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
+
+/// Error produced when constructing a malformed [`Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint was `>= n`.
+    NodeOutOfRange {
+        /// The offending endpoint.
+        node: usize,
+        /// Number of nodes in the graph.
+        n: usize,
+    },
+    /// An edge connected a node to itself.
+    SelfLoop(usize),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "edge endpoint {node} out of range for {n} nodes")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self loop at node {v}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Incremental builder for [`Graph`].
+///
+/// Duplicate edges are silently deduplicated; self loops are rejected at
+/// [`GraphBuilder::build`] time.
+///
+/// # Examples
+///
+/// ```
+/// use lll_graphs::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// b.add_edge(2, 1); // duplicate, ignored
+/// let g = b.build()?;
+/// assert_eq!(g.num_edges(), 2);
+/// assert_eq!(g.degree(1), 2);
+/// # Ok::<(), lll_graphs::GraphError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: BTreeSet<(usize, usize)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `n` nodes.
+    pub fn new(n: usize) -> GraphBuilder {
+        GraphBuilder { n, edges: BTreeSet::new() }
+    }
+
+    /// Adds an undirected edge `{u, v}` (idempotent).
+    pub fn add_edge(&mut self, u: usize, v: usize) -> &mut Self {
+        let (a, b) = if u <= v { (u, v) } else { (v, u) };
+        self.edges.insert((a, b));
+        self
+    }
+
+    /// Finalizes the CSR structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if an endpoint is out of range or a self
+    /// loop was added.
+    pub fn build(&self) -> Result<Graph, GraphError> {
+        for &(u, v) in &self.edges {
+            if u == v {
+                return Err(GraphError::SelfLoop(u));
+            }
+            if v >= self.n {
+                return Err(GraphError::NodeOutOfRange { node: v, n: self.n });
+            }
+        }
+        let edges: Vec<(usize, usize)> = self.edges.iter().copied().collect();
+        let mut offsets = vec![0usize; self.n + 1];
+        for &(u, v) in &edges {
+            offsets[u + 1] += 1;
+            offsets[v + 1] += 1;
+        }
+        for i in 0..self.n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut neighbors = vec![0usize; edges.len() * 2];
+        let mut edge_ids = vec![0usize; edges.len() * 2];
+        let mut cursor = offsets.clone();
+        for (eid, &(u, v)) in edges.iter().enumerate() {
+            neighbors[cursor[u]] = v;
+            edge_ids[cursor[u]] = eid;
+            cursor[u] += 1;
+            neighbors[cursor[v]] = u;
+            edge_ids[cursor[v]] = eid;
+            cursor[v] += 1;
+        }
+        Ok(Graph { offsets, neighbors, edge_ids, edges })
+    }
+}
+
+/// An immutable undirected simple graph in CSR form.
+///
+/// Nodes are `0..n`. Every edge has a stable id in `0..m` (edges sorted
+/// lexicographically by endpoints) and each node addresses its incident
+/// edges through consecutive *ports* `0..degree(v)` — the LOCAL simulator
+/// uses ports as its message-addressing scheme, exactly like the standard
+/// port-numbering network model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    neighbors: Vec<usize>,
+    edge_ids: Vec<usize>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// Builds a graph directly from an edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] for out-of-range endpoints or self loops.
+    pub fn from_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Result<Graph, GraphError> {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// The empty graph on `n` nodes.
+    pub fn empty(n: usize) -> Graph {
+        GraphBuilder::new(n).build().expect("empty graph is always valid")
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of node `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Maximum degree over all nodes (`0` for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes()).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Neighbors of `v`, in port order.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Ids of the edges incident to `v`, in port order.
+    pub fn incident_edges(&self, v: usize) -> &[usize] {
+        &self.edge_ids[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Endpoints `(u, v)` with `u < v` of edge `eid`.
+    pub fn edge(&self, eid: usize) -> (usize, usize) {
+        self.edges[eid]
+    }
+
+    /// All edges, sorted lexicographically; the position of an edge is its
+    /// id.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Id of the edge `{u, v}` if present.
+    pub fn edge_id(&self, u: usize, v: usize) -> Option<usize> {
+        let (a, b) = if u <= v { (u, v) } else { (v, u) };
+        self.edges.binary_search(&(a, b)).ok()
+    }
+
+    /// The neighbor reached from `v` through port `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port >= degree(v)`.
+    pub fn neighbor_at(&self, v: usize, port: usize) -> usize {
+        self.neighbors(v)[port]
+    }
+
+    /// The port of `v` that leads to `u`, if `{u, v}` is an edge.
+    pub fn port_to(&self, v: usize, u: usize) -> Option<usize> {
+        self.neighbors(v).iter().position(|&w| w == u)
+    }
+
+    /// Whether `{u, v}` is an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.edge_id(u, v).is_some()
+    }
+
+    /// The square graph `G²`: same nodes, edges between nodes at distance
+    /// 1 or 2. A proper coloring of `G²` is exactly a 2-hop (distance-2)
+    /// coloring of `G`, as used in the proof of Corollary 1.4.
+    pub fn square(&self) -> Graph {
+        let mut b = GraphBuilder::new(self.num_nodes());
+        for v in 0..self.num_nodes() {
+            for &u in self.neighbors(v) {
+                b.add_edge(v, u);
+                for &w in self.neighbors(u) {
+                    if w != v {
+                        b.add_edge(v, w);
+                    }
+                }
+            }
+        }
+        b.build().expect("square of a valid graph is valid")
+    }
+
+    /// The line graph `L(G)`: one node per edge of `G`, adjacent iff the
+    /// edges share an endpoint. Node `i` of `L(G)` corresponds to edge id
+    /// `i` of `G`. Used to reduce edge coloring (Corollary 1.2) to vertex
+    /// coloring.
+    pub fn line_graph(&self) -> Graph {
+        let mut b = GraphBuilder::new(self.num_edges());
+        for v in 0..self.num_nodes() {
+            let inc = self.incident_edges(v);
+            for i in 0..inc.len() {
+                for j in i + 1..inc.len() {
+                    b.add_edge(inc[i], inc[j]);
+                }
+            }
+        }
+        b.build().expect("line graph of a valid graph is valid")
+    }
+
+    /// Breadth-first distances from `src` (`usize::MAX` for unreachable
+    /// nodes).
+    pub fn bfs_distances(&self, src: usize) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.num_nodes()];
+        dist[src] = 0;
+        let mut queue = VecDeque::from([src]);
+        while let Some(v) = queue.pop_front() {
+            for &u in self.neighbors(v) {
+                if dist[u] == usize::MAX {
+                    dist[u] = dist[v] + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Whether the graph is connected (the empty graph and single node are
+    /// connected).
+    pub fn is_connected(&self) -> bool {
+        if self.num_nodes() <= 1 {
+            return true;
+        }
+        self.bfs_distances(0).iter().all(|&d| d != usize::MAX)
+    }
+
+    /// Connected components: `component[v]` is the 0-based index of
+    /// `v`'s component (components numbered by smallest contained node).
+    pub fn connected_components(&self) -> Vec<usize> {
+        let n = self.num_nodes();
+        let mut component = vec![usize::MAX; n];
+        let mut next = 0;
+        for start in 0..n {
+            if component[start] != usize::MAX {
+                continue;
+            }
+            let id = next;
+            next += 1;
+            let mut queue = VecDeque::from([start]);
+            component[start] = id;
+            while let Some(v) = queue.pop_front() {
+                for &u in self.neighbors(v) {
+                    if component[u] == usize::MAX {
+                        component[u] = id;
+                        queue.push_back(u);
+                    }
+                }
+            }
+        }
+        component
+    }
+
+    /// The induced subgraph on `nodes`, together with the mapping from
+    /// new indices back to the original nodes.
+    ///
+    /// Duplicate entries in `nodes` are deduplicated; order is
+    /// normalized ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node is out of range.
+    pub fn induced_subgraph(&self, nodes: &[usize]) -> (Graph, Vec<usize>) {
+        let mut keep: Vec<usize> = nodes.to_vec();
+        keep.sort_unstable();
+        keep.dedup();
+        for &v in &keep {
+            assert!(v < self.num_nodes(), "node {v} out of range");
+        }
+        let index_of: std::collections::BTreeMap<usize, usize> =
+            keep.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let mut b = GraphBuilder::new(keep.len());
+        for &(u, v) in &self.edges {
+            if let (Some(&iu), Some(&iv)) = (index_of.get(&u), index_of.get(&v)) {
+                b.add_edge(iu, iv);
+            }
+        }
+        (b.build().expect("induced subgraph of a valid graph is valid"), keep)
+    }
+
+    /// Validates a vertex coloring: proper iff no edge is monochromatic.
+    pub fn is_proper_coloring(&self, colors: &[usize]) -> bool {
+        colors.len() == self.num_nodes()
+            && self.edges.iter().all(|&(u, v)| colors[u] != colors[v])
+    }
+
+    /// Validates a distance-2 coloring: proper on `G` and no two neighbors
+    /// of any node share a color.
+    pub fn is_distance2_coloring(&self, colors: &[usize]) -> bool {
+        if colors.len() != self.num_nodes() {
+            return false;
+        }
+        self.square().is_proper_coloring(colors)
+    }
+
+    /// Validates an edge coloring indexed by edge id: proper iff no two
+    /// edges sharing an endpoint have the same color.
+    pub fn is_proper_edge_coloring(&self, colors: &[usize]) -> bool {
+        if colors.len() != self.num_edges() {
+            return false;
+        }
+        (0..self.num_nodes()).all(|v| {
+            let inc = self.incident_edges(v);
+            let mut seen: Vec<usize> = inc.iter().map(|&e| colors[e]).collect();
+            seen.sort_unstable();
+            seen.windows(2).all(|w| w[0] != w[1])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]).unwrap()
+    }
+
+    #[test]
+    fn csr_basics() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.max_degree(), 2);
+        for v in 0..3 {
+            assert_eq!(g.degree(v), 2);
+            let mut nbrs = g.neighbors(v).to_vec();
+            nbrs.sort_unstable();
+            let expect: Vec<usize> = (0..3).filter(|&u| u != v).collect();
+            assert_eq!(nbrs, expect);
+        }
+    }
+
+    #[test]
+    fn edge_ids_and_ports_are_consistent() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        for eid in 0..g.num_edges() {
+            let (u, v) = g.edge(eid);
+            assert_eq!(g.edge_id(u, v), Some(eid));
+            assert_eq!(g.edge_id(v, u), Some(eid));
+            let pu = g.port_to(u, v).unwrap();
+            assert_eq!(g.neighbor_at(u, pu), v);
+            assert_eq!(g.incident_edges(u)[pu], eid);
+        }
+        assert_eq!(g.edge_id(0, 2), None);
+        assert!(!g.has_edge(1, 3));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert_eq!(
+            Graph::from_edges(2, [(0, 2)]),
+            Err(GraphError::NodeOutOfRange { node: 2, n: 2 })
+        );
+        assert_eq!(Graph::from_edges(2, [(1, 1)]), Err(GraphError::SelfLoop(1)));
+    }
+
+    #[test]
+    fn deduplicates_edges() {
+        let g = Graph::from_edges(2, [(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn square_of_path() {
+        // 0 - 1 - 2 - 3: square adds {0,2}, {1,3}
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let g2 = g.square();
+        assert_eq!(g2.num_edges(), 5);
+        assert!(g2.has_edge(0, 2));
+        assert!(g2.has_edge(1, 3));
+        assert!(!g2.has_edge(0, 3));
+    }
+
+    #[test]
+    fn line_graph_of_star() {
+        // K_{1,3}: line graph is a triangle.
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)]).unwrap();
+        let lg = g.line_graph();
+        assert_eq!(lg.num_nodes(), 3);
+        assert_eq!(lg.num_edges(), 3);
+    }
+
+    #[test]
+    fn bfs_and_connectivity() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        let d = g.bfs_distances(0);
+        assert_eq!(d[..3], [0, 1, 2]);
+        assert_eq!(d[3], usize::MAX);
+        assert!(!g.is_connected());
+        assert!(triangle().is_connected());
+        assert!(Graph::empty(1).is_connected());
+        assert!(Graph::empty(0).is_connected());
+    }
+
+    #[test]
+    fn connected_components_numbering() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (4, 5)]).unwrap();
+        assert_eq!(g.connected_components(), vec![0, 0, 0, 1, 2, 2]);
+        assert_eq!(Graph::empty(3).connected_components(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn induced_subgraphs() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let (sub, mapping) = g.induced_subgraph(&[0, 1, 2, 2]);
+        assert_eq!(mapping, vec![0, 1, 2]);
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(sub.num_edges(), 2); // path 0-1-2; edge (4,0) dropped
+        assert!(sub.has_edge(0, 1) && sub.has_edge(1, 2) && !sub.has_edge(0, 2));
+        let (empty, m) = g.induced_subgraph(&[]);
+        assert_eq!(empty.num_nodes(), 0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn coloring_validation() {
+        let g = triangle();
+        assert!(g.is_proper_coloring(&[0, 1, 2]));
+        assert!(!g.is_proper_coloring(&[0, 0, 1]));
+        assert!(!g.is_proper_coloring(&[0, 1])); // wrong length
+        let path = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        assert!(path.is_proper_coloring(&[0, 1, 0]));
+        assert!(!path.is_distance2_coloring(&[0, 1, 0]));
+        assert!(path.is_distance2_coloring(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn edge_coloring_validation() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        // edges sorted: (0,1)=0, (1,2)=1, (2,3)=2
+        assert!(g.is_proper_edge_coloring(&[0, 1, 0]));
+        assert!(!g.is_proper_edge_coloring(&[0, 0, 1]));
+        assert!(!g.is_proper_edge_coloring(&[0, 1]));
+    }
+}

@@ -1,0 +1,285 @@
+//! Hypergraphs of bounded rank and their dependency graphs.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::graph::{Graph, GraphBuilder};
+
+/// A hyperedge: the sorted, duplicate-free set of incident nodes.
+///
+/// In the LLL setting a hyperedge is a random variable and its nodes are
+/// the bad events the variable affects; the paper's parameter `r` is the
+/// *rank* — the maximum hyperedge cardinality.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Hyperedge(Vec<usize>);
+
+impl Hyperedge {
+    /// Creates a hyperedge from arbitrary node order, sorting and
+    /// deduplicating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node set is empty.
+    pub fn new(nodes: impl IntoIterator<Item = usize>) -> Hyperedge {
+        let set: BTreeSet<usize> = nodes.into_iter().collect();
+        assert!(!set.is_empty(), "empty hyperedge");
+        Hyperedge(set.into_iter().collect())
+    }
+
+    /// Incident nodes, sorted ascending.
+    pub fn nodes(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Cardinality of the hyperedge.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether `v` is incident.
+    pub fn contains(&self, v: usize) -> bool {
+        self.0.binary_search(&v).is_ok()
+    }
+}
+
+/// Error produced when constructing a malformed [`Hypergraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HypergraphError {
+    /// A hyperedge mentioned a node `>= n`.
+    NodeOutOfRange {
+        /// The offending node.
+        node: usize,
+        /// Number of nodes.
+        n: usize,
+    },
+    /// A hyperedge exceeded the declared maximum rank.
+    RankTooLarge {
+        /// Index of the offending hyperedge.
+        edge: usize,
+        /// Its rank.
+        rank: usize,
+        /// The allowed maximum.
+        max_rank: usize,
+    },
+}
+
+impl fmt::Display for HypergraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HypergraphError::NodeOutOfRange { node, n } => {
+                write!(f, "hyperedge node {node} out of range for {n} nodes")
+            }
+            HypergraphError::RankTooLarge { edge, rank, max_rank } => {
+                write!(f, "hyperedge {edge} has rank {rank} > maximum {max_rank}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HypergraphError {}
+
+/// An immutable hypergraph with incidence lists.
+///
+/// Nodes are `0..n`; hyperedges keep their insertion order and are
+/// addressed by index (in the LLL setting, hyperedge index = variable
+/// index). Parallel hyperedges (same node set) are allowed — the paper
+/// explicitly treats several random variables on the same node set.
+///
+/// # Examples
+///
+/// ```
+/// use lll_graphs::{Hyperedge, Hypergraph};
+///
+/// let h = Hypergraph::new(4, vec![
+///     Hyperedge::new([0, 1, 2]),
+///     Hyperedge::new([1, 2, 3]),
+/// ], 3)?;
+/// assert_eq!(h.degree(1), 2);
+/// assert_eq!(h.rank(), 3);
+/// let dep = h.dependency_graph();
+/// assert!(dep.has_edge(1, 3));  // events 1 and 3 share the second variable
+/// assert!(!dep.has_edge(0, 3)); // 0 and 3 share no variable
+/// # Ok::<(), lll_graphs::HypergraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hypergraph {
+    n: usize,
+    edges: Vec<Hyperedge>,
+    /// incidence[v] = indices of hyperedges containing v.
+    incidence: Vec<Vec<usize>>,
+}
+
+impl Hypergraph {
+    /// Creates a hypergraph on `n` nodes with the given hyperedges,
+    /// enforcing the rank bound `max_rank`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HypergraphError`] for out-of-range nodes or oversized
+    /// hyperedges.
+    pub fn new(
+        n: usize,
+        edges: Vec<Hyperedge>,
+        max_rank: usize,
+    ) -> Result<Hypergraph, HypergraphError> {
+        let mut incidence = vec![Vec::new(); n];
+        for (i, e) in edges.iter().enumerate() {
+            if e.rank() > max_rank {
+                return Err(HypergraphError::RankTooLarge { edge: i, rank: e.rank(), max_rank });
+            }
+            for &v in e.nodes() {
+                if v >= n {
+                    return Err(HypergraphError::NodeOutOfRange { node: v, n });
+                }
+                incidence[v].push(i);
+            }
+        }
+        Ok(Hypergraph { n, edges, incidence })
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of hyperedges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The hyperedge with index `i`.
+    pub fn edge(&self, i: usize) -> &Hyperedge {
+        &self.edges[i]
+    }
+
+    /// All hyperedges in insertion order.
+    pub fn edges(&self) -> &[Hyperedge] {
+        &self.edges
+    }
+
+    /// Indices of the hyperedges incident to `v`.
+    pub fn incident(&self, v: usize) -> &[usize] {
+        &self.incidence[v]
+    }
+
+    /// Number of hyperedges incident to `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.incidence[v].len()
+    }
+
+    /// Maximum node degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Rank: the maximum hyperedge cardinality (`0` if there are no
+    /// hyperedges).
+    pub fn rank(&self) -> usize {
+        self.edges.iter().map(Hyperedge::rank).max().unwrap_or(0)
+    }
+
+    /// The dependency graph: nodes of the hypergraph, an edge between two
+    /// nodes iff they share a hyperedge.
+    ///
+    /// In the LLL reading this is exactly the paper's dependency graph `G`
+    /// of the instance whose variables are the hyperedges.
+    pub fn dependency_graph(&self) -> Graph {
+        let mut b = GraphBuilder::new(self.n);
+        for e in &self.edges {
+            let nodes = e.nodes();
+            for i in 0..nodes.len() {
+                for j in i + 1..nodes.len() {
+                    b.add_edge(nodes[i], nodes[j]);
+                }
+            }
+        }
+        b.build().expect("dependency graph of a valid hypergraph is valid")
+    }
+
+    /// Maximum dependency degree `d`: the maximum, over nodes `v`, of the
+    /// number of *other* nodes sharing a hyperedge with `v`. This is the
+    /// `d` in the paper's criterion `p < 2^-d`.
+    pub fn max_dependency_degree(&self) -> usize {
+        self.dependency_graph().max_degree()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h3() -> Hypergraph {
+        Hypergraph::new(
+            5,
+            vec![
+                Hyperedge::new([0, 1, 2]),
+                Hyperedge::new([1, 2, 3]),
+                Hyperedge::new([3, 4]),
+            ],
+            3,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hyperedge_normalizes() {
+        let e = Hyperedge::new([3, 1, 2, 1]);
+        assert_eq!(e.nodes(), &[1, 2, 3]);
+        assert_eq!(e.rank(), 3);
+        assert!(e.contains(2));
+        assert!(!e.contains(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty hyperedge")]
+    fn empty_hyperedge_panics() {
+        Hyperedge::new([]);
+    }
+
+    #[test]
+    fn incidence_and_degrees() {
+        let h = h3();
+        assert_eq!(h.num_nodes(), 5);
+        assert_eq!(h.num_edges(), 3);
+        assert_eq!(h.incident(1), &[0, 1]);
+        assert_eq!(h.incident(4), &[2]);
+        assert_eq!(h.degree(2), 2);
+        assert_eq!(h.max_degree(), 2);
+        assert_eq!(h.rank(), 3);
+    }
+
+    #[test]
+    fn rank_bound_enforced() {
+        let err = Hypergraph::new(4, vec![Hyperedge::new([0, 1, 2, 3])], 3).unwrap_err();
+        assert_eq!(err, HypergraphError::RankTooLarge { edge: 0, rank: 4, max_rank: 3 });
+        let err = Hypergraph::new(2, vec![Hyperedge::new([0, 5])], 3).unwrap_err();
+        assert_eq!(err, HypergraphError::NodeOutOfRange { node: 5, n: 2 });
+    }
+
+    #[test]
+    fn dependency_graph_connects_cohabitants() {
+        let h = h3();
+        let g = h.dependency_graph();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(1, 3));
+        assert!(g.has_edge(3, 4));
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(0, 4));
+        assert!(!g.has_edge(2, 4));
+        // d = max dependency degree: node 1 and 2 see {0,2,3} resp {0,1,3}.
+        assert_eq!(h.max_dependency_degree(), 3);
+    }
+
+    #[test]
+    fn parallel_hyperedges_allowed() {
+        let h = Hypergraph::new(
+            3,
+            vec![Hyperedge::new([0, 1, 2]), Hyperedge::new([0, 1, 2])],
+            3,
+        )
+        .unwrap();
+        assert_eq!(h.degree(0), 2);
+        assert_eq!(h.dependency_graph().num_edges(), 3);
+    }
+}

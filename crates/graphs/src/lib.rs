@@ -1,0 +1,35 @@
+//! Graphs, hypergraphs and workload generators for the `sharp-lll`
+//! toolkit.
+//!
+//! The LLL dependency structures of Brandt–Maus–Uitto live on two levels:
+//!
+//! * a **dependency graph** whose nodes are bad events and whose edges
+//!   connect events sharing a random variable — represented by [`Graph`];
+//! * a **variable hypergraph** `H` with one hyperedge per random variable
+//!   connecting the (at most `r`) events the variable affects —
+//!   represented by [`Hypergraph`] (rank ≤ 3 throughout the paper).
+//!
+//! [`Graph`] is a compact CSR structure with stable port numbers (the
+//! LOCAL simulator in `lll-local` addresses messages by port), plus the
+//! derived structures the coloring algorithms need: the square graph `G²`
+//! (for distance-2 coloring, Corollary 1.4) and the line graph (for edge
+//! coloring, Corollary 1.2).
+//!
+//! The [`gen`] module provides the deterministic and seeded random
+//! workloads used by the experiments: rings, toruses, hypercubes, random
+//! regular graphs, random 3-uniform hypergraphs, and bipartite biregular
+//! graphs for the weak-splitting application.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+mod hypergraph;
+#[cfg(feature = "serde")]
+mod serde_impls;
+
+pub mod gen;
+
+pub use gen::GenError;
+pub use graph::{Graph, GraphBuilder, GraphError};
+pub use hypergraph::{Hyperedge, Hypergraph, HypergraphError};

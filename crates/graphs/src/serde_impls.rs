@@ -1,0 +1,69 @@
+//! Optional Serde support (feature `serde`).
+//!
+//! [`Graph`] serializes as `{num_nodes, edges}` and [`Hypergraph`] as
+//! `{num_nodes, edges}` (hyperedges as sorted node lists); on
+//! deserialization the structures are rebuilt through their validating
+//! constructors, so invalid data (self loops, out-of-range nodes) is
+//! rejected rather than admitted.
+
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+use crate::{Graph, Hyperedge, Hypergraph};
+
+#[derive(Serialize, Deserialize)]
+struct GraphRepr {
+    num_nodes: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl Serialize for Graph {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        GraphRepr { num_nodes: self.num_nodes(), edges: self.edges().to_vec() }
+            .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Graph {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let repr = GraphRepr::deserialize(deserializer)?;
+        Graph::from_edges(repr.num_nodes, repr.edges).map_err(D::Error::custom)
+    }
+}
+
+impl Serialize for Hyperedge {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.nodes().serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Hyperedge {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let nodes = Vec::<usize>::deserialize(deserializer)?;
+        if nodes.is_empty() {
+            return Err(D::Error::custom("empty hyperedge"));
+        }
+        Ok(Hyperedge::new(nodes))
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct HypergraphRepr {
+    num_nodes: usize,
+    edges: Vec<Hyperedge>,
+}
+
+impl Serialize for Hypergraph {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        HypergraphRepr { num_nodes: self.num_nodes(), edges: self.edges().to_vec() }
+            .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Hypergraph {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let repr = HypergraphRepr::deserialize(deserializer)?;
+        let max_rank = repr.edges.iter().map(Hyperedge::rank).max().unwrap_or(0);
+        Hypergraph::new(repr.num_nodes, repr.edges, max_rank).map_err(D::Error::custom)
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests for graphs, hypergraphs and generators.
+
+use lll_graphs::gen::{gnp, hyper_ring, random_3_uniform, random_regular, ring, torus};
+use lll_graphs::{Graph, GraphBuilder, Hyperedge, Hypergraph};
+use proptest::prelude::*;
+
+prop_compose! {
+    fn arb_edge_list()(n in 2usize..24, edges in prop::collection::vec((0usize..24, 0usize..24), 0..60)) -> (usize, Vec<(usize, usize)>) {
+        let filtered = edges.into_iter().filter(|&(u, v)| u != v && u < n && v < n).collect();
+        (n, filtered)
+    }
+}
+
+proptest! {
+    #[test]
+    fn csr_structure_is_consistent((n, edges) in arb_edge_list()) {
+        let g = Graph::from_edges(n, edges.clone()).expect("filtered edges are valid");
+        // Handshake lemma.
+        let degree_sum: usize = (0..n).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+        // Every listed edge is present with a consistent id and ports.
+        for &(u, v) in &edges {
+            prop_assert!(g.has_edge(u, v));
+            let eid = g.edge_id(u, v).expect("edge present");
+            let (a, b) = g.edge(eid);
+            prop_assert_eq!((a.min(b), a.max(b)), (u.min(v), u.max(v)));
+            let p = g.port_to(u, v).expect("port exists");
+            prop_assert_eq!(g.neighbor_at(u, p), v);
+        }
+        // Adjacency is symmetric.
+        for v in 0..n {
+            for &u in g.neighbors(v) {
+                prop_assert!(g.neighbors(u).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn square_contains_graph_and_two_paths((n, edges) in arb_edge_list()) {
+        let g = Graph::from_edges(n, edges).expect("valid");
+        let g2 = g.square();
+        for &(u, v) in g.edges() {
+            prop_assert!(g2.has_edge(u, v));
+        }
+        // Distance-2 pairs are exactly the extra edges.
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let dist = g.bfs_distances(u)[v];
+                prop_assert_eq!(g2.has_edge(u, v), dist <= 2 && dist > 0, "pair ({}, {})", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn line_graph_counts((n, edges) in arb_edge_list()) {
+        let g = Graph::from_edges(n, edges).expect("valid");
+        let lg = g.line_graph();
+        prop_assert_eq!(lg.num_nodes(), g.num_edges());
+        // Each node of G contributes C(deg, 2) line-graph edges; sharing
+        // two endpoints is impossible in a simple graph, so the sum is
+        // exact.
+        let expect: usize = (0..n).map(|v| g.degree(v) * (g.degree(v).saturating_sub(1)) / 2).sum();
+        prop_assert_eq!(lg.num_edges(), expect);
+    }
+
+    #[test]
+    fn builder_is_idempotent((n, edges) in arb_edge_list()) {
+        let mut b1 = GraphBuilder::new(n);
+        let mut b2 = GraphBuilder::new(n);
+        for &(u, v) in &edges {
+            b1.add_edge(u, v);
+            b2.add_edge(u, v);
+            b2.add_edge(v, u); // duplicates in both orientations
+        }
+        prop_assert_eq!(b1.build().unwrap(), b2.build().unwrap());
+    }
+
+    #[test]
+    fn random_regular_is_simple_and_regular(n in 6usize..40, seed in 0u64..50) {
+        let d = 3 + (seed as usize % 2); // 3 or 4
+        prop_assume!((n * d).is_multiple_of(2));
+        let g = random_regular(n, d, seed).expect("feasible parameters");
+        prop_assert!((0..n).all(|v| g.degree(v) == d));
+        prop_assert_eq!(g.num_edges(), n * d / 2);
+    }
+
+    #[test]
+    fn gnp_edge_count_within_bounds(n in 2usize..30, seed in 0u64..20) {
+        let g = gnp(n, 0.5, seed);
+        prop_assert!(g.num_edges() <= n * (n - 1) / 2);
+        prop_assert!(g.max_degree() < n);
+    }
+
+    #[test]
+    fn random_3_uniform_degrees_exact(k in 2usize..12, seed in 0u64..20) {
+        let n = 3 * k;
+        let h = random_3_uniform(n, 3, seed).expect("feasible parameters");
+        prop_assert!((0..n).all(|v| h.degree(v) == 3));
+        prop_assert_eq!(h.num_edges(), n);
+        // Dependency graph degree bounded by 2 * node degree.
+        prop_assert!(h.max_dependency_degree() <= 6);
+    }
+
+    #[test]
+    fn hypergraph_dependency_graph_is_exact(nodes in 3usize..12, seed in 0u64..30) {
+        // Random small hypergraph from triples of a seeded walk.
+        let mut edges = Vec::new();
+        let mut state = seed;
+        for _ in 0..nodes {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = (state >> 10) as usize % nodes;
+            let b = (state >> 20) as usize % nodes;
+            let c = (state >> 30) as usize % nodes;
+            let e = Hyperedge::new([a, b, c]);
+            if e.rank() >= 2 {
+                edges.push(e);
+            }
+        }
+        prop_assume!(!edges.is_empty());
+        let h = Hypergraph::new(nodes, edges.clone(), 3).expect("valid");
+        let dep = h.dependency_graph();
+        for u in 0..nodes {
+            for v in (u + 1)..nodes {
+                let share = edges.iter().any(|e| e.contains(u) && e.contains(v));
+                prop_assert_eq!(dep.has_edge(u, v), share, "pair ({}, {})", u, v);
+            }
+        }
+    }
+}
+
+#[test]
+fn deterministic_topologies_have_expected_girth_like_structure() {
+    // Spot integration checks that don't fit proptest well.
+    let t = torus(5, 4);
+    assert_eq!(t.num_edges(), 40);
+    let r = ring(9);
+    assert_eq!(r.bfs_distances(0)[4], 4);
+    assert_eq!(r.bfs_distances(0)[5], 4);
+    let h = hyper_ring(9);
+    assert_eq!(h.max_dependency_degree(), 4);
+}

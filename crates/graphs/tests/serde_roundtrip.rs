@@ -1,0 +1,37 @@
+//! Round-trip tests for the optional Serde support (feature `serde`).
+#![cfg(feature = "serde")]
+
+use lll_graphs::gen::{hyper_ring, random_regular, torus};
+use lll_graphs::{Graph, Hypergraph};
+
+#[test]
+fn graph_json_roundtrip() {
+    for g in [torus(4, 4), random_regular(20, 3, 1).unwrap(), Graph::empty(5)] {
+        let json = serde_json::to_string(&g).unwrap();
+        let back: Graph = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, g);
+    }
+}
+
+#[test]
+fn graph_deserialization_validates() {
+    // Self loop and out-of-range node must be rejected.
+    assert!(serde_json::from_str::<Graph>(r#"{"num_nodes":3,"edges":[[1,1]]}"#).is_err());
+    assert!(serde_json::from_str::<Graph>(r#"{"num_nodes":3,"edges":[[0,7]]}"#).is_err());
+}
+
+#[test]
+fn hypergraph_json_roundtrip() {
+    let h = hyper_ring(9);
+    let json = serde_json::to_string(&h).unwrap();
+    let back: Hypergraph = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, h);
+}
+
+#[test]
+fn hypergraph_deserialization_validates() {
+    assert!(
+        serde_json::from_str::<Hypergraph>(r#"{"num_nodes":2,"edges":[[0,5]]}"#).is_err()
+    );
+    assert!(serde_json::from_str::<Hypergraph>(r#"{"num_nodes":2,"edges":[[]]}"#).is_err());
+}

@@ -1,0 +1,830 @@
+//! Sign–magnitude arbitrary-precision integers.
+//!
+//! The representation is a little-endian vector of `u32` limbs plus a
+//! [`Sign`]. The value zero is canonically represented by an empty limb
+//! vector with sign [`Sign::Plus`]; all arithmetic keeps limb vectors
+//! normalized (no most-significant zero limbs), so structural equality
+//! coincides with numeric equality.
+//!
+//! Only the operations needed by the workspace are implemented — ring
+//! arithmetic, Euclidean division, binary GCD, bit shifts, integer square
+//! roots and conversions — but they are implemented for arbitrary sizes and
+//! tested against `i128` reference arithmetic and with property tests.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Shl, Shr, Sub, SubAssign};
+use std::str::FromStr;
+
+/// Sign of a [`BigInt`].
+///
+/// Zero always carries [`Sign::Plus`]; this keeps the representation of
+/// every value unique.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Negative values.
+    Minus,
+    /// Zero and positive values.
+    Plus,
+}
+
+impl Sign {
+    fn flip(self) -> Sign {
+        match self {
+            Sign::Plus => Sign::Minus,
+            Sign::Minus => Sign::Plus,
+        }
+    }
+}
+
+/// An arbitrary-precision signed integer.
+///
+/// # Examples
+///
+/// ```
+/// use lll_numeric::BigInt;
+///
+/// let a = BigInt::from(1_000_000_007_i64);
+/// let b = &a * &a;
+/// assert_eq!(b.to_string(), "1000000014000000049");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    /// Little-endian limbs; no trailing (most significant) zeros.
+    limbs: Vec<u32>,
+}
+
+const BASE_BITS: u32 = 32;
+
+impl BigInt {
+    /// The value `0`.
+    pub fn zero() -> BigInt {
+        BigInt { sign: Sign::Plus, limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> BigInt {
+        BigInt { sign: Sign::Plus, limbs: vec![1] }
+    }
+
+    /// Creates a value from sign and little-endian `u32` limbs.
+    ///
+    /// The limb vector is normalized and a zero magnitude forces the sign
+    /// to [`Sign::Plus`].
+    pub fn from_limbs(sign: Sign, mut limbs: Vec<u32>) -> BigInt {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        let sign = if limbs.is_empty() { Sign::Plus } else { sign };
+        BigInt { sign, limbs }
+    }
+
+    /// Returns `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// Returns `true` iff the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Plus && !self.is_zero()
+    }
+
+    /// Returns `true` iff the value is even.
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l % 2 == 0)
+    }
+
+    /// The sign of the value.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        BigInt { sign: Sign::Plus, limbs: self.limbs.clone() }
+    }
+
+    /// Number of bits in the magnitude (`0` for zero).
+    pub fn bit_len(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => {
+                (self.limbs.len() as u64 - 1) * BASE_BITS as u64 + (32 - top.leading_zeros()) as u64
+            }
+        }
+    }
+
+    /// Value of bit `i` of the magnitude (little-endian indexing).
+    pub fn bit(&self, i: u64) -> bool {
+        let limb = (i / BASE_BITS as u64) as usize;
+        let off = (i % BASE_BITS as u64) as u32;
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+    }
+
+    fn cmp_mag(a: &[u32], b: &[u32]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+            if x != y {
+                return x.cmp(y);
+            }
+        }
+        Ordering::Equal
+    }
+
+    #[allow(clippy::needless_range_loop)] // index arithmetic over two slices
+    fn add_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let s = long[i] as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
+            out.push(s as u32);
+            carry = s >> BASE_BITS;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        out
+    }
+
+    /// Subtracts magnitudes, requiring `a >= b`.
+    #[allow(clippy::needless_range_loop)] // index arithmetic over two slices
+    fn sub_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        debug_assert!(Self::cmp_mag(a, b) != Ordering::Less);
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow = 0i64;
+        for i in 0..a.len() {
+            let d = a[i] as i64 - b.get(i).copied().unwrap_or(0) as i64 - borrow;
+            if d < 0 {
+                out.push((d + (1i64 << BASE_BITS)) as u32);
+                borrow = 1;
+            } else {
+                out.push(d as u32);
+                borrow = 0;
+            }
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    fn mul_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u32; a.len() + b.len()];
+        for (i, &x) in a.iter().enumerate() {
+            if x == 0 {
+                continue;
+            }
+            let mut carry = 0u64;
+            for (j, &y) in b.iter().enumerate() {
+                let t = out[i + j] as u64 + x as u64 * y as u64 + carry;
+                out[i + j] = t as u32;
+                carry = t >> BASE_BITS;
+            }
+            let mut k = i + b.len();
+            while carry != 0 {
+                let t = out[k] as u64 + carry;
+                out[k] = t as u32;
+                carry = t >> BASE_BITS;
+                k += 1;
+            }
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    fn shl_mag(a: &[u32], bits: u64) -> Vec<u32> {
+        if a.is_empty() {
+            return Vec::new();
+        }
+        let limb_shift = (bits / BASE_BITS as u64) as usize;
+        let bit_shift = (bits % BASE_BITS as u64) as u32;
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(a);
+        } else {
+            let mut carry = 0u32;
+            for &l in a {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (BASE_BITS - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    fn shr_mag(a: &[u32], bits: u64) -> Vec<u32> {
+        let limb_shift = (bits / BASE_BITS as u64) as usize;
+        let bit_shift = (bits % BASE_BITS as u64) as u32;
+        if limb_shift >= a.len() {
+            return Vec::new();
+        }
+        let mut out: Vec<u32> = a[limb_shift..].to_vec();
+        if bit_shift != 0 {
+            let mut carry = 0u32;
+            for l in out.iter_mut().rev() {
+                let new = (*l >> bit_shift) | carry;
+                carry = *l << (BASE_BITS - bit_shift);
+                *l = new;
+            }
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Magnitude division: returns `(quotient, remainder)` of `a / b`.
+    ///
+    /// Uses shift–subtract binary long division, which is `O(bits · limbs)`
+    /// — entirely adequate for the few-hundred-bit operands arising in the
+    /// exact probability computations of this workspace.
+    fn divrem_mag(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        assert!(!b.is_empty(), "division by zero BigInt");
+        if Self::cmp_mag(a, b) == Ordering::Less {
+            return (Vec::new(), a.to_vec());
+        }
+        // Short division when the divisor fits in one limb.
+        if b.len() == 1 {
+            let d = b[0] as u64;
+            let mut q = vec![0u32; a.len()];
+            let mut rem = 0u64;
+            for i in (0..a.len()).rev() {
+                let cur = (rem << BASE_BITS) | a[i] as u64;
+                q[i] = (cur / d) as u32;
+                rem = cur % d;
+            }
+            while q.last() == Some(&0) {
+                q.pop();
+            }
+            let r = if rem == 0 { Vec::new() } else { vec![rem as u32] };
+            return (q, r);
+        }
+        let a_bits = BigInt::from_limbs(Sign::Plus, a.to_vec()).bit_len();
+        let b_bits = BigInt::from_limbs(Sign::Plus, b.to_vec()).bit_len();
+        let mut shift = a_bits - b_bits;
+        let mut rem = a.to_vec();
+        let mut quo: Vec<u32> = vec![0; (shift / BASE_BITS as u64 + 1) as usize];
+        let mut cur = Self::shl_mag(b, shift);
+        loop {
+            if Self::cmp_mag(&rem, &cur) != Ordering::Less {
+                rem = Self::sub_mag(&rem, &cur);
+                let limb = (shift / BASE_BITS as u64) as usize;
+                quo[limb] |= 1 << (shift % BASE_BITS as u64);
+            }
+            if shift == 0 {
+                break;
+            }
+            shift -= 1;
+            cur = Self::shr_mag(&cur, 1);
+        }
+        while quo.last() == Some(&0) {
+            quo.pop();
+        }
+        (quo, rem)
+    }
+
+    /// Euclidean division returning `(quotient, remainder)` with the
+    /// remainder carrying the sign of `self` (truncated division, matching
+    /// Rust's primitive `/` and `%`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    pub fn divrem(&self, other: &BigInt) -> (BigInt, BigInt) {
+        let (q_mag, r_mag) = Self::divrem_mag(&self.limbs, &other.limbs);
+        let q_sign = if self.sign == other.sign { Sign::Plus } else { Sign::Minus };
+        (BigInt::from_limbs(q_sign, q_mag), BigInt::from_limbs(self.sign, r_mag))
+    }
+
+    /// Greatest common divisor of the magnitudes (binary GCD; no division).
+    ///
+    /// `gcd(0, 0) = 0` by convention.
+    pub fn gcd(&self, other: &BigInt) -> BigInt {
+        let mut a = self.abs();
+        let mut b = other.abs();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let mut shift = 0u64;
+        while a.is_even() && b.is_even() {
+            a = &a >> 1;
+            b = &b >> 1;
+            shift += 1;
+        }
+        while a.is_even() {
+            a = &a >> 1;
+        }
+        loop {
+            while b.is_even() {
+                b = &b >> 1;
+            }
+            if Self::cmp_mag(&a.limbs, &b.limbs) == Ordering::Greater {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = &b - &a;
+            if b.is_zero() {
+                break;
+            }
+        }
+        &a << shift
+    }
+
+    /// Raises `self` to the power `exp` by binary exponentiation.
+    pub fn pow(&self, mut exp: u32) -> BigInt {
+        let mut base = self.clone();
+        let mut acc = BigInt::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Floor of the square root of a non-negative value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is negative.
+    pub fn isqrt(&self) -> BigInt {
+        assert!(!self.is_negative(), "isqrt of negative BigInt");
+        if self.is_zero() {
+            return BigInt::zero();
+        }
+        // Newton iteration with an over-estimate start: x0 = 2^ceil(bits/2).
+        let bits = self.bit_len();
+        let mut x = &BigInt::one() << bits.div_ceil(2);
+        loop {
+            // x' = (x + n/x) / 2
+            let (div, _) = self.divrem(&x);
+            let next = &(&x + &div) >> 1;
+            if next >= x {
+                return x;
+            }
+            x = next;
+        }
+    }
+
+    /// Returns `Some(r)` with `r*r == self` iff the value is a perfect
+    /// square (negative values never are).
+    pub fn perfect_sqrt(&self) -> Option<BigInt> {
+        if self.is_negative() {
+            return None;
+        }
+        let r = self.isqrt();
+        if &(&r * &r) == self {
+            Some(r)
+        } else {
+            None
+        }
+    }
+
+    /// Converts to `f64`, rounding; very large magnitudes saturate to
+    /// `±inf`.
+    pub fn to_f64(&self) -> f64 {
+        let mut v = 0.0f64;
+        for &l in self.limbs.iter().rev() {
+            v = v * (u32::MAX as f64 + 1.0) + l as f64;
+        }
+        if self.sign == Sign::Minus {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.is_negative() || self.limbs.len() > 2 {
+            return None;
+        }
+        let lo = self.limbs.first().copied().unwrap_or(0) as u64;
+        let hi = self.limbs.get(1).copied().unwrap_or(0) as u64;
+        Some((hi << BASE_BITS) | lo)
+    }
+
+    /// Converts to `i64` if the value fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        let mag = self.abs().to_u64()?;
+        match self.sign {
+            Sign::Plus => i64::try_from(mag).ok(),
+            Sign::Minus => {
+                if mag <= i64::MAX as u64 + 1 {
+                    Some((mag as i128).checked_neg().map(|v| v as i64)?)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl Default for BigInt {
+    fn default() -> Self {
+        BigInt::zero()
+    }
+}
+
+macro_rules! impl_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> BigInt {
+                let mut v = v as u128;
+                let mut limbs = Vec::new();
+                while v != 0 {
+                    limbs.push(v as u32);
+                    v >>= BASE_BITS;
+                }
+                BigInt { sign: Sign::Plus, limbs }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> BigInt {
+                let sign = if v < 0 { Sign::Minus } else { Sign::Plus };
+                let mut mag = (v as i128).unsigned_abs();
+                let mut limbs = Vec::new();
+                while mag != 0 {
+                    limbs.push(mag as u32);
+                    mag >>= BASE_BITS;
+                }
+                BigInt::from_limbs(sign, limbs)
+            }
+        }
+    )*};
+}
+
+impl_from_unsigned!(u8, u16, u32, u64, u128, usize);
+impl_from_signed!(i8, i16, i32, i64, i128, isize);
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (Sign::Plus, Sign::Minus) => Ordering::Greater,
+            (Sign::Minus, Sign::Plus) => Ordering::Less,
+            (Sign::Plus, Sign::Plus) => Self::cmp_mag(&self.limbs, &other.limbs),
+            (Sign::Minus, Sign::Minus) => Self::cmp_mag(&other.limbs, &self.limbs),
+        }
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt::from_limbs(self.sign.flip(), self.limbs.clone())
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt::from_limbs(self.sign.flip(), self.limbs)
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, other: &BigInt) -> BigInt {
+        if self.sign == other.sign {
+            BigInt::from_limbs(self.sign, BigInt::add_mag(&self.limbs, &other.limbs))
+        } else {
+            match BigInt::cmp_mag(&self.limbs, &other.limbs) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => {
+                    BigInt::from_limbs(self.sign, BigInt::sub_mag(&self.limbs, &other.limbs))
+                }
+                Ordering::Less => {
+                    BigInt::from_limbs(other.sign, BigInt::sub_mag(&other.limbs, &self.limbs))
+                }
+            }
+        }
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, other: &BigInt) -> BigInt {
+        self + &(-other)
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, other: &BigInt) -> BigInt {
+        let sign = if self.sign == other.sign { Sign::Plus } else { Sign::Minus };
+        BigInt::from_limbs(sign, BigInt::mul_mag(&self.limbs, &other.limbs))
+    }
+}
+
+impl Div for &BigInt {
+    type Output = BigInt;
+    fn div(self, other: &BigInt) -> BigInt {
+        self.divrem(other).0
+    }
+}
+
+impl Rem for &BigInt {
+    type Output = BigInt;
+    fn rem(self, other: &BigInt) -> BigInt {
+        self.divrem(other).1
+    }
+}
+
+impl Shl<u64> for &BigInt {
+    type Output = BigInt;
+    fn shl(self, bits: u64) -> BigInt {
+        BigInt::from_limbs(self.sign, BigInt::shl_mag(&self.limbs, bits))
+    }
+}
+
+impl Shr<u64> for &BigInt {
+    type Output = BigInt;
+    fn shr(self, bits: u64) -> BigInt {
+        BigInt::from_limbs(self.sign, BigInt::shr_mag(&self.limbs, bits))
+    }
+}
+
+macro_rules! forward_owned_binop {
+    ($($tr:ident :: $m:ident),*) => {$(
+        impl $tr for BigInt {
+            type Output = BigInt;
+            fn $m(self, other: BigInt) -> BigInt {
+                (&self).$m(&other)
+            }
+        }
+        impl $tr<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $m(self, other: &BigInt) -> BigInt {
+                (&self).$m(other)
+            }
+        }
+        impl $tr<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $m(self, other: BigInt) -> BigInt {
+                self.$m(&other)
+            }
+        }
+    )*};
+}
+
+forward_owned_binop!(Add::add, Sub::sub, Mul::mul, Div::div, Rem::rem);
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, other: &BigInt) {
+        *self = &*self + other;
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, other: &BigInt) {
+        *self = &*self - other;
+    }
+}
+
+impl MulAssign<&BigInt> for BigInt {
+    fn mul_assign(&mut self, other: &BigInt) {
+        *self = &*self * other;
+    }
+}
+
+/// Error returned when parsing a [`BigInt`] from a malformed string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigIntError {
+    offending: String,
+}
+
+impl ParseBigIntError {
+    pub(crate) fn new(offending: impl Into<String>) -> ParseBigIntError {
+        ParseBigIntError { offending: offending.into() }
+    }
+}
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid decimal integer literal: {:?}", self.offending)
+    }
+}
+
+impl std::error::Error for ParseBigIntError {}
+
+impl FromStr for BigInt {
+    type Err = ParseBigIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (sign, digits) = match s.strip_prefix('-') {
+            Some(rest) => (Sign::Minus, rest),
+            None => (Sign::Plus, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseBigIntError { offending: s.to_owned() });
+        }
+        let ten = BigInt::from(10u32);
+        let mut acc = BigInt::zero();
+        for b in digits.bytes() {
+            acc = &(&acc * &ten) + &BigInt::from(b - b'0');
+        }
+        Ok(BigInt::from_limbs(sign, acc.limbs))
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        let mut digits = Vec::new();
+        let mut mag = self.limbs.clone();
+        let billion = [1_000_000_000u32];
+        while !mag.is_empty() {
+            let (q, r) = BigInt::divrem_mag(&mag, &billion);
+            digits.push(r.first().copied().unwrap_or(0));
+            mag = q;
+        }
+        let mut s = digits.last().unwrap().to_string();
+        for chunk in digits.iter().rev().skip(1) {
+            s.push_str(&format!("{chunk:09}"));
+        }
+        f.pad_integral(self.sign == Sign::Plus, "", &s)
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: i128) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn zero_is_canonical() {
+        assert_eq!(big(0), BigInt::zero());
+        assert_eq!(BigInt::from_limbs(Sign::Minus, vec![0, 0]), BigInt::zero());
+        assert!(!BigInt::zero().is_negative());
+        assert_eq!(BigInt::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn small_arithmetic_matches_i128() {
+        let samples: Vec<i128> = vec![
+            0,
+            1,
+            -1,
+            7,
+            -13,
+            1 << 31,
+            (1i128 << 32) - 1,
+            1 << 32,
+            -(1i128 << 40),
+            123_456_789_012_345,
+            -987_654_321_000,
+        ];
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(big(a) + big(b), big(a + b), "{a} + {b}");
+                assert_eq!(big(a) - big(b), big(a - b), "{a} - {b}");
+                assert_eq!(big(a) * big(b), big(a * b), "{a} * {b}");
+                if b != 0 {
+                    let (q, r) = big(a).divrem(&big(b));
+                    assert_eq!(q, big(a / b), "{a} / {b}");
+                    assert_eq!(r, big(a % b), "{a} % {b}");
+                }
+                assert_eq!(big(a).cmp(&big(b)), a.cmp(&b), "cmp {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_limb_mul_div_roundtrip() {
+        let a: BigInt = "340282366920938463463374607431768211455".parse().unwrap(); // 2^128-1
+        let b: BigInt = "18446744073709551629".parse().unwrap();
+        let prod = &a * &b;
+        let (q, r) = prod.divrem(&b);
+        assert_eq!(q, a);
+        assert!(r.is_zero());
+        let (q2, r2) = (&prod + &BigInt::from(17u32)).divrem(&b);
+        assert_eq!(q2, a);
+        assert_eq!(r2, BigInt::from(17u32));
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for s in ["0", "-1", "123456789012345678901234567890", "-340282366920938463463374607431768211456"] {
+            let v: BigInt = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+        assert!("".parse::<BigInt>().is_err());
+        assert!("12a".parse::<BigInt>().is_err());
+        assert!("--5".parse::<BigInt>().is_err());
+    }
+
+    #[test]
+    fn shifts() {
+        let one = BigInt::one();
+        assert_eq!((&one << 100).to_string(), "1267650600228229401496703205376");
+        assert_eq!(&(&one << 100) >> 100, one);
+        assert_eq!(&(&one << 100) >> 101, BigInt::zero());
+        let v = big(0b1011);
+        assert_eq!(&v >> 2, big(0b10));
+    }
+
+    #[test]
+    fn gcd_matches_euclid() {
+        let cases = [(12i128, 18, 6), (0, 5, 5), (5, 0, 5), (0, 0, 0), (-12, 18, 6), (17, 13, 1), (1 << 40, 1 << 35, 1 << 35)];
+        for (a, b, g) in cases {
+            assert_eq!(big(a).gcd(&big(b)), big(g), "gcd({a},{b})");
+        }
+        let a: BigInt = "123456789123456789123456789".parse().unwrap();
+        let b: BigInt = "987654321987654321".parse().unwrap();
+        let g = a.gcd(&b);
+        assert!((&a % &g).is_zero());
+        assert!((&b % &g).is_zero());
+    }
+
+    #[test]
+    fn pow_and_bitlen() {
+        assert_eq!(big(2).pow(100), &BigInt::one() << 100);
+        assert_eq!(big(3).pow(5), big(243));
+        assert_eq!(big(0).pow(0), BigInt::one());
+        assert_eq!(big(255).bit_len(), 8);
+        assert_eq!(big(256).bit_len(), 9);
+        assert_eq!(BigInt::zero().bit_len(), 0);
+    }
+
+    #[test]
+    fn isqrt_and_perfect_square() {
+        for n in 0u64..2000 {
+            let r = BigInt::from(n).isqrt().to_u64().unwrap();
+            assert!(r * r <= n && (r + 1) * (r + 1) > n, "isqrt({n}) = {r}");
+        }
+        let big_square = big(12345678901234567).pow(2);
+        assert_eq!(big_square.perfect_sqrt(), Some(big(12345678901234567)));
+        assert_eq!((&big_square + &BigInt::one()).perfect_sqrt(), None);
+        assert_eq!(big(-4).perfect_sqrt(), None);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(big(i64::MAX as i128).to_i64(), Some(i64::MAX));
+        assert_eq!(big(i64::MIN as i128).to_i64(), Some(i64::MIN));
+        assert_eq!(big(i64::MIN as i128 - 1).to_i64(), None);
+        assert_eq!(BigInt::from(u64::MAX).to_u64(), Some(u64::MAX));
+        assert_eq!((&BigInt::from(u64::MAX) + &BigInt::one()).to_u64(), None);
+        assert_eq!(big(-1).to_u64(), None);
+        let v = big(1i128 << 80);
+        assert!((v.to_f64() - 2f64.powi(80)).abs() < 1e60);
+        assert_eq!(big(-42).to_f64(), -42.0);
+    }
+
+    #[test]
+    fn bit_access() {
+        let v = big(0b1010_0001);
+        assert!(v.bit(0));
+        assert!(!v.bit(1));
+        assert!(v.bit(5));
+        assert!(v.bit(7));
+        assert!(!v.bit(64));
+    }
+}

@@ -1,0 +1,220 @@
+//! The arithmetic-backend abstraction.
+//!
+//! Every algorithm in the workspace — the probability engine, the
+//! representable-triple geometry and both fixers — is generic over a
+//! numeric backend implementing [`Num`]. Two backends are provided:
+//!
+//! * [`BigRational`] — exact. Used in tests and whenever an audit of the
+//!   paper's property `P*` must be airtight.
+//! * `f64` — fast. Used by the benchmark harness; geometric membership
+//!   tests performed through this backend should apply a small relative
+//!   slack ([`F64_MARGIN`]) which the callers in `lll-core` add on the
+//!   conservative side.
+
+use std::fmt::{Debug, Display};
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use crate::rational::BigRational;
+
+/// Relative slack recommended when comparing derived `f64` quantities
+/// (e.g. membership of a triple in `S_rep`) so rounding noise cannot flip a
+/// decision the exact backend would make the other way.
+pub const F64_MARGIN: f64 = 1e-9;
+
+/// A numeric backend: an ordered field with the extra primitives the
+/// representable-triple geometry needs.
+///
+/// Implemented by `f64` (fast, approximate) and [`BigRational`] (exact).
+/// The arithmetic operator bounds are on owned values; generic code clones
+/// operands, which is free for `f64` and cheap relative to the bignum
+/// operations themselves for [`BigRational`].
+pub trait Num:
+    Clone
+    + Debug
+    + Display
+    + PartialEq
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + 'static
+{
+    /// Additive identity.
+    fn zero() -> Self;
+
+    /// Multiplicative identity.
+    fn one() -> Self;
+
+    /// The exact value `num/den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    fn from_ratio(num: i64, den: u64) -> Self;
+
+    /// Best-effort conversion from `f64` (exact for the rational backend —
+    /// every finite `f64` is dyadic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not finite.
+    fn from_f64_approx(v: f64) -> Self;
+
+    /// Approximate `f64` value.
+    fn to_f64(&self) -> f64;
+
+    /// Whether this backend makes exact decisions (`true` for
+    /// [`BigRational`], `false` for `f64`).
+    fn is_exact() -> bool;
+
+    /// Decides `sqrt(radicand) <= bound` (for `radicand >= 0`).
+    ///
+    /// Exact backends decide this via `bound >= 0 && radicand <= bound²`;
+    /// the `f64` backend compares square roots directly.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `radicand` is negative.
+    fn sqrt_leq(radicand: &Self, bound: &Self) -> bool;
+
+    /// Returns `true` iff the value is zero.
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+
+    /// Returns `true` iff the value is strictly positive.
+    fn is_positive(&self) -> bool {
+        *self > Self::zero()
+    }
+
+    /// Returns `true` iff the value is strictly negative.
+    fn is_negative(&self) -> bool {
+        *self < Self::zero()
+    }
+
+    /// Midpoint of two values, `(a + b) / 2` — used by the exact ternary
+    /// search in the triple-decomposition routine.
+    fn midpoint(a: &Self, b: &Self) -> Self {
+        (a.clone() + b.clone()) / Self::from_ratio(2, 1)
+    }
+}
+
+impl Num for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+
+    fn one() -> Self {
+        1.0
+    }
+
+    fn from_ratio(num: i64, den: u64) -> Self {
+        assert!(den != 0, "from_ratio with zero denominator");
+        num as f64 / den as f64
+    }
+
+    fn from_f64_approx(v: f64) -> Self {
+        assert!(v.is_finite(), "from_f64_approx of non-finite value");
+        v
+    }
+
+    fn to_f64(&self) -> f64 {
+        *self
+    }
+
+    fn is_exact() -> bool {
+        false
+    }
+
+    fn sqrt_leq(radicand: &Self, bound: &Self) -> bool {
+        debug_assert!(*radicand >= -F64_MARGIN, "negative radicand {radicand}");
+        radicand.max(0.0).sqrt() <= *bound
+    }
+}
+
+impl Num for BigRational {
+    fn zero() -> Self {
+        BigRational::zero()
+    }
+
+    fn one() -> Self {
+        BigRational::one()
+    }
+
+    fn from_ratio(num: i64, den: u64) -> Self {
+        BigRational::from_ratio(num, den)
+    }
+
+    fn from_f64_approx(v: f64) -> Self {
+        BigRational::from_f64(v).expect("from_f64_approx of non-finite value")
+    }
+
+    fn to_f64(&self) -> f64 {
+        BigRational::to_f64(self)
+    }
+
+    fn is_exact() -> bool {
+        true
+    }
+
+    fn sqrt_leq(radicand: &Self, bound: &Self) -> bool {
+        BigRational::sqrt_leq(radicand, bound)
+    }
+
+    fn is_zero(&self) -> bool {
+        BigRational::is_zero(self)
+    }
+
+    fn is_positive(&self) -> bool {
+        BigRational::is_positive(self)
+    }
+
+    fn is_negative(&self) -> bool {
+        BigRational::is_negative(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backend_smoke<T: Num>() {
+        let half = T::from_ratio(1, 2);
+        let quarter = half.clone() * half.clone();
+        assert_eq!(quarter, T::from_ratio(1, 4));
+        assert!(quarter < half);
+        assert_eq!(half.clone() + half.clone(), T::one());
+        assert_eq!(T::one() - T::one(), T::zero());
+        assert!(T::zero().is_zero());
+        assert!(T::one().is_positive());
+        assert!((-T::one()).is_negative());
+        assert_eq!(T::midpoint(&T::zero(), &T::one()), half);
+        // sqrt(1/4) = 1/2
+        assert!(T::sqrt_leq(&quarter, &half));
+        assert!(!T::sqrt_leq(&quarter, &T::from_ratio(49, 100)));
+        assert!((T::from_ratio(-7, 4).to_f64() + 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f64_backend() {
+        backend_smoke::<f64>();
+        assert!(!<f64 as Num>::is_exact());
+    }
+
+    #[test]
+    fn rational_backend() {
+        backend_smoke::<BigRational>();
+        assert!(<BigRational as Num>::is_exact());
+    }
+
+    #[test]
+    fn from_f64_approx_is_exact_for_rationals() {
+        let r = BigRational::from_f64_approx(0.1);
+        // 0.1 is not exactly 1/10 in binary; the conversion must be the
+        // exact dyadic value, not a decimal re-interpretation.
+        assert_ne!(r, BigRational::from_ratio(1, 10));
+        assert_eq!(r.to_f64(), 0.1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Small prime toolkit.
+//!
+//! Linial's coloring algorithm (implemented in `lll-coloring`) constructs
+//! cover-free set families from polynomials over the finite field `F_q` and
+//! needs, per reduction step, the smallest prime above a computed bound.
+//! The bounds are tiny (polynomial in the maximum degree and the logarithm
+//! of the current color count), so deterministic Miller–Rabin over `u64`
+//! is more than sufficient.
+
+/// Returns all primes strictly below `n` (sieve of Eratosthenes).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(lll_numeric::primes_below(12), vec![2, 3, 5, 7, 11]);
+/// ```
+pub fn primes_below(n: u64) -> Vec<u64> {
+    if n <= 2 {
+        return Vec::new();
+    }
+    let n = n as usize;
+    let mut sieve = vec![true; n];
+    sieve[0] = false;
+    sieve[1] = false;
+    let mut i = 2;
+    while i * i < n {
+        if sieve[i] {
+            let mut j = i * i;
+            while j < n {
+                sieve[j] = false;
+                j += i;
+            }
+        }
+        i += 1;
+    }
+    sieve.iter().enumerate().filter(|(_, &p)| p).map(|(i, _)| i as u64).collect()
+}
+
+fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc = 1u64 % m;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Deterministic Miller–Rabin primality test for `u64`.
+///
+/// Uses the witness set `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}`,
+/// which is known to be deterministic for all `n < 3.3·10^24` and hence for
+/// every `u64`.
+///
+/// # Examples
+///
+/// ```
+/// assert!(lll_numeric::is_prime_u64(2));
+/// assert!(lll_numeric::is_prime_u64(1_000_000_007));
+/// assert!(!lll_numeric::is_prime_u64(1_000_000_007u64 * 3));
+/// ```
+pub fn is_prime_u64(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Smallest prime `>= n`.
+///
+/// # Panics
+///
+/// Panics if no prime `>= n` fits in `u64` (cannot happen for the
+/// polynomially-small bounds used by the coloring algorithms).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(lll_numeric::next_prime(10), 11);
+/// assert_eq!(lll_numeric::next_prime(11), 11);
+/// ```
+pub fn next_prime(n: u64) -> u64 {
+    let mut c = n.max(2);
+    loop {
+        if is_prime_u64(c) {
+            return c;
+        }
+        c = c.checked_add(1).expect("no u64 prime above n");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sieve_matches_miller_rabin() {
+        let primes = primes_below(10_000);
+        for n in 0..10_000u64 {
+            assert_eq!(primes.binary_search(&n).is_ok(), is_prime_u64(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn sieve_edge_cases() {
+        assert!(primes_below(0).is_empty());
+        assert!(primes_below(2).is_empty());
+        assert_eq!(primes_below(3), vec![2]);
+    }
+
+    #[test]
+    fn known_large_primes() {
+        assert!(is_prime_u64(2_147_483_647)); // 2^31 - 1
+        assert!(is_prime_u64(67_280_421_310_721)); // factor of 2^128+1
+        assert!(!is_prime_u64(3_215_031_751)); // strong pseudoprime to bases 2,3,5,7
+        assert!(is_prime_u64(18_446_744_073_709_551_557)); // largest u64 prime
+    }
+
+    #[test]
+    fn next_prime_walks_forward() {
+        assert_eq!(next_prime(0), 2);
+        assert_eq!(next_prime(2), 2);
+        assert_eq!(next_prime(14), 17);
+        assert_eq!(next_prime(7908), 7919);
+    }
+}

@@ -1,0 +1,38 @@
+//! Optional Serde support (feature `serde`).
+//!
+//! [`BigInt`] serializes as its decimal string and [`BigRational`] as
+//! `"num/den"` (or just `"num"` for integers) — human-readable, lossless
+//! for arbitrary precision, and independent of the limb representation.
+
+use std::str::FromStr;
+
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+use crate::{BigInt, BigRational};
+
+impl Serialize for BigInt {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for BigInt {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        BigInt::from_str(&s).map_err(D::Error::custom)
+    }
+}
+
+impl Serialize for BigRational {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for BigRational {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        BigRational::from_str(&s).map_err(D::Error::custom)
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the exact arithmetic substrate.
+//!
+//! BigInt operations are checked against `i128` reference arithmetic and
+//! against algebraic laws on random multi-limb operands; BigRational is
+//! checked for field laws, ordering consistency and the exactness of the
+//! `sqrt_leq` decision procedure.
+
+use lll_numeric::{BigInt, BigRational, Num};
+use proptest::prelude::*;
+
+fn bigint_from_parts(sign: bool, limbs: Vec<u32>) -> BigInt {
+    let mut v = BigInt::zero();
+    for &l in limbs.iter().rev() {
+        v = &(&v << 32) + &BigInt::from(l);
+    }
+    if sign {
+        -v
+    } else {
+        v
+    }
+}
+
+prop_compose! {
+    fn arb_bigint()(sign in any::<bool>(), limbs in prop::collection::vec(any::<u32>(), 0..6)) -> BigInt {
+        bigint_from_parts(sign, limbs)
+    }
+}
+
+prop_compose! {
+    fn arb_rational()(n in -100_000i64..100_000, d in 1u64..100_000) -> BigRational {
+        BigRational::from_ratio(n, d)
+    }
+}
+
+proptest! {
+    #[test]
+    fn bigint_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let (ba, bb) = (BigInt::from(a), BigInt::from(b));
+        prop_assert_eq!(&ba + &bb, BigInt::from(a as i128 + b as i128));
+        prop_assert_eq!(&ba - &bb, BigInt::from(a as i128 - b as i128));
+        prop_assert_eq!(&ba * &bb, BigInt::from(a as i128 * b as i128));
+        if b != 0 {
+            let (q, r) = ba.divrem(&bb);
+            prop_assert_eq!(q, BigInt::from(a as i128 / b as i128));
+            prop_assert_eq!(r, BigInt::from(a as i128 % b as i128));
+        }
+    }
+
+    #[test]
+    fn bigint_ring_laws(a in arb_bigint(), b in arb_bigint(), c in arb_bigint()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        prop_assert_eq!(&a + &BigInt::zero(), a.clone());
+        prop_assert_eq!(&a * &BigInt::one(), a.clone());
+        prop_assert_eq!(&a - &a, BigInt::zero());
+    }
+
+    #[test]
+    fn bigint_divrem_reconstructs(a in arb_bigint(), b in arb_bigint()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.divrem(&b);
+        prop_assert_eq!(&(&q * &b) + &r, a.clone());
+        prop_assert!(r.abs() < b.abs());
+        // Truncated division: remainder sign matches dividend (or is zero).
+        prop_assert!(r.is_zero() || (r.is_negative() == a.is_negative()));
+    }
+
+    #[test]
+    fn bigint_display_parse_roundtrip(a in arb_bigint()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<BigInt>().unwrap(), a);
+    }
+
+    #[test]
+    fn bigint_shift_is_pow2_mul(a in arb_bigint(), s in 0u64..200) {
+        prop_assert_eq!(&a << s, &a * &BigInt::from(2u32).pow(s as u32));
+        prop_assert_eq!(&(&a << s) >> s, a.clone());
+    }
+
+    #[test]
+    fn bigint_gcd_divides_both(a in arb_bigint(), b in arb_bigint()) {
+        let g = a.gcd(&b);
+        if g.is_zero() {
+            prop_assert!(a.is_zero() && b.is_zero());
+        } else {
+            prop_assert!((&a % &g).is_zero());
+            prop_assert!((&b % &g).is_zero());
+        }
+    }
+
+    #[test]
+    fn bigint_isqrt_brackets(a in arb_bigint()) {
+        let a = a.abs();
+        let r = a.isqrt();
+        prop_assert!((&r * &r) <= a);
+        let r1 = &r + &BigInt::one();
+        prop_assert!((&r1 * &r1) > a);
+    }
+
+    #[test]
+    fn rational_field_laws(a in arb_rational(), b in arb_rational(), c in arb_rational()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        if !b.is_zero() {
+            prop_assert_eq!(&(&a / &b) * &b, a.clone());
+        }
+        prop_assert_eq!(&a - &a, BigRational::zero());
+    }
+
+    #[test]
+    fn rational_order_consistent_with_f64(a in arb_rational(), b in arb_rational()) {
+        // f64 has 53 bits; our operands are small enough that exact
+        // ordering and float ordering must agree unless the floats tie.
+        let (fa, fb) = (a.to_f64(), b.to_f64());
+        if fa != fb {
+            prop_assert_eq!(a < b, fa < fb);
+        }
+    }
+
+    #[test]
+    fn rational_sqrt_leq_agrees_with_f64(r in arb_rational(), b in arb_rational()) {
+        let r = r.abs();
+        let exact = BigRational::sqrt_leq(&r, &b);
+        let float = r.to_f64().sqrt() <= b.to_f64();
+        // They may legitimately disagree only within float noise.
+        if (r.to_f64().sqrt() - b.to_f64()).abs() > 1e-7 {
+            prop_assert_eq!(exact, float);
+        }
+    }
+
+    #[test]
+    fn rational_from_f64_exact(v in -1e15f64..1e15) {
+        let r = BigRational::from_f64(v).unwrap();
+        prop_assert_eq!(r.to_f64(), v);
+    }
+
+    #[test]
+    fn rational_parse_display_roundtrip(a in arb_rational()) {
+        prop_assert_eq!(a.to_string().parse::<BigRational>().unwrap(), a);
+    }
+
+    #[test]
+    fn num_backends_agree(n in -1000i64..1000, d in 1u64..1000, n2 in -1000i64..1000, d2 in 1u64..1000) {
+        let (rf, rr) = (f64::from_ratio(n, d), BigRational::from_ratio(n, d));
+        let (sf, sr) = (f64::from_ratio(n2, d2), BigRational::from_ratio(n2, d2));
+        prop_assert!(((rf + sf) - (rr.clone() + sr.clone()).to_f64()).abs() < 1e-9);
+        prop_assert!(((rf * sf) - (rr * sr).to_f64()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,26 @@
+//! Round-trip tests for the optional Serde support (feature `serde`).
+#![cfg(feature = "serde")]
+
+use lll_numeric::{BigInt, BigRational};
+
+#[test]
+fn bigint_json_roundtrip() {
+    for s in ["0", "-1", "123456789012345678901234567890"] {
+        let v: BigInt = s.parse().unwrap();
+        let json = serde_json::to_string(&v).unwrap();
+        assert_eq!(json, format!("\"{s}\""));
+        let back: BigInt = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+    assert!(serde_json::from_str::<BigInt>("\"12x\"").is_err());
+}
+
+#[test]
+fn bigrational_json_roundtrip() {
+    for s in ["0", "-3/4", "22/7", "123456789123456789/1000000007"] {
+        let v: BigRational = s.parse().unwrap();
+        let back: BigRational = serde_json::from_str(&serde_json::to_string(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+    }
+    assert!(serde_json::from_str::<BigRational>("\"1/0\"").is_err());
+}

@@ -1,0 +1,50 @@
+//! Deterministic SAT solving for bounded-intersection formulas.
+//!
+//! Every clause is a bad event, every boolean variable occurs in at most
+//! 3 clauses (rank ≤ 3), and clauses are wide enough that
+//! `p = 2^-width < 2^-d` — so the rank-3 fixer of Theorem 1.3 *is* a
+//! deterministic SAT solver for this fragment.
+//!
+//! ```text
+//! cargo run --release --example sat_solver -- [num_clauses] [width] [seed]
+//! ```
+
+use std::env;
+
+use sharp_lll::apps::sat::{ring_formula, solve, CnfFormula};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = env::args().skip(1);
+    let num_clauses: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(60);
+    let width: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(5);
+    let seed: u64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(42);
+
+    println!("generating a bounded-intersection formula:");
+    println!("  clauses: {num_clauses}, width: {width}, seed: {seed}");
+    let cnf = ring_formula(num_clauses, width, seed);
+    println!("  variables: {}", cnf.num_vars());
+    println!("  max occurrences per variable: {}", cnf.max_occurrences());
+
+    let inst = cnf.to_instance::<f64>()?;
+    println!("  clause-intersection degree d: {}", inst.max_dependency_degree());
+    println!("  criterion p*2^d = 2^(d-width): {}", inst.criterion_value());
+
+    let assignment = solve(&cnf)?;
+    assert!(cnf.is_satisfied(&assignment));
+    let trues = assignment.iter().filter(|&&v| v).count();
+    println!("SAT: satisfying assignment found deterministically ({trues} variables true).");
+
+    // A hand-made formula, for flavor: x1 guards three short clauses.
+    let tiny = CnfFormula::new(
+        7,
+        vec![
+            vec![1, 2, 3, 4, 5, 6],
+            vec![-1, 2, -3, 5, 6, 7],
+            vec![1, -2, 4, -5, -6, -7],
+        ],
+    )?;
+    let a = solve(&tiny)?;
+    assert!(tiny.is_satisfied(&a));
+    println!("tiny 3-clause formula also satisfied: {a:?}");
+    Ok(())
+}

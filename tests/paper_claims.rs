@@ -1,0 +1,202 @@
+//! Executable statements of the paper's claims, spanning all crates.
+//!
+//! Each test names the theorem/lemma/corollary it exercises.
+
+use sharp_lll::apps::sinkless::sinkless_orientation_instance;
+use sharp_lll::core::dist::{distributed_fixer2, distributed_fixer3, CriterionCheck};
+use sharp_lll::core::triples::{decompose, f_surface, is_representable};
+use sharp_lll::core::{audit_p_star, Fixer2, Fixer3, FixerError, Instance, InstanceBuilder};
+use sharp_lll::graphs::gen::{hyper_ring, random_3_uniform, random_regular, ring, torus};
+use sharp_lll::local::log_star;
+use sharp_lll::numeric::{BigRational, Num};
+
+fn q(n: i64, d: u64) -> BigRational {
+    BigRational::from_ratio(n, d)
+}
+
+/// One fair k-valued variable per edge; event at node v occurs iff all
+/// incident variables take value 0: p = k^-deg, d = Δ.
+fn edge_instance<T: Num>(g: &sharp_lll::graphs::Graph, k: usize) -> Instance<T> {
+    let mut b = InstanceBuilder::<T>::new(g.num_nodes());
+    let vars: Vec<usize> = (0..g.num_edges())
+        .map(|eid| {
+            let (u, v) = g.edge(eid);
+            b.add_uniform_variable(&[u, v], k)
+        })
+        .collect();
+    for v in 0..g.num_nodes() {
+        let support: Vec<usize> = g.incident_edges(v).iter().map(|&e| vars[e]).collect();
+        b.set_event_predicate(v, move |vals| support.iter().all(|&x| vals[x] == 0));
+    }
+    b.build().expect("valid instance")
+}
+
+/// One fair k-valued variable per hyperedge; event at node v occurs iff
+/// all incident variables take value 0.
+fn hyperedge_instance<T: Num>(h: &sharp_lll::graphs::Hypergraph, k: usize) -> Instance<T> {
+    let mut b = InstanceBuilder::<T>::new(h.num_nodes());
+    let vars: Vec<usize> =
+        (0..h.num_edges()).map(|i| b.add_uniform_variable(h.edge(i).nodes(), k)).collect();
+    for v in 0..h.num_nodes() {
+        let support: Vec<usize> = h.incident(v).iter().map(|&i| vars[i]).collect();
+        b.set_event_predicate(v, move |vals| support.iter().all(|&x| vals[x] == 0));
+    }
+    b.build().expect("valid instance")
+}
+
+#[test]
+fn theorem_1_1_rank2_fixing_below_threshold() {
+    // p < 2^-d and rank <= 2 ⇒ the sequential process avoids all events,
+    // in any order. k = 3 on Δ-regular graphs gives p·2^d = (2/3)^Δ < 1.
+    for (name, g) in [
+        ("ring", ring(24)),
+        ("torus", torus(4, 5)),
+        ("5-regular", random_regular(24, 5, 1).expect("feasible")),
+    ] {
+        let inst = edge_instance::<BigRational>(&g, 3);
+        assert!(inst.satisfies_exponential_criterion(), "{name}");
+        for seed in 0..3u64 {
+            let order = {
+                use rand::seq::SliceRandom;
+                use rand::{rngs::StdRng, SeedableRng};
+                let mut o: Vec<usize> = (0..inst.num_variables()).collect();
+                o.shuffle(&mut StdRng::seed_from_u64(seed));
+                o
+            };
+            let report = Fixer2::new(&inst).expect("below threshold").run(order);
+            assert!(report.is_success(), "{name}, seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn theorem_1_3_rank3_fixing_below_threshold_with_exact_p_star() {
+    let h = hyper_ring(10);
+    let inst = hyperedge_instance::<BigRational>(&h, 3); // p = 1/27, d = 4
+    assert_eq!(inst.criterion_value(), q(16, 27));
+    let p = inst.max_event_probability();
+    let mut fixer = Fixer3::new(&inst).expect("below threshold");
+    for x in 0..inst.num_variables() {
+        fixer.fix_variable(x);
+        let audit = audit_p_star(&inst, fixer.partial(), fixer.phi(), &p, &BigRational::zero());
+        assert!(audit.holds(), "P* violated after variable {x}: {audit:?}");
+    }
+    assert!(fixer.invariant_intact());
+    assert!(fixer.into_report().is_success());
+}
+
+#[test]
+fn lemma_3_5_characterization_spot_checks() {
+    // Representability ⇔ a+b ≤ 4 ∧ c ≤ f(a,b); check exact membership
+    // against the closed-form surface at rational points.
+    for (a, b) in [(0.5f64, 0.5), (1.0, 2.0), (2.5, 1.0), (0.25, 3.5)] {
+        let f = f_surface(a, b);
+        let (qa, qb) = (
+            BigRational::from_f64(a).expect("finite"),
+            BigRational::from_f64(b).expect("finite"),
+        );
+        let below = BigRational::from_f64(f - 1e-9).expect("finite");
+        let above = BigRational::from_f64(f + 1e-9).expect("finite");
+        assert!(is_representable(&qa, &qb, &below), "({a},{b}) just below surface");
+        assert!(!is_representable(&qa, &qb, &above), "({a},{b}) just above surface");
+    }
+}
+
+#[test]
+fn definition_3_3_decompositions_witness_membership() {
+    // Every exact decomposition must reproduce the triple exactly and
+    // satisfy the pair-sum constraints — over a rational grid.
+    for i in 0..=6i64 {
+        for j in 0..=6i64 {
+            for l in 0..=6i64 {
+                let (a, b, c) = (q(i, 2), q(j, 2), q(l, 2));
+                let member = is_representable(&a, &b, &c);
+                match decompose(&a, &b, &c) {
+                    Some(d) => {
+                        assert!(member, "decompose succeeded outside S_rep at ({a},{b},{c})");
+                        assert!(d.covers(&a, &b, &c, &BigRational::zero()));
+                    }
+                    None => assert!(!member, "decompose failed inside S_rep at ({a},{b},{c})"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn corollary_1_2_rounds_do_not_grow_with_n() {
+    let sizes = [512usize, 4096, 32768];
+    let mut rounds = Vec::new();
+    for &n in &sizes {
+        let g = ring(n);
+        let inst = edge_instance::<f64>(&g, 3);
+        let rep = distributed_fixer2(&inst, 9, CriterionCheck::Enforce).expect("below threshold");
+        assert!(rep.fix.is_success());
+        rounds.push(rep.rounds);
+    }
+    let slack = 2 * (log_star(32768) - log_star(512)) as usize + 4;
+    assert!(
+        rounds[2] <= rounds[0] + slack,
+        "rounds {rounds:?} grew faster than log* over {sizes:?}"
+    );
+}
+
+#[test]
+fn corollary_1_4_rounds_do_not_grow_with_n() {
+    let sizes = [1024usize, 8192];
+    let mut rounds = Vec::new();
+    for &n in &sizes {
+        let h = hyper_ring(n);
+        let inst = hyperedge_instance::<f64>(&h, 3);
+        let rep = distributed_fixer3(&inst, 9, CriterionCheck::Enforce).expect("below threshold");
+        assert!(rep.fix.is_success());
+        rounds.push(rep.rounds);
+    }
+    let slack = 2 * (log_star(8192) - log_star(1024)) as usize + 4;
+    assert!(rounds[1] <= rounds[0] + slack, "rounds {rounds:?} grew faster than log*");
+}
+
+#[test]
+fn sinkless_orientation_sits_exactly_at_the_threshold() {
+    // The paper's boundary witness: p·2^d = 1 on regular graphs, and the
+    // deterministic guarantee is refused.
+    let g = random_regular(32, 4, 5).expect("feasible");
+    let inst = sinkless_orientation_instance::<BigRational>(&g).expect("no isolated nodes");
+    assert_eq!(inst.criterion_value(), BigRational::one());
+    assert!(matches!(Fixer2::new(&inst), Err(FixerError::CriterionViolated { .. })));
+}
+
+#[test]
+fn order_obliviousness_is_real_not_just_lucky() {
+    // Fix the *same* instance under many adversarial orders including
+    // reversed and interleaved; every one must succeed (Theorem 1.3
+    // quantifies over all orders).
+    // Random 3-uniform hypergraphs can reach dependency degree 6, so
+    // k = 5 is needed for p = k^-3 < 2^-6.
+    let h = random_3_uniform(15, 3, 2).expect("feasible");
+    let inst = hyperedge_instance::<f64>(&h, 5);
+    assert!(inst.satisfies_exponential_criterion());
+    let m = inst.num_variables();
+    // The stride-7 order is a permutation because gcd(7, m) = 1.
+    assert!(!m.is_multiple_of(7) && m == 15, "stride order needs gcd(7, m) = 1");
+    let orders: Vec<Vec<usize>> = vec![
+        (0..m).collect(),
+        (0..m).rev().collect(),
+        (0..m).map(|i| (i * 7) % m).collect(),
+    ];
+    for (i, order) in orders.into_iter().enumerate() {
+        let report = Fixer3::new(&inst).expect("below threshold").run(order);
+        assert!(report.is_success(), "order family {i}");
+    }
+}
+
+#[test]
+fn backends_agree_end_to_end() {
+    let h = hyper_ring(8);
+    let exact = hyperedge_instance::<BigRational>(&h, 3);
+    let float = hyperedge_instance::<f64>(&h, 3);
+    let re = Fixer3::new(&exact).expect("below threshold").run_default();
+    let rf = Fixer3::new(&float).expect("below threshold").run_default();
+    assert_eq!(re.assignment(), rf.assignment());
+    assert!((exact.criterion_value().to_f64() - float.criterion_value()).abs() < 1e-12);
+}

@@ -1,0 +1,254 @@
+//! Cross-crate property tests: the paper's invariants under randomized
+//! instance generation.
+
+use proptest::prelude::*;
+use sharp_lll::core::triples::{decompose, is_representable, representability_score};
+use sharp_lll::core::{audit_p_star, Fixer2, Fixer3, Instance, InstanceBuilder};
+use sharp_lll::graphs::gen::{hyper_ring, ring};
+use sharp_lll::numeric::BigRational;
+
+fn q(n: i64, d: u64) -> BigRational {
+    BigRational::from_ratio(n, d)
+}
+
+prop_compose! {
+    /// A rational point in [0, 5)³ with small denominators.
+    fn arb_triple()(a in 0i64..40, b in 0i64..40, c in 0i64..40) -> (BigRational, BigRational, BigRational) {
+        (q(a, 8), q(b, 8), q(c, 8))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// S_rep is downward closed (shrinking coordinates keeps membership).
+    #[test]
+    fn s_rep_downward_closed((a, b, c) in arb_triple(), na in 1i64..8, nb in 1i64..8, nc in 1i64..8) {
+        if is_representable(&a, &b, &c) {
+            let (sa, sb, sc) = (
+                &a * &q(na, 8),
+                &b * &q(nb, 8),
+                &c * &q(nc, 8),
+            );
+            prop_assert!(is_representable(&sa, &sb, &sc));
+        }
+    }
+
+    /// Incurvedness (Lemma 3.7): segments between outside points stay
+    /// outside.
+    #[test]
+    fn s_rep_incurved((a, b, c) in arb_triple(), (a2, b2, c2) in arb_triple(), t in 1i64..8) {
+        prop_assume!(!is_representable(&a, &b, &c));
+        prop_assume!(!is_representable(&a2, &b2, &c2));
+        let lam = q(t, 8);
+        let one = BigRational::one();
+        let co = &one - &lam;
+        let mid = (
+            &(&a * &lam) + &(&a2 * &co),
+            &(&b * &lam) + &(&b2 * &co),
+            &(&c * &lam) + &(&c2 * &co),
+        );
+        prop_assert!(!is_representable(&mid.0, &mid.1, &mid.2));
+    }
+
+    /// Exact decompositions exist exactly on S_rep and verify exactly.
+    #[test]
+    fn decompose_iff_representable((a, b, c) in arb_triple()) {
+        match decompose(&a, &b, &c) {
+            Some(d) => {
+                prop_assert!(is_representable(&a, &b, &c));
+                prop_assert!(d.covers(&a, &b, &c, &BigRational::zero()));
+                prop_assert_eq!(d.c2.clone() * d.c3.clone(), c);
+            }
+            None => prop_assert!(!is_representable(&a, &b, &c)),
+        }
+    }
+
+    /// The score's sign decides membership (exact backend).
+    #[test]
+    fn score_sign_is_membership((a, b, c) in arb_triple()) {
+        let score = representability_score(&a, &b, &c);
+        prop_assert_eq!(score >= BigRational::zero(), is_representable(&a, &b, &c));
+    }
+
+    /// Theorem 1.1 as a property: random below-threshold rank-2
+    /// instances are always fixed, whatever the (seeded) order.
+    #[test]
+    fn fixer2_always_succeeds_below_threshold(seed in 0u64..500, n in 6usize..14) {
+        let g = ring(n);
+        let inst = random_edge_instance(&g, seed);
+        prop_assume!(inst.satisfies_exponential_criterion());
+        let order = shuffled(inst.num_variables(), seed);
+        let report = Fixer2::new(&inst).expect("below threshold").run(order);
+        prop_assert!(report.is_success());
+    }
+
+    /// Theorem 1.3 as a property, with the exact P* audit at the end.
+    #[test]
+    fn fixer3_always_succeeds_below_threshold(seed in 0u64..200, n in 6usize..10) {
+        let h = hyper_ring(n);
+        let inst = random_hyper_instance(&h, seed);
+        prop_assume!(inst.satisfies_exponential_criterion());
+        let order = shuffled(inst.num_variables(), seed);
+        let p = inst.max_event_probability();
+        let mut fixer = Fixer3::new(&inst).expect("below threshold");
+        for x in order {
+            fixer.fix_variable(x);
+        }
+        let audit = audit_p_star(&inst, fixer.partial(), fixer.phi(), &p, &BigRational::zero());
+        prop_assert!(audit.holds());
+        prop_assert!(fixer.into_report().is_success());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The weighted rank-2 lemma (Section 3.1 of the paper): for any
+    /// distribution p over values y, any increase factors with
+    /// expectation 1 per event, and any weights s + t ≤ 2, some value
+    /// satisfies s·Inc_u(y) + t·Inc_v(y) ≤ 2. (Linearity of expectation
+    /// — here checked on random data, exactly.)
+    #[test]
+    fn weighted_rank2_lemma(
+        raw_p in prop::collection::vec(1i64..20, 2..6),
+        raw_u in prop::collection::vec(0i64..20, 6),
+        raw_v in prop::collection::vec(0i64..20, 6),
+        s_num in 0i64..16,
+    ) {
+        let k = raw_p.len();
+        let total: i64 = raw_p.iter().sum();
+        let p: Vec<BigRational> = raw_p.iter().map(|&x| q(x, total as u64)).collect();
+        // Inc with expectation exactly 1: normalize raw weights by their
+        // p-expectation (guard against all-zero rows).
+        let normalize = |raw: &[i64]| -> Option<Vec<BigRational>> {
+            let mut exp = BigRational::zero();
+            for (pi, &g) in p.iter().zip(raw) {
+                exp = &exp + &(pi * &q(g, 1));
+            }
+            if exp.is_zero() {
+                return None;
+            }
+            Some(raw.iter().map(|&g| &q(g, 1) / &exp).collect())
+        };
+        let (Some(inc_u), Some(inc_v)) = (normalize(&raw_u[..k]), normalize(&raw_v[..k])) else {
+            return Ok(());
+        };
+        let s = q(s_num, 8);
+        let t = &q(2, 1) - &s; // s + t = 2 (worst case)
+        let best = (0..k)
+            .map(|y| &(&s * &inc_u[y]) + &(&t * &inc_v[y]))
+            .min()
+            .expect("k >= 2");
+        prop_assert!(best <= q(2, 1), "min weighted increase {best} > 2");
+    }
+
+    /// Lemma 3.9, contrapositive form: because S_rep is incurved, for
+    /// every rank-3 variable (any distribution, any expectation-1
+    /// increase factors) and every representable (a, b, c), some value's
+    /// scaled triple stays representable — i.e. not all values are
+    /// "(a,b,c)-evil".
+    #[test]
+    fn lemma_3_9_some_value_is_not_evil(
+        raw_p in prop::collection::vec(1i64..20, 2..6),
+        raw_u in prop::collection::vec(0i64..20, 6),
+        raw_v in prop::collection::vec(0i64..20, 6),
+        raw_w in prop::collection::vec(0i64..20, 6),
+        ai in 0i64..32,
+        bj in 0i64..32,
+        cf in 0i64..8,
+    ) {
+        // Build a representable triple constructively: a + b <= 4, then
+        // shrink a candidate c until it enters S_rep (downward closure;
+        // c = 0 always qualifies).
+        let a = q(ai, 8);
+        let b = q((32 - ai).min(bj), 8);
+        let mut c = &q(cf, 2) + &q(1, 4);
+        for _ in 0..16 {
+            if is_representable(&a, &b, &c) {
+                break;
+            }
+            c = &c * &q(1, 2);
+        }
+        if !is_representable(&a, &b, &c) {
+            c = BigRational::zero();
+        }
+        prop_assert!(is_representable(&a, &b, &c));
+        let k = raw_p.len();
+        let total: i64 = raw_p.iter().sum();
+        let p: Vec<BigRational> = raw_p.iter().map(|&x| q(x, total as u64)).collect();
+        let normalize = |raw: &[i64]| -> Option<Vec<BigRational>> {
+            let mut exp = BigRational::zero();
+            for (pi, &g) in p.iter().zip(raw) {
+                exp = &exp + &(pi * &q(g, 1));
+            }
+            if exp.is_zero() {
+                return None;
+            }
+            Some(raw.iter().map(|&g| &q(g, 1) / &exp).collect())
+        };
+        let (Some(iu), Some(iv), Some(iw)) =
+            (normalize(&raw_u[..k]), normalize(&raw_v[..k]), normalize(&raw_w[..k]))
+        else {
+            return Ok(());
+        };
+        let good = (0..k).any(|y| {
+            is_representable(&(&iu[y] * &a), &(&iv[y] * &b), &(&iw[y] * &c))
+        });
+        prop_assert!(good, "every value was evil for ({a}, {b}, {c})");
+    }
+}
+
+fn shuffled(m: usize, seed: u64) -> Vec<usize> {
+    use rand::seq::SliceRandom;
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut o: Vec<usize> = (0..m).collect();
+    o.shuffle(&mut StdRng::seed_from_u64(seed));
+    o
+}
+
+/// Random rank-2 instance on the edges of `g`: 4-valued variables —
+/// uniform or biased (1/10, 2/10, 3/10, 4/10) — with events occurring
+/// on one random joint value. On a ring (`deg = d = 2`) the criterion
+/// value is at most `(4/10)²·4 = 0.64 < 1`, so the generated instances
+/// are below the threshold *by construction*.
+fn random_edge_instance(g: &sharp_lll::graphs::Graph, seed: u64) -> Instance<BigRational> {
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = InstanceBuilder::<BigRational>::new(g.num_nodes());
+    let vars: Vec<usize> = (0..g.num_edges())
+        .map(|eid| {
+            let (u, v) = g.edge(eid);
+            let probs = if rng.random::<bool>() {
+                vec![q(1, 4), q(1, 4), q(1, 4), q(1, 4)]
+            } else {
+                vec![q(1, 10), q(2, 10), q(3, 10), q(4, 10)]
+            };
+            b.add_variable(&[u, v], probs)
+        })
+        .collect();
+    for v in 0..g.num_nodes() {
+        let support: Vec<usize> = g.incident_edges(v).iter().map(|&e| vars[e]).collect();
+        let pattern: Vec<usize> = support.iter().map(|_| rng.random_range(0..4usize)).collect();
+        let sp: Vec<(usize, usize)> = support.into_iter().zip(pattern).collect();
+        b.set_event_predicate(v, move |vals| sp.iter().all(|&(x, want)| vals[x] == want));
+    }
+    b.build().expect("valid instance")
+}
+
+/// Random rank-3 instance on the hyperedges of `h`: 3-valued variables,
+/// events occur on one random joint value (p = 3^-deg).
+fn random_hyper_instance(h: &sharp_lll::graphs::Hypergraph, seed: u64) -> Instance<BigRational> {
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = InstanceBuilder::<BigRational>::new(h.num_nodes());
+    let vars: Vec<usize> =
+        (0..h.num_edges()).map(|i| b.add_uniform_variable(h.edge(i).nodes(), 3)).collect();
+    for v in 0..h.num_nodes() {
+        let support: Vec<usize> = h.incident(v).iter().map(|&i| vars[i]).collect();
+        let pattern: Vec<usize> = support.iter().map(|_| rng.random_range(0..3usize)).collect();
+        let sp: Vec<(usize, usize)> = support.into_iter().zip(pattern).collect();
+        b.set_event_predicate(v, move |vals| sp.iter().all(|&(x, want)| vals[x] == want));
+    }
+    b.build().expect("valid instance")
+}
