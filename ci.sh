@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Local CI gate. Mirrors .github/workflows/ci.yml exactly; run before
+# pushing. The workspace builds fully offline (deps vendored under
+# vendor/), so no registry access is required.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (tier-1 gate)"
+cargo test -q
+
+echo "==> cargo test --workspace -q (full suite)"
+cargo test --workspace -q
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> OK"

@@ -40,7 +40,9 @@ pub fn hyper_orientation_instance<T: Num>(h: &Hypergraph) -> Result<Instance<T>,
         }
     }
     if (0..h.num_nodes()).any(|v| h.degree(v) == 0) {
-        return Err(AppError::BadInput("isolated node can never be non-sink".to_owned()));
+        return Err(AppError::BadInput(
+            "isolated node can never be non-sink".to_owned(),
+        ));
     }
     let mut b = InstanceBuilder::<T>::new(h.num_nodes());
     let vars: Vec<usize> = (0..h.num_edges())
@@ -52,7 +54,12 @@ pub fn hyper_orientation_instance<T: Num>(h: &Hypergraph) -> Result<Instance<T>,
             .incident(v)
             .iter()
             .map(|&i| {
-                let pos = h.edge(i).nodes().iter().position(|&u| u == v).expect("v is incident");
+                let pos = h
+                    .edge(i)
+                    .nodes()
+                    .iter()
+                    .position(|&u| u == v)
+                    .expect("v is incident");
                 (vars[i], pos)
             })
             .collect();
@@ -60,14 +67,18 @@ pub fn hyper_orientation_instance<T: Num>(h: &Hypergraph) -> Result<Instance<T>,
             let mut sink_rounds = 0;
             for round in 0..NUM_ORIENTATIONS {
                 let divisor = 3usize.pow(round as u32);
-                if incident.iter().all(|&(x, pos)| (vals[x] / divisor) % 3 == pos) {
+                if incident
+                    .iter()
+                    .all(|&(x, pos)| (vals[x] / divisor) % 3 == pos)
+                {
                     sink_rounds += 1;
                 }
             }
             sink_rounds >= 2
         });
     }
-    b.build().map_err(|e: BuildError| AppError::BadInput(e.to_string()))
+    b.build()
+        .map_err(|e: BuildError| AppError::BadInput(e.to_string()))
 }
 
 /// Decodes an assignment into heads: `heads[i][round]` is the *node*
@@ -87,11 +98,7 @@ pub fn heads_from_assignment(
 }
 
 /// In how many of the three orientations is `v` a non-sink?
-pub fn non_sink_rounds(
-    h: &Hypergraph,
-    heads: &[[usize; NUM_ORIENTATIONS]],
-    v: usize,
-) -> usize {
+pub fn non_sink_rounds(h: &Hypergraph, heads: &[[usize; NUM_ORIENTATIONS]], v: usize) -> usize {
     (0..NUM_ORIENTATIONS)
         .filter(|&round| h.incident(v).iter().any(|&i| heads[i][round] != v))
         .count()
@@ -133,7 +140,9 @@ pub fn hyper_orientation_instance_general<T: Num>(
         }
     }
     if (0..h.num_nodes()).any(|v| h.degree(v) == 0) {
-        return Err(AppError::BadInput("isolated node can never be non-sink".to_owned()));
+        return Err(AppError::BadInput(
+            "isolated node can never be non-sink".to_owned(),
+        ));
     }
     let num_values = 3usize.pow(m as u32);
     let mut b = InstanceBuilder::<T>::new(h.num_nodes());
@@ -146,7 +155,12 @@ pub fn hyper_orientation_instance_general<T: Num>(
             .incident(v)
             .iter()
             .map(|&i| {
-                let pos = h.edge(i).nodes().iter().position(|&u| u == v).expect("v is incident");
+                let pos = h
+                    .edge(i)
+                    .nodes()
+                    .iter()
+                    .position(|&u| u == v)
+                    .expect("v is incident");
                 (vars[i], pos)
             })
             .collect();
@@ -154,14 +168,18 @@ pub fn hyper_orientation_instance_general<T: Num>(
             let mut sink_rounds = 0;
             for round in 0..m {
                 let divisor = 3usize.pow(round as u32);
-                if incident.iter().all(|&(x, pos)| (vals[x] / divisor) % 3 == pos) {
+                if incident
+                    .iter()
+                    .all(|&(x, pos)| (vals[x] / divisor) % 3 == pos)
+                {
                     sink_rounds += 1;
                 }
             }
             sink_rounds > max_sink_rounds
         });
     }
-    b.build().map_err(|e: BuildError| AppError::BadInput(e.to_string()))
+    b.build()
+        .map_err(|e: BuildError| AppError::BadInput(e.to_string()))
 }
 
 /// The failure probability of a degree-`delta` node under `m` random
@@ -189,7 +207,9 @@ fn binomial(n: usize, k: usize) -> u64 {
 
 #[cfg(test)]
 pub(crate) fn tests_support_fix(inst: &Instance<f64>) -> lll_core::FixReport {
-    lll_core::Fixer3::new(inst).expect("below threshold").run_default()
+    lll_core::Fixer3::new(inst)
+        .expect("below threshold")
+        .run_default()
 }
 
 #[cfg(test)]
@@ -209,8 +229,7 @@ mod tests {
         let q = BigRational::from_ratio(1, 27);
         let one = BigRational::one();
         let three = BigRational::from_ratio(3, 1);
-        let expected = &(&(&three * &q) * &q) * &(&one - &q)
-            + &(&(&q * &q) * &q);
+        let expected = &(&(&three * &q) * &q) * &(&one - &q) + &(&(&q * &q) * &q);
         assert_eq!(inst.max_event_probability(), expected);
         assert!(inst.satisfies_exponential_criterion());
         assert!(inst.criterion_value() < BigRational::from_ratio(1, 10));
@@ -278,8 +297,14 @@ mod tests {
         let h = hyper_ring(9);
         let special = hyper_orientation_instance::<BigRational>(&h).unwrap();
         let general = hyper_orientation_instance_general::<BigRational>(&h, 3, 2).unwrap();
-        assert_eq!(special.max_event_probability(), general.max_event_probability());
-        assert_eq!(special.max_dependency_degree(), general.max_dependency_degree());
+        assert_eq!(
+            special.max_event_probability(),
+            general.max_event_probability()
+        );
+        assert_eq!(
+            special.max_dependency_degree(),
+            general.max_dependency_degree()
+        );
     }
 
     #[test]
@@ -299,7 +324,7 @@ mod tests {
     #[test]
     fn stricter_demands_cross_the_threshold() {
         let h = hyper_ring(12); // delta = 3, d = 4
-        // t = 2 of 3: below threshold (the paper's setting).
+                                // t = 2 of 3: below threshold (the paper's setting).
         let relaxed = hyper_orientation_instance_general::<f64>(&h, 3, 2).unwrap();
         assert!(relaxed.satisfies_exponential_criterion());
         // t = 3 of 3 (non-sink in EVERY orientation): p jumps to

@@ -12,7 +12,7 @@
 use std::fmt;
 use std::str::FromStr;
 
-use lll_core::{BuildError, FixerError, Fixer3, Instance, InstanceBuilder};
+use lll_core::{BuildError, Fixer3, FixerError, Instance, InstanceBuilder};
 use lll_numeric::Num;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -46,7 +46,9 @@ impl CnfFormula {
             }
             for &l in clause {
                 if l == 0 || l.unsigned_abs() as usize > num_vars {
-                    return Err(AppError::BadInput(format!("clause {i} has bad literal {l}")));
+                    return Err(AppError::BadInput(format!(
+                        "clause {i} has bad literal {l}"
+                    )));
                 }
             }
         }
@@ -110,7 +112,10 @@ impl CnfFormula {
         let mut b = InstanceBuilder::<T>::new(self.clauses.len());
         for (x, a) in affects.iter().enumerate() {
             if a.is_empty() {
-                return Err(AppError::BadInput(format!("variable {} occurs nowhere", x + 1)));
+                return Err(AppError::BadInput(format!(
+                    "variable {} occurs nowhere",
+                    x + 1
+                )));
             }
             b.add_uniform_variable(a, 2);
         }
@@ -136,7 +141,8 @@ trait BuildExt<T> {
 
 impl<T: Num> BuildExt<T> for InstanceBuilder<T> {
     fn to_instance_result(&self) -> Result<Instance<T>, AppError> {
-        self.build().map_err(|e: BuildError| AppError::BadInput(e.to_string()))
+        self.build()
+            .map_err(|e: BuildError| AppError::BadInput(e.to_string()))
     }
 }
 
@@ -249,8 +255,13 @@ impl std::error::Error for SatError {}
 /// [`SatError::OutOfRegime`] when the guarantee conditions fail.
 pub fn solve(cnf: &CnfFormula) -> Result<Vec<bool>, SatError> {
     let inst: Instance<f64> = cnf.to_instance().map_err(SatError::BadFormula)?;
-    let report = Fixer3::new(&inst).map_err(SatError::OutOfRegime)?.run_default();
-    debug_assert!(report.is_success(), "Theorem 1.3 guarantees success below the threshold");
+    let report = Fixer3::new(&inst)
+        .map_err(SatError::OutOfRegime)?
+        .run_default();
+    debug_assert!(
+        report.is_success(),
+        "Theorem 1.3 guarantees success below the threshold"
+    );
     Ok(report.assignment().iter().map(|&v| v == 1).collect())
 }
 

@@ -30,7 +30,9 @@ pub const TOWARD_MIN: usize = 0;
 /// (its sink event would be a certain event over no variables).
 pub fn sinkless_orientation_instance<T: Num>(g: &Graph) -> Result<Instance<T>, AppError> {
     if (0..g.num_nodes()).any(|v| g.degree(v) == 0) {
-        return Err(AppError::BadInput("isolated node can never be non-sink".to_owned()));
+        return Err(AppError::BadInput(
+            "isolated node can never be non-sink".to_owned(),
+        ));
     }
     let mut b = InstanceBuilder::<T>::new(g.num_nodes());
     // Variable x_e for edge id e; affects both endpoints.
@@ -55,7 +57,8 @@ pub fn sinkless_orientation_instance<T: Num>(g: &Graph) -> Result<Instance<T>, A
             incident.iter().all(|&(x, toward_v)| vals[x] == toward_v)
         });
     }
-    b.build().map_err(|e: BuildError| AppError::BadInput(e.to_string()))
+    b.build()
+        .map_err(|e: BuildError| AppError::BadInput(e.to_string()))
 }
 
 /// Decodes an assignment into an orientation: `orientation[eid]` is the
@@ -94,7 +97,9 @@ pub fn is_sinkless(g: &Graph, orientation: &[usize]) -> bool {
 /// fails somewhere on large graphs (the quantity grows linearly in `n`
 /// for bounded-degree graphs).
 pub fn expected_sinks(g: &Graph) -> f64 {
-    (0..g.num_nodes()).map(|v| 0.5f64.powi(g.degree(v) as i32)).sum()
+    (0..g.num_nodes())
+        .map(|v| 0.5f64.powi(g.degree(v) as i32))
+        .sum()
 }
 
 #[cfg(test)]

@@ -42,11 +42,15 @@ pub fn weak_splitting_instance<T: Num>(
 ) -> Result<Instance<T>, AppError> {
     let n = bip.num_nodes();
     if nv == 0 || nv >= n {
-        return Err(AppError::BadInput(format!("invalid split nv = {nv} of {n} nodes")));
+        return Err(AppError::BadInput(format!(
+            "invalid split nv = {nv} of {n} nodes"
+        )));
     }
     for &(a, b) in bip.edges() {
         if (a < nv) == (b < nv) {
-            return Err(AppError::BadInput(format!("edge ({a},{b}) does not cross the split")));
+            return Err(AppError::BadInput(format!(
+                "edge ({a},{b}) does not cross the split"
+            )));
         }
     }
     if colors < 2 {
@@ -70,8 +74,9 @@ pub fn weak_splitting_instance<T: Num>(
     }
 
     let mut b = InstanceBuilder::<T>::new(nv);
-    let vars: Vec<usize> =
-        (nv..n).map(|u| b.add_uniform_variable(bip.neighbors(u), colors)).collect();
+    let vars: Vec<usize> = (nv..n)
+        .map(|u| b.add_uniform_variable(bip.neighbors(u), colors))
+        .collect();
     for v in 0..nv {
         let nbrs: Vec<usize> = bip.neighbors(v).iter().map(|&u| vars[u - nv]).collect();
         b.set_event_predicate(v, move |vals| {
@@ -79,17 +84,13 @@ pub fn weak_splitting_instance<T: Num>(
             nbrs.iter().all(|&x| vals[x] == first)
         });
     }
-    b.build().map_err(|e: BuildError| AppError::BadInput(e.to_string()))
+    b.build()
+        .map_err(|e: BuildError| AppError::BadInput(e.to_string()))
 }
 
 /// Verifies a coloring of `U` (indexed by `u - nv`): every `V` node must
 /// see at least `min_colors` distinct colors.
-pub fn is_weak_splitting(
-    bip: &Graph,
-    nv: usize,
-    coloring: &[usize],
-    min_colors: usize,
-) -> bool {
+pub fn is_weak_splitting(bip: &Graph, nv: usize, coloring: &[usize], min_colors: usize) -> bool {
     assert_eq!(coloring.len(), bip.num_nodes() - nv, "one color per U node");
     (0..nv).all(|v| {
         let mut seen: Vec<usize> = bip.neighbors(v).iter().map(|&u| coloring[u - nv]).collect();
@@ -123,8 +124,9 @@ pub fn weak_splitting_instance_general<T: Num>(
     let n = bip.num_nodes();
     weak_splitting_instance::<T>(bip, nv, colors)?; // validation only
     let mut b = InstanceBuilder::<T>::new(nv);
-    let vars: Vec<usize> =
-        (nv..n).map(|u| b.add_uniform_variable(bip.neighbors(u), colors)).collect();
+    let vars: Vec<usize> = (nv..n)
+        .map(|u| b.add_uniform_variable(bip.neighbors(u), colors))
+        .collect();
     for v in 0..nv {
         let nbrs: Vec<usize> = bip.neighbors(v).iter().map(|&u| vars[u - nv]).collect();
         b.set_event_predicate(v, move |vals| {
@@ -134,7 +136,8 @@ pub fn weak_splitting_instance_general<T: Num>(
             seen.len() < min_colors
         });
     }
-    b.build().map_err(|e: BuildError| AppError::BadInput(e.to_string()))
+    b.build()
+        .map_err(|e: BuildError| AppError::BadInput(e.to_string()))
 }
 
 #[cfg(test)]
@@ -150,7 +153,10 @@ mod tests {
         // p = 16^(1-3) = 2^-8, d <= 2k = 6 ⇒ p·2^d <= 1/4 < 1.
         let bip = random_bipartite_biregular(12, 3, 12, 3, 1).unwrap();
         let inst = weak_splitting_instance::<BigRational>(&bip, 12, 16).unwrap();
-        assert_eq!(inst.max_event_probability(), BigRational::from_ratio(1, 256));
+        assert_eq!(
+            inst.max_event_probability(),
+            BigRational::from_ratio(1, 256)
+        );
         assert!(inst.max_dependency_degree() <= 6);
         assert!(inst.satisfies_exponential_criterion());
     }
@@ -171,7 +177,10 @@ mod tests {
         let bip = random_bipartite_biregular(9, 2, 6, 3, 3).unwrap();
         let inst = weak_splitting_instance::<f64>(&bip, 9, 2).unwrap();
         assert!(!inst.satisfies_exponential_criterion());
-        assert!(matches!(Fixer3::new(&inst), Err(FixerError::CriterionViolated { .. })));
+        assert!(matches!(
+            Fixer3::new(&inst),
+            Err(FixerError::CriterionViolated { .. })
+        ));
     }
 
     #[test]
@@ -188,9 +197,7 @@ mod tests {
         let bip = random_bipartite_biregular(10, 3, 10, 3, 9).unwrap();
         let special = weak_splitting_instance::<f64>(&bip, 10, 16).unwrap();
         let general = weak_splitting_instance_general::<f64>(&bip, 10, 16, 2).unwrap();
-        assert!(
-            (special.max_event_probability() - general.max_event_probability()).abs() < 1e-12
-        );
+        assert!((special.max_event_probability() - general.max_event_probability()).abs() < 1e-12);
     }
 
     #[test]
@@ -224,8 +231,7 @@ mod tests {
             Err(AppError::BadInput(_))
         ));
         // U-degree 4 violates the rank bound.
-        let too_dense =
-            Graph::from_edges(5, [(0, 4), (1, 4), (2, 4), (3, 4)]).unwrap();
+        let too_dense = Graph::from_edges(5, [(0, 4), (1, 4), (2, 4), (3, 4)]).unwrap();
         assert!(matches!(
             weak_splitting_instance::<f64>(&too_dense, 4, 16),
             Err(AppError::BadInput(_))

@@ -44,9 +44,10 @@ fn bench_mt(c: &mut Criterion) {
     let mut g = c.benchmark_group("a3_mt_selection");
     let graph = ring(512);
     let inst = random_rank2_instance(&graph, 8, 0.9, 31);
-    for (label, sel) in
-        [("id-minima", Selection::IdMinima), ("random-priority", Selection::RandomPriority)]
-    {
+    for (label, sel) in [
+        ("id-minima", Selection::IdMinima),
+        ("random-priority", Selection::RandomPriority),
+    ] {
         g.bench_with_input(BenchmarkId::from_parameter(label), &sel, |b, &sel| {
             let mut seed = 0u64;
             b.iter(|| {
@@ -77,7 +78,9 @@ fn bench_boundary(c: &mut Criterion) {
     let order = shuffled_order(inst.num_variables(), 3);
     g.bench_function("fixer2_unchecked_t1.5", |b| {
         b.iter(|| {
-            Fixer2::new_unchecked(black_box(&inst)).expect("rank 2").run(order.clone())
+            Fixer2::new_unchecked(black_box(&inst))
+                .expect("rank 2")
+                .run(order.clone())
         })
     });
     g.finish();

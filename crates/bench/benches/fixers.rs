@@ -4,9 +4,12 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use lll_bench::workloads::{random_rank2_instance, random_rank3_instance, shuffled_order};
-use lll_core::{Fixer2, Fixer3, ValueRule};
+use lll_bench::workloads::{
+    random_rank2_instance, random_rank3_instance, random_rank3_instance_in, shuffled_order,
+};
+use lll_core::{audit_p_star, Fixer2, Fixer3, ValueRule};
 use lll_graphs::gen::{hyper_ring, ring, torus};
+use lll_numeric::BigRational;
 
 fn bench_fixer2(c: &mut Criterion) {
     let mut g = c.benchmark_group("e1_fixer2");
@@ -15,8 +18,9 @@ fn bench_fixer2(c: &mut Criterion) {
         let order = shuffled_order(inst.num_variables(), 3);
         g.bench_with_input(BenchmarkId::from_parameter(label), &inst, |b, inst| {
             b.iter(|| {
-                let report =
-                    Fixer2::new(black_box(inst)).expect("below threshold").run(order.clone());
+                let report = Fixer2::new(black_box(inst))
+                    .expect("below threshold")
+                    .run(order.clone());
                 assert!(report.is_success());
                 report
             })
@@ -33,8 +37,43 @@ fn bench_fixer3(c: &mut Criterion) {
         let order = shuffled_order(inst.num_variables(), 3);
         g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
             b.iter(|| {
-                let report =
-                    Fixer3::new(black_box(inst)).expect("below threshold").run(order.clone());
+                let report = Fixer3::new(black_box(inst))
+                    .expect("below threshold")
+                    .run(order.clone());
+                assert!(report.is_success());
+                report
+            })
+        });
+    }
+    // Exact backend with the P* audit after every fixing step — the
+    // configuration the invariant experiments run. "exact-audit" uses
+    // the incremental auditor (Fixer3::run_audited); "exact-audit-full"
+    // is the full-rescan-per-step ablation it replaced.
+    for n in [24usize, 48] {
+        let h = hyper_ring(n);
+        let inst = random_rank3_instance_in::<BigRational>(&h, 8, 0.9, 7);
+        let order = shuffled_order(inst.num_variables(), 3);
+        let p = inst.max_event_probability();
+        g.bench_with_input(BenchmarkId::new("exact-audit", n), &inst, |b, inst| {
+            b.iter(|| {
+                let report = Fixer3::new(black_box(inst))
+                    .expect("below threshold")
+                    .run_audited(order.clone(), &p, &BigRational::zero())
+                    .expect("P* holds below the threshold");
+                assert!(report.is_success());
+                report
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("exact-audit-full", n), &inst, |b, inst| {
+            b.iter(|| {
+                let mut fixer = Fixer3::new(black_box(inst)).expect("below threshold");
+                for &x in &order {
+                    fixer.fix_variable(x);
+                    let audit =
+                        audit_p_star(inst, fixer.partial(), fixer.phi(), &p, &BigRational::zero());
+                    assert!(audit.holds());
+                }
+                let report = fixer.into_report();
                 assert!(report.is_success());
                 report
             })
@@ -46,9 +85,10 @@ fn bench_fixer3(c: &mut Criterion) {
     let h = hyper_ring(48);
     let inst = random_rank3_instance(&h, 8, 0.9, 7);
     let order = shuffled_order(inst.num_variables(), 3);
-    for (label, rule) in
-        [("best-score", ValueRule::BestScore), ("first-feasible", ValueRule::FirstFeasible)]
-    {
+    for (label, rule) in [
+        ("best-score", ValueRule::BestScore),
+        ("first-feasible", ValueRule::FirstFeasible),
+    ] {
         g.bench_with_input(BenchmarkId::from_parameter(label), &rule, |b, &rule| {
             b.iter(|| {
                 Fixer3::new(black_box(&inst))

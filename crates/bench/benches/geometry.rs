@@ -59,8 +59,12 @@ fn bench_numeric(c: &mut Criterion) {
     let mut g = c.benchmark_group("a2_numeric_kernels");
     let a = BigRational::from_ratio(123_456_789, 987_654_321);
     let b = BigRational::from_ratio(-987_654_321, 123_456_787);
-    g.bench_function("bigrational_mul", |bch| bch.iter(|| black_box(&a) * black_box(&b)));
-    g.bench_function("bigrational_add", |bch| bch.iter(|| black_box(&a) + black_box(&b)));
+    g.bench_function("bigrational_mul", |bch| {
+        bch.iter(|| black_box(&a) * black_box(&b))
+    });
+    g.bench_function("bigrational_add", |bch| {
+        bch.iter(|| black_box(&a) + black_box(&b))
+    });
     // The exact square-root comparison at the heart of is_representable.
     let d = BigRational::from_ratio(35, 16);
     let r = BigRational::from_ratio(497, 336);
@@ -69,8 +73,9 @@ fn bench_numeric(c: &mut Criterion) {
     });
     // A realistically-sized conditional probability: product of 8
     // medium rationals (the engine's inner loop shape).
-    let parts: Vec<BigRational> =
-        (1..9i64).map(|i| BigRational::from_ratio(i, 2 * i as u64 + 1)).collect();
+    let parts: Vec<BigRational> = (1..9i64)
+        .map(|i| BigRational::from_ratio(i, 2 * i as u64 + 1))
+        .collect();
     g.bench_function("probability_product_8", |bch| {
         bch.iter(|| {
             let mut acc = BigRational::one();

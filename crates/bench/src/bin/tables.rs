@@ -66,7 +66,10 @@ fn main() {
             .collect();
         println!(
             "{}",
-            render_table(&["topology", "n", "target p*2^d", "measured", "success"], &rows)
+            render_table(
+                &["topology", "n", "target p*2^d", "measured", "success"],
+                &rows
+            )
         );
     }
 
@@ -120,7 +123,10 @@ fn main() {
                 ]
             })
             .collect();
-        println!("{}", render_table(&["a", "b", "f(a,b)", "brute-force"], &table));
+        println!(
+            "{}",
+            render_table(&["a", "b", "f(a,b)", "brute-force"], &table)
+        );
         println!("max |f - brute| over the grid: {max_dev:.2e}");
         let (inside, outside) = ex::e3_membership_spot_checks();
         println!("exact membership spot checks: {inside} just-below points in S_rep, {outside} just-above points outside\n");
@@ -129,8 +135,7 @@ fn main() {
     if wanted(&selected, "E4") {
         println!("== E4: Figure 2 — exact decomposition of (1/4, 3/2, 1/10) ==");
         let (vals, ok) = ex::e4_figure2();
-        let rows: Vec<Vec<String>> =
-            vals.into_iter().map(|(k, v)| vec![k, v]).collect();
+        let rows: Vec<Vec<String>> = vals.into_iter().map(|(k, v)| vec![k, v]).collect();
         println!("{}", render_table(&["value", "exact"], &rows));
         println!("all Definition 3.3 constraints verified exactly: {ok}\n");
     }
@@ -151,11 +156,18 @@ fn main() {
             .collect();
         println!(
             "{}",
-            render_table(&["topology", "n", "target p*2^d", "measured", "success"], &rows)
+            render_table(
+                &["topology", "n", "target p*2^d", "measured", "success"],
+                &rows
+            )
         );
         println!(
             "exact per-step P* audit on hyper-ring(10): {}\n",
-            if ex::audited_rank3_run(10, 2) { "clean" } else { "VIOLATED" }
+            if ex::audited_rank3_run(10, 2) {
+                "clean"
+            } else {
+                "VIOLATED"
+            }
         );
     }
 
@@ -190,7 +202,11 @@ fn main() {
                 .map(|r| {
                     format!(
                         "{},{},{},{},{}",
-                        r.tightness, r.trials, r.successes_r2, r.successes_r3, r.invariant_intact_r3
+                        r.tightness,
+                        r.trials,
+                        r.successes_r2,
+                        r.successes_r3,
+                        r.invariant_intact_r3
                     )
                 })
                 .collect::<Vec<_>>(),
@@ -209,7 +225,12 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &["p*2^d", "rank-2 success", "rank-3 success", "P* certificate intact"],
+                &[
+                    "p*2^d",
+                    "rank-2 success",
+                    "rank-3 success",
+                    "P* certificate intact"
+                ],
                 &rows
             )
         );
@@ -232,7 +253,16 @@ fn main() {
             .collect();
         println!(
             "{}",
-            render_table(&["application", "n", "p*2^d", "solved+verified", "LOCAL rounds"], &rows)
+            render_table(
+                &[
+                    "application",
+                    "n",
+                    "p*2^d",
+                    "solved+verified",
+                    "LOCAL rounds"
+                ],
+                &rows
+            )
         );
     }
 
@@ -254,7 +284,14 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &["n", "p*2^d", "fixer refuses", "E[random sinks]", "MT rounds", "MT solves"],
+                &[
+                    "n",
+                    "p*2^d",
+                    "fixer refuses",
+                    "E[random sinks]",
+                    "MT rounds",
+                    "MT solves"
+                ],
                 &rows
             )
         );
@@ -274,7 +311,10 @@ fn main() {
             .collect();
         println!(
             "{}",
-            render_table(&["n", "seq resamplings (mean)", "parallel MT rounds (mean)"], &rows)
+            render_table(
+                &["n", "seq resamplings (mean)", "parallel MT rounds (mean)"],
+                &rows
+            )
         );
     }
 
@@ -333,7 +373,14 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &["k", "p*2^d", "sharp ok", "p*(d+1)^C", "generic ok", "FG succeeded"],
+                &[
+                    "k",
+                    "p*2^d",
+                    "sharp ok",
+                    "p*(d+1)^C",
+                    "generic ok",
+                    "FG succeeded"
+                ],
                 &rows
             )
         );
@@ -364,7 +411,11 @@ fn main() {
         let rows: Vec<Vec<String>> = ex::a2_backend()
             .into_iter()
             .map(|r| {
-                vec![r.backend, r.success_and_audit.to_string(), format!("{:.0}", r.micros)]
+                vec![
+                    r.backend,
+                    r.success_and_audit.to_string(),
+                    format!("{:.0}", r.micros),
+                ]
             })
             .collect();
         println!(

@@ -10,15 +10,19 @@ use lll_apps::hyper_orientation::{
     heads_from_assignment, hyper_orientation_instance, is_valid_orientation,
 };
 use lll_apps::sat::{ring_formula, solve};
-use lll_apps::sinkless::{expected_sinks, is_sinkless, orientation_from_assignment, sinkless_orientation_instance};
+use lll_apps::sinkless::{
+    expected_sinks, is_sinkless, orientation_from_assignment, sinkless_orientation_instance,
+};
 use lll_apps::weak_splitting::{is_weak_splitting, weak_splitting_instance};
-use lll_core::dist::{distributed_fixer2, distributed_fixer3, CriterionCheck};
-use lll_core::triples::{decompose, f_surface, is_representable, max_c_brute};
 use lll_core::dist::distributed_fg;
+use lll_core::dist::{distributed_fixer2, distributed_fixer3, CriterionCheck};
 use lll_core::fg_criterion;
 use lll_core::orders::{run_fixer2_adaptive_worst, run_fixer3_adaptive_worst, StaticOrder};
+use lll_core::triples::{decompose, f_surface, is_representable, max_c_brute};
 use lll_core::{audit_p_star, Fixer2, Fixer3, ValueRule};
-use lll_graphs::gen::{hyper_ring, random_3_uniform, random_bipartite_biregular, random_regular, ring, torus};
+use lll_graphs::gen::{
+    hyper_ring, random_3_uniform, random_bipartite_biregular, random_regular, ring, torus,
+};
 use lll_local::log_star;
 use lll_mt::dist::distributed_mt;
 use lll_mt::{parallel_mt, sequential_mt};
@@ -52,7 +56,11 @@ pub fn e1_fixer2_success(trials: usize) -> Vec<SuccessRow> {
     let topologies: Vec<(String, lll_graphs::Graph, usize)> = vec![
         ("ring".into(), ring(64), 8),
         ("torus-8x8".into(), torus(8, 8), 4),
-        ("4-regular".into(), random_regular(64, 4, 42).expect("feasible parameters"), 4),
+        (
+            "4-regular".into(),
+            random_regular(64, 4, 42).expect("feasible parameters"),
+            4,
+        ),
     ];
     for (name, g, k) in &topologies {
         for &t in &[0.5, 0.9, 0.99] {
@@ -85,7 +93,10 @@ pub fn e5_fixer3_success(trials: usize) -> Vec<SuccessRow> {
     let mut rows = Vec::new();
     let hypergraphs: Vec<(String, lll_graphs::Hypergraph)> = vec![
         ("hyper-ring".into(), hyper_ring(48)),
-        ("random-3-uniform".into(), random_3_uniform(48, 3, 42).expect("feasible parameters")),
+        (
+            "random-3-uniform".into(),
+            random_3_uniform(48, 3, 42).expect("feasible parameters"),
+        ),
     ];
     for (name, h) in &hypergraphs {
         for &t in &[0.5, 0.9, 0.99] {
@@ -138,8 +149,8 @@ pub fn e2_rounds_rank2(sizes: &[usize]) -> Vec<RoundsRow> {
         .map(|&n| {
             let g = ring(n);
             let inst = random_rank2_instance(&g, 8, 0.9, 7);
-            let det = distributed_fixer2(&inst, 5, CriterionCheck::Enforce)
-                .expect("below threshold");
+            let det =
+                distributed_fixer2(&inst, 5, CriterionCheck::Enforce).expect("below threshold");
             assert!(det.fix.is_success());
             let mt = parallel_mt(&inst, 5, 1_000_000).expect("classic criterion regime");
             RoundsRow {
@@ -160,8 +171,8 @@ pub fn e6_rounds_rank3(sizes: &[usize]) -> Vec<RoundsRow> {
         .map(|&n| {
             let h = hyper_ring(n);
             let inst = random_rank3_instance(&h, 8, 0.9, 7);
-            let det = distributed_fixer3(&inst, 5, CriterionCheck::Enforce)
-                .expect("below threshold");
+            let det =
+                distributed_fixer3(&inst, 5, CriterionCheck::Enforce).expect("below threshold");
             assert!(det.fix.is_success());
             let mt = parallel_mt(&inst, 5, 1_000_000).expect("classic criterion regime");
             RoundsRow {
@@ -256,41 +267,47 @@ pub struct ThresholdRow {
 pub fn e7_threshold_sweep(trials: usize) -> Vec<ThresholdRow> {
     let g = torus(6, 6);
     let h = hyper_ring(36);
-    [0.25, 0.5, 0.75, 0.9, 0.99, 1.0, 1.1, 1.25, 1.5, 2.0, 3.0, 6.0, 10.0, 16.0]
-        .iter()
-        .map(|&t| {
-            let mut s2 = 0;
-            let mut s3 = 0;
-            let mut intact = 0;
-            for trial in 0..trials {
-                let seed = 9000 + trial as u64;
-                let i2 = random_rank2_instance(&g, 4, t, seed);
-                let order2 = shuffled_order(i2.num_variables(), seed ^ 0xabc);
-                if Fixer2::new_unchecked(&i2).expect("rank 2").run(order2).is_success() {
-                    s2 += 1;
-                }
-                let i3 = random_rank3_instance(&h, 8, t, seed);
-                let order3 = shuffled_order(i3.num_variables(), seed ^ 0xdef);
-                let mut f3 = Fixer3::new_unchecked(&i3).expect("rank 3");
-                for x in order3 {
-                    f3.fix_variable(x);
-                }
-                if f3.invariant_intact() {
-                    intact += 1;
-                }
-                if f3.into_report().is_success() {
-                    s3 += 1;
-                }
+    [
+        0.25, 0.5, 0.75, 0.9, 0.99, 1.0, 1.1, 1.25, 1.5, 2.0, 3.0, 6.0, 10.0, 16.0,
+    ]
+    .iter()
+    .map(|&t| {
+        let mut s2 = 0;
+        let mut s3 = 0;
+        let mut intact = 0;
+        for trial in 0..trials {
+            let seed = 9000 + trial as u64;
+            let i2 = random_rank2_instance(&g, 4, t, seed);
+            let order2 = shuffled_order(i2.num_variables(), seed ^ 0xabc);
+            if Fixer2::new_unchecked(&i2)
+                .expect("rank 2")
+                .run(order2)
+                .is_success()
+            {
+                s2 += 1;
             }
-            ThresholdRow {
-                tightness: t,
-                trials,
-                successes_r2: s2,
-                successes_r3: s3,
-                invariant_intact_r3: intact,
+            let i3 = random_rank3_instance(&h, 8, t, seed);
+            let order3 = shuffled_order(i3.num_variables(), seed ^ 0xdef);
+            let mut f3 = Fixer3::new_unchecked(&i3).expect("rank 3");
+            for x in order3 {
+                f3.fix_variable(x);
             }
-        })
-        .collect()
+            if f3.invariant_intact() {
+                intact += 1;
+            }
+            if f3.into_report().is_success() {
+                s3 += 1;
+            }
+        }
+        ThresholdRow {
+            tightness: t,
+            trials,
+            successes_r2: s2,
+            successes_r3: s3,
+            invariant_intact_r3: intact,
+        }
+    })
+    .collect()
 }
 
 /// E8 — applications end-to-end.
@@ -425,10 +442,12 @@ pub fn e10_mt_scaling(sizes: &[usize], trials: usize) -> Vec<MtRow> {
             let mut seq_total = 0usize;
             let mut par_total = 0usize;
             for trial in 0..trials {
-                seq_total +=
-                    sequential_mt(&inst, trial as u64, 10_000_000).expect("converges").resamplings;
-                par_total +=
-                    parallel_mt(&inst, trial as u64, 10_000_000).expect("converges").rounds;
+                seq_total += sequential_mt(&inst, trial as u64, 10_000_000)
+                    .expect("converges")
+                    .resamplings;
+                par_total += parallel_mt(&inst, trial as u64, 10_000_000)
+                    .expect("converges")
+                    .rounds;
             }
             MtRow {
                 n,
@@ -458,17 +477,20 @@ pub struct AblationRow {
 pub fn a1_value_rule(trials: usize) -> Vec<AblationRow> {
     let h = hyper_ring(36);
     let mut rows = Vec::new();
-    for (label, rule) in
-        [("best-score", ValueRule::BestScore), ("first-feasible", ValueRule::FirstFeasible)]
-    {
+    for (label, rule) in [
+        ("best-score", ValueRule::BestScore),
+        ("first-feasible", ValueRule::FirstFeasible),
+    ] {
         for &t in &[0.9, 1.1] {
             let mut successes = 0;
             let start = Instant::now();
             for trial in 0..trials {
                 let inst = random_rank3_instance(&h, 8, t, 500 + trial as u64);
                 let order = shuffled_order(inst.num_variables(), 600 + trial as u64);
-                let report =
-                    Fixer3::new_unchecked(&inst).expect("rank 3").with_rule(rule).run(order);
+                let report = Fixer3::new_unchecked(&inst)
+                    .expect("rank 3")
+                    .with_rule(rule)
+                    .run(order);
                 if report.is_success() {
                     successes += 1;
                 }
@@ -561,7 +583,13 @@ pub fn e11_adversaries(trials: usize) -> Vec<AdversaryRow> {
     let g = torus(6, 6);
     let h = hyper_ring(24);
     let mut rows: Vec<AdversaryRow> = Vec::new();
-    let adversaries = ["identity", "reversed", "stride-7", "shuffled", "adaptive-worst"];
+    let adversaries = [
+        "identity",
+        "reversed",
+        "stride-7",
+        "shuffled",
+        "adaptive-worst",
+    ];
     for name in adversaries {
         let mut s2 = 0;
         let mut s3 = 0;
@@ -590,9 +618,7 @@ pub fn e11_adversaries(trials: usize) -> Vec<AdversaryRow> {
                     f2.run(shuffled_order(m2, seed ^ 0x5a5a)),
                     f3.run(shuffled_order(m3, seed ^ 0xa5a5)),
                 ),
-                "adaptive-worst" => {
-                    (run_fixer2_adaptive_worst(f2), run_fixer3_adaptive_worst(f3))
-                }
+                "adaptive-worst" => (run_fixer2_adaptive_worst(f2), run_fixer3_adaptive_worst(f3)),
                 _ => unreachable!(),
             };
             if r2.is_success() {
@@ -675,16 +701,16 @@ pub fn e13_criterion_gap() -> Vec<CriterionGapRow> {
         .iter()
         .map(|&k| {
             let mut b = lll_core::InstanceBuilder::<f64>::new(n);
-            let vars: Vec<usize> =
-                (0..n).map(|i| b.add_uniform_variable(&[i, (i + 1) % n], k)).collect();
+            let vars: Vec<usize> = (0..n)
+                .map(|i| b.add_uniform_variable(&[i, (i + 1) % n], k))
+                .collect();
             for i in 0..n {
                 let (l, r) = (vars[(i + n - 1) % n], vars[i]);
                 b.set_event_predicate(i, move |vals| vals[l] == 0 && vals[r] == 0);
             }
             let inst = b.build().expect("valid instance");
             let sharp = inst.criterion_value();
-            let rep = distributed_fg(&inst, 5, CriterionCheck::Skip)
-                .expect("skip never refuses");
+            let rep = distributed_fg(&inst, 5, CriterionCheck::Skip).expect("skip never refuses");
             let generic = fg_criterion(&inst, rep.num_classes);
             CriterionGapRow {
                 k,
@@ -709,7 +735,13 @@ pub fn audited_rank3_run(n: usize, seed: u64) -> bool {
     let mut fixer = Fixer3::new(&inst).expect("below threshold");
     for x in order {
         fixer.fix_variable(x);
-        let audit = audit_p_star(&inst, fixer.partial(), fixer.phi(), &p, &BigRational::zero());
+        let audit = audit_p_star(
+            &inst,
+            fixer.partial(),
+            fixer.phi(),
+            &p,
+            &BigRational::zero(),
+        );
         if !audit.holds() {
             return false;
         }
@@ -826,7 +858,10 @@ mod tests {
         let rows = e13_criterion_gap();
         // There must be a regime where the sharp guarantee applies but
         // the generic one does not — the paper's motivation.
-        assert!(rows.iter().any(|r| r.sharp_applies && !r.generic_applies), "{rows:?}");
+        assert!(
+            rows.iter().any(|r| r.sharp_applies && !r.generic_applies),
+            "{rows:?}"
+        );
         // Generic criterion is monotone in k and eventually holds.
         assert!(rows.last().expect("nonempty").generic_applies, "{rows:?}");
         // Whenever the generic criterion holds, FG must succeed.

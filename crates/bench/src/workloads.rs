@@ -13,6 +13,7 @@ use std::collections::BTreeSet;
 
 use lll_core::{Instance, InstanceBuilder};
 use lll_graphs::{Graph, Hypergraph};
+use lll_numeric::Num;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -33,11 +34,23 @@ fn pack_index(values: &[usize], radix: usize) -> usize {
 /// Panics if `t < 0`, `k < 2`, some node is isolated, or some node's
 /// support is too large to enumerate (`k^deg > 2^22`).
 pub fn random_rank2_instance(g: &Graph, k: usize, t: f64, seed: u64) -> Instance<f64> {
+    random_rank2_instance_in(g, k, t, seed)
+}
+
+/// [`random_rank2_instance`] generalized over the numeric backend `T`
+/// (e.g. `BigRational` for the exact-audit benchmarks). The generated
+/// events are identical for every backend — only the probability
+/// arithmetic differs.
+///
+/// # Panics
+///
+/// Panics on the same degenerate inputs as [`random_rank2_instance`].
+pub fn random_rank2_instance_in<T: Num>(g: &Graph, k: usize, t: f64, seed: u64) -> Instance<T> {
     assert!(t >= 0.0 && k >= 2, "need tightness >= 0 and k >= 2");
     let d = g.max_degree();
     assert!(d >= 1, "graph must have edges");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut b = InstanceBuilder::<f64>::new(g.num_nodes());
+    let mut b = InstanceBuilder::<T>::new(g.num_nodes());
     let vars: Vec<usize> = (0..g.num_edges())
         .map(|eid| {
             let (u, v) = g.edge(eid);
@@ -47,9 +60,11 @@ pub fn random_rank2_instance(g: &Graph, k: usize, t: f64, seed: u64) -> Instance
     for v in 0..g.num_nodes() {
         let deg = g.degree(v);
         assert!(deg >= 1, "node {v} is isolated");
-        let total = k.checked_pow(deg as u32).filter(|&x| x <= 1 << 22).expect("support too large");
-        let bad_count =
-            ((t * total as f64 / 2f64.powi(d as i32)).floor() as usize).min(total);
+        let total = k
+            .checked_pow(deg as u32)
+            .filter(|&x| x <= 1 << 22)
+            .expect("support too large");
+        let bad_count = ((t * total as f64 / 2f64.powi(d as i32)).floor() as usize).min(total);
         let mut bad: BTreeSet<usize> = BTreeSet::new();
         while bad.len() < bad_count {
             bad.insert(rng.random_range(0..total));
@@ -75,19 +90,39 @@ pub fn random_rank2_instance(g: &Graph, k: usize, t: f64, seed: u64) -> Instance
 ///
 /// Panics on the same degenerate inputs as the rank-2 generator.
 pub fn random_rank3_instance(h: &Hypergraph, k: usize, t: f64, seed: u64) -> Instance<f64> {
+    random_rank3_instance_in(h, k, t, seed)
+}
+
+/// [`random_rank3_instance`] generalized over the numeric backend `T`
+/// (e.g. `BigRational` for the exact-audit benchmarks). The generated
+/// events are identical for every backend — only the probability
+/// arithmetic differs.
+///
+/// # Panics
+///
+/// Panics on the same degenerate inputs as [`random_rank3_instance`].
+pub fn random_rank3_instance_in<T: Num>(
+    h: &Hypergraph,
+    k: usize,
+    t: f64,
+    seed: u64,
+) -> Instance<T> {
     assert!(t >= 0.0 && k >= 2, "need tightness >= 0 and k >= 2");
     let d = h.max_dependency_degree();
     assert!(d >= 1, "hypergraph must have edges");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut b = InstanceBuilder::<f64>::new(h.num_nodes());
-    let vars: Vec<usize> =
-        (0..h.num_edges()).map(|i| b.add_uniform_variable(h.edge(i).nodes(), k)).collect();
+    let mut b = InstanceBuilder::<T>::new(h.num_nodes());
+    let vars: Vec<usize> = (0..h.num_edges())
+        .map(|i| b.add_uniform_variable(h.edge(i).nodes(), k))
+        .collect();
     for v in 0..h.num_nodes() {
         let deg = h.degree(v);
         assert!(deg >= 1, "node {v} is isolated");
-        let total = k.checked_pow(deg as u32).filter(|&x| x <= 1 << 22).expect("support too large");
-        let bad_count =
-            ((t * total as f64 / 2f64.powi(d as i32)).floor() as usize).min(total);
+        let total = k
+            .checked_pow(deg as u32)
+            .filter(|&x| x <= 1 << 22)
+            .expect("support too large");
+        let bad_count = ((t * total as f64 / 2f64.powi(d as i32)).floor() as usize).min(total);
         let mut bad: BTreeSet<usize> = BTreeSet::new();
         while bad.len() < bad_count {
             bad.insert(rng.random_range(0..total));
@@ -153,7 +188,11 @@ mod tests {
         let report = lll_core::Fixer3::new(&inst)
             .expect("below threshold")
             .run(shuffled_order(inst.num_variables(), 7));
-        assert!(report.is_success(), "violated: {:?}", report.violated_events());
+        assert!(
+            report.is_success(),
+            "violated: {:?}",
+            report.violated_events()
+        );
     }
 
     #[test]
@@ -171,7 +210,10 @@ mod tests {
         // Same seeds produce identical probabilities (predicates are not
         // comparable; probe via unconditional probabilities).
         for v in 0..10 {
-            assert_eq!(a.unconditional_probability(v), b.unconditional_probability(v));
+            assert_eq!(
+                a.unconditional_probability(v),
+                b.unconditional_probability(v)
+            );
         }
     }
 

@@ -131,13 +131,21 @@ pub fn cole_vishkin_ring(sim: &Simulator<'_>, max_rounds: usize) -> Result<Color
     assert!(n >= 3, "rings have at least 3 nodes");
     for v in 0..n {
         assert_eq!(g.degree(v), 2, "node {v} is not of ring degree");
-        assert!(g.has_edge(v, (v + 1) % n), "missing ring edge ({v}, {})", (v + 1) % n);
-        assert!(sim.id_of(v) < n as u64, "cole_vishkin_ring requires ids < n");
+        assert!(
+            g.has_edge(v, (v + 1) % n),
+            "missing ring edge ({v}, {})",
+            (v + 1) % n
+        );
+        assert!(
+            sim.id_of(v) < n as u64,
+            "cole_vishkin_ring requires ids < n"
+        );
     }
     let schedule = cv_schedule(n as u64);
     // Predecessor of node v is (v + n - 1) % n; find its port.
-    let pred_ports: Vec<usize> =
-        (0..n).map(|v| g.port_to(v, (v + n - 1) % n).expect("ring edge exists")).collect();
+    let pred_ports: Vec<usize> = (0..n)
+        .map(|v| g.port_to(v, (v + n - 1) % n).expect("ring edge exists"))
+        .collect();
     let pred_of_id: std::collections::HashMap<u64, usize> =
         (0..n).map(|v| (sim.id_of(v), pred_ports[v])).collect();
     let run = sim.run(
@@ -146,7 +154,11 @@ pub fn cole_vishkin_ring(sim: &Simulator<'_>, max_rounds: usize) -> Result<Color
     )?;
     let colors: Vec<usize> = run.outputs.iter().map(|&c| c as usize).collect();
     debug_assert!(g.is_proper_coloring(&colors));
-    Ok(Coloring { colors, palette: 3, rounds: run.rounds })
+    Ok(Coloring {
+        colors,
+        palette: 3,
+        rounds: run.rounds,
+    })
 }
 
 #[cfg(test)]

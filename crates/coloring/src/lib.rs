@@ -79,14 +79,22 @@ pub fn linial_coloring(sim: &Simulator<'_>, max_rounds: usize) -> Result<Colorin
     let g = sim.graph();
     let n = g.num_nodes();
     if n == 0 {
-        return Ok(Coloring { colors: vec![], palette: 1, rounds: 0 });
+        return Ok(Coloring {
+            colors: vec![],
+            palette: 1,
+            rounds: 0,
+        });
     }
     for v in 0..n {
         assert!(sim.id_of(v) < n as u64, "linial_coloring requires ids < n");
     }
     let delta = g.max_degree();
     if delta == 0 {
-        return Ok(Coloring { colors: vec![0; n], palette: 1, rounds: 0 });
+        return Ok(Coloring {
+            colors: vec![0; n],
+            palette: 1,
+            rounds: 0,
+        });
     }
     let schedule = linial_schedule(n as u64, delta as u64);
     let palette = schedule.last().map_or(n as u64, |&(_, q)| q * q);
@@ -119,7 +127,10 @@ pub fn reduce_coloring(
 ) -> Result<Coloring, SimError> {
     let g = sim.graph();
     assert!(target > g.max_degree(), "reduction target must exceed Δ");
-    assert!(g.is_proper_coloring(&input.colors), "input coloring must be proper");
+    assert!(
+        g.is_proper_coloring(&input.colors),
+        "input coloring must be proper"
+    );
     if input.palette <= target {
         return Ok(input.clone());
     }
@@ -128,8 +139,9 @@ pub fn reduce_coloring(
     // Recover each node's input color through its id: the driver
     // addresses nodes by graph index, the program only sees ids (honest
     // LOCAL algorithms receive their input locally anyway).
-    let color_of_id: std::collections::HashMap<u64, usize> =
-        (0..g.num_nodes()).map(|v| (sim.id_of(v), colors[v])).collect();
+    let color_of_id: std::collections::HashMap<u64, usize> = (0..g.num_nodes())
+        .map(|v| (sim.id_of(v), colors[v]))
+        .collect();
     let run = sim.run(
         |ctx| {
             let c = color_of_id[&ctx.id];
@@ -138,7 +150,11 @@ pub fn reduce_coloring(
         max_rounds,
     )?;
     let out: Vec<usize> = run.outputs.iter().map(|&c| c as usize).collect();
-    Ok(Coloring { colors: out, palette: target, rounds: input.rounds + run.rounds })
+    Ok(Coloring {
+        colors: out,
+        palette: target,
+        rounds: input.rounds + run.rounds,
+    })
 }
 
 /// Full vertex coloring: Linial to `O(Δ²)` colors, then greedy reduction
@@ -164,7 +180,12 @@ pub fn vertex_coloring_with_target(
     max_rounds: usize,
 ) -> Result<Coloring, SimError> {
     let rough = linial_coloring(sim, max_rounds)?;
-    reduce_coloring(sim, &rough, target.max(sim.graph().max_degree() + 1), max_rounds)
+    reduce_coloring(
+        sim,
+        &rough,
+        target.max(sim.graph().max_degree() + 1),
+        max_rounds,
+    )
 }
 
 /// Distance-2 vertex coloring with `deg(G²) + 1 = O(Δ²)` colors — the
@@ -213,9 +234,15 @@ pub fn edge_coloring(sim: &Simulator<'_>, max_rounds: usize) -> Result<Coloring,
 pub fn greedy_coloring_sequential(g: &Graph) -> Vec<usize> {
     let mut colors = vec![usize::MAX; g.num_nodes()];
     for v in 0..g.num_nodes() {
-        let used: Vec<usize> =
-            g.neighbors(v).iter().map(|&u| colors[u]).filter(|&c| c != usize::MAX).collect();
-        colors[v] = (0..).find(|c| !used.contains(c)).expect("some color below deg+1 is free");
+        let used: Vec<usize> = g
+            .neighbors(v)
+            .iter()
+            .map(|&u| colors[u])
+            .filter(|&c| c != usize::MAX)
+            .collect();
+        colors[v] = (0..)
+            .find(|c| !used.contains(c))
+            .expect("some color below deg+1 is free");
     }
     colors
 }
@@ -299,7 +326,11 @@ mod tests {
     fn reduction_requires_proper_input() {
         let g = ring(6);
         let sim = Simulator::new(&g);
-        let bad = Coloring { colors: vec![0; 6], palette: 1, rounds: 0 };
+        let bad = Coloring {
+            colors: vec![0; 6],
+            palette: 1,
+            rounds: 0,
+        };
         assert!(std::panic::catch_unwind(|| reduce_coloring(&sim, &bad, 3, 100)).is_err());
     }
 
@@ -314,7 +345,10 @@ mod tests {
 
     #[test]
     fn edge_coloring_is_valid() {
-        for (g, name) in [(ring(40), "ring"), (random_regular(40, 5, 9).unwrap(), "5-regular")] {
+        for (g, name) in [
+            (ring(40), "ring"),
+            (random_regular(40, 5, 9).unwrap(), "5-regular"),
+        ] {
             let sim = Simulator::new(&g);
             let c = edge_coloring(&sim, 5000).unwrap();
             assert!(g.is_proper_edge_coloring(&c.colors), "{name}");

@@ -91,7 +91,11 @@ impl LinialProgram {
     /// Creates the program for one node; every node must receive the same
     /// `schedule` (see [`linial_schedule`]).
     pub fn new(schedule: Vec<(u64, u64)>) -> LinialProgram {
-        LinialProgram { schedule, step: 0, color: 0 }
+        LinialProgram {
+            schedule,
+            step: 0,
+            color: 0,
+        }
     }
 
     /// One reduction step: pick a point of our polynomial's graph not
@@ -157,8 +161,13 @@ mod tests {
         let palette = q.pow(k as u32 + 1);
         for a in 0..palette {
             for b in (a + 1)..palette {
-                let agree = (0..q).filter(|&x| poly_eval(a, k, q, x) == poly_eval(b, k, q, x)).count();
-                assert!(agree as u64 <= k, "colors {a},{b} agree on {agree} > k points");
+                let agree = (0..q)
+                    .filter(|&x| poly_eval(a, k, q, x) == poly_eval(b, k, q, x))
+                    .count();
+                assert!(
+                    agree as u64 <= k,
+                    "colors {a},{b} agree on {agree} > k points"
+                );
             }
         }
     }
@@ -172,7 +181,10 @@ mod tests {
         let mut m = 1u64 << 20;
         for &(k, q) in &steps {
             assert!(q > k * delta, "q must exceed kΔ");
-            assert!((q as u128).pow(k as u32 + 1) >= m as u128, "palette must fit");
+            assert!(
+                (q as u128).pow(k as u32 + 1) >= m as u128,
+                "palette must fit"
+            );
             let m2 = q * q;
             assert!(m2 < m, "palette must shrink");
             m = m2;

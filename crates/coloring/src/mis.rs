@@ -43,7 +43,12 @@ pub struct LubyProgram {
 impl LubyProgram {
     /// Creates a node with an iteration budget.
     pub fn new(max_iterations: usize) -> LubyProgram {
-        LubyProgram { status: Status::Undecided, draw: 0, phase_b: false, iterations_left: max_iterations }
+        LubyProgram {
+            status: Status::Undecided,
+            draw: 0,
+            phase_b: false,
+            iterations_left: max_iterations,
+        }
     }
 
     fn message(&self, ctx: &NodeContext) -> MisMsg {
@@ -68,7 +73,11 @@ impl NodeProgram for LubyProgram {
         broadcast(self.message(ctx), ctx.degree)
     }
 
-    fn round(&mut self, ctx: &mut NodeContext, inbox: &[Option<MisMsg>]) -> RoundResult<MisMsg, Option<bool>> {
+    fn round(
+        &mut self,
+        ctx: &mut NodeContext,
+        inbox: &[Option<MisMsg>],
+    ) -> RoundResult<MisMsg, Option<bool>> {
         if !self.phase_b {
             // Phase A: compare draws; local minima join.
             if self.status == Status::Undecided {
@@ -128,7 +137,10 @@ pub struct MisResult {
 pub fn luby_mis(sim: &Simulator<'_>, seed: u64) -> Result<MisResult, SimError> {
     let n = sim.graph().num_nodes();
     if n == 0 {
-        return Ok(MisResult { in_mis: vec![], rounds: 0 });
+        return Ok(MisResult {
+            in_mis: vec![],
+            rounds: 0,
+        });
     }
     let mut budget = 4usize.max(2 * (64 - (n as u64).leading_zeros()) as usize);
     let mut rounds = 0usize;
@@ -140,7 +152,11 @@ pub fn luby_mis(sim: &Simulator<'_>, seed: u64) -> Result<MisResult, SimError> {
             .run(|_| LubyProgram::new(budget), 4 * budget + 8)?;
         rounds += run.rounds;
         if run.outputs.iter().all(Option::is_some) {
-            let in_mis = run.outputs.into_iter().map(|o| o.expect("checked")).collect();
+            let in_mis = run
+                .outputs
+                .into_iter()
+                .map(|o| o.expect("checked"))
+                .collect();
             return Ok(MisResult { in_mis, rounds });
         }
         budget *= 2;

@@ -29,8 +29,17 @@ impl ReduceProgram {
     /// short-circuits the no-op case) or `target == 0`.
     pub fn new(color: u64, palette: u64, target: u64) -> ReduceProgram {
         assert!(color < palette, "input color out of palette");
-        assert!(target > 0 && target < palette, "target must be in (0, palette)");
-        ReduceProgram { color, palette, target, round: 0, port_colors: Vec::new() }
+        assert!(
+            target > 0 && target < palette,
+            "target must be in (0, palette)"
+        );
+        ReduceProgram {
+            color,
+            palette,
+            target,
+            round: 0,
+            port_colors: Vec::new(),
+        }
     }
 
     fn mex(&self) -> u64 {
@@ -89,14 +98,19 @@ mod tests {
                 10_000,
             )
             .unwrap();
-        (run.outputs.iter().map(|&c| c as usize).collect(), run.rounds)
+        (
+            run.outputs.iter().map(|&c| c as usize).collect(),
+            run.rounds,
+        )
     }
 
     #[test]
     fn reduces_ring_to_three_colors() {
         let g = ring(12);
         // A valid 4-coloring using colors {0,1,2,3}.
-        let input: Vec<u64> = (0..12).map(|i| (i % 2) as u64 + if i == 11 { 2 } else { 0 }).collect();
+        let input: Vec<u64> = (0..12)
+            .map(|i| (i % 2) as u64 + if i == 11 { 2 } else { 0 })
+            .collect();
         assert!(g.is_proper_coloring(&input.iter().map(|&c| c as usize).collect::<Vec<_>>()));
         let (out, rounds) = run_reduce(&g, &input, 4, 3);
         assert!(g.is_proper_coloring(&out));

@@ -60,7 +60,121 @@ pub fn audit_p_star<T: Num>(
             prob_violations.push(v);
         }
     }
-    AuditReport { pair_violations, prob_violations }
+    AuditReport {
+        pair_violations,
+        prob_violations,
+    }
+}
+
+/// Stateful `P*` auditor for step-by-step runs.
+///
+/// Re-verifies the invariant after each fixing step. Fixing a variable
+/// `x` can only change the conditional probabilities of the ≤ 3 events
+/// in `affects(x)` and the ≤ 6 `(edge, endpoint)` `φ` entries on the
+/// dependency edges among them, so the auditor caches the per-node
+/// products `Π_{e∋v} φ_e^v` and the current violation sets, and
+/// [`reverify`](IncrementalAuditor::reverify) re-examines only the
+/// touched events and edges — O(d) per step against the full rescan's
+/// O(m) (experiment E5's audit loop drops from O(steps·m) to
+/// O(steps·d)).
+///
+/// Invalidation is exact, not algebraic: a touched node's product is
+/// recomputed from its incident `φ` entries rather than divided by the
+/// old and multiplied by the new value, because `φ` entries can be `0`
+/// (division would be undefined) and because recomputation keeps the
+/// cache bit-identical to a from-scratch evaluation for every backend.
+#[derive(Debug, Clone)]
+pub struct IncrementalAuditor<T> {
+    p_bound: T,
+    tol: T,
+    /// Cached `Π_{e∋v} φ_e^v` per node, invalidated exactly for the
+    /// nodes a step touches.
+    products: Vec<T>,
+    pair_bad: std::collections::BTreeSet<usize>,
+    prob_bad: std::collections::BTreeSet<usize>,
+}
+
+impl<T: Num> IncrementalAuditor<T> {
+    /// Builds the auditor with one full scan of the current state
+    /// (subsequent steps are incremental).
+    pub fn new(
+        inst: &Instance<T>,
+        partial: &PartialAssignment,
+        phi: &Phi<T>,
+        p_bound: &T,
+        tol: &T,
+    ) -> IncrementalAuditor<T> {
+        let g = inst.dependency_graph();
+        let mut auditor = IncrementalAuditor {
+            p_bound: p_bound.clone(),
+            tol: tol.clone(),
+            products: (0..inst.num_events())
+                .map(|v| phi.product_at(g, v))
+                .collect(),
+            pair_bad: std::collections::BTreeSet::new(),
+            prob_bad: std::collections::BTreeSet::new(),
+        };
+        for eid in 0..g.num_edges() {
+            auditor.recheck_pair(phi, eid);
+        }
+        for v in 0..inst.num_events() {
+            auditor.recheck_prob(inst, partial, v);
+        }
+        auditor
+    }
+
+    fn recheck_pair(&mut self, phi: &Phi<T>, eid: usize) {
+        let two = T::from_ratio(2, 1);
+        if phi.pair_sum(eid) > two + self.tol.clone() {
+            self.pair_bad.insert(eid);
+        } else {
+            self.pair_bad.remove(&eid);
+        }
+    }
+
+    fn recheck_prob(&mut self, inst: &Instance<T>, partial: &PartialAssignment, v: usize) {
+        let pr = inst.probability(v, partial);
+        let bound = self.p_bound.clone() * self.products[v].clone();
+        if pr > bound + self.tol.clone() {
+            self.prob_bad.insert(v);
+        } else {
+            self.prob_bad.remove(&v);
+        }
+    }
+
+    /// Re-verifies `P*` after variable `x` was fixed, re-examining only
+    /// the events `affects(x)` and the dependency edges among them.
+    pub fn reverify(
+        &mut self,
+        inst: &Instance<T>,
+        partial: &PartialAssignment,
+        phi: &Phi<T>,
+        x: usize,
+    ) -> AuditReport {
+        let g = inst.dependency_graph();
+        let touched = inst.variable(x).affects();
+        for (i, &u) in touched.iter().enumerate() {
+            for &v in &touched[i + 1..] {
+                if let Some(eid) = g.edge_id(u, v) {
+                    self.recheck_pair(phi, eid);
+                }
+            }
+        }
+        for &v in touched {
+            self.products[v] = phi.product_at(g, v);
+            self.recheck_prob(inst, partial, v);
+        }
+        self.report()
+    }
+
+    /// The current violation sets as an [`AuditReport`] (identical to
+    /// what [`audit_p_star`] would return for the same state).
+    pub fn report(&self) -> AuditReport {
+        AuditReport {
+            pair_violations: self.pair_bad.iter().copied().collect(),
+            prob_violations: self.prob_bad.iter().copied().collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -118,8 +232,8 @@ mod tests {
         let g = inst.dependency_graph();
         let mut phi = Phi::ones(g);
         let e = g.edge_id(0, 1).unwrap();
-        phi.set(e, 0, q(3, 2));
-        phi.set(e, 1, q(3, 2));
+        phi.set(e, 0, q(3, 2)).unwrap();
+        phi.set(e, 1, q(3, 2)).unwrap();
         let partial = PartialAssignment::new(3);
         // Bump p so that condition (2) stays satisfied despite larger φ.
         let report = audit_p_star(&inst, &partial, &phi, &q(1, 16), &BigRational::zero());

@@ -271,7 +271,10 @@ fn assert_no_shared_events_across_edges<T: Num>(inst: &Instance<T>, class: &[usi
             for ev in [u, v] {
                 match owner[ev] {
                     Some(edge) if edge != (u, v) => {
-                        panic!("class schedules edges {edge:?} and {:?} sharing event {ev}", (u, v))
+                        panic!(
+                            "class schedules edges {edge:?} and {:?} sharing event {ev}",
+                            (u, v)
+                        )
                     }
                     _ => owner[ev] = Some((u, v)),
                 }
@@ -310,8 +313,9 @@ mod tests {
 
     fn ring_instance(n: usize, k: usize) -> Instance<f64> {
         let mut b = InstanceBuilder::<f64>::new(n);
-        let vars: Vec<usize> =
-            (0..n).map(|i| b.add_uniform_variable(&[i, (i + 1) % n], k)).collect();
+        let vars: Vec<usize> = (0..n)
+            .map(|i| b.add_uniform_variable(&[i, (i + 1) % n], k))
+            .collect();
         for i in 0..n {
             let (l, r) = (vars[(i + n - 1) % n], vars[i]);
             b.set_event_predicate(i, move |vals| vals[l] == 0 && vals[r] == 0);
@@ -321,8 +325,9 @@ mod tests {
 
     fn hyper_ring_instance(n: usize, k: usize) -> Instance<f64> {
         let mut b = InstanceBuilder::<f64>::new(n);
-        let vars: Vec<usize> =
-            (0..n).map(|i| b.add_uniform_variable(&[i, (i + 1) % n, (i + 2) % n], k)).collect();
+        let vars: Vec<usize> = (0..n)
+            .map(|i| b.add_uniform_variable(&[i, (i + 1) % n, (i + 2) % n], k))
+            .collect();
         for j in 0..n {
             let (x1, x2, x3) = (vars[(j + n - 2) % n], vars[(j + n - 1) % n], vars[j]);
             b.set_event_predicate(j, move |vals| {

@@ -86,22 +86,74 @@ pub enum FixerError {
         /// The variable being fixed.
         variable: usize,
     },
+    /// A `φ` lookup or update named a node that is not an endpoint of
+    /// the edge. Returned (instead of panicking) by
+    /// [`Phi::get`](crate::Phi::get) / [`Phi::set`](crate::Phi::set) so
+    /// adversarial-order drivers that mis-route a potential update
+    /// degrade gracefully.
+    NotAnEndpoint {
+        /// The dependency-graph edge id.
+        edge: usize,
+        /// The node that is not an endpoint of that edge.
+        node: usize,
+    },
+    /// An audited run found property `P*` broken after a fixing step
+    /// (see [`Fixer3::run_audited`](crate::Fixer3::run_audited)).
+    PStarViolated {
+        /// 0-based index of the fixing step within the order.
+        step: usize,
+        /// The variable whose fixing broke the invariant.
+        variable: usize,
+        /// Edges whose pair sum exceeds 2 (+tolerance).
+        pair_violations: Vec<usize>,
+        /// Events whose conditional probability exceeds the φ bound
+        /// (+tolerance).
+        prob_violations: Vec<usize>,
+    },
 }
 
 impl fmt::Display for FixerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FixerError::RankTooLarge { found, supported } => {
-                write!(f, "instance has rank-{found} variables, fixer supports rank {supported}")
+                write!(
+                    f,
+                    "instance has rank-{found} variables, fixer supports rank {supported}"
+                )
             }
             FixerError::CriterionViolated { p_times_2_to_d } => {
-                write!(f, "exponential criterion violated: p*2^d = {p_times_2_to_d} >= 1")
+                write!(
+                    f,
+                    "exponential criterion violated: p*2^d = {p_times_2_to_d} >= 1"
+                )
             }
             FixerError::NoGoodValue { variable } => {
-                write!(f, "no good value for variable {variable} (above threshold?)")
+                write!(
+                    f,
+                    "no good value for variable {variable} (above threshold?)"
+                )
             }
             FixerError::DecompositionFailed { variable } => {
-                write!(f, "triple decomposition failed while fixing variable {variable}")
+                write!(
+                    f,
+                    "triple decomposition failed while fixing variable {variable}"
+                )
+            }
+            FixerError::NotAnEndpoint { edge, node } => {
+                write!(f, "node {node} is not an endpoint of edge {edge}")
+            }
+            FixerError::PStarViolated {
+                step,
+                variable,
+                pair_violations,
+                prob_violations,
+            } => {
+                write!(
+                    f,
+                    "property P* broken at step {step} (variable {variable}): \
+                     pair violations {pair_violations:?}, probability violations \
+                     {prob_violations:?}"
+                )
             }
         }
     }

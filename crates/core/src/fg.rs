@@ -52,7 +52,11 @@ pub fn fg_criterion<T: Num>(inst: &Instance<T>, classes: usize) -> FgCriterion {
     for _ in 0..classes {
         bound = bound * d1.clone();
     }
-    FgCriterion { classes, bound: bound.to_f64(), holds: bound < T::one() }
+    FgCriterion {
+        classes,
+        bound: bound.to_f64(),
+        holds: bound < T::one(),
+    }
 }
 
 /// The sequential conditional-expectation (Fischer–Ghaffari-style)
@@ -85,14 +89,19 @@ impl<'i, T: Num> FgFixer<'i, T> {
     pub fn new(inst: &'i Instance<T>, num_classes: usize) -> Result<FgFixer<'i, T>, FixerError> {
         let crit = fg_criterion(inst, num_classes);
         if !crit.holds {
-            return Err(FixerError::CriterionViolated { p_times_2_to_d: crit.bound });
+            return Err(FixerError::CriterionViolated {
+                p_times_2_to_d: crit.bound,
+            });
         }
         Ok(FgFixer::new_unchecked(inst))
     }
 
     /// Creates the fixer without any criterion check.
     pub fn new_unchecked(inst: &'i Instance<T>) -> FgFixer<'i, T> {
-        FgFixer { inst, partial: PartialAssignment::new(inst.num_variables()) }
+        FgFixer {
+            inst,
+            partial: PartialAssignment::new(inst.num_variables()),
+        }
     }
 
     /// Current partial assignment.
@@ -155,10 +164,15 @@ impl<'i, T: Num> FgFixer<'i, T> {
         }
         // Variables whose events were all un-classed cannot remain: every
         // event has a class. (Rank-0 variables are rejected at build.)
-        assert!(self.partial.is_complete(), "class sweep fixes every variable");
+        assert!(
+            self.partial.is_complete(),
+            "class sweep fixes every variable"
+        );
         let assignment = self.partial.into_complete();
-        let violated =
-            self.inst.violated_events(&assignment).expect("assignment is complete and in range");
+        let violated = self
+            .inst
+            .violated_events(&assignment)
+            .expect("assignment is complete and in range");
         FixReport::new(assignment, violated)
     }
 }
@@ -175,8 +189,9 @@ mod tests {
     /// strong FG criterion holds.
     fn sparse_hyper_ring(n: usize, k: usize) -> Instance<f64> {
         let mut b = InstanceBuilder::<f64>::new(n);
-        let vars: Vec<usize> =
-            (0..n).map(|i| b.add_uniform_variable(&[i, (i + 1) % n, (i + 2) % n], k)).collect();
+        let vars: Vec<usize> = (0..n)
+            .map(|i| b.add_uniform_variable(&[i, (i + 1) % n, (i + 2) % n], k))
+            .collect();
         for j in 0..n {
             let (x1, x2, x3) = (vars[(j + n - 2) % n], vars[(j + n - 1) % n], vars[j]);
             b.set_event_predicate(j, move |vals| {
@@ -189,7 +204,7 @@ mod tests {
     #[test]
     fn criterion_math() {
         let inst = sparse_hyper_ring(12, 3); // p = 1/27, d = 4
-        // 2 classes: 1/27 · 25 < 1; 3 classes: 125/27 > 1.
+                                             // 2 classes: 1/27 · 25 < 1; 3 classes: 125/27 > 1.
         assert!(fg_criterion(&inst, 2).holds);
         assert!(!fg_criterion(&inst, 3).holds);
         let c = fg_criterion(&inst, 3);
@@ -213,7 +228,10 @@ mod tests {
         let sim = Simulator::with_shuffled_ids(g, 3);
         let col = distance2_coloring(&sim, 10_000).unwrap();
         let crit = fg_criterion(&inst, col.palette);
-        assert!(!crit.holds, "the generic criterion is very demanding: {crit:?}");
+        assert!(
+            !crit.holds,
+            "the generic criterion is very demanding: {crit:?}"
+        );
         let report = FgFixer::new_unchecked(&inst).run(&col.colors);
         assert!(report.is_success());
     }

@@ -80,7 +80,10 @@ impl<'i, T: Num> Fixer2<'i, T> {
     pub fn new_unchecked(inst: &'i Instance<T>) -> Result<Fixer2<'i, T>, FixerError> {
         let rank = inst.max_rank();
         if rank > 2 {
-            return Err(FixerError::RankTooLarge { found: rank, supported: 2 });
+            return Err(FixerError::RankTooLarge {
+                found: rank,
+                supported: 2,
+            });
         }
         Ok(Fixer2 {
             inst,
@@ -140,8 +143,16 @@ impl<'i, T: Num> Fixer2<'i, T> {
             [u, v] => {
                 let g = self.inst.dependency_graph();
                 let eid = g.edge_id(u, v).expect("co-affected events are adjacent");
-                let s = self.phi.get(eid, u).clone();
-                let t = self.phi.get(eid, v).clone();
+                let s = self
+                    .phi
+                    .get(eid, u)
+                    .expect("u is an endpoint of its edge")
+                    .clone();
+                let t = self
+                    .phi
+                    .get(eid, v)
+                    .expect("v is an endpoint of its edge")
+                    .clone();
                 let best = (0..k)
                     .map(|y| {
                         let cost = self.inc(u, x, y) * s.clone() + self.inc(v, x, y) * t.clone();
@@ -152,8 +163,12 @@ impl<'i, T: Num> Fixer2<'i, T> {
                     .1;
                 let new_u = self.inc(u, x, best) * s;
                 let new_v = self.inc(v, x, best) * t;
-                self.phi.set(eid, u, new_u);
-                self.phi.set(eid, v, new_v);
+                self.phi
+                    .set(eid, u, new_u)
+                    .expect("u is an endpoint of its edge");
+                self.phi
+                    .set(eid, v, new_v)
+                    .expect("v is an endpoint of its edge");
                 best
             }
             _ => unreachable!("rank validated at construction"),
@@ -182,6 +197,50 @@ impl<'i, T: Num> Fixer2<'i, T> {
         self.run(0..m)
     }
 
+    /// Runs the process over `order`, re-verifying property `P*` after
+    /// every fixing step.
+    ///
+    /// `p_bound` is the symmetric probability bound `p` (usually
+    /// [`Instance::max_event_probability`]); `tol` absorbs
+    /// floating-point drift (`0` for exact backends).
+    ///
+    /// # Errors
+    ///
+    /// [`FixerError::PStarViolated`] at the first step after which the
+    /// invariant no longer holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the order re-fixes or misses a variable.
+    pub fn run_audited(
+        mut self,
+        order: impl IntoIterator<Item = usize>,
+        p_bound: &T,
+        tol: &T,
+    ) -> Result<FixReport, FixerError> {
+        let mut auditor = crate::audit::IncrementalAuditor::new(
+            self.inst,
+            &self.partial,
+            &self.phi,
+            p_bound,
+            tol,
+        );
+        for (step, x) in order.into_iter().enumerate() {
+            self.fix_variable(x);
+            let report = auditor.reverify(self.inst, &self.partial, &self.phi, x);
+            if !report.holds() {
+                return Err(FixerError::PStarViolated {
+                    step,
+                    variable: x,
+                    pair_violations: report.pair_violations,
+                    prob_violations: report.prob_violations,
+                });
+            }
+        }
+        assert!(self.partial.is_complete(), "order must cover all variables");
+        Ok(self.into_report())
+    }
+
     /// Finalizes into a report (all variables must be fixed).
     ///
     /// # Panics
@@ -189,8 +248,10 @@ impl<'i, T: Num> Fixer2<'i, T> {
     /// Panics if some variable is unfixed.
     pub fn into_report(self) -> FixReport {
         let assignment = self.partial.into_complete();
-        let violated =
-            self.inst.violated_events(&assignment).expect("assignment is complete and in range");
+        let violated = self
+            .inst
+            .violated_events(&assignment)
+            .expect("assignment is complete and in range");
         FixReport::new(assignment, violated)
     }
 }
@@ -213,8 +274,9 @@ mod tests {
     /// p = 1/k², d = 2 ⇒ criterion needs k² > 4.
     fn ring_instance(n: usize, k: usize) -> Instance<BigRational> {
         let mut b = InstanceBuilder::new(n);
-        let vars: Vec<usize> =
-            (0..n).map(|i| b.add_uniform_variable(&[i, (i + 1) % n], k)).collect();
+        let vars: Vec<usize> = (0..n)
+            .map(|i| b.add_uniform_variable(&[i, (i + 1) % n], k))
+            .collect();
         for i in 0..n {
             let left = vars[(i + n - 1) % n];
             let right = vars[i];
@@ -228,7 +290,11 @@ mod tests {
         let inst = ring_instance(12, 3); // p·2^d = 4/9 < 1
         assert!(inst.satisfies_exponential_criterion());
         let report = Fixer2::new(&inst).unwrap().run_default();
-        assert!(report.is_success(), "violated: {:?}", report.violated_events());
+        assert!(
+            report.is_success(),
+            "violated: {:?}",
+            report.violated_events()
+        );
         assert!(inst.no_event_occurs(report.assignment()).unwrap());
     }
 
@@ -243,9 +309,17 @@ mod tests {
             let mut fixer = Fixer2::new(&inst).unwrap();
             for &x in &order {
                 fixer.fix_variable(x);
-                let audit =
-                    audit_p_star(&inst, fixer.partial(), fixer.phi(), &p, &BigRational::zero());
-                assert!(audit.holds(), "trial {trial}: P* broken after fixing {x}: {audit:?}");
+                let audit = audit_p_star(
+                    &inst,
+                    fixer.partial(),
+                    fixer.phi(),
+                    &p,
+                    &BigRational::zero(),
+                );
+                assert!(
+                    audit.holds(),
+                    "trial {trial}: P* broken after fixing {x}: {audit:?}"
+                );
             }
             let report = fixer.into_report();
             assert!(report.is_success(), "trial {trial}");
@@ -259,7 +333,10 @@ mod tests {
         let inst = b.build().unwrap();
         assert!(matches!(
             Fixer2::new(&inst),
-            Err(FixerError::RankTooLarge { found: 3, supported: 2 })
+            Err(FixerError::RankTooLarge {
+                found: 3,
+                supported: 2
+            })
         ));
     }
 
@@ -268,7 +345,10 @@ mod tests {
         // Sinkless-orientation-style tightness: p = 2^-d exactly.
         let inst = ring_instance(8, 2); // p = 1/4, d = 2: p·2^d = 1
         assert!(!inst.satisfies_exponential_criterion());
-        assert!(matches!(Fixer2::new(&inst), Err(FixerError::CriterionViolated { .. })));
+        assert!(matches!(
+            Fixer2::new(&inst),
+            Err(FixerError::CriterionViolated { .. })
+        ));
         // Unchecked: the greedy process still runs to completion (it may
         // or may not succeed — on this instance it happens to succeed,
         // the guarantee is simply gone).
@@ -329,8 +409,13 @@ mod tests {
             let mut fixer = Fixer2::new(&inst).unwrap();
             for &v in &order {
                 fixer.fix_variable(v);
-                let audit =
-                    audit_p_star(&inst, fixer.partial(), fixer.phi(), &p, &BigRational::zero());
+                let audit = audit_p_star(
+                    &inst,
+                    fixer.partial(),
+                    fixer.phi(),
+                    &p,
+                    &BigRational::zero(),
+                );
                 assert!(audit.holds());
             }
             assert!(fixer.into_report().is_success());
@@ -341,8 +426,9 @@ mod tests {
     fn f64_backend_agrees_with_exact() {
         let exact = ring_instance(10, 3);
         let mut b = InstanceBuilder::<f64>::new(10);
-        let vars: Vec<usize> =
-            (0..10).map(|i| b.add_uniform_variable(&[i, (i + 1) % 10], 3)).collect();
+        let vars: Vec<usize> = (0..10)
+            .map(|i| b.add_uniform_variable(&[i, (i + 1) % 10], 3))
+            .collect();
         for i in 0..10 {
             let left = vars[(i + 10 - 1) % 10];
             let right = vars[i];

@@ -83,7 +83,10 @@ impl<'i, T: Num> Fixer3<'i, T> {
     pub fn new_unchecked(inst: &'i Instance<T>) -> Result<Fixer3<'i, T>, FixerError> {
         let rank = inst.max_rank();
         if rank > 3 {
-            return Err(FixerError::RankTooLarge { found: rank, supported: 3 });
+            return Err(FixerError::RankTooLarge {
+                found: rank,
+                supported: 3,
+            });
         }
         Ok(Fixer3 {
             inst,
@@ -140,27 +143,44 @@ impl<'i, T: Num> Fixer3<'i, T> {
         let var = self.inst.variable(x);
         let k = var.num_values();
         let choice = match *var.affects() {
-            [u] => (0..k)
-                .map(|y| (self.inc(u, x, y), y))
-                .min_by(|(a, _), (b, _)| a.partial_cmp(b).expect("finite increase factors"))
-                .expect("variables have at least one value")
-                .1,
+            [u] => {
+                (0..k)
+                    .map(|y| (self.inc(u, x, y), y))
+                    .min_by(|(a, _), (b, _)| a.partial_cmp(b).expect("finite increase factors"))
+                    .expect("variables have at least one value")
+                    .1
+            }
             [u, v] => {
                 let g = self.inst.dependency_graph();
                 let eid = g.edge_id(u, v).expect("co-affected events are adjacent");
-                let s = self.phi.get(eid, u).clone();
-                let t = self.phi.get(eid, v).clone();
+                let s = self
+                    .phi
+                    .get(eid, u)
+                    .expect("u is an endpoint of its edge")
+                    .clone();
+                let t = self
+                    .phi
+                    .get(eid, v)
+                    .expect("v is an endpoint of its edge")
+                    .clone();
                 let best = (0..k)
                     .map(|y| {
-                        (self.inc(u, x, y) * s.clone() + self.inc(v, x, y) * t.clone(), y)
+                        (
+                            self.inc(u, x, y) * s.clone() + self.inc(v, x, y) * t.clone(),
+                            y,
+                        )
                     })
                     .min_by(|(a, _), (b, _)| a.partial_cmp(b).expect("finite costs"))
                     .expect("variables have at least one value")
                     .1;
                 let new_u = self.inc(u, x, best) * s;
                 let new_v = self.inc(v, x, best) * t;
-                self.phi.set(eid, u, new_u);
-                self.phi.set(eid, v, new_v);
+                self.phi
+                    .set(eid, u, new_u)
+                    .expect("u is an endpoint of its edge");
+                self.phi
+                    .set(eid, v, new_v)
+                    .expect("v is an endpoint of its edge");
                 best
             }
             [u, v, w] => self.fix_rank3(x, u, v, w),
@@ -176,9 +196,15 @@ impl<'i, T: Num> Fixer3<'i, T> {
         let e = g.edge_id(u, v).expect("u, v share variable x");
         let e1 = g.edge_id(u, w).expect("u, w share variable x");
         let e2 = g.edge_id(v, w).expect("v, w share variable x");
-        let a = self.phi.get(e, u).clone() * self.phi.get(e1, u).clone();
-        let b = self.phi.get(e, v).clone() * self.phi.get(e2, v).clone();
-        let c = self.phi.get(e1, w).clone() * self.phi.get(e2, w).clone();
+        let at = |eid: usize, node: usize| {
+            self.phi
+                .get(eid, node)
+                .expect("node is an endpoint of its edge")
+                .clone()
+        };
+        let a = at(e, u) * at(e1, u);
+        let b = at(e, v) * at(e2, v);
+        let c = at(e1, w) * at(e2, w);
 
         let k = self.inst.variable(x).num_values();
         // Candidate triples, most robustly representable first.
@@ -214,12 +240,13 @@ impl<'i, T: Num> Fixer3<'i, T> {
 
         for (_, y, (sa, sb, sc)) in &candidates {
             if let Some(d) = decompose(sa, sb, sc) {
-                self.phi.set(e, u, d.a1);
-                self.phi.set(e1, u, d.a2);
-                self.phi.set(e, v, d.b1);
-                self.phi.set(e2, v, d.b3);
-                self.phi.set(e1, w, d.c2);
-                self.phi.set(e2, w, d.c3);
+                let endpoint = "node is an endpoint of its edge";
+                self.phi.set(e, u, d.a1).expect(endpoint);
+                self.phi.set(e1, u, d.a2).expect(endpoint);
+                self.phi.set(e, v, d.b1).expect(endpoint);
+                self.phi.set(e2, v, d.b3).expect(endpoint);
+                self.phi.set(e1, w, d.c2).expect(endpoint);
+                self.phi.set(e2, w, d.c3).expect(endpoint);
                 return *y;
             }
         }
@@ -237,12 +264,13 @@ impl<'i, T: Num> Fixer3<'i, T> {
                 target / denom.clone()
             }
         };
-        let new_a1 = scale(sa, &self.phi.get(e1, u).clone());
-        self.phi.set(e, u, new_a1);
-        let new_b1 = scale(sb, &self.phi.get(e2, v).clone());
-        self.phi.set(e, v, new_b1);
-        let new_c2 = scale(sc, &self.phi.get(e2, w).clone());
-        self.phi.set(e1, w, new_c2);
+        let endpoint = "node is an endpoint of its edge";
+        let new_a1 = scale(sa, &self.phi.get(e1, u).expect(endpoint).clone());
+        self.phi.set(e, u, new_a1).expect(endpoint);
+        let new_b1 = scale(sb, &self.phi.get(e2, v).expect(endpoint).clone());
+        self.phi.set(e, v, new_b1).expect(endpoint);
+        let new_c2 = scale(sc, &self.phi.get(e2, w).expect(endpoint).clone());
+        self.phi.set(e1, w, new_c2).expect(endpoint);
         y
     }
 
@@ -266,6 +294,50 @@ impl<'i, T: Num> Fixer3<'i, T> {
         self.run(0..m)
     }
 
+    /// Runs the process over `order`, re-verifying property `P*` after
+    /// every fixing step (experiment E5's audited mode).
+    ///
+    /// `p_bound` is the symmetric probability bound `p` (usually
+    /// [`Instance::max_event_probability`]); `tol` absorbs
+    /// floating-point drift (`0` for exact backends).
+    ///
+    /// # Errors
+    ///
+    /// [`FixerError::PStarViolated`] at the first step after which the
+    /// invariant no longer holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the order re-fixes or misses a variable.
+    pub fn run_audited(
+        mut self,
+        order: impl IntoIterator<Item = usize>,
+        p_bound: &T,
+        tol: &T,
+    ) -> Result<FixReport, FixerError> {
+        let mut auditor = crate::audit::IncrementalAuditor::new(
+            self.inst,
+            &self.partial,
+            &self.phi,
+            p_bound,
+            tol,
+        );
+        for (step, x) in order.into_iter().enumerate() {
+            self.fix_variable(x);
+            let report = auditor.reverify(self.inst, &self.partial, &self.phi, x);
+            if !report.holds() {
+                return Err(FixerError::PStarViolated {
+                    step,
+                    variable: x,
+                    pair_violations: report.pair_violations,
+                    prob_violations: report.prob_violations,
+                });
+            }
+        }
+        assert!(self.partial.is_complete(), "order must cover all variables");
+        Ok(self.into_report())
+    }
+
     /// Finalizes into a report (all variables must be fixed).
     ///
     /// # Panics
@@ -273,8 +345,10 @@ impl<'i, T: Num> Fixer3<'i, T> {
     /// Panics if some variable is unfixed.
     pub fn into_report(self) -> FixReport {
         let assignment = self.partial.into_complete();
-        let violated =
-            self.inst.violated_events(&assignment).expect("assignment is complete and in range");
+        let violated = self
+            .inst
+            .violated_events(&assignment)
+            .expect("assignment is complete and in range");
         FixReport::new(assignment, violated)
     }
 }
@@ -293,8 +367,9 @@ mod tests {
     /// all take value 0. p = k^-3, d = 4 ⇒ criterion needs k³ > 16.
     fn hyper_ring_instance<T: Num>(n: usize, k: usize) -> Instance<T> {
         let mut b = InstanceBuilder::<T>::new(n);
-        let vars: Vec<usize> =
-            (0..n).map(|i| b.add_uniform_variable(&[i, (i + 1) % n, (i + 2) % n], k)).collect();
+        let vars: Vec<usize> = (0..n)
+            .map(|i| b.add_uniform_variable(&[i, (i + 1) % n, (i + 2) % n], k))
+            .collect();
         for j in 0..n {
             let (x1, x2, x3) = (vars[(j + n - 2) % n], vars[(j + n - 1) % n], vars[j]);
             b.set_event_predicate(j, move |vals| {
@@ -310,7 +385,11 @@ mod tests {
         assert_eq!(inst.max_dependency_degree(), 4);
         assert!(inst.satisfies_exponential_criterion());
         let report = Fixer3::new(&inst).unwrap().run_default();
-        assert!(report.is_success(), "violated: {:?}", report.violated_events());
+        assert!(
+            report.is_success(),
+            "violated: {:?}",
+            report.violated_events()
+        );
         assert!(inst.no_event_occurs(report.assignment()).unwrap());
     }
 
@@ -325,9 +404,17 @@ mod tests {
             let mut fixer = Fixer3::new(&inst).unwrap();
             for &x in &order {
                 fixer.fix_variable(x);
-                let audit =
-                    audit_p_star(&inst, fixer.partial(), fixer.phi(), &p, &BigRational::zero());
-                assert!(audit.holds(), "trial {trial}: P* broken after fixing {x}: {audit:?}");
+                let audit = audit_p_star(
+                    &inst,
+                    fixer.partial(),
+                    fixer.phi(),
+                    &p,
+                    &BigRational::zero(),
+                );
+                assert!(
+                    audit.holds(),
+                    "trial {trial}: P* broken after fixing {x}: {audit:?}"
+                );
             }
             assert!(fixer.invariant_intact());
             let report = fixer.into_report();
@@ -338,8 +425,10 @@ mod tests {
     #[test]
     fn first_feasible_rule_also_succeeds() {
         let inst = hyper_ring_instance::<BigRational>(10, 3);
-        let report =
-            Fixer3::new(&inst).unwrap().with_rule(ValueRule::FirstFeasible).run_default();
+        let report = Fixer3::new(&inst)
+            .unwrap()
+            .with_rule(ValueRule::FirstFeasible)
+            .run_default();
         assert!(report.is_success());
     }
 
@@ -351,7 +440,9 @@ mod tests {
         let r1 = b.add_uniform_variable(&[0], 27);
         let r2 = b.add_uniform_variable(&[0, 1], 9);
         let r3 = b.add_uniform_variable(&[0, 1, 2], 3);
-        b.set_event_predicate(0, move |vals| vals[r1] == 0 && vals[r2] == 0 && vals[r3] == 0);
+        b.set_event_predicate(0, move |vals| {
+            vals[r1] == 0 && vals[r2] == 0 && vals[r3] == 0
+        });
         b.set_event_predicate(1, move |vals| vals[r2] == 1 && vals[r3] == 1);
         b.set_event_predicate(2, move |vals| vals[r3] == 2);
         let inst = b.build().unwrap();
@@ -362,7 +453,9 @@ mod tests {
         let r1 = b.add_uniform_variable(&[0], 27);
         let r2 = b.add_uniform_variable(&[0, 1], 9);
         let r3 = b.add_uniform_variable(&[0, 1, 2], 9);
-        b.set_event_predicate(0, move |vals| vals[r1] == 0 && vals[r2] == 0 && vals[r3] == 0);
+        b.set_event_predicate(0, move |vals| {
+            vals[r1] == 0 && vals[r2] == 0 && vals[r3] == 0
+        });
         b.set_event_predicate(1, move |vals| vals[r2] == 1 && vals[r3] == 1);
         b.set_event_predicate(2, move |vals| vals[r3] == 2);
         let inst = b.build().unwrap();
@@ -393,8 +486,13 @@ mod tests {
         let mut fixer = Fixer3::new(&inst).unwrap();
         for v in 0..3 {
             fixer.fix_variable(v);
-            let audit =
-                audit_p_star(&inst, fixer.partial(), fixer.phi(), &p, &BigRational::zero());
+            let audit = audit_p_star(
+                &inst,
+                fixer.partial(),
+                fixer.phi(),
+                &p,
+                &BigRational::zero(),
+            );
             assert!(audit.holds(), "after variable {v}: {audit:?}");
         }
         assert!(fixer.into_report().is_success());
@@ -407,7 +505,10 @@ mod tests {
         let inst = b.build().unwrap();
         assert!(matches!(
             Fixer3::new(&inst),
-            Err(FixerError::RankTooLarge { found: 4, supported: 3 })
+            Err(FixerError::RankTooLarge {
+                found: 4,
+                supported: 3
+            })
         ));
     }
 
@@ -415,7 +516,10 @@ mod tests {
     fn at_threshold_unchecked_still_completes() {
         let inst = hyper_ring_instance::<BigRational>(8, 2); // 1/8·2^4 = 2 ≥ 1
         assert!(!inst.satisfies_exponential_criterion());
-        assert!(matches!(Fixer3::new(&inst), Err(FixerError::CriterionViolated { .. })));
+        assert!(matches!(
+            Fixer3::new(&inst),
+            Err(FixerError::CriterionViolated { .. })
+        ));
         let report = Fixer3::new_unchecked(&inst).unwrap().run_default();
         assert_eq!(report.assignment().len(), 8);
     }
@@ -424,7 +528,11 @@ mod tests {
     fn f64_backend_succeeds_on_hyper_ring() {
         let inst = hyper_ring_instance::<f64>(15, 3);
         let report = Fixer3::new(&inst).unwrap().run_default();
-        assert!(report.is_success(), "violated: {:?}", report.violated_events());
+        assert!(
+            report.is_success(),
+            "violated: {:?}",
+            report.violated_events()
+        );
     }
 
     #[test]

@@ -106,11 +106,13 @@ impl<T: Num> Event<T> {
     pub fn occurs(&self, values: &[usize]) -> bool {
         debug_assert_eq!(values.len(), self.support.len());
         if let Some(table) = &self.table {
-            let idx: usize =
-                values.iter().zip(&self.strides).map(|(&v, &s)| v * s).sum();
+            let idx: usize = values.iter().zip(&self.strides).map(|(&v, &s)| v * s).sum();
             table[idx]
         } else {
-            (self.predicate)(&VarValues { support: &self.support, values })
+            (self.predicate)(&VarValues {
+                support: &self.support,
+                values,
+            })
         }
     }
 }
@@ -134,7 +136,10 @@ pub struct PartialAssignment {
 impl PartialAssignment {
     /// The empty assignment over `num_vars` variables.
     pub fn new(num_vars: usize) -> PartialAssignment {
-        PartialAssignment { values: vec![None; num_vars], fixed: 0 }
+        PartialAssignment {
+            values: vec![None; num_vars],
+            fixed: 0,
+        }
     }
 
     /// The value of variable `x`, if fixed.
@@ -275,7 +280,13 @@ impl<T: Num> Instance<T> {
         var: usize,
         value: usize,
     ) -> T {
-        self.prob_impl(v, |x| if x == var { Some(value) } else { partial.get(x) })
+        self.prob_impl(v, |x| {
+            if x == var {
+                Some(value)
+            } else {
+                partial.get(x)
+            }
+        })
     }
 
     fn prob_impl(&self, v: usize, lookup: impl Fn(usize) -> Option<usize>) -> T {
@@ -290,7 +301,11 @@ impl<T: Num> Instance<T> {
             }
         }
         if free.is_empty() {
-            return if event.occurs(&values) { T::one() } else { T::zero() };
+            return if event.occurs(&values) {
+                T::one()
+            } else {
+                T::zero()
+            };
         }
         // Odometer over the free positions.
         let mut total = T::zero();
@@ -530,7 +545,10 @@ impl<T: Num> InstanceBuilder<T> {
                 return Err(BuildError::EmptyAffects(x));
             }
             if let Some(&v) = affects.iter().find(|&&v| v >= self.num_events) {
-                return Err(BuildError::EventOutOfRange { variable: x, event: v });
+                return Err(BuildError::EventOutOfRange {
+                    variable: x,
+                    event: v,
+                });
             }
             if probs.is_empty() {
                 return Err(BuildError::NoValues(x));
@@ -563,13 +581,17 @@ impl<T: Num> InstanceBuilder<T> {
         let variables: Vec<Variable<T>> = self
             .variables
             .iter()
-            .map(|(affects, probs)| Variable { probs: probs.clone(), affects: affects.clone() })
+            .map(|(affects, probs)| Variable {
+                probs: probs.clone(),
+                affects: affects.clone(),
+            })
             .collect();
 
         let mut events = Vec::with_capacity(self.num_events);
         for (v, support) in supports.into_iter().enumerate() {
-            let predicate: Predicate =
-                self.predicates[v].clone().unwrap_or_else(|| Arc::new(|_| false));
+            let predicate: Predicate = self.predicates[v]
+                .clone()
+                .unwrap_or_else(|| Arc::new(|_| false));
             // Truth-table precomputation for small supports.
             let mut strides = vec![0usize; support.len()];
             let mut size: usize = 1;
@@ -593,7 +615,10 @@ impl<T: Num> InstanceBuilder<T> {
                         values[pos] = rest % variables[x].num_values();
                         rest /= variables[x].num_values();
                     }
-                    *slot = predicate(&VarValues { support: &support, values: &values });
+                    *slot = predicate(&VarValues {
+                        support: &support,
+                        values: &values,
+                    });
                 }
                 Some(table)
             } else {
@@ -626,7 +651,12 @@ impl<T: Num> InstanceBuilder<T> {
         let hypergraph = Hypergraph::new(self.num_events, hyperedges, max_rank)
             .expect("validated event indices");
 
-        Ok(Instance { variables, events, dependency, hypergraph })
+        Ok(Instance {
+            variables,
+            events,
+            dependency,
+            hypergraph,
+        })
     }
 }
 
@@ -715,7 +745,10 @@ mod tests {
         let inst = two_event_instance::<f64>();
         assert_eq!(inst.violated_events(&[0, 0, 1]).unwrap(), vec![0]);
         assert_eq!(inst.violated_events(&[0, 0, 0]).unwrap(), vec![0, 1]);
-        assert_eq!(inst.violated_events(&[1, 0, 0]).unwrap(), Vec::<usize>::new());
+        assert_eq!(
+            inst.violated_events(&[1, 0, 0]).unwrap(),
+            Vec::<usize>::new()
+        );
         assert!(inst.no_event_occurs(&[1, 0, 0]).unwrap());
         assert!(inst.violated_events(&[0, 0]).is_err());
         assert!(inst.violated_events(&[0, 0, 2]).is_err());
@@ -746,7 +779,13 @@ mod tests {
 
         let mut b = InstanceBuilder::<f64>::new(1);
         b.add_variable(&[3], vec![1.0]);
-        assert!(matches!(b.build(), Err(BuildError::EventOutOfRange { variable: 0, event: 3 })));
+        assert!(matches!(
+            b.build(),
+            Err(BuildError::EventOutOfRange {
+                variable: 0,
+                event: 3
+            })
+        ));
 
         let mut b = InstanceBuilder::<f64>::new(1);
         b.add_variable(&[0], vec![]);
@@ -758,7 +797,10 @@ mod tests {
 
         let mut b = InstanceBuilder::<f64>::new(1);
         b.add_variable(&[0], vec![1.5, -0.5]);
-        assert!(matches!(b.build(), Err(BuildError::NonPositiveProbability(0))));
+        assert!(matches!(
+            b.build(),
+            Err(BuildError::NonPositiveProbability(0))
+        ));
 
         let mut b = InstanceBuilder::<BigRational>::new(1);
         b.add_variable(
@@ -786,7 +828,10 @@ mod tests {
         );
         b.set_event_predicate(0, move |vals| vals[x] == 0);
         let inst = b.build().unwrap();
-        assert_eq!(inst.unconditional_probability(0), BigRational::from_ratio(1, 4));
+        assert_eq!(
+            inst.unconditional_probability(0),
+            BigRational::from_ratio(1, 4)
+        );
     }
 
     #[test]

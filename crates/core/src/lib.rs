@@ -70,14 +70,12 @@ pub mod dist;
 pub mod orders;
 pub mod triples;
 
-pub use audit::{audit_p_star, AuditReport};
+pub use audit::{audit_p_star, AuditReport, IncrementalAuditor};
 pub use error::{BuildError, FixerError};
 pub use fg::{fg_criterion, FgCriterion, FgFixer};
 pub use fixer2::Fixer2;
 pub use fixer3::{Fixer3, ValueRule};
-pub use instance::{
-    Event, Instance, InstanceBuilder, PartialAssignment, Variable, VarValues,
-};
+pub use instance::{Event, Instance, InstanceBuilder, PartialAssignment, VarValues, Variable};
 pub use triples::{Decomposition, Phi};
 
 /// Solves an instance with the strongest applicable deterministic
@@ -131,7 +129,9 @@ pub fn solve_deterministically<T: lll_numeric::Num>(
     if let Ok(fixer) = FgFixer::new(inst, num_classes) {
         return Ok(fixer.run(&classes));
     }
-    Err(FixerError::CriterionViolated { p_times_2_to_d: inst.criterion_value().to_f64() })
+    Err(FixerError::CriterionViolated {
+        p_times_2_to_d: inst.criterion_value().to_f64(),
+    })
 }
 
 #[cfg(test)]
@@ -199,7 +199,10 @@ pub struct FixReport {
 
 impl FixReport {
     pub(crate) fn new(assignment: Vec<usize>, violated_events: Vec<usize>) -> FixReport {
-        FixReport { assignment, violated_events }
+        FixReport {
+            assignment,
+            violated_events,
+        }
     }
 
     /// The complete variable assignment produced by the process.

@@ -39,7 +39,10 @@ impl StaticOrder {
             StaticOrder::Identity => (0..m).collect(),
             StaticOrder::Reversed => (0..m).rev().collect(),
             StaticOrder::Stride(s) => {
-                assert!(m == 0 || gcd(s % m.max(1), m) == 1, "stride must be coprime to m");
+                assert!(
+                    m == 0 || gcd(s % m.max(1), m) == 1,
+                    "stride must be coprime to m"
+                );
                 (0..m).map(|i| (i * s) % m).collect()
             }
         }
@@ -98,8 +101,16 @@ fn fixer2_best_cost<T: Num>(fixer: &Fixer2<'_, T>, x: usize) -> T {
             .expect("k >= 1"),
         [u, v] => {
             let eid = g.edge_id(u, v).expect("co-affected events are adjacent");
-            let s = fixer.phi().get(eid, u).clone();
-            let t = fixer.phi().get(eid, v).clone();
+            let s = fixer
+                .phi()
+                .get(eid, u)
+                .expect("u is an endpoint of its edge")
+                .clone();
+            let t = fixer
+                .phi()
+                .get(eid, v)
+                .expect("v is an endpoint of its edge")
+                .clone();
             (0..k)
                 .map(|y| inc(u, y) * s.clone() + inc(v, y) * t.clone())
                 .min_by(|a, b| a.partial_cmp(b).expect("finite"))
@@ -143,9 +154,14 @@ fn fixer3_best_margin<T: Num>(fixer: &Fixer3<'_, T>, x: usize) -> T {
     let e1 = g.edge_id(u, w).expect("adjacent");
     let e2 = g.edge_id(v, w).expect("adjacent");
     let phi = fixer.phi();
-    let a = phi.get(e, u).clone() * phi.get(e1, u).clone();
-    let b = phi.get(e, v).clone() * phi.get(e2, v).clone();
-    let c = phi.get(e1, w).clone() * phi.get(e2, w).clone();
+    let at = |eid: usize, node: usize| {
+        phi.get(eid, node)
+            .expect("node is an endpoint of its edge")
+            .clone()
+    };
+    let a = at(e, u) * at(e1, u);
+    let b = at(e, v) * at(e2, v);
+    let c = at(e1, w) * at(e2, w);
     let inc = |ev: usize, y: usize| -> T {
         let old = inst.probability(ev, fixer.partial());
         if old.is_zero() {
@@ -169,14 +185,15 @@ fn fixer3_best_margin<T: Num>(fixer: &Fixer3<'_, T>, x: usize) -> T {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::instance::{Instance, InstanceBuilder};
     use crate::audit_p_star;
+    use crate::instance::{Instance, InstanceBuilder};
     use lll_numeric::BigRational;
 
     fn ring_instance(n: usize, k: usize) -> Instance<BigRational> {
         let mut b = InstanceBuilder::new(n);
-        let vars: Vec<usize> =
-            (0..n).map(|i| b.add_uniform_variable(&[i, (i + 1) % n], k)).collect();
+        let vars: Vec<usize> = (0..n)
+            .map(|i| b.add_uniform_variable(&[i, (i + 1) % n], k))
+            .collect();
         for i in 0..n {
             let (l, r) = (vars[(i + n - 1) % n], vars[i]);
             b.set_event_predicate(i, move |vals| vals[l] == 0 && vals[r] == 0);
@@ -186,8 +203,9 @@ mod tests {
 
     fn hyper_ring_instance(n: usize, k: usize) -> Instance<BigRational> {
         let mut b = InstanceBuilder::new(n);
-        let vars: Vec<usize> =
-            (0..n).map(|i| b.add_uniform_variable(&[i, (i + 1) % n, (i + 2) % n], k)).collect();
+        let vars: Vec<usize> = (0..n)
+            .map(|i| b.add_uniform_variable(&[i, (i + 1) % n, (i + 2) % n], k))
+            .collect();
         for j in 0..n {
             let (x1, x2, x3) = (vars[(j + n - 2) % n], vars[(j + n - 1) % n], vars[j]);
             b.set_event_predicate(j, move |vals| {
@@ -199,7 +217,11 @@ mod tests {
 
     #[test]
     fn static_orders_are_permutations() {
-        for order in [StaticOrder::Identity, StaticOrder::Reversed, StaticOrder::Stride(7)] {
+        for order in [
+            StaticOrder::Identity,
+            StaticOrder::Reversed,
+            StaticOrder::Stride(7),
+        ] {
             let mut v = order.materialize(10);
             v.sort_unstable();
             assert_eq!(v, (0..10).collect::<Vec<_>>());
@@ -216,7 +238,11 @@ mod tests {
     #[test]
     fn fixer2_survives_static_and_adaptive_adversaries() {
         let inst = ring_instance(10, 3);
-        for order in [StaticOrder::Identity, StaticOrder::Reversed, StaticOrder::Stride(7)] {
+        for order in [
+            StaticOrder::Identity,
+            StaticOrder::Reversed,
+            StaticOrder::Stride(7),
+        ] {
             let report = Fixer2::new(&inst)
                 .expect("below threshold")
                 .run(order.materialize(inst.num_variables()));
@@ -243,9 +269,17 @@ mod tests {
                 .map(|(_, x)| x)
                 .unwrap();
             fixer.fix_variable(next);
-            let audit =
-                audit_p_star(&inst, fixer.partial(), fixer.phi(), &p, &BigRational::zero());
-            assert!(audit.holds(), "P* broken under adaptive adversary: {audit:?}");
+            let audit = audit_p_star(
+                &inst,
+                fixer.partial(),
+                fixer.phi(),
+                &p,
+                &BigRational::zero(),
+            );
+            assert!(
+                audit.holds(),
+                "P* broken under adaptive adversary: {audit:?}"
+            );
         }
         assert!(fixer.into_report().is_success());
     }

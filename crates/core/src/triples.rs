@@ -29,6 +29,8 @@
 use lll_graphs::Graph;
 use lll_numeric::Num;
 
+use crate::error::FixerError;
+
 /// The surface `f(a, b)` of Lemma 3.5 bounding `S_rep` from above
 /// (`f64`; Figure 1 of the paper is the plot of this function).
 ///
@@ -36,7 +38,10 @@ use lll_numeric::Num;
 ///
 /// Panics unless `a, b ≥ 0` and `a + b ≤ 4` (the function's domain).
 pub fn f_surface(a: f64, b: f64) -> f64 {
-    assert!(a >= 0.0 && b >= 0.0 && a + b <= 4.0 + 1e-12, "outside the domain of f");
+    assert!(
+        a >= 0.0 && b >= 0.0 && a + b <= 4.0 + 1e-12,
+        "outside the domain of f"
+    );
     let d = (a * b * (4.0 - a) * (4.0 - b)).max(0.0);
     4.0 + 0.5 * (a * b - 2.0 * a - 2.0 * b - d.sqrt())
 }
@@ -203,9 +208,10 @@ const TERNARY_ITERS: usize = 128;
 /// Follows the appendix proof of Lemma 3.5: degenerate zero coordinates
 /// are handled in closed form, the general case searches the unimodal
 /// family `c(x)`; for exact backends a candidate `x` is first guessed in
-/// floating point and verified exactly, then (if needed) located by an
-/// exact ternary search, with the algebraic closed form as the final
-/// fallback for triples exactly on the boundary surface.
+/// floating point and verified exactly, then recovered through the exact
+/// algebraic closed form whenever `√D` is representable (in particular
+/// for every triple exactly on the boundary surface), and finally located
+/// by an exact ternary search for strictly interior triples.
 ///
 /// Returns `None` if the triple is not representable (or, for the `f64`
 /// backend, sits too close to the boundary for the search to certify).
@@ -236,21 +242,50 @@ pub fn decompose<T: Num>(a: &T, b: &T, c: &T) -> Option<Decomposition<T>> {
     if a.is_zero() {
         let b3 = b.clone() / two.clone();
         let c3 = two.clone() - b3.clone();
-        let c2 = if c3.is_zero() { zero.clone() } else { c.clone() / c3.clone() };
-        return Some(Decomposition { a1: zero.clone(), a2: zero, b1: two, b3, c2, c3 });
+        let c2 = if c3.is_zero() {
+            zero.clone()
+        } else {
+            c.clone() / c3.clone()
+        };
+        return Some(Decomposition {
+            a1: zero.clone(),
+            a2: zero,
+            b1: two,
+            b3,
+            c2,
+            c3,
+        });
     }
     if b.is_zero() {
         let a2 = a.clone() / two.clone();
         let c2 = two.clone() - a2.clone();
-        let c3 = if c2.is_zero() { zero.clone() } else { c.clone() / c2.clone() };
-        return Some(Decomposition { a1: two.clone(), a2, b1: zero.clone(), b3: zero, c2, c3 });
+        let c3 = if c2.is_zero() {
+            zero.clone()
+        } else {
+            c.clone() / c2.clone()
+        };
+        return Some(Decomposition {
+            a1: two.clone(),
+            a2,
+            b1: zero.clone(),
+            b3: zero,
+            c2,
+            c3,
+        });
     }
     if c.is_zero() {
         let a1 = a.clone() / two.clone();
         let a2 = two.clone();
         let b1 = two.clone() - a1.clone();
         let b3 = b.clone() / b1.clone(); // b1 > 0 since a < 4 (else b = 0)
-        return Some(Decomposition { a1, a2, b1, b3, c2: zero.clone(), c3: zero });
+        return Some(Decomposition {
+            a1,
+            a2,
+            b1,
+            b3,
+            c2: zero.clone(),
+            c3: zero,
+        });
     }
 
     // General case: find x in [a/2, 2 - b/2] with c(x) >= c.
@@ -262,12 +297,22 @@ pub fn decompose<T: Num>(a: &T, b: &T, c: &T) -> Option<Decomposition<T>> {
         let b1 = two.clone() - x.clone();
         let b3 = b.clone() / (two.clone() - x.clone());
         let c3 = two.clone() - b3.clone();
-        let c2 = if c3.is_zero() { T::zero() } else { c.clone() / c3.clone() };
-        Decomposition { a1, a2, b1, b3, c2, c3 }
+        let c2 = if c3.is_zero() {
+            T::zero()
+        } else {
+            c.clone() / c3.clone()
+        };
+        Decomposition {
+            a1,
+            a2,
+            b1,
+            b3,
+            c2,
+            c3,
+        }
     };
-    let good = |x: &T| -> bool {
-        *x > zero && *x < two && *x >= lo && *x <= hi && c_of_x(a, b, x) >= *c
-    };
+    let good =
+        |x: &T| -> bool { *x > zero && *x < two && *x >= lo && *x <= hi && c_of_x(a, b, x) >= *c };
 
     // 1. Floating-point guess at the arg-max of c(x), verified in T.
     if let Some(xf) = closed_form_x_f64(a.to_f64(), b.to_f64()) {
@@ -280,7 +325,19 @@ pub fn decompose<T: Num>(a: &T, b: &T, c: &T) -> Option<Decomposition<T>> {
         }
     }
 
-    // 2. Ternary search on the unimodal c(x).
+    // 2. Exact closed form: when √D is exactly representable (always for
+    //    triples exactly on the boundary surface with rational c — there
+    //    c = f(a, b) forces √D rational), the arg-max itself is exact.
+    //    Tried before the ternary search because on the boundary the
+    //    search can only converge *towards* the single good x, never
+    //    reach it.
+    if let Some(x) = closed_form_x_exact(a, b) {
+        if good(&x) {
+            return Some(build(&x));
+        }
+    }
+
+    // 3. Ternary search on the unimodal c(x) (strictly interior triples).
     let mut l = lo.clone();
     let mut h = hi.clone();
     let third = T::from_ratio(1, 3);
@@ -300,14 +357,6 @@ pub fn decompose<T: Num>(a: &T, b: &T, c: &T) -> Option<Decomposition<T>> {
             h = m2;
         }
     }
-
-    // 3. Boundary fallback: c = f(a, b) exactly. Rationality of c forces
-    //    √D rational; recover the exact arg-max.
-    if let Some(x) = closed_form_x_exact(a, b) {
-        if good(&x) {
-            return Some(build(&x));
-        }
-    }
     None
 }
 
@@ -325,7 +374,9 @@ fn closed_form_x_f64(a: f64, b: f64) -> Option<f64> {
 }
 
 /// Exact arg-max of `c(x)` for backends where `√D` happens to be exactly
-/// representable (`a = b`, or `D` a perfect square for rationals).
+/// representable (`a = b`, or `D` a perfect rational square — decided by
+/// [`Num::exact_sqrt`], which for the rational backend finds non-dyadic
+/// roots like `√(7744/2025) = 88/45` exactly).
 fn closed_form_x_exact<T: Num>(a: &T, b: &T) -> Option<T> {
     if a == b {
         return Some(T::one());
@@ -333,41 +384,10 @@ fn closed_form_x_exact<T: Num>(a: &T, b: &T) -> Option<T> {
     // x1 = (a(4-b) - sqrt(D)) / (2(a-b)); find sqrt(D) as a T if exact.
     let four = T::from_ratio(4, 1);
     let d = a.clone() * b.clone() * (four.clone() - a.clone()) * (four.clone() - b.clone());
-    let s = exact_sqrt(&d)?;
+    let s = d.exact_sqrt()?;
     let num = a.clone() * (four - b.clone()) - s;
     let den = T::from_ratio(2, 1) * (a.clone() - b.clone());
     Some(num / den)
-}
-
-/// Square root of a non-negative value if exactly representable in `T`
-/// (binary search on dyadic bit-length for the generic case would be
-/// overkill: the rational backend exposes perfect squares through
-/// `sqrt_leq` equality checks; we synthesise the root via f64 and verify).
-fn exact_sqrt<T: Num>(d: &T) -> Option<T> {
-    if d.is_negative() {
-        return None;
-    }
-    let guess = T::from_f64_approx(d.to_f64().sqrt());
-    if guess.clone() * guess.clone() == *d {
-        return Some(guess);
-    }
-    // The f64 guess may be off; try neighbouring dyadics via a short
-    // bisection around the guess.
-    let mut lo = T::zero();
-    let mut hi = guess.clone() + T::one();
-    for _ in 0..256 {
-        let mid = T::midpoint(&lo, &hi);
-        let sq = mid.clone() * mid.clone();
-        if sq == *d {
-            return Some(mid);
-        }
-        if sq < *d {
-            lo = mid;
-        } else {
-            hi = mid;
-        }
-    }
-    None
 }
 
 /// The paper's potential function `φ` (Definition 3.1): one value in
@@ -395,33 +415,38 @@ impl<T: Num> Phi<T> {
 
     /// The value `φ_e^v`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `v` is not an endpoint of edge `eid`.
-    pub fn get(&self, eid: usize, v: usize) -> &T {
+    /// [`FixerError::NotAnEndpoint`] if `v` is not an endpoint of edge
+    /// `eid` — adversarial-order drivers that mis-route a lookup get a
+    /// typed error instead of an abort.
+    pub fn get(&self, eid: usize, v: usize) -> Result<&T, FixerError> {
         let (a, b) = self.edges[eid];
         if v == a {
-            &self.values[eid].0
+            Ok(&self.values[eid].0)
         } else if v == b {
-            &self.values[eid].1
+            Ok(&self.values[eid].1)
         } else {
-            panic!("node {v} is not an endpoint of edge {eid}")
+            Err(FixerError::NotAnEndpoint { edge: eid, node: v })
         }
     }
 
     /// Overwrites `φ_e^v`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `v` is not an endpoint of edge `eid`.
-    pub fn set(&mut self, eid: usize, v: usize, val: T) {
+    /// [`FixerError::NotAnEndpoint`] if `v` is not an endpoint of edge
+    /// `eid`; the potential is left unchanged.
+    pub fn set(&mut self, eid: usize, v: usize, val: T) -> Result<(), FixerError> {
         let (a, b) = self.edges[eid];
         if v == a {
             self.values[eid].0 = val;
+            Ok(())
         } else if v == b {
             self.values[eid].1 = val;
+            Ok(())
         } else {
-            panic!("node {v} is not an endpoint of edge {eid}")
+            Err(FixerError::NotAnEndpoint { edge: eid, node: v })
         }
     }
 
@@ -436,7 +461,10 @@ impl<T: Num> Phi<T> {
     pub fn product_at(&self, g: &Graph, v: usize) -> T {
         let mut p = T::one();
         for &eid in g.incident_edges(v) {
-            p = p * self.get(eid, v).clone();
+            p = p * self
+                .get(eid, v)
+                .expect("incident edges have v as an endpoint")
+                .clone();
         }
         p
     }
@@ -501,11 +529,60 @@ mod tests {
     }
 
     #[test]
+    fn boundary_triple_with_non_dyadic_sqrt_decomposes_exactly() {
+        // (a, b) = (1/3, 16/15): D = ab(4−a)(4−b) = 7744/2025 is a
+        // perfect rational square with the *non-dyadic* root
+        // √D = 88/45, arg-max x = 2/3 and f(a, b) = 9/5 exactly. A
+        // dyadic-only root search can never certify this boundary
+        // triple — it needs the rational backend's exact perfect-square
+        // roots (Num::exact_sqrt).
+        let (a, b, c) = (q(1, 3), q(16, 15), q(9, 5));
+        assert!(is_representable(&a, &b, &c));
+        let d = decompose(&a, &b, &c).expect("triple exactly on the surface");
+        assert!(d.covers(&a, &b, &c, &BigRational::zero()));
+        assert_eq!(d.a1, q(2, 3), "decomposition sits at the exact arg-max");
+        assert_eq!(d.c2.clone() * d.c3.clone(), c);
+        // Nudged just above the surface it must be rejected again.
+        let off = &c + &q(1, 1_000_000_000);
+        assert!(!is_representable(&a, &b, &off));
+        assert!(decompose(&a, &b, &off).is_none());
+    }
+
+    #[test]
+    fn figure2_pair_on_and_just_off_the_surface() {
+        // For the Figure 2 pair (a, b) = (1/4, 3/2): D = 225/64 with
+        // √D = 15/8, so f(a, b) = 4 + ½(ab − 2a − 2b − √D) = 3/2
+        // exactly. The surface point itself must decompose with exact
+        // products, and any c beyond it must be rejected.
+        let (a, b) = (q(1, 4), q(3, 2));
+        let on = q(3, 2);
+        assert!(is_representable(&a, &b, &on));
+        let d = decompose(&a, &b, &on).expect("surface point is representable");
+        assert!(d.covers(&a, &b, &on, &BigRational::zero()));
+        assert_eq!(d.a1, q(1, 2), "exact arg-max x = 1/2");
+        let off = &on + &q(1, 1_000_000_000_000);
+        assert!(!is_representable(&a, &b, &off));
+        assert!(decompose(&a, &b, &off).is_none());
+        // The interior Figure 2 triple (c = 1/10 < 3/2) keeps working.
+        assert!(decompose(&a, &b, &q(1, 10)).is_some());
+    }
+
+    #[test]
     fn surface_matches_brute_force() {
-        for (a, b) in [(0.5, 0.5), (1.0, 2.0), (0.1, 3.5), (2.0, 1.9), (1.0, 1.0), (3.0, 0.2)] {
+        for (a, b) in [
+            (0.5, 0.5),
+            (1.0, 2.0),
+            (0.1, 3.5),
+            (2.0, 1.9),
+            (1.0, 1.0),
+            (3.0, 0.2),
+        ] {
             let f = f_surface(a, b);
             let brute = max_c_brute(a, b, 20_000);
-            assert!((f - brute).abs() < 1e-3, "f({a},{b}) = {f} vs brute {brute}");
+            assert!(
+                (f - brute).abs() < 1e-3,
+                "f({a},{b}) = {f} vs brute {brute}"
+            );
             // And the surface point itself is (just) representable in f64.
             assert!(is_representable(&a, &b, &(f - 1e-9)));
             assert!(!is_representable(&a, &b, &(f + 1e-6)));
@@ -542,7 +619,11 @@ mod tests {
         for (a, b, c, member) in cases {
             assert_eq!(is_representable(&a, &b, &c), member);
             let score = representability_score(&a, &b, &c);
-            assert_eq!(score >= BigRational::zero(), member, "score {score} for member {member}");
+            assert_eq!(
+                score >= BigRational::zero(),
+                member,
+                "score {score} for member {member}"
+            );
         }
     }
 
@@ -561,7 +642,10 @@ mod tests {
         for (a, b, c) in pts {
             let d = decompose(&a, &b, &c)
                 .unwrap_or_else(|| panic!("decompose failed for ({a}, {b}, {c})"));
-            assert!(d.covers(&a, &b, &c, &BigRational::zero()), "({a}, {b}, {c}) -> {d:?}");
+            assert!(
+                d.covers(&a, &b, &c, &BigRational::zero()),
+                "({a}, {b}, {c}) -> {d:?}"
+            );
             assert_eq!(d.c2.clone() * d.c3.clone(), c, "c product must be exact");
         }
     }
@@ -574,7 +658,12 @@ mod tests {
 
     #[test]
     fn decompose_f64_backend() {
-        for (a, b, c) in [(0.25, 1.5, 0.1), (1.0, 1.0, 0.5), (0.0, 2.0, 1.5), (2.5, 0.5, 0.3)] {
+        for (a, b, c) in [
+            (0.25, 1.5, 0.1),
+            (1.0, 1.0, 0.5),
+            (0.0, 2.0, 1.5),
+            (2.5, 0.5, 0.3),
+        ] {
             let d = decompose(&a, &b, &c).unwrap();
             assert!(d.covers(&a, &b, &c, &1e-9), "({a}, {b}, {c}) -> {d:?}");
         }
@@ -586,7 +675,9 @@ mod tests {
         // S_rep. Deterministic pseudo-random sampling.
         let mut state = 0x12345678u64;
         let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64 / 5.0) // in [0, 5)
         };
         let mut tested = 0;
@@ -629,7 +720,10 @@ mod tests {
                     }
                     let mid = f_surface((a + a2) / 2.0, (b + b2) / 2.0);
                     let avg = 0.5 * (f_surface(a, b) + f_surface(a2, b2));
-                    assert!(mid <= avg + 1e-9, "convexity fails at ({a},{b})-({a2},{b2})");
+                    assert!(
+                        mid <= avg + 1e-9,
+                        "convexity fails at ({a},{b})-({a2},{b2})"
+                    );
                 }
             }
         }
@@ -641,24 +735,33 @@ mod tests {
         let mut phi = Phi::<BigRational>::ones(&g);
         assert_eq!(phi.num_edges(), 3);
         let e01 = g.edge_id(0, 1).unwrap();
-        assert_eq!(phi.get(e01, 0), &BigRational::one());
+        assert_eq!(phi.get(e01, 0).unwrap(), &BigRational::one());
         assert_eq!(phi.pair_sum(e01), q(2, 1));
         assert_eq!(phi.product_at(&g, 1), BigRational::one());
-        phi.set(e01, 1, q(3, 2));
-        assert_eq!(phi.get(e01, 1), &q(3, 2));
-        assert_eq!(phi.get(e01, 0), &BigRational::one());
+        phi.set(e01, 1, q(3, 2)).unwrap();
+        assert_eq!(phi.get(e01, 1).unwrap(), &q(3, 2));
+        assert_eq!(phi.get(e01, 0).unwrap(), &BigRational::one());
         assert_eq!(phi.pair_sum(e01), q(5, 2));
         let e12 = g.edge_id(1, 2).unwrap();
-        phi.set(e12, 1, q(1, 2));
+        phi.set(e12, 1, q(1, 2)).unwrap();
         assert_eq!(phi.product_at(&g, 1), q(3, 4));
     }
 
     #[test]
-    #[should_panic(expected = "not an endpoint")]
-    fn phi_rejects_foreign_nodes() {
+    fn phi_rejects_foreign_nodes_with_typed_error() {
         let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
-        let phi = Phi::<f64>::ones(&g);
+        let mut phi = Phi::<f64>::ones(&g);
         let e01 = g.edge_id(0, 1).unwrap();
-        phi.get(e01, 2);
+        assert_eq!(
+            phi.get(e01, 2).unwrap_err(),
+            FixerError::NotAnEndpoint { edge: e01, node: 2 }
+        );
+        assert_eq!(
+            phi.set(e01, 2, 1.5).unwrap_err(),
+            FixerError::NotAnEndpoint { edge: e01, node: 2 }
+        );
+        // A failed set leaves the potential untouched.
+        assert_eq!(phi.get(e01, 0).unwrap(), &1.0);
+        assert_eq!(phi.get(e01, 1).unwrap(), &1.0);
     }
 }

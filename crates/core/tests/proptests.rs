@@ -19,8 +19,7 @@ fn small_instance(var_specs: &[(u8, u8)], patterns: &[u8]) -> Instance<BigRation
     let mut b = InstanceBuilder::<BigRational>::new(3);
     let mut var_ids = Vec::new();
     for &(affects_mask, k) in var_specs {
-        let affects: Vec<usize> =
-            (0..3).filter(|&v| (affects_mask >> v) & 1 == 1).collect();
+        let affects: Vec<usize> = (0..3).filter(|&v| (affects_mask >> v) & 1 == 1).collect();
         let affects = if affects.is_empty() { vec![0] } else { affects };
         let k = 2 + (k % 4) as usize;
         var_ids.push((b.add_uniform_variable(&affects, k), k));
@@ -31,8 +30,7 @@ fn small_instance(var_specs: &[(u8, u8)], patterns: &[u8]) -> Instance<BigRation
             .enumerate()
             .filter(|&(i, _)| {
                 let mask = var_specs[i].0;
-                let affects: Vec<usize> =
-                    (0..3).filter(|&w| (mask >> w) & 1 == 1).collect();
+                let affects: Vec<usize> = (0..3).filter(|&w| (mask >> w) & 1 == 1).collect();
                 let affects = if affects.is_empty() { vec![0] } else { affects };
                 affects.contains(&v)
             })

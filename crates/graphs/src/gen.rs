@@ -111,7 +111,10 @@ pub fn hypercube(dim: u32) -> Graph {
 /// and [`GenError::RetriesExhausted`] if repair failed repeatedly.
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GenError> {
     if !(n * d).is_multiple_of(2) {
-        return Err(GenError::InvalidParameters(format!("n*d = {} is odd", n * d)));
+        return Err(GenError::InvalidParameters(format!(
+            "n*d = {} is odd",
+            n * d
+        )));
     }
     if d >= n {
         return Err(GenError::InvalidParameters(format!("d = {d} >= n = {n}")));
@@ -123,8 +126,10 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GenError> 
     'attempt: for _ in 0..MAX_ATTEMPTS {
         let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
         stubs.shuffle(&mut rng);
-        let mut edges: Vec<(usize, usize)> =
-            stubs.chunks_exact(2).map(|p| (p[0].min(p[1]), p[0].max(p[1]))).collect();
+        let mut edges: Vec<(usize, usize)> = stubs
+            .chunks_exact(2)
+            .map(|p| (p[0].min(p[1]), p[0].max(p[1])))
+            .collect();
         // Switching repair: bounded number of double-edge swaps.
         let mut budget = 100 * edges.len() + 1000;
         loop {
@@ -211,8 +216,9 @@ pub fn random_bipartite_biregular(
     }
     let mut rng = StdRng::seed_from_u64(seed);
     'attempt: for _ in 0..MAX_ATTEMPTS {
-        let mut u_stubs: Vec<usize> =
-            (0..nu).flat_map(|u| std::iter::repeat_n(nv + u, du)).collect();
+        let mut u_stubs: Vec<usize> = (0..nu)
+            .flat_map(|u| std::iter::repeat_n(nv + u, du))
+            .collect();
         u_stubs.shuffle(&mut rng);
         let mut seen = BTreeSet::new();
         let mut k = 0;
@@ -239,7 +245,9 @@ pub fn random_bipartite_biregular(
 /// Panics if `n < 5` (smaller rings degenerate to overlapping edges).
 pub fn hyper_ring(n: usize) -> Hypergraph {
     assert!(n >= 5, "hyper_ring needs n >= 5");
-    let edges = (0..n).map(|i| Hyperedge::new([i, (i + 1) % n, (i + 2) % n])).collect();
+    let edges = (0..n)
+        .map(|i| Hyperedge::new([i, (i + 1) % n, (i + 2) % n]))
+        .collect();
     Hypergraph::new(n, edges, 3).expect("hyper ring is valid")
 }
 
@@ -332,8 +340,14 @@ mod tests {
 
     #[test]
     fn random_regular_rejects_bad_params() {
-        assert!(matches!(random_regular(5, 3, 0), Err(GenError::InvalidParameters(_))));
-        assert!(matches!(random_regular(4, 5, 0), Err(GenError::InvalidParameters(_))));
+        assert!(matches!(
+            random_regular(5, 3, 0),
+            Err(GenError::InvalidParameters(_))
+        ));
+        assert!(matches!(
+            random_regular(4, 5, 0),
+            Err(GenError::InvalidParameters(_))
+        ));
     }
 
     #[test]
@@ -378,6 +392,9 @@ mod tests {
         assert_eq!(h.rank(), 3);
         let h2 = random_3_uniform(30, 3, 11).unwrap();
         assert_eq!(h, h2);
-        assert!(matches!(random_3_uniform(10, 2, 0), Err(GenError::InvalidParameters(_))));
+        assert!(matches!(
+            random_3_uniform(10, 2, 0),
+            Err(GenError::InvalidParameters(_))
+        ));
     }
 }

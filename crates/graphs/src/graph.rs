@@ -58,7 +58,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph on `n` nodes.
     pub fn new(n: usize) -> GraphBuilder {
-        GraphBuilder { n, edges: BTreeSet::new() }
+        GraphBuilder {
+            n,
+            edges: BTreeSet::new(),
+        }
     }
 
     /// Adds an undirected edge `{u, v}` (idempotent).
@@ -103,7 +106,12 @@ impl GraphBuilder {
             edge_ids[cursor[v]] = eid;
             cursor[v] += 1;
         }
-        Ok(Graph { offsets, neighbors, edge_ids, edges })
+        Ok(Graph {
+            offsets,
+            neighbors,
+            edge_ids,
+            edges,
+        })
     }
 }
 
@@ -141,7 +149,9 @@ impl Graph {
 
     /// The empty graph on `n` nodes.
     pub fn empty(n: usize) -> Graph {
-        GraphBuilder::new(n).build().expect("empty graph is always valid")
+        GraphBuilder::new(n)
+            .build()
+            .expect("empty graph is always valid")
     }
 
     /// Number of nodes.
@@ -161,7 +171,10 @@ impl Graph {
 
     /// Maximum degree over all nodes (`0` for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.num_nodes()).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.num_nodes())
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Neighbors of `v`, in port order.
@@ -321,13 +334,16 @@ impl Graph {
                 b.add_edge(iu, iv);
             }
         }
-        (b.build().expect("induced subgraph of a valid graph is valid"), keep)
+        (
+            b.build()
+                .expect("induced subgraph of a valid graph is valid"),
+            keep,
+        )
     }
 
     /// Validates a vertex coloring: proper iff no edge is monochromatic.
     pub fn is_proper_coloring(&self, colors: &[usize]) -> bool {
-        colors.len() == self.num_nodes()
-            && self.edges.iter().all(|&(u, v)| colors[u] != colors[v])
+        colors.len() == self.num_nodes() && self.edges.iter().all(|&(u, v)| colors[u] != colors[v])
     }
 
     /// Validates a distance-2 coloring: proper on `G` and no two neighbors

@@ -69,7 +69,11 @@ impl fmt::Display for HypergraphError {
             HypergraphError::NodeOutOfRange { node, n } => {
                 write!(f, "hyperedge node {node} out of range for {n} nodes")
             }
-            HypergraphError::RankTooLarge { edge, rank, max_rank } => {
+            HypergraphError::RankTooLarge {
+                edge,
+                rank,
+                max_rank,
+            } => {
                 write!(f, "hyperedge {edge} has rank {rank} > maximum {max_rank}")
             }
         }
@@ -125,7 +129,11 @@ impl Hypergraph {
         let mut incidence = vec![Vec::new(); n];
         for (i, e) in edges.iter().enumerate() {
             if e.rank() > max_rank {
-                return Err(HypergraphError::RankTooLarge { edge: i, rank: e.rank(), max_rank });
+                return Err(HypergraphError::RankTooLarge {
+                    edge: i,
+                    rank: e.rank(),
+                    max_rank,
+                });
             }
             for &v in e.nodes() {
                 if v >= n {
@@ -134,7 +142,11 @@ impl Hypergraph {
                 incidence[v].push(i);
             }
         }
-        Ok(Hypergraph { n, edges, incidence })
+        Ok(Hypergraph {
+            n,
+            edges,
+            incidence,
+        })
     }
 
     /// Number of nodes.
@@ -193,7 +205,8 @@ impl Hypergraph {
                 }
             }
         }
-        b.build().expect("dependency graph of a valid hypergraph is valid")
+        b.build()
+            .expect("dependency graph of a valid hypergraph is valid")
     }
 
     /// Maximum dependency degree `d`: the maximum, over nodes `v`, of the
@@ -251,7 +264,14 @@ mod tests {
     #[test]
     fn rank_bound_enforced() {
         let err = Hypergraph::new(4, vec![Hyperedge::new([0, 1, 2, 3])], 3).unwrap_err();
-        assert_eq!(err, HypergraphError::RankTooLarge { edge: 0, rank: 4, max_rank: 3 });
+        assert_eq!(
+            err,
+            HypergraphError::RankTooLarge {
+                edge: 0,
+                rank: 4,
+                max_rank: 3
+            }
+        );
         let err = Hypergraph::new(2, vec![Hyperedge::new([0, 5])], 3).unwrap_err();
         assert_eq!(err, HypergraphError::NodeOutOfRange { node: 5, n: 2 });
     }

@@ -5,29 +5,48 @@
 //! deserialization the structures are rebuilt through their validating
 //! constructors, so invalid data (self loops, out-of-range nodes) is
 //! rejected rather than admitted.
+//!
+//! The impls are written by hand against the vendored serde stub's
+//! [`Value`] data model (the stub has no proc-macro derive).
 
-use serde::de::Error as _;
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use serde::de::{Error as _, ValueDeserializer};
+use serde::{Deserialize, Deserializer, Serialize, Serializer, Value};
 
 use crate::{Graph, Hyperedge, Hypergraph};
 
-#[derive(Serialize, Deserialize)]
-struct GraphRepr {
-    num_nodes: usize,
-    edges: Vec<(usize, usize)>,
+fn object<S: Serializer>(serializer: S, num_nodes: usize, edges: Value) -> Result<S::Ok, S::Error> {
+    serializer.serialize_value(Value::Object(vec![
+        ("num_nodes".to_string(), Value::U64(num_nodes as u64)),
+        ("edges".to_string(), edges),
+    ]))
+}
+
+fn field<'de, T: Deserialize<'de>, D: Deserializer<'de>>(
+    repr: &Value,
+    name: &str,
+) -> Result<T, D::Error> {
+    let value = repr
+        .get(name)
+        .ok_or_else(|| D::Error::custom(format!("missing field `{name}`")))?;
+    T::deserialize(ValueDeserializer::<D::Error>::new(value.clone()))
 }
 
 impl Serialize for Graph {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        GraphRepr { num_nodes: self.num_nodes(), edges: self.edges().to_vec() }
-            .serialize(serializer)
+        object(
+            serializer,
+            self.num_nodes(),
+            serde::to_value(&self.edges().to_vec()),
+        )
     }
 }
 
 impl<'de> Deserialize<'de> for Graph {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let repr = GraphRepr::deserialize(deserializer)?;
-        Graph::from_edges(repr.num_nodes, repr.edges).map_err(D::Error::custom)
+        let repr = deserializer.deserialize_value()?;
+        let num_nodes: usize = field::<_, D>(&repr, "num_nodes")?;
+        let edges: Vec<(usize, usize)> = field::<_, D>(&repr, "edges")?;
+        Graph::from_edges(num_nodes, edges).map_err(D::Error::custom)
     }
 }
 
@@ -47,23 +66,22 @@ impl<'de> Deserialize<'de> for Hyperedge {
     }
 }
 
-#[derive(Serialize, Deserialize)]
-struct HypergraphRepr {
-    num_nodes: usize,
-    edges: Vec<Hyperedge>,
-}
-
 impl Serialize for Hypergraph {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        HypergraphRepr { num_nodes: self.num_nodes(), edges: self.edges().to_vec() }
-            .serialize(serializer)
+        object(
+            serializer,
+            self.num_nodes(),
+            serde::to_value(&self.edges().to_vec()),
+        )
     }
 }
 
 impl<'de> Deserialize<'de> for Hypergraph {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let repr = HypergraphRepr::deserialize(deserializer)?;
-        let max_rank = repr.edges.iter().map(Hyperedge::rank).max().unwrap_or(0);
-        Hypergraph::new(repr.num_nodes, repr.edges, max_rank).map_err(D::Error::custom)
+        let repr = deserializer.deserialize_value()?;
+        let num_nodes: usize = field::<_, D>(&repr, "num_nodes")?;
+        let edges: Vec<Hyperedge> = field::<_, D>(&repr, "edges")?;
+        let max_rank = edges.iter().map(Hyperedge::rank).max().unwrap_or(0);
+        Hypergraph::new(num_nodes, edges, max_rank).map_err(D::Error::custom)
     }
 }

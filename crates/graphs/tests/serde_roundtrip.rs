@@ -6,7 +6,11 @@ use lll_graphs::{Graph, Hypergraph};
 
 #[test]
 fn graph_json_roundtrip() {
-    for g in [torus(4, 4), random_regular(20, 3, 1).unwrap(), Graph::empty(5)] {
+    for g in [
+        torus(4, 4),
+        random_regular(20, 3, 1).unwrap(),
+        Graph::empty(5),
+    ] {
         let json = serde_json::to_string(&g).unwrap();
         let back: Graph = serde_json::from_str(&json).unwrap();
         assert_eq!(back, g);
@@ -30,8 +34,6 @@ fn hypergraph_json_roundtrip() {
 
 #[test]
 fn hypergraph_deserialization_validates() {
-    assert!(
-        serde_json::from_str::<Hypergraph>(r#"{"num_nodes":2,"edges":[[0,5]]}"#).is_err()
-    );
+    assert!(serde_json::from_str::<Hypergraph>(r#"{"num_nodes":2,"edges":[[0,5]]}"#).is_err());
     assert!(serde_json::from_str::<Hypergraph>(r#"{"num_nodes":2,"edges":[[]]}"#).is_err());
 }

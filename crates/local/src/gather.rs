@@ -73,7 +73,11 @@ impl GatherProgram {
     /// Creates a gatherer with the given radius (`0` collects only the
     /// node itself).
     pub fn new(radius: usize) -> GatherProgram {
-        GatherProgram { radius, edges: BTreeSet::new(), ids: BTreeSet::new() }
+        GatherProgram {
+            radius,
+            edges: BTreeSet::new(),
+            ids: BTreeSet::new(),
+        }
     }
 
     fn ball(&self, center: u64) -> Ball {
@@ -156,8 +160,7 @@ mod tests {
         let g = ring(20);
         let sim = Simulator::new(&g);
         for radius in [0usize, 1, 2, 3] {
-            let (balls, rounds) =
-                solve_by_gathering(&sim, radius, |b: &Ball| b.clone()).unwrap();
+            let (balls, rounds) = solve_by_gathering(&sim, radius, |b: &Ball| b.clone()).unwrap();
             assert_eq!(rounds, radius.max(1));
             for (v, ball) in balls.iter().enumerate() {
                 assert_eq!(ball.center, v as u64);
@@ -193,10 +196,8 @@ mod tests {
         // has the locally maximal id within distance 2.
         let g = torus(5, 5);
         let sim = Simulator::with_shuffled_ids(&g, 3);
-        let (flags, rounds) = solve_by_gathering(&sim, 2, |b: &Ball| {
-            b.ids.iter().all(|&x| x <= b.center)
-        })
-        .unwrap();
+        let (flags, rounds) =
+            solve_by_gathering(&sim, 2, |b: &Ball| b.ids.iter().all(|&x| x <= b.center)).unwrap();
         assert_eq!(rounds, 2);
         // The flagged set is a distance-3 independent set and non-empty.
         let winners: Vec<usize> = (0..25).filter(|&v| flags[v]).collect();

@@ -159,8 +159,15 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::BadOutboxLength { node, got, expected } => {
-                write!(f, "node {node} produced outbox of length {got}, expected {expected}")
+            SimError::BadOutboxLength {
+                node,
+                got,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "node {node} produced outbox of length {got}, expected {expected}"
+                )
             }
             SimError::RoundLimitExceeded { limit } => {
                 write!(f, "round limit {limit} exceeded before all nodes halted")
@@ -207,7 +214,11 @@ impl<'g> Simulator<'g> {
     /// Creates a simulator with ids equal to node indices.
     pub fn new(graph: &'g Graph) -> Simulator<'g> {
         let ids = (0..graph.num_nodes() as u64).collect();
-        Simulator { graph, ids, seed: 0 }
+        Simulator {
+            graph,
+            ids,
+            seed: 0,
+        }
     }
 
     /// Creates a simulator with explicit (distinct) node ids.
@@ -218,14 +229,21 @@ impl<'g> Simulator<'g> {
     /// malformed id assignments.
     pub fn with_ids(graph: &'g Graph, ids: Vec<u64>) -> Result<Simulator<'g>, SimError> {
         if ids.len() != graph.num_nodes() {
-            return Err(SimError::BadIdCount { got: ids.len(), expected: graph.num_nodes() });
+            return Err(SimError::BadIdCount {
+                got: ids.len(),
+                expected: graph.num_nodes(),
+            });
         }
         let mut sorted = ids.clone();
         sorted.sort_unstable();
         if sorted.windows(2).any(|w| w[0] == w[1]) {
             return Err(SimError::DuplicateIds);
         }
-        Ok(Simulator { graph, ids, seed: 0 })
+        Ok(Simulator {
+            graph,
+            ids,
+            seed: 0,
+        })
     }
 
     /// Creates a simulator whose ids are a seeded random permutation of
@@ -235,7 +253,11 @@ impl<'g> Simulator<'g> {
         let mut ids: Vec<u64> = (0..graph.num_nodes() as u64).collect();
         let mut rng = StdRng::seed_from_u64(seed);
         ids.shuffle(&mut rng);
-        Simulator { graph, ids, seed: 0 }
+        Simulator {
+            graph,
+            ids,
+            seed: 0,
+        }
     }
 
     /// Sets the seed from which per-node private RNGs are derived (for
@@ -276,7 +298,10 @@ impl<'g> Simulator<'g> {
     {
         let g = self.graph;
         let n = g.num_nodes();
-        let info = NetworkInfo { n, max_degree: g.max_degree() };
+        let info = NetworkInfo {
+            n,
+            max_degree: g.max_degree(),
+        };
         let mut ctxs: Vec<NodeContext> = (0..n)
             .map(|v| NodeContext {
                 id: self.ids[v],
@@ -351,7 +376,10 @@ impl<'g> Simulator<'g> {
             }
         }
         Ok(RunOutcome {
-            outputs: outputs.into_iter().map(|o| o.expect("all halted")).collect(),
+            outputs: outputs
+                .into_iter()
+                .map(|o| o.expect("all halted"))
+                .collect(),
             rounds,
             messages,
         })
@@ -439,7 +467,15 @@ mod tests {
     #[test]
     fn flood_collects_exact_balls() {
         let g = path(6);
-        let run = Simulator::new(&g).run(|_| Flood { ttl: 2, seen: vec![] }, 10).unwrap();
+        let run = Simulator::new(&g)
+            .run(
+                |_| Flood {
+                    ttl: 2,
+                    seen: vec![],
+                },
+                10,
+            )
+            .unwrap();
         assert_eq!(run.rounds, 2);
         // node 0's 2-ball on a path: {0,1,2}
         assert_eq!(run.outputs[0], vec![0, 1, 2]);
@@ -450,7 +486,15 @@ mod tests {
     #[test]
     fn round_limit_is_enforced() {
         let g = ring(4);
-        let err = Simulator::new(&g).run(|_| Flood { ttl: 100, seen: vec![] }, 5).unwrap_err();
+        let err = Simulator::new(&g)
+            .run(
+                |_| Flood {
+                    ttl: 100,
+                    seen: vec![],
+                },
+                5,
+            )
+            .unwrap_err();
         assert_eq!(err, SimError::RoundLimitExceeded { limit: 5 });
     }
 
@@ -473,7 +517,14 @@ mod tests {
     fn outbox_length_is_validated() {
         let g = ring(3);
         let err = Simulator::new(&g).run(|_| BadOutbox, 5).unwrap_err();
-        assert_eq!(err, SimError::BadOutboxLength { node: 0, got: 0, expected: 2 });
+        assert_eq!(
+            err,
+            SimError::BadOutboxLength {
+                node: 0,
+                got: 0,
+                expected: 2
+            }
+        );
     }
 
     #[test]
@@ -481,9 +532,15 @@ mod tests {
         let g = ring(3);
         assert_eq!(
             Simulator::with_ids(&g, vec![1, 2]).unwrap_err(),
-            SimError::BadIdCount { got: 2, expected: 3 }
+            SimError::BadIdCount {
+                got: 2,
+                expected: 3
+            }
         );
-        assert_eq!(Simulator::with_ids(&g, vec![7, 7, 8]).unwrap_err(), SimError::DuplicateIds);
+        assert_eq!(
+            Simulator::with_ids(&g, vec![7, 7, 8]).unwrap_err(),
+            SimError::DuplicateIds
+        );
         let sim = Simulator::with_ids(&g, vec![30, 10, 20]).unwrap();
         assert_eq!(sim.id_of(1), 10);
     }
@@ -563,7 +620,9 @@ mod tests {
         }
 
         let g = ring(4); // 0-1-2-3-0
-        let run = Simulator::new(&g).run(|_| Watcher { saw_round: 0 }, 10).unwrap();
+        let run = Simulator::new(&g)
+            .run(|_| Watcher { saw_round: 0 }, 10)
+            .unwrap();
         // In round 2, node 1 hears from node 2 but not from halted node 0.
         let out1 = &run.outputs[1];
         let port_to_0 = g.port_to(1, 0).unwrap();
@@ -578,7 +637,15 @@ mod tests {
         let g = ring(4);
         // Flood with ttl 2: every node broadcasts in init and once more
         // in round 1; round 2 receives without sending (halt).
-        let run = Simulator::new(&g).run(|_| Flood { ttl: 2, seen: vec![] }, 10).unwrap();
+        let run = Simulator::new(&g)
+            .run(
+                |_| Flood {
+                    ttl: 2,
+                    seen: vec![],
+                },
+                10,
+            )
+            .unwrap();
         // init messages delivered in round 1 (4 nodes × 2 ports) + the
         // round-1 Continue messages delivered in round 2.
         assert_eq!(run.messages, 16);

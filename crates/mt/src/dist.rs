@@ -177,7 +177,10 @@ impl<T: Num> NodeProgram for MtProgram<'_, T> {
                     return RoundResult::Halt(self.output());
                 }
                 self.phase = Phase::Exchange;
-                RoundResult::Continue(broadcast(MtMsg::Violated(self.violated, ctx.id), ctx.degree))
+                RoundResult::Continue(broadcast(
+                    MtMsg::Violated(self.violated, ctx.id),
+                    ctx.degree,
+                ))
             }
             Phase::Exchange => {
                 // Learn the neighbors' violated flags; local minima among
@@ -232,7 +235,10 @@ pub fn distributed_mt<T: Num>(
     loop {
         let sim = Simulator::new(g).seed(seed ^ attempt.wrapping_mul(0x517c_c1b7_2722_0a95));
         let run = sim
-            .run(|ctx| MtProgram::new(inst, ctx.id as usize, budget), 4 * budget + 8)
+            .run(
+                |ctx| MtProgram::new(inst, ctx.id as usize, budget),
+                4 * budget + 8,
+            )
             .expect("protocol respects degrees and budget");
         total_rounds += run.rounds;
         // Assemble the assignment from the owners.
@@ -247,8 +253,16 @@ pub fn distributed_mt<T: Num>(
         // Variables affecting no event cannot exist (builder validation),
         // so every variable has an owner.
         debug_assert!(assignment.iter().all(|&v| v != usize::MAX));
-        if inst.violated_events(&assignment).expect("well-formed assignment").is_empty() {
-            return Ok(MtReport { assignment, resamplings, rounds: total_rounds });
+        if inst
+            .violated_events(&assignment)
+            .expect("well-formed assignment")
+            .is_empty()
+        {
+            return Ok(MtReport {
+                assignment,
+                resamplings,
+                rounds: total_rounds,
+            });
         }
         attempt += 1;
         budget *= 2;
@@ -265,8 +279,9 @@ mod tests {
 
     fn ring_instance(n: usize, k: usize) -> Instance<f64> {
         let mut b = InstanceBuilder::<f64>::new(n);
-        let vars: Vec<usize> =
-            (0..n).map(|i| b.add_uniform_variable(&[i, (i + 1) % n], k)).collect();
+        let vars: Vec<usize> = (0..n)
+            .map(|i| b.add_uniform_variable(&[i, (i + 1) % n], k))
+            .collect();
         for i in 0..n {
             let (l, r) = (vars[(i + n - 1) % n], vars[i]);
             b.set_event_predicate(i, move |vals| vals[l] == 0 && vals[r] == 0);

@@ -113,7 +113,8 @@ fn sample_variable<T: Num>(inst: &Instance<T>, x: usize, rng: &mut StdRng) -> us
 }
 
 fn violated<T: Num>(inst: &Instance<T>, assignment: &[usize]) -> Vec<usize> {
-    inst.violated_events(assignment).expect("assignment is complete and in range")
+    inst.violated_events(assignment)
+        .expect("assignment is complete and in range")
 }
 
 /// The sequential Moser–Tardos algorithm: resample the lowest-index
@@ -128,16 +129,23 @@ pub fn sequential_mt<T: Num>(
     max_resamplings: usize,
 ) -> Result<MtReport, MtError> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut assignment: Vec<usize> =
-        (0..inst.num_variables()).map(|x| sample_variable(inst, x, &mut rng)).collect();
+    let mut assignment: Vec<usize> = (0..inst.num_variables())
+        .map(|x| sample_variable(inst, x, &mut rng))
+        .collect();
     let mut resamplings = 0;
     loop {
         let bad = violated(inst, &assignment);
         let Some(&v) = bad.first() else {
-            return Ok(MtReport { assignment, resamplings, rounds: 0 });
+            return Ok(MtReport {
+                assignment,
+                resamplings,
+                rounds: 0,
+            });
         };
         if resamplings >= max_resamplings {
-            return Err(MtError::BudgetExhausted { budget: max_resamplings });
+            return Err(MtError::BudgetExhausted {
+                budget: max_resamplings,
+            });
         }
         resamplings += 1;
         for &x in inst.event(v).support() {
@@ -186,14 +194,19 @@ pub fn parallel_mt_with<T: Num>(
 ) -> Result<MtReport, MtError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let g = inst.dependency_graph();
-    let mut assignment: Vec<usize> =
-        (0..inst.num_variables()).map(|x| sample_variable(inst, x, &mut rng)).collect();
+    let mut assignment: Vec<usize> = (0..inst.num_variables())
+        .map(|x| sample_variable(inst, x, &mut rng))
+        .collect();
     let mut resamplings = 0;
     let mut rounds = 0;
     loop {
         let bad = violated(inst, &assignment);
         if bad.is_empty() {
-            return Ok(MtReport { assignment, resamplings, rounds });
+            return Ok(MtReport {
+                assignment,
+                resamplings,
+                rounds,
+            });
         }
         if rounds >= max_rounds {
             return Err(MtError::BudgetExhausted { budget: max_rounds });
@@ -211,18 +224,23 @@ pub fn parallel_mt_with<T: Num>(
         // random priorities with index tiebreak are distinct).
         let priority: Vec<(u64, usize)> = match selection {
             Selection::IdMinima => (0..inst.num_events()).map(|v| (0, v)).collect(),
-            Selection::RandomPriority => {
-                (0..inst.num_events()).map(|v| (rng.random::<u64>(), v)).collect()
-            }
+            Selection::RandomPriority => (0..inst.num_events())
+                .map(|v| (rng.random::<u64>(), v))
+                .collect(),
         };
         let selected: Vec<usize> = bad
             .iter()
             .copied()
             .filter(|&v| {
-                g.neighbors(v).iter().all(|&u| !is_bad[u] || priority[u] > priority[v])
+                g.neighbors(v)
+                    .iter()
+                    .all(|&u| !is_bad[u] || priority[u] > priority[v])
             })
             .collect();
-        debug_assert!(!selected.is_empty(), "a nonempty violated set has a local minimum");
+        debug_assert!(
+            !selected.is_empty(),
+            "a nonempty violated set has a local minimum"
+        );
         for &v in &selected {
             resamplings += 1;
             for &x in inst.event(v).support() {
@@ -241,8 +259,9 @@ mod tests {
     /// variables are 0. p = k^-2, d = 2.
     fn ring_instance(n: usize, k: usize) -> Instance<f64> {
         let mut b = InstanceBuilder::<f64>::new(n);
-        let vars: Vec<usize> =
-            (0..n).map(|i| b.add_uniform_variable(&[i, (i + 1) % n], k)).collect();
+        let vars: Vec<usize> = (0..n)
+            .map(|i| b.add_uniform_variable(&[i, (i + 1) % n], k))
+            .collect();
         for i in 0..n {
             let (l, r) = (vars[(i + n - 1) % n], vars[i]);
             b.set_event_predicate(i, move |vals| vals[l] == 0 && vals[r] == 0);
@@ -257,7 +276,11 @@ mod tests {
         let rep = sequential_mt(&inst, 1, 100_000).unwrap();
         assert!(inst.no_event_occurs(&rep.assignment).unwrap());
         // Expected resamplings are O(m); enforce a generous linear bound.
-        assert!(rep.resamplings <= 10 * inst.num_events(), "{}", rep.resamplings);
+        assert!(
+            rep.resamplings <= 10 * inst.num_events(),
+            "{}",
+            rep.resamplings
+        );
     }
 
     #[test]
@@ -300,7 +323,10 @@ mod tests {
             sequential_mt(&inst, 0, 50),
             Err(MtError::BudgetExhausted { budget: 50 })
         );
-        assert_eq!(parallel_mt(&inst, 0, 50), Err(MtError::BudgetExhausted { budget: 50 }));
+        assert_eq!(
+            parallel_mt(&inst, 0, 50),
+            Err(MtError::BudgetExhausted { budget: 50 })
+        );
     }
 
     #[test]

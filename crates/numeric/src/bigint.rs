@@ -1,16 +1,29 @@
-//! Sign–magnitude arbitrary-precision integers.
+//! Sign–magnitude arbitrary-precision integers with an inline fast path.
 //!
-//! The representation is a little-endian vector of `u32` limbs plus a
-//! [`Sign`]. The value zero is canonically represented by an empty limb
-//! vector with sign [`Sign::Plus`]; all arithmetic keeps limb vectors
-//! normalized (no most-significant zero limbs), so structural equality
-//! coincides with numeric equality.
+//! The representation is a tagged union ([`Repr`]): values whose magnitude
+//! fits `i128` are stored **inline** as a single machine word pair
+//! (`Repr::Small`), everything larger spills to a little-endian vector of
+//! `u32` limbs plus a [`Sign`] (`Repr::Heap`). The representation is
+//! *canonical* — a value is `Small` **iff** its magnitude is at most
+//! `i128::MAX` (so `i128::MIN`, whose magnitude `2^127` has no inline
+//! negation, is heap-allocated), heap limb vectors carry no most-significant
+//! zero limbs, and zero is `Small(0)` — so derived structural equality and
+//! hashing coincide with numeric equality.
+//!
+//! Arithmetic on two inline values uses checked `i128`/`u128` primitives and
+//! **never allocates** while the result still fits; overflow (and any heap
+//! operand) falls back to the limb algorithms, whose results demote back to
+//! the inline form as soon as they fit again. The limb paths remain
+//! reachable directly through the `#[doc(hidden)]` `limb_*` reference
+//! methods so differential tests can pin the fast path against them
+//! bit-for-bit.
 //!
 //! Only the operations needed by the workspace are implemented — ring
 //! arithmetic, Euclidean division, binary GCD, bit shifts, integer square
 //! roots and conversions — but they are implemented for arbitrary sizes and
 //! tested against `i128` reference arithmetic and with property tests.
 
+use std::borrow::Cow;
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Shl, Shr, Sub, SubAssign};
@@ -37,6 +50,19 @@ impl Sign {
     }
 }
 
+/// Canonical tagged representation: `Small` iff the magnitude fits
+/// `i128::MAX`, otherwise normalized heap limbs (never empty, top limb
+/// non-zero, at least 128 bits of magnitude).
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    Small(i128),
+    Heap {
+        sign: Sign,
+        /// Little-endian limbs; no trailing (most significant) zeros.
+        limbs: Vec<u32>,
+    },
+}
+
 /// An arbitrary-precision signed integer.
 ///
 /// # Examples
@@ -50,81 +76,192 @@ impl Sign {
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct BigInt {
-    sign: Sign,
-    /// Little-endian limbs; no trailing (most significant) zeros.
-    limbs: Vec<u32>,
+    repr: Repr,
 }
 
 const BASE_BITS: u32 = 32;
+const SMALL_MAX_MAG: u128 = i128::MAX as u128;
 
 impl BigInt {
     /// The value `0`.
     pub fn zero() -> BigInt {
-        BigInt { sign: Sign::Plus, limbs: Vec::new() }
+        BigInt {
+            repr: Repr::Small(0),
+        }
     }
 
     /// The value `1`.
     pub fn one() -> BigInt {
-        BigInt { sign: Sign::Plus, limbs: vec![1] }
+        BigInt {
+            repr: Repr::Small(1),
+        }
+    }
+
+    fn small(v: i128) -> BigInt {
+        debug_assert!(v != i128::MIN);
+        BigInt {
+            repr: Repr::Small(v),
+        }
+    }
+
+    /// Builds the canonical representation of `sign · mag`.
+    fn from_sign_mag(sign: Sign, mag: u128) -> BigInt {
+        if mag <= SMALL_MAX_MAG {
+            let v = mag as i128;
+            BigInt::small(if sign == Sign::Minus { -v } else { v })
+        } else {
+            BigInt {
+                repr: Repr::Heap {
+                    sign,
+                    limbs: Self::mag_to_limbs(mag),
+                },
+            }
+        }
+    }
+
+    fn mag_to_limbs(mut mag: u128) -> Vec<u32> {
+        let mut limbs = Vec::new();
+        while mag != 0 {
+            limbs.push(mag as u32);
+            mag >>= BASE_BITS;
+        }
+        limbs
+    }
+
+    /// `Some(magnitude)` iff the (normalized) limb slice fits `u128`.
+    fn limbs_to_mag(limbs: &[u32]) -> Option<u128> {
+        if limbs.len() > 4 {
+            return None;
+        }
+        let mut mag = 0u128;
+        for &l in limbs.iter().rev() {
+            mag = (mag << BASE_BITS) | l as u128;
+        }
+        Some(mag)
+    }
+
+    /// Normalizes a limb vector into the canonical representation,
+    /// demoting to the inline form whenever the magnitude fits.
+    fn canonical(sign: Sign, mut limbs: Vec<u32>) -> BigInt {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        match Self::limbs_to_mag(&limbs) {
+            Some(mag) => Self::from_sign_mag(sign, mag),
+            None => BigInt {
+                repr: Repr::Heap { sign, limbs },
+            },
+        }
+    }
+
+    /// Sign and limb view of the magnitude; borrows for heap values,
+    /// materializes (allocates) for inline ones — only the limb fallback
+    /// paths call this.
+    fn to_parts(&self) -> (Sign, Cow<'_, [u32]>) {
+        match &self.repr {
+            Repr::Small(v) => {
+                let sign = if *v < 0 { Sign::Minus } else { Sign::Plus };
+                (sign, Cow::Owned(Self::mag_to_limbs(v.unsigned_abs())))
+            }
+            Repr::Heap { sign, limbs } => (*sign, Cow::Borrowed(limbs)),
+        }
     }
 
     /// Creates a value from sign and little-endian `u32` limbs.
     ///
-    /// The limb vector is normalized and a zero magnitude forces the sign
+    /// The limb vector is normalized (and demoted to the inline
+    /// representation when it fits) and a zero magnitude forces the sign
     /// to [`Sign::Plus`].
-    pub fn from_limbs(sign: Sign, mut limbs: Vec<u32>) -> BigInt {
-        while limbs.last() == Some(&0) {
-            limbs.pop();
-        }
-        let sign = if limbs.is_empty() { Sign::Plus } else { sign };
-        BigInt { sign, limbs }
+    pub fn from_limbs(sign: Sign, limbs: Vec<u32>) -> BigInt {
+        Self::canonical(sign, limbs)
+    }
+
+    /// `true` iff the value is stored in the inline (non-allocating)
+    /// representation — every magnitude up to `i128::MAX`, by the
+    /// canonical-form invariant. Exposed for tests and diagnostics.
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Small(_))
     }
 
     /// Returns `true` iff the value is zero.
     pub fn is_zero(&self) -> bool {
-        self.limbs.is_empty()
+        matches!(self.repr, Repr::Small(0))
     }
 
     /// Returns `true` iff the value is strictly negative.
     pub fn is_negative(&self) -> bool {
-        self.sign == Sign::Minus
+        match &self.repr {
+            Repr::Small(v) => *v < 0,
+            Repr::Heap { sign, .. } => *sign == Sign::Minus,
+        }
     }
 
     /// Returns `true` iff the value is strictly positive.
     pub fn is_positive(&self) -> bool {
-        self.sign == Sign::Plus && !self.is_zero()
+        match &self.repr {
+            Repr::Small(v) => *v > 0,
+            Repr::Heap { sign, .. } => *sign == Sign::Plus,
+        }
     }
 
     /// Returns `true` iff the value is even.
     pub fn is_even(&self) -> bool {
-        self.limbs.first().is_none_or(|l| l % 2 == 0)
+        match &self.repr {
+            Repr::Small(v) => v & 1 == 0,
+            Repr::Heap { limbs, .. } => limbs.first().is_none_or(|l| l % 2 == 0),
+        }
     }
 
     /// The sign of the value.
     pub fn sign(&self) -> Sign {
-        self.sign
+        match &self.repr {
+            Repr::Small(v) => {
+                if *v < 0 {
+                    Sign::Minus
+                } else {
+                    Sign::Plus
+                }
+            }
+            Repr::Heap { sign, .. } => *sign,
+        }
     }
 
     /// Absolute value.
     pub fn abs(&self) -> BigInt {
-        BigInt { sign: Sign::Plus, limbs: self.limbs.clone() }
+        match &self.repr {
+            Repr::Small(v) => BigInt::small(v.abs()),
+            Repr::Heap { limbs, .. } => BigInt {
+                repr: Repr::Heap {
+                    sign: Sign::Plus,
+                    limbs: limbs.clone(),
+                },
+            },
+        }
     }
 
     /// Number of bits in the magnitude (`0` for zero).
     pub fn bit_len(&self) -> u64 {
-        match self.limbs.last() {
-            None => 0,
-            Some(&top) => {
-                (self.limbs.len() as u64 - 1) * BASE_BITS as u64 + (32 - top.leading_zeros()) as u64
-            }
+        match &self.repr {
+            Repr::Small(v) => (128 - v.unsigned_abs().leading_zeros()) as u64,
+            Repr::Heap { limbs, .. } => match limbs.last() {
+                None => 0,
+                Some(&top) => {
+                    (limbs.len() as u64 - 1) * BASE_BITS as u64 + (32 - top.leading_zeros()) as u64
+                }
+            },
         }
     }
 
     /// Value of bit `i` of the magnitude (little-endian indexing).
     pub fn bit(&self, i: u64) -> bool {
-        let limb = (i / BASE_BITS as u64) as usize;
-        let off = (i % BASE_BITS as u64) as u32;
-        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+        match &self.repr {
+            Repr::Small(v) => i < 128 && (v.unsigned_abs() >> i) & 1 == 1,
+            Repr::Heap { limbs, .. } => {
+                let limb = (i / BASE_BITS as u64) as usize;
+                let off = (i % BASE_BITS as u64) as u32;
+                limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+            }
+        }
     }
 
     fn cmp_mag(a: &[u32], b: &[u32]) -> Ordering {
@@ -252,6 +389,81 @@ impl BigInt {
         out
     }
 
+    fn is_even_mag(a: &[u32]) -> bool {
+        a.first().is_none_or(|l| l % 2 == 0)
+    }
+
+    /// Binary GCD on raw magnitudes.
+    fn gcd_mag(mut a: Vec<u32>, mut b: Vec<u32>) -> Vec<u32> {
+        if a.is_empty() {
+            return b;
+        }
+        if b.is_empty() {
+            return a;
+        }
+        let mut shift = 0u64;
+        while Self::is_even_mag(&a) && Self::is_even_mag(&b) {
+            a = Self::shr_mag(&a, 1);
+            b = Self::shr_mag(&b, 1);
+            shift += 1;
+        }
+        while Self::is_even_mag(&a) {
+            a = Self::shr_mag(&a, 1);
+        }
+        loop {
+            while Self::is_even_mag(&b) {
+                b = Self::shr_mag(&b, 1);
+            }
+            if Self::cmp_mag(&a, &b) == Ordering::Greater {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = Self::sub_mag(&b, &a);
+            if b.is_empty() {
+                break;
+            }
+        }
+        Self::shl_mag(&a, shift)
+    }
+
+    /// Binary GCD on `u128` magnitudes (the inline fast path).
+    fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+        if a == 0 {
+            return b;
+        }
+        if b == 0 {
+            return a;
+        }
+        let shift = (a | b).trailing_zeros();
+        a >>= a.trailing_zeros();
+        loop {
+            b >>= b.trailing_zeros();
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b -= a;
+            if b == 0 {
+                return a << shift;
+            }
+        }
+    }
+
+    /// Floor square root of a `u128` (Newton, monotonically decreasing
+    /// from the over-estimate `2^ceil(bits/2)`).
+    fn isqrt_u128(n: u128) -> u128 {
+        if n < 2 {
+            return n;
+        }
+        let bits = (128 - n.leading_zeros()) as u64;
+        let mut x = 1u128 << bits.div_ceil(2);
+        loop {
+            let next = (x + n / x) >> 1;
+            if next >= x {
+                return x;
+            }
+            x = next;
+        }
+    }
+
     /// Magnitude division: returns `(quotient, remainder)` of `a / b`.
     ///
     /// Uses shift–subtract binary long division, which is `O(bits · limbs)`
@@ -275,7 +487,11 @@ impl BigInt {
             while q.last() == Some(&0) {
                 q.pop();
             }
-            let r = if rem == 0 { Vec::new() } else { vec![rem as u32] };
+            let r = if rem == 0 {
+                Vec::new()
+            } else {
+                vec![rem as u32]
+            };
             return (q, r);
         }
         let a_bits = BigInt::from_limbs(Sign::Plus, a.to_vec()).bit_len();
@@ -310,45 +526,51 @@ impl BigInt {
     ///
     /// Panics if `other` is zero.
     pub fn divrem(&self, other: &BigInt) -> (BigInt, BigInt) {
-        let (q_mag, r_mag) = Self::divrem_mag(&self.limbs, &other.limbs);
-        let q_sign = if self.sign == other.sign { Sign::Plus } else { Sign::Minus };
-        (BigInt::from_limbs(q_sign, q_mag), BigInt::from_limbs(self.sign, r_mag))
+        match (&self.repr, &other.repr) {
+            (Repr::Small(a), Repr::Small(b)) => {
+                assert!(*b != 0, "division by zero BigInt");
+                // `a` is never `i128::MIN` (canonical form), so `a / b`
+                // cannot overflow even for `b == -1`.
+                (BigInt::small(a / b), BigInt::small(a % b))
+            }
+            // |heap| > i128::MAX >= |small|: the quotient is zero.
+            (Repr::Small(_), Repr::Heap { .. }) => (BigInt::zero(), self.clone()),
+            _ => self.limb_divrem(other),
+        }
+    }
+
+    /// Reference limb-path division used by the inline fast path's
+    /// fallback and by differential tests.
+    #[doc(hidden)]
+    pub fn limb_divrem(&self, other: &BigInt) -> (BigInt, BigInt) {
+        let (sa, la) = self.to_parts();
+        let (sb, lb) = other.to_parts();
+        let (q_mag, r_mag) = Self::divrem_mag(&la, &lb);
+        let q_sign = if sa == sb { Sign::Plus } else { Sign::Minus };
+        (Self::canonical(q_sign, q_mag), Self::canonical(sa, r_mag))
     }
 
     /// Greatest common divisor of the magnitudes (binary GCD; no division).
     ///
     /// `gcd(0, 0) = 0` by convention.
     pub fn gcd(&self, other: &BigInt) -> BigInt {
-        let mut a = self.abs();
-        let mut b = other.abs();
-        if a.is_zero() {
-            return b;
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            // The result divides both magnitudes, so it always fits inline.
+            return Self::from_sign_mag(
+                Sign::Plus,
+                Self::gcd_u128(a.unsigned_abs(), b.unsigned_abs()),
+            );
         }
-        if b.is_zero() {
-            return a;
-        }
-        let mut shift = 0u64;
-        while a.is_even() && b.is_even() {
-            a = &a >> 1;
-            b = &b >> 1;
-            shift += 1;
-        }
-        while a.is_even() {
-            a = &a >> 1;
-        }
-        loop {
-            while b.is_even() {
-                b = &b >> 1;
-            }
-            if Self::cmp_mag(&a.limbs, &b.limbs) == Ordering::Greater {
-                std::mem::swap(&mut a, &mut b);
-            }
-            b = &b - &a;
-            if b.is_zero() {
-                break;
-            }
-        }
-        &a << shift
+        self.limb_gcd(other)
+    }
+
+    /// Reference limb-path GCD used by the inline fast path's fallback and
+    /// by differential tests.
+    #[doc(hidden)]
+    pub fn limb_gcd(&self, other: &BigInt) -> BigInt {
+        let (_, la) = self.to_parts();
+        let (_, lb) = other.to_parts();
+        Self::canonical(Sign::Plus, Self::gcd_mag(la.into_owned(), lb.into_owned()))
     }
 
     /// Raises `self` to the power `exp` by binary exponentiation.
@@ -374,8 +596,9 @@ impl BigInt {
     /// Panics if `self` is negative.
     pub fn isqrt(&self) -> BigInt {
         assert!(!self.is_negative(), "isqrt of negative BigInt");
-        if self.is_zero() {
-            return BigInt::zero();
+        if let Repr::Small(v) = &self.repr {
+            // Fits u128, and the root fits u64 — always inline.
+            return Self::from_sign_mag(Sign::Plus, Self::isqrt_u128(v.unsigned_abs()));
         }
         // Newton iteration with an over-estimate start: x0 = 2^ceil(bits/2).
         let bits = self.bit_len();
@@ -408,40 +631,84 @@ impl BigInt {
     /// Converts to `f64`, rounding; very large magnitudes saturate to
     /// `±inf`.
     pub fn to_f64(&self) -> f64 {
-        let mut v = 0.0f64;
-        for &l in self.limbs.iter().rev() {
-            v = v * (u32::MAX as f64 + 1.0) + l as f64;
-        }
-        if self.sign == Sign::Minus {
-            -v
-        } else {
-            v
+        match &self.repr {
+            Repr::Small(v) => *v as f64,
+            Repr::Heap { sign, limbs } => {
+                let mut v = 0.0f64;
+                for &l in limbs.iter().rev() {
+                    v = v * (u32::MAX as f64 + 1.0) + l as f64;
+                }
+                if *sign == Sign::Minus {
+                    -v
+                } else {
+                    v
+                }
+            }
         }
     }
 
     /// Converts to `u64` if the value fits.
     pub fn to_u64(&self) -> Option<u64> {
-        if self.is_negative() || self.limbs.len() > 2 {
-            return None;
+        match &self.repr {
+            Repr::Small(v) => u64::try_from(*v).ok(),
+            // Heap magnitudes exceed i128::MAX and hence u64::MAX.
+            Repr::Heap { .. } => None,
         }
-        let lo = self.limbs.first().copied().unwrap_or(0) as u64;
-        let hi = self.limbs.get(1).copied().unwrap_or(0) as u64;
-        Some((hi << BASE_BITS) | lo)
     }
 
     /// Converts to `i64` if the value fits.
     pub fn to_i64(&self) -> Option<i64> {
-        let mag = self.abs().to_u64()?;
-        match self.sign {
-            Sign::Plus => i64::try_from(mag).ok(),
-            Sign::Minus => {
-                if mag <= i64::MAX as u64 + 1 {
-                    Some((mag as i128).checked_neg().map(|v| v as i64)?)
-                } else {
-                    None
-                }
+        match &self.repr {
+            Repr::Small(v) => i64::try_from(*v).ok(),
+            Repr::Heap { .. } => None,
+        }
+    }
+
+    /// Reference limb-path comparison used by differential tests.
+    #[doc(hidden)]
+    pub fn limb_cmp(&self, other: &BigInt) -> Ordering {
+        let (sa, la) = self.to_parts();
+        let (sb, lb) = other.to_parts();
+        match (sa, sb) {
+            // Signs differ only for non-zero values (zero carries Plus).
+            (Sign::Plus, Sign::Minus) => Ordering::Greater,
+            (Sign::Minus, Sign::Plus) => Ordering::Less,
+            (Sign::Plus, Sign::Plus) => Self::cmp_mag(&la, &lb),
+            (Sign::Minus, Sign::Minus) => Self::cmp_mag(&lb, &la),
+        }
+    }
+
+    /// Reference limb-path addition used by the inline fast path's
+    /// fallback and by differential tests.
+    #[doc(hidden)]
+    pub fn limb_add(&self, other: &BigInt) -> BigInt {
+        let (sa, la) = self.to_parts();
+        let (sb, lb) = other.to_parts();
+        if sa == sb {
+            Self::canonical(sa, Self::add_mag(&la, &lb))
+        } else {
+            match Self::cmp_mag(&la, &lb) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => Self::canonical(sa, Self::sub_mag(&la, &lb)),
+                Ordering::Less => Self::canonical(sb, Self::sub_mag(&lb, &la)),
             }
         }
+    }
+
+    /// Reference limb-path subtraction used by differential tests.
+    #[doc(hidden)]
+    pub fn limb_sub(&self, other: &BigInt) -> BigInt {
+        self.limb_add(&-other)
+    }
+
+    /// Reference limb-path multiplication used by the inline fast path's
+    /// fallback and by differential tests.
+    #[doc(hidden)]
+    pub fn limb_mul(&self, other: &BigInt) -> BigInt {
+        let (sa, la) = self.to_parts();
+        let (sb, lb) = other.to_parts();
+        let sign = if sa == sb { Sign::Plus } else { Sign::Minus };
+        Self::canonical(sign, Self::mul_mag(&la, &lb))
     }
 }
 
@@ -455,13 +722,7 @@ macro_rules! impl_from_unsigned {
     ($($t:ty),*) => {$(
         impl From<$t> for BigInt {
             fn from(v: $t) -> BigInt {
-                let mut v = v as u128;
-                let mut limbs = Vec::new();
-                while v != 0 {
-                    limbs.push(v as u32);
-                    v >>= BASE_BITS;
-                }
-                BigInt { sign: Sign::Plus, limbs }
+                BigInt::from_sign_mag(Sign::Plus, v as u128)
             }
         }
     )*};
@@ -472,13 +733,7 @@ macro_rules! impl_from_signed {
         impl From<$t> for BigInt {
             fn from(v: $t) -> BigInt {
                 let sign = if v < 0 { Sign::Minus } else { Sign::Plus };
-                let mut mag = (v as i128).unsigned_abs();
-                let mut limbs = Vec::new();
-                while mag != 0 {
-                    limbs.push(mag as u32);
-                    mag >>= BASE_BITS;
-                }
-                BigInt::from_limbs(sign, limbs)
+                BigInt::from_sign_mag(sign, (v as i128).unsigned_abs())
             }
         }
     )*};
@@ -495,11 +750,33 @@ impl PartialOrd for BigInt {
 
 impl Ord for BigInt {
     fn cmp(&self, other: &Self) -> Ordering {
-        match (self.sign, other.sign) {
-            (Sign::Plus, Sign::Minus) => Ordering::Greater,
-            (Sign::Minus, Sign::Plus) => Ordering::Less,
-            (Sign::Plus, Sign::Plus) => Self::cmp_mag(&self.limbs, &other.limbs),
-            (Sign::Minus, Sign::Minus) => Self::cmp_mag(&other.limbs, &self.limbs),
+        match (&self.repr, &other.repr) {
+            (Repr::Small(a), Repr::Small(b)) => a.cmp(b),
+            // A heap magnitude always exceeds any inline magnitude, so the
+            // heap operand's sign decides.
+            (Repr::Small(_), Repr::Heap { sign, .. }) => match sign {
+                Sign::Plus => Ordering::Less,
+                Sign::Minus => Ordering::Greater,
+            },
+            (Repr::Heap { sign, .. }, Repr::Small(_)) => match sign {
+                Sign::Plus => Ordering::Greater,
+                Sign::Minus => Ordering::Less,
+            },
+            (
+                Repr::Heap {
+                    sign: sa,
+                    limbs: la,
+                },
+                Repr::Heap {
+                    sign: sb,
+                    limbs: lb,
+                },
+            ) => match (sa, sb) {
+                (Sign::Plus, Sign::Minus) => Ordering::Greater,
+                (Sign::Minus, Sign::Plus) => Ordering::Less,
+                (Sign::Plus, Sign::Plus) => Self::cmp_mag(la, lb),
+                (Sign::Minus, Sign::Minus) => Self::cmp_mag(lb, la),
+            },
         }
     }
 }
@@ -507,48 +784,69 @@ impl Ord for BigInt {
 impl Neg for &BigInt {
     type Output = BigInt;
     fn neg(self) -> BigInt {
-        BigInt::from_limbs(self.sign.flip(), self.limbs.clone())
+        match &self.repr {
+            // Canonical form excludes i128::MIN, so negation never overflows.
+            Repr::Small(v) => BigInt::small(-v),
+            Repr::Heap { sign, limbs } => BigInt {
+                repr: Repr::Heap {
+                    sign: sign.flip(),
+                    limbs: limbs.clone(),
+                },
+            },
+        }
     }
 }
 
 impl Neg for BigInt {
     type Output = BigInt;
     fn neg(self) -> BigInt {
-        BigInt::from_limbs(self.sign.flip(), self.limbs)
+        match self.repr {
+            Repr::Small(v) => BigInt::small(-v),
+            Repr::Heap { sign, limbs } => BigInt {
+                repr: Repr::Heap {
+                    sign: sign.flip(),
+                    limbs,
+                },
+            },
+        }
     }
 }
 
 impl Add for &BigInt {
     type Output = BigInt;
     fn add(self, other: &BigInt) -> BigInt {
-        if self.sign == other.sign {
-            BigInt::from_limbs(self.sign, BigInt::add_mag(&self.limbs, &other.limbs))
-        } else {
-            match BigInt::cmp_mag(&self.limbs, &other.limbs) {
-                Ordering::Equal => BigInt::zero(),
-                Ordering::Greater => {
-                    BigInt::from_limbs(self.sign, BigInt::sub_mag(&self.limbs, &other.limbs))
-                }
-                Ordering::Less => {
-                    BigInt::from_limbs(other.sign, BigInt::sub_mag(&other.limbs, &self.limbs))
-                }
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            if let Some(s) = a.checked_add(*b) {
+                // `s == i128::MIN` is representable but not canonical
+                // inline; route it through the sign/magnitude constructor.
+                return BigInt::from(s);
             }
         }
+        self.limb_add(other)
     }
 }
 
 impl Sub for &BigInt {
     type Output = BigInt;
     fn sub(self, other: &BigInt) -> BigInt {
-        self + &(-other)
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            if let Some(s) = a.checked_sub(*b) {
+                return BigInt::from(s);
+            }
+        }
+        self.limb_sub(other)
     }
 }
 
 impl Mul for &BigInt {
     type Output = BigInt;
     fn mul(self, other: &BigInt) -> BigInt {
-        let sign = if self.sign == other.sign { Sign::Plus } else { Sign::Minus };
-        BigInt::from_limbs(sign, BigInt::mul_mag(&self.limbs, &other.limbs))
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            if let Some(p) = a.checked_mul(*b) {
+                return BigInt::from(p);
+            }
+        }
+        self.limb_mul(other)
     }
 }
 
@@ -569,14 +867,31 @@ impl Rem for &BigInt {
 impl Shl<u64> for &BigInt {
     type Output = BigInt;
     fn shl(self, bits: u64) -> BigInt {
-        BigInt::from_limbs(self.sign, BigInt::shl_mag(&self.limbs, bits))
+        if let Repr::Small(v) = &self.repr {
+            let mag = v.unsigned_abs();
+            if mag == 0 {
+                return BigInt::zero();
+            }
+            let width = (128 - mag.leading_zeros()) as u64;
+            if width + bits <= 127 {
+                return BigInt::from_sign_mag(self.sign(), mag << bits);
+            }
+        }
+        let (sign, limbs) = self.to_parts();
+        BigInt::canonical(sign, BigInt::shl_mag(&limbs, bits))
     }
 }
 
 impl Shr<u64> for &BigInt {
     type Output = BigInt;
     fn shr(self, bits: u64) -> BigInt {
-        BigInt::from_limbs(self.sign, BigInt::shr_mag(&self.limbs, bits))
+        if let Repr::Small(v) = &self.repr {
+            let mag = v.unsigned_abs();
+            let shifted = if bits >= 128 { 0 } else { mag >> bits };
+            return BigInt::from_sign_mag(self.sign(), shifted);
+        }
+        let (sign, limbs) = self.to_parts();
+        BigInt::canonical(sign, BigInt::shr_mag(&limbs, bits))
     }
 }
 
@@ -631,7 +946,9 @@ pub struct ParseBigIntError {
 
 impl ParseBigIntError {
     pub(crate) fn new(offending: impl Into<String>) -> ParseBigIntError {
-        ParseBigIntError { offending: offending.into() }
+        ParseBigIntError {
+            offending: offending.into(),
+        }
     }
 }
 
@@ -652,24 +969,44 @@ impl FromStr for BigInt {
             None => (Sign::Plus, s.strip_prefix('+').unwrap_or(s)),
         };
         if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
-            return Err(ParseBigIntError { offending: s.to_owned() });
+            return Err(ParseBigIntError {
+                offending: s.to_owned(),
+            });
         }
-        let ten = BigInt::from(10u32);
-        let mut acc = BigInt::zero();
-        for b in digits.bytes() {
-            acc = &(&acc * &ten) + &BigInt::from(b - b'0');
+        // Accumulate in u128 while it fits (no allocation for ≤ 38-digit
+        // literals), then continue with big arithmetic for the tail.
+        let bytes = digits.as_bytes();
+        let mut small = 0u128;
+        let mut i = 0;
+        while i < bytes.len() {
+            let d = (bytes[i] - b'0') as u128;
+            match small.checked_mul(10).and_then(|a| a.checked_add(d)) {
+                Some(v) => {
+                    small = v;
+                    i += 1;
+                }
+                None => break,
+            }
         }
-        Ok(BigInt::from_limbs(sign, acc.limbs))
+        let mut acc = BigInt::from_sign_mag(Sign::Plus, small);
+        if i < bytes.len() {
+            let ten = BigInt::from(10u32);
+            for &b in &bytes[i..] {
+                acc = &(&acc * &ten) + &BigInt::from(b - b'0');
+            }
+        }
+        Ok(if sign == Sign::Minus { -acc } else { acc })
     }
 }
 
 impl fmt::Display for BigInt {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.is_zero() {
-            return f.pad_integral(true, "", "0");
+        if let Repr::Small(v) = &self.repr {
+            return f.pad_integral(*v >= 0, "", &v.unsigned_abs().to_string());
         }
+        let (sign, limbs) = self.to_parts();
         let mut digits = Vec::new();
-        let mut mag = self.limbs.clone();
+        let mut mag = limbs.into_owned();
         let billion = [1_000_000_000u32];
         while !mag.is_empty() {
             let (q, r) = BigInt::divrem_mag(&mag, &billion);
@@ -680,7 +1017,7 @@ impl fmt::Display for BigInt {
         for chunk in digits.iter().rev().skip(1) {
             s.push_str(&format!("{chunk:09}"));
         }
-        f.pad_integral(self.sign == Sign::Plus, "", &s)
+        f.pad_integral(sign == Sign::Plus, "", &s)
     }
 }
 
@@ -704,6 +1041,7 @@ mod tests {
         assert_eq!(BigInt::from_limbs(Sign::Minus, vec![0, 0]), BigInt::zero());
         assert!(!BigInt::zero().is_negative());
         assert_eq!(BigInt::zero().to_string(), "0");
+        assert!(BigInt::zero().is_inline());
     }
 
     #[test]
@@ -751,7 +1089,12 @@ mod tests {
 
     #[test]
     fn display_parse_roundtrip() {
-        for s in ["0", "-1", "123456789012345678901234567890", "-340282366920938463463374607431768211456"] {
+        for s in [
+            "0",
+            "-1",
+            "123456789012345678901234567890",
+            "-340282366920938463463374607431768211456",
+        ] {
             let v: BigInt = s.parse().unwrap();
             assert_eq!(v.to_string(), s);
         }
@@ -772,7 +1115,15 @@ mod tests {
 
     #[test]
     fn gcd_matches_euclid() {
-        let cases = [(12i128, 18, 6), (0, 5, 5), (5, 0, 5), (0, 0, 0), (-12, 18, 6), (17, 13, 1), (1 << 40, 1 << 35, 1 << 35)];
+        let cases = [
+            (12i128, 18, 6),
+            (0, 5, 5),
+            (5, 0, 5),
+            (0, 0, 0),
+            (-12, 18, 6),
+            (17, 13, 1),
+            (1 << 40, 1 << 35, 1 << 35),
+        ];
         for (a, b, g) in cases {
             assert_eq!(big(a).gcd(&big(b)), big(g), "gcd({a},{b})");
         }
@@ -826,5 +1177,81 @@ mod tests {
         assert!(v.bit(5));
         assert!(v.bit(7));
         assert!(!v.bit(64));
+    }
+
+    // --- inline/heap representation invariants ---------------------------
+
+    #[test]
+    fn representation_is_canonical_at_the_boundary() {
+        let max = BigInt::from(i128::MAX);
+        assert!(max.is_inline());
+        let above = &max + &BigInt::one(); // 2^127
+        assert!(!above.is_inline());
+        assert_eq!(above.to_string(), "170141183460469231731687303715884105728");
+        // Crossing back down demotes to the inline form again.
+        let back = &above - &BigInt::one();
+        assert!(back.is_inline());
+        assert_eq!(back, max);
+    }
+
+    #[test]
+    fn i128_min_is_heap_but_correct() {
+        let min = BigInt::from(i128::MIN);
+        assert!(!min.is_inline());
+        assert_eq!(min.to_string(), "-170141183460469231731687303715884105728");
+        assert_eq!(-&min, &BigInt::from(i128::MAX) + &BigInt::one());
+        assert_eq!(&min + &BigInt::one(), BigInt::from(i128::MIN + 1));
+        assert!(BigInt::from(i128::MIN + 1).is_inline());
+        assert_eq!(min.to_i64(), None);
+        // Parsing produces the same (heap) canonical value.
+        let parsed: BigInt = "-170141183460469231731687303715884105728".parse().unwrap();
+        assert_eq!(parsed, min);
+    }
+
+    #[test]
+    fn heap_results_demote_when_they_fit() {
+        let big_val = &BigInt::one() << 200;
+        let (q, r) = big_val.divrem(&(&BigInt::one() << 150));
+        assert!(q.is_inline());
+        assert_eq!(q, &BigInt::one() << 50);
+        assert!(r.is_zero() && r.is_inline());
+        assert!((&big_val - &big_val).is_inline());
+        assert!((&big_val >> 150).is_inline());
+        assert!(big_val.gcd(&(&BigInt::one() << 37)).is_inline());
+        assert!(big_val.isqrt().is_inline());
+    }
+
+    #[test]
+    fn fast_paths_agree_with_limb_reference() {
+        let samples: Vec<BigInt> = [
+            0i128,
+            1,
+            -1,
+            42,
+            -1 << 40,
+            i128::MAX / 2,
+            i128::MAX,
+            i128::MIN + 1,
+        ]
+        .into_iter()
+        .map(BigInt::from)
+        .chain([
+            BigInt::from(i128::MIN),
+            &BigInt::one() << 127,
+            -(&BigInt::one() << 200),
+        ])
+        .collect();
+        for a in &samples {
+            for b in &samples {
+                assert_eq!(a + b, a.limb_add(b), "{a:?} + {b:?}");
+                assert_eq!(a - b, a.limb_sub(b), "{a:?} - {b:?}");
+                assert_eq!(a * b, a.limb_mul(b), "{a:?} * {b:?}");
+                assert_eq!(a.cmp(b), a.limb_cmp(b), "cmp {a:?} {b:?}");
+                assert_eq!(a.gcd(b), a.limb_gcd(b), "gcd {a:?} {b:?}");
+                if !b.is_zero() {
+                    assert_eq!(a.divrem(b), a.limb_divrem(b), "{a:?} divrem {b:?}");
+                }
+            }
+        }
     }
 }

@@ -99,6 +99,47 @@ pub trait Num:
     fn midpoint(a: &Self, b: &Self) -> Self {
         (a.clone() + b.clone()) / Self::from_ratio(2, 1)
     }
+
+    /// Square root if *exactly* representable in the backend, else `None`
+    /// (negative values never are).
+    ///
+    /// The default synthesises a candidate through `f64` and falls back to
+    /// a dyadic bisection, which can only discover **dyadic** roots — good
+    /// enough for `f64`, where every value is dyadic. Exact backends must
+    /// override it: [`BigRational`] returns perfect rational roots such as
+    /// `√(7744/2025) = 88/45`, which no dyadic search can reach. The
+    /// triple-decomposition boundary fallback (`lll-core`) depends on this
+    /// for triples lying exactly on the surface `c = f(a, b)`.
+    fn exact_sqrt(&self) -> Option<Self> {
+        if self.is_negative() {
+            return None;
+        }
+        let f = self.to_f64();
+        if !f.is_finite() {
+            return None;
+        }
+        let guess = Self::from_f64_approx(f.sqrt());
+        if guess.clone() * guess.clone() == *self {
+            return Some(guess);
+        }
+        // The f64 guess may be off; try neighbouring dyadics via a short
+        // bisection around the guess.
+        let mut lo = Self::zero();
+        let mut hi = guess + Self::one();
+        for _ in 0..256 {
+            let mid = Self::midpoint(&lo, &hi);
+            let sq = mid.clone() * mid.clone();
+            if sq == *self {
+                return Some(mid);
+            }
+            if sq < *self {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        None
+    }
 }
 
 impl Num for f64 {
@@ -174,6 +215,10 @@ impl Num for BigRational {
     fn is_negative(&self) -> bool {
         BigRational::is_negative(self)
     }
+
+    fn exact_sqrt(&self) -> Option<Self> {
+        BigRational::perfect_sqrt(self)
+    }
 }
 
 #[cfg(test)]
@@ -207,6 +252,21 @@ mod tests {
     fn rational_backend() {
         backend_smoke::<BigRational>();
         assert!(<BigRational as Num>::is_exact());
+    }
+
+    #[test]
+    fn exact_sqrt_finds_non_dyadic_rational_roots() {
+        // 7744/2025 = (88/45)²; 88/45 is not dyadic, so the default
+        // (dyadic-bisection) implementation cannot find it — the
+        // BigRational override must.
+        let d = BigRational::new(7744u32.into(), 2025u32.into());
+        let r = Num::exact_sqrt(&d).expect("perfect rational square");
+        assert_eq!(r, BigRational::new(88u32.into(), 45u32.into()));
+        assert_eq!(Num::exact_sqrt(&BigRational::from_ratio(2, 1)), None);
+        assert_eq!(Num::exact_sqrt(&BigRational::from_ratio(-4, 1)), None);
+        // f64 keeps the default: perfect squares of dyadics round-trip.
+        assert_eq!(2.25f64.exact_sqrt(), Some(1.5));
+        assert_eq!((-1.0f64).exact_sqrt(), None);
     }
 
     #[test]

@@ -33,7 +33,12 @@ pub fn primes_below(n: u64) -> Vec<u64> {
         }
         i += 1;
     }
-    sieve.iter().enumerate().filter(|(_, &p)| p).map(|(i, _)| i as u64).collect()
+    sieve
+        .iter()
+        .enumerate()
+        .filter(|(_, &p)| p)
+        .map(|(i, _)| i as u64)
+        .collect()
 }
 
 fn mul_mod(a: u64, b: u64, m: u64) -> u64 {

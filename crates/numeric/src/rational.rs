@@ -31,12 +31,18 @@ pub struct BigRational {
 impl BigRational {
     /// The value `0`.
     pub fn zero() -> BigRational {
-        BigRational { num: BigInt::zero(), den: BigInt::one() }
+        BigRational {
+            num: BigInt::zero(),
+            den: BigInt::one(),
+        }
     }
 
     /// The value `1`.
     pub fn one() -> BigRational {
-        BigRational { num: BigInt::one(), den: BigInt::one() }
+        BigRational {
+            num: BigInt::one(),
+            den: BigInt::one(),
+        }
     }
 
     /// Creates `num/den` from primitive parts.
@@ -70,7 +76,10 @@ impl BigRational {
 
     /// Creates a rational from a whole [`BigInt`].
     pub fn from_int(v: BigInt) -> BigRational {
-        BigRational { num: v, den: BigInt::one() }
+        BigRational {
+            num: v,
+            den: BigInt::one(),
+        }
     }
 
     /// The exact value of an `f64` (every finite `f64` is a dyadic
@@ -83,7 +92,11 @@ impl BigRational {
             return Some(BigRational::zero());
         }
         let bits = v.to_bits();
-        let sign = if bits >> 63 == 1 { Sign::Minus } else { Sign::Plus };
+        let sign = if bits >> 63 == 1 {
+            Sign::Minus
+        } else {
+            Sign::Plus
+        };
         let exp = ((bits >> 52) & 0x7ff) as i64;
         let frac = bits & ((1u64 << 52) - 1);
         let (mantissa, exp) = if exp == 0 {
@@ -127,7 +140,10 @@ impl BigRational {
 
     /// Absolute value.
     pub fn abs(&self) -> BigRational {
-        BigRational { num: self.num.abs(), den: self.den.clone() }
+        BigRational {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
     }
 
     /// Multiplicative inverse.
@@ -147,7 +163,10 @@ impl BigRational {
     /// Panics if the value is zero and `exp < 0`.
     pub fn pow(&self, exp: i32) -> BigRational {
         let mag = exp.unsigned_abs();
-        let r = BigRational { num: self.num.pow(mag), den: self.den.pow(mag) };
+        let r = BigRational {
+            num: self.num.pow(mag),
+            den: self.den.pow(mag),
+        };
         if exp < 0 {
             r.recip()
         } else {
@@ -292,14 +311,20 @@ impl Div for &BigRational {
 impl Neg for &BigRational {
     type Output = BigRational;
     fn neg(self) -> BigRational {
-        BigRational { num: -(&self.num), den: self.den.clone() }
+        BigRational {
+            num: -(&self.num),
+            den: self.den.clone(),
+        }
     }
 }
 
 impl Neg for BigRational {
     type Output = BigRational;
     fn neg(self) -> BigRational {
-        BigRational { num: -self.num, den: self.den }
+        BigRational {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 
@@ -437,6 +462,46 @@ mod tests {
     }
 
     #[test]
+    fn from_f64_subnormal_and_boundary_exactness() {
+        let one = BigInt::one();
+        // Smallest positive subnormal: exactly 2^-1074.
+        let tiny = BigRational::from_f64(f64::from_bits(1)).unwrap();
+        assert_eq!(tiny, BigRational::new(one.clone(), &one << 1074));
+        assert!(tiny.is_positive());
+        // Largest subnormal: (2^52 − 1) · 2^-1074.
+        let max_sub = BigRational::from_f64(f64::from_bits((1u64 << 52) - 1)).unwrap();
+        assert_eq!(
+            max_sub,
+            BigRational::new(&(&one << 52) - &one, &one << 1074)
+        );
+        // Smallest normal: exactly 2^-1022; the subnormal/normal boundary
+        // must stay monotone (no gap, no overlap).
+        let min_norm = BigRational::from_f64(f64::MIN_POSITIVE).unwrap();
+        assert_eq!(min_norm, BigRational::new(one.clone(), &one << 1022));
+        assert!(max_sub < min_norm);
+        // Largest finite: (2^53 − 1) · 2^971.
+        let max = BigRational::from_f64(f64::MAX).unwrap();
+        assert_eq!(max, BigRational::from_int(&(&(&one << 53) - &one) << 971));
+        // Negative zero collapses to the canonical zero.
+        assert_eq!(BigRational::from_f64(-0.0), Some(BigRational::zero()));
+        // Round-trips at every edge of the f64 range.
+        for v in [
+            f64::from_bits(1),
+            -f64::from_bits(1),
+            f64::from_bits((1u64 << 52) - 1),
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            -f64::MAX,
+        ] {
+            assert_eq!(
+                BigRational::from_f64(v).unwrap().to_f64(),
+                v,
+                "roundtrip {v:e}"
+            );
+        }
+    }
+
+    #[test]
     fn to_f64_extreme_ratio() {
         // numerator and denominator individually overflow f64
         let n = BigInt::from(3u32).pow(800);
@@ -450,14 +515,23 @@ mod tests {
         // sqrt(2) vs rational approximations
         assert!(BigRational::sqrt_leq(&q(2, 1), &q(3, 2)));
         assert!(!BigRational::sqrt_leq(&q(2, 1), &q(7, 5)));
-        assert!(BigRational::sqrt_leq(&q(2, 1), &q(141_421_356_238, 100_000_000_000)));
-        assert!(!BigRational::sqrt_leq(&q(2, 1), &q(141_421_356_237, 100_000_000_000)));
+        assert!(BigRational::sqrt_leq(
+            &q(2, 1),
+            &q(141_421_356_238, 100_000_000_000)
+        ));
+        assert!(!BigRational::sqrt_leq(
+            &q(2, 1),
+            &q(141_421_356_237, 100_000_000_000)
+        ));
         // boundary: sqrt(9/4) <= 3/2 exactly
         assert!(BigRational::sqrt_leq(&q(9, 4), &q(3, 2)));
         assert!(!BigRational::sqrt_leq(&q(9, 4), &q(149, 100)));
         // negative bound
         assert!(!BigRational::sqrt_leq(&q(1, 4), &q(-1, 2)));
-        assert!(BigRational::sqrt_leq(&BigRational::zero(), &BigRational::zero()));
+        assert!(BigRational::sqrt_leq(
+            &BigRational::zero(),
+            &BigRational::zero()
+        ));
     }
 
     #[test]
@@ -465,7 +539,10 @@ mod tests {
         assert_eq!(q(9, 4).perfect_sqrt(), Some(q(3, 2)));
         assert_eq!(q(2, 1).perfect_sqrt(), None);
         assert_eq!(q(1, 3).perfect_sqrt(), None);
-        assert_eq!(BigRational::zero().perfect_sqrt(), Some(BigRational::zero()));
+        assert_eq!(
+            BigRational::zero().perfect_sqrt(),
+            Some(BigRational::zero())
+        );
     }
 
     #[test]

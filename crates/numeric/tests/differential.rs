@@ -1,0 +1,102 @@
+//! Differential tests pinning the inline (`i128`) fast paths of
+//! [`BigInt`] against the limb-vector reference implementations,
+//! bit-for-bit, with operands straddling the inline/heap crossover at
+//! `|v| = i128::MAX` — exactly where the representation switches and a
+//! canonicalization bug would hide.
+
+use lll_numeric::{BigInt, BigRational};
+use proptest::prelude::*;
+
+/// Operands concentrated around the inline/heap boundary: a random
+/// offset applied to one of the representation-critical anchors, plus
+/// plain multi-limb values.
+fn crossover_bigint(anchor: u8, offset: i64, extra_limb: u32, negate: bool) -> BigInt {
+    let base = match anchor % 6 {
+        0 => BigInt::zero(),
+        1 => BigInt::from(i64::MAX),
+        2 => BigInt::from(i128::MAX), // last inline value
+        3 => &BigInt::from(i128::MAX) + &BigInt::one(), // first heap value
+        4 => BigInt::from(i128::MIN), // heap despite fitting i128
+        _ => &(&BigInt::one() << 130) + &BigInt::from(extra_limb), // clearly heap
+    };
+    let v = &base + &BigInt::from(offset);
+    if negate {
+        -v
+    } else {
+        v
+    }
+}
+
+prop_compose! {
+    fn arb_crossover()(
+        anchor in any::<u8>(),
+        offset in any::<i64>(),
+        extra_limb in any::<u32>(),
+        negate in any::<bool>(),
+    ) -> BigInt {
+        crossover_bigint(anchor, offset, extra_limb, negate)
+    }
+}
+
+proptest! {
+    /// Every ring operation must agree with the limb reference exactly —
+    /// same value *and* same canonical representation (asserted via
+    /// structural equality plus the `is_inline` invariant).
+    #[test]
+    fn fast_paths_match_limb_reference(a in arb_crossover(), b in arb_crossover()) {
+        let sum = &a + &b;
+        prop_assert_eq!(&sum, &a.limb_add(&b));
+        let diff = &a - &b;
+        prop_assert_eq!(&diff, &a.limb_sub(&b));
+        let prod = &a * &b;
+        prop_assert_eq!(&prod, &a.limb_mul(&b));
+        prop_assert_eq!(a.cmp(&b), a.limb_cmp(&b));
+        prop_assert_eq!(&a.gcd(&b), &a.limb_gcd(&b));
+        if !b.is_zero() {
+            prop_assert_eq!(a.divrem(&b), a.limb_divrem(&b));
+        }
+    }
+
+    /// The canonical-form invariant: a result is inline iff its magnitude
+    /// fits `i128::MAX`, detected portably via a reconstruction through
+    /// the string round-trip.
+    #[test]
+    fn results_are_canonical(a in arb_crossover(), b in arb_crossover()) {
+        for v in [&a + &b, &a - &b, &a * &b, a.gcd(&b)] {
+            let reparsed: BigInt = v.to_string().parse().unwrap();
+            prop_assert_eq!(&reparsed, &v);
+            prop_assert_eq!(reparsed.is_inline(), v.is_inline());
+            let max_inline = BigInt::from(i128::MAX);
+            let fits = v.clone().max(-&v) <= max_inline;
+            prop_assert_eq!(v.is_inline(), fits, "canonical form violated for {}", v);
+        }
+    }
+
+    /// Shifts across the 127-bit inline budget and back.
+    #[test]
+    fn shifts_round_trip_across_crossover(a in arb_crossover(), bits in 0u64..200) {
+        let up = &a << bits;
+        prop_assert_eq!(&(&up >> bits), &a);
+        // magnitude comparison: |a << bits| >= |a|
+        prop_assert!(up.clone().max(-&up) >= a.clone().max(-&a));
+    }
+
+    /// BigRational built from crossover-spanning parts stays exact and
+    /// fully reduced (its invariants rest on the BigInt gcd/divrem fast
+    /// paths).
+    #[test]
+    fn rational_field_laws_across_crossover(
+        n1 in arb_crossover(), n2 in arb_crossover(), d1 in arb_crossover(), d2 in arb_crossover()
+    ) {
+        prop_assume!(!d1.is_zero() && !d2.is_zero());
+        let x = BigRational::new(n1, d1);
+        let y = BigRational::new(n2, d2);
+        prop_assert_eq!(&(&(&x + &y) - &y), &x);
+        if !y.is_zero() {
+            prop_assert_eq!(&(&(&x * &y) / &y), &x);
+        }
+        // Canonical invariants: positive denominator, reduced fraction.
+        prop_assert!(x.denom().is_positive());
+        prop_assert_eq!(x.numer().gcd(x.denom()), BigInt::one());
+    }
+}

@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ring_formula(40, 5, 7)
         }
     };
-    println!("c {} variables, {} clauses", cnf.num_vars(), cnf.clauses().len());
+    println!(
+        "c {} variables, {} clauses",
+        cnf.num_vars(),
+        cnf.clauses().len()
+    );
     println!("c max occurrences per variable: {}", cnf.max_occurrences());
     let inst = cnf.to_instance::<f64>()?;
     println!(
@@ -41,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("s SATISFIABLE");
             let mut line = String::from("v");
             for (i, &val) in assignment.iter().enumerate() {
-                let lit = if val { (i + 1) as i64 } else { -((i + 1) as i64) };
+                let lit = if val {
+                    (i + 1) as i64
+                } else {
+                    -((i + 1) as i64)
+                };
                 line.push_str(&format!(" {lit}"));
                 if line.len() > 72 {
                     println!("{line}");

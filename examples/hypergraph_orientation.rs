@@ -28,8 +28,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  dependency degree d:    {}", h.max_dependency_degree());
 
     let inst = hyper_orientation_instance::<f64>(&h)?;
-    println!("  bad-event probability p: {:.6}", inst.max_event_probability());
-    println!("  criterion p*2^d:         {:.6}  (strictly below 1)", inst.criterion_value());
+    println!(
+        "  bad-event probability p: {:.6}",
+        inst.max_event_probability()
+    );
+    println!(
+        "  criterion p*2^d:         {:.6}  (strictly below 1)",
+        inst.criterion_value()
+    );
 
     let rep = distributed_fixer3(&inst, seed, CriterionCheck::Enforce)?;
     println!("distributed run:");
@@ -40,12 +46,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let heads = heads_from_assignment(&h, rep.fix.assignment());
     assert!(rep.fix.is_success());
     assert!(is_valid_orientation(&h, &heads));
-    let worst = (0..h.num_nodes()).map(|v| non_sink_rounds(&h, &heads, v)).min().unwrap_or(3);
+    let worst = (0..h.num_nodes())
+        .map(|v| non_sink_rounds(&h, &heads, v))
+        .min()
+        .unwrap_or(3);
     println!("verified: every node is a non-sink in >= {worst} of the 3 orientations.");
 
     // Show a couple of hyperedges with their three heads.
     for (i, hd) in heads.iter().enumerate().take(3) {
-        println!("  hyperedge {i} {:?} -> heads per orientation {hd:?}", h.edge(i).nodes());
+        println!(
+            "  hyperedge {i} {:?} -> heads per orientation {hd:?}",
+            h.edge(i).nodes()
+        );
     }
     Ok(())
 }

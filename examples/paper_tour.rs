@@ -23,8 +23,9 @@ fn heading(s: &str) {
 
 fn ring_instance<T: Num>(n: usize, k: usize) -> sharp_lll::core::Instance<T> {
     let mut b = InstanceBuilder::<T>::new(n);
-    let vars: Vec<usize> =
-        (0..n).map(|i| b.add_uniform_variable(&[i, (i + 1) % n], k)).collect();
+    let vars: Vec<usize> = (0..n)
+        .map(|i| b.add_uniform_variable(&[i, (i + 1) % n], k))
+        .collect();
     for i in 0..n {
         let (l, r) = (vars[(i + n - 1) % n], vars[i]);
         b.set_event_predicate(i, move |vals| vals[l] == 0 && vals[r] == 0);
@@ -35,8 +36,9 @@ fn ring_instance<T: Num>(n: usize, k: usize) -> sharp_lll::core::Instance<T> {
 fn hyper_instance<T: Num>(n: usize, k: usize) -> sharp_lll::core::Instance<T> {
     let h = hyper_ring(n);
     let mut b = InstanceBuilder::<T>::new(n);
-    let vars: Vec<usize> =
-        (0..n).map(|i| b.add_uniform_variable(h.edge(i).nodes(), k)).collect();
+    let vars: Vec<usize> = (0..n)
+        .map(|i| b.add_uniform_variable(h.edge(i).nodes(), k))
+        .collect();
     for j in 0..n {
         let (x1, x2, x3) = (vars[(j + n - 2) % n], vars[(j + n - 1) % n], vars[j]);
         b.set_event_predicate(j, move |vals| {
@@ -52,9 +54,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     heading("Section 2 / Theorem 1.1 — rank 2, deterministic, any order");
     let inst = ring_instance::<BigRational>(16, 3);
-    println!("ring of 16 events, p = 1/9, d = 2, p*2^d = {} < 1", inst.criterion_value());
+    println!(
+        "ring of 16 events, p = 1/9, d = 2, p*2^d = {} < 1",
+        inst.criterion_value()
+    );
     let report = Fixer2::new(&inst)?.run((0..16).rev()); // reversed order, why not
-    println!("reversed-order sequential fix: success = {}", report.is_success());
+    println!(
+        "reversed-order sequential fix: success = {}",
+        report.is_success()
+    );
     assert!(report.is_success());
 
     heading("Corollary 1.2 — distributed rank 2 via edge coloring");
@@ -67,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(rep.fix.is_success());
 
     heading("Section 3.2 / Lemma 3.5 + Figure 1 — representable triples");
-    println!("f(1,1) = {} (the all-ones initial potential sits on the surface)", f_surface(1.0, 1.0));
+    println!(
+        "f(1,1) = {} (the all-ones initial potential sits on the surface)",
+        f_surface(1.0, 1.0)
+    );
     let one = BigRational::one();
     println!(
         "(1,1,1) representable: {}, (1,1,1.001) representable: {}",
@@ -82,25 +93,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         BigRational::from_ratio(1, 10),
     );
     let d = decompose(&a, &b, &c).expect("representable");
-    println!("a1={} a2={} b1={} b3={} c2={} c3={}", d.a1, d.a2, d.b1, d.b3, d.c2, d.c3);
+    println!(
+        "a1={} a2={} b1={} b3={} c2={} c3={}",
+        d.a1, d.a2, d.b1, d.b3, d.c2, d.c3
+    );
     assert!(d.covers(&a, &b, &c, &BigRational::zero()));
 
     heading("Theorem 1.3 — rank 3 with the exact P* audit (Definition 3.1)");
     let inst3 = hyper_instance::<BigRational>(10, 3);
-    println!("hyper-ring of 10 events, p = 1/27, d = 4, p*2^d = {}", inst3.criterion_value());
+    println!(
+        "hyper-ring of 10 events, p = 1/27, d = 4, p*2^d = {}",
+        inst3.criterion_value()
+    );
     let p = inst3.max_event_probability();
     let mut fixer = Fixer3::new(&inst3)?;
     for x in 0..inst3.num_variables() {
         fixer.fix_variable(x);
-        assert!(audit_p_star(&inst3, fixer.partial(), fixer.phi(), &p, &BigRational::zero())
-            .holds());
+        assert!(audit_p_star(
+            &inst3,
+            fixer.partial(),
+            fixer.phi(),
+            &p,
+            &BigRational::zero()
+        )
+        .holds());
     }
     println!("P* held after every one of the 10 fixing steps (exact rationals)");
     assert!(fixer.into_report().is_success());
 
     heading("The adaptive adversary (Section 2's remark)");
     let report = run_fixer3_adaptive_worst(Fixer3::new(&hyper_instance::<f64>(12, 3))?);
-    println!("adaptive worst-margin order: success = {}", report.is_success());
+    println!(
+        "adaptive worst-margin order: success = {}",
+        report.is_success()
+    );
     assert!(report.is_success());
 
     heading("Corollary 1.4 — distributed rank 3 via distance-2 coloring");
@@ -115,11 +141,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     heading("The sharp threshold — sinkless orientation sits AT p*2^d = 1");
     let g = random_regular(64, 4, 3)?;
     let so = sinkless_orientation_instance::<BigRational>(&g)?;
-    println!("criterion value: {} (exactly 1: the lower-bound regime)", so.criterion_value());
+    println!(
+        "criterion value: {} (exactly 1: the lower-bound regime)",
+        so.criterion_value()
+    );
     println!("deterministic fixer refuses: {}", Fixer2::new(&so).is_err());
     let so_f = sinkless_orientation_instance::<f64>(&g)?;
     let mt = parallel_mt(&so_f, 3, 1 << 20)?;
-    println!("randomized Moser-Tardos solves it in {} MT rounds", mt.rounds);
+    println!(
+        "randomized Moser-Tardos solves it in {} MT rounds",
+        mt.rounds
+    );
 
     heading("Done");
     println!("Every claim demonstrated. See EXPERIMENTS.md for the full record.");

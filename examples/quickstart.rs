@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("max dependency deg d: {}", instance.max_dependency_degree());
     println!("max event prob p:     {}", instance.max_event_probability());
     println!("criterion p*2^d:      {}", instance.criterion_value());
-    println!("below the threshold:  {}", instance.satisfies_exponential_criterion());
+    println!(
+        "below the threshold:  {}",
+        instance.satisfies_exponential_criterion()
+    );
 
     // The deterministic rank-3 fixer (Theorem 1.3). We drive it step by
     // step and audit the paper's property P* after every fix.
@@ -39,15 +42,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut fixer = Fixer3::new(&instance)?;
     for var in 0..instance.num_variables() {
         let value = fixer.fix_variable(var);
-        let audit =
-            audit_p_star(&instance, fixer.partial(), fixer.phi(), &p, &BigRational::zero());
-        println!("fixed variable {var} := {value}   (P* holds: {})", audit.holds());
+        let audit = audit_p_star(
+            &instance,
+            fixer.partial(),
+            fixer.phi(),
+            &p,
+            &BigRational::zero(),
+        );
+        println!(
+            "fixed variable {var} := {value}   (P* holds: {})",
+            audit.holds()
+        );
     }
 
     let report = fixer.into_report();
     println!("assignment:           {:?}", report.assignment());
     println!("violated bad events:  {:?}", report.violated_events());
-    assert!(report.is_success(), "Theorem 1.3 guarantees success below the threshold");
+    assert!(
+        report.is_success(),
+        "Theorem 1.3 guarantees success below the threshold"
+    );
     println!("no bad event occurs — success, as Theorem 1.3 promises.");
     Ok(())
 }

@@ -26,8 +26,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  max occurrences per variable: {}", cnf.max_occurrences());
 
     let inst = cnf.to_instance::<f64>()?;
-    println!("  clause-intersection degree d: {}", inst.max_dependency_degree());
-    println!("  criterion p*2^d = 2^(d-width): {}", inst.criterion_value());
+    println!(
+        "  clause-intersection degree d: {}",
+        inst.max_dependency_degree()
+    );
+    println!(
+        "  criterion p*2^d = 2^(d-width): {}",
+        inst.criterion_value()
+    );
 
     let assignment = solve(&cnf)?;
     assert!(cnf.is_satisfied(&assignment));

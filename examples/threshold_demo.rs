@@ -53,7 +53,10 @@ fn controlled_instance(t: f64, seed: u64) -> Instance<f64> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("torus 6x6, d = 4: sweeping the criterion tightness p*2^d across 1.0\n");
-    println!("{:>7}  {:>10}  {:>14}  {:>14}", "p*2^d", "guarantee", "greedy fixer", "MT rounds");
+    println!(
+        "{:>7}  {:>10}  {:>14}  {:>14}",
+        "p*2^d", "guarantee", "greedy fixer", "MT rounds"
+    );
     for t in [0.5, 0.9, 0.99, 1.0, 1.5, 4.0, 10.0, 16.0] {
         let inst = controlled_instance(t, 77);
         let guaranteed = inst.satisfies_exponential_criterion();
@@ -79,19 +82,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let g = random_regular(64, 4, 3)?;
     let so = sinkless_orientation_instance::<f64>(&g)?;
-    println!("sinkless orientation on a 4-regular graph: p*2^d = {}", so.criterion_value());
+    println!(
+        "sinkless orientation on a 4-regular graph: p*2^d = {}",
+        so.criterion_value()
+    );
     match Fixer2::new(&so) {
         Err(e) => println!("Fixer2::new refuses: {e}"),
         Ok(_) => unreachable!("sinkless orientation is at the threshold"),
     }
     let mt = parallel_mt(&so, 3, 200_000)?;
-    println!("parallel Moser-Tardos still solves it, in {} rounds (randomized).", mt.rounds);
+    println!(
+        "parallel Moser-Tardos still solves it, in {} rounds (randomized).",
+        mt.rounds
+    );
 
     println!("\nStrictly below the threshold the deterministic rank-3 fixer handles the");
     println!("paper's relaxation (3 orientations, sink in at most 1 of them):");
     let h = hyper_ring(64);
     let ho = sharp_lll::apps::hyper_orientation::hyper_orientation_instance::<f64>(&h)?;
-    println!("hypergraph orientation: p*2^d = {:.5} < 1", ho.criterion_value());
+    println!(
+        "hypergraph orientation: p*2^d = {:.5} < 1",
+        ho.criterion_value()
+    );
     let rep = Fixer3::new(&ho)?.run_default();
     println!("deterministic fixer succeeds: {}", rep.is_success());
     Ok(())

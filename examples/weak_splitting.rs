@@ -25,8 +25,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("bipartite instance: |V| = |U| = {nv}, degrees 3/3, {DEFAULT_COLORS} colors");
 
     let inst = weak_splitting_instance::<f64>(&bip, nv, DEFAULT_COLORS)?;
-    println!("  bad-event probability p = 16^(1-3) = {:.6}", inst.max_event_probability());
-    println!("  dependency degree d:      {}", inst.max_dependency_degree());
+    println!(
+        "  bad-event probability p = 16^(1-3) = {:.6}",
+        inst.max_event_probability()
+    );
+    println!(
+        "  dependency degree d:      {}",
+        inst.max_dependency_degree()
+    );
     println!("  criterion p*2^d:          {:.4}", inst.criterion_value());
 
     // Sequential (Theorem 1.3)...

@@ -18,7 +18,10 @@ fn assert_error_contract<E: Error + Send + Sync + 'static>(err: E, needle: &str)
         "display {msg:?} should mention {needle:?}"
     );
     assert!(!msg.is_empty());
-    assert!(!msg.ends_with('.'), "error messages are concise, no trailing period: {msg:?}");
+    assert!(
+        !msg.ends_with('.'),
+        "error messages are concise, no trailing period: {msg:?}"
+    );
     // Boxable as dyn Error + Send + Sync (the common app requirement).
     let boxed: Box<dyn Error + Send + Sync> = Box::new(err);
     assert!(boxed.source().is_none());
@@ -29,7 +32,11 @@ fn error_messages_are_meaningful() {
     assert_error_contract(GraphError::SelfLoop(3), "self loop");
     assert_error_contract(GraphError::NodeOutOfRange { node: 9, n: 4 }, "out of range");
     assert_error_contract(
-        HypergraphError::RankTooLarge { edge: 1, rank: 5, max_rank: 3 },
+        HypergraphError::RankTooLarge {
+            edge: 1,
+            rank: 5,
+            max_rank: 3,
+        },
         "rank 5",
     );
     assert_error_contract(GenError::RetriesExhausted, "retries");
@@ -38,11 +45,16 @@ fn error_messages_are_meaningful() {
     assert_error_contract(BuildError::EmptyAffects(2), "variable 2");
     assert_error_contract(BuildError::BadProbabilitySum(0), "sum to 1");
     assert_error_contract(
-        FixerError::RankTooLarge { found: 4, supported: 3 },
+        FixerError::RankTooLarge {
+            found: 4,
+            supported: 3,
+        },
         "rank-4",
     );
     assert_error_contract(
-        FixerError::CriterionViolated { p_times_2_to_d: 1.5 },
+        FixerError::CriterionViolated {
+            p_times_2_to_d: 1.5,
+        },
         "1.5",
     );
     assert_error_contract(MtError::BudgetExhausted { budget: 9 }, "9");
@@ -107,6 +119,8 @@ fn facade_reexports_compose() {
     let summary = inst.summary();
     assert!(summary.exponential_criterion);
     assert!(summary.to_string().contains("sharp criterion:   true"));
-    let report = sharp_lll::core::Fixer2::new(&inst).expect("below threshold").run_default();
+    let report = sharp_lll::core::Fixer2::new(&inst)
+        .expect("below threshold")
+        .run_default();
     assert!(report.is_success());
 }

@@ -3,9 +3,7 @@
 //! fallback, the auto-dispatcher, and all three Moser–Tardos variants —
 //! run against the *same* instances and verified against each other.
 
-use sharp_lll::core::dist::{
-    distributed_fg, distributed_fixer3, CriterionCheck,
-};
+use sharp_lll::core::dist::{distributed_fg, distributed_fixer3, CriterionCheck};
 use sharp_lll::core::{solve_deterministically, Fixer2, Fixer3, Instance, InstanceBuilder};
 use sharp_lll::graphs::gen::hyper_ring;
 use sharp_lll::mt::dist::distributed_mt;
@@ -14,8 +12,9 @@ use sharp_lll::numeric::Num;
 
 fn ring_instance<T: Num>(n: usize, k: usize) -> Instance<T> {
     let mut b = InstanceBuilder::<T>::new(n);
-    let vars: Vec<usize> =
-        (0..n).map(|i| b.add_uniform_variable(&[i, (i + 1) % n], k)).collect();
+    let vars: Vec<usize> = (0..n)
+        .map(|i| b.add_uniform_variable(&[i, (i + 1) % n], k))
+        .collect();
     for i in 0..n {
         let (l, r) = (vars[(i + n - 1) % n], vars[i]);
         b.set_event_predicate(i, move |vals| vals[l] == 0 && vals[r] == 0);
@@ -26,8 +25,9 @@ fn ring_instance<T: Num>(n: usize, k: usize) -> Instance<T> {
 fn hyper_instance<T: Num>(n: usize, k: usize) -> Instance<T> {
     let h = hyper_ring(n);
     let mut b = InstanceBuilder::<T>::new(n);
-    let vars: Vec<usize> =
-        (0..n).map(|i| b.add_uniform_variable(h.edge(i).nodes(), k)).collect();
+    let vars: Vec<usize> = (0..n)
+        .map(|i| b.add_uniform_variable(h.edge(i).nodes(), k))
+        .collect();
     for j in 0..n {
         let (x1, x2, x3) = (vars[(j + n - 2) % n], vars[(j + n - 1) % n], vars[j]);
         b.set_event_predicate(j, move |vals| {
@@ -41,12 +41,38 @@ fn hyper_instance<T: Num>(n: usize, k: usize) -> Instance<T> {
 fn every_method_solves_the_same_rank2_instance() {
     let inst = ring_instance::<f64>(36, 4); // p·2^d = 1/4
     let mut solutions = Vec::new();
-    solutions.push(("fixer2", Fixer2::new(&inst).unwrap().run_default().assignment().to_vec()));
-    solutions.push(("fixer3", Fixer3::new(&inst).unwrap().run_default().assignment().to_vec()));
-    solutions.push(("auto", solve_deterministically(&inst).unwrap().assignment().to_vec()));
-    solutions.push(("mt-seq", sequential_mt(&inst, 1, 1 << 20).unwrap().assignment));
+    solutions.push((
+        "fixer2",
+        Fixer2::new(&inst)
+            .unwrap()
+            .run_default()
+            .assignment()
+            .to_vec(),
+    ));
+    solutions.push((
+        "fixer3",
+        Fixer3::new(&inst)
+            .unwrap()
+            .run_default()
+            .assignment()
+            .to_vec(),
+    ));
+    solutions.push((
+        "auto",
+        solve_deterministically(&inst)
+            .unwrap()
+            .assignment()
+            .to_vec(),
+    ));
+    solutions.push((
+        "mt-seq",
+        sequential_mt(&inst, 1, 1 << 20).unwrap().assignment,
+    ));
     solutions.push(("mt-par", parallel_mt(&inst, 1, 1 << 20).unwrap().assignment));
-    solutions.push(("mt-msg", distributed_mt(&inst, 1, 1 << 20).unwrap().assignment));
+    solutions.push((
+        "mt-msg",
+        distributed_mt(&inst, 1, 1 << 20).unwrap().assignment,
+    ));
     for (name, assignment) in solutions {
         assert!(
             inst.no_event_occurs(&assignment).unwrap(),

@@ -6,7 +6,9 @@ use sharp_lll::apps::hyper_orientation::{
     heads_from_assignment, hyper_orientation_instance, is_valid_orientation,
 };
 use sharp_lll::apps::sat::{ring_formula, solve};
-use sharp_lll::apps::sinkless::{is_sinkless, orientation_from_assignment, sinkless_orientation_instance};
+use sharp_lll::apps::sinkless::{
+    is_sinkless, orientation_from_assignment, sinkless_orientation_instance,
+};
 use sharp_lll::apps::weak_splitting::{is_weak_splitting, weak_splitting_instance};
 use sharp_lll::coloring::{distance2_coloring, edge_coloring, vertex_coloring};
 use sharp_lll::core::dist::{distributed_fixer3, CriterionCheck};
@@ -37,8 +39,8 @@ fn hypergraph_orientation_full_pipeline() {
         let h = random_3_uniform(24, 3, seed).expect("feasible parameters");
         let inst = hyper_orientation_instance::<f64>(&h).expect("valid input");
         assert!(inst.satisfies_exponential_criterion());
-        let rep = distributed_fixer3(&inst, seed, CriterionCheck::Enforce)
-            .expect("below threshold");
+        let rep =
+            distributed_fixer3(&inst, seed, CriterionCheck::Enforce).expect("below threshold");
         assert!(rep.fix.is_success(), "seed {seed}");
         let heads = heads_from_assignment(&h, rep.fix.assignment());
         assert!(is_valid_orientation(&h, &heads), "seed {seed}");

@@ -35,8 +35,9 @@ fn edge_instance<T: Num>(g: &sharp_lll::graphs::Graph, k: usize) -> Instance<T> 
 /// all incident variables take value 0.
 fn hyperedge_instance<T: Num>(h: &sharp_lll::graphs::Hypergraph, k: usize) -> Instance<T> {
     let mut b = InstanceBuilder::<T>::new(h.num_nodes());
-    let vars: Vec<usize> =
-        (0..h.num_edges()).map(|i| b.add_uniform_variable(h.edge(i).nodes(), k)).collect();
+    let vars: Vec<usize> = (0..h.num_edges())
+        .map(|i| b.add_uniform_variable(h.edge(i).nodes(), k))
+        .collect();
     for v in 0..h.num_nodes() {
         let support: Vec<usize> = h.incident(v).iter().map(|&i| vars[i]).collect();
         b.set_event_predicate(v, move |vals| support.iter().all(|&x| vals[x] == 0));
@@ -78,7 +79,13 @@ fn theorem_1_3_rank3_fixing_below_threshold_with_exact_p_star() {
     let mut fixer = Fixer3::new(&inst).expect("below threshold");
     for x in 0..inst.num_variables() {
         fixer.fix_variable(x);
-        let audit = audit_p_star(&inst, fixer.partial(), fixer.phi(), &p, &BigRational::zero());
+        let audit = audit_p_star(
+            &inst,
+            fixer.partial(),
+            fixer.phi(),
+            &p,
+            &BigRational::zero(),
+        );
         assert!(audit.holds(), "P* violated after variable {x}: {audit:?}");
     }
     assert!(fixer.invariant_intact());
@@ -97,8 +104,14 @@ fn lemma_3_5_characterization_spot_checks() {
         );
         let below = BigRational::from_f64(f - 1e-9).expect("finite");
         let above = BigRational::from_f64(f + 1e-9).expect("finite");
-        assert!(is_representable(&qa, &qb, &below), "({a},{b}) just below surface");
-        assert!(!is_representable(&qa, &qb, &above), "({a},{b}) just above surface");
+        assert!(
+            is_representable(&qa, &qb, &below),
+            "({a},{b}) just below surface"
+        );
+        assert!(
+            !is_representable(&qa, &qb, &above),
+            "({a},{b}) just above surface"
+        );
     }
 }
 
@@ -153,7 +166,10 @@ fn corollary_1_4_rounds_do_not_grow_with_n() {
         rounds.push(rep.rounds);
     }
     let slack = 2 * (log_star(8192) - log_star(1024)) as usize + 4;
-    assert!(rounds[1] <= rounds[0] + slack, "rounds {rounds:?} grew faster than log*");
+    assert!(
+        rounds[1] <= rounds[0] + slack,
+        "rounds {rounds:?} grew faster than log*"
+    );
 }
 
 #[test]
@@ -163,7 +179,10 @@ fn sinkless_orientation_sits_exactly_at_the_threshold() {
     let g = random_regular(32, 4, 5).expect("feasible");
     let inst = sinkless_orientation_instance::<BigRational>(&g).expect("no isolated nodes");
     assert_eq!(inst.criterion_value(), BigRational::one());
-    assert!(matches!(Fixer2::new(&inst), Err(FixerError::CriterionViolated { .. })));
+    assert!(matches!(
+        Fixer2::new(&inst),
+        Err(FixerError::CriterionViolated { .. })
+    ));
 }
 
 #[test]
@@ -178,7 +197,10 @@ fn order_obliviousness_is_real_not_just_lucky() {
     assert!(inst.satisfies_exponential_criterion());
     let m = inst.num_variables();
     // The stride-7 order is a permutation because gcd(7, m) = 1.
-    assert!(!m.is_multiple_of(7) && m == 15, "stride order needs gcd(7, m) = 1");
+    assert!(
+        !m.is_multiple_of(7) && m == 15,
+        "stride order needs gcd(7, m) = 1"
+    );
     let orders: Vec<Vec<usize>> = vec![
         (0..m).collect(),
         (0..m).rev().collect(),

@@ -229,7 +229,10 @@ fn random_edge_instance(g: &sharp_lll::graphs::Graph, seed: u64) -> Instance<Big
         .collect();
     for v in 0..g.num_nodes() {
         let support: Vec<usize> = g.incident_edges(v).iter().map(|&e| vars[e]).collect();
-        let pattern: Vec<usize> = support.iter().map(|_| rng.random_range(0..4usize)).collect();
+        let pattern: Vec<usize> = support
+            .iter()
+            .map(|_| rng.random_range(0..4usize))
+            .collect();
         let sp: Vec<(usize, usize)> = support.into_iter().zip(pattern).collect();
         b.set_event_predicate(v, move |vals| sp.iter().all(|&(x, want)| vals[x] == want));
     }
@@ -242,11 +245,15 @@ fn random_hyper_instance(h: &sharp_lll::graphs::Hypergraph, seed: u64) -> Instan
     use rand::{rngs::StdRng, RngExt, SeedableRng};
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = InstanceBuilder::<BigRational>::new(h.num_nodes());
-    let vars: Vec<usize> =
-        (0..h.num_edges()).map(|i| b.add_uniform_variable(h.edge(i).nodes(), 3)).collect();
+    let vars: Vec<usize> = (0..h.num_edges())
+        .map(|i| b.add_uniform_variable(h.edge(i).nodes(), 3))
+        .collect();
     for v in 0..h.num_nodes() {
         let support: Vec<usize> = h.incident(v).iter().map(|&i| vars[i]).collect();
-        let pattern: Vec<usize> = support.iter().map(|_| rng.random_range(0..3usize)).collect();
+        let pattern: Vec<usize> = support
+            .iter()
+            .map(|_| rng.random_range(0..3usize))
+            .collect();
         let sp: Vec<(usize, usize)> = support.into_iter().zip(pattern).collect();
         b.set_event_predicate(v, move |vals| sp.iter().all(|&(x, want)| vals[x] == want));
     }

@@ -1,0 +1,570 @@
+//! Offline stand-in for the subset of the `proptest` crate this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal property-testing harness with the same surface
+//! syntax: the [`proptest!`] and [`prop_compose!`] macros, range /
+//! tuple / [`collection::vec`] / [`any`] strategies, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//! `prop_assume!` assertion macros.
+//!
+//! Differences from the real crate: no shrinking (a failing case is
+//! reported with its generated inputs but not minimised) and
+//! deterministic per-test seeding (derived from the test name, so
+//! failures reproduce without a persistence file).
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator backing all strategies (xoshiro256**).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// A generator seeded from an arbitrary byte string (FNV-1a), used
+    /// by [`proptest!`] to derive a stable per-test stream.
+    pub fn deterministic(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        let mut s = [0u64; 4];
+        for word in s.iter_mut() {
+            // SplitMix64 expansion of the hash.
+            h = h.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = h;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            *word = z ^ (z >> 31);
+        }
+        TestRng { s }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let r = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        r
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, span)`, exactly (rejection sampling).
+    pub fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        if span.is_power_of_two() {
+            return self.next_u64() & (span - 1);
+        }
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % span;
+            }
+        }
+    }
+}
+
+/// Outcome of a single generated test case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` — generate another.
+    Reject(String),
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A rejection with a reason.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+
+    /// A failure with a message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases each property must pass.
+    pub cases: u32,
+    /// Maximum number of `prop_assume!` rejections before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases, other settings default.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// A generator of values of type `Value` (no shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_cast {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_cast!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> i128 {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite `f64`s, biased toward moderate magnitudes like the real
+    /// crate's default (never NaN/∞ — the workspace treats those
+    /// separately).
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        let mantissa = rng.next_f64() * 2.0 - 1.0;
+        let exp = (rng.below(1201) as i32) - 600;
+        let v = mantissa * 2f64.powi(exp);
+        if v.is_finite() {
+            v
+        } else {
+            mantissa
+        }
+    }
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<A>(std::marker::PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+    fn new_value(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// Strategy producing any value of `A` (see [`Arbitrary`]).
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(std::marker::PhantomData)
+}
+
+/// A strategy backed by a closure (used by [`prop_compose!`]).
+pub struct Generated<F>(F);
+
+impl<F> Generated<F> {
+    /// Wraps a generation closure.
+    pub fn new<T>(f: F) -> Generated<F>
+    where
+        F: Fn(&mut TestRng) -> T,
+    {
+        Generated(f)
+    }
+}
+
+impl<T, F: Fn(&mut TestRng) -> T> Strategy for Generated<F> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Admissible length specifications for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s with element strategy `S`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with lengths drawn from `size` (a `usize` for an
+    /// exact length, or a `Range<usize>`).
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.elem.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Runs one property: generates cases, counts rejects, panics on
+/// failure. Called by the expansion of [`proptest!`].
+pub fn run_property(
+    name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let mut rng = TestRng::deterministic(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "property {name}: too many rejected cases \
+                         ({rejected} rejects for {passed}/{} passes)",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property {name} failed after {passed} passing case(s): {msg}");
+            }
+        }
+    }
+}
+
+/// Defines property tests. Mirrors the real crate's syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in 0usize..10, (a, b) in my_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_property(stringify!($name), &config, |__proptest_rng| {
+                $(let $pat = $crate::Strategy::new_value(&($strat), __proptest_rng);)+
+                $body
+                Ok(())
+            });
+        }
+    )*};
+}
+
+/// Defines a named strategy function. Mirrors the real crate's syntax:
+///
+/// ```ignore
+/// prop_compose! {
+///     fn arb_point()(x in 0i64..10, y in 0i64..10) -> (i64, i64) { (x, y) }
+/// }
+/// ```
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($arg:ident: $argty:ty),* $(,)?)($($pat:pat in $strat:expr),+ $(,)?) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $argty),*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::Generated::new(move |__proptest_rng: &mut $crate::TestRng| -> $ret {
+                $(let $pat = $crate::Strategy::new_value(&($strat), __proptest_rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Fails the current case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Rejects the current case unless `cond` holds (does not count as a
+/// pass or a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn arb_pair()(a in 0i64..100, b in 1i64..100) -> (i64, i64) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, y in -5i64..5, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn composed_strategies((a, b) in arb_pair(), v in prop::collection::vec(any::<u32>(), 0..6)) {
+            prop_assert!((0..100).contains(&a));
+            prop_assert!((1..100).contains(&b));
+            prop_assert!(v.len() < 6);
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x, 1);
+        }
+
+        #[test]
+        fn exact_vec_lengths(v in prop::collection::vec(any::<u8>(), 3)) {
+            prop_assert_eq!(v.len(), 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let a: Vec<u64> = {
+            let mut rng = crate::TestRng::deterministic("x");
+            (0..8).map(|_| rng.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = crate::TestRng::deterministic("x");
+            (0..8).map(|_| rng.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after")]
+    fn failures_panic() {
+        crate::run_property("always_fails", &ProptestConfig::with_cases(4), |_rng| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}

@@ -1,0 +1,406 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal, dependency-free implementation of the APIs it
+//! actually calls: a deterministic [`rngs::StdRng`] (xoshiro256**),
+//! [`SeedableRng`], the [`RngExt`] extension trait (`random`,
+//! `random_range`, `random_bool`) and [`seq::SliceRandom`]
+//! (`shuffle`, `choose`).
+//!
+//! The streams are *not* bit-compatible with the real `rand` crate; the
+//! workspace only relies on determinism (same seed ⇒ same stream), never
+//! on specific values.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random `u64`s; every generator implements this.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (high bits of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Fixed-size seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64` via SplitMix64 key expansion.
+    fn from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Alias of [`SeedableRng::from_u64`] matching the real crate's name.
+    fn seed_from_u64(state: u64) -> Self {
+        Self::from_u64(state)
+    }
+}
+
+/// SplitMix64 — used for key expansion only.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Types producible uniformly at random (the `Standard` distribution of
+/// the real crate, folded into a single trait).
+pub trait Random: Sized {
+    /// Draws a uniform value.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_random_uint {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_random_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_random_int {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_random_int!(i8, i16, i32, i64, isize);
+
+impl Random for u128 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Random for bool {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges samplable by [`RngExt::random_range`].
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+
+    /// Draws a uniform value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Uniform `u64` in `[0, span)` by rejection sampling (exactly uniform).
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    // Accept v ≤ zone so the accepted region is a whole multiple of span.
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = uniform_u64_below(rng, span);
+                ((self.start as i128) + off as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample from empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return <$t as Random>::random(rng);
+                }
+                let off = uniform_u64_below(rng, span as u64);
+                ((lo as i128) + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        self.start + f64::random(rng) * (self.end - self.start)
+    }
+}
+
+/// Extension methods on every generator (the real crate's `Rng` trait;
+/// the workspace imports it under this name).
+pub trait RngExt: RngCore {
+    /// Draws a uniform value of an inferred type.
+    fn random<T: Random>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::random(self)
+    }
+
+    /// Draws a uniform value from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<S: SampleRange>(&mut self, range: S) -> S::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        f64::random(self) < p
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Alias kept so code written against the real crate's `Rng` also works.
+pub use RngExt as Rng;
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** — a small, fast, high-quality deterministic PRNG.
+    ///
+    /// Stand-in for the real crate's ChaCha-based `StdRng`; this
+    /// workspace needs determinism, not cryptographic quality.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let r = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            r
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> StdRng {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(b);
+            }
+            // All-zero state is a fixed point of xoshiro; nudge it.
+            if s == [0, 0, 0, 0] {
+                s = [
+                    0x9e3779b97f4a7c15,
+                    0x6a09e667f3bcc909,
+                    0xbb67ae8584caa73b,
+                    1,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+
+    /// Alias: the real crate's `SmallRng` — identical generator here.
+    pub type SmallRng = StdRng;
+}
+
+pub mod seq {
+    //! Sequence-related helpers.
+
+    use super::{uniform_u64_below, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = uniform_u64_below(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[uniform_u64_below(rng, self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `rand::prelude`.
+    pub use super::rngs::{SmallRng, StdRng};
+    pub use super::seq::SliceRandom;
+    pub use super::{Random, RngCore, RngExt, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn determinism_and_stream_inequality() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.random::<u64>()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.random::<u64>()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.random::<u64>()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_are_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+            let f = rng.random_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn range_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.random_range(0usize..7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "50-element shuffle left input unchanged"
+        );
+    }
+
+    #[test]
+    fn choose_covers_elements() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let v = [10, 20, 30];
+        let empty: [i32; 0] = [];
+        assert_eq!(empty.choose(&mut rng), None);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let &x = v.choose(&mut rng).unwrap();
+            seen[(x / 10 - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn random_bool_respects_extremes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+}

@@ -1,0 +1,220 @@
+//! Offline stand-in for the subset of the `serde` crate this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal serialization framework with the same trait
+//! names: [`Serialize`], [`Deserialize`], [`Serializer`],
+//! [`Deserializer`], and [`de::Error`]. Unlike the real crate, the
+//! data model is a concrete JSON-like [`Value`] tree (no visitors, no
+//! zero-copy, no proc-macro derive) — `serde_json` in `vendor/` is the
+//! only backend, which is all the workspace needs for its
+//! feature-gated round-trip support.
+
+use std::fmt;
+
+mod impls;
+
+/// The concrete data model every (de)serializer speaks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON booleans.
+    Bool(bool),
+    /// Non-negative integers.
+    U64(u64),
+    /// Negative integers.
+    I64(i64),
+    /// Non-integral numbers.
+    F64(f64),
+    /// Strings.
+    String(String),
+    /// Arrays.
+    Array(Vec<Value>),
+    /// Objects, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object by name.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::String(s) => write!(f, "{s:?}"),
+            Value::Array(_) => write!(f, "<array>"),
+            Value::Object(_) => write!(f, "<object>"),
+        }
+    }
+}
+
+pub mod ser {
+    //! Serialization half of the framework.
+
+    use super::Value;
+    use std::fmt;
+
+    /// Errors produced while serializing.
+    pub trait Error: Sized + std::error::Error {
+        /// An error carrying a custom message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// A data format that can consume the [`Value`] data model.
+    pub trait Serializer: Sized {
+        /// Output on success.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+
+        /// Consumes one complete value.
+        fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+        /// Serializes a string.
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::String(v.to_string()))
+        }
+
+        /// Serializes a boolean.
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::Bool(v))
+        }
+
+        /// Serializes an unsigned integer.
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::U64(v))
+        }
+
+        /// Serializes a signed integer.
+        fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::I64(v))
+        }
+
+        /// Serializes a float.
+        fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::F64(v))
+        }
+    }
+}
+
+pub mod de {
+    //! Deserialization half of the framework.
+
+    use super::Value;
+    use std::fmt;
+    use std::marker::PhantomData;
+
+    /// Errors produced while deserializing.
+    pub trait Error: Sized + std::error::Error {
+        /// An error carrying a custom message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// A data format that can produce the [`Value`] data model.
+    pub trait Deserializer<'de>: Sized {
+        /// Error type.
+        type Error: Error;
+
+        /// Produces one complete value.
+        fn deserialize_value(self) -> Result<Value, Self::Error>;
+    }
+
+    /// Adapter re-deserializing an already-parsed [`Value`] — used by
+    /// container impls to hand sub-values to their element types.
+    pub struct ValueDeserializer<E> {
+        value: Value,
+        marker: PhantomData<fn() -> E>,
+    }
+
+    impl<E> ValueDeserializer<E> {
+        /// Wraps a value.
+        pub fn new(value: Value) -> ValueDeserializer<E> {
+            ValueDeserializer {
+                value,
+                marker: PhantomData,
+            }
+        }
+    }
+
+    impl<'de, E: Error> Deserializer<'de> for ValueDeserializer<E> {
+        type Error = E;
+        fn deserialize_value(self) -> Result<Value, E> {
+            Ok(self.value)
+        }
+    }
+
+    pub use super::Deserialize;
+}
+
+pub use de::Deserializer;
+pub use ser::Serializer;
+
+/// A type that can be turned into the data model.
+pub trait Serialize {
+    /// Serializes `self` into the given format.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A type that can be rebuilt from the data model.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value of `Self` from the given format.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Builds the [`Value`] representation of any serializable type —
+/// convenience for backends and container impls.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    struct ValueSerializer;
+
+    #[derive(Debug)]
+    enum Never {}
+
+    impl fmt::Display for Never {
+        fn fmt(&self, _f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match *self {}
+        }
+    }
+    impl std::error::Error for Never {}
+    impl ser::Error for Never {
+        fn custom<T: fmt::Display>(_msg: T) -> Never {
+            unreachable!("value construction is infallible")
+        }
+    }
+
+    impl Serializer for ValueSerializer {
+        type Ok = Value;
+        type Error = Never;
+        fn serialize_value(self, value: Value) -> Result<Value, Never> {
+            Ok(value)
+        }
+    }
+
+    match value.serialize(ValueSerializer) {
+        Ok(v) => v,
+        Err(never) => match never {},
+    }
+}
