@@ -14,6 +14,13 @@ cargo test -q
 echo "==> cargo test --workspace -q (full suite)"
 cargo test --workspace -q
 
+echo "==> tier-1 gate, serial test runner"
+RUST_TEST_THREADS=1 cargo test -q
+
+echo "==> differential battery, parallel engine at 2 and 8 workers"
+LLL_DIFF_THREADS=2 cargo test -q --test parallel_differential
+LLL_DIFF_THREADS=8 cargo test -q --test parallel_differential
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

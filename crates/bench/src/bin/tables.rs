@@ -4,6 +4,7 @@
 //! cargo run --release -p lll-bench --bin tables               # all experiments
 //! cargo run --release -p lll-bench --bin tables -- E7 E9      # a subset
 //! cargo run --release -p lll-bench --bin tables -- --csv out/ # + CSV data files
+//! cargo run --release -p lll-bench --bin tables -- --threads 8 E2 E6 E12
 //! ```
 //!
 //! The output of this binary is what `EXPERIMENTS.md` records; with
@@ -25,6 +26,7 @@ fn wanted(selected: &BTreeSet<String>, id: &str) -> bool {
 
 fn main() {
     let mut csv_dir: Option<PathBuf> = None;
+    let mut threads = 1usize;
     let mut selected: BTreeSet<String> = BTreeSet::new();
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -32,6 +34,13 @@ fn main() {
             let dir = args.next().expect("--csv needs a directory argument");
             fs::create_dir_all(&dir).expect("create csv output directory");
             csv_dir = Some(PathBuf::from(dir));
+        } else if arg == "--threads" {
+            threads = args
+                .next()
+                .expect("--threads needs a worker-count argument")
+                .parse()
+                .expect("--threads takes a positive integer");
+            assert!(threads >= 1, "--threads takes a positive integer");
         } else {
             selected.insert(arg.to_uppercase());
         }
@@ -75,7 +84,7 @@ fn main() {
 
     if wanted(&selected, "E2") {
         println!("== E2: Corollary 1.2 — LOCAL rounds vs n (rank 2, rings, d = 2) ==");
-        let data = ex::e2_rounds_rank2(&[64, 256, 1024, 4096, 16384, 65536]);
+        let data = ex::e2_rounds_rank2(&[64, 256, 1024, 4096, 16384, 65536], threads);
         write_csv(
             "e2_rounds_rank2.csv",
             "n,log_star,det_rounds,det_coloring_rounds,mt_local_rounds",
@@ -173,7 +182,7 @@ fn main() {
 
     if wanted(&selected, "E6") {
         println!("== E6: Corollary 1.4 — LOCAL rounds vs n (rank 3, hyper-rings, d = 4) ==");
-        let data = ex::e6_rounds_rank3(&[64, 256, 1024, 4096, 16384]);
+        let data = ex::e6_rounds_rank3(&[64, 256, 1024, 4096, 16384], threads);
         write_csv(
             "e6_rounds_rank3.csv",
             "n,log_star,det_rounds,det_coloring_rounds,mt_local_rounds",
@@ -338,7 +347,7 @@ fn main() {
 
     if wanted(&selected, "E12") {
         println!("== E12: honest message-passing Moser-Tardos vs loop-based accounting ==");
-        let rows: Vec<Vec<String>> = ex::e12_honest_mt(&[64, 256, 1024])
+        let rows: Vec<Vec<String>> = ex::e12_honest_mt(&[64, 256, 1024], threads)
             .into_iter()
             .map(|r| {
                 vec![
@@ -385,6 +394,63 @@ fn main() {
             )
         );
         println!("(rings, d = 2, real distance-2 palette C = 5: the sharp guarantee\n covers k >= 3 while the generic conditional-expectation bound needs k >= 16)\n");
+    }
+
+    if wanted(&selected, "E14") {
+        println!("== E14: parallel round engine — wall-clock vs the sequential engine ==");
+        let data = ex::e14_parallel_speedup(&[1 << 14, 1 << 16, 1 << 18], &[1, 2, 8]);
+        write_csv(
+            "e14_parallel_speedup.csv",
+            "n,threads,sim_seq_millis,sim_par_millis,sim_speedup,driver_seq_millis,driver_par_millis,driver_speedup",
+            &data
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{},{},{:.2},{:.2},{:.3},{:.2},{:.2},{:.3}",
+                        r.n,
+                        r.threads,
+                        r.sim_seq_millis,
+                        r.sim_par_millis,
+                        r.sim_speedup,
+                        r.driver_seq_millis,
+                        r.driver_par_millis,
+                        r.driver_speedup
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        let rows: Vec<Vec<String>> = data
+            .into_iter()
+            .map(|r| {
+                vec![
+                    r.n.to_string(),
+                    r.threads.to_string(),
+                    format!("{:.1}", r.sim_seq_millis),
+                    format!("{:.1}", r.sim_par_millis),
+                    format!("{:.2}x", r.sim_speedup),
+                    format!("{:.1}", r.driver_seq_millis),
+                    format!("{:.1}", r.driver_par_millis),
+                    format!("{:.2}x", r.driver_speedup),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "n",
+                    "threads",
+                    "sim seq (ms)",
+                    "sim par (ms)",
+                    "sim speedup",
+                    "driver seq (ms)",
+                    "driver par (ms)",
+                    "driver speedup"
+                ],
+                &rows
+            )
+        );
+        println!("(outputs asserted bit-identical between engines before timing is reported)\n");
     }
 
     if wanted(&selected, "A1") {

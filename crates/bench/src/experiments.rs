@@ -15,7 +15,10 @@ use lll_apps::sinkless::{
 };
 use lll_apps::weak_splitting::{is_weak_splitting, weak_splitting_instance};
 use lll_core::dist::distributed_fg;
-use lll_core::dist::{distributed_fixer2, distributed_fixer3, CriterionCheck};
+use lll_core::dist::{
+    distributed_fixer2, distributed_fixer2_parallel, distributed_fixer3,
+    distributed_fixer3_parallel, CriterionCheck,
+};
 use lll_core::fg_criterion;
 use lll_core::orders::{run_fixer2_adaptive_worst, run_fixer3_adaptive_worst, StaticOrder};
 use lll_core::triples::{decompose, f_surface, is_representable, max_c_brute};
@@ -24,7 +27,7 @@ use lll_graphs::gen::{
     hyper_ring, random_3_uniform, random_bipartite_biregular, random_regular, ring, torus,
 };
 use lll_local::log_star;
-use lll_mt::dist::distributed_mt;
+use lll_mt::dist::distributed_mt_parallel;
 use lll_mt::{parallel_mt, sequential_mt};
 use lll_numeric::BigRational;
 
@@ -142,15 +145,17 @@ pub struct RoundsRow {
     pub mt_local_rounds: usize,
 }
 
-/// Runs experiment E2 (rank 2, rings, `d = 2`).
-pub fn e2_rounds_rank2(sizes: &[usize]) -> Vec<RoundsRow> {
+/// Runs experiment E2 (rank 2, rings, `d = 2`) with the coloring
+/// simulation on `threads` worker threads (`1` = sequential engine; the
+/// measured rounds are thread-count independent).
+pub fn e2_rounds_rank2(sizes: &[usize], threads: usize) -> Vec<RoundsRow> {
     sizes
         .iter()
         .map(|&n| {
             let g = ring(n);
             let inst = random_rank2_instance(&g, 8, 0.9, 7);
-            let det =
-                distributed_fixer2(&inst, 5, CriterionCheck::Enforce).expect("below threshold");
+            let det = distributed_fixer2_parallel(&inst, 5, CriterionCheck::Enforce, threads)
+                .expect("below threshold");
             assert!(det.fix.is_success());
             let mt = parallel_mt(&inst, 5, 1_000_000).expect("classic criterion regime");
             RoundsRow {
@@ -164,15 +169,16 @@ pub fn e2_rounds_rank2(sizes: &[usize]) -> Vec<RoundsRow> {
         .collect()
 }
 
-/// Runs experiment E6 (rank 3, hyper-rings, dependency degree 4).
-pub fn e6_rounds_rank3(sizes: &[usize]) -> Vec<RoundsRow> {
+/// Runs experiment E6 (rank 3, hyper-rings, dependency degree 4) with
+/// the coloring simulation on `threads` worker threads.
+pub fn e6_rounds_rank3(sizes: &[usize], threads: usize) -> Vec<RoundsRow> {
     sizes
         .iter()
         .map(|&n| {
             let h = hyper_ring(n);
             let inst = random_rank3_instance(&h, 8, 0.9, 7);
-            let det =
-                distributed_fixer3(&inst, 5, CriterionCheck::Enforce).expect("below threshold");
+            let det = distributed_fixer3_parallel(&inst, 5, CriterionCheck::Enforce, threads)
+                .expect("below threshold");
             assert!(det.fix.is_success());
             let mt = parallel_mt(&inst, 5, 1_000_000).expect("classic criterion regime");
             RoundsRow {
@@ -651,14 +657,14 @@ pub struct HonestMtRow {
     pub loop_local_rounds: usize,
 }
 
-/// Runs experiment E12 on rings.
-pub fn e12_honest_mt(sizes: &[usize]) -> Vec<HonestMtRow> {
+/// Runs experiment E12 on rings, simulating on `threads` worker threads.
+pub fn e12_honest_mt(sizes: &[usize], threads: usize) -> Vec<HonestMtRow> {
     sizes
         .iter()
         .map(|&n| {
             let g = ring(n);
             let inst = random_rank2_instance(&g, 8, 0.9, 13);
-            let honest = distributed_mt(&inst, 13, 1 << 20).expect("converges");
+            let honest = distributed_mt_parallel(&inst, 13, 1 << 20, threads).expect("converges");
             let looped = parallel_mt(&inst, 13, 1 << 20).expect("converges");
             HonestMtRow {
                 n,
@@ -722,6 +728,161 @@ pub fn e13_criterion_gap() -> Vec<CriterionGapRow> {
             }
         })
         .collect()
+}
+
+/// E14 — the parallel LOCAL engine: wall-clock of the E-series
+/// dist-fixer workload (rank 2, rings, `d = 2`) under the sequential
+/// reference engine vs the slab-based parallel backend, with an output
+/// equality assertion built in.
+#[derive(Debug, Clone)]
+pub struct SpeedupRow {
+    /// Number of events.
+    pub n: usize,
+    /// Worker threads of the parallel backend.
+    pub threads: usize,
+    /// `Simulator::run` wall-clock of the workload's LOCAL portion — the
+    /// two schedule-coloring programs (Linial + greedy reduction) on the
+    /// prebuilt line graph — in milliseconds, best of three passes.
+    pub sim_seq_millis: f64,
+    /// `Simulator::run_parallel` wall-clock of the same two programs.
+    pub sim_par_millis: f64,
+    /// `sim_seq_millis / sim_par_millis`.
+    pub sim_speedup: f64,
+    /// Full `distributed_fixer2` wall-clock, sequential engine.
+    pub driver_seq_millis: f64,
+    /// Full `distributed_fixer2_parallel` wall-clock.
+    pub driver_par_millis: f64,
+    /// `driver_seq_millis / driver_par_millis`.
+    pub driver_speedup: f64,
+}
+
+/// Runs experiment E14: times the E2 dist-fixer workload at each size
+/// under the sequential engine once, then under the parallel backend at
+/// each worker count, asserting bit-for-bit equal outcomes throughout.
+///
+/// Both the LOCAL-simulation portion alone (`Simulator::run` vs
+/// `Simulator::run_parallel` on the schedule coloring) and the full
+/// driver are reported; the driver includes the inherently sequential
+/// fixing sweep, so its speedup is an Amdahl-diluted version of the
+/// simulator's.
+pub fn e14_parallel_speedup(sizes: &[usize], thread_counts: &[usize]) -> Vec<SpeedupRow> {
+    use lll_coloring::vertex_coloring;
+    use lll_local::Simulator;
+
+    /// Runs `f` `k` times; returns its (deterministic) result and the
+    /// minimum wall-clock milliseconds observed — the usual guard
+    /// against one-off scheduling noise.
+    fn best_of<R>(k: usize, mut f: impl FnMut() -> R) -> (R, f64) {
+        let mut best = f64::INFINITY;
+        let mut out = None;
+        for _ in 0..k {
+            let t = Instant::now();
+            let r = f();
+            best = best.min(t.elapsed().as_secs_f64() * 1e3);
+            out = Some(r);
+        }
+        (out.expect("k >= 1"), best)
+    }
+
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let g = ring(n);
+        let inst = random_rank2_instance(&g, 8, 0.9, 7);
+        let dep = inst.dependency_graph();
+        let budget = 10_000 + 4 * dep.num_nodes();
+
+        // The LOCAL portion of the rank-2 driver is the schedule edge
+        // coloring = vertex coloring of the line graph: Linial's color
+        // reduction followed by the greedy class reduction. Time the two
+        // engine entry points (`run` vs `run_parallel`) directly on those
+        // two programs, so the sim columns compare the engines alone —
+        // derived-graph construction and driver bookkeeping are engine
+        // independent and excluded (the driver columns charge them).
+        // Engine timings take the best of three passes after a warm-up
+        // pass, so neither side pays the cold caches of whichever
+        // happens to run first.
+        let lg = dep.line_graph();
+        let lsim = Simulator::new(&lg);
+        let delta = lg.max_degree() as u64;
+        let schedule = lll_coloring::linial_schedule(lg.num_nodes() as u64, delta);
+        let fixed = schedule
+            .last()
+            .map_or(lg.num_nodes() as u64, |&(_, q)| q * q);
+        let template = lll_coloring::LinialProgram::new(schedule);
+        // Warm-up pass; its output seeds the reduction stage (node ids
+        // on `lsim` are graph indices).
+        let rough = lsim.run(|_| template.clone(), budget).expect("converges");
+        let mk_reduce = |ctx: &lll_local::NodeContext| {
+            lll_coloring::ReduceProgram::new(rough.outputs[ctx.id as usize], fixed, delta + 1)
+        };
+        let _warm = lsim.run(mk_reduce, budget).expect("converges");
+        let (seq_out, sim_seq_millis) = best_of(3, || {
+            let lin = lsim.run(|_| template.clone(), budget).expect("converges");
+            let red = lsim.run(mk_reduce, budget).expect("converges");
+            (lin, red)
+        });
+        assert_eq!(
+            seq_out.0.outputs, rough.outputs,
+            "linial must be deterministic"
+        );
+
+        // Cross-check: the staged timing loop reproduces the driver's
+        // own schedule coloring.
+        let col = vertex_coloring(&lsim, budget).expect("converges");
+        assert_eq!(
+            col.colors,
+            seq_out
+                .1
+                .outputs
+                .iter()
+                .map(|&c| c as usize)
+                .collect::<Vec<_>>(),
+            "staged stages must equal the vertex_coloring driver"
+        );
+
+        let t1 = Instant::now();
+        let base = distributed_fixer2(&inst, 5, CriterionCheck::Enforce).expect("below threshold");
+        let driver_seq_millis = t1.elapsed().as_secs_f64() * 1e3;
+
+        for &threads in thread_counts {
+            let (par_out, sim_par_millis) = best_of(3, || {
+                let lin = lsim
+                    .run_parallel(threads, |_| template.clone(), budget)
+                    .expect("converges");
+                let red = lsim
+                    .run_parallel(threads, mk_reduce, budget)
+                    .expect("converges");
+                (lin, red)
+            });
+            assert_eq!(par_out.0.outputs, seq_out.0.outputs, "engines must agree");
+            assert_eq!(par_out.1.outputs, seq_out.1.outputs, "engines must agree");
+            assert_eq!(par_out.0.rounds, seq_out.0.rounds, "engines must agree");
+            assert_eq!(par_out.1.rounds, seq_out.1.rounds, "engines must agree");
+
+            let t3 = Instant::now();
+            let par = distributed_fixer2_parallel(&inst, 5, CriterionCheck::Enforce, threads)
+                .expect("below threshold");
+            let driver_par_millis = t3.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(par.rounds, base.rounds, "engines must agree");
+            assert_eq!(
+                par.fix.assignment(),
+                base.fix.assignment(),
+                "engines must agree"
+            );
+
+            rows.push(SpeedupRow {
+                n,
+                threads,
+                sim_seq_millis,
+                sim_par_millis,
+                sim_speedup: sim_seq_millis / sim_par_millis,
+                driver_seq_millis,
+                driver_par_millis,
+                driver_speedup: driver_seq_millis / driver_par_millis,
+            });
+        }
+    }
+    rows
 }
 
 /// Convenience used by tests and the E5 audit path: run the rank-3 fixer
@@ -874,7 +1035,7 @@ mod tests {
 
     #[test]
     fn e12_honest_rounds_are_reported() {
-        let rows = e12_honest_mt(&[32, 64]);
+        let rows = e12_honest_mt(&[32, 64], 2);
         for row in rows {
             assert!(row.honest_rounds > 2 * 8, "{row:?}");
         }

@@ -148,7 +148,7 @@ pub fn cole_vishkin_ring(sim: &Simulator<'_>, max_rounds: usize) -> Result<Color
         .collect();
     let pred_of_id: std::collections::HashMap<u64, usize> =
         (0..n).map(|v| (sim.id_of(v), pred_ports[v])).collect();
-    let run = sim.run(
+    let run = sim.run_auto(
         |ctx| ColeVishkinProgram::new(schedule.clone(), pred_of_id[&ctx.id]),
         max_rounds,
     )?;

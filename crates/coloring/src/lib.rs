@@ -98,7 +98,8 @@ pub fn linial_coloring(sim: &Simulator<'_>, max_rounds: usize) -> Result<Colorin
     }
     let schedule = linial_schedule(n as u64, delta as u64);
     let palette = schedule.last().map_or(n as u64, |&(_, q)| q * q);
-    let run = sim.run(|_| LinialProgram::new(schedule.clone()), max_rounds)?;
+    let template = LinialProgram::new(schedule);
+    let run = sim.run_auto(|_| template.clone(), max_rounds)?;
     Ok(Coloring {
         colors: run.outputs.iter().map(|&c| c as usize).collect(),
         palette: palette as usize,
@@ -138,13 +139,28 @@ pub fn reduce_coloring(
     let palette = input.palette;
     // Recover each node's input color through its id: the driver
     // addresses nodes by graph index, the program only sees ids (honest
-    // LOCAL algorithms receive their input locally anyway).
-    let color_of_id: std::collections::HashMap<u64, usize> = (0..g.num_nodes())
-        .map(|v| (sim.id_of(v), colors[v]))
-        .collect();
-    let run = sim.run(
+    // LOCAL algorithms receive their input locally anyway). Every stock
+    // id assignment is a permutation of 0..n, so a dense table covers
+    // the common case; truly sparse custom ids fall back to a hash map.
+    let n = g.num_nodes();
+    let dense: Option<Vec<usize>> = (0..n).all(|v| (sim.id_of(v) as usize) < 2 * n).then(|| {
+        let mut table = vec![0usize; 2 * n];
+        for v in 0..n {
+            table[sim.id_of(v) as usize] = colors[v];
+        }
+        table
+    });
+    let sparse: std::collections::HashMap<u64, usize> = match dense {
+        Some(_) => std::collections::HashMap::new(),
+        None => (0..n).map(|v| (sim.id_of(v), colors[v])).collect(),
+    };
+    let color_of_id = |id: u64| match &dense {
+        Some(table) => table[id as usize],
+        None => sparse[&id],
+    };
+    let run = sim.run_auto(
         |ctx| {
-            let c = color_of_id[&ctx.id];
+            let c = color_of_id(ctx.id);
             ReduceProgram::new(c as u64, palette as u64, target as u64)
         },
         max_rounds,
@@ -201,7 +217,9 @@ pub fn distance2_coloring(sim: &Simulator<'_>, max_rounds: usize) -> Result<Colo
     let g = sim.graph();
     let g2 = g.square();
     let ids: Vec<u64> = (0..g.num_nodes()).map(|v| sim.id_of(v)).collect();
-    let sim2 = Simulator::with_ids(&g2, ids).expect("ids already validated");
+    let sim2 = Simulator::with_ids(&g2, ids)
+        .expect("ids already validated")
+        .threads(sim.num_threads());
     let mut c = vertex_coloring(&sim2, max_rounds)?;
     c.rounds *= 2;
     debug_assert!(g.is_distance2_coloring(&c.colors));
@@ -221,7 +239,7 @@ pub fn distance2_coloring(sim: &Simulator<'_>, max_rounds: usize) -> Result<Colo
 pub fn edge_coloring(sim: &Simulator<'_>, max_rounds: usize) -> Result<Coloring, SimError> {
     let g = sim.graph();
     let lg = g.line_graph();
-    let lsim = Simulator::new(&lg);
+    let lsim = Simulator::new(&lg).threads(sim.num_threads());
     let mut c = vertex_coloring(&lsim, max_rounds)?;
     c.rounds *= 2;
     debug_assert!(g.is_proper_edge_coloring(&c.colors));

@@ -12,7 +12,7 @@
 //! `q₁²` with `q₁ = nextprime(Δ + 1) = O(Δ)` after `log* m + O(1)`
 //! steps.
 
-use lll_local::{broadcast, NodeContext, NodeProgram, RoundResult};
+use lll_local::{broadcast, NodeContext, NodeProgram, RoundResult, StepResult};
 use lll_numeric::next_prime;
 
 /// Computes the reduction schedule `(k, q)` per round for initial palette
@@ -82,28 +82,34 @@ fn poly_eval(color: u64, k: u64, q: u64, x: u64) -> u64 {
 /// palette `q_T²`.
 #[derive(Debug, Clone)]
 pub struct LinialProgram {
-    schedule: Vec<(u64, u64)>,
+    // Shared, not owned: the schedule is identical at every node, and
+    // the drivers clone one template program per node, so `Clone` must
+    // not deep-copy it.
+    schedule: std::sync::Arc<[(u64, u64)]>,
     step: usize,
     color: u64,
 }
 
 impl LinialProgram {
     /// Creates the program for one node; every node must receive the same
-    /// `schedule` (see [`linial_schedule`]).
+    /// `schedule` (see [`linial_schedule`]). Cloning the program shares
+    /// the schedule, so instantiating it at every node is cheap.
     pub fn new(schedule: Vec<(u64, u64)>) -> LinialProgram {
         LinialProgram {
-            schedule,
+            schedule: schedule.into(),
             step: 0,
             color: 0,
         }
     }
 
     /// One reduction step: pick a point of our polynomial's graph not
-    /// owned by any neighbor.
-    fn reduce(&self, neighbor_colors: &[u64], k: u64, q: u64) -> u64 {
+    /// owned by any neighbor (read straight off the inbox — silent ports
+    /// forbid nothing).
+    fn reduce(&self, inbox: &[Option<u32>], k: u64, q: u64) -> u64 {
         'point: for x in 0..q {
             let y = poly_eval(self.color, k, q, x);
-            for &nc in neighbor_colors {
+            for nc in inbox.iter().flatten() {
+                let nc = u64::from(*nc);
                 debug_assert_ne!(nc, self.color, "input coloring must be proper");
                 if poly_eval(nc, k, q, x) == y {
                     continue 'point;
@@ -113,31 +119,61 @@ impl LinialProgram {
         }
         unreachable!("q > kΔ guarantees a surviving point")
     }
+
+    /// The state transition shared by both engine entry points: one
+    /// schedule step, returning `Some(final color)` when the schedule is
+    /// exhausted (immediately, if it was empty).
+    fn advance(&mut self, degree: usize, inbox: &[Option<u32>]) -> Option<u64> {
+        if self.step >= self.schedule.len() {
+            // Schedule was empty (palette already at fixed point).
+            return Some(self.color);
+        }
+        let (k, q) = self.schedule[self.step];
+        debug_assert_eq!(
+            inbox.iter().flatten().count(),
+            degree,
+            "all neighbors broadcast"
+        );
+        self.color = self.reduce(inbox, k, q);
+        self.step += 1;
+        (self.step == self.schedule.len()).then_some(self.color)
+    }
 }
 
 impl NodeProgram for LinialProgram {
-    type Message = u64;
+    type Message = u32;
     type Output = u64;
 
-    fn init(&mut self, ctx: &mut NodeContext) -> Vec<Option<u64>> {
+    fn init(&mut self, ctx: &mut NodeContext) -> Vec<Option<u32>> {
         self.color = ctx.id;
-        broadcast(self.color, ctx.degree)
+        // Colors only shrink from here, so the id bounds every message;
+        // 32-bit messages halve the slab traffic of a u64.
+        assert!(
+            self.color <= u64::from(u32::MAX),
+            "Linial requires ids < n, which must fit in 32 bits"
+        );
+        broadcast(self.color as u32, ctx.degree)
     }
 
-    fn round(&mut self, ctx: &mut NodeContext, inbox: &[Option<u64>]) -> RoundResult<u64, u64> {
-        if self.step >= self.schedule.len() {
-            // Schedule was empty (palette already at fixed point).
-            return RoundResult::Halt(self.color);
+    fn round(&mut self, ctx: &mut NodeContext, inbox: &[Option<u32>]) -> RoundResult<u32, u64> {
+        match self.advance(ctx.degree, inbox) {
+            Some(color) => RoundResult::Halt(color),
+            None => RoundResult::Continue(broadcast(self.color as u32, ctx.degree)),
         }
-        let (k, q) = self.schedule[self.step];
-        let neighbor_colors: Vec<u64> = inbox.iter().flatten().copied().collect();
-        debug_assert_eq!(neighbor_colors.len(), ctx.degree, "all neighbors broadcast");
-        self.color = self.reduce(&neighbor_colors, k, q);
-        self.step += 1;
-        if self.step == self.schedule.len() {
-            RoundResult::Halt(self.color)
-        } else {
-            RoundResult::Continue(broadcast(self.color, ctx.degree))
+    }
+
+    fn round_into(
+        &mut self,
+        ctx: &mut NodeContext,
+        inbox: &[Option<u32>],
+        out: &mut [Option<u32>],
+    ) -> StepResult<u64> {
+        match self.advance(ctx.degree, inbox) {
+            Some(color) => StepResult::Halt(color),
+            None => {
+                out.fill(Some(self.color as u32));
+                StepResult::Continue
+            }
         }
     }
 }

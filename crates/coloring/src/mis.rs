@@ -149,7 +149,7 @@ pub fn luby_mis(sim: &Simulator<'_>, seed: u64) -> Result<MisResult, SimError> {
         let run = sim
             .clone()
             .seed(seed ^ (attempt.wrapping_mul(0x9E37_79B9)))
-            .run(|_| LubyProgram::new(budget), 4 * budget + 8)?;
+            .run_auto(|_| LubyProgram::new(budget), 4 * budget + 8)?;
         rounds += run.rounds;
         if run.outputs.iter().all(Option::is_some) {
             let in_mis = run

@@ -115,6 +115,22 @@ pub fn distributed_fixer2<T: Num>(
     seed: u64,
     check: CriterionCheck,
 ) -> Result<DistReport, DistError> {
+    distributed_fixer2_parallel(inst, seed, check, 1)
+}
+
+/// [`distributed_fixer2`] with the coloring simulation running on
+/// `threads` worker threads (see [`Simulator::run_parallel`]); the
+/// outcome is identical for every thread count.
+///
+/// # Errors
+///
+/// As [`distributed_fixer2`].
+pub fn distributed_fixer2_parallel<T: Num>(
+    inst: &Instance<T>,
+    seed: u64,
+    check: CriterionCheck,
+    threads: usize,
+) -> Result<DistReport, DistError> {
     let mut fixer = match check {
         CriterionCheck::Enforce => Fixer2::new(inst)?,
         CriterionCheck::Skip => Fixer2::new_unchecked(inst)?,
@@ -124,7 +140,7 @@ pub fn distributed_fixer2<T: Num>(
     let (colors, palette, coloring_rounds) = if g.num_edges() == 0 {
         (Vec::new(), 0, 0)
     } else {
-        let sim = Simulator::with_shuffled_ids(g, seed);
+        let sim = Simulator::with_shuffled_ids(g, seed).threads(threads);
         let col = edge_coloring(&sim, round_budget(g.num_nodes()))?;
         (col.colors, col.palette, col.rounds)
     };
@@ -176,6 +192,22 @@ pub fn distributed_fixer3<T: Num>(
     seed: u64,
     check: CriterionCheck,
 ) -> Result<DistReport, DistError> {
+    distributed_fixer3_parallel(inst, seed, check, 1)
+}
+
+/// [`distributed_fixer3`] with the coloring simulation running on
+/// `threads` worker threads (see [`Simulator::run_parallel`]); the
+/// outcome is identical for every thread count.
+///
+/// # Errors
+///
+/// As [`distributed_fixer3`].
+pub fn distributed_fixer3_parallel<T: Num>(
+    inst: &Instance<T>,
+    seed: u64,
+    check: CriterionCheck,
+    threads: usize,
+) -> Result<DistReport, DistError> {
     let mut fixer = match check {
         CriterionCheck::Enforce => Fixer3::new(inst)?,
         CriterionCheck::Skip => Fixer3::new_unchecked(inst)?,
@@ -186,7 +218,7 @@ pub fn distributed_fixer3<T: Num>(
     let (colors, palette, coloring_rounds) = if n == 0 {
         (Vec::new(), 0, 0)
     } else {
-        let sim = Simulator::with_shuffled_ids(g, seed);
+        let sim = Simulator::with_shuffled_ids(g, seed).threads(threads);
         let col = distance2_coloring(&sim, round_budget(n))?;
         (col.colors, col.palette, col.rounds)
     };
@@ -238,12 +270,28 @@ pub fn distributed_fg<T: Num>(
     seed: u64,
     check: CriterionCheck,
 ) -> Result<DistReport, DistError> {
+    distributed_fg_parallel(inst, seed, check, 1)
+}
+
+/// [`distributed_fg`] with the coloring simulation running on `threads`
+/// worker threads (see [`Simulator::run_parallel`]); the outcome is
+/// identical for every thread count.
+///
+/// # Errors
+///
+/// As [`distributed_fg`].
+pub fn distributed_fg_parallel<T: Num>(
+    inst: &Instance<T>,
+    seed: u64,
+    check: CriterionCheck,
+    threads: usize,
+) -> Result<DistReport, DistError> {
     let g = inst.dependency_graph();
     let n = g.num_nodes();
     let (colors, palette, coloring_rounds) = if n == 0 {
         (Vec::new(), 0, 0)
     } else {
-        let sim = Simulator::with_shuffled_ids(g, seed);
+        let sim = Simulator::with_shuffled_ids(g, seed).threads(threads);
         let col = distance2_coloring(&sim, round_budget(n))?;
         (col.colors, col.palette, col.rounds)
     };
@@ -400,6 +448,29 @@ mod tests {
         for seed in 0..5 {
             let rep = distributed_fixer3(&inst, seed, CriterionCheck::Enforce).unwrap();
             assert!(rep.fix.is_success(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn parallel_drivers_match_sequential_bit_for_bit() {
+        let inst2 = ring_instance(64, 3);
+        let base2 = distributed_fixer2(&inst2, 5, CriterionCheck::Enforce).unwrap();
+        let inst3 = hyper_ring_instance(32, 3);
+        let base3 = distributed_fixer3(&inst3, 7, CriterionCheck::Enforce).unwrap();
+        let baseg = distributed_fg(&inst2, 5, CriterionCheck::Skip).unwrap();
+        for t in [2usize, 8] {
+            let p2 = distributed_fixer2_parallel(&inst2, 5, CriterionCheck::Enforce, t).unwrap();
+            assert_eq!(p2.rounds, base2.rounds, "fixer2 threads {t}");
+            assert_eq!(p2.coloring_rounds, base2.coloring_rounds);
+            assert_eq!(p2.num_classes, base2.num_classes);
+            assert_eq!(p2.fix.assignment(), base2.fix.assignment());
+            let p3 = distributed_fixer3_parallel(&inst3, 7, CriterionCheck::Enforce, t).unwrap();
+            assert_eq!(p3.rounds, base3.rounds, "fixer3 threads {t}");
+            assert_eq!(p3.coloring_rounds, base3.coloring_rounds);
+            assert_eq!(p3.fix.assignment(), base3.fix.assignment());
+            let pg = distributed_fg_parallel(&inst2, 5, CriterionCheck::Skip, t).unwrap();
+            assert_eq!(pg.rounds, baseg.rounds, "fg threads {t}");
+            assert_eq!(pg.fix.assignment(), baseg.fix.assignment());
         }
     }
 }

@@ -223,6 +223,52 @@ impl Graph {
         self.edge_id(u, v).is_some()
     }
 
+    /// Total number of port slots, `Σ_v deg(v) = 2·num_edges`.
+    ///
+    /// This is the size of the flat per-port message slabs used by the
+    /// simulator's parallel engine: slot `port_slot(v, p)` belongs to
+    /// port `p` of node `v`.
+    pub fn num_ports(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// CSR slot offsets per node: node `v` owns the contiguous slot
+    /// range `port_offsets()[v]..port_offsets()[v + 1]` (length `n + 1`).
+    pub fn port_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The global slot index of port `port` of node `v` in CSR order.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `port >= degree(v)`.
+    pub fn port_slot(&self, v: usize, port: usize) -> usize {
+        debug_assert!(port < self.degree(v), "port {port} out of range at {v}");
+        self.offsets[v] + port
+    }
+
+    /// The twin-slot table: for every slot `s = port_slot(v, p)` with
+    /// `u = neighbor_at(v, p)`, `twin[s] = port_slot(u, q)` where
+    /// `neighbor_at(u, q) == v`. A message written by `u` into its own
+    /// slot `twin[s]` is exactly the message `v` receives on port `p`,
+    /// so delivery is an O(1) lookup instead of an O(deg) `port_to`
+    /// scan. Built in O(num_ports) time via edge ids.
+    pub fn twin_ports(&self) -> Vec<usize> {
+        let mut first_slot = vec![usize::MAX; self.edges.len()];
+        let mut twin = vec![usize::MAX; self.neighbors.len()];
+        for slot in 0..self.neighbors.len() {
+            let eid = self.edge_ids[slot];
+            if first_slot[eid] == usize::MAX {
+                first_slot[eid] = slot;
+            } else {
+                twin[slot] = first_slot[eid];
+                twin[first_slot[eid]] = slot;
+            }
+        }
+        twin
+    }
+
     /// The square graph `G²`: same nodes, edges between nodes at distance
     /// 1 or 2. A proper coloring of `G²` is exactly a 2-hop (distance-2)
     /// coloring of `G`, as used in the proof of Corollary 1.4.
@@ -494,5 +540,46 @@ mod tests {
         assert!(g.is_proper_edge_coloring(&[0, 1, 0]));
         assert!(!g.is_proper_edge_coloring(&[0, 0, 1]));
         assert!(!g.is_proper_edge_coloring(&[0, 1]));
+    }
+
+    #[test]
+    fn port_slots_cover_csr_ranges() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (1, 2), (3, 0)]).unwrap();
+        assert_eq!(g.num_ports(), 2 * g.num_edges());
+        assert_eq!(g.port_offsets().len(), g.num_nodes() + 1);
+        let mut seen = vec![false; g.num_ports()];
+        for v in 0..g.num_nodes() {
+            assert_eq!(g.port_offsets()[v + 1] - g.port_offsets()[v], g.degree(v));
+            for p in 0..g.degree(v) {
+                let s = g.port_slot(v, p);
+                assert!(!seen[s], "slot {s} assigned twice");
+                seen[s] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "slots must tile 0..num_ports");
+        // Isolated node 4 owns an empty range.
+        assert_eq!(g.port_offsets()[4], g.port_offsets()[5]);
+    }
+
+    #[test]
+    fn twin_ports_invert_adjacency() {
+        for g in [
+            triangle(),
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 4)]).unwrap(),
+        ] {
+            let twin = g.twin_ports();
+            assert_eq!(twin.len(), g.num_ports());
+            for v in 0..g.num_nodes() {
+                for p in 0..g.degree(v) {
+                    let u = g.neighbor_at(v, p);
+                    let s = g.port_slot(v, p);
+                    let t = twin[s];
+                    // The twin slot belongs to u and points back at v.
+                    let q = t - g.port_offsets()[u];
+                    assert_eq!(g.neighbor_at(u, q), v);
+                    assert_eq!(twin[t], s, "twin must be an involution");
+                }
+            }
+        }
     }
 }

@@ -145,7 +145,7 @@ pub fn solve_by_gathering<O, F>(
 where
     F: Fn(&Ball) -> O,
 {
-    let run = sim.run(|_| GatherProgram::new(radius), radius + 2)?;
+    let run = sim.run_auto(|_| GatherProgram::new(radius), radius + 2)?;
     let outputs = run.outputs.iter().map(&decide).collect();
     Ok((outputs, run.rounds))
 }

@@ -12,13 +12,22 @@
 //! * messages travel only along edges of the supplied
 //!   [`lll_graphs::Graph`], addressed by *port* (the position of a
 //!   neighbor in the node's adjacency list);
-//! * rounds are counted exactly — the reported [`RunOutcome::rounds`] is
-//!   the number of communication rounds executed before the last node
-//!   halted;
+//! * rounds are counted exactly — the reported [`RunOutcome::rounds`]
+//!   bills every executed round *except* a terminal one in which no
+//!   message was delivered and every remaining node halted: deciding on
+//!   already-known information is free local computation in the LOCAL
+//!   model, so an algorithm whose nodes halt without ever communicating
+//!   runs in 0 rounds;
 //! * nodes see only what the LOCAL model grants them: their unique id,
 //!   their degree, global parameters (`n`, `Δ`) if the caller provides
 //!   them, a private seeded RNG for randomized algorithms — and the
 //!   messages arriving through their ports.
+//!
+//! Two execution engines share that contract: the sequential reference
+//! engine ([`Simulator::run`]) and a sharded multi-threaded backend
+//! ([`Simulator::run_parallel`]) that is bit-for-bit output-identical
+//! regardless of thread count — see the [`parallel`] module docs for the
+//! determinism argument.
 //!
 //! # Examples
 //!
@@ -58,6 +67,7 @@
 #![warn(missing_docs)]
 
 pub mod gather;
+pub mod parallel;
 
 use std::fmt;
 
@@ -104,6 +114,19 @@ pub enum RoundResult<M, O> {
     Halt(O),
 }
 
+/// Outcome of an in-place round step (see [`NodeProgram::round_into`]).
+#[derive(Debug, Clone)]
+pub enum StepResult<O> {
+    /// The outbox was written into the engine-provided buffer; keep
+    /// running.
+    Continue,
+    /// Irrevocably halt with the given output; the buffer stays cleared.
+    Halt(O),
+    /// An outbox-length violation forwarded from the allocating
+    /// [`NodeProgram::round`] path (carries the offending length).
+    BadOutboxLength(usize),
+}
+
 /// A node-local algorithm: one instance runs at every node.
 ///
 /// All nodes execute the same program, as in the LOCAL model; asymmetric
@@ -126,6 +149,42 @@ pub trait NodeProgram {
         ctx: &mut NodeContext,
         inbox: &[Option<Self::Message>],
     ) -> RoundResult<Self::Message, Self::Output>;
+
+    /// In-place variant of [`NodeProgram::round`], used by the slab-based
+    /// engine ([`Simulator::run_parallel`]): the outbox is written
+    /// directly into `out` — the node's own window of the write slab, one
+    /// slot per port — instead of being returned as a freshly allocated
+    /// vector.
+    ///
+    /// The default implementation delegates to `round`, so the two entry
+    /// points cannot disagree and existing programs need no changes.
+    /// Programs on the hot path of the experiment harness override it to
+    /// skip the per-node-per-round outbox allocation; an override must be
+    /// observationally identical to `round` — same halting round, same
+    /// output, and on [`StepResult::Continue`] it must store to *every*
+    /// slot (`None` for silent ports: `out` may still hold this node's
+    /// outbox of two rounds ago), with slot `p` holding exactly the
+    /// message `round` would have placed at outbox position `p`. The
+    /// differential battery enforces the equivalence across engines.
+    fn round_into(
+        &mut self,
+        ctx: &mut NodeContext,
+        inbox: &[Option<Self::Message>],
+        out: &mut [Option<Self::Message>],
+    ) -> StepResult<Self::Output> {
+        match self.round(ctx, inbox) {
+            RoundResult::Continue(msgs) => {
+                if msgs.len() != out.len() {
+                    return StepResult::BadOutboxLength(msgs.len());
+                }
+                for (slot, msg) in out.iter_mut().zip(msgs) {
+                    *slot = msg;
+                }
+                StepResult::Continue
+            }
+            RoundResult::Halt(o) => StepResult::Halt(o),
+        }
+    }
 }
 
 /// Errors produced by a simulation run.
@@ -188,7 +247,10 @@ pub struct RunOutcome<O> {
     /// Output of each node, indexed by graph node.
     pub outputs: Vec<O>,
     /// Number of communication rounds executed before the last node
-    /// halted (a program halting on its first `round` call costs 1).
+    /// halted. A program that broadcasts in `init` and halts on its
+    /// first `round` call costs 1; a terminal round in which nothing
+    /// was delivered and every remaining node halted is free (so a
+    /// program that never sends costs 0 — see the crate docs).
     pub rounds: usize,
     /// Total messages delivered across the whole run (LOCAL allows one
     /// message per edge direction per round; this counts the ones
@@ -208,6 +270,7 @@ pub struct Simulator<'g> {
     graph: &'g Graph,
     ids: Vec<u64>,
     seed: u64,
+    threads: usize,
 }
 
 impl<'g> Simulator<'g> {
@@ -218,6 +281,7 @@ impl<'g> Simulator<'g> {
             graph,
             ids,
             seed: 0,
+            threads: 1,
         }
     }
 
@@ -243,6 +307,7 @@ impl<'g> Simulator<'g> {
             graph,
             ids,
             seed: 0,
+            threads: 1,
         })
     }
 
@@ -257,6 +322,7 @@ impl<'g> Simulator<'g> {
             graph,
             ids,
             seed: 0,
+            threads: 1,
         }
     }
 
@@ -265,6 +331,20 @@ impl<'g> Simulator<'g> {
     pub fn seed(mut self, seed: u64) -> Simulator<'g> {
         self.seed = seed;
         self
+    }
+
+    /// Sets the worker-thread count used by [`Simulator::run_auto`]
+    /// (clamped to at least 1; `1` selects the sequential reference
+    /// engine). Higher-level drivers propagate this knob to derived
+    /// simulators (line graphs, squares). Returns `self` for chaining.
+    pub fn threads(mut self, threads: usize) -> Simulator<'g> {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured worker-thread count (see [`Simulator::threads`]).
+    pub fn num_threads(&self) -> usize {
+        self.threads
     }
 
     /// The id assigned to graph node `v`.
@@ -331,13 +411,15 @@ impl<'g> Simulator<'g> {
 
         let mut rounds = 0usize;
         let mut messages = 0usize;
-        while outputs.iter().any(Option::is_none) {
+        let mut running = n;
+        while running > 0 {
             if rounds >= max_rounds {
                 return Err(SimError::RoundLimitExceeded { limit: max_rounds });
             }
             rounds += 1;
             // Deliver: the message neighbor u sent to v arrives on v's
             // port towards u.
+            let mut delivered = 0usize;
             let mut inboxes: Vec<Vec<Option<P::Message>>> =
                 (0..n).map(|v| vec![None; g.degree(v)]).collect();
             for v in 0..n {
@@ -349,10 +431,11 @@ impl<'g> Simulator<'g> {
                         let u = g.neighbor_at(v, port);
                         let back = g.port_to(u, v).expect("graph adjacency is symmetric");
                         inboxes[u][back] = Some(m.clone());
-                        messages += 1;
+                        delivered += 1;
                     }
                 }
             }
+            messages += delivered;
             for v in 0..n {
                 if outputs[v].is_some() {
                     continue;
@@ -371,8 +454,15 @@ impl<'g> Simulator<'g> {
                     RoundResult::Halt(o) => {
                         outputs[v] = Some(o);
                         outboxes[v] = vec![None; g.degree(v)];
+                        running -= 1;
                     }
                 }
+            }
+            if running == 0 && delivered == 0 {
+                // The terminal round carried no information — every
+                // remaining node halted on what it already knew, which is
+                // free local computation in the LOCAL model (crate docs).
+                rounds -= 1;
             }
         }
         Ok(RunOutcome {
@@ -383,6 +473,33 @@ impl<'g> Simulator<'g> {
             rounds,
             messages,
         })
+    }
+
+    /// Runs with the engine selected by [`Simulator::threads`]: the
+    /// sequential reference engine for `threads == 1`, the parallel
+    /// backend ([`Simulator::run_parallel`]) otherwise. Both engines
+    /// produce identical outcomes, so callers may treat the knob as a
+    /// pure performance setting.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::run`].
+    pub fn run_auto<P, F>(
+        &self,
+        make: F,
+        max_rounds: usize,
+    ) -> Result<RunOutcome<P::Output>, SimError>
+    where
+        P: NodeProgram + Send,
+        P::Message: Send + Sync,
+        P::Output: Send,
+        F: FnMut(&NodeContext) -> P,
+    {
+        if self.threads <= 1 {
+            self.run(make, max_rounds)
+        } else {
+            self.run_parallel(self.threads, make, max_rounds)
+        }
     }
 }
 
@@ -527,6 +644,47 @@ mod tests {
         );
     }
 
+    /// Misbehaves in `round` (not `init`): node 1 returns a 5-slot outbox
+    /// on a degree-2 graph in the first round.
+    struct MidRunBadOutbox;
+
+    impl NodeProgram for MidRunBadOutbox {
+        type Message = u64;
+        type Output = ();
+
+        fn init(&mut self, ctx: &mut NodeContext) -> Vec<Option<u64>> {
+            broadcast(ctx.id, ctx.degree)
+        }
+
+        fn round(&mut self, ctx: &mut NodeContext, _: &[Option<u64>]) -> RoundResult<u64, ()> {
+            if ctx.id == 1 {
+                RoundResult::Continue(vec![None; 5])
+            } else {
+                RoundResult::Halt(())
+            }
+        }
+    }
+
+    #[test]
+    fn mid_run_outbox_length_is_validated_by_both_engines() {
+        // Exercises the default `round_into` path, which forwards the
+        // allocating `round`'s length violation to the parallel engine.
+        let g = ring(4);
+        let want = SimError::BadOutboxLength {
+            node: 1,
+            got: 5,
+            expected: 2,
+        };
+        let seq = Simulator::new(&g).run(|_| MidRunBadOutbox, 5).unwrap_err();
+        assert_eq!(seq, want);
+        for t in [1usize, 2, 4] {
+            let par = Simulator::new(&g)
+                .run_parallel(t, |_| MidRunBadOutbox, 5)
+                .unwrap_err();
+            assert_eq!(par, want, "threads {t}");
+        }
+    }
+
     #[test]
     fn id_validation() {
         let g = ring(3);
@@ -652,6 +810,135 @@ mod tests {
         // Silent program: only delivery of nothing.
         let run = Simulator::new(&g).run(|_| PrivateCoin, 3).unwrap();
         assert_eq!(run.messages, 0);
+    }
+
+    #[test]
+    fn zero_round_programs_cost_zero_rounds() {
+        // PrivateCoin never sends: halting on a silent network is free
+        // local computation, so the run costs 0 rounds on both engines.
+        let g = ring(6);
+        let sim = Simulator::new(&g).seed(3);
+        let seq = sim.run(|_| PrivateCoin, 3).unwrap();
+        assert_eq!(seq.rounds, 0);
+        assert_eq!(seq.messages, 0);
+        let par = sim.run_parallel(4, |_| PrivateCoin, 3).unwrap();
+        assert_eq!(par.rounds, 0);
+        assert_eq!(par.messages, 0);
+        assert_eq!(par.outputs, seq.outputs);
+    }
+
+    /// Broadcasts once, listens once, halts silently: the halt round
+    /// delivers nothing, so only the one communication round is billed.
+    struct OneShot {
+        heard: usize,
+        listened: bool,
+    }
+
+    impl NodeProgram for OneShot {
+        type Message = u64;
+        type Output = usize;
+
+        fn init(&mut self, ctx: &mut NodeContext) -> Vec<Option<u64>> {
+            broadcast(ctx.id, ctx.degree)
+        }
+
+        fn round(
+            &mut self,
+            ctx: &mut NodeContext,
+            inbox: &[Option<u64>],
+        ) -> RoundResult<u64, usize> {
+            if self.listened {
+                RoundResult::Halt(self.heard)
+            } else {
+                self.heard = inbox.iter().flatten().count();
+                self.listened = true;
+                RoundResult::Continue(silence(ctx.degree))
+            }
+        }
+    }
+
+    #[test]
+    fn terminal_decide_only_round_is_not_billed() {
+        let g = ring(5);
+        let sim = Simulator::new(&g);
+        let mk = |_: &NodeContext| OneShot {
+            heard: 0,
+            listened: false,
+        };
+        let seq = sim.run(mk, 10).unwrap();
+        assert_eq!(seq.rounds, 1, "the silent halt round is free");
+        assert_eq!(seq.messages, 10);
+        assert!(seq.outputs.iter().all(|&h| h == 2));
+        let par = sim.run_parallel(3, mk, 10).unwrap();
+        assert_eq!(par.outputs, seq.outputs);
+        assert_eq!(par.rounds, seq.rounds);
+        assert_eq!(par.messages, seq.messages);
+    }
+
+    #[test]
+    fn parallel_engine_matches_sequential_run() {
+        for (g, ttl) in [(ring(17), 3usize), (path(9), 2), (ring(4), 1)] {
+            let sim = Simulator::with_shuffled_ids(&g, 11);
+            let mk = |_: &NodeContext| Flood { ttl, seen: vec![] };
+            let seq = sim.run(mk, 50).unwrap();
+            for t in [1usize, 2, 3, 8] {
+                let par = sim.run_parallel(t, mk, 50).unwrap();
+                assert_eq!(par.outputs, seq.outputs, "threads {t}");
+                assert_eq!(par.rounds, seq.rounds, "threads {t}");
+                assert_eq!(par.messages, seq.messages, "threads {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_engine_reports_sequential_errors() {
+        let g = ring(3);
+        for t in [1usize, 2, 3] {
+            let err = Simulator::new(&g)
+                .run_parallel(t, |_| BadOutbox, 5)
+                .unwrap_err();
+            assert_eq!(
+                err,
+                SimError::BadOutboxLength {
+                    node: 0,
+                    got: 0,
+                    expected: 2
+                },
+                "threads {t}"
+            );
+        }
+        let g = ring(4);
+        let err = Simulator::new(&g)
+            .run_parallel(
+                2,
+                |_| Flood {
+                    ttl: 100,
+                    seen: vec![],
+                },
+                5,
+            )
+            .unwrap_err();
+        assert_eq!(err, SimError::RoundLimitExceeded { limit: 5 });
+    }
+
+    #[test]
+    fn run_auto_dispatches_on_the_threads_knob() {
+        let g = ring(8);
+        let mk = |_: &NodeContext| Flood {
+            ttl: 2,
+            seen: vec![],
+        };
+        let base = Simulator::new(&g);
+        assert_eq!(base.num_threads(), 1);
+        let seq = base.run_auto(mk, 10).unwrap();
+        let par_sim = base.clone().threads(4);
+        assert_eq!(par_sim.num_threads(), 4);
+        let par = par_sim.run_auto(mk, 10).unwrap();
+        assert_eq!(par.outputs, seq.outputs);
+        assert_eq!(par.rounds, seq.rounds);
+        assert_eq!(par.messages, seq.messages);
+        // threads(0) clamps to the sequential engine.
+        assert_eq!(base.clone().threads(0).num_threads(), 1);
     }
 
     #[test]

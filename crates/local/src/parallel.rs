@@ -1,0 +1,548 @@
+//! The multi-threaded execution backend of the simulator.
+//!
+//! [`Simulator::run_parallel`] shards the nodes across a
+//! [`std::thread::scope`]d worker pool and replaces the sequential
+//! engine's per-round inbox allocations with two flat *message slabs* —
+//! one `Option<M>` slot per (node, port) pair in CSR order, as laid out
+//! by [`lll_graphs::Graph::port_slot`]. The slabs are double-buffered: a
+//! round is "all workers run `round()` on their shard against the read
+//! slab, writing outboxes into their own region of the write slab;
+//! barrier; swap slabs". A node *reads* its inbox by following the
+//! precomputed [`lll_graphs::Graph::twin_ports`] table into its
+//! neighbors' slots of the read slab, so every worker writes only slots
+//! it owns and delivery is an O(1) lookup — no locks, no `unsafe`.
+//!
+//! # Determinism
+//!
+//! The backend is bit-for-bit output-identical to [`Simulator::run`] for
+//! every thread count, by construction:
+//!
+//! * **Sharding is static.** Shard boundaries depend only on the graph
+//!   and the thread count, never on execution state, and each node is
+//!   processed by exactly one worker with exclusive access to its
+//!   program, context, RNG and output slot.
+//! * **Node steps are isolated.** A node's `round` call reads only the
+//!   immutable read slab and its own state; per-node RNGs are seeded
+//!   from `(simulator seed, node id)` exactly as in the sequential
+//!   engine, so interleaving cannot perturb randomness.
+//! * **Reductions are order-independent.** The per-round tallies
+//!   (messages sent, nodes halted) are sums; a program error is reduced
+//!   to the minimum offending node index, which is precisely the error
+//!   the sequential engine (scanning nodes in order) reports.
+//! * **Program construction is sequential.** The `make` closure runs on
+//!   the main thread in node order, preserving `FnMut` side-effect order.
+//!
+//! Round and message accounting also agree: the engine counts a message
+//! when it is produced rather than when it is delivered, and every
+//! produced outbox is delivered exactly one round later, so the running
+//! totals coincide with the sequential delivery count — including the
+//! terminal-round rule documented at the crate root.
+
+use std::thread;
+
+use lll_graphs::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{NetworkInfo, NodeContext, NodeProgram, RunOutcome, SimError, Simulator, StepResult};
+
+/// Lifecycle of a node inside the double-buffered engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeState {
+    /// Executes `round` every round.
+    Running,
+    /// Halted last round; its slots in the buffer that is about to
+    /// become the write slab still hold its final (already delivered)
+    /// outbox and must be wiped exactly once.
+    Draining,
+    /// Halted; both slabs hold `None` in its slots forever.
+    Done,
+}
+
+/// Per-shard, per-round tallies, reduced by summation on the main
+/// thread (order-independent, so shard layout cannot leak into the
+/// outcome).
+#[derive(Debug, Clone, Copy, Default)]
+struct RoundStats {
+    sent: usize,
+    halted: usize,
+}
+
+/// A worker's exclusive view for one round: disjoint `&mut` windows
+/// carved out of the engine's flat vectors with `split_at_mut`.
+struct Shard<'a, P: NodeProgram> {
+    /// First node of the shard (nodes are `first_node..first_node + len`).
+    first_node: usize,
+    /// Global slot index of the shard's first write slot.
+    first_slot: usize,
+    programs: &'a mut [P],
+    ctxs: &'a mut [NodeContext],
+    outputs: &'a mut [Option<P::Output>],
+    states: &'a mut [NodeState],
+    /// The shard's region of the write slab.
+    write: &'a mut [Option<P::Message>],
+    /// Reusable inbox buffer (cleared per node).
+    scratch: &'a mut Vec<Option<P::Message>>,
+}
+
+/// Node boundaries `b_0 = 0 ≤ … ≤ b_t = n` cutting the CSR slot space
+/// as evenly as possible: shard `i` covers nodes `b_i..b_{i+1}` and owns
+/// the contiguous slots `offsets[b_i]..offsets[b_{i+1}]`. Purely a
+/// function of the graph and `threads`.
+fn shard_bounds(offsets: &[usize], threads: usize) -> Vec<usize> {
+    let n = offsets.len() - 1;
+    let total = offsets[n];
+    let mut bounds = Vec::with_capacity(threads + 1);
+    bounds.push(0);
+    let mut v = 0usize;
+    for i in 1..threads {
+        // First node whose slot offset reaches the i-th evenly spaced cut;
+        // on edgeless graphs fall back to cutting the node range instead.
+        let target = if total == 0 {
+            bounds.push(n * i / threads);
+            continue;
+        } else {
+            (total * i).div_ceil(threads)
+        };
+        while v < n && offsets[v] < target {
+            v += 1;
+        }
+        bounds.push(v);
+    }
+    bounds.push(n);
+    bounds
+}
+
+/// Splits `slice` at the absolute `cuts` (which must start at 0, end at
+/// `slice.len()` and be non-decreasing) into `cuts.len() - 1` disjoint
+/// mutable windows.
+fn split_mut<'a, T>(mut slice: &'a mut [T], cuts: &[usize]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(cuts.len() - 1);
+    let mut prev = 0usize;
+    for &c in &cuts[1..] {
+        let (head, tail) = slice.split_at_mut(c - prev);
+        out.push(head);
+        slice = tail;
+        prev = c;
+    }
+    out
+}
+
+/// The sequential engine reports the first (lowest-index) misbehaving
+/// node; reduce parallel shard errors the same way.
+fn min_node_error(a: SimError, b: SimError) -> SimError {
+    let key = |e: &SimError| match e {
+        SimError::BadOutboxLength { node, .. } => *node,
+        _ => usize::MAX,
+    };
+    if key(&b) < key(&a) {
+        b
+    } else {
+        a
+    }
+}
+
+/// One worker pass over a shard: the init phase (`read == None`) calls
+/// `init` and lays the outboxes into the write slab; a round phase
+/// gathers each node's inbox from the read slab via the twin table and
+/// calls `round`.
+fn work_shard<P: NodeProgram>(
+    g: &Graph,
+    twin: &[usize],
+    read: Option<&[Option<P::Message>]>,
+    shard: &mut Shard<'_, P>,
+) -> Result<RoundStats, SimError> {
+    let mut stats = RoundStats::default();
+    let offsets = g.port_offsets();
+    for (i, (program, ctx)) in shard
+        .programs
+        .iter_mut()
+        .zip(shard.ctxs.iter_mut())
+        .enumerate()
+    {
+        let v = shard.first_node + i;
+        let slot0 = offsets[v];
+        let deg = offsets[v + 1] - slot0;
+        let base = slot0 - shard.first_slot;
+        let Some(read) = read else {
+            let out = program.init(ctx);
+            if out.len() != deg {
+                return Err(SimError::BadOutboxLength {
+                    node: v,
+                    got: out.len(),
+                    expected: deg,
+                });
+            }
+            for (slot, msg) in shard.write[base..base + deg].iter_mut().zip(out) {
+                stats.sent += usize::from(msg.is_some());
+                *slot = msg;
+            }
+            continue;
+        };
+        match shard.states[i] {
+            NodeState::Done => {}
+            NodeState::Draining => {
+                // The final outbox was delivered last round out of the
+                // other slab; wipe this (now write) slab's copy so the
+                // halted node stays silent in both buffers.
+                for slot in &mut shard.write[base..base + deg] {
+                    *slot = None;
+                }
+                shard.states[i] = NodeState::Done;
+            }
+            NodeState::Running => {
+                shard.scratch.clear();
+                shard
+                    .scratch
+                    .extend(twin[slot0..slot0 + deg].iter().map(|&t| read[t].clone()));
+                // Hand the node its write-slab window; programs overriding
+                // `round_into` fill it without allocating. The window still
+                // holds the node's outbox of two rounds ago (the slabs
+                // alternate), which is fine: on `Continue` every slot is
+                // stored, on `Halt` the engine wipes the window, and on a
+                // length violation the run aborts.
+                match program.round_into(ctx, shard.scratch, &mut shard.write[base..base + deg]) {
+                    StepResult::Continue => {
+                        stats.sent += shard.write[base..base + deg].iter().flatten().count();
+                    }
+                    StepResult::Halt(o) => {
+                        shard.outputs[i] = Some(o);
+                        for slot in &mut shard.write[base..base + deg] {
+                            *slot = None;
+                        }
+                        shard.states[i] = NodeState::Draining;
+                        stats.halted += 1;
+                    }
+                    StepResult::BadOutboxLength(got) => {
+                        return Err(SimError::BadOutboxLength {
+                            node: v,
+                            got,
+                            expected: deg,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Runs one phase (init or round) across all shards: carves the engine
+/// state into disjoint per-shard windows, forks a scoped worker per
+/// non-empty shard (the first runs on the calling thread), joins, and
+/// reduces the tallies deterministically.
+#[allow(clippy::too_many_arguments)]
+fn execute_phase<P>(
+    g: &Graph,
+    twin: &[usize],
+    workers: usize,
+    bounds: &[usize],
+    slot_cuts: &[usize],
+    programs: &mut [P],
+    ctxs: &mut [NodeContext],
+    outputs: &mut [Option<P::Output>],
+    states: &mut [NodeState],
+    read: Option<&[Option<P::Message>]>,
+    write: &mut [Option<P::Message>],
+    scratches: &mut [Vec<Option<P::Message>>],
+) -> Result<RoundStats, SimError>
+where
+    P: NodeProgram + Send,
+    P::Message: Send + Sync,
+    P::Output: Send,
+{
+    let prog_chunks = split_mut(programs, bounds);
+    let ctx_chunks = split_mut(ctxs, bounds);
+    let out_chunks = split_mut(outputs, bounds);
+    let state_chunks = split_mut(states, bounds);
+    let write_chunks = split_mut(write, slot_cuts);
+    let mut shards: Vec<Shard<'_, P>> = prog_chunks
+        .into_iter()
+        .zip(ctx_chunks)
+        .zip(out_chunks)
+        .zip(state_chunks)
+        .zip(write_chunks)
+        .zip(scratches.iter_mut())
+        .enumerate()
+        .map(
+            |(i, (((((programs, ctxs), outputs), states), write), scratch))| Shard {
+                first_node: bounds[i],
+                first_slot: slot_cuts[i],
+                programs,
+                ctxs,
+                outputs,
+                states,
+                write,
+                scratch,
+            },
+        )
+        .collect();
+
+    // Shard count (= determinism-relevant layout) and OS worker count
+    // are decoupled: oversubscribing a host buys nothing, so bands of
+    // consecutive shards share a worker when `threads` exceeds the
+    // available parallelism — on a single-core host every shard runs
+    // inline with zero spawns. The outcome cannot tell the difference:
+    // shards are data-disjoint and the reductions below are
+    // order-independent.
+    let workers = workers.min(shards.len());
+    let run_band = |band: &mut [Shard<'_, P>]| -> Vec<Result<RoundStats, SimError>> {
+        band.iter_mut()
+            .map(|shard| work_shard(g, twin, read, shard))
+            .collect()
+    };
+    let results: Vec<Result<RoundStats, SimError>> = if workers <= 1 {
+        run_band(&mut shards)
+    } else {
+        let band_len = shards.len().div_ceil(workers);
+        thread::scope(|s| {
+            let mut bands = shards.chunks_mut(band_len);
+            let first = bands.next();
+            let handles: Vec<_> = bands.map(|band| s.spawn(|| run_band(band))).collect();
+            let mut res = first.map_or_else(Vec::new, run_band);
+            for h in handles {
+                res.extend(h.join().expect("simulator worker thread panicked"));
+            }
+            res
+        })
+    };
+
+    let mut stats = RoundStats::default();
+    let mut err: Option<SimError> = None;
+    for r in results {
+        match r {
+            Ok(s) => {
+                stats.sent += s.sent;
+                stats.halted += s.halted;
+            }
+            Err(e) => {
+                err = Some(match err {
+                    Some(prev) => min_node_error(prev, e),
+                    None => e,
+                });
+            }
+        }
+    }
+    match err {
+        Some(e) => Err(e),
+        None => Ok(stats),
+    }
+}
+
+impl<'g> Simulator<'g> {
+    /// Runs one program instance per node until all halt, on `threads`
+    /// worker threads.
+    ///
+    /// The outcome — outputs, round count, message count, and any error
+    /// — is **bit-for-bit identical to [`Simulator::run`]** for every
+    /// `threads` value (see the [module docs](self) for why); the knob
+    /// only changes wall-clock time. Even at `threads = 1` this engine
+    /// is usually faster than the reference engine on large graphs,
+    /// because it reuses two flat message slabs instead of allocating
+    /// per-node inboxes every round and delivers messages through the
+    /// O(1) twin-port table.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::run`].
+    pub fn run_parallel<P, F>(
+        &self,
+        threads: usize,
+        mut make: F,
+        max_rounds: usize,
+    ) -> Result<RunOutcome<P::Output>, SimError>
+    where
+        P: NodeProgram + Send,
+        P::Message: Send + Sync,
+        P::Output: Send,
+        F: FnMut(&NodeContext) -> P,
+    {
+        let g = self.graph();
+        let n = g.num_nodes();
+        let threads = threads.clamp(1, n.max(1));
+        let info = NetworkInfo {
+            n,
+            max_degree: g.max_degree(),
+        };
+        let mut ctxs: Vec<NodeContext> = (0..n)
+            .map(|v| NodeContext {
+                id: self.id_of(v),
+                degree: g.degree(v),
+                info,
+                rng: StdRng::seed_from_u64(
+                    self.seed ^ (self.id_of(v).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                ),
+            })
+            .collect();
+        let mut programs: Vec<P> = (0..n).map(|v| make(&ctxs[v])).collect();
+        let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
+        let mut states = vec![NodeState::Running; n];
+
+        let offsets = g.port_offsets();
+        let twin = g.twin_ports();
+        let bounds = shard_bounds(offsets, threads);
+        let slot_cuts: Vec<usize> = bounds.iter().map(|&v| offsets[v]).collect();
+        let mut scratches: Vec<Vec<Option<P::Message>>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        // Queried once per run, not per round — the OS worker budget
+        // cannot change the outcome (see `execute_phase`).
+        let workers = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+        // Double-buffered slabs: `read_slab` holds the messages being
+        // delivered this round, `write_slab` collects next round's.
+        let mut read_slab: Vec<Option<P::Message>> = vec![None; g.num_ports()];
+        let mut write_slab: Vec<Option<P::Message>> = vec![None; g.num_ports()];
+
+        // Init phase: outboxes land in the slab read by round 1.
+        let init = execute_phase(
+            g,
+            &twin,
+            workers,
+            &bounds,
+            &slot_cuts,
+            &mut programs,
+            &mut ctxs,
+            &mut outputs,
+            &mut states,
+            None,
+            &mut read_slab,
+            &mut scratches,
+        )?;
+
+        let mut rounds = 0usize;
+        let mut messages = 0usize;
+        let mut running = n;
+        // Messages sitting in `read_slab`: sent last phase = delivered
+        // this round, which keeps the tally equal to the sequential
+        // engine's delivery count.
+        let mut inflight = init.sent;
+        while running > 0 {
+            if rounds >= max_rounds {
+                return Err(SimError::RoundLimitExceeded { limit: max_rounds });
+            }
+            rounds += 1;
+            let delivered = inflight;
+            messages += delivered;
+            let stats = execute_phase(
+                g,
+                &twin,
+                workers,
+                &bounds,
+                &slot_cuts,
+                &mut programs,
+                &mut ctxs,
+                &mut outputs,
+                &mut states,
+                Some(&read_slab),
+                &mut write_slab,
+                &mut scratches,
+            )?;
+            running -= stats.halted;
+            inflight = stats.sent;
+            if running == 0 && delivered == 0 {
+                // Terminal decide-only round: free, as in the sequential
+                // engine (crate docs on round accounting).
+                rounds -= 1;
+            }
+            std::mem::swap(&mut read_slab, &mut write_slab);
+        }
+        Ok(RunOutcome {
+            outputs: outputs
+                .into_iter()
+                .map(|o| o.expect("all halted"))
+                .collect(),
+            rounds,
+            messages,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lll_graphs::gen::{path, ring};
+
+    #[test]
+    fn shard_bounds_tile_the_node_range() {
+        let g = ring(10);
+        for t in 1..=12 {
+            let b = shard_bounds(g.port_offsets(), t);
+            assert_eq!(b.len(), t + 1);
+            assert_eq!(*b.first().unwrap(), 0);
+            assert_eq!(*b.last().unwrap(), 10);
+            assert!(b.windows(2).all(|w| w[0] <= w[1]));
+        }
+        // Star: the hub owns half the slots, so it gets its own shard.
+        let star = lll_graphs::Graph::from_edges(9, (1..9).map(|i| (0, i))).unwrap();
+        let b = shard_bounds(star.port_offsets(), 2);
+        assert_eq!(b, vec![0, 1, 9]);
+        // Edgeless graphs split by node count.
+        let empty = lll_graphs::Graph::empty(8);
+        let b = shard_bounds(empty.port_offsets(), 4);
+        assert_eq!(b, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn split_mut_windows_are_disjoint_and_complete() {
+        let mut data: Vec<u32> = (0..10).collect();
+        let parts = split_mut(&mut data, &[0, 3, 3, 7, 10]);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[0], &[0, 1, 2]);
+        assert!(parts[1].is_empty());
+        assert_eq!(parts[2], &[3, 4, 5, 6]);
+        assert_eq!(parts[3], &[7, 8, 9]);
+    }
+
+    #[test]
+    fn min_node_error_matches_sequential_order() {
+        let lo = SimError::BadOutboxLength {
+            node: 2,
+            got: 0,
+            expected: 1,
+        };
+        let hi = SimError::BadOutboxLength {
+            node: 7,
+            got: 3,
+            expected: 1,
+        };
+        assert_eq!(min_node_error(hi.clone(), lo.clone()), lo);
+        assert_eq!(min_node_error(lo.clone(), hi), lo);
+    }
+
+    #[test]
+    fn path_endpoints_survive_uneven_shards() {
+        // Degree-1 endpoints make slot balancing uneven; every thread
+        // count must still agree with the sequential engine.
+        use crate::{broadcast, NodeProgram, RoundResult};
+        struct Echo(u8);
+        impl NodeProgram for Echo {
+            type Message = u64;
+            type Output = u64;
+            fn init(&mut self, ctx: &mut NodeContext) -> Vec<Option<u64>> {
+                broadcast(ctx.id, ctx.degree)
+            }
+            fn round(
+                &mut self,
+                ctx: &mut NodeContext,
+                inbox: &[Option<u64>],
+            ) -> RoundResult<u64, u64> {
+                let sum: u64 = inbox.iter().flatten().sum();
+                if self.0 == 0 {
+                    RoundResult::Halt(sum)
+                } else {
+                    self.0 -= 1;
+                    RoundResult::Continue(broadcast(sum + ctx.id, ctx.degree))
+                }
+            }
+        }
+        let g = path(11);
+        let sim = Simulator::new(&g);
+        let seq = sim.run(|_| Echo(3), 100).unwrap();
+        for t in [1, 2, 3, 5, 8, 11, 64] {
+            let par = sim.run_parallel(t, |_| Echo(3), 100).unwrap();
+            assert_eq!(par.outputs, seq.outputs, "threads {t}");
+            assert_eq!(par.rounds, seq.rounds, "threads {t}");
+            assert_eq!(par.messages, seq.messages, "threads {t}");
+        }
+    }
+}

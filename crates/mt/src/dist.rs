@@ -228,14 +228,33 @@ pub fn distributed_mt<T: Num>(
     seed: u64,
     max_iterations: usize,
 ) -> Result<MtReport, MtError> {
+    distributed_mt_parallel(inst, seed, max_iterations, 1)
+}
+
+/// [`distributed_mt`] with the LOCAL simulation running on `threads`
+/// worker threads (see [`Simulator::run_parallel`]); the outcome —
+/// assignment, resamplings and round bill — is identical for every
+/// thread count.
+///
+/// # Errors
+///
+/// As [`distributed_mt`].
+pub fn distributed_mt_parallel<T: Num>(
+    inst: &Instance<T>,
+    seed: u64,
+    max_iterations: usize,
+    threads: usize,
+) -> Result<MtReport, MtError> {
     let g = inst.dependency_graph();
     let mut budget = 8usize;
     let mut total_rounds = 0usize;
     let mut attempt = 0u64;
     loop {
-        let sim = Simulator::new(g).seed(seed ^ attempt.wrapping_mul(0x517c_c1b7_2722_0a95));
+        let sim = Simulator::new(g)
+            .seed(seed ^ attempt.wrapping_mul(0x517c_c1b7_2722_0a95))
+            .threads(threads);
         let run = sim
-            .run(
+            .run_auto(
                 |ctx| MtProgram::new(inst, ctx.id as usize, budget),
                 4 * budget + 8,
             )
@@ -323,6 +342,16 @@ mod tests {
         let a = distributed_mt(&inst, 9, 1 << 16).unwrap();
         let b = distributed_mt(&inst, 9, 1 << 16).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_driver_matches_sequential_bit_for_bit() {
+        let inst = ring_instance(40, 4);
+        let base = distributed_mt(&inst, 9, 1 << 16).unwrap();
+        for t in [2usize, 8] {
+            let par = distributed_mt_parallel(&inst, 9, 1 << 16, t).unwrap();
+            assert_eq!(par, base, "threads {t}");
+        }
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub const F64_MARGIN: f64 = 1e-9;
 /// The arithmetic operator bounds are on owned values; generic code clones
 /// operands, which is free for `f64` and cheap relative to the bignum
 /// operations themselves for [`BigRational`].
+///
+/// `Send + Sync` are supertraits so that instances built over any
+/// backend can be shared read-only with the LOCAL simulator's worker
+/// threads; both provided backends are plain owned data.
 pub trait Num:
     Clone
     + Debug
@@ -39,6 +43,8 @@ pub trait Num:
     + Mul<Output = Self>
     + Div<Output = Self>
     + Neg<Output = Self>
+    + Send
+    + Sync
     + 'static
 {
     /// Additive identity.

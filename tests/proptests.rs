@@ -2,9 +2,13 @@
 //! instance generation.
 
 use proptest::prelude::*;
+use sharp_lll::coloring::luby_mis;
 use sharp_lll::core::triples::{decompose, is_representable, representability_score};
 use sharp_lll::core::{audit_p_star, Fixer2, Fixer3, Instance, InstanceBuilder};
 use sharp_lll::graphs::gen::{hyper_ring, ring};
+use sharp_lll::graphs::Graph;
+use sharp_lll::local::gather::GatherProgram;
+use sharp_lll::local::Simulator;
 use sharp_lll::numeric::BigRational;
 
 fn q(n: i64, d: u64) -> BigRational {
@@ -197,6 +201,60 @@ proptest! {
         });
         prop_assert!(good, "every value was evil for ({a}, {b}, {c})");
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Metamorphic equivariance: relabeling the graph's nodes by a
+    /// random permutation (carrying the ids along) must permute the
+    /// outputs of a LOCAL algorithm and change nothing else — round
+    /// bills included — under both round engines. Checks the gather
+    /// primitive (ball contents are id-based, so corresponding nodes
+    /// get *equal* balls) and Luby MIS (membership is a function of ids
+    /// and topology only, not of node numbering or worker count).
+    #[test]
+    fn local_outputs_are_equivariant_under_relabeling(
+        n in 4usize..24,
+        perm_seed in 0u64..1000,
+        id_seed in 0u64..1000,
+        threads in 2usize..6,
+    ) {
+        let g = ring(n);
+        let perm = shuffled(n, perm_seed);
+        let h = relabel(&g, &perm);
+        let ids: Vec<u64> = shuffled(n, id_seed).iter().map(|&x| x as u64).collect();
+        let mut hids = vec![0u64; n];
+        for v in 0..n {
+            hids[perm[v]] = ids[v];
+        }
+        let gsim = Simulator::with_ids(&g, ids).expect("ids are a permutation").seed(3);
+        let hsim = Simulator::with_ids(&h, hids).expect("ids are a permutation").seed(3);
+        for t in [1usize, threads] {
+            let gb = gsim.run_parallel(t, |_| GatherProgram::new(2), 4).expect("gather");
+            let hb = hsim.run_parallel(t, |_| GatherProgram::new(2), 4).expect("gather");
+            for (v, &pv) in perm.iter().enumerate() {
+                prop_assert_eq!(&gb.outputs[v], &hb.outputs[pv], "ball of node {}", v);
+            }
+            prop_assert_eq!(gb.rounds, hb.rounds);
+            prop_assert_eq!(gb.messages, hb.messages);
+            let gm = luby_mis(&gsim.clone().threads(t), 7).expect("mis");
+            let hm = luby_mis(&hsim.clone().threads(t), 7).expect("mis");
+            for (v, &pv) in perm.iter().enumerate() {
+                prop_assert_eq!(gm.in_mis[v], hm.in_mis[pv], "membership of node {}", v);
+            }
+            prop_assert_eq!(gm.rounds, hm.rounds);
+        }
+    }
+}
+
+/// Renames node `v` to `perm[v]`, keeping the edge set.
+fn relabel(g: &Graph, perm: &[usize]) -> Graph {
+    Graph::from_edges(
+        g.num_nodes(),
+        g.edges().iter().map(|&(u, v)| (perm[u], perm[v])),
+    )
+    .expect("relabeled graph is valid")
 }
 
 fn shuffled(m: usize, seed: u64) -> Vec<usize> {
