@@ -21,6 +21,15 @@ echo "==> differential battery, parallel engine at 2 and 8 workers"
 LLL_DIFF_THREADS=2 cargo test -q --test parallel_differential
 LLL_DIFF_THREADS=8 cargo test -q --test parallel_differential
 
+echo "==> flight recorder: traced workload + schema validation"
+cargo test -q -p lll-bench --test obs_differential
+tmp_obs="$(mktemp -d)"
+cargo run --release -q -p lll-bench --bin tables -- \
+  --csv "$tmp_obs" --obs "$tmp_obs/trace.jsonl" E4 TRACE
+cargo run --release -q -p lll-obs --bin obs-report -- \
+  --validate "$tmp_obs/trace.jsonl" > /dev/null
+rm -rf "$tmp_obs"
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

@@ -254,10 +254,25 @@ impl std::error::Error for SatError {}
 /// [`SatError::BadFormula`] for malformed input and
 /// [`SatError::OutOfRegime`] when the guarantee conditions fail.
 pub fn solve(cnf: &CnfFormula) -> Result<Vec<bool>, SatError> {
+    solve_recorded(cnf, &mut lll_obs::NullRecorder)
+}
+
+/// [`solve`] with a flight recorder: the rank-3 fixing process streams a
+/// `fix_run_start`/`fix_step`.../`fix_run_end` event bracket through
+/// `rec`, one `fix_step` per CNF variable in index order.
+///
+/// # Errors
+///
+/// Same as [`solve`].
+pub fn solve_recorded<R: lll_obs::Recorder>(
+    cnf: &CnfFormula,
+    rec: &mut R,
+) -> Result<Vec<bool>, SatError> {
     let inst: Instance<f64> = cnf.to_instance().map_err(SatError::BadFormula)?;
+    let order = 0..inst.num_variables();
     let report = Fixer3::new(&inst)
         .map_err(SatError::OutOfRegime)?
-        .run_default();
+        .run_recorded(order, rec);
     debug_assert!(
         report.is_success(),
         "Theorem 1.3 guarantees success below the threshold"
@@ -313,6 +328,16 @@ mod tests {
         assert!(CnfFormula::new(2, vec![vec![3]]).is_err());
         assert!(CnfFormula::new(2, vec![vec![1, -1]]).is_err());
         assert!(CnfFormula::new(2, vec![vec![2, 2]]).is_err());
+    }
+
+    #[test]
+    fn recorded_solve_matches_and_counts_steps() {
+        let cnf = ring_formula(12, 6, 5);
+        let mut rec = lll_obs::CounterRecorder::new();
+        let recorded = solve_recorded(&cnf, &mut rec).unwrap();
+        assert_eq!(recorded, solve(&cnf).unwrap());
+        assert_eq!(rec.fix_runs, 1);
+        assert_eq!(rec.fix_steps, cnf.num_vars());
     }
 
     #[test]

@@ -5,27 +5,44 @@
 //! cargo run --release -p lll-bench --bin tables -- E7 E9      # a subset
 //! cargo run --release -p lll-bench --bin tables -- --csv out/ # + CSV data files
 //! cargo run --release -p lll-bench --bin tables -- --threads 8 E2 E6 E12
+//! cargo run --release -p lll-bench --bin tables -- --obs out/trace.jsonl E4 TRACE
 //! ```
 //!
 //! The output of this binary is what `EXPERIMENTS.md` records; with
 //! `--csv <dir>` the figure-shaped experiments additionally write CSV
 //! series (Figure 1 surface, round-complexity curves, threshold sweep)
-//! suitable for plotting.
+//! suitable for plotting. Every CSV file starts with a `# provenance:`
+//! comment (seed-free run context: threads, git revision, rustc, crate
+//! version) which readers must skip.
+//!
+//! With `--obs <file.jsonl>` the run additionally tees a flight-recorder
+//! stream: one schema-versioned `meta` line followed by
+//! `experiment_start`/`experiment_row`/`experiment_end` events per
+//! experiment, and — for the pseudo-experiment id `TRACE` — the full
+//! simulator event stream of a small traced schedule-coloring workload.
+//! Validate and summarize the file with the `obs-report` binary.
 
 use std::collections::BTreeSet;
 use std::env;
 use std::fs;
+use std::io::BufWriter;
 use std::path::PathBuf;
 
 use lll_bench::experiments as ex;
 use lll_bench::render_table;
+use lll_obs::{Event, JsonlRecorder, Provenance, Recorder};
 
 fn wanted(selected: &BTreeSet<String>, id: &str) -> bool {
     selected.is_empty() || selected.contains(id)
 }
 
+/// Size of the `TRACE` pseudo-experiment's ring workload — small enough
+/// for CI, large enough for a multi-round Linial + reduction schedule.
+const TRACE_N: usize = 256;
+
 fn main() {
     let mut csv_dir: Option<PathBuf> = None;
+    let mut obs_path: Option<PathBuf> = None;
     let mut threads = 1usize;
     let mut selected: BTreeSet<String> = BTreeSet::new();
     let mut args = env::args().skip(1);
@@ -34,6 +51,10 @@ fn main() {
             let dir = args.next().expect("--csv needs a directory argument");
             fs::create_dir_all(&dir).expect("create csv output directory");
             csv_dir = Some(PathBuf::from(dir));
+        } else if arg == "--obs" {
+            obs_path = Some(PathBuf::from(
+                args.next().expect("--obs needs a file argument"),
+            ));
         } else if arg == "--threads" {
             threads = args
                 .next()
@@ -45,9 +66,19 @@ fn main() {
             selected.insert(arg.to_uppercase());
         }
     }
+    let prov = Provenance::capture().with_threads(threads);
+    let mut obs: Option<JsonlRecorder<BufWriter<fs::File>>> = obs_path.as_ref().map(|path| {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            fs::create_dir_all(dir).expect("create obs output directory");
+        }
+        let file = fs::File::create(path).expect("create obs output file");
+        JsonlRecorder::with_provenance(BufWriter::new(file), &prov).expect("write obs meta line")
+    });
     let write_csv = |name: &str, header: &str, lines: &[String]| {
         if let Some(dir) = &csv_dir {
-            let mut body = String::from(header);
+            let mut body = prov.csv_comment();
+            body.push('\n');
+            body.push_str(header);
             body.push('\n');
             for l in lines {
                 body.push_str(l);
@@ -80,6 +111,7 @@ fn main() {
                 &rows
             )
         );
+        trace_experiment(&mut obs, "E1", rows.len());
     }
 
     if wanted(&selected, "E2") {
@@ -100,6 +132,7 @@ fn main() {
         );
         let rows: Vec<Vec<String>> = data.into_iter().map(rounds_row).collect();
         println!("{}", rounds_header(&rows));
+        trace_experiment(&mut obs, "E2", rows.len());
     }
 
     if wanted(&selected, "E3") {
@@ -139,6 +172,7 @@ fn main() {
         println!("max |f - brute| over the grid: {max_dev:.2e}");
         let (inside, outside) = ex::e3_membership_spot_checks();
         println!("exact membership spot checks: {inside} just-below points in S_rep, {outside} just-above points outside\n");
+        trace_experiment(&mut obs, "E3", rows.len());
     }
 
     if wanted(&selected, "E4") {
@@ -147,6 +181,7 @@ fn main() {
         let rows: Vec<Vec<String>> = vals.into_iter().map(|(k, v)| vec![k, v]).collect();
         println!("{}", render_table(&["value", "exact"], &rows));
         println!("all Definition 3.3 constraints verified exactly: {ok}\n");
+        trace_experiment(&mut obs, "E4", rows.len());
     }
 
     if wanted(&selected, "E5") {
@@ -178,6 +213,7 @@ fn main() {
                 "VIOLATED"
             }
         );
+        trace_experiment(&mut obs, "E5", rows.len());
     }
 
     if wanted(&selected, "E6") {
@@ -198,6 +234,7 @@ fn main() {
         );
         let rows: Vec<Vec<String>> = data.into_iter().map(rounds_row).collect();
         println!("{}", rounds_header(&rows));
+        trace_experiment(&mut obs, "E6", rows.len());
     }
 
     if wanted(&selected, "E7") {
@@ -244,6 +281,7 @@ fn main() {
             )
         );
         println!("(the deterministic guarantee — and the criterion check — dies exactly at 1.0;\n at 16.0 = 2^d some events are certain and no algorithm can succeed)\n");
+        trace_experiment(&mut obs, "E7", rows.len());
     }
 
     if wanted(&selected, "E8") {
@@ -273,6 +311,7 @@ fn main() {
                 &rows
             )
         );
+        trace_experiment(&mut obs, "E8", rows.len());
     }
 
     if wanted(&selected, "E9") {
@@ -304,6 +343,7 @@ fn main() {
                 &rows
             )
         );
+        trace_experiment(&mut obs, "E9", rows.len());
     }
 
     if wanted(&selected, "E10") {
@@ -325,6 +365,7 @@ fn main() {
                 &rows
             )
         );
+        trace_experiment(&mut obs, "E10", rows.len());
     }
 
     if wanted(&selected, "E11") {
@@ -343,6 +384,7 @@ fn main() {
             "{}",
             render_table(&["adversary", "rank-2 success", "rank-3 success"], &rows)
         );
+        trace_experiment(&mut obs, "E11", rows.len());
     }
 
     if wanted(&selected, "E12") {
@@ -362,6 +404,7 @@ fn main() {
             render_table(&["n", "honest LOCAL rounds", "loop-based estimate"], &rows)
         );
         println!("(honest = measured on the simulator, incl. doubling-trick retries)\n");
+        trace_experiment(&mut obs, "E12", rows.len());
     }
 
     if wanted(&selected, "E13") {
@@ -394,6 +437,7 @@ fn main() {
             )
         );
         println!("(rings, d = 2, real distance-2 palette C = 5: the sharp guarantee\n covers k >= 3 while the generic conditional-expectation bound needs k >= 16)\n");
+        trace_experiment(&mut obs, "E13", rows.len());
     }
 
     if wanted(&selected, "E14") {
@@ -451,6 +495,83 @@ fn main() {
             )
         );
         println!("(outputs asserted bit-identical between engines before timing is reported)\n");
+        trace_experiment(&mut obs, "E14", rows.len());
+    }
+
+    if wanted(&selected, "E15") {
+        println!("== E15: flight-recorder overhead (null vs counter vs jsonl) ==");
+        let data = ex::e15_recorder_overhead(&[1 << 14, 1 << 16]);
+        write_csv(
+            "e15_recorder_overhead.csv",
+            "n,recorder,millis,overhead,events,bytes",
+            &data
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{},{},{:.2},{:.4},{},{}",
+                        r.n, r.recorder, r.millis, r.overhead, r.events, r.bytes
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        let rows: Vec<Vec<String>> = data
+            .into_iter()
+            .map(|r| {
+                vec![
+                    r.n.to_string(),
+                    r.recorder,
+                    format!("{:.1}", r.millis),
+                    format!("{:.2}x", r.overhead),
+                    r.events.to_string(),
+                    r.bytes.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "n",
+                    "recorder",
+                    "millis",
+                    "overhead",
+                    "events",
+                    "jsonl bytes"
+                ],
+                &rows
+            )
+        );
+        println!("(\"null\" is the exact code path the unrecorded entry points compile to —\n its overhead column doubles as the measurement-noise floor)\n");
+        trace_experiment(&mut obs, "E15", rows.len());
+    }
+
+    if selected.contains("TRACE") {
+        println!("== TRACE: recorded schedule-coloring workload (ring n = {TRACE_N}) ==");
+        if let Some(rec) = obs.as_mut() {
+            rec.record(&Event::ExperimentStart {
+                id: "TRACE".to_owned(),
+            });
+            let (lin, red) = ex::record_trace_workload(TRACE_N, threads, rec);
+            rec.record(&Event::ExperimentEnd {
+                id: "TRACE".to_owned(),
+                rows: 0,
+            });
+            println!(
+                "linial: {} rounds, {} messages; reduce: {} rounds, {} messages\n",
+                lin.rounds, lin.messages, red.rounds, red.messages
+            );
+        } else {
+            let mut counter = lll_obs::CounterRecorder::new();
+            let (lin, red) = ex::record_trace_workload(TRACE_N, threads, &mut counter);
+            println!(
+                "linial: {} rounds, {} messages; reduce: {} rounds, {} messages",
+                lin.rounds, lin.messages, red.rounds, red.messages
+            );
+            println!(
+                "(recorded {} events; pass --obs <file.jsonl> to keep the stream)\n",
+                counter.events
+            );
+        }
     }
 
     if wanted(&selected, "A1") {
@@ -470,6 +591,7 @@ fn main() {
             "{}",
             render_table(&["rule", "p*2^d", "success", "µs/instance"], &rows)
         );
+        trace_experiment(&mut obs, "A1", rows.len());
     }
 
     if wanted(&selected, "A2") {
@@ -488,6 +610,36 @@ fn main() {
             "{}",
             render_table(&["backend", "success (+P* audit)", "µs/run"], &rows)
         );
+        trace_experiment(&mut obs, "A2", rows.len());
+    }
+
+    if let Some(rec) = obs {
+        let lines = rec.lines();
+        let writer = rec.finish().expect("flush obs stream");
+        writer
+            .into_inner()
+            .unwrap_or_else(|e| panic!("flush obs stream: {e}"));
+        let path = obs_path.expect("obs implies a path");
+        println!("(wrote {} obs lines to {})", lines, path.display());
+    }
+}
+
+/// Records one experiment's bracket (`experiment_start`, one
+/// `experiment_row` per table row, `experiment_end`) into the `--obs`
+/// stream, if one is open.
+fn trace_experiment<W: std::io::Write>(obs: &mut Option<JsonlRecorder<W>>, id: &str, rows: usize) {
+    if let Some(rec) = obs.as_mut() {
+        rec.record(&Event::ExperimentStart { id: id.to_owned() });
+        for index in 0..rows {
+            rec.record(&Event::ExperimentRow {
+                id: id.to_owned(),
+                index,
+            });
+        }
+        rec.record(&Event::ExperimentEnd {
+            id: id.to_owned(),
+            rows,
+        });
     }
 }
 

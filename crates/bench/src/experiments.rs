@@ -769,21 +769,6 @@ pub fn e14_parallel_speedup(sizes: &[usize], thread_counts: &[usize]) -> Vec<Spe
     use lll_coloring::vertex_coloring;
     use lll_local::Simulator;
 
-    /// Runs `f` `k` times; returns its (deterministic) result and the
-    /// minimum wall-clock milliseconds observed — the usual guard
-    /// against one-off scheduling noise.
-    fn best_of<R>(k: usize, mut f: impl FnMut() -> R) -> (R, f64) {
-        let mut best = f64::INFINITY;
-        let mut out = None;
-        for _ in 0..k {
-            let t = Instant::now();
-            let r = f();
-            best = best.min(t.elapsed().as_secs_f64() * 1e3);
-            out = Some(r);
-        }
-        (out.expect("k >= 1"), best)
-    }
-
     let mut rows = Vec::new();
     for &n in sizes {
         let g = ring(n);
@@ -879,6 +864,127 @@ pub fn e14_parallel_speedup(sizes: &[usize], thread_counts: &[usize]) -> Vec<Spe
                 driver_seq_millis,
                 driver_par_millis,
                 driver_speedup: driver_seq_millis / driver_par_millis,
+            });
+        }
+    }
+    rows
+}
+
+/// Runs `f` `k` times; returns its (deterministic) result and the
+/// minimum wall-clock milliseconds observed — the usual guard against
+/// one-off scheduling noise.
+fn best_of<R>(k: usize, mut f: impl FnMut() -> R) -> (R, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..k {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        out = Some(r);
+    }
+    (out.expect("k >= 1"), best)
+}
+
+/// Runs the traced schedule-coloring workload — the LOCAL portion of the
+/// E14 rank-2 driver (Linial color reduction, then the greedy class
+/// reduction, on the line graph of a ring-based rank-2 instance) —
+/// through the given flight recorder, and returns the two outcomes
+/// (Linial, Reduce).
+///
+/// `threads == 1` uses `Simulator::run_recorded`; larger counts use the
+/// parallel engine, whose merged event stream is byte-identical to the
+/// sequential one (the obs differential test pins this).
+pub fn record_trace_workload<R: lll_obs::Recorder>(
+    n: usize,
+    threads: usize,
+    rec: &mut R,
+) -> (lll_local::RunOutcome<u64>, lll_local::RunOutcome<u64>) {
+    use lll_local::Simulator;
+
+    let g = ring(n);
+    let inst = random_rank2_instance(&g, 8, 0.9, 7);
+    let dep = inst.dependency_graph();
+    let budget = 10_000 + 4 * dep.num_nodes();
+    let lg = dep.line_graph();
+    let lsim = Simulator::new(&lg);
+    let delta = lg.max_degree() as u64;
+    let schedule = lll_coloring::linial_schedule(lg.num_nodes() as u64, delta);
+    let fixed = schedule
+        .last()
+        .map_or(lg.num_nodes() as u64, |&(_, q)| q * q);
+    let template = lll_coloring::LinialProgram::new(schedule);
+    let lin = if threads <= 1 {
+        lsim.run_recorded(|_| template.clone(), budget, rec)
+    } else {
+        lsim.run_parallel_recorded(threads, |_| template.clone(), budget, rec)
+    }
+    .expect("converges");
+    let mk_reduce = |ctx: &lll_local::NodeContext| {
+        lll_coloring::ReduceProgram::new(lin.outputs[ctx.id as usize], fixed, delta + 1)
+    };
+    let red = if threads <= 1 {
+        lsim.run_recorded(mk_reduce, budget, rec)
+    } else {
+        lsim.run_parallel_recorded(threads, mk_reduce, budget, rec)
+    }
+    .expect("converges");
+    (lin, red)
+}
+
+/// E15 — flight-recorder overhead: one workload, three recorder flavors.
+#[derive(Debug, Clone)]
+pub struct RecorderOverheadRow {
+    /// Ring size (events of the generated instance).
+    pub n: usize,
+    /// Recorder flavor: `"null"`, `"counter"` or `"jsonl"`.
+    pub recorder: String,
+    /// Best-of-three wall-clock milliseconds of the traced portion.
+    pub millis: f64,
+    /// `millis` relative to the `"null"` row of the same `n`.
+    pub overhead: f64,
+    /// Events recorded in one pass (0 for `"null"`).
+    pub events: usize,
+    /// JSONL bytes written per pass (0 except for `"jsonl"`).
+    pub bytes: usize,
+}
+
+/// Runs experiment E15: times [`record_trace_workload`] under
+/// [`NullRecorder`](lll_obs::NullRecorder) (which is exactly the code
+/// path the unrecorded entry points delegate to — its "overhead" row is
+/// the measurement-noise floor), [`CounterRecorder`](lll_obs::CounterRecorder)
+/// and an in-memory [`JsonlRecorder`](lll_obs::JsonlRecorder).
+pub fn e15_recorder_overhead(sizes: &[usize]) -> Vec<RecorderOverheadRow> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        // Warm-up pass so the first timed flavor doesn't pay cold caches.
+        record_trace_workload(n, 1, &mut lll_obs::NullRecorder);
+        let (_, null_millis) = best_of(3, || {
+            record_trace_workload(n, 1, &mut lll_obs::NullRecorder);
+        });
+        let (counter_events, counter_millis) = best_of(3, || {
+            let mut rec = lll_obs::CounterRecorder::new();
+            record_trace_workload(n, 1, &mut rec);
+            rec.events
+        });
+        let ((jsonl_events, jsonl_bytes), jsonl_millis) = best_of(3, || {
+            let mut rec = lll_obs::JsonlRecorder::new(Vec::with_capacity(1 << 20));
+            record_trace_workload(n, 1, &mut rec);
+            let lines = rec.lines();
+            let buf = rec.finish().expect("in-memory writer never fails");
+            (lines, buf.len())
+        });
+        for (recorder, millis, events, bytes) in [
+            ("null", null_millis, 0, 0),
+            ("counter", counter_millis, counter_events, 0),
+            ("jsonl", jsonl_millis, jsonl_events, jsonl_bytes),
+        ] {
+            rows.push(RecorderOverheadRow {
+                n,
+                recorder: recorder.to_owned(),
+                millis,
+                overhead: millis / null_millis,
+                events,
+                bytes,
             });
         }
     }
@@ -1039,5 +1145,30 @@ mod tests {
         for row in rows {
             assert!(row.honest_rounds > 2 * 8, "{row:?}");
         }
+    }
+
+    #[test]
+    fn e15_recorders_agree_on_the_workload() {
+        let rows = e15_recorder_overhead(&[128]);
+        assert_eq!(rows.len(), 3);
+        let null = rows.iter().find(|r| r.recorder == "null").unwrap();
+        let counter = rows.iter().find(|r| r.recorder == "counter").unwrap();
+        let jsonl = rows.iter().find(|r| r.recorder == "jsonl").unwrap();
+        // Every recorder flavor sees the same deterministic event stream.
+        assert_eq!(counter.events, jsonl.events);
+        assert!(counter.events > 0);
+        assert!(jsonl.bytes > 0);
+        assert_eq!(null.events, 0);
+        assert!((null.overhead - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_workload_counts_match_outcomes() {
+        let mut rec = lll_obs::CounterRecorder::new();
+        let (lin, red) = record_trace_workload(96, 1, &mut rec);
+        assert_eq!(rec.sim_runs, 2);
+        assert_eq!(rec.rounds, lin.rounds + red.rounds);
+        assert_eq!(rec.messages, lin.messages + red.messages);
+        assert_eq!(lin.messages_per_round().iter().sum::<usize>(), lin.messages);
     }
 }

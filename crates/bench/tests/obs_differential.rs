@@ -1,0 +1,76 @@
+//! Differential tests for the flight recorder.
+//!
+//! The determinism contract (DESIGN.md §3.7) promises that the event
+//! stream after the meta line is a pure function of the workload: the
+//! parallel engine must produce the byte-identical JSONL at every
+//! thread count, and recording must never perturb what is computed —
+//! the `NullRecorder` path is the exact code the unrecorded entry
+//! points compile to, and every other recorder only observes.
+
+use lll_bench::experiments::record_trace_workload;
+use lll_local::RunOutcome;
+use lll_obs::schema::validate_stream;
+use lll_obs::{CounterRecorder, JsonlRecorder, NullRecorder};
+
+const N: usize = 192;
+
+fn jsonl_at(threads: usize) -> Vec<u8> {
+    let mut rec = JsonlRecorder::new(Vec::new());
+    record_trace_workload(N, threads, &mut rec);
+    rec.finish().expect("in-memory stream never fails")
+}
+
+fn outcome_fields(o: &RunOutcome<u64>) -> (Vec<u64>, usize, usize, Vec<usize>) {
+    (
+        o.outputs.clone(),
+        o.rounds,
+        o.messages,
+        o.messages_per_round().to_vec(),
+    )
+}
+
+#[test]
+fn event_stream_is_byte_identical_across_thread_counts() {
+    let sequential = jsonl_at(1);
+    for threads in [2, 8] {
+        assert_eq!(
+            jsonl_at(threads),
+            sequential,
+            "parallel stream diverged at {threads} threads"
+        );
+    }
+    let text = String::from_utf8(sequential).expect("stream is utf-8");
+    validate_stream(&text).expect("stream passes schema validation");
+}
+
+#[test]
+fn null_recorder_is_a_no_op_on_outcomes() {
+    let mut null = NullRecorder;
+    let (nl, nr) = record_trace_workload(N, 1, &mut null);
+    let mut counter = CounterRecorder::new();
+    let (cl, cr) = record_trace_workload(N, 1, &mut counter);
+    let mut jsonl = JsonlRecorder::new(Vec::new());
+    let (jl, jr) = record_trace_workload(N, 1, &mut jsonl);
+
+    assert_eq!(outcome_fields(&nl), outcome_fields(&cl));
+    assert_eq!(outcome_fields(&nr), outcome_fields(&cr));
+    assert_eq!(outcome_fields(&nl), outcome_fields(&jl));
+    assert_eq!(outcome_fields(&nr), outcome_fields(&jr));
+}
+
+#[test]
+fn messages_per_round_is_pinned_to_the_recorded_deliveries() {
+    let mut counter = CounterRecorder::new();
+    let (lin, red) = record_trace_workload(N, 1, &mut counter);
+
+    let mut expected = lin.messages_per_round().to_vec();
+    expected.extend_from_slice(red.messages_per_round());
+    assert_eq!(counter.deliveries_per_round, expected);
+    assert_eq!(
+        counter.messages,
+        lin.messages + red.messages,
+        "round_end deliveries must sum to the billed message totals"
+    );
+    assert_eq!(counter.sim_runs, 2);
+    assert_eq!(counter.rounds, lin.rounds + red.rounds);
+}

@@ -29,7 +29,7 @@ use lll_numeric::Num;
 
 use crate::error::FixerError;
 use crate::instance::{Instance, PartialAssignment};
-use crate::FixReport;
+use crate::{FixReport, FixStepRecord};
 
 /// Result of the criterion analysis for the conditional-expectation
 /// fixer.
@@ -75,6 +75,7 @@ pub fn fg_criterion<T: Num>(inst: &Instance<T>, classes: usize) -> FgCriterion {
 pub struct FgFixer<'i, T> {
     inst: &'i Instance<T>,
     partial: PartialAssignment,
+    steps: Vec<FixStepRecord>,
 }
 
 impl<'i, T: Num> FgFixer<'i, T> {
@@ -101,6 +102,7 @@ impl<'i, T: Num> FgFixer<'i, T> {
         FgFixer {
             inst,
             partial: PartialAssignment::new(inst.num_variables()),
+            steps: Vec::new(),
         }
     }
 
@@ -143,6 +145,10 @@ impl<'i, T: Num> FgFixer<'i, T> {
                 .expect("k >= 1")
                 .1;
             self.partial.fix(x, best);
+            self.steps.push(FixStepRecord {
+                variable: x,
+                value: best,
+            });
         }
     }
 
@@ -173,7 +179,7 @@ impl<'i, T: Num> FgFixer<'i, T> {
             .inst
             .violated_events(&assignment)
             .expect("assignment is complete and in range");
-        FixReport::new(assignment, violated)
+        FixReport::new(assignment, violated, self.steps)
     }
 }
 

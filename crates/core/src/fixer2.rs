@@ -19,11 +19,12 @@
 //! the distributed schedule of Corollary 1.2 correct.
 
 use lll_numeric::Num;
+use lll_obs::{Event, NullRecorder, Recorder};
 
 use crate::error::FixerError;
 use crate::instance::{Instance, PartialAssignment};
 use crate::triples::Phi;
-use crate::FixReport;
+use crate::{FixReport, FixStepRecord};
 
 /// The sequential rank-2 fixing process.
 ///
@@ -52,6 +53,7 @@ pub struct Fixer2<'i, T> {
     inst: &'i Instance<T>,
     partial: PartialAssignment,
     phi: Phi<T>,
+    steps: Vec<FixStepRecord>,
 }
 
 impl<'i, T: Num> Fixer2<'i, T> {
@@ -89,6 +91,7 @@ impl<'i, T: Num> Fixer2<'i, T> {
             inst,
             partial: PartialAssignment::new(inst.num_variables()),
             phi: Phi::ones(inst.dependency_graph()),
+            steps: Vec::new(),
         })
     }
 
@@ -128,6 +131,18 @@ impl<'i, T: Num> Fixer2<'i, T> {
     ///
     /// Panics if `x` is already fixed.
     pub fn fix_variable(&mut self, x: usize) -> usize {
+        self.fix_variable_recorded(x, &mut NullRecorder)
+    }
+
+    /// [`fix_variable`](Fixer2::fix_variable) with a flight recorder:
+    /// emits one [`Event::FixStep`] carrying the increase factors, the
+    /// post-update φ-products and the `P*` pair-sum headroom. With
+    /// [`NullRecorder`] this compiles to exactly the unrecorded path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is already fixed.
+    pub fn fix_variable_recorded<R: Recorder>(&mut self, x: usize, rec: &mut R) -> usize {
         assert!(self.partial.get(x).is_none(), "variable {x} already fixed");
         let var = self.inst.variable(x);
         let k = var.num_values();
@@ -173,7 +188,21 @@ impl<'i, T: Num> Fixer2<'i, T> {
             }
             _ => unreachable!("rank validated at construction"),
         };
+        if R::ENABLED {
+            rec.record(&fix_step_event(
+                self.inst,
+                &self.phi,
+                self.steps.len(),
+                x,
+                choice,
+                |ev| self.inc(ev, x, choice).to_f64(),
+            ));
+        }
         self.partial.fix(x, choice);
+        self.steps.push(FixStepRecord {
+            variable: x,
+            value: choice,
+        });
         choice
     }
 
@@ -183,12 +212,36 @@ impl<'i, T: Num> Fixer2<'i, T> {
     /// # Panics
     ///
     /// Panics if the order re-fixes or misses a variable.
-    pub fn run(mut self, order: impl IntoIterator<Item = usize>) -> FixReport {
+    pub fn run(self, order: impl IntoIterator<Item = usize>) -> FixReport {
+        self.run_recorded(order, &mut NullRecorder)
+    }
+
+    /// [`run`](Fixer2::run) with a flight recorder: brackets the fixing
+    /// steps with [`Event::FixRunStart`]/[`Event::FixRunEnd`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the order re-fixes or misses a variable.
+    pub fn run_recorded<R: Recorder>(
+        mut self,
+        order: impl IntoIterator<Item = usize>,
+        rec: &mut R,
+    ) -> FixReport {
+        if R::ENABLED {
+            rec.record(&fix_run_start_event(self.inst));
+        }
         for x in order {
-            self.fix_variable(x);
+            self.fix_variable_recorded(x, rec);
         }
         assert!(self.partial.is_complete(), "order must cover all variables");
-        self.into_report()
+        let report = self.into_report();
+        if R::ENABLED {
+            rec.record(&Event::FixRunEnd {
+                steps: report.num_steps(),
+                violated: report.violated_events().len(),
+            });
+        }
+        report
     }
 
     /// Runs the process in variable-id order.
@@ -213,11 +266,37 @@ impl<'i, T: Num> Fixer2<'i, T> {
     ///
     /// Panics if the order re-fixes or misses a variable.
     pub fn run_audited(
-        mut self,
+        self,
         order: impl IntoIterator<Item = usize>,
         p_bound: &T,
         tol: &T,
     ) -> Result<FixReport, FixerError> {
+        self.run_audited_recorded(order, p_bound, tol, &mut NullRecorder)
+    }
+
+    /// [`run_audited`](Fixer2::run_audited) with a flight recorder: in
+    /// addition to the run bracket and per-step events, every audit
+    /// outcome is emitted as [`Event::AuditPass`] or
+    /// [`Event::AuditViolation`].
+    ///
+    /// # Errors
+    ///
+    /// [`FixerError::PStarViolated`] at the first step after which the
+    /// invariant no longer holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the order re-fixes or misses a variable.
+    pub fn run_audited_recorded<R: Recorder>(
+        mut self,
+        order: impl IntoIterator<Item = usize>,
+        p_bound: &T,
+        tol: &T,
+        rec: &mut R,
+    ) -> Result<FixReport, FixerError> {
+        if R::ENABLED {
+            rec.record(&fix_run_start_event(self.inst));
+        }
         let mut auditor = crate::audit::IncrementalAuditor::new(
             self.inst,
             &self.partial,
@@ -226,8 +305,11 @@ impl<'i, T: Num> Fixer2<'i, T> {
             tol,
         );
         for (step, x) in order.into_iter().enumerate() {
-            self.fix_variable(x);
+            self.fix_variable_recorded(x, rec);
             let report = auditor.reverify(self.inst, &self.partial, &self.phi, x);
+            if R::ENABLED {
+                rec.record(&audit_event(step, x, &report));
+            }
             if !report.holds() {
                 return Err(FixerError::PStarViolated {
                     step,
@@ -238,7 +320,14 @@ impl<'i, T: Num> Fixer2<'i, T> {
             }
         }
         assert!(self.partial.is_complete(), "order must cover all variables");
-        Ok(self.into_report())
+        let report = self.into_report();
+        if R::ENABLED {
+            rec.record(&Event::FixRunEnd {
+                steps: report.num_steps(),
+                violated: report.violated_events().len(),
+            });
+        }
+        Ok(report)
     }
 
     /// Finalizes into a report (all variables must be fixed).
@@ -252,7 +341,70 @@ impl<'i, T: Num> Fixer2<'i, T> {
             .inst
             .violated_events(&assignment)
             .expect("assignment is complete and in range");
-        FixReport::new(assignment, violated)
+        FixReport::new(assignment, violated, self.steps)
+    }
+}
+
+/// Builds the [`Event::FixRunStart`] payload for an instance.
+pub(crate) fn fix_run_start_event<T: Num>(inst: &Instance<T>) -> Event {
+    Event::FixRunStart {
+        variables: inst.num_variables(),
+        events: inst.num_events(),
+        max_rank: inst.max_rank(),
+    }
+}
+
+/// Builds the [`Event::AuditPass`]/[`Event::AuditViolation`] payload
+/// from an audit report for the given step.
+pub(crate) fn audit_event(step: usize, variable: usize, report: &crate::AuditReport) -> Event {
+    if report.holds() {
+        Event::AuditPass { step, variable }
+    } else {
+        Event::AuditViolation {
+            step,
+            variable,
+            pair_violations: report.pair_violations.clone(),
+            prob_violations: report.prob_violations.clone(),
+        }
+    }
+}
+
+/// Builds the [`Event::FixStep`] payload shared by the rank-2 and rank-3
+/// fixers: `touched` is the affected-event set of `variable`, `inc` comes
+/// from the caller's closure (evaluated against the pre-fix partial),
+/// `phi_product` and `headroom` read the already-updated φ-tables.
+pub(crate) fn fix_step_event<T: Num>(
+    inst: &Instance<T>,
+    phi: &Phi<T>,
+    step: usize,
+    variable: usize,
+    value: usize,
+    mut inc_of: impl FnMut(usize) -> f64,
+) -> Event {
+    let g = inst.dependency_graph();
+    let touched: Vec<usize> = inst.variable(variable).affects().to_vec();
+    let inc: Vec<f64> = touched.iter().map(|&ev| inc_of(ev)).collect();
+    let phi_product: Vec<f64> = touched
+        .iter()
+        .map(|&ev| phi.product_at(g, ev).to_f64())
+        .collect();
+    let mut headroom = Vec::new();
+    for i in 0..touched.len() {
+        for j in (i + 1)..touched.len() {
+            if let Some(eid) = g.edge_id(touched[i], touched[j]) {
+                headroom.push(2.0 - phi.pair_sum(eid).to_f64());
+            }
+        }
+    }
+    Event::FixStep {
+        step,
+        variable,
+        value,
+        rank: touched.len(),
+        touched,
+        inc,
+        phi_product,
+        headroom,
     }
 }
 
@@ -420,6 +572,41 @@ mod tests {
             }
             assert!(fixer.into_report().is_success());
         }
+    }
+
+    #[test]
+    fn recorded_run_matches_report_steps() {
+        let inst = ring_instance(12, 3);
+        let mut rec = lll_obs::CounterRecorder::new();
+        let report = Fixer2::new(&inst)
+            .unwrap()
+            .run_recorded(0..inst.num_variables(), &mut rec);
+        assert_eq!(rec.fix_runs, 1);
+        assert_eq!(rec.fix_steps, report.num_steps());
+        assert_eq!(report.num_steps(), inst.num_variables());
+        for (i, s) in report.steps().iter().enumerate() {
+            assert_eq!(s.variable, i, "default order fixes in variable-id order");
+            assert_eq!(report.assignment()[s.variable], s.value);
+        }
+        // Below the threshold P* holds, so the recorded pair-sum slack
+        // can never go negative.
+        assert!(rec.min_headroom >= 0.0, "{}", rec.min_headroom);
+    }
+
+    #[test]
+    fn recorded_audited_run_emits_a_valid_stream() {
+        let inst = ring_instance(10, 3);
+        let p = inst.max_event_probability();
+        let mut rec = lll_obs::JsonlRecorder::new(Vec::new());
+        let report = Fixer2::new(&inst)
+            .unwrap()
+            .run_audited_recorded(0..inst.num_variables(), &p, &BigRational::zero(), &mut rec)
+            .unwrap();
+        assert!(report.is_success());
+        let text = String::from_utf8(rec.finish().unwrap()).unwrap();
+        let lines = lll_obs::schema::validate_stream(&text).unwrap_or_else(|e| panic!("{e}"));
+        // fix_run_start + (fix_step + audit_pass) per variable + fix_run_end.
+        assert_eq!(lines, 2 + 2 * report.num_steps());
     }
 
     #[test]

@@ -24,11 +24,13 @@
 //! reduction without materialising virtual nodes.
 
 use lll_numeric::Num;
+use lll_obs::{Event, NullRecorder, Recorder};
 
 use crate::error::FixerError;
+use crate::fixer2::{audit_event, fix_run_start_event, fix_step_event};
 use crate::instance::{Instance, PartialAssignment};
 use crate::triples::{decompose, representability_score, Phi};
-use crate::FixReport;
+use crate::{FixReport, FixStepRecord};
 
 /// How the fixer chooses among the values whose triples are
 /// representable (ablation A1; the default is [`ValueRule::BestScore`]).
@@ -56,6 +58,7 @@ pub struct Fixer3<'i, T> {
     phi: Phi<T>,
     rule: ValueRule,
     invariant_intact: bool,
+    steps: Vec<FixStepRecord>,
 }
 
 impl<'i, T: Num> Fixer3<'i, T> {
@@ -94,6 +97,7 @@ impl<'i, T: Num> Fixer3<'i, T> {
             phi: Phi::ones(inst.dependency_graph()),
             rule: ValueRule::default(),
             invariant_intact: true,
+            steps: Vec::new(),
         })
     }
 
@@ -139,6 +143,19 @@ impl<'i, T: Num> Fixer3<'i, T> {
     ///
     /// Panics if `x` is already fixed.
     pub fn fix_variable(&mut self, x: usize) -> usize {
+        self.fix_variable_recorded(x, &mut NullRecorder)
+    }
+
+    /// [`fix_variable`](Fixer3::fix_variable) with a flight recorder:
+    /// emits one [`Event::FixStep`] carrying the increase factors, the
+    /// post-update φ-products and the `P*` pair-sum headroom (3 entries
+    /// at rank 3, one per dependency edge of the hyperedge). With
+    /// [`NullRecorder`] this compiles to exactly the unrecorded path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is already fixed.
+    pub fn fix_variable_recorded<R: Recorder>(&mut self, x: usize, rec: &mut R) -> usize {
         assert!(self.partial.get(x).is_none(), "variable {x} already fixed");
         let var = self.inst.variable(x);
         let k = var.num_values();
@@ -186,7 +203,21 @@ impl<'i, T: Num> Fixer3<'i, T> {
             [u, v, w] => self.fix_rank3(x, u, v, w),
             _ => unreachable!("rank validated at construction"),
         };
+        if R::ENABLED {
+            rec.record(&fix_step_event(
+                self.inst,
+                &self.phi,
+                self.steps.len(),
+                x,
+                choice,
+                |ev| self.inc(ev, x, choice).to_f64(),
+            ));
+        }
         self.partial.fix(x, choice);
+        self.steps.push(FixStepRecord {
+            variable: x,
+            value: choice,
+        });
         choice
     }
 
@@ -280,12 +311,36 @@ impl<'i, T: Num> Fixer3<'i, T> {
     /// # Panics
     ///
     /// Panics if the order re-fixes or misses a variable.
-    pub fn run(mut self, order: impl IntoIterator<Item = usize>) -> FixReport {
+    pub fn run(self, order: impl IntoIterator<Item = usize>) -> FixReport {
+        self.run_recorded(order, &mut NullRecorder)
+    }
+
+    /// [`run`](Fixer3::run) with a flight recorder: brackets the fixing
+    /// steps with [`Event::FixRunStart`]/[`Event::FixRunEnd`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the order re-fixes or misses a variable.
+    pub fn run_recorded<R: Recorder>(
+        mut self,
+        order: impl IntoIterator<Item = usize>,
+        rec: &mut R,
+    ) -> FixReport {
+        if R::ENABLED {
+            rec.record(&fix_run_start_event(self.inst));
+        }
         for x in order {
-            self.fix_variable(x);
+            self.fix_variable_recorded(x, rec);
         }
         assert!(self.partial.is_complete(), "order must cover all variables");
-        self.into_report()
+        let report = self.into_report();
+        if R::ENABLED {
+            rec.record(&Event::FixRunEnd {
+                steps: report.num_steps(),
+                violated: report.violated_events().len(),
+            });
+        }
+        report
     }
 
     /// Runs the process in variable-id order.
@@ -310,11 +365,37 @@ impl<'i, T: Num> Fixer3<'i, T> {
     ///
     /// Panics if the order re-fixes or misses a variable.
     pub fn run_audited(
-        mut self,
+        self,
         order: impl IntoIterator<Item = usize>,
         p_bound: &T,
         tol: &T,
     ) -> Result<FixReport, FixerError> {
+        self.run_audited_recorded(order, p_bound, tol, &mut NullRecorder)
+    }
+
+    /// [`run_audited`](Fixer3::run_audited) with a flight recorder: in
+    /// addition to the run bracket and per-step events, every audit
+    /// outcome is emitted as [`Event::AuditPass`] or
+    /// [`Event::AuditViolation`].
+    ///
+    /// # Errors
+    ///
+    /// [`FixerError::PStarViolated`] at the first step after which the
+    /// invariant no longer holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the order re-fixes or misses a variable.
+    pub fn run_audited_recorded<R: Recorder>(
+        mut self,
+        order: impl IntoIterator<Item = usize>,
+        p_bound: &T,
+        tol: &T,
+        rec: &mut R,
+    ) -> Result<FixReport, FixerError> {
+        if R::ENABLED {
+            rec.record(&fix_run_start_event(self.inst));
+        }
         let mut auditor = crate::audit::IncrementalAuditor::new(
             self.inst,
             &self.partial,
@@ -323,8 +404,11 @@ impl<'i, T: Num> Fixer3<'i, T> {
             tol,
         );
         for (step, x) in order.into_iter().enumerate() {
-            self.fix_variable(x);
+            self.fix_variable_recorded(x, rec);
             let report = auditor.reverify(self.inst, &self.partial, &self.phi, x);
+            if R::ENABLED {
+                rec.record(&audit_event(step, x, &report));
+            }
             if !report.holds() {
                 return Err(FixerError::PStarViolated {
                     step,
@@ -335,7 +419,14 @@ impl<'i, T: Num> Fixer3<'i, T> {
             }
         }
         assert!(self.partial.is_complete(), "order must cover all variables");
-        Ok(self.into_report())
+        let report = self.into_report();
+        if R::ENABLED {
+            rec.record(&Event::FixRunEnd {
+                steps: report.num_steps(),
+                violated: report.violated_events().len(),
+            });
+        }
+        Ok(report)
     }
 
     /// Finalizes into a report (all variables must be fixed).
@@ -349,7 +440,7 @@ impl<'i, T: Num> Fixer3<'i, T> {
             .inst
             .violated_events(&assignment)
             .expect("assignment is complete and in range");
-        FixReport::new(assignment, violated)
+        FixReport::new(assignment, violated, self.steps)
     }
 }
 
@@ -522,6 +613,29 @@ mod tests {
         ));
         let report = Fixer3::new_unchecked(&inst).unwrap().run_default();
         assert_eq!(report.assignment().len(), 8);
+    }
+
+    #[test]
+    fn recorded_rank3_steps_carry_three_headroom_entries() {
+        let inst = hyper_ring_instance::<BigRational>(12, 3);
+        let mut rec = lll_obs::JsonlRecorder::new(Vec::new());
+        let report = Fixer3::new(&inst)
+            .unwrap()
+            .run_recorded(0..inst.num_variables(), &mut rec);
+        assert!(report.is_success());
+        let text = String::from_utf8(rec.finish().unwrap()).unwrap();
+        lll_obs::schema::validate_stream(&text).unwrap_or_else(|e| panic!("{e}"));
+        // Every variable is rank 3 here: 3 touched events, 3 pair edges.
+        for line in text.lines().filter(|l| l.contains("\"fix_step\"")) {
+            assert!(line.contains("\"rank\":3"), "{line}");
+        }
+        let mut counter = lll_obs::CounterRecorder::new();
+        let report2 = Fixer3::new(&inst)
+            .unwrap()
+            .run_recorded(0..inst.num_variables(), &mut counter);
+        assert_eq!(report2.steps(), report.steps());
+        assert_eq!(counter.fix_steps, report.num_steps());
+        assert!(counter.min_headroom >= 0.0, "{}", counter.min_headroom);
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub mod dist;
 pub mod orders;
 pub mod triples;
 
-pub use audit::{audit_p_star, AuditReport, IncrementalAuditor};
+pub use audit::{audit_p_star, audit_p_star_recorded, AuditReport, IncrementalAuditor};
 pub use error::{BuildError, FixerError};
 pub use fg::{fg_criterion, FgCriterion, FgFixer};
 pub use fixer2::Fixer2;
@@ -184,6 +184,18 @@ mod solve_tests {
     }
 }
 
+/// One fixing step of a completed run: which variable was fixed, to
+/// what value, in what order. The trajectory is recorded by every fixer
+/// with or without a flight recorder attached, so callers can inspect
+/// it directly from the [`FixReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixStepRecord {
+    /// The variable fixed at this step.
+    pub variable: usize,
+    /// The value it was fixed to.
+    pub value: usize,
+}
+
 /// Result of running a fixer to completion.
 ///
 /// A fixer below the threshold always succeeds (the paper's theorems);
@@ -195,13 +207,19 @@ mod solve_tests {
 pub struct FixReport {
     assignment: Vec<usize>,
     violated_events: Vec<usize>,
+    steps: Vec<FixStepRecord>,
 }
 
 impl FixReport {
-    pub(crate) fn new(assignment: Vec<usize>, violated_events: Vec<usize>) -> FixReport {
+    pub(crate) fn new(
+        assignment: Vec<usize>,
+        violated_events: Vec<usize>,
+        steps: Vec<FixStepRecord>,
+    ) -> FixReport {
         FixReport {
             assignment,
             violated_events,
+            steps,
         }
     }
 
@@ -214,6 +232,18 @@ impl FixReport {
     /// threshold, by Theorems 1.1/1.3).
     pub fn violated_events(&self) -> &[usize] {
         &self.violated_events
+    }
+
+    /// The fixing trajectory: step `i` records the variable fixed `i`-th
+    /// and its chosen value. Matches the `fix_step` events of a recorded
+    /// stream one-to-one.
+    pub fn steps(&self) -> &[FixStepRecord] {
+        &self.steps
+    }
+
+    /// Number of fixing steps performed.
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
     }
 
     /// `true` iff no bad event occurs.

@@ -72,6 +72,7 @@ pub mod parallel;
 use std::fmt;
 
 use lll_graphs::Graph;
+use lll_obs::{Event, NullRecorder, Recorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -256,6 +257,22 @@ pub struct RunOutcome<O> {
     /// message per edge direction per round; this counts the ones
     /// actually sent, a finer cost signal than rounds alone).
     pub messages: usize,
+    /// Messages delivered in each billed round, in round order
+    /// (`round_messages.len() == rounds` and the entries sum to
+    /// `messages`). Maintained by both engines with or without a
+    /// recorder attached.
+    pub round_messages: Vec<usize>,
+}
+
+impl<O> RunOutcome<O> {
+    /// The per-round message-bill trajectory: entry `r` is the number of
+    /// messages delivered in billed round `r + 1`. Matches the
+    /// `delivered` fields of a recorded stream's `round_end` events
+    /// (after dropping the free terminal decide-only round, exactly as
+    /// [`RunOutcome::rounds`] does).
+    pub fn messages_per_round(&self) -> &[usize] {
+        &self.round_messages
+    }
 }
 
 /// The synchronous-round simulator.
@@ -367,14 +384,36 @@ impl<'g> Simulator<'g> {
     /// Returns [`SimError::RoundLimitExceeded`] if some node is still
     /// running after `max_rounds` communication rounds, and
     /// [`SimError::BadOutboxLength`] if a program misbehaves.
-    pub fn run<P, F>(
+    pub fn run<P, F>(&self, make: F, max_rounds: usize) -> Result<RunOutcome<P::Output>, SimError>
+    where
+        P: NodeProgram,
+        F: FnMut(&NodeContext) -> P,
+    {
+        self.run_recorded(make, max_rounds, &mut NullRecorder)
+    }
+
+    /// [`Simulator::run`] with a flight recorder attached (see the
+    /// `lll-obs` crate). Events carry only logical indices — round
+    /// number, node id — so the recorded stream is a pure function of
+    /// the run's inputs and is byte-identical to the stream
+    /// [`Simulator::run_parallel_recorded`] produces at any thread
+    /// count. With [`NullRecorder`] this *is* `run`: the instrumentation
+    /// is guarded by the `Recorder::ENABLED` associated constant and
+    /// compiles away.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::run`].
+    pub fn run_recorded<P, F, R>(
         &self,
         mut make: F,
         max_rounds: usize,
+        rec: &mut R,
     ) -> Result<RunOutcome<P::Output>, SimError>
     where
         P: NodeProgram,
         F: FnMut(&NodeContext) -> P,
+        R: Recorder,
     {
         let g = self.graph;
         let n = g.num_nodes();
@@ -395,6 +434,15 @@ impl<'g> Simulator<'g> {
         let mut programs: Vec<P> = (0..n).map(|v| make(&ctxs[v])).collect();
         let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
 
+        if R::ENABLED {
+            rec.record(&Event::SimRunStart {
+                nodes: n,
+                edges: g.num_edges(),
+                max_degree: g.max_degree(),
+                seed: self.seed,
+            });
+        }
+
         // Current outbound messages, per node, per port.
         let mut outboxes: Vec<Vec<Option<P::Message>>> = Vec::with_capacity(n);
         for v in 0..n {
@@ -411,12 +459,19 @@ impl<'g> Simulator<'g> {
 
         let mut rounds = 0usize;
         let mut messages = 0usize;
+        let mut round_messages = Vec::new();
         let mut running = n;
         while running > 0 {
             if rounds >= max_rounds {
                 return Err(SimError::RoundLimitExceeded { limit: max_rounds });
             }
             rounds += 1;
+            if R::ENABLED {
+                rec.record(&Event::RoundStart {
+                    round: rounds,
+                    running,
+                });
+            }
             // Deliver: the message neighbor u sent to v arrives on v's
             // port towards u.
             let mut delivered = 0usize;
@@ -436,6 +491,8 @@ impl<'g> Simulator<'g> {
                 }
             }
             messages += delivered;
+            round_messages.push(delivered);
+            let mut halted = 0usize;
             for v in 0..n {
                 if outputs[v].is_some() {
                     continue;
@@ -455,15 +512,35 @@ impl<'g> Simulator<'g> {
                         outputs[v] = Some(o);
                         outboxes[v] = vec![None; g.degree(v)];
                         running -= 1;
+                        halted += 1;
+                        if R::ENABLED {
+                            rec.record(&Event::NodeHalt {
+                                round: rounds,
+                                node: v,
+                            });
+                        }
                     }
                 }
+            }
+            if R::ENABLED {
+                rec.record(&Event::RoundEnd {
+                    round: rounds,
+                    delivered,
+                    bytes: delivered * std::mem::size_of::<P::Message>(),
+                    halted,
+                    running,
+                });
             }
             if running == 0 && delivered == 0 {
                 // The terminal round carried no information — every
                 // remaining node halted on what it already knew, which is
                 // free local computation in the LOCAL model (crate docs).
                 rounds -= 1;
+                round_messages.pop();
             }
+        }
+        if R::ENABLED {
+            rec.record(&Event::SimRunEnd { rounds, messages });
         }
         Ok(RunOutcome {
             outputs: outputs
@@ -472,6 +549,7 @@ impl<'g> Simulator<'g> {
                 .collect(),
             rounds,
             messages,
+            round_messages,
         })
     }
 
@@ -495,10 +573,33 @@ impl<'g> Simulator<'g> {
         P::Output: Send,
         F: FnMut(&NodeContext) -> P,
     {
+        self.run_auto_recorded(make, max_rounds, &mut NullRecorder)
+    }
+
+    /// [`Simulator::run_auto`] with a flight recorder attached. The
+    /// recorded stream does not depend on which engine the `threads`
+    /// knob selects (see [`Simulator::run_recorded`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::run`].
+    pub fn run_auto_recorded<P, F, R>(
+        &self,
+        make: F,
+        max_rounds: usize,
+        rec: &mut R,
+    ) -> Result<RunOutcome<P::Output>, SimError>
+    where
+        P: NodeProgram + Send,
+        P::Message: Send + Sync,
+        P::Output: Send,
+        F: FnMut(&NodeContext) -> P,
+        R: Recorder,
+    {
         if self.threads <= 1 {
-            self.run(make, max_rounds)
+            self.run_recorded(make, max_rounds, rec)
         } else {
-            self.run_parallel(self.threads, make, max_rounds)
+            self.run_parallel_recorded(self.threads, make, max_rounds, rec)
         }
     }
 }

@@ -41,6 +41,7 @@
 use std::thread;
 
 use lll_graphs::Graph;
+use lll_obs::{Event, NullRecorder, Recorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -83,6 +84,11 @@ struct Shard<'a, P: NodeProgram> {
     write: &'a mut [Option<P::Message>],
     /// Reusable inbox buffer (cleared per node).
     scratch: &'a mut Vec<Option<P::Message>>,
+    /// Nodes that halted this round, in ascending order. Only filled
+    /// when a recorder is enabled; the main thread drains the buffers in
+    /// static shard order after the phase barrier, which reproduces the
+    /// sequential engine's ascending-node halt emission exactly.
+    halts: &'a mut Vec<usize>,
 }
 
 /// Node boundaries `b_0 = 0 ≤ … ≤ b_t = n` cutting the CSR slot space
@@ -146,7 +152,7 @@ fn min_node_error(a: SimError, b: SimError) -> SimError {
 /// `init` and lays the outboxes into the write slab; a round phase
 /// gathers each node's inbox from the read slab via the twin table and
 /// calls `round`.
-fn work_shard<P: NodeProgram>(
+fn work_shard<P: NodeProgram, R: Recorder>(
     g: &Graph,
     twin: &[usize],
     read: Option<&[Option<P::Message>]>,
@@ -212,6 +218,9 @@ fn work_shard<P: NodeProgram>(
                         }
                         shard.states[i] = NodeState::Draining;
                         stats.halted += 1;
+                        if R::ENABLED {
+                            shard.halts.push(v);
+                        }
                     }
                     StepResult::BadOutboxLength(got) => {
                         return Err(SimError::BadOutboxLength {
@@ -232,7 +241,7 @@ fn work_shard<P: NodeProgram>(
 /// non-empty shard (the first runs on the calling thread), joins, and
 /// reduces the tallies deterministically.
 #[allow(clippy::too_many_arguments)]
-fn execute_phase<P>(
+fn execute_phase<P, R>(
     g: &Graph,
     twin: &[usize],
     workers: usize,
@@ -245,11 +254,13 @@ fn execute_phase<P>(
     read: Option<&[Option<P::Message>]>,
     write: &mut [Option<P::Message>],
     scratches: &mut [Vec<Option<P::Message>>],
+    halt_bufs: &mut [Vec<usize>],
 ) -> Result<RoundStats, SimError>
 where
     P: NodeProgram + Send,
     P::Message: Send + Sync,
     P::Output: Send,
+    R: Recorder,
 {
     let prog_chunks = split_mut(programs, bounds);
     let ctx_chunks = split_mut(ctxs, bounds);
@@ -263,9 +274,10 @@ where
         .zip(state_chunks)
         .zip(write_chunks)
         .zip(scratches.iter_mut())
+        .zip(halt_bufs.iter_mut())
         .enumerate()
         .map(
-            |(i, (((((programs, ctxs), outputs), states), write), scratch))| Shard {
+            |(i, ((((((programs, ctxs), outputs), states), write), scratch), halts))| Shard {
                 first_node: bounds[i],
                 first_slot: slot_cuts[i],
                 programs,
@@ -274,6 +286,7 @@ where
                 states,
                 write,
                 scratch,
+                halts,
             },
         )
         .collect();
@@ -288,7 +301,7 @@ where
     let workers = workers.min(shards.len());
     let run_band = |band: &mut [Shard<'_, P>]| -> Vec<Result<RoundStats, SimError>> {
         band.iter_mut()
-            .map(|shard| work_shard(g, twin, read, shard))
+            .map(|shard| work_shard::<P, R>(g, twin, read, shard))
             .collect()
     };
     let results: Vec<Result<RoundStats, SimError>> = if workers <= 1 {
@@ -348,7 +361,7 @@ impl<'g> Simulator<'g> {
     pub fn run_parallel<P, F>(
         &self,
         threads: usize,
-        mut make: F,
+        make: F,
         max_rounds: usize,
     ) -> Result<RunOutcome<P::Output>, SimError>
     where
@@ -356,6 +369,36 @@ impl<'g> Simulator<'g> {
         P::Message: Send + Sync,
         P::Output: Send,
         F: FnMut(&NodeContext) -> P,
+    {
+        self.run_parallel_recorded(threads, make, max_rounds, &mut NullRecorder)
+    }
+
+    /// [`Simulator::run_parallel`] with a flight recorder attached.
+    ///
+    /// The recorded stream is **byte-identical to the one
+    /// [`Simulator::run_recorded`] emits**, for every `threads` value:
+    /// workers buffer their halt transitions per shard and the main
+    /// thread merges the buffers in static shard order after each phase
+    /// barrier, which is ascending node order — exactly the order the
+    /// sequential engine emits them in. The recorder itself never
+    /// crosses a thread boundary.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::run`].
+    pub fn run_parallel_recorded<P, F, R>(
+        &self,
+        threads: usize,
+        mut make: F,
+        max_rounds: usize,
+        rec: &mut R,
+    ) -> Result<RunOutcome<P::Output>, SimError>
+    where
+        P: NodeProgram + Send,
+        P::Message: Send + Sync,
+        P::Output: Send,
+        F: FnMut(&NodeContext) -> P,
+        R: Recorder,
     {
         let g = self.graph();
         let n = g.num_nodes();
@@ -378,12 +421,23 @@ impl<'g> Simulator<'g> {
         let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
         let mut states = vec![NodeState::Running; n];
 
+        if R::ENABLED {
+            rec.record(&Event::SimRunStart {
+                nodes: n,
+                edges: g.num_edges(),
+                max_degree: g.max_degree(),
+                seed: self.seed,
+            });
+        }
+
         let offsets = g.port_offsets();
         let twin = g.twin_ports();
         let bounds = shard_bounds(offsets, threads);
         let slot_cuts: Vec<usize> = bounds.iter().map(|&v| offsets[v]).collect();
         let mut scratches: Vec<Vec<Option<P::Message>>> =
             (0..threads).map(|_| Vec::new()).collect();
+        // Per-shard halt-event buffers (stay empty unless recording).
+        let mut halt_bufs: Vec<Vec<usize>> = (0..threads).map(|_| Vec::new()).collect();
         // Queried once per run, not per round — the OS worker budget
         // cannot change the outcome (see `execute_phase`).
         let workers = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
@@ -394,7 +448,7 @@ impl<'g> Simulator<'g> {
         let mut write_slab: Vec<Option<P::Message>> = vec![None; g.num_ports()];
 
         // Init phase: outboxes land in the slab read by round 1.
-        let init = execute_phase(
+        let init = execute_phase::<P, R>(
             g,
             &twin,
             workers,
@@ -407,10 +461,12 @@ impl<'g> Simulator<'g> {
             None,
             &mut read_slab,
             &mut scratches,
+            &mut halt_bufs,
         )?;
 
         let mut rounds = 0usize;
         let mut messages = 0usize;
+        let mut round_messages = Vec::new();
         let mut running = n;
         // Messages sitting in `read_slab`: sent last phase = delivered
         // this round, which keeps the tally equal to the sequential
@@ -421,9 +477,16 @@ impl<'g> Simulator<'g> {
                 return Err(SimError::RoundLimitExceeded { limit: max_rounds });
             }
             rounds += 1;
+            if R::ENABLED {
+                rec.record(&Event::RoundStart {
+                    round: rounds,
+                    running,
+                });
+            }
             let delivered = inflight;
             messages += delivered;
-            let stats = execute_phase(
+            round_messages.push(delivered);
+            let stats = execute_phase::<P, R>(
                 g,
                 &twin,
                 workers,
@@ -436,15 +499,42 @@ impl<'g> Simulator<'g> {
                 Some(&read_slab),
                 &mut write_slab,
                 &mut scratches,
+                &mut halt_bufs,
             )?;
             running -= stats.halted;
+            if R::ENABLED {
+                // Merge the per-shard halt buffers in static shard order:
+                // shards cover ascending contiguous node ranges and each
+                // buffer is filled in ascending node order, so this is the
+                // sequential engine's emission order.
+                for buf in &mut halt_bufs {
+                    for &node in buf.iter() {
+                        rec.record(&Event::NodeHalt {
+                            round: rounds,
+                            node,
+                        });
+                    }
+                    buf.clear();
+                }
+                rec.record(&Event::RoundEnd {
+                    round: rounds,
+                    delivered,
+                    bytes: delivered * std::mem::size_of::<P::Message>(),
+                    halted: stats.halted,
+                    running,
+                });
+            }
             inflight = stats.sent;
             if running == 0 && delivered == 0 {
                 // Terminal decide-only round: free, as in the sequential
                 // engine (crate docs on round accounting).
                 rounds -= 1;
+                round_messages.pop();
             }
             std::mem::swap(&mut read_slab, &mut write_slab);
+        }
+        if R::ENABLED {
+            rec.record(&Event::SimRunEnd { rounds, messages });
         }
         Ok(RunOutcome {
             outputs: outputs
@@ -453,6 +543,7 @@ impl<'g> Simulator<'g> {
                 .collect(),
             rounds,
             messages,
+            round_messages,
         })
     }
 }

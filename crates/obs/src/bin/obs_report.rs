@@ -1,0 +1,67 @@
+//! `obs-report` — fold recorded JSONL streams into a summary table.
+//!
+//! Usage: `obs-report [--validate] <file.jsonl>...`
+//!
+//! With `--validate`, every line is checked against the event schema (field
+//! presence/kinds plus monotone round/step indices) and the process exits
+//! nonzero on the first violation — this is what CI runs on traced workloads.
+
+use lll_obs::report::Summary;
+use lll_obs::schema::validate_stream;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut validate = false;
+    let mut paths = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--validate" => validate = true,
+            "--help" | "-h" => {
+                println!("usage: obs-report [--validate] <file.jsonl>...");
+                return ExitCode::SUCCESS;
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("obs-report: no input files (usage: obs-report [--validate] <file.jsonl>...)");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("obs-report: {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        if validate {
+            match validate_stream(&text) {
+                Ok(lines) => println!("{path}: schema OK ({lines} lines)"),
+                Err(e) => {
+                    eprintln!("obs-report: {path}: schema violation: {e}");
+                    failed = true;
+                    continue;
+                }
+            }
+        }
+        match Summary::from_stream(&text) {
+            Ok(summary) => {
+                println!("== {path} ==");
+                print!("{summary}");
+            }
+            Err(e) => {
+                eprintln!("obs-report: {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,29 @@
+//! `lll-obs` — deterministic flight recorder + metrics layer.
+//!
+//! A zero-overhead-when-disabled event layer shared by the LOCAL simulator
+//! (`lll-local`), the exact fixers (`lll-core`), and the bench harness
+//! (`lll-bench`). Instrumented code is generic over [`Recorder`] and guards
+//! every emission with `if R::ENABLED { .. }`; the default [`NullRecorder`]
+//! has `ENABLED = false`, so the uninstrumented build is the status quo.
+//!
+//! Determinism contract (see DESIGN.md §3.7): events on the hot path carry
+//! logical indices (round, step, node id) only — never wall-clock time — and
+//! the parallel engine buffers per-shard events and merges them in static
+//! shard order, so a recorded stream is byte-identical between `run` and
+//! `run_parallel` at every thread count. The only thread-dependent record is
+//! the optional `meta` provenance line, which is explicitly excluded from
+//! the byte-identity guarantee.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod provenance;
+mod recorder;
+
+pub mod report;
+pub mod schema;
+
+pub use event::{Event, SCHEMA_VERSION};
+pub use provenance::Provenance;
+pub use recorder::{CounterRecorder, JsonlRecorder, NullRecorder, Recorder};

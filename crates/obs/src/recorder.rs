@@ -1,0 +1,277 @@
+//! The [`Recorder`] trait and its three implementations.
+//!
+//! Instrumented code is generic over `R: Recorder` and guards every emission
+//! with `if R::ENABLED { ... }`. `ENABLED` is an associated constant, so for
+//! [`NullRecorder`] (the default at every public entry point) the branch and
+//! the event construction are statically eliminated — the monomorphized code
+//! is the uninstrumented code.
+
+use crate::event::Event;
+use crate::provenance::Provenance;
+use std::io::{self, Write};
+
+/// A sink for [`Event`]s.
+pub trait Recorder {
+    /// Whether this recorder observes events at all. Instrumented code must
+    /// guard event construction with `if R::ENABLED`, so a `false` here makes
+    /// recording free.
+    const ENABLED: bool = true;
+
+    /// Consume one event.
+    fn record(&mut self, event: &Event);
+}
+
+/// Recording disabled: all instrumentation compiles away.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn record(&mut self, _event: &Event) {}
+}
+
+/// In-memory aggregation: counts and totals, no per-event storage except the
+/// per-round delivery trajectory.
+#[derive(Debug, Default, Clone)]
+pub struct CounterRecorder {
+    /// Total events observed.
+    pub events: usize,
+    /// Simulator runs observed (`sim_run_start` count).
+    pub sim_runs: usize,
+    /// Billed rounds summed over completed simulator runs.
+    pub rounds: usize,
+    /// Messages summed over completed simulator runs.
+    pub messages: usize,
+    /// Byte bill summed over all `round_end` events.
+    pub bytes: usize,
+    /// Node halts observed.
+    pub node_halts: usize,
+    /// Per-round delivery counts, truncated to billed rounds at each
+    /// `sim_run_end` (the terminal decide-only round delivers nothing and is
+    /// not billed).
+    pub deliveries_per_round: Vec<usize>,
+    /// Fixing steps observed.
+    pub fix_steps: usize,
+    /// Fixer runs observed.
+    pub fix_runs: usize,
+    /// Audit passes observed.
+    pub audit_passes: usize,
+    /// Audit violations observed.
+    pub audit_violations: usize,
+    /// Minimum `P*` headroom seen across all `fix_step` events
+    /// (`f64::INFINITY` until the first step touches an event).
+    pub min_headroom: f64,
+    /// Experiments observed.
+    pub experiments: usize,
+    /// Experiment rows observed.
+    pub experiment_rows: usize,
+    /// Index into `deliveries_per_round` where the current sim run started.
+    run_start: usize,
+}
+
+impl CounterRecorder {
+    /// A fresh counter.
+    pub fn new() -> Self {
+        CounterRecorder {
+            min_headroom: f64::INFINITY,
+            ..CounterRecorder::default()
+        }
+    }
+
+    /// Per-round deliveries of everything recorded so far.
+    pub fn deliveries_per_round(&self) -> &[usize] {
+        &self.deliveries_per_round
+    }
+}
+
+impl Recorder for CounterRecorder {
+    fn record(&mut self, event: &Event) {
+        self.events += 1;
+        match event {
+            Event::SimRunStart { .. } => {
+                self.sim_runs += 1;
+                self.run_start = self.deliveries_per_round.len();
+            }
+            Event::RoundStart { .. } => {}
+            Event::NodeHalt { .. } => self.node_halts += 1,
+            Event::RoundEnd {
+                delivered, bytes, ..
+            } => {
+                self.bytes += bytes;
+                self.deliveries_per_round.push(*delivered);
+            }
+            Event::SimRunEnd { rounds, messages } => {
+                self.rounds += rounds;
+                self.messages += messages;
+                // Drop the unbilled terminal decide-only round, if any.
+                self.deliveries_per_round.truncate(self.run_start + rounds);
+            }
+            Event::FixRunStart { .. } => self.fix_runs += 1,
+            Event::FixStep { headroom, .. } => {
+                self.fix_steps += 1;
+                for h in headroom {
+                    if *h < self.min_headroom {
+                        self.min_headroom = *h;
+                    }
+                }
+            }
+            Event::AuditPass { .. } => self.audit_passes += 1,
+            Event::AuditViolation { .. } => self.audit_violations += 1,
+            Event::FixRunEnd { .. } => {}
+            Event::ExperimentStart { .. } => self.experiments += 1,
+            Event::ExperimentRow { .. } => self.experiment_rows += 1,
+            Event::ExperimentEnd { .. } => {}
+        }
+    }
+}
+
+/// Streams events as schema-versioned JSONL to any [`Write`] sink.
+///
+/// The optional provenance/meta line (written by [`JsonlRecorder::with_provenance`])
+/// carries thread-count and host facts and is therefore *excluded* from the
+/// cross-engine byte-identity contract; the event stream after it is
+/// engine-invariant. Write errors are sticky: the first one is kept and all
+/// later records become no-ops — check [`JsonlRecorder::take_error`] or
+/// [`JsonlRecorder::finish`].
+#[derive(Debug)]
+pub struct JsonlRecorder<W: Write> {
+    writer: W,
+    lines: usize,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlRecorder<W> {
+    /// A recorder with no meta line — the whole output is the deterministic
+    /// event stream.
+    pub fn new(writer: W) -> Self {
+        JsonlRecorder {
+            writer,
+            lines: 0,
+            error: None,
+        }
+    }
+
+    /// A recorder whose first line is a `"type":"meta"` provenance record.
+    pub fn with_provenance(mut writer: W, provenance: &Provenance) -> io::Result<Self> {
+        writeln!(writer, "{}", provenance.to_jsonl())?;
+        Ok(JsonlRecorder {
+            writer,
+            lines: 1,
+            error: None,
+        })
+    }
+
+    /// Lines written so far (including the meta line, if any).
+    pub fn lines(&self) -> usize {
+        self.lines
+    }
+
+    /// Takes the first write error, if one occurred.
+    pub fn take_error(&mut self) -> Option<io::Error> {
+        self.error.take()
+    }
+
+    /// Flushes and returns the underlying writer, surfacing any sticky error.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> Recorder for JsonlRecorder<W> {
+    fn record(&mut self, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = writeln!(self.writer, "{}", event.to_jsonl()) {
+            self.error = Some(e);
+        } else {
+            self.lines += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        const {
+            assert!(!NullRecorder::ENABLED);
+            assert!(CounterRecorder::ENABLED);
+            assert!(JsonlRecorder::<Vec<u8>>::ENABLED);
+        }
+    }
+
+    #[test]
+    fn counter_truncates_unbilled_terminal_round() {
+        let mut c = CounterRecorder::new();
+        c.record(&Event::SimRunStart {
+            nodes: 2,
+            edges: 1,
+            max_degree: 1,
+            seed: 0,
+        });
+        for round in 1..=3 {
+            c.record(&Event::RoundStart { round, running: 2 });
+            c.record(&Event::RoundEnd {
+                round,
+                delivered: if round < 3 { 2 } else { 0 },
+                bytes: if round < 3 { 8 } else { 0 },
+                halted: 0,
+                running: 2,
+            });
+        }
+        // Terminal round delivered nothing: billed rounds = 2.
+        c.record(&Event::SimRunEnd {
+            rounds: 2,
+            messages: 4,
+        });
+        assert_eq!(c.deliveries_per_round(), &[2, 2]);
+        assert_eq!(c.rounds, 2);
+        assert_eq!(c.messages, 4);
+        assert_eq!(c.bytes, 16);
+    }
+
+    #[test]
+    fn counter_tracks_min_headroom() {
+        let mut c = CounterRecorder::new();
+        assert_eq!(c.min_headroom, f64::INFINITY);
+        c.record(&Event::FixStep {
+            step: 0,
+            variable: 0,
+            value: 0,
+            rank: 2,
+            touched: vec![0, 1],
+            inc: vec![1.0, 1.0],
+            phi_product: vec![0.5, 0.5],
+            headroom: vec![0.75, 1.25],
+        });
+        assert_eq!(c.min_headroom, 0.75);
+        assert_eq!(c.fix_steps, 1);
+    }
+
+    #[test]
+    fn jsonl_recorder_streams_lines() {
+        let mut r = JsonlRecorder::new(Vec::new());
+        r.record(&Event::RoundStart {
+            round: 1,
+            running: 4,
+        });
+        r.record(&Event::SimRunEnd {
+            rounds: 1,
+            messages: 0,
+        });
+        assert_eq!(r.lines(), 2);
+        let buf = r.finish().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.starts_with("{\"type\":\"round_start\""));
+    }
+}

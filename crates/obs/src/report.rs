@@ -1,0 +1,212 @@
+//! Folding a JSONL stream into a human-readable summary.
+
+use serde::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregate view of one JSONL stream.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct Summary {
+    /// Total lines folded (including any meta line).
+    pub lines: usize,
+    /// Per-`type` event counts, sorted by tag.
+    pub by_type: BTreeMap<String, usize>,
+    /// Simulator runs completed.
+    pub sim_runs: usize,
+    /// Billed rounds summed over completed simulator runs.
+    pub rounds: usize,
+    /// Messages summed over completed simulator runs.
+    pub messages: usize,
+    /// Byte bill summed over all rounds.
+    pub bytes: usize,
+    /// Node halts observed.
+    pub node_halts: usize,
+    /// Fixer runs completed.
+    pub fix_runs: usize,
+    /// Fixing steps observed.
+    pub fix_steps: usize,
+    /// Audit verdicts.
+    pub audit_passes: usize,
+    /// Audit violations.
+    pub audit_violations: usize,
+    /// Minimum `P*` headroom observed, if any `fix_step` carried one.
+    pub min_headroom: Option<f64>,
+    /// Rows per experiment id, in first-seen order.
+    pub experiments: Vec<(String, usize)>,
+    /// Provenance facts from the meta line, if present.
+    pub provenance: Vec<(String, String)>,
+}
+
+fn uint(v: Option<&Value>) -> usize {
+    match v {
+        Some(Value::U64(n)) => *n as usize,
+        _ => 0,
+    }
+}
+
+impl Summary {
+    /// Folds a full stream. Lines must individually be valid JSON objects;
+    /// run the stream through [`crate::schema::validate_stream`] first when
+    /// structural guarantees matter.
+    pub fn from_stream(text: &str) -> Result<Summary, String> {
+        let mut s = Summary::default();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v: Value = serde_json::from_str(line)
+                .map_err(|e| format!("line {}: not valid JSON: {e}", i + 1))?;
+            let ty = match v.get("type") {
+                Some(Value::String(t)) => t.clone(),
+                _ => return Err(format!("line {}: missing \"type\"", i + 1)),
+            };
+            s.lines += 1;
+            *s.by_type.entry(ty.clone()).or_insert(0) += 1;
+            match ty.as_str() {
+                "meta" => {
+                    if let Value::Object(fields) = &v {
+                        for (k, val) in fields {
+                            if k != "type" {
+                                s.provenance.push((k.clone(), val.to_string()));
+                            }
+                        }
+                    }
+                }
+                "round_end" => {
+                    s.bytes += uint(v.get("bytes"));
+                }
+                "node_halt" => s.node_halts += 1,
+                "sim_run_end" => {
+                    s.sim_runs += 1;
+                    s.rounds += uint(v.get("rounds"));
+                    s.messages += uint(v.get("messages"));
+                }
+                "fix_step" => {
+                    s.fix_steps += 1;
+                    if let Some(Value::Array(hs)) = v.get("headroom") {
+                        for h in hs {
+                            let h = match h {
+                                Value::F64(x) => Some(*x),
+                                Value::U64(x) => Some(*x as f64),
+                                Value::I64(x) => Some(*x as f64),
+                                _ => None,
+                            };
+                            if let Some(h) = h {
+                                s.min_headroom = Some(s.min_headroom.map_or(h, |m: f64| m.min(h)));
+                            }
+                        }
+                    }
+                }
+                "audit_pass" => s.audit_passes += 1,
+                "audit_violation" => s.audit_violations += 1,
+                "fix_run_end" => s.fix_runs += 1,
+                "experiment_end" => {
+                    if let (Some(Value::String(id)), rows) = (v.get("id"), uint(v.get("rows"))) {
+                        s.experiments.push((id.clone(), rows));
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(s)
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "observability summary ({} lines)", self.lines)?;
+        if !self.provenance.is_empty() {
+            write!(f, "  provenance:")?;
+            for (k, v) in &self.provenance {
+                write!(f, " {k}={v}")?;
+            }
+            writeln!(f)?;
+        }
+        if self.sim_runs > 0 {
+            writeln!(
+                f,
+                "  simulator: {} run(s), {} billed round(s), {} message(s), {} byte(s), {} halt(s)",
+                self.sim_runs, self.rounds, self.messages, self.bytes, self.node_halts
+            )?;
+        }
+        if self.fix_runs > 0 || self.fix_steps > 0 {
+            write!(
+                f,
+                "  fixer: {} run(s), {} step(s), audits {} pass / {} fail",
+                self.fix_runs, self.fix_steps, self.audit_passes, self.audit_violations
+            )?;
+            if let Some(h) = self.min_headroom {
+                write!(f, ", min headroom {h:.6}")?;
+            }
+            writeln!(f)?;
+        }
+        for (id, rows) in &self.experiments {
+            writeln!(f, "  experiment {id}: {rows} row(s)")?;
+        }
+        writeln!(f, "  events by type:")?;
+        for (ty, n) in &self.by_type {
+            writeln!(f, "    {ty:<18} {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    #[test]
+    fn folds_counts_and_minima() {
+        let text = [
+            Event::SimRunStart {
+                nodes: 2,
+                edges: 1,
+                max_degree: 1,
+                seed: 0,
+            }
+            .to_jsonl(),
+            Event::RoundStart {
+                round: 1,
+                running: 2,
+            }
+            .to_jsonl(),
+            Event::RoundEnd {
+                round: 1,
+                delivered: 2,
+                bytes: 8,
+                halted: 0,
+                running: 2,
+            }
+            .to_jsonl(),
+            Event::SimRunEnd {
+                rounds: 1,
+                messages: 2,
+            }
+            .to_jsonl(),
+            Event::FixStep {
+                step: 0,
+                variable: 1,
+                value: 0,
+                rank: 2,
+                touched: vec![0, 1],
+                inc: vec![1.0, 1.0],
+                phi_product: vec![0.5, 0.5],
+                headroom: vec![1.5, 0.25],
+            }
+            .to_jsonl(),
+        ]
+        .join("\n");
+        let s = Summary::from_stream(&text).unwrap();
+        assert_eq!(s.lines, 5);
+        assert_eq!(s.sim_runs, 1);
+        assert_eq!(s.rounds, 1);
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.bytes, 8);
+        assert_eq!(s.fix_steps, 1);
+        assert_eq!(s.min_headroom, Some(0.25));
+        assert_eq!(s.by_type.get("round_end"), Some(&1));
+        let rendered = s.to_string();
+        assert!(rendered.contains("simulator: 1 run(s)"));
+    }
+}

@@ -1,0 +1,402 @@
+//! Structural validation of recorded JSONL streams.
+//!
+//! Two levels: [`validate_line`] checks a single line in isolation (JSON
+//! object, known `type` tag, required fields with the right JSON kinds), and
+//! [`StreamValidator`] additionally enforces the stream-level determinism
+//! contract — the meta line only at position one, round indices advancing by
+//! exactly one within a simulator run, and step indices advancing by exactly
+//! one within a fixer run.
+
+use crate::event::SCHEMA_VERSION;
+use serde::Value;
+
+/// Field kinds the schema distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Kind {
+    Uint,
+    Array,
+    Str,
+}
+
+/// Required fields per event type. Optional meta-line fields (seed, threads,
+/// graph shape, shards) are checked only when present.
+fn required_fields(ty: &str) -> Option<&'static [(&'static str, Kind)]> {
+    use Kind::*;
+    Some(match ty {
+        "meta" => &[("schema", Uint), ("git_rev", Str), ("rustc", Str)],
+        "sim_run_start" => &[
+            ("nodes", Uint),
+            ("edges", Uint),
+            ("max_degree", Uint),
+            ("seed", Uint),
+        ],
+        "round_start" => &[("round", Uint), ("running", Uint)],
+        "node_halt" => &[("round", Uint), ("node", Uint)],
+        "round_end" => &[
+            ("round", Uint),
+            ("delivered", Uint),
+            ("bytes", Uint),
+            ("halted", Uint),
+            ("running", Uint),
+        ],
+        "sim_run_end" => &[("rounds", Uint), ("messages", Uint)],
+        "fix_run_start" => &[("variables", Uint), ("events", Uint), ("max_rank", Uint)],
+        "fix_step" => &[
+            ("step", Uint),
+            ("variable", Uint),
+            ("value", Uint),
+            ("rank", Uint),
+            ("touched", Array),
+            ("inc", Array),
+            ("phi_product", Array),
+            ("headroom", Array),
+        ],
+        "audit_pass" => &[("step", Uint), ("variable", Uint)],
+        "audit_violation" => &[
+            ("step", Uint),
+            ("variable", Uint),
+            ("pair_violations", Array),
+            ("prob_violations", Array),
+        ],
+        "fix_run_end" => &[("steps", Uint), ("violated", Uint)],
+        "experiment_start" => &[("id", Str)],
+        "experiment_row" => &[("id", Str), ("index", Uint)],
+        "experiment_end" => &[("id", Str), ("rows", Uint)],
+        _ => return None,
+    })
+}
+
+fn uint(v: &Value) -> Option<u64> {
+    match v {
+        Value::U64(n) => Some(*n),
+        _ => None,
+    }
+}
+
+/// Validates one JSONL line structurally. Returns the event's `type` tag.
+pub fn validate_line(line: &str) -> Result<String, String> {
+    let v: Value = serde_json::from_str(line).map_err(|e| format!("not valid JSON: {e}"))?;
+    if !matches!(v, Value::Object(_)) {
+        return Err(format!("expected a JSON object, got {}", v.kind()));
+    }
+    let ty = match v.get("type") {
+        Some(Value::String(t)) => t.clone(),
+        Some(other) => return Err(format!("\"type\" must be a string, got {}", other.kind())),
+        None => return Err("missing \"type\" field".to_string()),
+    };
+    let fields = required_fields(&ty).ok_or_else(|| format!("unknown event type \"{ty}\""))?;
+    for (name, kind) in fields {
+        let field = v
+            .get(name)
+            .ok_or_else(|| format!("{ty}: missing required field \"{name}\""))?;
+        let ok = match kind {
+            Kind::Uint => uint(field).is_some(),
+            Kind::Array => matches!(field, Value::Array(_)),
+            Kind::Str => matches!(field, Value::String(_)),
+        };
+        if !ok {
+            return Err(format!(
+                "{ty}: field \"{name}\" has kind {}, expected {kind:?}",
+                field.kind()
+            ));
+        }
+    }
+    if ty == "meta" {
+        let schema = uint(v.get("schema").expect("checked above")).expect("checked above");
+        if schema != u64::from(SCHEMA_VERSION) {
+            return Err(format!(
+                "meta: schema version {schema} != supported {SCHEMA_VERSION}"
+            ));
+        }
+    }
+    Ok(ty)
+}
+
+/// Stateful validator for a whole stream; feed lines in order.
+#[derive(Debug, Default)]
+pub struct StreamValidator {
+    lines: usize,
+    /// Round index of the current simulator run (0 right after `sim_run_start`).
+    sim_round: Option<u64>,
+    /// `true` between `round_start` and the matching `round_end`.
+    in_round: bool,
+    /// Step index expected next in the current fixer run.
+    fix_next_step: Option<u64>,
+    /// Step index of the last `fix_step`, for audit events.
+    fix_last_step: Option<u64>,
+}
+
+impl StreamValidator {
+    /// A fresh validator.
+    pub fn new() -> Self {
+        StreamValidator::default()
+    }
+
+    /// Lines accepted so far.
+    pub fn lines(&self) -> usize {
+        self.lines
+    }
+
+    /// Validates the next line of the stream.
+    pub fn check(&mut self, line: &str) -> Result<(), String> {
+        let lineno = self.lines + 1;
+        let err = |msg: String| Err(format!("line {lineno}: {msg}"));
+        let ty = match validate_line(line) {
+            Ok(ty) => ty,
+            Err(e) => return err(e),
+        };
+        // Re-parse for the stream-level index checks; validate_line already
+        // guaranteed the fields exist with the right kinds.
+        let v: Value = serde_json::from_str(line).expect("validated above");
+        let field = |name: &str| uint(v.get(name).expect("validated above")).expect("validated");
+        match ty.as_str() {
+            "meta" if self.lines != 0 => {
+                return err("meta line allowed only as the first line".to_string());
+            }
+            "meta" => {}
+            "sim_run_start" => {
+                self.sim_round = Some(0);
+                self.in_round = false;
+            }
+            "round_start" => {
+                let round = field("round");
+                match self.sim_round {
+                    Some(prev) if round == prev + 1 => self.sim_round = Some(round),
+                    Some(prev) => {
+                        return err(format!(
+                            "round_start round {round} does not follow round {prev}"
+                        ))
+                    }
+                    None => return err("round_start before sim_run_start".to_string()),
+                }
+                self.in_round = true;
+            }
+            "node_halt" | "round_end" => {
+                let round = field("round");
+                match self.sim_round {
+                    Some(cur) if round == cur && self.in_round => {}
+                    _ => {
+                        return err(format!(
+                            "{ty} for round {round} outside an open round (current {:?})",
+                            self.sim_round
+                        ))
+                    }
+                }
+                if ty == "round_end" {
+                    self.in_round = false;
+                }
+            }
+            "sim_run_end" => {
+                if self.sim_round.is_none() {
+                    return err("sim_run_end before sim_run_start".to_string());
+                }
+                if self.in_round {
+                    return err("sim_run_end inside an open round".to_string());
+                }
+                self.sim_round = None;
+            }
+            "fix_run_start" => {
+                self.fix_next_step = Some(0);
+                self.fix_last_step = None;
+            }
+            "fix_step" => {
+                let step = field("step");
+                match self.fix_next_step {
+                    Some(expected) if step == expected => {
+                        self.fix_next_step = Some(expected + 1);
+                        self.fix_last_step = Some(step);
+                    }
+                    Some(expected) => {
+                        return err(format!("fix_step step {step}, expected {expected}"))
+                    }
+                    None => return err("fix_step before fix_run_start".to_string()),
+                }
+            }
+            "audit_pass" | "audit_violation" => {
+                let step = field("step");
+                match self.fix_last_step {
+                    Some(last) if step == last => {}
+                    other => {
+                        return err(format!(
+                            "{ty} for step {step} does not match last fix_step {other:?}"
+                        ))
+                    }
+                }
+            }
+            "fix_run_end" => {
+                if self.fix_next_step.is_none() {
+                    return err("fix_run_end before fix_run_start".to_string());
+                }
+                self.fix_next_step = None;
+                self.fix_last_step = None;
+            }
+            // Bench events carry no stream-level invariants.
+            _ => {}
+        }
+        self.lines += 1;
+        Ok(())
+    }
+
+    /// Final consistency checks; returns the number of accepted lines.
+    pub fn finish(self) -> Result<usize, String> {
+        if self.in_round {
+            return Err("stream ended inside an open round".to_string());
+        }
+        if self.sim_round.is_some() {
+            return Err("stream ended inside an open simulator run".to_string());
+        }
+        if self.fix_next_step.is_some() {
+            return Err("stream ended inside an open fixer run".to_string());
+        }
+        Ok(self.lines)
+    }
+}
+
+/// Validates a full multi-line stream; returns the accepted line count.
+pub fn validate_stream(text: &str) -> Result<usize, String> {
+    let mut v = StreamValidator::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        v.check(line)?;
+    }
+    v.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::provenance::Provenance;
+
+    #[test]
+    fn accepts_a_well_formed_stream() {
+        let mut text = Provenance::capture().with_seed(3).to_jsonl();
+        text.push('\n');
+        let events = vec![
+            Event::SimRunStart {
+                nodes: 2,
+                edges: 1,
+                max_degree: 1,
+                seed: 3,
+            },
+            Event::RoundStart {
+                round: 1,
+                running: 2,
+            },
+            Event::NodeHalt { round: 1, node: 0 },
+            Event::RoundEnd {
+                round: 1,
+                delivered: 2,
+                bytes: 8,
+                halted: 1,
+                running: 1,
+            },
+            Event::SimRunEnd {
+                rounds: 1,
+                messages: 2,
+            },
+            Event::FixRunStart {
+                variables: 3,
+                events: 2,
+                max_rank: 2,
+            },
+            Event::FixStep {
+                step: 0,
+                variable: 0,
+                value: 1,
+                rank: 2,
+                touched: vec![0],
+                inc: vec![1.0],
+                phi_product: vec![0.5],
+                headroom: vec![1.0],
+            },
+            Event::AuditPass {
+                step: 0,
+                variable: 0,
+            },
+            Event::FixRunEnd {
+                steps: 1,
+                violated: 0,
+            },
+        ];
+        for e in events {
+            text.push_str(&e.to_jsonl());
+            text.push('\n');
+        }
+        assert_eq!(validate_stream(&text), Ok(10));
+    }
+
+    #[test]
+    fn rejects_round_index_jumps() {
+        let text = [
+            Event::SimRunStart {
+                nodes: 1,
+                edges: 0,
+                max_degree: 0,
+                seed: 0,
+            }
+            .to_jsonl(),
+            Event::RoundStart {
+                round: 2,
+                running: 1,
+            }
+            .to_jsonl(),
+        ]
+        .join("\n");
+        let e = validate_stream(&text).unwrap_err();
+        assert!(e.contains("does not follow"), "{e}");
+    }
+
+    #[test]
+    fn rejects_step_index_jumps() {
+        let text = [
+            Event::FixRunStart {
+                variables: 1,
+                events: 1,
+                max_rank: 2,
+            }
+            .to_jsonl(),
+            Event::FixStep {
+                step: 1,
+                variable: 0,
+                value: 0,
+                rank: 1,
+                touched: vec![],
+                inc: vec![],
+                phi_product: vec![],
+                headroom: vec![],
+            }
+            .to_jsonl(),
+        ]
+        .join("\n");
+        let e = validate_stream(&text).unwrap_err();
+        assert!(e.contains("expected 0"), "{e}");
+    }
+
+    #[test]
+    fn rejects_meta_after_first_line() {
+        let text = [
+            Event::ExperimentStart {
+                id: "E1".to_string(),
+            }
+            .to_jsonl(),
+            Provenance::capture().to_jsonl(),
+        ]
+        .join("\n");
+        let e = validate_stream(&text).unwrap_err();
+        assert!(e.contains("first line"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_types_and_missing_fields() {
+        assert!(validate_line("{\"type\":\"mystery\"}")
+            .unwrap_err()
+            .contains("unknown event type"));
+        assert!(validate_line("{\"type\":\"node_halt\",\"round\":1}")
+            .unwrap_err()
+            .contains("missing required field"));
+        assert!(validate_line("not json").is_err());
+    }
+}

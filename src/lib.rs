@@ -17,6 +17,9 @@
 //!   deterministic sequential + distributed fixers for `r = 2` and `r = 3`
 //!   under the sharp criterion `p < 2^-d`.
 //! * [`mt`] — Moser–Tardos resampling baselines.
+//! * [`obs`] — the deterministic flight recorder: typed events, the
+//!   zero-overhead [`obs::Recorder`] abstraction, JSONL streams with run
+//!   provenance, and schema validation.
 //! * [`apps`] — applications: sinkless orientation, rank-3 hypergraph
 //!   orientation, weak splitting, bounded-intersection SAT.
 //!
@@ -58,3 +61,4 @@ pub use lll_graphs as graphs;
 pub use lll_local as local;
 pub use lll_mt as mt;
 pub use lll_numeric as numeric;
+pub use lll_obs as obs;
