@@ -21,13 +21,28 @@ echo "==> differential battery, parallel engine at 2 and 8 workers"
 LLL_DIFF_THREADS=2 cargo test -q --test parallel_differential
 LLL_DIFF_THREADS=8 cargo test -q --test parallel_differential
 
-echo "==> flight recorder: traced workload + schema validation"
+echo "==> flight recorder: traced workload + summarize/series/diff + timing"
 cargo test -q -p lll-bench --test obs_differential
+cargo test -q -p lll-obs
 tmp_obs="$(mktemp -d)"
+# Trace the workload twice — once with a live timing profiler, once at a
+# different thread count — and hold obs-report to its contract on both.
 cargo run --release -q -p lll-bench --bin tables -- \
-  --csv "$tmp_obs" --obs "$tmp_obs/trace.jsonl" E4 TRACE
+  --csv "$tmp_obs" --obs "$tmp_obs/trace.jsonl" \
+  --timing "$tmp_obs/timing.jsonl" E4 E16 TRACE
 cargo run --release -q -p lll-obs --bin obs-report -- \
-  --validate "$tmp_obs/trace.jsonl" > /dev/null
+  summarize --validate "$tmp_obs/trace.jsonl" > /dev/null
+cargo run --release -q -p lll-obs --bin obs-report -- \
+  series --out "$tmp_obs/series" "$tmp_obs/trace.jsonl" > /dev/null
+# Determinism: the same workload traced at 1 and 4 workers must be an
+# identical event stream (diff exits 0; a divergence exits 1 and prints
+# the first bad event with field-level deltas).
+cargo run --release -q -p lll-bench --bin tables -- \
+  --obs "$tmp_obs/trace_t1.jsonl" TRACE > /dev/null
+cargo run --release -q -p lll-bench --bin tables -- \
+  --threads 4 --obs "$tmp_obs/trace_t4.jsonl" TRACE > /dev/null
+cargo run --release -q -p lll-obs --bin obs-report -- \
+  diff "$tmp_obs/trace_t1.jsonl" "$tmp_obs/trace_t4.jsonl"
 rm -rf "$tmp_obs"
 
 echo "==> cargo fmt --check"

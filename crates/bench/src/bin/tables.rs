@@ -6,6 +6,7 @@
 //! cargo run --release -p lll-bench --bin tables -- --csv out/ # + CSV data files
 //! cargo run --release -p lll-bench --bin tables -- --threads 8 E2 E6 E12
 //! cargo run --release -p lll-bench --bin tables -- --obs out/trace.jsonl E4 TRACE
+//! cargo run --release -p lll-bench --bin tables -- --timing out/timing.jsonl TRACE
 //! ```
 //!
 //! The output of this binary is what `EXPERIMENTS.md` records; with
@@ -21,6 +22,14 @@
 //! experiment, and — for the pseudo-experiment id `TRACE` — the full
 //! simulator event stream of a small traced schedule-coloring workload.
 //! Validate and summarize the file with the `obs-report` binary.
+//!
+//! With `--timing <file.jsonl>` the `TRACE` pseudo-experiment runs with
+//! a side-band timing profiler attached and writes per-scope latency
+//! histograms (`"type":"timing"` lines — p50/p90/p99/max in
+//! nanoseconds) to the given file. The timing channel is a separate
+//! stream on purpose: wall-clock data is nondeterministic and must
+//! never interleave with the byte-identity-contracted `--obs` event
+//! stream, so `--timing` changes no byte of `--obs` output.
 
 use std::collections::BTreeSet;
 use std::env;
@@ -43,6 +52,7 @@ const TRACE_N: usize = 256;
 fn main() {
     let mut csv_dir: Option<PathBuf> = None;
     let mut obs_path: Option<PathBuf> = None;
+    let mut timing_path: Option<PathBuf> = None;
     let mut threads = 1usize;
     let mut selected: BTreeSet<String> = BTreeSet::new();
     let mut args = env::args().skip(1);
@@ -54,6 +64,10 @@ fn main() {
         } else if arg == "--obs" {
             obs_path = Some(PathBuf::from(
                 args.next().expect("--obs needs a file argument"),
+            ));
+        } else if arg == "--timing" {
+            timing_path = Some(PathBuf::from(
+                args.next().expect("--timing needs a file argument"),
             ));
         } else if arg == "--threads" {
             threads = args
@@ -545,13 +559,55 @@ fn main() {
         trace_experiment(&mut obs, "E15", rows.len());
     }
 
+    if wanted(&selected, "E16") {
+        println!("== E16: timing-profiler overhead (side-band NullTiming vs TimingRecorder) ==");
+        let data = ex::e16_timing_overhead(&[1 << 14, 1 << 16]);
+        write_csv(
+            "e16_timing_overhead.csv",
+            "n,timing,millis,overhead,spans",
+            &data
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{},{},{:.2},{:.4},{}",
+                        r.n, r.timing, r.millis, r.overhead, r.spans
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        let rows: Vec<Vec<String>> = data
+            .into_iter()
+            .map(|r| {
+                vec![
+                    r.n.to_string(),
+                    r.timing,
+                    format!("{:.1}", r.millis),
+                    format!("{:.2}x", r.overhead),
+                    r.spans.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(&["n", "timing", "millis", "overhead", "spans"], &rows)
+        );
+        println!("(\"off\" is the exact code path the untimed entry points compile to;\n the acceptance target is \"on\" within 1.05x of it)\n");
+        trace_experiment(&mut obs, "E16", rows.len());
+    }
+
     if selected.contains("TRACE") {
         println!("== TRACE: recorded schedule-coloring workload (ring n = {TRACE_N}) ==");
+        let mut timing = lll_obs::TimingRecorder::new();
+        let timed = timing_path.is_some();
         if let Some(rec) = obs.as_mut() {
             rec.record(&Event::ExperimentStart {
                 id: "TRACE".to_owned(),
             });
-            let (lin, red) = ex::record_trace_workload(TRACE_N, threads, rec);
+            let (lin, red) = if timed {
+                ex::record_trace_workload_timed(TRACE_N, threads, rec, &mut timing)
+            } else {
+                ex::record_trace_workload(TRACE_N, threads, rec)
+            };
             rec.record(&Event::ExperimentEnd {
                 id: "TRACE".to_owned(),
                 rows: 0,
@@ -562,7 +618,11 @@ fn main() {
             );
         } else {
             let mut counter = lll_obs::CounterRecorder::new();
-            let (lin, red) = ex::record_trace_workload(TRACE_N, threads, &mut counter);
+            let (lin, red) = if timed {
+                ex::record_trace_workload_timed(TRACE_N, threads, &mut counter, &mut timing)
+            } else {
+                ex::record_trace_workload(TRACE_N, threads, &mut counter)
+            };
             println!(
                 "linial: {} rounds, {} messages; reduce: {} rounds, {} messages",
                 lin.rounds, lin.messages, red.rounds, red.messages
@@ -570,6 +630,28 @@ fn main() {
             println!(
                 "(recorded {} events; pass --obs <file.jsonl> to keep the stream)\n",
                 counter.events
+            );
+        }
+        if let Some(path) = &timing_path {
+            // A φ-fixer pass on the same instance (recorded to a null
+            // sink) fills the fix_run/fix_step scopes, so the side-band
+            // file covers every TimingScope.
+            ex::time_fixer_workload(TRACE_N, &mut timing);
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                fs::create_dir_all(dir).expect("create timing output directory");
+            }
+            let file = fs::File::create(path).expect("create timing output file");
+            timing
+                .write_to(BufWriter::new(file))
+                .expect("write timing histograms");
+            println!(
+                "(wrote {} timing spans across {} scopes to {})",
+                timing.spans(),
+                lll_obs::TimingScope::ALL
+                    .iter()
+                    .filter(|&&s| !timing.scope(s).is_empty())
+                    .count(),
+                path.display()
             );
         }
     }

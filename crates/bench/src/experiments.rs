@@ -899,6 +899,21 @@ pub fn record_trace_workload<R: lll_obs::Recorder>(
     threads: usize,
     rec: &mut R,
 ) -> (lll_local::RunOutcome<u64>, lll_local::RunOutcome<u64>) {
+    record_trace_workload_timed(n, threads, rec, &mut lll_obs::NullTiming)
+}
+
+/// [`record_trace_workload`] with a side-band timing sink attached: the
+/// simulator runs feed `sim_run`/`sim_round` (and, on the parallel
+/// engine, `shard_work`) spans into `timing`. The event stream in `rec`
+/// is byte-identical to the untimed call — timing is wall-clock-only
+/// and never enters the deterministic channel (the obs differential
+/// battery pins this with timing enabled at several thread counts).
+pub fn record_trace_workload_timed<R: lll_obs::Recorder, T: lll_obs::TimingSink>(
+    n: usize,
+    threads: usize,
+    rec: &mut R,
+    timing: &mut T,
+) -> (lll_local::RunOutcome<u64>, lll_local::RunOutcome<u64>) {
     use lll_local::Simulator;
 
     let g = ring(n);
@@ -914,21 +929,38 @@ pub fn record_trace_workload<R: lll_obs::Recorder>(
         .map_or(lg.num_nodes() as u64, |&(_, q)| q * q);
     let template = lll_coloring::LinialProgram::new(schedule);
     let lin = if threads <= 1 {
-        lsim.run_recorded(|_| template.clone(), budget, rec)
+        lsim.run_timed_recorded(|_| template.clone(), budget, rec, timing)
     } else {
-        lsim.run_parallel_recorded(threads, |_| template.clone(), budget, rec)
+        lsim.run_parallel_timed_recorded(threads, |_| template.clone(), budget, rec, timing)
     }
     .expect("converges");
     let mk_reduce = |ctx: &lll_local::NodeContext| {
         lll_coloring::ReduceProgram::new(lin.outputs[ctx.id as usize], fixed, delta + 1)
     };
     let red = if threads <= 1 {
-        lsim.run_recorded(mk_reduce, budget, rec)
+        lsim.run_timed_recorded(mk_reduce, budget, rec, timing)
     } else {
-        lsim.run_parallel_recorded(threads, mk_reduce, budget, rec)
+        lsim.run_parallel_timed_recorded(threads, mk_reduce, budget, rec, timing)
     }
     .expect("converges");
     (lin, red)
+}
+
+/// Feeds `fix_run`/`fix_step` spans into `timing` by running the rank-2
+/// φ-fixer on the same ring-based instance the traced workload is built
+/// from. The event stream goes to a [`NullRecorder`](lll_obs::NullRecorder)
+/// on purpose: profiling the fixer must not append events to (or
+/// otherwise perturb) a trace being recorded alongside.
+pub fn time_fixer_workload<T: lll_obs::TimingSink>(n: usize, timing: &mut T) {
+    let g = ring(n);
+    let inst = random_rank2_instance(&g, 8, 0.9, 7);
+    let report = Fixer2::new(&inst)
+        .expect("trace instance is below the rank-2 threshold")
+        .run_timed_recorded(0..inst.num_variables(), &mut lll_obs::NullRecorder, timing);
+    assert!(
+        report.violated_events().is_empty(),
+        "rank-2 fixing must succeed on the trace instance"
+    );
 }
 
 /// E15 — flight-recorder overhead: one workload, three recorder flavors.
@@ -985,6 +1017,56 @@ pub fn e15_recorder_overhead(sizes: &[usize]) -> Vec<RecorderOverheadRow> {
                 overhead: millis / null_millis,
                 events,
                 bytes,
+            });
+        }
+    }
+    rows
+}
+
+/// E16 — timing-profiler overhead: one workload, timing off vs on.
+#[derive(Debug, Clone)]
+pub struct TimingOverheadRow {
+    /// Ring size (events of the generated instance).
+    pub n: usize,
+    /// Timing flavor: `"off"` ([`lll_obs::NullTiming`], exactly the
+    /// untimed code path) or `"on"` ([`lll_obs::TimingRecorder`]).
+    pub timing: String,
+    /// Best-of-three wall-clock milliseconds of the traced portion.
+    pub millis: f64,
+    /// `millis` relative to the `"off"` row of the same `n`.
+    pub overhead: f64,
+    /// Timing spans recorded in one pass (0 for `"off"`).
+    pub spans: u64,
+}
+
+/// Runs experiment E16: times [`record_trace_workload_timed`] under
+/// [`NullTiming`](lll_obs::NullTiming) — which is exactly the code path
+/// the untimed entry points delegate to, so its "overhead" row is the
+/// noise floor — and under a live
+/// [`TimingRecorder`](lll_obs::TimingRecorder). The acceptance target
+/// (EXPERIMENTS.md) is an `"on"` overhead within 1.05× of `"off"` on the
+/// E14 schedule-coloring workload: one histogram store per span, no
+/// allocation on the hot path.
+pub fn e16_timing_overhead(sizes: &[usize]) -> Vec<TimingOverheadRow> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        // Warm-up pass so the first timed flavor doesn't pay cold caches.
+        record_trace_workload(n, 1, &mut lll_obs::NullRecorder);
+        let (_, off_millis) = best_of(3, || {
+            record_trace_workload_timed(n, 1, &mut lll_obs::NullRecorder, &mut lll_obs::NullTiming);
+        });
+        let (spans, on_millis) = best_of(3, || {
+            let mut timing = lll_obs::TimingRecorder::new();
+            record_trace_workload_timed(n, 1, &mut lll_obs::NullRecorder, &mut timing);
+            timing.spans()
+        });
+        for (flavor, millis, spans) in [("off", off_millis, 0), ("on", on_millis, spans)] {
+            rows.push(TimingOverheadRow {
+                n,
+                timing: flavor.to_owned(),
+                millis,
+                overhead: millis / off_millis,
+                spans,
             });
         }
     }

@@ -24,7 +24,8 @@
 //! reduction without materialising virtual nodes.
 
 use lll_numeric::Num;
-use lll_obs::{Event, NullRecorder, Recorder};
+use lll_obs::timing::{span_nanos, span_start};
+use lll_obs::{Event, NullRecorder, NullTiming, Recorder, TimingScope, TimingSink};
 
 use crate::error::FixerError;
 use crate::fixer2::{audit_event, fix_run_start_event, fix_step_event};
@@ -322,15 +323,37 @@ impl<'i, T: Num> Fixer3<'i, T> {
     ///
     /// Panics if the order re-fixes or misses a variable.
     pub fn run_recorded<R: Recorder>(
-        mut self,
+        self,
         order: impl IntoIterator<Item = usize>,
         rec: &mut R,
     ) -> FixReport {
+        self.run_timed_recorded(order, rec, &mut NullTiming)
+    }
+
+    /// [`run_recorded`](Fixer3::run_recorded) with a side-band timing
+    /// sink: the whole run is one [`TimingScope::FixRun`] span and every
+    /// fixing step one [`TimingScope::FixStep`] span (see
+    /// `Fixer2::run_timed_recorded` — the contract is identical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the order re-fixes or misses a variable.
+    pub fn run_timed_recorded<R: Recorder, S: TimingSink>(
+        mut self,
+        order: impl IntoIterator<Item = usize>,
+        rec: &mut R,
+        timing: &mut S,
+    ) -> FixReport {
+        let run_started = span_start::<S>();
         if R::ENABLED {
             rec.record(&fix_run_start_event(self.inst));
         }
         for x in order {
+            let step_started = span_start::<S>();
             self.fix_variable_recorded(x, rec);
+            if S::ENABLED {
+                timing.record_span(TimingScope::FixStep, span_nanos(step_started));
+            }
         }
         assert!(self.partial.is_complete(), "order must cover all variables");
         let report = self.into_report();
@@ -339,6 +362,9 @@ impl<'i, T: Num> Fixer3<'i, T> {
                 steps: report.num_steps(),
                 violated: report.violated_events().len(),
             });
+        }
+        if S::ENABLED {
+            timing.record_span(TimingScope::FixRun, span_nanos(run_started));
         }
         report
     }

@@ -72,7 +72,8 @@ pub mod parallel;
 use std::fmt;
 
 use lll_graphs::Graph;
-use lll_obs::{Event, NullRecorder, Recorder};
+use lll_obs::timing::{span_nanos, span_start};
+use lll_obs::{Event, NullRecorder, NullTiming, Recorder, TimingScope, TimingSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -406,7 +407,7 @@ impl<'g> Simulator<'g> {
     /// As [`Simulator::run`].
     pub fn run_recorded<P, F, R>(
         &self,
-        mut make: F,
+        make: F,
         max_rounds: usize,
         rec: &mut R,
     ) -> Result<RunOutcome<P::Output>, SimError>
@@ -415,6 +416,34 @@ impl<'g> Simulator<'g> {
         F: FnMut(&NodeContext) -> P,
         R: Recorder,
     {
+        self.run_timed_recorded(make, max_rounds, rec, &mut NullTiming)
+    }
+
+    /// [`Simulator::run_recorded`] with a side-band timing sink attached
+    /// (see `lll_obs::timing`). Wall-clock spans — the whole run
+    /// ([`TimingScope::SimRun`]) and every communication round
+    /// ([`TimingScope::SimRound`]) — flow only into `timing`, never into
+    /// `rec`, so the recorded event stream stays byte-identical whether
+    /// timing is enabled or not. With [`NullTiming`] the clock is never
+    /// read and this *is* `run_recorded`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::run`].
+    pub fn run_timed_recorded<P, F, R, T>(
+        &self,
+        mut make: F,
+        max_rounds: usize,
+        rec: &mut R,
+        timing: &mut T,
+    ) -> Result<RunOutcome<P::Output>, SimError>
+    where
+        P: NodeProgram,
+        F: FnMut(&NodeContext) -> P,
+        R: Recorder,
+        T: TimingSink,
+    {
+        let run_started = span_start::<T>();
         let g = self.graph;
         let n = g.num_nodes();
         let info = NetworkInfo {
@@ -466,6 +495,7 @@ impl<'g> Simulator<'g> {
                 return Err(SimError::RoundLimitExceeded { limit: max_rounds });
             }
             rounds += 1;
+            let round_started = span_start::<T>();
             if R::ENABLED {
                 rec.record(&Event::RoundStart {
                     round: rounds,
@@ -531,6 +561,9 @@ impl<'g> Simulator<'g> {
                     running,
                 });
             }
+            if T::ENABLED {
+                timing.record_span(TimingScope::SimRound, span_nanos(round_started));
+            }
             if running == 0 && delivered == 0 {
                 // The terminal round carried no information — every
                 // remaining node halted on what it already knew, which is
@@ -541,6 +574,9 @@ impl<'g> Simulator<'g> {
         }
         if R::ENABLED {
             rec.record(&Event::SimRunEnd { rounds, messages });
+        }
+        if T::ENABLED {
+            timing.record_span(TimingScope::SimRun, span_nanos(run_started));
         }
         Ok(RunOutcome {
             outputs: outputs
@@ -600,6 +636,36 @@ impl<'g> Simulator<'g> {
             self.run_recorded(make, max_rounds, rec)
         } else {
             self.run_parallel_recorded(self.threads, make, max_rounds, rec)
+        }
+    }
+
+    /// [`Simulator::run_auto_recorded`] with a side-band timing sink
+    /// attached (see [`Simulator::run_timed_recorded`]). Timing data
+    /// depends on the engine and the host, but the event stream in `rec`
+    /// does not.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::run`].
+    pub fn run_auto_timed_recorded<P, F, R, T>(
+        &self,
+        make: F,
+        max_rounds: usize,
+        rec: &mut R,
+        timing: &mut T,
+    ) -> Result<RunOutcome<P::Output>, SimError>
+    where
+        P: NodeProgram + Send,
+        P::Message: Send + Sync,
+        P::Output: Send,
+        F: FnMut(&NodeContext) -> P,
+        R: Recorder,
+        T: TimingSink,
+    {
+        if self.threads <= 1 {
+            self.run_timed_recorded(make, max_rounds, rec, timing)
+        } else {
+            self.run_parallel_timed_recorded(self.threads, make, max_rounds, rec, timing)
         }
     }
 }

@@ -41,7 +41,8 @@
 use std::thread;
 
 use lll_graphs::Graph;
-use lll_obs::{Event, NullRecorder, Recorder};
+use lll_obs::timing::{span_nanos, span_start};
+use lll_obs::{Event, NullRecorder, NullTiming, Recorder, TimingScope, TimingSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -89,6 +90,12 @@ struct Shard<'a, P: NodeProgram> {
     /// static shard order after the phase barrier, which reproduces the
     /// sequential engine's ascending-node halt emission exactly.
     halts: &'a mut Vec<usize>,
+    /// Wall-clock nanoseconds this shard's worker spent in the current
+    /// phase. Written by the worker only when a timing sink is enabled;
+    /// the main thread folds the slots into the sink after the phase
+    /// barrier, so (like the recorder) the sink never crosses a thread
+    /// boundary and the deterministic event stream never sees a clock.
+    nanos: &'a mut u64,
 }
 
 /// Node boundaries `b_0 = 0 ≤ … ≤ b_t = n` cutting the CSR slot space
@@ -241,7 +248,7 @@ fn work_shard<P: NodeProgram, R: Recorder>(
 /// non-empty shard (the first runs on the calling thread), joins, and
 /// reduces the tallies deterministically.
 #[allow(clippy::too_many_arguments)]
-fn execute_phase<P, R>(
+fn execute_phase<P, R, T>(
     g: &Graph,
     twin: &[usize],
     workers: usize,
@@ -255,12 +262,14 @@ fn execute_phase<P, R>(
     write: &mut [Option<P::Message>],
     scratches: &mut [Vec<Option<P::Message>>],
     halt_bufs: &mut [Vec<usize>],
+    nanos_bufs: &mut [u64],
 ) -> Result<RoundStats, SimError>
 where
     P: NodeProgram + Send,
     P::Message: Send + Sync,
     P::Output: Send,
     R: Recorder,
+    T: TimingSink,
 {
     let prog_chunks = split_mut(programs, bounds);
     let ctx_chunks = split_mut(ctxs, bounds);
@@ -275,18 +284,22 @@ where
         .zip(write_chunks)
         .zip(scratches.iter_mut())
         .zip(halt_bufs.iter_mut())
+        .zip(nanos_bufs.iter_mut())
         .enumerate()
         .map(
-            |(i, ((((((programs, ctxs), outputs), states), write), scratch), halts))| Shard {
-                first_node: bounds[i],
-                first_slot: slot_cuts[i],
-                programs,
-                ctxs,
-                outputs,
-                states,
-                write,
-                scratch,
-                halts,
+            |(i, (((((((programs, ctxs), outputs), states), write), scratch), halts), nanos))| {
+                Shard {
+                    first_node: bounds[i],
+                    first_slot: slot_cuts[i],
+                    programs,
+                    ctxs,
+                    outputs,
+                    states,
+                    write,
+                    scratch,
+                    halts,
+                    nanos,
+                }
             },
         )
         .collect();
@@ -301,7 +314,17 @@ where
     let workers = workers.min(shards.len());
     let run_band = |band: &mut [Shard<'_, P>]| -> Vec<Result<RoundStats, SimError>> {
         band.iter_mut()
-            .map(|shard| work_shard::<P, R>(g, twin, read, shard))
+            .map(|shard| {
+                // Per-shard occupancy: timed on the worker, into the
+                // shard's own slot (no sharing), folded by the caller
+                // after the barrier.
+                let started = span_start::<T>();
+                let result = work_shard::<P, R>(g, twin, read, shard);
+                if T::ENABLED {
+                    *shard.nanos = span_nanos(started);
+                }
+                result
+            })
             .collect()
     };
     let results: Vec<Result<RoundStats, SimError>> = if workers <= 1 {
@@ -389,7 +412,7 @@ impl<'g> Simulator<'g> {
     pub fn run_parallel_recorded<P, F, R>(
         &self,
         threads: usize,
-        mut make: F,
+        make: F,
         max_rounds: usize,
         rec: &mut R,
     ) -> Result<RunOutcome<P::Output>, SimError>
@@ -400,6 +423,40 @@ impl<'g> Simulator<'g> {
         F: FnMut(&NodeContext) -> P,
         R: Recorder,
     {
+        self.run_parallel_timed_recorded(threads, make, max_rounds, rec, &mut NullTiming)
+    }
+
+    /// [`Simulator::run_parallel_recorded`] with a side-band timing sink
+    /// attached. Per-phase worker occupancy is timed on each worker into
+    /// a shard-private slot and folded into `timing` by the main thread
+    /// after the phase barrier ([`TimingScope::ShardWork`], one span per
+    /// shard per phase), alongside whole-round
+    /// ([`TimingScope::SimRound`]) and whole-run
+    /// ([`TimingScope::SimRun`]) spans. The sink never crosses a thread
+    /// boundary, and no wall-clock value reaches `rec` — the event
+    /// stream stays byte-identical to the untimed engines at every
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::run`].
+    pub fn run_parallel_timed_recorded<P, F, R, T>(
+        &self,
+        threads: usize,
+        mut make: F,
+        max_rounds: usize,
+        rec: &mut R,
+        timing: &mut T,
+    ) -> Result<RunOutcome<P::Output>, SimError>
+    where
+        P: NodeProgram + Send,
+        P::Message: Send + Sync,
+        P::Output: Send,
+        F: FnMut(&NodeContext) -> P,
+        R: Recorder,
+        T: TimingSink,
+    {
+        let run_started = span_start::<T>();
         let g = self.graph();
         let n = g.num_nodes();
         let threads = threads.clamp(1, n.max(1));
@@ -438,6 +495,8 @@ impl<'g> Simulator<'g> {
             (0..threads).map(|_| Vec::new()).collect();
         // Per-shard halt-event buffers (stay empty unless recording).
         let mut halt_bufs: Vec<Vec<usize>> = (0..threads).map(|_| Vec::new()).collect();
+        // Per-shard occupancy slots (stay zero unless timing).
+        let mut nanos_bufs: Vec<u64> = vec![0; threads];
         // Queried once per run, not per round — the OS worker budget
         // cannot change the outcome (see `execute_phase`).
         let workers = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
@@ -448,7 +507,7 @@ impl<'g> Simulator<'g> {
         let mut write_slab: Vec<Option<P::Message>> = vec![None; g.num_ports()];
 
         // Init phase: outboxes land in the slab read by round 1.
-        let init = execute_phase::<P, R>(
+        let init = execute_phase::<P, R, T>(
             g,
             &twin,
             workers,
@@ -462,7 +521,13 @@ impl<'g> Simulator<'g> {
             &mut read_slab,
             &mut scratches,
             &mut halt_bufs,
+            &mut nanos_bufs,
         )?;
+        if T::ENABLED {
+            for &ns in &nanos_bufs {
+                timing.record_span(TimingScope::ShardWork, ns);
+            }
+        }
 
         let mut rounds = 0usize;
         let mut messages = 0usize;
@@ -477,6 +542,7 @@ impl<'g> Simulator<'g> {
                 return Err(SimError::RoundLimitExceeded { limit: max_rounds });
             }
             rounds += 1;
+            let round_started = span_start::<T>();
             if R::ENABLED {
                 rec.record(&Event::RoundStart {
                     round: rounds,
@@ -486,7 +552,7 @@ impl<'g> Simulator<'g> {
             let delivered = inflight;
             messages += delivered;
             round_messages.push(delivered);
-            let stats = execute_phase::<P, R>(
+            let stats = execute_phase::<P, R, T>(
                 g,
                 &twin,
                 workers,
@@ -500,7 +566,13 @@ impl<'g> Simulator<'g> {
                 &mut write_slab,
                 &mut scratches,
                 &mut halt_bufs,
+                &mut nanos_bufs,
             )?;
+            if T::ENABLED {
+                for &ns in &nanos_bufs {
+                    timing.record_span(TimingScope::ShardWork, ns);
+                }
+            }
             running -= stats.halted;
             if R::ENABLED {
                 // Merge the per-shard halt buffers in static shard order:
@@ -524,6 +596,9 @@ impl<'g> Simulator<'g> {
                     running,
                 });
             }
+            if T::ENABLED {
+                timing.record_span(TimingScope::SimRound, span_nanos(round_started));
+            }
             inflight = stats.sent;
             if running == 0 && delivered == 0 {
                 // Terminal decide-only round: free, as in the sequential
@@ -535,6 +610,9 @@ impl<'g> Simulator<'g> {
         }
         if R::ENABLED {
             rec.record(&Event::SimRunEnd { rounds, messages });
+        }
+        if T::ENABLED {
+            timing.record_span(TimingScope::SimRun, span_nanos(run_started));
         }
         Ok(RunOutcome {
             outputs: outputs

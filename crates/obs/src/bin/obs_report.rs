@@ -1,67 +1,310 @@
-//! `obs-report` — fold recorded JSONL streams into a summary table.
+//! `obs-report` — validate, summarize, export, and diff recorded JSONL
+//! streams.
 //!
-//! Usage: `obs-report [--validate] <file.jsonl>...`
+//! ```text
+//! obs-report [--validate] <file.jsonl>...            summary (legacy form)
+//! obs-report summarize [--validate] <file.jsonl>...  same, explicit
+//! obs-report series --out <dir> <file.jsonl>...      per-round/halt/step CSVs
+//! obs-report diff [--context K] <a.jsonl> <b.jsonl>  first-divergence triage
+//! ```
 //!
-//! With `--validate`, every line is checked against the event schema (field
-//! presence/kinds plus monotone round/step indices) and the process exits
-//! nonzero on the first violation — this is what CI runs on traced workloads.
+//! Every mode streams its inputs line-by-line through a [`BufRead`] loop in
+//! bounded memory — a multi-gigabyte trace is folded without ever being
+//! resident. A final line cut short by a crashed producer (no trailing
+//! newline, not parseable as JSON) is reported as *truncated*, with a
+//! warning, after everything before it has been processed normally.
+//!
+//! # Exit codes (the contract CI relies on)
+//!
+//! | code | meaning                                                    |
+//! |------|------------------------------------------------------------|
+//! | 0    | success (for `diff`: streams identical after `meta`)       |
+//! | 1    | schema violation / malformed line (for `diff`: divergence) |
+//! | 2    | I/O error (unreadable file, usage error)                   |
+//! | 3    | truncated final line (crashed producer; rest was processed)|
+//!
+//! When several inputs fail differently, the first failure's code wins.
+//! The codes are pinned by `crates/obs/tests/cli.rs`.
 
+use lll_obs::diff::first_divergence;
+use lll_obs::replay::Replay;
 use lll_obs::report::Summary;
-use lll_obs::schema::validate_stream;
+use lll_obs::schema::StreamValidator;
+use lll_obs::Provenance;
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
-    let mut validate = false;
-    let mut paths = Vec::new();
-    for arg in std::env::args().skip(1) {
-        match arg.as_str() {
-            "--validate" => validate = true,
-            "--help" | "-h" => {
-                println!("usage: obs-report [--validate] <file.jsonl>...");
-                return ExitCode::SUCCESS;
-            }
-            other => paths.push(other.to_string()),
+/// Success.
+const EXIT_OK: u8 = 0;
+/// Schema violation, malformed line, or (for `diff`) a divergence.
+const EXIT_SCHEMA: u8 = 1;
+/// I/O or usage error.
+const EXIT_IO: u8 = 2;
+/// Truncated final line: the producer crashed mid-write.
+const EXIT_TRUNCATED: u8 = 3;
+
+const USAGE: &str = "usage: obs-report [--validate] <file.jsonl>...
+       obs-report summarize [--validate] <file.jsonl>...
+       obs-report series --out <dir> <file.jsonl>...
+       obs-report diff [--context K] <a.jsonl> <b.jsonl>
+exit codes: 0 ok; 1 schema violation (diff: divergent); 2 I/O error; 3 truncated stream";
+
+/// First-failure-wins exit code accumulator.
+struct Exit(u8);
+
+impl Exit {
+    fn set(&mut self, code: u8) {
+        if self.0 == EXIT_OK {
+            self.0 = code;
         }
     }
-    if paths.is_empty() {
-        eprintln!("obs-report: no input files (usage: obs-report [--validate] <file.jsonl>...)");
-        return ExitCode::FAILURE;
-    }
+}
 
-    let mut failed = false;
-    for path in &paths {
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
+/// Streams `path` line-by-line into `fold`. Returns the exit code for
+/// this file: `fold` errors map to [`EXIT_SCHEMA`], read errors to
+/// [`EXIT_IO`], and an unterminated final line that is not valid JSON to
+/// [`EXIT_TRUNCATED`] (with a warning; earlier lines are still folded).
+fn stream_file(path: &str, mut fold: impl FnMut(usize, &str) -> Result<(), String>) -> u8 {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("obs-report: {path}: {e}");
+            return EXIT_IO;
+        }
+    };
+    let mut reader = BufReader::new(file);
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        let read = match reader.read_line(&mut line) {
+            Ok(n) => n,
             Err(e) => {
-                eprintln!("obs-report: {path}: {e}");
-                failed = true;
-                continue;
+                eprintln!("obs-report: {path}: read error: {e}");
+                return EXIT_IO;
             }
         };
-        if validate {
-            match validate_stream(&text) {
-                Ok(lines) => println!("{path}: schema OK ({lines} lines)"),
-                Err(e) => {
-                    eprintln!("obs-report: {path}: schema violation: {e}");
-                    failed = true;
-                    continue;
+        if read == 0 {
+            return EXIT_OK;
+        }
+        lineno += 1;
+        let terminated = line.ends_with('\n');
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if !terminated && serde_json::from_str::<serde::Value>(trimmed).is_err() {
+            eprintln!(
+                "obs-report: {path}: warning: line {lineno} is truncated (crashed producer?); \
+                 {} complete line(s) were processed",
+                lineno - 1
+            );
+            return EXIT_TRUNCATED;
+        }
+        if let Err(e) = fold(lineno, trimmed) {
+            eprintln!("obs-report: {path}: line {lineno}: {e}");
+            return EXIT_SCHEMA;
+        }
+    }
+}
+
+/// The summarize mode (also the legacy no-subcommand form): streaming
+/// validation (optional) + streaming summary per input file.
+fn run_summarize(validate: bool, paths: &[String]) -> u8 {
+    let mut exit = Exit(EXIT_OK);
+    for path in paths {
+        let mut validator = validate.then(StreamValidator::new);
+        let mut summary = Summary::default();
+        let code = stream_file(path, |_, line| {
+            if let Some(v) = validator.as_mut() {
+                v.check(line)?;
+            }
+            summary.fold_line(line)
+        });
+        let mut code = code;
+        if code == EXIT_OK {
+            if let Some(v) = validator.take() {
+                match v.finish() {
+                    Ok(lines) => println!("{path}: schema OK ({lines} lines)"),
+                    Err(e) => {
+                        eprintln!("obs-report: {path}: schema violation: {e}");
+                        code = EXIT_SCHEMA;
+                    }
                 }
             }
         }
-        match Summary::from_stream(&text) {
-            Ok(summary) => {
-                println!("== {path} ==");
-                print!("{summary}");
+        if code == EXIT_OK || code == EXIT_TRUNCATED {
+            println!("== {path} ==");
+            print!("{summary}");
+        }
+        exit.set(code);
+    }
+    exit.0
+}
+
+/// The series mode: fold each input with [`Replay`] and write the three
+/// provenance-stamped CSV series next to `--out`.
+fn run_series(out_dir: &Path, paths: &[String]) -> u8 {
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("obs-report: {}: {e}", out_dir.display());
+        return EXIT_IO;
+    }
+    let prov = Provenance::capture().csv_comment();
+    let mut exit = Exit(EXIT_OK);
+    for path in paths {
+        let mut replay = Replay::new();
+        let code = stream_file(path, |_, line| replay.fold_line(line));
+        exit.set(code);
+        if code != EXIT_OK && code != EXIT_TRUNCATED {
+            continue;
+        }
+        let stem = Path::new(path).file_stem().map_or_else(
+            || "stream".to_string(),
+            |s| s.to_string_lossy().into_owned(),
+        );
+        for (suffix, body) in [
+            ("rounds", replay.rounds_csv(&prov)),
+            ("halts", replay.halts_csv(&prov)),
+            ("steps", replay.steps_csv(&prov)),
+        ] {
+            let target = out_dir.join(format!("{stem}_{suffix}.csv"));
+            if let Err(e) = std::fs::write(&target, body) {
+                eprintln!("obs-report: {}: {e}", target.display());
+                exit.set(EXIT_IO);
+                continue;
             }
-            Err(e) => {
-                eprintln!("obs-report: {path}: {e}");
-                failed = true;
-            }
+            println!("(wrote {})", target.display());
         }
     }
-    if failed {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
+    exit.0
+}
+
+/// The diff mode: bisect two streams to their first divergent event.
+fn run_diff(context: usize, a_path: &str, b_path: &str) -> u8 {
+    let open = |p: &str| -> Result<BufReader<File>, u8> {
+        File::open(p).map(BufReader::new).map_err(|e| {
+            eprintln!("obs-report: {p}: {e}");
+            EXIT_IO
+        })
+    };
+    let a = match open(a_path) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    let b = match open(b_path) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    // map_while(Result::ok) treats a mid-stream read error as stream end;
+    // that still yields a correct "diverges at index i" for the triage
+    // use case, and open errors (the common I/O failure) were classified
+    // above.
+    let div = first_divergence(
+        a.lines().map_while(Result::ok),
+        b.lines().map_while(Result::ok),
+        context,
+    );
+    match div {
+        None => {
+            println!("{a_path} and {b_path}: identical event streams");
+            EXIT_OK
+        }
+        Some(d) => {
+            println!("== diff {a_path} {b_path} ==");
+            print!("{d}");
+            EXIT_SCHEMA
+        }
     }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let code = match args.first().map(String::as_str) {
+        Some("summarize") => {
+            let rest = &args[1..];
+            let validate = rest.iter().any(|a| a == "--validate");
+            let paths: Vec<String> = rest
+                .iter()
+                .filter(|a| *a != "--validate")
+                .cloned()
+                .collect();
+            if paths.is_empty() {
+                eprintln!("obs-report: no input files\n{USAGE}");
+                EXIT_IO
+            } else {
+                run_summarize(validate, &paths)
+            }
+        }
+        Some("series") => {
+            let mut out: Option<PathBuf> = None;
+            let mut paths = Vec::new();
+            let mut it = args[1..].iter();
+            let mut usage_error = false;
+            while let Some(a) = it.next() {
+                if a == "--out" {
+                    match it.next() {
+                        Some(dir) => out = Some(PathBuf::from(dir)),
+                        None => usage_error = true,
+                    }
+                } else {
+                    paths.push(a.clone());
+                }
+            }
+            match (out, usage_error, paths.is_empty()) {
+                (Some(dir), false, false) => run_series(&dir, &paths),
+                _ => {
+                    eprintln!("obs-report: series needs --out <dir> and input files\n{USAGE}");
+                    EXIT_IO
+                }
+            }
+        }
+        Some("diff") => {
+            let mut context = 3usize;
+            let mut paths = Vec::new();
+            let mut it = args[1..].iter();
+            let mut usage_error = false;
+            while let Some(a) = it.next() {
+                if a == "--context" {
+                    match it.next().and_then(|k| k.parse().ok()) {
+                        Some(k) => context = k,
+                        None => usage_error = true,
+                    }
+                } else {
+                    paths.push(a.clone());
+                }
+            }
+            if usage_error || paths.len() != 2 {
+                eprintln!("obs-report: diff needs exactly two files\n{USAGE}");
+                EXIT_IO
+            } else {
+                run_diff(context, &paths[0], &paths[1])
+            }
+        }
+        Some(_) => {
+            // Legacy form: flags and paths, no subcommand.
+            let validate = args.iter().any(|a| a == "--validate");
+            let paths: Vec<String> = args
+                .iter()
+                .filter(|a| *a != "--validate")
+                .cloned()
+                .collect();
+            if paths.is_empty() {
+                eprintln!("obs-report: no input files\n{USAGE}");
+                EXIT_IO
+            } else {
+                run_summarize(validate, &paths)
+            }
+        }
+        None => {
+            eprintln!("obs-report: no input files\n{USAGE}");
+            EXIT_IO
+        }
+    };
+    ExitCode::from(code)
 }

@@ -1,0 +1,335 @@
+//! Divergence triage: bisect two event streams to their first divergent
+//! event and explain the difference at field granularity.
+//!
+//! The determinism contract says two recorded streams of the same workload
+//! must be byte-identical after their (explicitly excluded) `meta` lines.
+//! When a differential battery sees them differ, a raw byte mismatch is
+//! useless for debugging; [`first_divergence`] turns it into an actionable
+//! localization — the 0-based event index, both raw lines, the event kind
+//! and any node/round/step coordinates, a field-by-field value delta, and
+//! up to ±k context lines around the divergence. The batteries call this
+//! on failure, and `obs-report diff <a> <b>` exposes it on the command
+//! line (exit 0 = identical, 1 = divergent).
+//!
+//! Comparison is a single forward pass holding only a bounded context ring
+//! — memory is O(k), independent of stream length. A leading `meta` line
+//! on either side is skipped (that is exactly the byte-identity contract);
+//! blank lines are ignored.
+
+use serde::Value;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One field whose value differs between the two streams' events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDelta {
+    /// Field name.
+    pub field: String,
+    /// Rendered value in stream A (`"<missing>"` if absent).
+    pub a: String,
+    /// Rendered value in stream B (`"<missing>"` if absent).
+    pub b: String,
+}
+
+/// The first point at which two streams disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// 0-based event index of the divergence (meta and blank lines
+    /// excluded on both sides).
+    pub index: usize,
+    /// The raw divergent line of stream A (`None` if A ended first).
+    pub a: Option<String>,
+    /// The raw divergent line of stream B (`None` if B ended first).
+    pub b: Option<String>,
+    /// Event kind (`type` tag) on each side, where parseable.
+    pub kind_a: Option<String>,
+    /// Event kind on side B.
+    pub kind_b: Option<String>,
+    /// Node coordinate of the divergent event, if either side carries one.
+    pub node: Option<u64>,
+    /// Round coordinate, if either side carries one.
+    pub round: Option<u64>,
+    /// Step coordinate, if either side carries one.
+    pub step: Option<u64>,
+    /// Fields whose values differ (empty when a side is missing or a
+    /// line is not a JSON object).
+    pub fields: Vec<FieldDelta>,
+    /// Up to `k` shared events immediately before the divergence, as
+    /// `(event index, raw line)`.
+    pub before: Vec<(usize, String)>,
+    /// Up to `k` events of stream A after the divergence.
+    pub after_a: Vec<String>,
+    /// Up to `k` events of stream B after the divergence.
+    pub after_b: Vec<String>,
+}
+
+/// Renders a JSON value for the delta table: strings unquoted, arrays
+/// element-by-element (the vendored `Value` Display collapses them to
+/// `<array>`, which would hide element-level differences), floats with
+/// round-trip formatting so `1.0` and `1` stay distinguishable.
+fn render(v: &Value) -> String {
+    match v {
+        Value::String(s) => s.clone(),
+        Value::F64(x) => format!("{x:?}"),
+        Value::Array(xs) => {
+            let mut s = String::from("[");
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&render(x));
+            }
+            s.push(']');
+            s
+        }
+        other => other.to_string(),
+    }
+}
+
+fn field_u64(v: Option<&Value>, name: &str) -> Option<u64> {
+    match v.and_then(|v| v.get(name)) {
+        Some(Value::U64(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+/// Field-by-field delta between two JSON object lines: every key (in
+/// A-then-B first-seen order) whose rendered values differ.
+fn field_deltas(a: Option<&Value>, b: Option<&Value>) -> Vec<FieldDelta> {
+    let (Some(Value::Object(fa)), Some(Value::Object(fb))) = (a, b) else {
+        return Vec::new();
+    };
+    let mut deltas = Vec::new();
+    let mut keys: Vec<&str> = fa.iter().map(|(k, _)| k.as_str()).collect();
+    for (k, _) in fb {
+        if !keys.contains(&k.as_str()) {
+            keys.push(k);
+        }
+    }
+    let missing = || "<missing>".to_string();
+    for k in keys {
+        let va = a.and_then(|v| v.get(k));
+        let vb = b.and_then(|v| v.get(k));
+        let ra = va.map_or_else(missing, render);
+        let rb = vb.map_or_else(missing, render);
+        if ra != rb {
+            deltas.push(FieldDelta {
+                field: k.to_string(),
+                a: ra,
+                b: rb,
+            });
+        }
+    }
+    deltas
+}
+
+/// Event lines of a stream: blank lines skipped everywhere, a `meta`
+/// line skipped in first position only (per the byte-identity contract).
+fn events<I: Iterator<Item = String>>(lines: I) -> impl Iterator<Item = String> {
+    lines
+        .filter(|l| !l.trim().is_empty())
+        .enumerate()
+        .filter(|(i, l)| !(*i == 0 && l.contains("\"type\":\"meta\"")))
+        .map(|(_, l)| l)
+}
+
+/// Finds the first divergent event between two streams of lines, or
+/// `None` if they are identical event-for-event. Holds only the ±k
+/// context in memory.
+pub fn first_divergence<A, B>(a: A, b: B, k: usize) -> Option<Divergence>
+where
+    A: Iterator<Item = String>,
+    B: Iterator<Item = String>,
+{
+    let mut a = events(a);
+    let mut b = events(b);
+    let mut before: VecDeque<(usize, String)> = VecDeque::with_capacity(k + 1);
+    let mut index = 0usize;
+    loop {
+        let (la, lb) = (a.next(), b.next());
+        match (la, lb) {
+            (None, None) => return None,
+            (la, lb) if la == lb => {
+                if k > 0 {
+                    if before.len() == k {
+                        before.pop_front();
+                    }
+                    before.push_back((index, la.expect("both Some when equal")));
+                }
+                index += 1;
+            }
+            (la, lb) => {
+                let va = la.as_deref().and_then(|l| serde_json::from_str(l).ok());
+                let vb = lb.as_deref().and_then(|l| serde_json::from_str(l).ok());
+                let kind = |v: &Option<Value>| match v.as_ref().and_then(|v| v.get("type")) {
+                    Some(Value::String(t)) => Some(t.clone()),
+                    _ => None,
+                };
+                let coord = |name: &str| {
+                    field_u64(va.as_ref(), name).or_else(|| field_u64(vb.as_ref(), name))
+                };
+                return Some(Divergence {
+                    index,
+                    node: coord("node"),
+                    round: coord("round"),
+                    step: coord("step"),
+                    kind_a: kind(&va),
+                    kind_b: kind(&vb),
+                    fields: field_deltas(va.as_ref(), vb.as_ref()),
+                    a: la,
+                    b: lb,
+                    before: before.into_iter().collect(),
+                    after_a: a.take(k).collect(),
+                    after_b: b.take(k).collect(),
+                });
+            }
+        }
+    }
+}
+
+/// [`first_divergence`] over two in-memory streams — what the
+/// differential batteries call on failure.
+pub fn diff_streams(a: &str, b: &str, k: usize) -> Option<Divergence> {
+    first_divergence(
+        a.lines().map(str::to_string),
+        b.lines().map(str::to_string),
+        k,
+    )
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "streams diverge at event index {}", self.index)?;
+        let kind = match (&self.kind_a, &self.kind_b) {
+            (Some(a), Some(b)) if a == b => a.clone(),
+            (a, b) => format!(
+                "{} vs {}",
+                a.as_deref().unwrap_or("?"),
+                b.as_deref().unwrap_or("?")
+            ),
+        };
+        write!(f, "  kind: {kind}")?;
+        if let Some(n) = self.node {
+            write!(f, "  node: {n}")?;
+        }
+        if let Some(r) = self.round {
+            write!(f, "  round: {r}")?;
+        }
+        if let Some(s) = self.step {
+            write!(f, "  step: {s}")?;
+        }
+        writeln!(f)?;
+        for d in &self.fields {
+            writeln!(f, "  field {:<12} a: {}  |  b: {}", d.field, d.a, d.b)?;
+        }
+        for (i, line) in &self.before {
+            writeln!(f, "   [{i}]   {line}")?;
+        }
+        match &self.a {
+            Some(l) => writeln!(f, "  a[{}]> {l}", self.index)?,
+            None => writeln!(f, "  a[{}]> <stream ended>", self.index)?,
+        }
+        match &self.b {
+            Some(l) => writeln!(f, "  b[{}]> {l}", self.index)?,
+            None => writeln!(f, "  b[{}]> <stream ended>", self.index)?,
+        }
+        for (off, line) in self.after_a.iter().enumerate() {
+            writeln!(f, "   a[{}]  {line}", self.index + 1 + off)?;
+        }
+        for (off, line) in self.after_b.iter().enumerate() {
+            writeln!(f, "   b[{}]  {line}", self.index + 1 + off)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn stream(events: &[Event]) -> String {
+        let mut s = String::new();
+        for e in events {
+            s.push_str(&e.to_jsonl());
+            s.push('\n');
+        }
+        s
+    }
+
+    fn sample() -> Vec<Event> {
+        (1..=4u64)
+            .flat_map(|round| {
+                [
+                    Event::RoundStart {
+                        round: round as usize,
+                        running: 8,
+                    },
+                    Event::RoundEnd {
+                        round: round as usize,
+                        delivered: 16,
+                        bytes: 64,
+                        halted: 0,
+                        running: 8,
+                    },
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_streams_have_no_divergence() {
+        let a = stream(&sample());
+        assert!(diff_streams(&a, &a, 3).is_none());
+    }
+
+    #[test]
+    fn meta_lines_are_excluded_from_comparison() {
+        let body = stream(&sample());
+        let with_meta = format!(
+            "{}\n{body}",
+            crate::Provenance::capture().with_threads(8).to_jsonl()
+        );
+        assert!(diff_streams(&body, &with_meta, 2).is_none());
+    }
+
+    #[test]
+    fn localizes_a_single_field_mutation() {
+        let evs = sample();
+        let mut mutated = evs.clone();
+        // Event index 3 is round 2's round_end; bump `delivered` only.
+        mutated[3] = Event::RoundEnd {
+            round: 2,
+            delivered: 17,
+            bytes: 64,
+            halted: 0,
+            running: 8,
+        };
+        let d = diff_streams(&stream(&evs), &stream(&mutated), 2).expect("diverges");
+        assert_eq!(d.index, 3);
+        assert_eq!(d.kind_a.as_deref(), Some("round_end"));
+        assert_eq!(d.kind_b.as_deref(), Some("round_end"));
+        assert_eq!(d.round, Some(2));
+        assert_eq!(d.fields.len(), 1, "exactly one field delta: {:?}", d.fields);
+        assert_eq!(d.fields[0].field, "delivered");
+        assert_eq!(d.fields[0].a, "16");
+        assert_eq!(d.fields[0].b, "17");
+        assert_eq!(d.before.len(), 2);
+        assert_eq!(d.before[0].0, 1);
+        assert_eq!(d.after_a.len(), 2);
+        let rendered = d.to_string();
+        assert!(rendered.contains("event index 3"), "{rendered}");
+        assert!(rendered.contains("delivered"), "{rendered}");
+    }
+
+    #[test]
+    fn truncation_is_reported_as_stream_end() {
+        let evs = sample();
+        let short: Vec<Event> = evs[..5].to_vec();
+        let d = diff_streams(&stream(&evs), &stream(&short), 1).expect("diverges");
+        assert_eq!(d.index, 5);
+        assert!(d.b.is_none());
+        assert!(d.a.is_some());
+        assert!(d.to_string().contains("<stream ended>"));
+    }
+}

@@ -1,0 +1,301 @@
+//! Log-bucketed fixed-point streaming histograms for the timing channel.
+//!
+//! A [`Histogram`] summarizes a stream of `u64` samples (nanoseconds, in the
+//! timing channel's case) in a fixed-size bucket array: values below
+//! `2^SUB_BITS` get one exact bucket each, and every higher power-of-two
+//! range `[2^h, 2^{h+1})` is split into `2^SUB_BITS` equal sub-buckets, so a
+//! bucket's width never exceeds `1/2^SUB_BITS` of the values it holds and
+//! every quantile estimate carries a guaranteed ≤ `2^-SUB_BITS` (≈ 3.1%)
+//! relative error. Recording touches one array slot — no allocation, no
+//! floating point — and merging is element-wise addition, which makes the
+//! merge exact, commutative and associative (the property tests pin this),
+//! so per-shard histograms can be combined in any order.
+
+use std::fmt;
+
+/// Sub-bucket resolution: each power-of-two range is split into
+/// `2^SUB_BITS` linear sub-buckets.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per power-of-two range.
+const SUB: usize = 1 << SUB_BITS;
+/// Total buckets: one exact bucket per value below `2^SUB_BITS`, then
+/// `SUB` sub-buckets for each exponent `SUB_BITS..64`. Covers the whole
+/// `u64` range — no sample is ever clamped or dropped.
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB;
+
+/// Index of the bucket holding `v`. Monotone in `v`, so the `r`-th
+/// smallest sample always lands in the first bucket whose cumulative
+/// count reaches `r` — quantile walks are exact up to bucket width.
+fn bucket_of(v: u64) -> usize {
+    let h = 63 - (v | 1).leading_zeros();
+    if h < SUB_BITS {
+        v as usize
+    } else {
+        let shift = h - SUB_BITS;
+        ((h - SUB_BITS + 1) as usize) * SUB + ((v >> shift) as usize - SUB)
+    }
+}
+
+/// Largest value mapping to bucket `b` — the value a quantile walk
+/// reports, so estimates never undershoot the exact order statistic.
+fn bucket_high(b: usize) -> u64 {
+    if b < SUB {
+        b as u64
+    } else {
+        let h = (b / SUB) as u32 + SUB_BITS - 1;
+        let shift = h - SUB_BITS;
+        let top = (b % SUB) as u64 + SUB as u64;
+        // `(top + 1) << shift` would overflow in the topmost bucket;
+        // filling the low bits directly is equivalent and never does.
+        (top << shift) | ((1u64 << shift) - 1)
+    }
+}
+
+/// A mergeable streaming histogram over `u64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use lll_obs::hist::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// let p50 = h.quantile(0.5);
+/// assert!((500..=516).contains(&p50)); // ≤ 1/32 relative error
+/// assert_eq!(h.max(), 1000);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample. One array store — no allocation.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` iff nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact minimum sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Exact mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`): the upper bound of the bucket
+    /// holding the sample of rank `ceil(q·count)`. Never below the exact
+    /// order statistic and at most `1/32` above it, relative (0 when
+    /// empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // The top bucket's high end can exceed the exact max.
+                return bucket_high(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Adds every sample of `other` into `self`. Element-wise addition:
+    /// exact, commutative and associative, so per-shard histograms merge
+    /// into the same result in any order.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("min", &self.min())
+            .field("p50", &self.p50())
+            .field("p90", &self.p90())
+            .field("p99", &self.p99())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_cover_u64() {
+        let probes = [
+            0u64,
+            1,
+            2,
+            31,
+            32,
+            33,
+            63,
+            64,
+            65,
+            1000,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut prev = 0usize;
+        for &v in &probes {
+            let b = bucket_of(v);
+            assert!(b < BUCKETS, "bucket {b} of {v} out of range");
+            assert!(b >= prev, "bucket_of not monotone at {v}");
+            assert!(bucket_high(b) >= v, "bucket_high({b}) < {v}");
+            prev = b;
+        }
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB as u64 {
+            h.record(v);
+        }
+        for v in 0..SUB as u64 {
+            assert_eq!(h.counts[v as usize], 1);
+            assert_eq!(bucket_high(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn quantiles_track_exact_order_statistics() {
+        let mut h = Histogram::new();
+        let samples: Vec<u64> = (0..500).map(|i| (i * i) % 10_007 + 1).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let est = h.quantile(q);
+            assert!(est >= exact, "q={q}: {est} < exact {exact}");
+            assert!(
+                est as f64 <= exact as f64 * (1.0 + 1.0 / SUB as f64),
+                "q={q}: {est} too far above exact {exact}"
+            );
+        }
+        assert_eq!(h.max(), *sorted.last().unwrap());
+        assert_eq!(h.min(), sorted[0]);
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let mut all = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 0..1000u64 {
+            let x = v.wrapping_mul(0x9E37_79B9).rotate_left(7);
+            all.record(x);
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

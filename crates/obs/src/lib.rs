@@ -13,6 +13,15 @@
 //! `run_parallel` at every thread count. The only thread-dependent record is
 //! the optional `meta` provenance line, which is explicitly excluded from
 //! the byte-identity guarantee.
+//!
+//! The read/diagnose side (DESIGN.md §3.8) lives in four modules:
+//! [`hist`] — log-bucketed fixed-point streaming histograms; [`timing`] —
+//! the side-band wall-clock channel (a [`TimingSink`] mirror of the
+//! recorder design, so untimed builds still compile to the status quo and
+//! the deterministic event stream never sees a clock); [`replay`] —
+//! bounded-memory folding of JSONL into per-round/per-node/per-step
+//! series; and [`diff`] — first-divergence triage for the differential
+//! batteries. The `obs-report` binary surfaces all of them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,9 +30,15 @@ mod event;
 mod provenance;
 mod recorder;
 
+pub mod diff;
+pub mod hist;
+pub mod replay;
 pub mod report;
 pub mod schema;
+pub mod timing;
 
 pub use event::{Event, SCHEMA_VERSION};
+pub use hist::Histogram;
 pub use provenance::Provenance;
 pub use recorder::{CounterRecorder, JsonlRecorder, NullRecorder, Recorder};
+pub use timing::{NullTiming, TimingRecorder, TimingScope, TimingSink};

@@ -1,0 +1,357 @@
+//! Streaming analytics over recorded JSONL: fold a stream line-by-line,
+//! in bounded memory, into queryable time series.
+//!
+//! [`Replay`] never buffers the input — each line is parsed, folded into
+//! the accumulated series, and dropped, so memory is proportional to the
+//! *summary* (one point per round, halt, or fixing step), never to the raw
+//! event count or the file size. The three series mirror the paper's
+//! quantities of interest: the per-round message/byte bill (Corollary 1.2
+//! round accounting), per-node halt timelines, and the φ-product /
+//! pair-headroom trajectory `2 − φ_e^u − φ_e^v` per fixing step (the `P*`
+//! potential of Lemmas 3.5–3.7). Each series exports as a
+//! provenance-stamped CSV via [`Replay::rounds_csv`] and friends — the
+//! `obs-report series` subcommand is a thin wrapper around them.
+
+use serde::Value;
+
+/// One `round_end` event: the per-round bill of one simulator run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundPoint {
+    /// Simulator run index within the stream (0-based).
+    pub run: usize,
+    /// Round number within the run (1-based, as recorded).
+    pub round: u64,
+    /// Messages delivered this round.
+    pub delivered: u64,
+    /// Bytes billed this round.
+    pub bytes: u64,
+    /// Nodes that halted this round.
+    pub halted: u64,
+    /// Nodes still running after the round.
+    pub running: u64,
+}
+
+/// One `node_halt` event: when a node decided, per run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HaltPoint {
+    /// Simulator run index within the stream (0-based).
+    pub run: usize,
+    /// Round in which the node halted.
+    pub round: u64,
+    /// The halting node's index.
+    pub node: u64,
+}
+
+/// One `fix_step` event, reduced to the potential-function view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepPoint {
+    /// Fixer run index within the stream (0-based).
+    pub run: usize,
+    /// Step index within the run (0-based, as recorded).
+    pub step: u64,
+    /// Variable fixed.
+    pub variable: u64,
+    /// Value chosen.
+    pub value: u64,
+    /// Rank (number of touched events).
+    pub rank: u64,
+    /// Smallest φ-product among the touched events (`NaN` if none).
+    pub phi_min: f64,
+    /// Largest φ-product among the touched events (`NaN` if none).
+    pub phi_max: f64,
+    /// Smallest pair headroom `2 − φ_e^u − φ_e^v` among the touched
+    /// dependency edges (`NaN` if the step touches no edge).
+    pub headroom_min: f64,
+}
+
+fn uint(v: Option<&Value>) -> u64 {
+    match v {
+        Some(Value::U64(n)) => *n,
+        _ => 0,
+    }
+}
+
+fn float(v: &Value) -> Option<f64> {
+    match v {
+        Value::F64(x) => Some(*x),
+        Value::U64(x) => Some(*x as f64),
+        Value::I64(x) => Some(*x as f64),
+        _ => None,
+    }
+}
+
+fn fold_min_max(v: Option<&Value>) -> (f64, f64) {
+    let mut min = f64::NAN;
+    let mut max = f64::NAN;
+    if let Some(Value::Array(xs)) = v {
+        for x in xs.iter().filter_map(float) {
+            min = if min.is_nan() { x } else { min.min(x) };
+            max = if max.is_nan() { x } else { max.max(x) };
+        }
+    }
+    (min, max)
+}
+
+/// CSV cell for a possibly-missing float.
+fn csv_f64(x: f64) -> String {
+    if x.is_nan() {
+        String::new()
+    } else {
+        format!("{x:?}")
+    }
+}
+
+/// A bounded-memory, line-at-a-time stream folder.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct Replay {
+    /// Lines folded (including any meta line).
+    pub lines: usize,
+    /// The raw meta line, if the stream opened with one.
+    pub meta: Option<String>,
+    /// Per-round series across all simulator runs, in stream order.
+    pub rounds: Vec<RoundPoint>,
+    /// Per-node halt timeline across all simulator runs, in stream order.
+    pub halts: Vec<HaltPoint>,
+    /// φ-product / headroom trajectory across all fixer runs.
+    pub steps: Vec<StepPoint>,
+    sim_runs_started: usize,
+    fix_runs_started: usize,
+}
+
+impl Replay {
+    /// An empty folder.
+    pub fn new() -> Self {
+        Replay::default()
+    }
+
+    /// Folds the next line of the stream. Blank lines are the caller's
+    /// to skip; this expects one JSON object per call.
+    ///
+    /// # Errors
+    ///
+    /// A description of the malformed line (invalid JSON or missing
+    /// `type` tag).
+    pub fn fold_line(&mut self, line: &str) -> Result<(), String> {
+        let v: Value = serde_json::from_str(line).map_err(|e| format!("not valid JSON: {e}"))?;
+        let ty = match v.get("type") {
+            Some(Value::String(t)) => t.clone(),
+            _ => return Err("missing \"type\" field".to_string()),
+        };
+        self.lines += 1;
+        match ty.as_str() {
+            "meta" => self.meta = Some(line.to_string()),
+            "sim_run_start" => self.sim_runs_started += 1,
+            "round_end" => self.rounds.push(RoundPoint {
+                run: self.sim_runs_started.saturating_sub(1),
+                round: uint(v.get("round")),
+                delivered: uint(v.get("delivered")),
+                bytes: uint(v.get("bytes")),
+                halted: uint(v.get("halted")),
+                running: uint(v.get("running")),
+            }),
+            "node_halt" => self.halts.push(HaltPoint {
+                run: self.sim_runs_started.saturating_sub(1),
+                round: uint(v.get("round")),
+                node: uint(v.get("node")),
+            }),
+            "fix_run_start" => self.fix_runs_started += 1,
+            "fix_step" => {
+                let (phi_min, phi_max) = fold_min_max(v.get("phi_product"));
+                let (headroom_min, _) = fold_min_max(v.get("headroom"));
+                self.steps.push(StepPoint {
+                    run: self.fix_runs_started.saturating_sub(1),
+                    step: uint(v.get("step")),
+                    variable: uint(v.get("variable")),
+                    value: uint(v.get("value")),
+                    rank: uint(v.get("rank")),
+                    phi_min,
+                    phi_max,
+                    headroom_min,
+                });
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Folds a whole in-memory stream (tests and small files; the CLI
+    /// streams files through [`Replay::fold_line`] instead).
+    ///
+    /// # Errors
+    ///
+    /// As [`Replay::fold_line`], prefixed with the 1-based line number.
+    pub fn from_stream(text: &str) -> Result<Replay, String> {
+        let mut r = Replay::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            r.fold_line(line)
+                .map_err(|e| format!("line {}: {e}", i + 1))?;
+        }
+        Ok(r)
+    }
+
+    /// The provenance stamp for exported CSVs: the source stream's own
+    /// meta line when it has one (so the series carries the *producer's*
+    /// context), plus the supplied fallback comment.
+    fn stamp(&self, prov_comment: &str) -> String {
+        let mut s = String::from(prov_comment);
+        s.push('\n');
+        if let Some(meta) = &self.meta {
+            s.push_str("# source-meta: ");
+            s.push_str(meta);
+            s.push('\n');
+        }
+        s
+    }
+
+    /// The per-round message/byte series as a CSV document.
+    pub fn rounds_csv(&self, prov_comment: &str) -> String {
+        let mut out = self.stamp(prov_comment);
+        out.push_str("run,round,delivered,bytes,halted,running\n");
+        for p in &self.rounds {
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                p.run, p.round, p.delivered, p.bytes, p.halted, p.running
+            ));
+        }
+        out
+    }
+
+    /// The per-node halt timeline as a CSV document.
+    pub fn halts_csv(&self, prov_comment: &str) -> String {
+        let mut out = self.stamp(prov_comment);
+        out.push_str("run,round,node\n");
+        for p in &self.halts {
+            out.push_str(&format!("{},{},{}\n", p.run, p.round, p.node));
+        }
+        out
+    }
+
+    /// The φ-product / pair-headroom trajectory as a CSV document
+    /// (Figure-1-style potential data; empty cells where a step touched
+    /// no event or no dependency edge).
+    pub fn steps_csv(&self, prov_comment: &str) -> String {
+        let mut out = self.stamp(prov_comment);
+        out.push_str("run,step,variable,value,rank,phi_product_min,phi_product_max,headroom_min\n");
+        for p in &self.steps {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{}\n",
+                p.run,
+                p.step,
+                p.variable,
+                p.value,
+                p.rank,
+                csv_f64(p.phi_min),
+                csv_f64(p.phi_max),
+                csv_f64(p.headroom_min),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::provenance::Provenance;
+
+    fn sample_stream() -> String {
+        let mut text = Provenance::capture().with_seed(9).to_jsonl();
+        text.push('\n');
+        for e in [
+            Event::SimRunStart {
+                nodes: 2,
+                edges: 1,
+                max_degree: 1,
+                seed: 9,
+            },
+            Event::RoundStart {
+                round: 1,
+                running: 2,
+            },
+            Event::NodeHalt { round: 1, node: 1 },
+            Event::RoundEnd {
+                round: 1,
+                delivered: 2,
+                bytes: 8,
+                halted: 1,
+                running: 1,
+            },
+            Event::SimRunEnd {
+                rounds: 1,
+                messages: 2,
+            },
+            Event::FixRunStart {
+                variables: 1,
+                events: 2,
+                max_rank: 2,
+            },
+            Event::FixStep {
+                step: 0,
+                variable: 0,
+                value: 1,
+                rank: 2,
+                touched: vec![0, 1],
+                inc: vec![1.0, 0.5],
+                phi_product: vec![0.5, 0.75],
+                headroom: vec![1.25, 0.75],
+            },
+            Event::FixRunEnd {
+                steps: 1,
+                violated: 0,
+            },
+        ] {
+            text.push_str(&e.to_jsonl());
+            text.push('\n');
+        }
+        text
+    }
+
+    #[test]
+    fn folds_all_three_series() {
+        let r = Replay::from_stream(&sample_stream()).unwrap();
+        assert_eq!(r.lines, 9);
+        assert!(r.meta.as_deref().unwrap().contains("\"seed\":9"));
+        assert_eq!(r.rounds.len(), 1);
+        assert_eq!(r.rounds[0].delivered, 2);
+        assert_eq!(r.rounds[0].bytes, 8);
+        assert_eq!(
+            r.halts,
+            vec![HaltPoint {
+                run: 0,
+                round: 1,
+                node: 1
+            }]
+        );
+        assert_eq!(r.steps.len(), 1);
+        assert_eq!(r.steps[0].phi_min, 0.5);
+        assert_eq!(r.steps[0].phi_max, 0.75);
+        assert_eq!(r.steps[0].headroom_min, 0.75);
+    }
+
+    #[test]
+    fn csv_exports_are_stamped_and_shaped() {
+        let r = Replay::from_stream(&sample_stream()).unwrap();
+        let prov = Provenance::capture().csv_comment();
+        let rounds = r.rounds_csv(&prov);
+        assert!(rounds.starts_with("# provenance:"));
+        assert!(rounds.contains("# source-meta: {\"type\":\"meta\""));
+        assert!(rounds.contains("run,round,delivered,bytes,halted,running"));
+        assert!(rounds.contains("0,1,2,8,1,1"));
+        let steps = r.steps_csv(&prov);
+        assert!(steps.contains("0,0,0,1,2,0.5,0.75,0.75"));
+        let halts = r.halts_csv(&prov);
+        assert!(halts.ends_with("0,1,1\n"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Replay::from_stream("{oops").unwrap_err().contains("line 1"));
+        assert!(Replay::from_stream("{\"x\":1}")
+            .unwrap_err()
+            .contains("type"));
+    }
+}

@@ -45,70 +45,87 @@ fn uint(v: Option<&Value>) -> usize {
 }
 
 impl Summary {
-    /// Folds a full stream. Lines must individually be valid JSON objects;
-    /// run the stream through [`crate::schema::validate_stream`] first when
-    /// structural guarantees matter.
+    /// Folds a full in-memory stream. Lines must individually be valid
+    /// JSON objects; run the stream through
+    /// [`crate::schema::validate_stream`] first when structural
+    /// guarantees matter. Large files should be streamed through
+    /// [`Summary::fold_line`] instead (as `obs-report` does) — this
+    /// convenience merely iterates it.
     pub fn from_stream(text: &str) -> Result<Summary, String> {
         let mut s = Summary::default();
         for (i, line) in text.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
-            let v: Value = serde_json::from_str(line)
-                .map_err(|e| format!("line {}: not valid JSON: {e}", i + 1))?;
-            let ty = match v.get("type") {
-                Some(Value::String(t)) => t.clone(),
-                _ => return Err(format!("line {}: missing \"type\"", i + 1)),
-            };
-            s.lines += 1;
-            *s.by_type.entry(ty.clone()).or_insert(0) += 1;
-            match ty.as_str() {
-                "meta" => {
-                    if let Value::Object(fields) = &v {
-                        for (k, val) in fields {
-                            if k != "type" {
-                                s.provenance.push((k.clone(), val.to_string()));
-                            }
-                        }
-                    }
-                }
-                "round_end" => {
-                    s.bytes += uint(v.get("bytes"));
-                }
-                "node_halt" => s.node_halts += 1,
-                "sim_run_end" => {
-                    s.sim_runs += 1;
-                    s.rounds += uint(v.get("rounds"));
-                    s.messages += uint(v.get("messages"));
-                }
-                "fix_step" => {
-                    s.fix_steps += 1;
-                    if let Some(Value::Array(hs)) = v.get("headroom") {
-                        for h in hs {
-                            let h = match h {
-                                Value::F64(x) => Some(*x),
-                                Value::U64(x) => Some(*x as f64),
-                                Value::I64(x) => Some(*x as f64),
-                                _ => None,
-                            };
-                            if let Some(h) = h {
-                                s.min_headroom = Some(s.min_headroom.map_or(h, |m: f64| m.min(h)));
-                            }
-                        }
-                    }
-                }
-                "audit_pass" => s.audit_passes += 1,
-                "audit_violation" => s.audit_violations += 1,
-                "fix_run_end" => s.fix_runs += 1,
-                "experiment_end" => {
-                    if let (Some(Value::String(id)), rows) = (v.get("id"), uint(v.get("rows"))) {
-                        s.experiments.push((id.clone(), rows));
-                    }
-                }
-                _ => {}
-            }
+            s.fold_line(line)
+                .map_err(|e| format!("line {}: {e}", i + 1))?;
         }
         Ok(s)
+    }
+
+    /// Folds one line into the summary — the bounded-memory entry point:
+    /// each line is parsed, aggregated and dropped, so memory stays
+    /// proportional to the summary, not the stream.
+    ///
+    /// # Errors
+    ///
+    /// A description of the malformed line (no line-number prefix; the
+    /// caller knows the position).
+    pub fn fold_line(&mut self, line: &str) -> Result<(), String> {
+        let s = self;
+        let v: Value = serde_json::from_str(line).map_err(|e| format!("not valid JSON: {e}"))?;
+        let ty = match v.get("type") {
+            Some(Value::String(t)) => t.clone(),
+            _ => return Err("missing \"type\" field".to_string()),
+        };
+        s.lines += 1;
+        *s.by_type.entry(ty.clone()).or_insert(0) += 1;
+        match ty.as_str() {
+            "meta" => {
+                if let Value::Object(fields) = &v {
+                    for (k, val) in fields {
+                        if k != "type" {
+                            s.provenance.push((k.clone(), val.to_string()));
+                        }
+                    }
+                }
+            }
+            "round_end" => {
+                s.bytes += uint(v.get("bytes"));
+            }
+            "node_halt" => s.node_halts += 1,
+            "sim_run_end" => {
+                s.sim_runs += 1;
+                s.rounds += uint(v.get("rounds"));
+                s.messages += uint(v.get("messages"));
+            }
+            "fix_step" => {
+                s.fix_steps += 1;
+                if let Some(Value::Array(hs)) = v.get("headroom") {
+                    for h in hs {
+                        let h = match h {
+                            Value::F64(x) => Some(*x),
+                            Value::U64(x) => Some(*x as f64),
+                            Value::I64(x) => Some(*x as f64),
+                            _ => None,
+                        };
+                        if let Some(h) = h {
+                            s.min_headroom = Some(s.min_headroom.map_or(h, |m: f64| m.min(h)));
+                        }
+                    }
+                }
+            }
+            "audit_pass" => s.audit_passes += 1,
+            "audit_violation" => s.audit_violations += 1,
+            "fix_run_end" => s.fix_runs += 1,
+            "experiment_end" => {
+                if let (Some(Value::String(id)), rows) = (v.get("id"), uint(v.get("rows"))) {
+                    s.experiments.push((id.clone(), rows));
+                }
+            }
+            _ => {}
+        }
+        Ok(())
     }
 }
 

@@ -59,6 +59,17 @@ fn required_fields(ty: &str) -> Option<&'static [(&'static str, Kind)]> {
             ("prob_violations", Array),
         ],
         "fix_run_end" => &[("steps", Uint), ("violated", Uint)],
+        // Side-band timing summaries (own file, never interleaved with
+        // the deterministic event stream; see `crate::timing`).
+        "timing" => &[
+            ("scope", Str),
+            ("count", Uint),
+            ("p50_ns", Uint),
+            ("p90_ns", Uint),
+            ("p99_ns", Uint),
+            ("max_ns", Uint),
+            ("total_ns", Uint),
+        ],
         "experiment_start" => &[("id", Str)],
         "experiment_row" => &[("id", Str), ("index", Uint)],
         "experiment_end" => &[("id", Str), ("rows", Uint)],

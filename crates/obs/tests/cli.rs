@@ -1,0 +1,232 @@
+//! End-to-end tests of the `obs-report` binary: the exit-code contract
+//! (0 ok / 1 schema violation or divergence / 2 I/O error / 3 truncated
+//! stream), bounded-memory streaming of real files, and the `series` and
+//! `diff` subcommands.
+
+#![forbid(unsafe_code)]
+
+use lll_obs::Event;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const BIN: &str = env!("CARGO_BIN_EXE_obs-report");
+
+static NEXT_FILE: AtomicUsize = AtomicUsize::new(0);
+
+/// A unique scratch path for this test process.
+fn scratch(name: &str) -> PathBuf {
+    let n = NEXT_FILE.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("obs-report-test-{}-{n}-{name}", std::process::id()))
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(BIN)
+        .args(args)
+        .output()
+        .expect("spawn obs-report")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("exit code")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A small, schema-valid stream: one simulator run plus one fixer run.
+fn valid_stream() -> String {
+    let mut text = String::new();
+    for e in [
+        Event::SimRunStart {
+            nodes: 2,
+            edges: 1,
+            max_degree: 1,
+            seed: 7,
+        },
+        Event::RoundStart {
+            round: 1,
+            running: 2,
+        },
+        Event::NodeHalt { round: 1, node: 0 },
+        Event::RoundEnd {
+            round: 1,
+            delivered: 2,
+            bytes: 8,
+            halted: 1,
+            running: 1,
+        },
+        Event::SimRunEnd {
+            rounds: 1,
+            messages: 2,
+        },
+        Event::FixRunStart {
+            variables: 1,
+            events: 1,
+            max_rank: 2,
+        },
+        Event::FixStep {
+            step: 0,
+            variable: 0,
+            value: 1,
+            rank: 1,
+            touched: vec![0],
+            inc: vec![1.0],
+            phi_product: vec![0.5],
+            headroom: vec![1.5],
+        },
+        Event::FixRunEnd {
+            steps: 1,
+            violated: 0,
+        },
+    ] {
+        text.push_str(&e.to_jsonl());
+        text.push('\n');
+    }
+    text
+}
+
+#[test]
+fn valid_stream_exits_zero() {
+    let path = scratch("valid.jsonl");
+    std::fs::write(&path, valid_stream()).unwrap();
+    let p = path.to_str().unwrap();
+    for args in [vec!["--validate", p], vec!["summarize", "--validate", p]] {
+        let out = run(&args);
+        assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+        let text = stdout(&out);
+        assert!(text.contains("schema OK"), "{text}");
+        assert!(text.contains("simulator: 1 run(s)"), "{text}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn schema_violation_exits_one() {
+    // round 2 does not follow round 0: a stream-level violation.
+    let mut text = Event::SimRunStart {
+        nodes: 1,
+        edges: 0,
+        max_degree: 0,
+        seed: 0,
+    }
+    .to_jsonl();
+    text.push('\n');
+    text.push_str(
+        &Event::RoundStart {
+            round: 2,
+            running: 1,
+        }
+        .to_jsonl(),
+    );
+    text.push('\n');
+    let path = scratch("violation.jsonl");
+    std::fs::write(&path, &text).unwrap();
+    let out = run(&["--validate", path.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 1, "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("does not follow"), "{}", stderr(&out));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn missing_file_exits_two() {
+    let out = run(&["--validate", "/nonexistent/trace.jsonl"]);
+    assert_eq!(exit_code(&out), 2, "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn usage_error_exits_two() {
+    assert_eq!(exit_code(&run(&[])), 2);
+    assert_eq!(exit_code(&run(&["diff", "only-one-file"])), 2);
+    assert_eq!(exit_code(&run(&["series", "no-out-flag.jsonl"])), 2);
+}
+
+#[test]
+fn truncated_final_line_warns_and_exits_three() {
+    // A valid stream whose writer died mid-line: final line has no
+    // newline and is not valid JSON.
+    let mut text = valid_stream();
+    text.push_str("{\"type\":\"sim_run_start\",\"nodes\":4,\"ed");
+    let path = scratch("truncated.jsonl");
+    std::fs::write(&path, &text).unwrap();
+    let out = run(&[path.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 3, "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("truncated"), "{}", stderr(&out));
+    // Everything before the torn line was still summarized.
+    assert!(
+        stdout(&out).contains("simulator: 1 run(s)"),
+        "{}",
+        stdout(&out)
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn complete_final_line_without_newline_is_fine() {
+    // No trailing newline but the line parses: a normally-closed stream
+    // from a writer that skips the final newline. Not truncation.
+    let text = valid_stream();
+    let path = scratch("no-trailing-newline.jsonl");
+    std::fs::write(&path, text.trim_end()).unwrap();
+    let out = run(&["--validate", path.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn series_writes_stamped_csvs() {
+    let path = scratch("trace.jsonl");
+    std::fs::write(&path, valid_stream()).unwrap();
+    let out_dir = scratch("series-out");
+    let out = run(&[
+        "series",
+        "--out",
+        out_dir.to_str().unwrap(),
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+    let stem = path.file_stem().unwrap().to_str().unwrap();
+    let rounds = std::fs::read_to_string(out_dir.join(format!("{stem}_rounds.csv"))).unwrap();
+    assert!(rounds.starts_with("# provenance:"), "{rounds}");
+    assert!(rounds.contains("run,round,delivered,bytes,halted,running"));
+    assert!(rounds.contains("0,1,2,8,1,1"), "{rounds}");
+    let steps = std::fs::read_to_string(out_dir.join(format!("{stem}_steps.csv"))).unwrap();
+    assert!(steps.contains("phi_product_min"), "{steps}");
+    assert!(out_dir.join(format!("{stem}_halts.csv")).exists());
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_dir_all(&out_dir).ok();
+}
+
+#[test]
+fn diff_identical_exits_zero_divergent_exits_one() {
+    let a_path = scratch("a.jsonl");
+    let b_path = scratch("b.jsonl");
+    std::fs::write(&a_path, valid_stream()).unwrap();
+    std::fs::write(&b_path, valid_stream()).unwrap();
+    let out = run(&["diff", a_path.to_str().unwrap(), b_path.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("identical"), "{}", stdout(&out));
+
+    // Mutate one field of one event in b.
+    let mutated = valid_stream().replace("\"delivered\":2", "\"delivered\":3");
+    assert_ne!(mutated, valid_stream());
+    std::fs::write(&b_path, mutated).unwrap();
+    let out = run(&[
+        "diff",
+        "--context",
+        "1",
+        a_path.to_str().unwrap(),
+        b_path.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 1, "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("streams diverge at event index 3"), "{text}");
+    assert!(text.contains("delivered"), "{text}");
+    std::fs::remove_file(&a_path).ok();
+    std::fs::remove_file(&b_path).ok();
+}

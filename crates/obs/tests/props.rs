@@ -1,0 +1,161 @@
+//! Property tests for the phase-2 read side: the streaming histogram
+//! against exact sorted-quantile oracles (including merge associativity
+//! across simulated shards), and divergence triage against synthetically
+//! mutated streams (flip one field at a random index — the diff must
+//! localize exactly that index and field).
+
+#![forbid(unsafe_code)]
+
+use lll_obs::diff::diff_streams;
+use lll_obs::{Event, Histogram};
+use proptest::prelude::*;
+
+/// The histogram's documented accuracy: a reported quantile is never
+/// below the exact order statistic and at most one sub-bucket width
+/// (1/32, relative) above it.
+fn assert_quantile_close(est: u64, exact: u64, q: f64) {
+    assert!(est >= exact, "q={q}: est {est} < exact {exact}");
+    assert!(
+        est - exact <= exact / 32 + 1,
+        "q={q}: est {est} too far above exact {exact}"
+    );
+}
+
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_quantiles_match_sorted_oracle(
+        values in proptest::collection::vec(any::<u64>(), 1..400),
+        q in 0.01f64..1.0f64,
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), sorted[0]);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+        for q in [q, 0.5, 0.9, 0.99, 1.0] {
+            assert_quantile_close(h.quantile(q), exact_quantile(&sorted, q), q);
+        }
+    }
+
+    #[test]
+    fn histogram_merge_is_associative_and_shard_order_free(
+        a in proptest::collection::vec(any::<u64>(), 0..120),
+        b in proptest::collection::vec(any::<u64>(), 0..120),
+        c in proptest::collection::vec(any::<u64>(), 0..120),
+    ) {
+        let hist = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (ha, hb, hc) = (hist(&a), hist(&b), hist(&c));
+
+        // (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c): shards can be folded in any
+        // association order.
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut right_bc = hb.clone();
+        right_bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_bc);
+        prop_assert_eq!(&left, &right);
+
+        // Commutes with shard order, and equals the single-stream fold.
+        let mut reversed = hc.clone();
+        reversed.merge(&hb);
+        reversed.merge(&ha);
+        prop_assert_eq!(&left, &reversed);
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&left, &hist(&all));
+    }
+
+    #[test]
+    fn diff_localizes_random_single_field_mutations(
+        rounds in 1usize..24,
+        mutate_at in any::<usize>(),
+        field_pick in any::<u8>(),
+        delivered in proptest::collection::vec(0u64..1000, 24),
+    ) {
+        // A synthetic but schema-shaped stream: round_start/round_end
+        // pairs with varying payloads.
+        let events: Vec<Event> = (0..rounds)
+            .flat_map(|r| {
+                [
+                    Event::RoundStart {
+                        round: r + 1,
+                        running: 8,
+                    },
+                    Event::RoundEnd {
+                        round: r + 1,
+                        delivered: delivered[r] as usize,
+                        bytes: 8 * delivered[r] as usize,
+                        halted: 0,
+                        running: 8,
+                    },
+                ]
+            })
+            .collect();
+        let i = mutate_at % events.len();
+        let mut mutated = events.clone();
+        // Flip exactly one numeric field of event i by +1.
+        let expected_field = match &mut mutated[i] {
+            Event::RoundStart { running, .. } => {
+                *running += 1;
+                "running"
+            }
+            Event::RoundEnd {
+                delivered,
+                bytes,
+                halted,
+                running,
+                ..
+            } => match field_pick % 4 {
+                0 => {
+                    *delivered += 1;
+                    "delivered"
+                }
+                1 => {
+                    *bytes += 1;
+                    "bytes"
+                }
+                2 => {
+                    *halted += 1;
+                    "halted"
+                }
+                _ => {
+                    *running += 1;
+                    "running"
+                }
+            },
+            _ => unreachable!("stream holds only round events"),
+        };
+        let serialize = |evs: &[Event]| {
+            evs.iter()
+                .map(|e| e.to_jsonl())
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let d = diff_streams(&serialize(&events), &serialize(&mutated), 2)
+            .expect("mutated stream must diverge");
+        prop_assert_eq!(d.index, i);
+        prop_assert_eq!(d.fields.len(), 1);
+        prop_assert_eq!(d.fields[0].field.as_str(), expected_field);
+        // Streams agree again after the mutated event, so the diff's
+        // after-context on both sides matches.
+        prop_assert_eq!(&d.after_a, &d.after_b);
+    }
+}

@@ -68,7 +68,11 @@ fn test_graphs() -> Vec<(&'static str, Graph)> {
 }
 
 /// Runs `make` through both engines and asserts the full outcome
-/// (outputs, rounds, messages) matches at every worker count.
+/// (outputs, rounds, messages) matches at every worker count. On a
+/// mismatch, both engines are re-run with a flight recorder and the
+/// failure message carries the `obs::diff` first-divergence triage
+/// (event index, kind, field-level delta, context) instead of only the
+/// aggregate that happened to differ.
 fn assert_engines_agree<P, F>(name: &str, sim: &Simulator<'_>, make: F, max_rounds: usize)
 where
     P: NodeProgram + Send,
@@ -81,18 +85,32 @@ where
         let par = sim
             .run_parallel(threads, |ctx| make(ctx), max_rounds)
             .expect("parallel run");
-        assert_eq!(
-            reference.outputs, par.outputs,
-            "{name}: outputs diverge at {threads} threads"
-        );
-        assert_eq!(
-            reference.rounds, par.rounds,
-            "{name}: round bill diverges at {threads} threads"
-        );
-        assert_eq!(
-            reference.messages, par.messages,
-            "{name}: message bill diverges at {threads} threads"
-        );
+        if reference.outputs != par.outputs
+            || reference.rounds != par.rounds
+            || reference.messages != par.messages
+        {
+            let record = |run: &dyn Fn(&mut sharp_lll::obs::JsonlRecorder<Vec<u8>>)| {
+                let mut rec = sharp_lll::obs::JsonlRecorder::new(Vec::new());
+                run(&mut rec);
+                String::from_utf8(rec.finish().expect("in-memory stream never fails"))
+                    .expect("stream is utf-8")
+            };
+            let seq_stream = record(&|rec| {
+                let _ = sim.run_recorded(|ctx| make(ctx), max_rounds, rec);
+            });
+            let par_stream = record(&|rec| {
+                let _ = sim.run_parallel_recorded(threads, |ctx| make(ctx), max_rounds, rec);
+            });
+            let triage = match sharp_lll::obs::diff::diff_streams(&seq_stream, &par_stream, 3) {
+                Some(d) => d.to_string(),
+                None => "event streams agree; outcome aggregation diverged".to_string(),
+            };
+            panic!(
+                "{name}: engines diverge at {threads} threads \
+                 (rounds {} vs {}, messages {} vs {})\n{triage}",
+                reference.rounds, par.rounds, reference.messages, par.messages
+            );
+        }
     }
 }
 
