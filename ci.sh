@@ -21,6 +21,10 @@ echo "==> differential battery, parallel engine at 2 and 8 workers"
 LLL_DIFF_THREADS=2 cargo test -q --test parallel_differential
 LLL_DIFF_THREADS=8 cargo test -q --test parallel_differential
 
+echo "==> differential battery, parallel fixing sweep at 2 and 8 workers"
+LLL_DIFF_THREADS=2 cargo test -q --test fixer_parallel_differential
+LLL_DIFF_THREADS=8 cargo test -q --test fixer_parallel_differential
+
 echo "==> flight recorder: traced workload + summarize/series/diff + timing"
 cargo test -q -p lll-bench --test obs_differential
 cargo test -q -p lll-obs
@@ -43,6 +47,14 @@ cargo run --release -q -p lll-bench --bin tables -- \
   --threads 4 --obs "$tmp_obs/trace_t4.jsonl" TRACE > /dev/null
 cargo run --release -q -p lll-obs --bin obs-report -- \
   diff "$tmp_obs/trace_t1.jsonl" "$tmp_obs/trace_t4.jsonl"
+# Same contract for the color-class-parallel fixing sweep: the recorded
+# fixing stream at 1 and 4 sweep workers must be byte-identical.
+cargo run --release -q -p lll-bench --bin tables -- \
+  --obs "$tmp_obs/sweep_t1.jsonl" SWEEP > /dev/null
+cargo run --release -q -p lll-bench --bin tables -- \
+  --threads 4 --obs "$tmp_obs/sweep_t4.jsonl" SWEEP > /dev/null
+cargo run --release -q -p lll-obs --bin obs-report -- \
+  diff "$tmp_obs/sweep_t1.jsonl" "$tmp_obs/sweep_t4.jsonl"
 rm -rf "$tmp_obs"
 
 echo "==> cargo fmt --check"

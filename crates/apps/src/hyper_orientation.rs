@@ -210,6 +210,7 @@ pub(crate) fn tests_support_fix(inst: &Instance<f64>) -> lll_core::FixReport {
     lll_core::Fixer3::new(inst)
         .expect("below threshold")
         .run_default()
+        .expect("finite costs below the threshold")
 }
 
 #[cfg(test)]
@@ -239,7 +240,7 @@ mod tests {
     fn fixer3_solves_hyper_ring() {
         let h = hyper_ring(10);
         let inst = hyper_orientation_instance::<f64>(&h).unwrap();
-        let report = Fixer3::new(&inst).unwrap().run_default();
+        let report = Fixer3::new(&inst).unwrap().run_default().unwrap();
         assert!(report.is_success());
         let heads = heads_from_assignment(&h, report.assignment());
         assert!(is_valid_orientation(&h, &heads));
@@ -252,7 +253,7 @@ mod tests {
         // Random hypergraphs may have dependency degree up to 6; the
         // criterion still holds (p ≈ 4e-3 < 2^-6).
         assert!(inst.satisfies_exponential_criterion());
-        let report = Fixer3::new(&inst).unwrap().run_default();
+        let report = Fixer3::new(&inst).unwrap().run_default().unwrap();
         assert!(report.is_success());
         let heads = heads_from_assignment(&h, report.assignment());
         assert!(is_valid_orientation(&h, &heads));

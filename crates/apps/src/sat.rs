@@ -272,7 +272,8 @@ pub fn solve_recorded<R: lll_obs::Recorder>(
     let order = 0..inst.num_variables();
     let report = Fixer3::new(&inst)
         .map_err(SatError::OutOfRegime)?
-        .run_recorded(order, rec);
+        .run_recorded(order, rec)
+        .expect("below the threshold every cost is finite");
     debug_assert!(
         report.is_success(),
         "Theorem 1.3 guarantees success below the threshold"

@@ -165,7 +165,7 @@ mod tests {
     fn fixer3_solves_weak_splitting() {
         let bip = random_bipartite_biregular(20, 3, 20, 3, 7).unwrap();
         let inst = weak_splitting_instance::<f64>(&bip, 20, 16).unwrap();
-        let report = Fixer3::new(&inst).unwrap().run_default();
+        let report = Fixer3::new(&inst).unwrap().run_default().unwrap();
         assert!(report.is_success());
         assert!(is_weak_splitting(&bip, 20, report.assignment(), 2));
     }

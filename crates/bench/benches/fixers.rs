@@ -20,7 +20,8 @@ fn bench_fixer2(c: &mut Criterion) {
             b.iter(|| {
                 let report = Fixer2::new(black_box(inst))
                     .expect("below threshold")
-                    .run(order.clone());
+                    .run(order.clone())
+                    .expect("finite costs below the threshold");
                 assert!(report.is_success());
                 report
             })
@@ -39,7 +40,8 @@ fn bench_fixer3(c: &mut Criterion) {
             b.iter(|| {
                 let report = Fixer3::new(black_box(inst))
                     .expect("below threshold")
-                    .run(order.clone());
+                    .run(order.clone())
+                    .expect("finite costs below the threshold");
                 assert!(report.is_success());
                 report
             })
@@ -68,7 +70,7 @@ fn bench_fixer3(c: &mut Criterion) {
             b.iter(|| {
                 let mut fixer = Fixer3::new(black_box(inst)).expect("below threshold");
                 for &x in &order {
-                    fixer.fix_variable(x);
+                    fixer.fix_variable(x).expect("finite costs");
                     let audit =
                         audit_p_star(inst, fixer.partial(), fixer.phi(), &p, &BigRational::zero());
                     assert!(audit.holds());

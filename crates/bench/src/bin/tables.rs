@@ -21,7 +21,11 @@
 //! `experiment_start`/`experiment_row`/`experiment_end` events per
 //! experiment, and — for the pseudo-experiment id `TRACE` — the full
 //! simulator event stream of a small traced schedule-coloring workload.
-//! Validate and summarize the file with the `obs-report` binary.
+//! The pseudo-experiment id `SWEEP` likewise records the full fixing
+//! stream of the color-class-parallel rank-2 driver at `--threads`
+//! workers; that stream is byte-identical for every worker count, which
+//! CI checks with `obs-report diff`. Validate and summarize the file
+//! with the `obs-report` binary.
 //!
 //! With `--timing <file.jsonl>` the `TRACE` pseudo-experiment runs with
 //! a side-band timing profiler attached and writes per-scope latency
@@ -595,6 +599,46 @@ fn main() {
         trace_experiment(&mut obs, "E16", rows.len());
     }
 
+    if wanted(&selected, "E17") {
+        println!("== E17: color-class-parallel fixing sweep — audited driver wall-clock ==");
+        let data = ex::e17_fixing_speedup(&[1 << 14, 1 << 16], &[1, 2, 8]);
+        write_csv(
+            "e17_fixing_speedup.csv",
+            "driver,n,threads,seq_millis,par_millis,speedup",
+            &data
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{},{},{},{:.2},{:.2},{:.3}",
+                        r.driver, r.n, r.threads, r.seq_millis, r.par_millis, r.speedup
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        let rows: Vec<Vec<String>> = data
+            .into_iter()
+            .map(|r| {
+                vec![
+                    r.driver,
+                    r.n.to_string(),
+                    r.threads.to_string(),
+                    format!("{:.1}", r.seq_millis),
+                    format!("{:.1}", r.par_millis),
+                    format!("{:.2}x", r.speedup),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &["driver", "n", "threads", "seq (ms)", "par (ms)", "speedup"],
+                &rows
+            )
+        );
+        println!("(audited end-to-end drivers, best of two passes per point; assignments and\n round bills asserted identical before timing is reported — on a single-CPU\n host the speedup is engine efficiency, not parallelism; see EXPERIMENTS.md)\n");
+        trace_experiment(&mut obs, "E17", rows.len());
+    }
+
     if selected.contains("TRACE") {
         println!("== TRACE: recorded schedule-coloring workload (ring n = {TRACE_N}) ==");
         let mut timing = lll_obs::TimingRecorder::new();
@@ -652,6 +696,41 @@ fn main() {
                     .filter(|&&s| !timing.scope(s).is_empty())
                     .count(),
                 path.display()
+            );
+        }
+    }
+
+    if selected.contains("SWEEP") {
+        println!("== SWEEP: recorded color-class-parallel fixing sweep (ring n = {TRACE_N}, t = {threads}) ==");
+        if let Some(rec) = obs.as_mut() {
+            rec.record(&Event::ExperimentStart {
+                id: "SWEEP".to_owned(),
+            });
+            let report = ex::record_sweep_workload(TRACE_N, threads, rec);
+            rec.record(&Event::ExperimentEnd {
+                id: "SWEEP".to_owned(),
+                rows: 0,
+            });
+            println!(
+                "driver: {} rounds ({} coloring), {} classes, {} fix steps\n",
+                report.rounds,
+                report.coloring_rounds,
+                report.num_classes,
+                report.fix.num_steps()
+            );
+        } else {
+            let mut counter = lll_obs::CounterRecorder::new();
+            let report = ex::record_sweep_workload(TRACE_N, threads, &mut counter);
+            println!(
+                "driver: {} rounds ({} coloring), {} classes, {} fix steps",
+                report.rounds,
+                report.coloring_rounds,
+                report.num_classes,
+                report.fix.num_steps()
+            );
+            println!(
+                "(recorded {} events; pass --obs <file.jsonl> to keep the stream —\n the stream is byte-identical for every --threads value)\n",
+                counter.events
             );
         }
     }

@@ -16,8 +16,9 @@ use lll_apps::sinkless::{
 use lll_apps::weak_splitting::{is_weak_splitting, weak_splitting_instance};
 use lll_core::dist::distributed_fg;
 use lll_core::dist::{
-    distributed_fixer2, distributed_fixer2_parallel, distributed_fixer3,
-    distributed_fixer3_parallel, CriterionCheck,
+    distributed_fixer2, distributed_fixer2_audited, distributed_fixer2_parallel,
+    distributed_fixer2_recorded, distributed_fixer3, distributed_fixer3_audited,
+    distributed_fixer3_parallel, CriterionCheck, DistReport,
 };
 use lll_core::fg_criterion;
 use lll_core::orders::{run_fixer2_adaptive_worst, run_fixer3_adaptive_worst, StaticOrder};
@@ -73,7 +74,10 @@ pub fn e1_fixer2_success(trials: usize) -> Vec<SuccessRow> {
                 let inst = random_rank2_instance(g, *k, t, 1000 + trial as u64);
                 criterion = inst.criterion_value();
                 let order = shuffled_order(inst.num_variables(), 2000 + trial as u64);
-                let report = Fixer2::new(&inst).expect("below threshold").run(order);
+                let report = Fixer2::new(&inst)
+                    .expect("below threshold")
+                    .run(order)
+                    .expect("finite costs below the threshold");
                 if report.is_success() {
                     successes += 1;
                 }
@@ -109,7 +113,10 @@ pub fn e5_fixer3_success(trials: usize) -> Vec<SuccessRow> {
                 let inst = random_rank3_instance(h, 8, t, 3000 + trial as u64);
                 criterion = inst.criterion_value();
                 let order = shuffled_order(inst.num_variables(), 4000 + trial as u64);
-                let report = Fixer3::new(&inst).expect("below threshold").run(order);
+                let report = Fixer3::new(&inst)
+                    .expect("below threshold")
+                    .run(order)
+                    .expect("finite costs below the threshold");
                 if report.is_success() {
                     successes += 1;
                 }
@@ -285,23 +292,29 @@ pub fn e7_threshold_sweep(trials: usize) -> Vec<ThresholdRow> {
             let seed = 9000 + trial as u64;
             let i2 = random_rank2_instance(&g, 4, t, seed);
             let order2 = shuffled_order(i2.num_variables(), seed ^ 0xabc);
+            // Above the threshold a non-finite f64 cost counts as a
+            // failed run (the exact backend never produces one).
             if Fixer2::new_unchecked(&i2)
                 .expect("rank 2")
                 .run(order2)
-                .is_success()
+                .is_ok_and(|r| r.is_success())
             {
                 s2 += 1;
             }
             let i3 = random_rank3_instance(&h, 8, t, seed);
             let order3 = shuffled_order(i3.num_variables(), seed ^ 0xdef);
             let mut f3 = Fixer3::new_unchecked(&i3).expect("rank 3");
+            let mut finite = true;
             for x in order3 {
-                f3.fix_variable(x);
+                if f3.fix_variable(x).is_err() {
+                    finite = false;
+                    break;
+                }
             }
-            if f3.invariant_intact() {
+            if finite && f3.invariant_intact() {
                 intact += 1;
             }
-            if f3.into_report().is_success() {
+            if finite && f3.into_report().is_success() {
                 s3 += 1;
             }
         }
@@ -497,7 +510,7 @@ pub fn a1_value_rule(trials: usize) -> Vec<AblationRow> {
                     .expect("rank 3")
                     .with_rule(rule)
                     .run(order);
-                if report.is_success() {
+                if report.is_ok_and(|r| r.is_success()) {
                     successes += 1;
                 }
             }
@@ -530,7 +543,10 @@ pub fn a2_backend() -> Vec<BackendRow> {
 
     let start = Instant::now();
     let inst_f = hyper_orientation_instance::<f64>(&h).expect("valid hypergraph");
-    let rep_f = Fixer3::new(&inst_f).expect("below threshold").run_default();
+    let rep_f = Fixer3::new(&inst_f)
+        .expect("below threshold")
+        .run_default()
+        .expect("finite costs below the threshold");
     let micros_f = start.elapsed().as_micros() as f64;
 
     let start = Instant::now();
@@ -539,7 +555,7 @@ pub fn a2_backend() -> Vec<BackendRow> {
     let mut fixer = Fixer3::new(&inst_q).expect("below threshold");
     let mut audits_ok = true;
     for x in 0..inst_q.num_variables() {
-        fixer.fix_variable(x);
+        fixer.fix_variable(x).expect("exact costs are finite");
     }
     // One exact audit at the end of the run (per-step audits are what
     // the unit tests do; here we bill a realistic usage).
@@ -627,10 +643,10 @@ pub fn e11_adversaries(trials: usize) -> Vec<AdversaryRow> {
                 "adaptive-worst" => (run_fixer2_adaptive_worst(f2), run_fixer3_adaptive_worst(f3)),
                 _ => unreachable!(),
             };
-            if r2.is_success() {
+            if r2.expect("finite costs below the threshold").is_success() {
                 s2 += 1;
             }
-            if r3.is_success() {
+            if r3.expect("finite costs below the threshold").is_success() {
                 s3 += 1;
             }
         }
@@ -870,6 +886,114 @@ pub fn e14_parallel_speedup(sizes: &[usize], thread_counts: &[usize]) -> Vec<Spe
     rows
 }
 
+/// E17 — the color-class-parallel fixing *sweep*: end-to-end wall-clock
+/// of the fully audited distributed drivers (the E2/E6 workloads with a
+/// per-class `P*` audit) at 1 worker vs `t` workers. Unlike E14 — where
+/// only the schedule coloring parallelized and the fixing sweep diluted
+/// the speedup à la Amdahl — both the fixing steps and the audit checks
+/// now run inside the sweep workers, so the whole driver scales.
+#[derive(Debug, Clone)]
+pub struct FixSpeedupRow {
+    /// Driver label: `"fixer2-audited"` or `"fixer3-audited"`.
+    pub driver: String,
+    /// Number of events.
+    pub n: usize,
+    /// Sweep worker threads.
+    pub threads: usize,
+    /// Audited driver wall-clock at 1 worker (ms).
+    pub seq_millis: f64,
+    /// Audited driver wall-clock at `threads` workers (ms).
+    pub par_millis: f64,
+    /// `seq_millis / par_millis`.
+    pub speedup: f64,
+}
+
+/// Runs experiment E17: times the audited rank-2 and rank-3 drivers at
+/// each size sequentially, then at each worker count — asserting
+/// bit-for-bit equal assignments and round bills before any timing is
+/// reported. Best-of-two wall-clock per point (E14's guard against
+/// one-off scheduling noise).
+pub fn e17_fixing_speedup(sizes: &[usize], thread_counts: &[usize]) -> Vec<FixSpeedupRow> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        // Rank 2: the E2 ring workload under a per-class audit.
+        let g = ring(n);
+        let i2 = random_rank2_instance(&g, 8, 0.9, 7);
+        let p2 = i2.max_event_probability();
+        let (base2, seq2) = best_of(2, || {
+            distributed_fixer2_audited(&i2, 5, CriterionCheck::Enforce, 1, &p2, &1e-9)
+                .expect("below threshold")
+        });
+
+        // Rank 3: the E6 hyper-ring workload under a per-class audit.
+        let h = hyper_ring(n);
+        let i3 = random_rank3_instance(&h, 8, 0.9, 7);
+        let p3 = i3.max_event_probability();
+        let (base3, seq3) = best_of(2, || {
+            distributed_fixer3_audited(&i3, 5, CriterionCheck::Enforce, 1, &p3, &1e-9)
+                .expect("below threshold")
+        });
+
+        for &threads in thread_counts {
+            let (par2, par2_millis) = best_of(2, || {
+                distributed_fixer2_audited(&i2, 5, CriterionCheck::Enforce, threads, &p2, &1e-9)
+                    .expect("below threshold")
+            });
+            assert_eq!(par2.rounds, base2.rounds, "sweeps must agree");
+            assert_eq!(
+                par2.fix.assignment(),
+                base2.fix.assignment(),
+                "sweeps must agree"
+            );
+            rows.push(FixSpeedupRow {
+                driver: "fixer2-audited".to_owned(),
+                n,
+                threads,
+                seq_millis: seq2,
+                par_millis: par2_millis,
+                speedup: seq2 / par2_millis,
+            });
+
+            let (par3, par3_millis) = best_of(2, || {
+                distributed_fixer3_audited(&i3, 5, CriterionCheck::Enforce, threads, &p3, &1e-9)
+                    .expect("below threshold")
+            });
+            assert_eq!(par3.rounds, base3.rounds, "sweeps must agree");
+            assert_eq!(
+                par3.fix.assignment(),
+                base3.fix.assignment(),
+                "sweeps must agree"
+            );
+            rows.push(FixSpeedupRow {
+                driver: "fixer3-audited".to_owned(),
+                n,
+                threads,
+                seq_millis: seq3,
+                par_millis: par3_millis,
+                speedup: seq3 / par3_millis,
+            });
+        }
+    }
+    rows
+}
+
+/// Records the `SWEEP` pseudo-experiment: the audited-workload rank-2
+/// driver of E17 (ring, `d = 2`), with the fixing sweep *and* the
+/// schedule coloring on `threads` workers, streaming its full
+/// `fix_run_start`/`fix_step`.../`fix_run_end` bracket into `rec`. The
+/// stream is byte-identical for every `threads` — that contract is what
+/// `obs-report diff` holds CI to.
+pub fn record_sweep_workload<R: lll_obs::Recorder>(
+    n: usize,
+    threads: usize,
+    rec: &mut R,
+) -> DistReport {
+    let g = ring(n);
+    let inst = random_rank2_instance(&g, 8, 0.9, 7);
+    distributed_fixer2_recorded(&inst, 5, CriterionCheck::Enforce, threads, rec)
+        .expect("below threshold")
+}
+
 /// Runs `f` `k` times; returns its (deterministic) result and the
 /// minimum wall-clock milliseconds observed — the usual guard against
 /// one-off scheduling noise.
@@ -956,7 +1080,8 @@ pub fn time_fixer_workload<T: lll_obs::TimingSink>(n: usize, timing: &mut T) {
     let inst = random_rank2_instance(&g, 8, 0.9, 7);
     let report = Fixer2::new(&inst)
         .expect("trace instance is below the rank-2 threshold")
-        .run_timed_recorded(0..inst.num_variables(), &mut lll_obs::NullRecorder, timing);
+        .run_timed_recorded(0..inst.num_variables(), &mut lll_obs::NullRecorder, timing)
+        .expect("finite costs below the threshold");
     assert!(
         report.violated_events().is_empty(),
         "rank-2 fixing must succeed on the trace instance"
@@ -1083,7 +1208,7 @@ pub fn audited_rank3_run(n: usize, seed: u64) -> bool {
     let order = shuffled_order(inst.num_variables(), seed);
     let mut fixer = Fixer3::new(&inst).expect("below threshold");
     for x in order {
-        fixer.fix_variable(x);
+        fixer.fix_variable(x).expect("exact costs are finite");
         let audit = audit_p_star(
             &inst,
             fixer.partial(),

@@ -17,11 +17,22 @@ use lll_numeric::Num;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-/// Builds the mixed-radix index of the support values (support sorted by
-/// variable id, least-significant first) — must match the enumeration
-/// order used by the predicates below.
-fn pack_index(values: &[usize], radix: usize) -> usize {
-    values.iter().rev().fold(0, |acc, &v| acc * radix + v)
+/// The predicate shared by both generators: pack the event's support
+/// values into their mixed-radix index (support sorted by variable id,
+/// least-significant first — the enumeration order the bad sets were
+/// drawn in) and test membership in the (sorted) bad set. Packing folds
+/// directly over the full assignment — the predicate sits on the fixers'
+/// conditional-probability hot path, so it must not allocate.
+fn bad_set_predicate(
+    support: Vec<usize>,
+    bad: BTreeSet<usize>,
+    k: usize,
+) -> impl Fn(&lll_core::VarValues<'_>) -> bool {
+    let bad: Vec<usize> = bad.into_iter().collect();
+    move |vals| {
+        let idx = support.iter().rev().fold(0, |acc, &x| acc * k + vals[x]);
+        bad.binary_search(&idx).is_ok()
+    }
 }
 
 /// A rank-2 instance on the edges of `g`: one `k`-valued fair variable
@@ -73,10 +84,7 @@ pub fn random_rank2_instance_in<T: Num>(g: &Graph, k: usize, t: f64, seed: u64) 
         // Instance's support order).
         let mut support: Vec<usize> = g.incident_edges(v).iter().map(|&e| vars[e]).collect();
         support.sort_unstable();
-        b.set_event_predicate(v, move |vals| {
-            let values: Vec<usize> = support.iter().map(|&x| vals[x]).collect();
-            bad.contains(&pack_index(&values, k))
-        });
+        b.set_event_predicate(v, bad_set_predicate(support, bad, k));
     }
     b.build().expect("generated instance is valid")
 }
@@ -129,10 +137,7 @@ pub fn random_rank3_instance_in<T: Num>(
         }
         let mut support: Vec<usize> = h.incident(v).iter().map(|&i| vars[i]).collect();
         support.sort_unstable();
-        b.set_event_predicate(v, move |vals| {
-            let values: Vec<usize> = support.iter().map(|&x| vals[x]).collect();
-            bad.contains(&pack_index(&values, k))
-        });
+        b.set_event_predicate(v, bad_set_predicate(support, bad, k));
     }
     b.build().expect("generated instance is valid")
 }
@@ -187,7 +192,8 @@ mod tests {
         assert!(inst.satisfies_exponential_criterion());
         let report = lll_core::Fixer3::new(&inst)
             .expect("below threshold")
-            .run(shuffled_order(inst.num_variables(), 7));
+            .run(shuffled_order(inst.num_variables(), 7))
+            .expect("finite costs below the threshold");
         assert!(
             report.is_success(),
             "violated: {:?}",

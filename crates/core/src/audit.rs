@@ -89,6 +89,63 @@ pub fn audit_p_star_recorded<T: Num, R: lll_obs::Recorder>(
     report
 }
 
+/// The outcome of re-checking `P*` over the state touched by a set of
+/// fixed variables — every check result plus the recomputed per-node
+/// φ-products, self-contained so it can be computed *against a sweep
+/// shard's forked state* and applied to an [`IncrementalAuditor`] on
+/// the coordinating thread after the join.
+///
+/// Soundness relies on class independence (the distributed schedule's
+/// no-shared-events witnesses): the events touched by a shard's
+/// variables are final once the shard finishes, and no concurrent shard
+/// reads or writes them, so the shard-local check results equal what a
+/// from-scratch audit of the merged state would produce.
+#[derive(Debug, Clone)]
+pub(crate) struct AuditDelta<T> {
+    /// `(edge, pair-sum ok)` for every dependency edge among each fixed
+    /// variable's affected events, in fixing order.
+    pub pairs: Vec<(usize, bool)>,
+    /// `(event, recomputed product, probability ok)` for every affected
+    /// event, in fixing order.
+    pub probs: Vec<(usize, T, bool)>,
+}
+
+/// Computes the [`AuditDelta`] for the given already-fixed variables
+/// against the given state — the union-of-`affects` analogue of
+/// [`IncrementalAuditor::reverify`], shared by the sequential and the
+/// sharded audit paths so their verdicts are identical by construction.
+pub(crate) fn audit_delta_for<T: Num>(
+    inst: &Instance<T>,
+    partial: &PartialAssignment,
+    phi: &Phi<T>,
+    vars: &[usize],
+    p_bound: &T,
+    tol: &T,
+) -> AuditDelta<T> {
+    let g = inst.dependency_graph();
+    let two = T::from_ratio(2, 1);
+    let mut pairs = Vec::new();
+    let mut probs = Vec::new();
+    for &x in vars {
+        let touched = inst.variable(x).affects();
+        for (i, &u) in touched.iter().enumerate() {
+            for &v in &touched[i + 1..] {
+                if let Some(eid) = g.edge_id(u, v) {
+                    let ok = phi.pair_sum(eid) <= two.clone() + tol.clone();
+                    pairs.push((eid, ok));
+                }
+            }
+        }
+        for &v in touched {
+            let product = phi.product_at(g, v);
+            let bound = p_bound.clone() * product.clone();
+            let ok = inst.probability(v, partial) <= bound + tol.clone();
+            probs.push((v, product, ok));
+        }
+    }
+    AuditDelta { pairs, probs }
+}
+
 /// Stateful `P*` auditor for step-by-step runs.
 ///
 /// Re-verifies the invariant after each fixing step. Fixing a variable
@@ -188,6 +245,49 @@ impl<T: Num> IncrementalAuditor<T> {
             self.recheck_prob(inst, partial, v);
         }
         self.report()
+    }
+
+    /// Re-verifies `P*` after *all* variables of a scheduling class were
+    /// fixed, re-examining the union of their `affects` sets — the
+    /// merge-safe per-class analogue of
+    /// [`reverify`](IncrementalAuditor::reverify). Because the events a
+    /// class touches are pairwise disjoint across its cells (the
+    /// distributed schedule's witnesses), re-checking the union once is
+    /// equivalent to re-checking after every step, and the verdict is
+    /// independent of the order the checks are applied in — which is
+    /// what lets the parallel sweep compute the checks inside its
+    /// workers.
+    pub fn reverify_class(
+        &mut self,
+        inst: &Instance<T>,
+        partial: &PartialAssignment,
+        phi: &Phi<T>,
+        vars: &[usize],
+    ) -> AuditReport {
+        let delta = audit_delta_for(inst, partial, phi, vars, &self.p_bound, &self.tol);
+        self.apply_delta(&delta);
+        self.report()
+    }
+
+    /// Applies a shard-computed [`AuditDelta`] to the cached state.
+    /// Deltas of one class touch pairwise disjoint events/edges, so the
+    /// application order across shards cannot change the outcome.
+    pub(crate) fn apply_delta(&mut self, delta: &AuditDelta<T>) {
+        for &(eid, ok) in &delta.pairs {
+            if ok {
+                self.pair_bad.remove(&eid);
+            } else {
+                self.pair_bad.insert(eid);
+            }
+        }
+        for (v, product, ok) in &delta.probs {
+            self.products[*v] = product.clone();
+            if *ok {
+                self.prob_bad.remove(v);
+            } else {
+                self.prob_bad.insert(*v);
+            }
+        }
     }
 
     /// The current violation sets as an [`AuditReport`] (identical to

@@ -32,10 +32,14 @@ use std::fmt;
 use lll_coloring::{distance2_coloring, edge_coloring};
 use lll_local::{SimError, Simulator};
 use lll_numeric::Num;
+use lll_obs::{Event, NullRecorder, Recorder};
 
+use crate::audit::{AuditDelta, IncrementalAuditor};
 use crate::error::FixerError;
 use crate::fg::FgFixer;
+use crate::fixer2::{audit_event, fix_run_start_event};
 use crate::instance::Instance;
+use crate::sweep::{fix_class_sharded, ClassFixer};
 use crate::{FixReport, Fixer2, Fixer3};
 
 /// Whether to enforce the exponential criterion `p < 2^-d` before
@@ -115,12 +119,15 @@ pub fn distributed_fixer2<T: Num>(
     seed: u64,
     check: CriterionCheck,
 ) -> Result<DistReport, DistError> {
-    distributed_fixer2_parallel(inst, seed, check, 1)
+    fixer2_driver(inst, seed, check, 1, None, &mut NullRecorder)
 }
 
-/// [`distributed_fixer2`] with the coloring simulation running on
-/// `threads` worker threads (see [`Simulator::run_parallel`]); the
-/// outcome is identical for every thread count.
+/// [`distributed_fixer2`] with the coloring simulation *and* the fixing
+/// sweep running on `threads` worker threads: each color class's cells
+/// (one dependency edge's variables each) are sharded across workers,
+/// which is legitimate precisely because same-colored edges share no
+/// event (the witness this driver asserts). The outcome is identical
+/// for every thread count — see `crate::sweep`.
 ///
 /// # Errors
 ///
@@ -130,6 +137,85 @@ pub fn distributed_fixer2_parallel<T: Num>(
     seed: u64,
     check: CriterionCheck,
     threads: usize,
+) -> Result<DistReport, DistError> {
+    fixer2_driver(inst, seed, check, threads, None, &mut NullRecorder)
+}
+
+/// [`distributed_fixer2_parallel`] with a flight recorder: brackets the
+/// fixing steps with [`Event::FixRunStart`]/[`Event::FixRunEnd`] and
+/// emits one `fix_step` per variable. Per-shard events are buffered and
+/// merged in static shard order, so the stream is byte-identical at
+/// every thread count.
+///
+/// # Errors
+///
+/// As [`distributed_fixer2`].
+pub fn distributed_fixer2_recorded<T: Num, R: Recorder>(
+    inst: &Instance<T>,
+    seed: u64,
+    check: CriterionCheck,
+    threads: usize,
+    rec: &mut R,
+) -> Result<DistReport, DistError> {
+    fixer2_driver(inst, seed, check, threads, None, rec)
+}
+
+/// [`distributed_fixer2_parallel`] with a `P*` audit: after each color
+/// class, the auditor re-verifies the union of the class variables'
+/// `affects` sets ([`IncrementalAuditor::reverify_class`]) — the checks
+/// are computed inside the sweep workers and merged, so the audited
+/// driver parallelizes end to end. Verdicts are identical to auditing
+/// step by step, because a class's cells touch disjoint events.
+///
+/// # Errors
+///
+/// As [`distributed_fixer2`], plus [`FixerError::PStarViolated`]
+/// (wrapped in [`DistError::Fixer`]) at the first class after which the
+/// invariant no longer holds.
+pub fn distributed_fixer2_audited<T: Num>(
+    inst: &Instance<T>,
+    seed: u64,
+    check: CriterionCheck,
+    threads: usize,
+    p_bound: &T,
+    tol: &T,
+) -> Result<DistReport, DistError> {
+    fixer2_driver(
+        inst,
+        seed,
+        check,
+        threads,
+        Some((p_bound, tol)),
+        &mut NullRecorder,
+    )
+}
+
+/// [`distributed_fixer2_audited`] with a flight recorder: additionally
+/// emits one [`Event::AuditPass`]/[`Event::AuditViolation`] per color
+/// class, tagged with the class's last step and variable.
+///
+/// # Errors
+///
+/// As [`distributed_fixer2_audited`].
+pub fn distributed_fixer2_audited_recorded<T: Num, R: Recorder>(
+    inst: &Instance<T>,
+    seed: u64,
+    check: CriterionCheck,
+    threads: usize,
+    p_bound: &T,
+    tol: &T,
+    rec: &mut R,
+) -> Result<DistReport, DistError> {
+    fixer2_driver(inst, seed, check, threads, Some((p_bound, tol)), rec)
+}
+
+fn fixer2_driver<T: Num, R: Recorder>(
+    inst: &Instance<T>,
+    seed: u64,
+    check: CriterionCheck,
+    threads: usize,
+    audit: Option<(&T, &T)>,
+    rec: &mut R,
 ) -> Result<DistReport, DistError> {
     let mut fixer = match check {
         CriterionCheck::Enforce => Fixer2::new(inst)?,
@@ -145,37 +231,50 @@ pub fn distributed_fixer2_parallel<T: Num>(
         (col.colors, col.palette, col.rounds)
     };
 
-    // Rank-1 warm-up class: no two rank-1 variables share an event pair
-    // beyond their single event, and several on one event are fixed by
-    // that event's node locally in the same round.
+    // Schedule: the rank-1 warm-up class first (cells = one event's
+    // variables — no two rank-1 variables on different events interact,
+    // and several on one event are fixed by that event's node locally),
+    // then one class per edge color (cells = one dependency edge's
+    // variables, which one endpoint fixes locally and sequentially).
+    let mut by_event: Vec<Vec<usize>> = vec![Vec::new(); inst.num_events()];
+    let mut by_edge: Vec<Vec<usize>> = vec![Vec::new(); g.num_edges()];
     for x in 0..inst.num_variables() {
-        if inst.variable(x).rank() == 1 {
-            fixer.fix_variable(x);
+        match *inst.variable(x).affects() {
+            [u] => by_event[u].push(x),
+            [u, v] => {
+                let eid = g.edge_id(u, v).expect("co-affected events are adjacent");
+                by_edge[eid].push(x);
+            }
+            _ => unreachable!("rank validated at construction"),
+        }
+    }
+    let mut classes: Vec<Vec<Vec<usize>>> = Vec::with_capacity(palette + 1);
+    classes.push(by_event.into_iter().filter(|c| !c.is_empty()).collect());
+    classes.resize_with(palette + 1, Vec::new);
+    for (eid, cell) in by_edge.into_iter().enumerate() {
+        if !cell.is_empty() {
+            classes[colors[eid] + 1].push(cell);
         }
     }
 
-    // Group rank-2 variables by the color of their dependency edge.
-    let mut classes: Vec<Vec<usize>> = vec![Vec::new(); palette];
-    for x in 0..inst.num_variables() {
-        let var = inst.variable(x);
-        if let [u, v] = *var.affects() {
-            let eid = g.edge_id(u, v).expect("co-affected events are adjacent");
-            classes[colors[eid]].push(x);
-        }
+    if R::ENABLED {
+        rec.record(&fix_run_start_event(inst));
     }
-    for class in &classes {
-        assert_no_shared_events_across_edges(inst, class);
-        for &x in class {
-            fixer.fix_variable(x);
+    let mut auditor = audit.map(|(p_bound, tol)| {
+        IncrementalAuditor::new(inst, fixer.partial(), fixer.phi(), p_bound, tol)
+    });
+
+    for cells in &classes {
+        if cells.is_empty() {
+            continue;
         }
+        let class_vars: Vec<usize> = cells.iter().flatten().copied().collect();
+        assert_no_shared_events_across_edges(inst, &class_vars);
+        let deltas = fix_class_sharded(&mut fixer, cells, threads, audit, rec)?;
+        audit_class(&mut auditor, &deltas, &fixer, &class_vars, rec)?;
     }
 
-    Ok(DistReport {
-        rounds: coloring_rounds + 2 * palette + 1,
-        coloring_rounds,
-        num_classes: palette + 1,
-        fix: fixer.into_report(),
-    })
+    finish_driver(fixer.into_report(), coloring_rounds, palette, 1, rec)
 }
 
 /// Distributed rank-3 LLL (Corollary 1.4): distance-2 color the
@@ -195,9 +294,13 @@ pub fn distributed_fixer3<T: Num>(
     distributed_fixer3_parallel(inst, seed, check, 1)
 }
 
-/// [`distributed_fixer3`] with the coloring simulation running on
-/// `threads` worker threads (see [`Simulator::run_parallel`]); the
-/// outcome is identical for every thread count.
+/// [`distributed_fixer3`] with the coloring simulation *and* the fixing
+/// sweep running on `threads` worker threads: each color class's cells
+/// (one class node's still-unfixed incident variables each) are sharded
+/// across workers, which is legitimate precisely because same-colored
+/// nodes are ≥ 3 apart in the dependency graph and therefore touch
+/// disjoint events (the witness this driver asserts). The outcome is
+/// identical for every thread count — see `crate::sweep`.
 ///
 /// # Errors
 ///
@@ -207,6 +310,85 @@ pub fn distributed_fixer3_parallel<T: Num>(
     seed: u64,
     check: CriterionCheck,
     threads: usize,
+) -> Result<DistReport, DistError> {
+    fixer3_driver(inst, seed, check, threads, None, &mut NullRecorder)
+}
+
+/// [`distributed_fixer3_parallel`] with a flight recorder: brackets the
+/// fixing steps with [`Event::FixRunStart`]/[`Event::FixRunEnd`] and
+/// emits one `fix_step` per variable. Per-shard events are buffered and
+/// merged in static shard order, so the stream is byte-identical at
+/// every thread count.
+///
+/// # Errors
+///
+/// As [`distributed_fixer3`].
+pub fn distributed_fixer3_recorded<T: Num, R: Recorder>(
+    inst: &Instance<T>,
+    seed: u64,
+    check: CriterionCheck,
+    threads: usize,
+    rec: &mut R,
+) -> Result<DistReport, DistError> {
+    fixer3_driver(inst, seed, check, threads, None, rec)
+}
+
+/// [`distributed_fixer3_parallel`] with a `P*` audit: after each color
+/// class, the auditor re-verifies the union of the class variables'
+/// `affects` sets ([`IncrementalAuditor::reverify_class`]) — the checks
+/// are computed inside the sweep workers and merged, so the audited
+/// driver parallelizes end to end. Verdicts are identical to auditing
+/// step by step, because a class's cells touch disjoint events.
+///
+/// # Errors
+///
+/// As [`distributed_fixer3`], plus [`FixerError::PStarViolated`]
+/// (wrapped in [`DistError::Fixer`]) at the first class after which the
+/// invariant no longer holds.
+pub fn distributed_fixer3_audited<T: Num>(
+    inst: &Instance<T>,
+    seed: u64,
+    check: CriterionCheck,
+    threads: usize,
+    p_bound: &T,
+    tol: &T,
+) -> Result<DistReport, DistError> {
+    fixer3_driver(
+        inst,
+        seed,
+        check,
+        threads,
+        Some((p_bound, tol)),
+        &mut NullRecorder,
+    )
+}
+
+/// [`distributed_fixer3_audited`] with a flight recorder: additionally
+/// emits one [`Event::AuditPass`]/[`Event::AuditViolation`] per color
+/// class, tagged with the class's last step and variable.
+///
+/// # Errors
+///
+/// As [`distributed_fixer3_audited`].
+pub fn distributed_fixer3_audited_recorded<T: Num, R: Recorder>(
+    inst: &Instance<T>,
+    seed: u64,
+    check: CriterionCheck,
+    threads: usize,
+    p_bound: &T,
+    tol: &T,
+    rec: &mut R,
+) -> Result<DistReport, DistError> {
+    fixer3_driver(inst, seed, check, threads, Some((p_bound, tol)), rec)
+}
+
+fn fixer3_driver<T: Num, R: Recorder>(
+    inst: &Instance<T>,
+    seed: u64,
+    check: CriterionCheck,
+    threads: usize,
+    audit: Option<(&T, &T)>,
+    rec: &mut R,
 ) -> Result<DistReport, DistError> {
     let mut fixer = match check {
         CriterionCheck::Enforce => Fixer3::new(inst)?,
@@ -235,22 +417,98 @@ pub fn distributed_fixer3_parallel<T: Num>(
     for (v, &c) in colors.iter().enumerate() {
         classes[c].push(v);
     }
+
+    if R::ENABLED {
+        rec.record(&fix_run_start_event(inst));
+    }
+    let mut auditor = audit.map(|(p_bound, tol)| {
+        IncrementalAuditor::new(inst, fixer.partial(), fixer.phi(), p_bound, tol)
+    });
+
     for class in &classes {
         assert_no_shared_events_across_nodes(inst, class, &vars_of);
-        for &v in class {
-            for &x in &vars_of[v] {
-                if fixer.partial().get(x).is_none() {
-                    fixer.fix_variable(x);
-                }
-            }
+        // Cells: one class node's still-unfixed incident variables.
+        // Membership is stable while the class runs — the witness above
+        // guarantees no other cell of the class touches these events, so
+        // the filter can be evaluated up front.
+        let cells: Vec<Vec<usize>> = class
+            .iter()
+            .map(|&v| {
+                vars_of[v]
+                    .iter()
+                    .copied()
+                    .filter(|&x| fixer.partial().get(x).is_none())
+                    .collect::<Vec<usize>>()
+            })
+            .filter(|cell| !cell.is_empty())
+            .collect();
+        if cells.is_empty() {
+            continue;
         }
+        let class_vars: Vec<usize> = cells.iter().flatten().copied().collect();
+        let deltas = fix_class_sharded(&mut fixer, &cells, threads, audit, rec)?;
+        audit_class(&mut auditor, &deltas, &fixer, &class_vars, rec)?;
     }
 
+    finish_driver(fixer.into_report(), coloring_rounds, palette, 0, rec)
+}
+
+/// Applies a class's worker-computed audit deltas, emits the per-class
+/// audit event, and converts a failed verdict into
+/// [`FixerError::PStarViolated`] tagged with the class's last step and
+/// variable. No-op when the run is not audited.
+fn audit_class<T: Num, F: ClassFixer<T>, R: Recorder>(
+    auditor: &mut Option<IncrementalAuditor<T>>,
+    deltas: &[AuditDelta<T>],
+    fixer: &F,
+    class_vars: &[usize],
+    rec: &mut R,
+) -> Result<(), DistError> {
+    let Some(auditor) = auditor.as_mut() else {
+        return Ok(());
+    };
+    for delta in deltas {
+        auditor.apply_delta(delta);
+    }
+    let report = auditor.report();
+    let step = fixer.steps_done() - 1;
+    let variable = *class_vars.last().expect("class is non-empty");
+    if R::ENABLED {
+        rec.record(&audit_event(step, variable, &report));
+    }
+    if report.holds() {
+        Ok(())
+    } else {
+        Err(DistError::Fixer(FixerError::PStarViolated {
+            step,
+            variable,
+            pair_violations: report.pair_violations,
+            prob_violations: report.prob_violations,
+        }))
+    }
+}
+
+/// Emits the [`Event::FixRunEnd`] bracket and assembles the round bill:
+/// coloring rounds + 2 per color class (+1 for the rank-2 driver's
+/// rank-1 warm-up class).
+fn finish_driver<R: Recorder>(
+    fix: FixReport,
+    coloring_rounds: usize,
+    palette: usize,
+    warmup_classes: usize,
+    rec: &mut R,
+) -> Result<DistReport, DistError> {
+    if R::ENABLED {
+        rec.record(&Event::FixRunEnd {
+            steps: fix.num_steps(),
+            violated: fix.violated_events().len(),
+        });
+    }
     Ok(DistReport {
-        rounds: coloring_rounds + 2 * palette,
+        rounds: coloring_rounds + 2 * palette + warmup_classes,
         coloring_rounds,
-        num_classes: palette,
-        fix: fixer.into_report(),
+        num_classes: palette + warmup_classes,
+        fix,
     })
 }
 
@@ -472,5 +730,103 @@ mod tests {
             assert_eq!(pg.rounds, baseg.rounds, "fg threads {t}");
             assert_eq!(pg.fix.assignment(), baseg.fix.assignment());
         }
+    }
+
+    fn recorded_fixer2_bytes(inst: &Instance<f64>, threads: usize) -> (Vec<u8>, DistReport) {
+        let mut rec = lll_obs::JsonlRecorder::new(Vec::new());
+        let rep = distributed_fixer2_recorded(inst, 5, CriterionCheck::Enforce, threads, &mut rec)
+            .unwrap();
+        (rec.finish().unwrap(), rep)
+    }
+
+    fn recorded_fixer3_bytes(inst: &Instance<f64>, threads: usize) -> (Vec<u8>, DistReport) {
+        let mut rec = lll_obs::JsonlRecorder::new(Vec::new());
+        let rep = distributed_fixer3_recorded(inst, 7, CriterionCheck::Enforce, threads, &mut rec)
+            .unwrap();
+        (rec.finish().unwrap(), rep)
+    }
+
+    #[test]
+    fn sweep_streams_are_byte_identical_at_every_thread_count() {
+        let inst2 = ring_instance(96, 3);
+        let (bytes2, base2) = recorded_fixer2_bytes(&inst2, 1);
+        assert!(!bytes2.is_empty());
+        let inst3 = hyper_ring_instance(48, 3);
+        let (bytes3, base3) = recorded_fixer3_bytes(&inst3, 1);
+        for t in [2usize, 3, 8] {
+            let (b2, p2) = recorded_fixer2_bytes(&inst2, t);
+            assert_eq!(b2, bytes2, "fixer2 stream diverged at threads {t}");
+            assert_eq!(p2.fix.steps(), base2.fix.steps(), "fixer2 threads {t}");
+            assert_eq!(p2.fix.assignment(), base2.fix.assignment());
+            let (b3, p3) = recorded_fixer3_bytes(&inst3, t);
+            assert_eq!(b3, bytes3, "fixer3 stream diverged at threads {t}");
+            assert_eq!(p3.fix.steps(), base3.fix.steps(), "fixer3 threads {t}");
+            assert_eq!(p3.fix.assignment(), base3.fix.assignment());
+        }
+    }
+
+    #[test]
+    fn audited_sweep_matches_sequential_verdicts() {
+        // Below the threshold the audited drivers must succeed — with
+        // identical outputs — at every thread count.
+        let inst2 = ring_instance(64, 3);
+        let p2 = inst2.max_event_probability();
+        let inst3 = hyper_ring_instance(32, 3);
+        let p3 = inst3.max_event_probability();
+        let base2 =
+            distributed_fixer2_audited(&inst2, 5, CriterionCheck::Enforce, 1, &p2, &1e-9).unwrap();
+        let base3 =
+            distributed_fixer3_audited(&inst3, 7, CriterionCheck::Enforce, 1, &p3, &1e-9).unwrap();
+        for t in [2usize, 8] {
+            let a2 = distributed_fixer2_audited(&inst2, 5, CriterionCheck::Enforce, t, &p2, &1e-9)
+                .unwrap();
+            assert_eq!(a2.fix.assignment(), base2.fix.assignment(), "threads {t}");
+            let a3 = distributed_fixer3_audited(&inst3, 7, CriterionCheck::Enforce, t, &p3, &1e-9)
+                .unwrap();
+            assert_eq!(a3.fix.assignment(), base3.fix.assignment(), "threads {t}");
+        }
+
+        // With an artificially halved probability bound the audit must
+        // fail, at the same class (step, variable) for every thread
+        // count.
+        let tight = p3 / 2.0;
+        let base_err =
+            distributed_fixer3_audited(&inst3, 7, CriterionCheck::Enforce, 1, &tight, &0.0)
+                .expect_err("halved bound violates P*");
+        for t in [2usize, 8] {
+            let err =
+                distributed_fixer3_audited(&inst3, 7, CriterionCheck::Enforce, t, &tight, &0.0)
+                    .expect_err("halved bound violates P*");
+            assert_eq!(err, base_err, "audit verdict diverged at threads {t}");
+        }
+    }
+
+    #[test]
+    fn audited_recorded_sweep_emits_one_audit_event_per_class() {
+        let inst = ring_instance(32, 3);
+        let p = inst.max_event_probability();
+        let mut rec = lll_obs::JsonlRecorder::new(Vec::new());
+        let rep = distributed_fixer2_audited_recorded(
+            &inst,
+            5,
+            CriterionCheck::Enforce,
+            4,
+            &p,
+            &1e-9,
+            &mut rec,
+        )
+        .unwrap();
+        let bytes = rec.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let audits = text
+            .lines()
+            .filter(|l| l.contains("\"audit_pass\""))
+            .count();
+        // One audit per *non-empty* scheduled class, ≤ the class bill.
+        assert!(audits >= 1 && audits <= rep.num_classes, "{audits} audits");
+        assert_eq!(
+            text.lines().filter(|l| l.contains("\"fix_step\"")).count(),
+            rep.fix.num_steps()
+        );
     }
 }

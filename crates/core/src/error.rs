@@ -86,6 +86,17 @@ pub enum FixerError {
         /// The variable being fixed.
         variable: usize,
     },
+    /// A fixing step computed a cost that is not comparable to itself —
+    /// for the `f64` backend, a NaN such as `0·∞` from a degenerate
+    /// φ-product. The greedy minimiser cannot order such costs, so the
+    /// step is refused instead of silently picking an arbitrary value
+    /// (exact backends never produce this).
+    NonFiniteCost {
+        /// The variable being fixed.
+        variable: usize,
+        /// The affected event whose cost term went non-finite.
+        event: usize,
+    },
     /// A `φ` lookup or update named a node that is not an endpoint of
     /// the edge. Returned (instead of panicking) by
     /// [`Phi::get`](crate::Phi::get) / [`Phi::set`](crate::Phi::set) so
@@ -137,6 +148,12 @@ impl fmt::Display for FixerError {
                 write!(
                     f,
                     "triple decomposition failed while fixing variable {variable}"
+                )
+            }
+            FixerError::NonFiniteCost { variable, event } => {
+                write!(
+                    f,
+                    "non-finite cost while fixing variable {variable} (event {event})"
                 )
             }
             FixerError::NotAnEndpoint { edge, node } => {

@@ -45,7 +45,7 @@ use crate::{FixReport, FixStepRecord};
 /// b.set_event_predicate(0, move |vals| vals[x] == 0);
 /// b.set_event_predicate(1, move |vals| vals[x] == 1);
 /// let inst = b.build()?;
-/// let report = Fixer2::new(&inst)?.run_default();
+/// let report = Fixer2::new(&inst)?.run_default()?;
 /// assert!(report.is_success());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
@@ -54,6 +54,10 @@ pub struct Fixer2<'i, T> {
     inst: &'i Instance<T>,
     partial: PartialAssignment,
     phi: Phi<T>,
+    /// Global index of this fixer's first step — 0 for a root fixer,
+    /// the shard's start position for a sweep fork (so recorded
+    /// `fix_step` events carry run-global step numbers).
+    step_base: usize,
     steps: Vec<FixStepRecord>,
 }
 
@@ -92,6 +96,7 @@ impl<'i, T: Num> Fixer2<'i, T> {
             inst,
             partial: PartialAssignment::new(inst.num_variables()),
             phi: Phi::ones(inst.dependency_graph()),
+            step_base: 0,
             steps: Vec::new(),
         })
     }
@@ -118,20 +123,34 @@ impl<'i, T: Num> Fixer2<'i, T> {
     /// the paper).
     fn inc(&self, ev: usize, x: usize, y: usize) -> T {
         let old = self.inst.probability(ev, &self.partial);
+        self.inc_given(ev, &old, x, y)
+    }
+
+    /// [`inc`](Fixer2::inc) with the invariant `Pr[ev | partial]`
+    /// precomputed — the value-selection loops hoist it so the
+    /// conditional-probability enumeration runs once per event instead
+    /// of once per candidate value. Bit-identical to [`inc`](Fixer2::inc).
+    fn inc_given(&self, ev: usize, old: &T, x: usize, y: usize) -> T {
         if old.is_zero() {
             return T::zero();
         }
-        self.inst.probability_with(ev, &self.partial, x, y) / old
+        self.inst.probability_with(ev, &self.partial, x, y) / old.clone()
     }
 
     /// Fixes variable `x` (which must be unfixed), choosing the value
     /// minimising the φ-weighted sum of increase factors; returns the
-    /// chosen value.
+    /// chosen value. Exact cost ties select the lowest value index, for
+    /// every backend — the class sweep's determinism relies on this.
+    ///
+    /// # Errors
+    ///
+    /// [`FixerError::NonFiniteCost`] if a cost is not comparable (an
+    /// `f64` NaN, e.g. `0·∞` from a degenerate φ-product).
     ///
     /// # Panics
     ///
     /// Panics if `x` is already fixed.
-    pub fn fix_variable(&mut self, x: usize) -> usize {
+    pub fn fix_variable(&mut self, x: usize) -> Result<usize, FixerError> {
         self.fix_variable_recorded(x, &mut NullRecorder)
     }
 
@@ -140,21 +159,45 @@ impl<'i, T: Num> Fixer2<'i, T> {
     /// post-update φ-products and the `P*` pair-sum headroom. With
     /// [`NullRecorder`] this compiles to exactly the unrecorded path.
     ///
+    /// # Errors
+    ///
+    /// As [`fix_variable`](Fixer2::fix_variable).
+    ///
     /// # Panics
     ///
     /// Panics if `x` is already fixed.
-    pub fn fix_variable_recorded<R: Recorder>(&mut self, x: usize, rec: &mut R) -> usize {
+    pub fn fix_variable_recorded<R: Recorder>(
+        &mut self,
+        x: usize,
+        rec: &mut R,
+    ) -> Result<usize, FixerError> {
         assert!(self.partial.get(x).is_none(), "variable {x} already fixed");
         let var = self.inst.variable(x);
         let k = var.num_values();
         let choice = match *var.affects() {
             [u] => {
                 // Rank 1: any value with Inc ≤ 1 exists by expectation.
-                (0..k)
-                    .map(|y| (self.inc(u, x, y), y))
-                    .min_by(|(a, _), (b, _)| a.partial_cmp(b).expect("finite increase factors"))
-                    .expect("variables have at least one value")
-                    .1
+                // Strict `<` keeps the first minimiser, so exact ties
+                // resolve to the lowest index.
+                let old_u = self.inst.probability(u, &self.partial);
+                let mut best: Option<(T, usize)> = None;
+                for y in 0..k {
+                    let inc = self.inc_given(u, &old_u, x, y);
+                    if non_finite(&inc) {
+                        return Err(FixerError::NonFiniteCost {
+                            variable: x,
+                            event: u,
+                        });
+                    }
+                    let better = match &best {
+                        None => true,
+                        Some((b, _)) => inc < *b,
+                    };
+                    if better {
+                        best = Some((inc, y));
+                    }
+                }
+                best.expect("variables have at least one value").1
             }
             [u, v] => {
                 let g = self.inst.dependency_graph();
@@ -169,16 +212,42 @@ impl<'i, T: Num> Fixer2<'i, T> {
                     .get(eid, v)
                     .expect("v is an endpoint of its edge")
                     .clone();
-                let best = (0..k)
-                    .map(|y| {
-                        let cost = self.inc(u, x, y) * s.clone() + self.inc(v, x, y) * t.clone();
-                        (cost, y)
-                    })
-                    .min_by(|(a, _), (b, _)| a.partial_cmp(b).expect("finite costs"))
-                    .expect("variables have at least one value")
-                    .1;
-                let new_u = self.inc(u, x, best) * s;
-                let new_v = self.inc(v, x, best) * t;
+                let old_u = self.inst.probability(u, &self.partial);
+                let old_v = self.inst.probability(v, &self.partial);
+                // The winner's costs double as the new φ values, so the
+                // loop carries them instead of recomputing after it.
+                let mut best: Option<(T, usize, T, T)> = None;
+                for y in 0..k {
+                    let cost_u = self.inc_given(u, &old_u, x, y) * s.clone();
+                    if non_finite(&cost_u) {
+                        return Err(FixerError::NonFiniteCost {
+                            variable: x,
+                            event: u,
+                        });
+                    }
+                    let cost_v = self.inc_given(v, &old_v, x, y) * t.clone();
+                    if non_finite(&cost_v) {
+                        return Err(FixerError::NonFiniteCost {
+                            variable: x,
+                            event: v,
+                        });
+                    }
+                    let cost = cost_u.clone() + cost_v.clone();
+                    if non_finite(&cost) {
+                        return Err(FixerError::NonFiniteCost {
+                            variable: x,
+                            event: u,
+                        });
+                    }
+                    let better = match &best {
+                        None => true,
+                        Some((b, _, _, _)) => cost < *b,
+                    };
+                    if better {
+                        best = Some((cost, y, cost_u, cost_v));
+                    }
+                }
+                let (_, best, new_u, new_v) = best.expect("variables have at least one value");
                 self.phi
                     .set(eid, u, new_u)
                     .expect("u is an endpoint of its edge");
@@ -193,7 +262,7 @@ impl<'i, T: Num> Fixer2<'i, T> {
             rec.record(&fix_step_event(
                 self.inst,
                 &self.phi,
-                self.steps.len(),
+                self.step_base + self.steps.len(),
                 x,
                 choice,
                 |ev| self.inc(ev, x, choice).to_f64(),
@@ -204,21 +273,30 @@ impl<'i, T: Num> Fixer2<'i, T> {
             variable: x,
             value: choice,
         });
-        choice
+        Ok(choice)
     }
 
     /// Runs the process over the given variable order (must enumerate
     /// every unfixed variable exactly once) and reports the outcome.
     ///
+    /// # Errors
+    ///
+    /// [`FixerError::NonFiniteCost`] if a fixing step computes an
+    /// incomparable cost (see [`fix_variable`](Fixer2::fix_variable)).
+    ///
     /// # Panics
     ///
     /// Panics if the order re-fixes or misses a variable.
-    pub fn run(self, order: impl IntoIterator<Item = usize>) -> FixReport {
+    pub fn run(self, order: impl IntoIterator<Item = usize>) -> Result<FixReport, FixerError> {
         self.run_recorded(order, &mut NullRecorder)
     }
 
     /// [`run`](Fixer2::run) with a flight recorder: brackets the fixing
     /// steps with [`Event::FixRunStart`]/[`Event::FixRunEnd`].
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Fixer2::run).
     ///
     /// # Panics
     ///
@@ -227,7 +305,7 @@ impl<'i, T: Num> Fixer2<'i, T> {
         self,
         order: impl IntoIterator<Item = usize>,
         rec: &mut R,
-    ) -> FixReport {
+    ) -> Result<FixReport, FixerError> {
         self.run_timed_recorded(order, rec, &mut NullTiming)
     }
 
@@ -238,6 +316,10 @@ impl<'i, T: Num> Fixer2<'i, T> {
     /// stream is unchanged; with [`NullTiming`] the clock is never read
     /// and this *is* `run_recorded`.
     ///
+    /// # Errors
+    ///
+    /// As [`run`](Fixer2::run).
+    ///
     /// # Panics
     ///
     /// Panics if the order re-fixes or misses a variable.
@@ -246,14 +328,14 @@ impl<'i, T: Num> Fixer2<'i, T> {
         order: impl IntoIterator<Item = usize>,
         rec: &mut R,
         timing: &mut S,
-    ) -> FixReport {
+    ) -> Result<FixReport, FixerError> {
         let run_started = span_start::<S>();
         if R::ENABLED {
             rec.record(&fix_run_start_event(self.inst));
         }
         for x in order {
             let step_started = span_start::<S>();
-            self.fix_variable_recorded(x, rec);
+            self.fix_variable_recorded(x, rec)?;
             if S::ENABLED {
                 timing.record_span(TimingScope::FixStep, span_nanos(step_started));
             }
@@ -269,11 +351,15 @@ impl<'i, T: Num> Fixer2<'i, T> {
         if S::ENABLED {
             timing.record_span(TimingScope::FixRun, span_nanos(run_started));
         }
-        report
+        Ok(report)
     }
 
     /// Runs the process in variable-id order.
-    pub fn run_default(self) -> FixReport {
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Fixer2::run).
+    pub fn run_default(self) -> Result<FixReport, FixerError> {
         let m = self.inst.num_variables();
         self.run(0..m)
     }
@@ -333,7 +419,7 @@ impl<'i, T: Num> Fixer2<'i, T> {
             tol,
         );
         for (step, x) in order.into_iter().enumerate() {
-            self.fix_variable_recorded(x, rec);
+            self.fix_variable_recorded(x, rec)?;
             let report = auditor.reverify(self.inst, &self.partial, &self.phi, x);
             if R::ENABLED {
                 rec.record(&audit_event(step, x, &report));
@@ -371,6 +457,61 @@ impl<'i, T: Num> Fixer2<'i, T> {
             .expect("assignment is complete and in range");
         FixReport::new(assignment, violated, self.steps)
     }
+}
+
+impl<T: Num> crate::sweep::ClassFixer<T> for Fixer2<'_, T> {
+    fn fork(&self, step_base: usize) -> Self {
+        Fixer2 {
+            inst: self.inst,
+            partial: self.partial.clone(),
+            phi: self.phi.clone(),
+            step_base,
+            steps: Vec::new(),
+        }
+    }
+
+    fn steps_done(&self) -> usize {
+        self.step_base + self.steps.len()
+    }
+
+    fn fix_cell<R: Recorder>(&mut self, cell: &[usize], rec: &mut R) -> Result<(), FixerError> {
+        for &x in cell {
+            self.fix_variable_recorded(x, rec)?;
+        }
+        Ok(())
+    }
+
+    fn absorb(&mut self, shard: Self) {
+        let g = self.inst.dependency_graph();
+        for step in &shard.steps {
+            self.partial.fix(step.variable, step.value);
+            if let [u, v] = *self.inst.variable(step.variable).affects() {
+                let eid = g.edge_id(u, v).expect("co-affected events are adjacent");
+                for node in [u, v] {
+                    let val = shard
+                        .phi
+                        .get(eid, node)
+                        .expect("node is an endpoint of its edge")
+                        .clone();
+                    self.phi
+                        .set(eid, node, val)
+                        .expect("node is an endpoint of its edge");
+                }
+            }
+        }
+        self.steps.extend(shard.steps);
+    }
+
+    fn audit_delta(&self, vars: &[usize], p_bound: &T, tol: &T) -> crate::audit::AuditDelta<T> {
+        crate::audit::audit_delta_for(self.inst, &self.partial, &self.phi, vars, p_bound, tol)
+    }
+}
+
+/// Whether a cost value fails to compare to itself — `true` exactly for
+/// `f64` NaN (e.g. `0·∞` from a degenerate φ-product); exact backends
+/// always compare and never trip this.
+pub(crate) fn non_finite<T: PartialOrd>(c: &T) -> bool {
+    c.partial_cmp(c).is_none()
 }
 
 /// Builds the [`Event::FixRunStart`] payload for an instance.
@@ -469,7 +610,7 @@ mod tests {
     fn solves_ring_below_threshold() {
         let inst = ring_instance(12, 3); // p·2^d = 4/9 < 1
         assert!(inst.satisfies_exponential_criterion());
-        let report = Fixer2::new(&inst).unwrap().run_default();
+        let report = Fixer2::new(&inst).unwrap().run_default().unwrap();
         assert!(
             report.is_success(),
             "violated: {:?}",
@@ -488,7 +629,7 @@ mod tests {
             order.shuffle(&mut rng);
             let mut fixer = Fixer2::new(&inst).unwrap();
             for &x in &order {
-                fixer.fix_variable(x);
+                fixer.fix_variable(x).unwrap();
                 let audit = audit_p_star(
                     &inst,
                     fixer.partial(),
@@ -532,7 +673,7 @@ mod tests {
         // Unchecked: the greedy process still runs to completion (it may
         // or may not succeed — on this instance it happens to succeed,
         // the guarantee is simply gone).
-        let report = Fixer2::new_unchecked(&inst).unwrap().run_default();
+        let report = Fixer2::new_unchecked(&inst).unwrap().run_default().unwrap();
         assert_eq!(report.assignment().len(), 8);
     }
 
@@ -545,7 +686,7 @@ mod tests {
         let inst = b.build().unwrap();
         assert_eq!(inst.max_dependency_degree(), 0);
         // p = 1/16 < 2^0 = 1.
-        let report = Fixer2::new(&inst).unwrap().run_default();
+        let report = Fixer2::new(&inst).unwrap().run_default().unwrap();
         assert!(report.is_success());
     }
 
@@ -568,7 +709,7 @@ mod tests {
         let inst = b.build().unwrap();
         // p = 1/400, d = 2 ⇒ p·2^d = 1/100 < 1.
         assert!(inst.satisfies_exponential_criterion());
-        let report = Fixer2::new(&inst).unwrap().run_default();
+        let report = Fixer2::new(&inst).unwrap().run_default().unwrap();
         assert!(report.is_success());
     }
 
@@ -588,7 +729,7 @@ mod tests {
         for order in [vec![0, 1], vec![1, 0]] {
             let mut fixer = Fixer2::new(&inst).unwrap();
             for &v in &order {
-                fixer.fix_variable(v);
+                fixer.fix_variable(v).unwrap();
                 let audit = audit_p_star(
                     &inst,
                     fixer.partial(),
@@ -608,7 +749,8 @@ mod tests {
         let mut rec = lll_obs::CounterRecorder::new();
         let report = Fixer2::new(&inst)
             .unwrap()
-            .run_recorded(0..inst.num_variables(), &mut rec);
+            .run_recorded(0..inst.num_variables(), &mut rec)
+            .unwrap();
         assert_eq!(rec.fix_runs, 1);
         assert_eq!(rec.fix_steps, report.num_steps());
         assert_eq!(report.num_steps(), inst.num_variables());
@@ -650,9 +792,61 @@ mod tests {
             b.set_event_predicate(i, move |vals| vals[left] == 0 && vals[right] == 0);
         }
         let float = b.build().unwrap();
-        let re = Fixer2::new(&exact).unwrap().run_default();
-        let rf = Fixer2::new(&float).unwrap().run_default();
+        let re = Fixer2::new(&exact).unwrap().run_default().unwrap();
+        let rf = Fixer2::new(&float).unwrap().run_default().unwrap();
         assert!(re.is_success() && rf.is_success());
         assert_eq!(re.assignment(), rf.assignment());
+    }
+
+    /// An impossible event (probability 0) makes `Inc = 0`; an infinite
+    /// φ entry then produces the `0·∞ = NaN` cost. Pre-PR this panicked
+    /// inside `min_by`'s `partial_cmp(..).expect(..)`; now it is a typed
+    /// error naming the variable and the event.
+    #[test]
+    fn nan_cost_is_a_typed_error_not_a_panic() {
+        let mut b = InstanceBuilder::<f64>::new(2);
+        let x = b.add_uniform_variable(&[0, 1], 3);
+        b.set_event_predicate(0, |_| false); // impossible: Inc(0, ·) = 0
+        b.set_event_predicate(1, move |vals| vals[x] == 0);
+        let inst = b.build().unwrap();
+        let mut fixer = Fixer2::new_unchecked(&inst).unwrap();
+        let eid = inst
+            .dependency_graph()
+            .edge_id(0, 1)
+            .expect("x co-affects 0 and 1");
+        // Degenerate bookkeeping state: φ_e^0 = ∞ (reachable for the
+        // f64 backend through overflow in adversarial above-threshold
+        // drivers; injected directly here to pin the NaN path).
+        fixer.phi.set(eid, 0, f64::INFINITY).unwrap();
+        assert_eq!(
+            fixer.fix_variable(x),
+            Err(FixerError::NonFiniteCost {
+                variable: x,
+                event: 0
+            })
+        );
+        // The failed step must not have mutated the assignment.
+        assert!(fixer.partial().get(x).is_none());
+    }
+
+    /// Equal-cost values must select the lowest value index, on exact
+    /// and floating backends alike — the parallel class sweep's
+    /// byte-identity guarantee leans on this tie-break being pinned.
+    #[test]
+    fn rank1_ties_select_lowest_value_index() {
+        fn tie_instance<T: Num>() -> Instance<T> {
+            let mut b = InstanceBuilder::<T>::new(1);
+            let x = b.add_uniform_variable(&[0], 4);
+            // Only y = 3 is bad: Inc(0, y) = 0 for y ∈ {0, 1, 2} — a
+            // three-way exact tie.
+            b.set_event_predicate(0, move |vals| vals[x] == 3);
+            b.build().unwrap()
+        }
+        let exact = tie_instance::<BigRational>();
+        let mut fixer = Fixer2::new(&exact).unwrap();
+        assert_eq!(fixer.fix_variable(0).unwrap(), 0);
+        let float = tie_instance::<f64>();
+        let mut fixer = Fixer2::new(&float).unwrap();
+        assert_eq!(fixer.fix_variable(0).unwrap(), 0);
     }
 }

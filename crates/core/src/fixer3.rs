@@ -28,7 +28,7 @@ use lll_obs::timing::{span_nanos, span_start};
 use lll_obs::{Event, NullRecorder, NullTiming, Recorder, TimingScope, TimingSink};
 
 use crate::error::FixerError;
-use crate::fixer2::{audit_event, fix_run_start_event, fix_step_event};
+use crate::fixer2::{audit_event, fix_run_start_event, fix_step_event, non_finite};
 use crate::instance::{Instance, PartialAssignment};
 use crate::triples::{decompose, representability_score, Phi};
 use crate::{FixReport, FixStepRecord};
@@ -59,6 +59,10 @@ pub struct Fixer3<'i, T> {
     phi: Phi<T>,
     rule: ValueRule,
     invariant_intact: bool,
+    /// Global index of this fixer's first step — 0 for a root fixer,
+    /// the shard's start position for a sweep fork (so recorded
+    /// `fix_step` events carry run-global step numbers).
+    step_base: usize,
     steps: Vec<FixStepRecord>,
 }
 
@@ -98,6 +102,7 @@ impl<'i, T: Num> Fixer3<'i, T> {
             phi: Phi::ones(inst.dependency_graph()),
             rule: ValueRule::default(),
             invariant_intact: true,
+            step_base: 0,
             steps: Vec::new(),
         })
     }
@@ -132,18 +137,34 @@ impl<'i, T: Num> Fixer3<'i, T> {
 
     fn inc(&self, ev: usize, x: usize, y: usize) -> T {
         let old = self.inst.probability(ev, &self.partial);
+        self.inc_given(ev, &old, x, y)
+    }
+
+    /// [`inc`](Fixer3::inc) with the invariant `Pr[ev | partial]`
+    /// precomputed — the value-selection loops hoist it so the
+    /// conditional-probability enumeration runs once per event instead
+    /// of once per candidate value. Bit-identical to [`inc`](Fixer3::inc).
+    fn inc_given(&self, ev: usize, old: &T, x: usize, y: usize) -> T {
         if old.is_zero() {
             return T::zero();
         }
-        self.inst.probability_with(ev, &self.partial, x, y) / old
+        self.inst.probability_with(ev, &self.partial, x, y) / old.clone()
     }
 
-    /// Fixes variable `x`, returning the chosen value.
+    /// Fixes variable `x`, returning the chosen value. Exact cost ties
+    /// select the lowest value index, for every backend — the class
+    /// sweep's determinism relies on this.
+    ///
+    /// # Errors
+    ///
+    /// [`FixerError::NonFiniteCost`] if a cost or score is not
+    /// comparable (an `f64` NaN, e.g. `0·∞` from a degenerate
+    /// φ-product).
     ///
     /// # Panics
     ///
     /// Panics if `x` is already fixed.
-    pub fn fix_variable(&mut self, x: usize) -> usize {
+    pub fn fix_variable(&mut self, x: usize) -> Result<usize, FixerError> {
         self.fix_variable_recorded(x, &mut NullRecorder)
     }
 
@@ -153,20 +174,44 @@ impl<'i, T: Num> Fixer3<'i, T> {
     /// at rank 3, one per dependency edge of the hyperedge). With
     /// [`NullRecorder`] this compiles to exactly the unrecorded path.
     ///
+    /// # Errors
+    ///
+    /// As [`fix_variable`](Fixer3::fix_variable).
+    ///
     /// # Panics
     ///
     /// Panics if `x` is already fixed.
-    pub fn fix_variable_recorded<R: Recorder>(&mut self, x: usize, rec: &mut R) -> usize {
+    pub fn fix_variable_recorded<R: Recorder>(
+        &mut self,
+        x: usize,
+        rec: &mut R,
+    ) -> Result<usize, FixerError> {
         assert!(self.partial.get(x).is_none(), "variable {x} already fixed");
         let var = self.inst.variable(x);
         let k = var.num_values();
         let choice = match *var.affects() {
             [u] => {
-                (0..k)
-                    .map(|y| (self.inc(u, x, y), y))
-                    .min_by(|(a, _), (b, _)| a.partial_cmp(b).expect("finite increase factors"))
-                    .expect("variables have at least one value")
-                    .1
+                // Strict `<` keeps the first minimiser, so exact ties
+                // resolve to the lowest index.
+                let old_u = self.inst.probability(u, &self.partial);
+                let mut best: Option<(T, usize)> = None;
+                for y in 0..k {
+                    let inc = self.inc_given(u, &old_u, x, y);
+                    if non_finite(&inc) {
+                        return Err(FixerError::NonFiniteCost {
+                            variable: x,
+                            event: u,
+                        });
+                    }
+                    let better = match &best {
+                        None => true,
+                        Some((b, _)) => inc < *b,
+                    };
+                    if better {
+                        best = Some((inc, y));
+                    }
+                }
+                best.expect("variables have at least one value").1
             }
             [u, v] => {
                 let g = self.inst.dependency_graph();
@@ -181,18 +226,42 @@ impl<'i, T: Num> Fixer3<'i, T> {
                     .get(eid, v)
                     .expect("v is an endpoint of its edge")
                     .clone();
-                let best = (0..k)
-                    .map(|y| {
-                        (
-                            self.inc(u, x, y) * s.clone() + self.inc(v, x, y) * t.clone(),
-                            y,
-                        )
-                    })
-                    .min_by(|(a, _), (b, _)| a.partial_cmp(b).expect("finite costs"))
-                    .expect("variables have at least one value")
-                    .1;
-                let new_u = self.inc(u, x, best) * s;
-                let new_v = self.inc(v, x, best) * t;
+                let old_u = self.inst.probability(u, &self.partial);
+                let old_v = self.inst.probability(v, &self.partial);
+                // The winner's costs double as the new φ values, so the
+                // loop carries them instead of recomputing after it.
+                let mut best: Option<(T, usize, T, T)> = None;
+                for y in 0..k {
+                    let cost_u = self.inc_given(u, &old_u, x, y) * s.clone();
+                    if non_finite(&cost_u) {
+                        return Err(FixerError::NonFiniteCost {
+                            variable: x,
+                            event: u,
+                        });
+                    }
+                    let cost_v = self.inc_given(v, &old_v, x, y) * t.clone();
+                    if non_finite(&cost_v) {
+                        return Err(FixerError::NonFiniteCost {
+                            variable: x,
+                            event: v,
+                        });
+                    }
+                    let cost = cost_u.clone() + cost_v.clone();
+                    if non_finite(&cost) {
+                        return Err(FixerError::NonFiniteCost {
+                            variable: x,
+                            event: u,
+                        });
+                    }
+                    let better = match &best {
+                        None => true,
+                        Some((b, _, _, _)) => cost < *b,
+                    };
+                    if better {
+                        best = Some((cost, y, cost_u, cost_v));
+                    }
+                }
+                let (_, best, new_u, new_v) = best.expect("variables have at least one value");
                 self.phi
                     .set(eid, u, new_u)
                     .expect("u is an endpoint of its edge");
@@ -201,14 +270,14 @@ impl<'i, T: Num> Fixer3<'i, T> {
                     .expect("v is an endpoint of its edge");
                 best
             }
-            [u, v, w] => self.fix_rank3(x, u, v, w),
+            [u, v, w] => self.fix_rank3(x, u, v, w)?,
             _ => unreachable!("rank validated at construction"),
         };
         if R::ENABLED {
             rec.record(&fix_step_event(
                 self.inst,
                 &self.phi,
-                self.steps.len(),
+                self.step_base + self.steps.len(),
                 x,
                 choice,
                 |ev| self.inc(ev, x, choice).to_f64(),
@@ -219,11 +288,11 @@ impl<'i, T: Num> Fixer3<'i, T> {
             variable: x,
             value: choice,
         });
-        choice
+        Ok(choice)
     }
 
     /// The rank-3 step described in the module docs.
-    fn fix_rank3(&mut self, x: usize, u: usize, v: usize, w: usize) -> usize {
+    fn fix_rank3(&mut self, x: usize, u: usize, v: usize, w: usize) -> Result<usize, FixerError> {
         let g = self.inst.dependency_graph();
         let e = g.edge_id(u, v).expect("u, v share variable x");
         let e1 = g.edge_id(u, w).expect("u, w share variable x");
@@ -239,15 +308,44 @@ impl<'i, T: Num> Fixer3<'i, T> {
         let c = at(e1, w) * at(e2, w);
 
         let k = self.inst.variable(x).num_values();
-        // Candidate triples, most robustly representable first.
-        let mut candidates: Vec<(T, usize, (T, T, T))> = (0..k)
-            .map(|y| {
-                let sa = self.inc(u, x, y) * a.clone();
-                let sb = self.inc(v, x, y) * b.clone();
-                let sc = self.inc(w, x, y) * c.clone();
-                (representability_score(&sa, &sb, &sc), y, (sa, sb, sc))
-            })
-            .collect();
+        let old_u = self.inst.probability(u, &self.partial);
+        let old_v = self.inst.probability(v, &self.partial);
+        let old_w = self.inst.probability(w, &self.partial);
+        // Candidate triples, most robustly representable first. Every
+        // component and score is checked for self-comparability here, so
+        // the comparison closures below cannot see a NaN.
+        let mut candidates: Vec<(T, usize, (T, T, T))> = Vec::with_capacity(k);
+        for y in 0..k {
+            let sa = self.inc_given(u, &old_u, x, y) * a.clone();
+            if non_finite(&sa) {
+                return Err(FixerError::NonFiniteCost {
+                    variable: x,
+                    event: u,
+                });
+            }
+            let sb = self.inc_given(v, &old_v, x, y) * b.clone();
+            if non_finite(&sb) {
+                return Err(FixerError::NonFiniteCost {
+                    variable: x,
+                    event: v,
+                });
+            }
+            let sc = self.inc_given(w, &old_w, x, y) * c.clone();
+            if non_finite(&sc) {
+                return Err(FixerError::NonFiniteCost {
+                    variable: x,
+                    event: w,
+                });
+            }
+            let score = representability_score(&sa, &sb, &sc);
+            if non_finite(&score) {
+                return Err(FixerError::NonFiniteCost {
+                    variable: x,
+                    event: u,
+                });
+            }
+            candidates.push((score, y, (sa, sb, sc)));
+        }
         match self.rule {
             ValueRule::BestScore => candidates.sort_by(|(s1, y1, _), (s2, y2, _)| {
                 s2.partial_cmp(s1).expect("finite scores").then(y1.cmp(y2))
@@ -279,7 +377,7 @@ impl<'i, T: Num> Fixer3<'i, T> {
                 self.phi.set(e2, v, d.b3).expect(endpoint);
                 self.phi.set(e1, w, d.c2).expect(endpoint);
                 self.phi.set(e2, w, d.c3).expect(endpoint);
-                return *y;
+                return Ok(*y);
             }
         }
 
@@ -303,21 +401,30 @@ impl<'i, T: Num> Fixer3<'i, T> {
         self.phi.set(e, v, new_b1).expect(endpoint);
         let new_c2 = scale(sc, &self.phi.get(e2, w).expect(endpoint).clone());
         self.phi.set(e1, w, new_c2).expect(endpoint);
-        y
+        Ok(y)
     }
 
     /// Runs the process over the given variable order (must enumerate
     /// every variable exactly once).
     ///
+    /// # Errors
+    ///
+    /// [`FixerError::NonFiniteCost`] if a fixing step computes an
+    /// incomparable cost (see [`fix_variable`](Fixer3::fix_variable)).
+    ///
     /// # Panics
     ///
     /// Panics if the order re-fixes or misses a variable.
-    pub fn run(self, order: impl IntoIterator<Item = usize>) -> FixReport {
+    pub fn run(self, order: impl IntoIterator<Item = usize>) -> Result<FixReport, FixerError> {
         self.run_recorded(order, &mut NullRecorder)
     }
 
     /// [`run`](Fixer3::run) with a flight recorder: brackets the fixing
     /// steps with [`Event::FixRunStart`]/[`Event::FixRunEnd`].
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Fixer3::run).
     ///
     /// # Panics
     ///
@@ -326,7 +433,7 @@ impl<'i, T: Num> Fixer3<'i, T> {
         self,
         order: impl IntoIterator<Item = usize>,
         rec: &mut R,
-    ) -> FixReport {
+    ) -> Result<FixReport, FixerError> {
         self.run_timed_recorded(order, rec, &mut NullTiming)
     }
 
@@ -334,6 +441,10 @@ impl<'i, T: Num> Fixer3<'i, T> {
     /// sink: the whole run is one [`TimingScope::FixRun`] span and every
     /// fixing step one [`TimingScope::FixStep`] span (see
     /// `Fixer2::run_timed_recorded` — the contract is identical).
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Fixer3::run).
     ///
     /// # Panics
     ///
@@ -343,14 +454,14 @@ impl<'i, T: Num> Fixer3<'i, T> {
         order: impl IntoIterator<Item = usize>,
         rec: &mut R,
         timing: &mut S,
-    ) -> FixReport {
+    ) -> Result<FixReport, FixerError> {
         let run_started = span_start::<S>();
         if R::ENABLED {
             rec.record(&fix_run_start_event(self.inst));
         }
         for x in order {
             let step_started = span_start::<S>();
-            self.fix_variable_recorded(x, rec);
+            self.fix_variable_recorded(x, rec)?;
             if S::ENABLED {
                 timing.record_span(TimingScope::FixStep, span_nanos(step_started));
             }
@@ -366,11 +477,15 @@ impl<'i, T: Num> Fixer3<'i, T> {
         if S::ENABLED {
             timing.record_span(TimingScope::FixRun, span_nanos(run_started));
         }
-        report
+        Ok(report)
     }
 
     /// Runs the process in variable-id order.
-    pub fn run_default(self) -> FixReport {
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Fixer3::run).
+    pub fn run_default(self) -> Result<FixReport, FixerError> {
         let m = self.inst.num_variables();
         self.run(0..m)
     }
@@ -430,7 +545,7 @@ impl<'i, T: Num> Fixer3<'i, T> {
             tol,
         );
         for (step, x) in order.into_iter().enumerate() {
-            self.fix_variable_recorded(x, rec);
+            self.fix_variable_recorded(x, rec)?;
             let report = auditor.reverify(self.inst, &self.partial, &self.phi, x);
             if R::ENABLED {
                 rec.record(&audit_event(step, x, &report));
@@ -470,6 +585,64 @@ impl<'i, T: Num> Fixer3<'i, T> {
     }
 }
 
+impl<T: Num> crate::sweep::ClassFixer<T> for Fixer3<'_, T> {
+    fn fork(&self, step_base: usize) -> Self {
+        Fixer3 {
+            inst: self.inst,
+            partial: self.partial.clone(),
+            phi: self.phi.clone(),
+            rule: self.rule,
+            invariant_intact: self.invariant_intact,
+            step_base,
+            steps: Vec::new(),
+        }
+    }
+
+    fn steps_done(&self) -> usize {
+        self.step_base + self.steps.len()
+    }
+
+    fn fix_cell<R: Recorder>(&mut self, cell: &[usize], rec: &mut R) -> Result<(), FixerError> {
+        for &x in cell {
+            self.fix_variable_recorded(x, rec)?;
+        }
+        Ok(())
+    }
+
+    fn absorb(&mut self, shard: Self) {
+        let g = self.inst.dependency_graph();
+        // A fixed variable's φ writes are confined to the dependency
+        // edges among its affected events; copying every entry of those
+        // edges (written or not) is safe because no concurrent shard
+        // touches them — class cells have disjoint event sets.
+        for step in &shard.steps {
+            self.partial.fix(step.variable, step.value);
+            let touched = self.inst.variable(step.variable).affects();
+            for (i, &u) in touched.iter().enumerate() {
+                for &v in &touched[i + 1..] {
+                    let eid = g.edge_id(u, v).expect("co-affected events are adjacent");
+                    for node in [u, v] {
+                        let val = shard
+                            .phi
+                            .get(eid, node)
+                            .expect("node is an endpoint of its edge")
+                            .clone();
+                        self.phi
+                            .set(eid, node, val)
+                            .expect("node is an endpoint of its edge");
+                    }
+                }
+            }
+        }
+        self.invariant_intact &= shard.invariant_intact;
+        self.steps.extend(shard.steps);
+    }
+
+    fn audit_delta(&self, vars: &[usize], p_bound: &T, tol: &T) -> crate::audit::AuditDelta<T> {
+        crate::audit::audit_delta_for(self.inst, &self.partial, &self.phi, vars, p_bound, tol)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -501,7 +674,7 @@ mod tests {
         let inst = hyper_ring_instance::<BigRational>(12, 3); // 1/27 · 2^4 < 1
         assert_eq!(inst.max_dependency_degree(), 4);
         assert!(inst.satisfies_exponential_criterion());
-        let report = Fixer3::new(&inst).unwrap().run_default();
+        let report = Fixer3::new(&inst).unwrap().run_default().unwrap();
         assert!(
             report.is_success(),
             "violated: {:?}",
@@ -520,7 +693,7 @@ mod tests {
             order.shuffle(&mut rng);
             let mut fixer = Fixer3::new(&inst).unwrap();
             for &x in &order {
-                fixer.fix_variable(x);
+                fixer.fix_variable(x).unwrap();
                 let audit = audit_p_star(
                     &inst,
                     fixer.partial(),
@@ -545,7 +718,8 @@ mod tests {
         let report = Fixer3::new(&inst)
             .unwrap()
             .with_rule(ValueRule::FirstFeasible)
-            .run_default();
+            .run_default()
+            .unwrap();
         assert!(report.is_success());
     }
 
@@ -579,7 +753,7 @@ mod tests {
         // p = 1/9 < 2^-2? 1/9 < 1/4 yes.
         assert!(inst.satisfies_exponential_criterion());
         for order in [vec![0, 1, 2], vec![2, 1, 0], vec![1, 2, 0]] {
-            let report = Fixer3::new(&inst).unwrap().run(order.clone());
+            let report = Fixer3::new(&inst).unwrap().run(order.clone()).unwrap();
             assert!(report.is_success(), "order {order:?}");
         }
     }
@@ -602,7 +776,7 @@ mod tests {
         let p = inst.max_event_probability();
         let mut fixer = Fixer3::new(&inst).unwrap();
         for v in 0..3 {
-            fixer.fix_variable(v);
+            fixer.fix_variable(v).unwrap();
             let audit = audit_p_star(
                 &inst,
                 fixer.partial(),
@@ -637,7 +811,7 @@ mod tests {
             Fixer3::new(&inst),
             Err(FixerError::CriterionViolated { .. })
         ));
-        let report = Fixer3::new_unchecked(&inst).unwrap().run_default();
+        let report = Fixer3::new_unchecked(&inst).unwrap().run_default().unwrap();
         assert_eq!(report.assignment().len(), 8);
     }
 
@@ -647,7 +821,8 @@ mod tests {
         let mut rec = lll_obs::JsonlRecorder::new(Vec::new());
         let report = Fixer3::new(&inst)
             .unwrap()
-            .run_recorded(0..inst.num_variables(), &mut rec);
+            .run_recorded(0..inst.num_variables(), &mut rec)
+            .unwrap();
         assert!(report.is_success());
         let text = String::from_utf8(rec.finish().unwrap()).unwrap();
         lll_obs::schema::validate_stream(&text).unwrap_or_else(|e| panic!("{e}"));
@@ -658,7 +833,8 @@ mod tests {
         let mut counter = lll_obs::CounterRecorder::new();
         let report2 = Fixer3::new(&inst)
             .unwrap()
-            .run_recorded(0..inst.num_variables(), &mut counter);
+            .run_recorded(0..inst.num_variables(), &mut counter)
+            .unwrap();
         assert_eq!(report2.steps(), report.steps());
         assert_eq!(counter.fix_steps, report.num_steps());
         assert!(counter.min_headroom >= 0.0, "{}", counter.min_headroom);
@@ -667,7 +843,7 @@ mod tests {
     #[test]
     fn f64_backend_succeeds_on_hyper_ring() {
         let inst = hyper_ring_instance::<f64>(15, 3);
-        let report = Fixer3::new(&inst).unwrap().run_default();
+        let report = Fixer3::new(&inst).unwrap().run_default().unwrap();
         assert!(
             report.is_success(),
             "violated: {:?}",
@@ -679,10 +855,40 @@ mod tests {
     fn f64_and_exact_choose_identically_on_hyper_ring() {
         let fe = Fixer3::new_unchecked(&hyper_ring_instance::<BigRational>(10, 3))
             .unwrap()
-            .run_default();
+            .run_default()
+            .unwrap();
         let ff = Fixer3::new_unchecked(&hyper_ring_instance::<f64>(10, 3))
             .unwrap()
-            .run_default();
+            .run_default()
+            .unwrap();
         assert_eq!(fe.assignment(), ff.assignment());
+    }
+
+    /// Rank-3 mirror of the fixer2 NaN regression: an impossible event
+    /// gives `Inc = 0`, an infinite φ entry turns the node product into
+    /// `∞`, and the scaled triple component becomes `0·∞ = NaN`. Pre-PR
+    /// this panicked in the score sort; now it is a typed error.
+    #[test]
+    fn nan_cost_is_a_typed_error_not_a_panic() {
+        let mut b = InstanceBuilder::<f64>::new(3);
+        let x = b.add_uniform_variable(&[0, 1, 2], 3);
+        b.set_event_predicate(0, |_| false); // impossible: Inc(0, ·) = 0
+        b.set_event_predicate(1, move |vals| vals[x] == 0);
+        b.set_event_predicate(2, move |vals| vals[x] == 1);
+        let inst = b.build().unwrap();
+        let mut fixer = Fixer3::new_unchecked(&inst).unwrap();
+        let eid = inst
+            .dependency_graph()
+            .edge_id(0, 1)
+            .expect("x co-affects 0 and 1");
+        fixer.phi.set(eid, 0, f64::INFINITY).unwrap();
+        assert_eq!(
+            fixer.fix_variable(x),
+            Err(FixerError::NonFiniteCost {
+                variable: x,
+                event: 0
+            })
+        );
+        assert!(fixer.partial().get(x).is_none());
     }
 }

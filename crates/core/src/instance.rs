@@ -290,18 +290,53 @@ impl<T: Num> Instance<T> {
     }
 
     fn prob_impl(&self, v: usize, lookup: impl Fn(usize) -> Option<usize>) -> T {
+        // The fixers call this in a tight loop; supports are small
+        // (bounded dependency degree), so stack buffers avoid three heap
+        // allocations per call on the hot path.
+        const STACK: usize = 16;
+        let support_len = self.events[v].support.len();
+        if support_len <= STACK {
+            let mut values = [0usize; STACK];
+            let mut free = [0usize; STACK];
+            let mut counters = [0usize; STACK];
+            self.prob_loop(
+                v,
+                lookup,
+                &mut values[..support_len],
+                &mut free[..support_len],
+                &mut counters[..support_len],
+            )
+        } else {
+            let mut values = vec![0usize; support_len];
+            let mut free = vec![0usize; support_len];
+            let mut counters = vec![0usize; support_len];
+            self.prob_loop(v, lookup, &mut values, &mut free, &mut counters)
+        }
+    }
+
+    fn prob_loop(
+        &self,
+        v: usize,
+        lookup: impl Fn(usize) -> Option<usize>,
+        values: &mut [usize],
+        free_buf: &mut [usize],
+        counters: &mut [usize],
+    ) -> T {
         let event = &self.events[v];
         let support = &event.support;
-        let mut values: Vec<usize> = vec![0; support.len()];
-        let mut free: Vec<usize> = Vec::new(); // positions in support
+        let mut num_free = 0usize; // positions in support
         for (pos, &x) in support.iter().enumerate() {
             match lookup(x) {
                 Some(val) => values[pos] = val,
-                None => free.push(pos),
+                None => {
+                    free_buf[num_free] = pos;
+                    num_free += 1;
+                }
             }
         }
+        let free = &free_buf[..num_free];
         if free.is_empty() {
-            return if event.occurs(&values) {
+            return if event.occurs(values) {
                 T::one()
             } else {
                 T::zero()
@@ -309,12 +344,13 @@ impl<T: Num> Instance<T> {
         }
         // Odometer over the free positions.
         let mut total = T::zero();
-        let mut counters = vec![0usize; free.len()];
+        let counters = &mut counters[..num_free];
+        counters.fill(0);
         loop {
             for (ci, &pos) in free.iter().enumerate() {
                 values[pos] = counters[ci];
             }
-            if event.occurs(&values) {
+            if event.occurs(values) {
                 let mut w = T::one();
                 for (ci, &pos) in free.iter().enumerate() {
                     w = w * self.variables[support[pos]].probs[counters[ci]].clone();
@@ -871,7 +907,7 @@ mod tests {
         b.set_event_predicate(1, move |vals| vals[x] == 1);
         let inst = b.build().unwrap();
         assert!((inst.unconditional_probability(0) - 0.125).abs() < 1e-12);
-        let report = crate::Fixer3::new(&inst).unwrap().run_default();
+        let report = crate::Fixer3::new(&inst).unwrap().run_default().unwrap();
         assert!(report.is_success());
     }
 

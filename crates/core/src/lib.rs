@@ -50,7 +50,7 @@
 //! b.set_event_predicate(2, move |vals| vals[y] == 0 && vals[z] == 0);
 //! let instance = b.build()?;
 //!
-//! let report = Fixer3::new(&instance)?.run_default();
+//! let report = Fixer3::new(&instance)?.run_default()?;
 //! assert!(report.is_success());
 //! assert!(instance.no_event_occurs(report.assignment())?);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -65,6 +65,7 @@ mod fg;
 mod fixer2;
 mod fixer3;
 mod instance;
+mod sweep;
 
 pub mod dist;
 pub mod orders;
@@ -114,12 +115,12 @@ pub fn solve_deterministically<T: lll_numeric::Num>(
     let rank = inst.max_rank();
     if rank <= 2 {
         if let Ok(fixer) = Fixer2::new(inst) {
-            return Ok(fixer.run_default());
+            return fixer.run_default();
         }
     }
     if rank <= 3 {
         if let Ok(fixer) = Fixer3::new(inst) {
-            return Ok(fixer.run_default());
+            return fixer.run_default();
         }
     }
     // Generic fallback: greedy distance-2 classes (sequential here; the

@@ -14,7 +14,7 @@ use lll_numeric::Num;
 
 use crate::fixer3::Fixer3;
 use crate::triples::representability_score;
-use crate::{FixReport, Fixer2};
+use crate::{FixReport, Fixer2, FixerError};
 
 /// A static order family over `m` variables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,7 +64,14 @@ fn gcd(a: usize, b: usize) -> usize {
 ///
 /// Returns the report; below the threshold Theorem 1.1 still guarantees
 /// success.
-pub fn run_fixer2_adaptive_worst<T: Num>(mut fixer: Fixer2<'_, T>) -> FixReport {
+///
+/// # Errors
+///
+/// [`FixerError::NonFiniteCost`] if a fixing step computes an
+/// incomparable cost (see [`Fixer2::fix_variable`]).
+pub fn run_fixer2_adaptive_worst<T: Num>(
+    mut fixer: Fixer2<'_, T>,
+) -> Result<FixReport, FixerError> {
     let inst = fixer.instance();
     let m = inst.num_variables();
     for _ in 0..m {
@@ -74,9 +81,9 @@ pub fn run_fixer2_adaptive_worst<T: Num>(mut fixer: Fixer2<'_, T>) -> FixReport 
             .max_by(|(a, _), (b, _)| a.partial_cmp(b).expect("finite costs"))
             .map(|(_, x)| x)
             .expect("an unfixed variable remains");
-        fixer.fix_variable(next);
+        fixer.fix_variable(next)?;
     }
-    fixer.into_report()
+    Ok(fixer.into_report())
 }
 
 /// The cost the fixer would pay for its best value of `x` right now
@@ -124,7 +131,14 @@ fn fixer2_best_cost<T: Num>(fixer: &Fixer2<'_, T>, x: usize) -> T {
 /// unfixed variable whose best candidate triple has the *smallest*
 /// representability margin — the variable closest to exhausting the
 /// geometry of `S_rep`.
-pub fn run_fixer3_adaptive_worst<T: Num>(mut fixer: Fixer3<'_, T>) -> FixReport {
+///
+/// # Errors
+///
+/// [`FixerError::NonFiniteCost`] if a fixing step computes an
+/// incomparable cost (see [`Fixer3::fix_variable`]).
+pub fn run_fixer3_adaptive_worst<T: Num>(
+    mut fixer: Fixer3<'_, T>,
+) -> Result<FixReport, FixerError> {
     let inst = fixer.instance();
     let m = inst.num_variables();
     for _ in 0..m {
@@ -134,9 +148,9 @@ pub fn run_fixer3_adaptive_worst<T: Num>(mut fixer: Fixer3<'_, T>) -> FixReport 
             .min_by(|(a, _), (b, _)| a.partial_cmp(b).expect("finite margins"))
             .map(|(_, x)| x)
             .expect("an unfixed variable remains");
-        fixer.fix_variable(next);
+        fixer.fix_variable(next)?;
     }
-    fixer.into_report()
+    Ok(fixer.into_report())
 }
 
 /// The best representability score over the values of `x` given the
@@ -245,17 +259,20 @@ mod tests {
         ] {
             let report = Fixer2::new(&inst)
                 .expect("below threshold")
-                .run(order.materialize(inst.num_variables()));
+                .run(order.materialize(inst.num_variables()))
+                .unwrap();
             assert!(report.is_success(), "{order:?}");
         }
-        let report = run_fixer2_adaptive_worst(Fixer2::new(&inst).expect("below threshold"));
+        let report =
+            run_fixer2_adaptive_worst(Fixer2::new(&inst).expect("below threshold")).unwrap();
         assert!(report.is_success(), "adaptive adversary");
     }
 
     #[test]
     fn fixer3_survives_adaptive_adversary_with_p_star() {
         let inst = hyper_ring_instance(9, 3);
-        let report = run_fixer3_adaptive_worst(Fixer3::new(&inst).expect("below threshold"));
+        let report =
+            run_fixer3_adaptive_worst(Fixer3::new(&inst).expect("below threshold")).unwrap();
         assert!(report.is_success());
         // And stepwise: re-run manually with audits.
         let p = inst.max_event_probability();
@@ -268,7 +285,7 @@ mod tests {
                 .min_by(|(a, _), (b, _)| a.partial_cmp(b).unwrap())
                 .map(|(_, x)| x)
                 .unwrap();
-            fixer.fix_variable(next);
+            fixer.fix_variable(next).unwrap();
             let audit = audit_p_star(
                 &inst,
                 fixer.partial(),

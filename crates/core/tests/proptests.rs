@@ -111,7 +111,7 @@ proptest! {
             prop_assert_eq!(f2.is_ok(), below);
         }
         if let Ok(fixer) = f3 {
-            let report = fixer.run_default();
+            let report = fixer.run_default().expect("finite costs");
             prop_assert!(report.is_success());
         }
     }

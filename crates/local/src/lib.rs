@@ -69,6 +69,8 @@
 pub mod gather;
 pub mod parallel;
 
+pub use parallel::{effective_workers, shard_bounds, split_mut};
+
 use std::fmt;
 
 use lll_graphs::Graph;

@@ -98,11 +98,27 @@ struct Shard<'a, P: NodeProgram> {
     nanos: &'a mut u64,
 }
 
-/// Node boundaries `b_0 = 0 ≤ … ≤ b_t = n` cutting the CSR slot space
-/// as evenly as possible: shard `i` covers nodes `b_i..b_{i+1}` and owns
-/// the contiguous slots `offsets[b_i]..offsets[b_{i+1}]`. Purely a
-/// function of the graph and `threads`.
-fn shard_bounds(offsets: &[usize], threads: usize) -> Vec<usize> {
+/// The effective worker count for `threads` requested workers over
+/// `items` work items: at least 1 (a request of 0 means "sequential",
+/// not "no work"), at most `items` (extra workers would idle), and 1
+/// when there is no work at all. Every parallel entry point of the
+/// workspace — [`Simulator::run_parallel`], [`Simulator::run_auto`],
+/// and the fixers' color-class sweeps — resolves its thread knob through
+/// this single function, so `threads = 0`, `items = 0` and
+/// `threads > items` degrade identically everywhere.
+pub fn effective_workers(threads: usize, items: usize) -> usize {
+    threads.clamp(1, items.max(1))
+}
+
+/// Item boundaries `b_0 = 0 ≤ … ≤ b_t = n` cutting a weighted item
+/// range as evenly as possible: `offsets` is the prefix-sum weight table
+/// (`offsets[i]..offsets[i+1]` is item `i`'s weight; for the simulator,
+/// CSR port offsets), and shard `i` covers items `b_i..b_{i+1}`, owning
+/// the contiguous weight `offsets[b_i]..offsets[b_{i+1}]`. Purely a
+/// function of the weights and `threads` — callers rely on this for
+/// determinism across runs. On all-zero weights the item range itself is
+/// cut evenly instead.
+pub fn shard_bounds(offsets: &[usize], threads: usize) -> Vec<usize> {
     let n = offsets.len() - 1;
     let total = offsets[n];
     let mut bounds = Vec::with_capacity(threads + 1);
@@ -129,7 +145,7 @@ fn shard_bounds(offsets: &[usize], threads: usize) -> Vec<usize> {
 /// Splits `slice` at the absolute `cuts` (which must start at 0, end at
 /// `slice.len()` and be non-decreasing) into `cuts.len() - 1` disjoint
 /// mutable windows.
-fn split_mut<'a, T>(mut slice: &'a mut [T], cuts: &[usize]) -> Vec<&'a mut [T]> {
+pub fn split_mut<'a, T>(mut slice: &'a mut [T], cuts: &[usize]) -> Vec<&'a mut [T]> {
     let mut out = Vec::with_capacity(cuts.len() - 1);
     let mut prev = 0usize;
     for &c in &cuts[1..] {
@@ -311,7 +327,7 @@ where
     // inline with zero spawns. The outcome cannot tell the difference:
     // shards are data-disjoint and the reductions below are
     // order-independent.
-    let workers = workers.min(shards.len());
+    let workers = effective_workers(workers, shards.len());
     let run_band = |band: &mut [Shard<'_, P>]| -> Vec<Result<RoundStats, SimError>> {
         band.iter_mut()
             .map(|shard| {
@@ -459,7 +475,7 @@ impl<'g> Simulator<'g> {
         let run_started = span_start::<T>();
         let g = self.graph();
         let n = g.num_nodes();
-        let threads = threads.clamp(1, n.max(1));
+        let threads = effective_workers(threads, n);
         let info = NetworkInfo {
             n,
             max_degree: g.max_degree(),
@@ -660,6 +676,58 @@ mod tests {
         assert!(parts[1].is_empty());
         assert_eq!(parts[2], &[3, 4, 5, 6]);
         assert_eq!(parts[3], &[7, 8, 9]);
+    }
+
+    #[test]
+    fn effective_workers_resolves_degenerate_requests() {
+        // threads = 0 means "sequential", never "no workers".
+        assert_eq!(effective_workers(0, 10), 1);
+        // No work: exactly one (idle) worker, even for huge requests.
+        assert_eq!(effective_workers(0, 0), 1);
+        assert_eq!(effective_workers(16, 0), 1);
+        // More workers than items: capped at the item count.
+        assert_eq!(effective_workers(16, 3), 3);
+        // In range: untouched.
+        assert_eq!(effective_workers(4, 10), 4);
+        assert_eq!(effective_workers(1, 1), 1);
+    }
+
+    #[test]
+    fn run_parallel_accepts_degenerate_thread_counts() {
+        use crate::{broadcast, NodeProgram, RoundResult};
+        struct Once;
+        impl NodeProgram for Once {
+            type Message = u64;
+            type Output = u64;
+            fn init(&mut self, ctx: &mut NodeContext) -> Vec<Option<u64>> {
+                broadcast(ctx.id, ctx.degree)
+            }
+            fn round(
+                &mut self,
+                _ctx: &mut NodeContext,
+                inbox: &[Option<u64>],
+            ) -> RoundResult<u64, u64> {
+                RoundResult::Halt(inbox.iter().flatten().sum())
+            }
+        }
+        let g = ring(6);
+        let sim = Simulator::new(&g);
+        let seq = sim.run(|_| Once, 10).unwrap();
+        // threads = 0 and threads > n must both resolve like threads = 1
+        // (identical outcome; 0 means sequential, 64 is capped at n).
+        for t in [0usize, 1, 64] {
+            let par = sim.run_parallel(t, |_| Once, 10).unwrap();
+            assert_eq!(par.outputs, seq.outputs, "threads {t}");
+            assert_eq!(par.rounds, seq.rounds, "threads {t}");
+        }
+        // n = 0: every thread count degenerates to the same empty run.
+        let empty = lll_graphs::Graph::empty(0);
+        let esim = Simulator::new(&empty);
+        for t in [0usize, 1, 8] {
+            let out = esim.run_parallel(t, |_| Once, 10).unwrap();
+            assert!(out.outputs.is_empty(), "threads {t}");
+            assert_eq!(out.rounds, 0, "threads {t}");
+        }
     }
 
     #[test]

@@ -40,5 +40,5 @@ pub mod timing;
 pub use event::{Event, SCHEMA_VERSION};
 pub use hist::Histogram;
 pub use provenance::Provenance;
-pub use recorder::{CounterRecorder, JsonlRecorder, NullRecorder, Recorder};
+pub use recorder::{BufRecorder, CounterRecorder, JsonlRecorder, NullRecorder, Recorder};
 pub use timing::{NullTiming, TimingRecorder, TimingScope, TimingSink};

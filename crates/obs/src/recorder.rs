@@ -127,6 +127,61 @@ impl Recorder for CounterRecorder {
     }
 }
 
+/// Buffers events in memory for deferred, ordered replay into another
+/// recorder.
+///
+/// This is the merged-stream identity primitive of the parallel fixing
+/// sweep: each worker records its shard's events into a private
+/// `BufRecorder`, and the coordinating thread replays the buffers in
+/// static shard order after the join. Because shards cover contiguous
+/// ranges of the (deterministic) work order and each buffer is filled in
+/// that order, the replayed concatenation is byte-identical to the
+/// sequential emission — the downstream recorder never observes a
+/// thread boundary.
+#[derive(Debug, Default, Clone)]
+pub struct BufRecorder {
+    events: Vec<Event>,
+}
+
+impl BufRecorder {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BufRecorder::default()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The buffered events, in recording order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Replays every buffered event into `rec`, in recording order, and
+    /// clears the buffer.
+    pub fn replay_into<R: Recorder>(&mut self, rec: &mut R) {
+        if R::ENABLED {
+            for event in &self.events {
+                rec.record(event);
+            }
+        }
+        self.events.clear();
+    }
+}
+
+impl Recorder for BufRecorder {
+    fn record(&mut self, event: &Event) {
+        self.events.push(event.clone());
+    }
+}
+
 /// Streams events as schema-versioned JSONL to any [`Write`] sink.
 ///
 /// The optional provenance/meta line (written by [`JsonlRecorder::with_provenance`])
@@ -255,6 +310,30 @@ mod tests {
         });
         assert_eq!(c.min_headroom, 0.75);
         assert_eq!(c.fix_steps, 1);
+    }
+
+    #[test]
+    fn buf_recorder_replays_in_order_and_drains() {
+        let mut buf = BufRecorder::new();
+        buf.record(&Event::RoundStart {
+            round: 1,
+            running: 2,
+        });
+        buf.record(&Event::NodeHalt { round: 1, node: 0 });
+        assert_eq!(buf.len(), 2);
+        let mut jsonl = JsonlRecorder::new(Vec::new());
+        buf.replay_into(&mut jsonl);
+        assert!(buf.is_empty());
+        let direct = {
+            let mut r = JsonlRecorder::new(Vec::new());
+            r.record(&Event::RoundStart {
+                round: 1,
+                running: 2,
+            });
+            r.record(&Event::NodeHalt { round: 1, node: 0 });
+            r.finish().unwrap()
+        };
+        assert_eq!(jsonl.finish().unwrap(), direct);
     }
 
     #[test]

@@ -58,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "ring of 16 events, p = 1/9, d = 2, p*2^d = {} < 1",
         inst.criterion_value()
     );
-    let report = Fixer2::new(&inst)?.run((0..16).rev()); // reversed order, why not
+    let report = Fixer2::new(&inst)?.run((0..16).rev())?; // reversed order, why not
     println!(
         "reversed-order sequential fix: success = {}",
         report.is_success()
@@ -108,7 +108,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let p = inst3.max_event_probability();
     let mut fixer = Fixer3::new(&inst3)?;
     for x in 0..inst3.num_variables() {
-        fixer.fix_variable(x);
+        fixer.fix_variable(x)?;
         assert!(audit_p_star(
             &inst3,
             fixer.partial(),
@@ -122,7 +122,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(fixer.into_report().is_success());
 
     heading("The adaptive adversary (Section 2's remark)");
-    let report = run_fixer3_adaptive_worst(Fixer3::new(&hyper_instance::<f64>(12, 3))?);
+    let report = run_fixer3_adaptive_worst(Fixer3::new(&hyper_instance::<f64>(12, 3))?)?;
     println!(
         "adaptive worst-margin order: success = {}",
         report.is_success()

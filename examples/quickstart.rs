@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let p = instance.max_event_probability();
     let mut fixer = Fixer3::new(&instance)?;
     for var in 0..instance.num_variables() {
-        let value = fixer.fix_variable(var);
+        let value = fixer.fix_variable(var)?;
         let audit = audit_p_star(
             &instance,
             fixer.partial(),

@@ -60,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for t in [0.5, 0.9, 0.99, 1.0, 1.5, 4.0, 10.0, 16.0] {
         let inst = controlled_instance(t, 77);
         let guaranteed = inst.satisfies_exponential_criterion();
-        let greedy = Fixer2::new_unchecked(&inst)?.run_default();
+        let greedy = Fixer2::new_unchecked(&inst)?.run_default()?;
         let mt = parallel_mt(&inst, 77, 200_000)
             .map(|r| r.rounds.to_string())
             .unwrap_or_else(|_| "diverged".to_owned());
@@ -104,7 +104,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "hypergraph orientation: p*2^d = {:.5} < 1",
         ho.criterion_value()
     );
-    let rep = Fixer3::new(&ho)?.run_default();
+    let rep = Fixer3::new(&ho)?.run_default()?;
     println!("deterministic fixer succeeds: {}", rep.is_success());
     Ok(())
 }

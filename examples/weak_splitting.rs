@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  criterion p*2^d:          {:.4}", inst.criterion_value());
 
     // Sequential (Theorem 1.3)...
-    let report = Fixer3::new(&inst)?.run_default();
+    let report = Fixer3::new(&inst)?.run_default()?;
     assert!(report.is_success());
     assert!(is_weak_splitting(&bip, nv, report.assignment(), 2));
     println!("sequential fixer: every V node sees >= 2 colors — verified.");

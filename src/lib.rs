@@ -46,7 +46,7 @@
 //! b.set_event_predicate(2, move |vals| vals[y] == 2 && vals[z] == 2);
 //! let instance = b.build()?;
 //!
-//! let report = Fixer3::new(&instance)?.run_default();
+//! let report = Fixer3::new(&instance)?.run_default()?;
 //! assert!(report.is_success());
 //! assert!(instance.no_event_occurs(report.assignment())?);
 //! # Ok::<(), Box<dyn std::error::Error>>(())

@@ -121,6 +121,7 @@ fn facade_reexports_compose() {
     assert!(summary.to_string().contains("sharp criterion:   true"));
     let report = sharp_lll::core::Fixer2::new(&inst)
         .expect("below threshold")
-        .run_default();
+        .run_default()
+        .expect("finite costs below the threshold");
     assert!(report.is_success());
 }

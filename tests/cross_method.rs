@@ -46,6 +46,7 @@ fn every_method_solves_the_same_rank2_instance() {
         Fixer2::new(&inst)
             .unwrap()
             .run_default()
+            .unwrap()
             .assignment()
             .to_vec(),
     ));
@@ -54,6 +55,7 @@ fn every_method_solves_the_same_rank2_instance() {
         Fixer3::new(&inst)
             .unwrap()
             .run_default()
+            .unwrap()
             .assignment()
             .to_vec(),
     ));

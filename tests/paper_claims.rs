@@ -64,7 +64,10 @@ fn theorem_1_1_rank2_fixing_below_threshold() {
                 o.shuffle(&mut StdRng::seed_from_u64(seed));
                 o
             };
-            let report = Fixer2::new(&inst).expect("below threshold").run(order);
+            let report = Fixer2::new(&inst)
+                .expect("below threshold")
+                .run(order)
+                .expect("finite costs below the threshold");
             assert!(report.is_success(), "{name}, seed {seed}");
         }
     }
@@ -78,7 +81,7 @@ fn theorem_1_3_rank3_fixing_below_threshold_with_exact_p_star() {
     let p = inst.max_event_probability();
     let mut fixer = Fixer3::new(&inst).expect("below threshold");
     for x in 0..inst.num_variables() {
-        fixer.fix_variable(x);
+        fixer.fix_variable(x).expect("exact costs are finite");
         let audit = audit_p_star(
             &inst,
             fixer.partial(),
@@ -278,7 +281,10 @@ fn order_obliviousness_is_real_not_just_lucky() {
         (0..m).map(|i| (i * 7) % m).collect(),
     ];
     for (i, order) in orders.into_iter().enumerate() {
-        let report = Fixer3::new(&inst).expect("below threshold").run(order);
+        let report = Fixer3::new(&inst)
+            .expect("below threshold")
+            .run(order)
+            .expect("finite costs below the threshold");
         assert!(report.is_success(), "order family {i}");
     }
 }
@@ -288,8 +294,14 @@ fn backends_agree_end_to_end() {
     let h = hyper_ring(8);
     let exact = hyperedge_instance::<BigRational>(&h, 3);
     let float = hyperedge_instance::<f64>(&h, 3);
-    let re = Fixer3::new(&exact).expect("below threshold").run_default();
-    let rf = Fixer3::new(&float).expect("below threshold").run_default();
+    let re = Fixer3::new(&exact)
+        .expect("below threshold")
+        .run_default()
+        .unwrap();
+    let rf = Fixer3::new(&float)
+        .expect("below threshold")
+        .run_default()
+        .unwrap();
     assert_eq!(re.assignment(), rf.assignment());
     assert!((exact.criterion_value().to_f64() - float.criterion_value()).abs() < 1e-12);
 }

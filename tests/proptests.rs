@@ -83,7 +83,10 @@ proptest! {
         let inst = random_edge_instance(&g, seed);
         prop_assume!(inst.satisfies_exponential_criterion());
         let order = shuffled(inst.num_variables(), seed);
-        let report = Fixer2::new(&inst).expect("below threshold").run(order);
+        let report = Fixer2::new(&inst)
+            .expect("below threshold")
+            .run(order)
+            .expect("finite costs below the threshold");
         prop_assert!(report.is_success());
     }
 
@@ -97,7 +100,7 @@ proptest! {
         let p = inst.max_event_probability();
         let mut fixer = Fixer3::new(&inst).expect("below threshold");
         for x in order {
-            fixer.fix_variable(x);
+            fixer.fix_variable(x).expect("exact costs are finite");
         }
         let audit = audit_p_star(&inst, fixer.partial(), fixer.phi(), &p, &BigRational::zero());
         prop_assert!(audit.holds());
