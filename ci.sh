@@ -57,6 +57,36 @@ cargo run --release -q -p lll-obs --bin obs-report -- \
   diff "$tmp_obs/sweep_t1.jsonl" "$tmp_obs/sweep_t4.jsonl"
 rm -rf "$tmp_obs"
 
+echo "==> service mode: protocol + cache + parse + soak batteries"
+cargo test -q -p lll-serve
+LLL_DIFF_THREADS=2 cargo test -q -p lll-serve --test soak
+LLL_DIFF_THREADS=8 cargo test -q -p lll-serve --test soak
+
+echo "==> service mode: 100-request daemon smoke (byte-identity across threads/cache)"
+tmp_serve="$(mktemp -d)"
+for i in $(seq 1 100); do
+  printf '{"id":%d,"dimacs":"p cnf 2 2\\n1 2 0\\n-1 2 0\\n"}\n' "$i"
+done > "$tmp_serve/requests.jsonl"
+./target/release/lll-serve < "$tmp_serve/requests.jsonl" > "$tmp_serve/t1.out"
+./target/release/lll-serve --threads 4 --batch 32 \
+  < "$tmp_serve/requests.jsonl" > "$tmp_serve/t4.out"
+./target/release/lll-serve --threads 4 --batch 32 --no-cache \
+  < "$tmp_serve/requests.jsonl" > "$tmp_serve/nocache.out"
+test "$(wc -l < "$tmp_serve/t1.out")" -eq 100
+cmp "$tmp_serve/t1.out" "$tmp_serve/t4.out"
+cmp "$tmp_serve/t1.out" "$tmp_serve/nocache.out"
+# A request-level obs tee must be a valid flight-recorder stream.
+printf '{"id":"trace","obs":"%s/serve_trace.jsonl","dimacs":"p cnf 2 2\\n1 2 0\\n-1 2 0\\n"}\n' \
+  "$tmp_serve" | ./target/release/lll-serve > /dev/null
+cargo run --release -q -p lll-obs --bin obs-report -- \
+  summarize --validate "$tmp_serve/serve_trace.jsonl" > /dev/null
+rm -rf "$tmp_serve"
+
+echo "==> service mode: E18 throughput (warm cache must be >= 2x cold)"
+cargo run --release -q -p lll-bench --bin tables -- --csv results E18
+awk -F, '!/^#/ && NR > 2 { ips[$1] = $7 } END { exit !(ips["warm"] >= 2 * ips["cold"]) }' \
+  results/e18_serve_throughput.csv
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

@@ -994,6 +994,96 @@ pub fn record_sweep_workload<R: lll_obs::Recorder>(
         .expect("below threshold")
 }
 
+/// E18 — service-mode throughput: the same-shape workload amortized
+/// through the fingerprint-keyed topology cache.
+#[derive(Debug, Clone)]
+pub struct ServeThroughputRow {
+    /// `"cold"` (cache disabled) or `"warm"` (cache primed).
+    pub mode: String,
+    /// Requests timed.
+    pub requests: usize,
+    /// Clauses per formula (ring-formula `m`).
+    pub clauses: usize,
+    /// Clause width (ring-formula `w`).
+    pub width: usize,
+    /// Median request latency in microseconds (`obs::hist`).
+    pub p50_micros: u64,
+    /// 99th-percentile request latency in microseconds (`obs::hist`).
+    pub p99_micros: u64,
+    /// Instances solved per second of wall-clock.
+    pub inst_per_sec: f64,
+}
+
+/// Runs experiment E18: feeds `requests` same-shape rank-3 DIMACS
+/// requests (ring formulas with `m` clauses of width `w`, distinct
+/// polarity seeds — same dependency graph, so one fingerprint) through
+/// a cold engine (schedule recomputed per request) and a warm engine
+/// (fingerprint cache primed by the first request), asserting the
+/// response bytes identical pair-by-pair *before* any timing is
+/// reported. Latencies land in an [`lll_obs::hist::Histogram`]; the
+/// cache may only change when the coloring runs, never what the sweep
+/// answers.
+pub fn e18_serve_throughput(requests: usize, m: usize, w: usize) -> Vec<ServeThroughputRow> {
+    use lll_serve::{Engine, EngineConfig, Payload, Request, SolveRequest};
+
+    let wire: Vec<String> = (0..requests)
+        .map(|i| {
+            Request::Solve(SolveRequest {
+                id: format!("\"e18-{i}\""),
+                payload: Payload::Dimacs(ring_formula(m, w, i as u64).to_string()),
+                schedule_seed: None,
+                obs: None,
+                timeout_ms: None,
+            })
+            .to_json()
+        })
+        .collect();
+
+    let cold = Engine::new(EngineConfig {
+        cache: false,
+        ..EngineConfig::default()
+    });
+    let warm = Engine::new(EngineConfig::default());
+    // Prime the warm cache (one miss, off the clock), then assert the
+    // determinism contract: cold bytes == warm bytes, request by
+    // request, before a single latency is reported.
+    warm.solve_line(&wire[0]);
+    for line in &wire {
+        let a = cold.solve_line(line).to_json();
+        let b = warm.solve_line(line).to_json();
+        assert_eq!(a, b, "cache state leaked into a response");
+        assert!(a.contains("\"status\":\"ok\""), "E18 workload must solve");
+    }
+    assert_eq!(
+        warm.cached_schedules(),
+        1,
+        "same-shape requests must share one schedule"
+    );
+
+    let mut rows = Vec::new();
+    for (mode, engine) in [("cold", &cold), ("warm", &warm)] {
+        let mut hist = lll_obs::hist::Histogram::new();
+        let t = Instant::now();
+        for line in &wire {
+            let req = Instant::now();
+            let response = engine.solve_line(line);
+            hist.record(req.elapsed().as_micros() as u64);
+            debug_assert!(!response.is_shutdown());
+        }
+        let secs = t.elapsed().as_secs_f64();
+        rows.push(ServeThroughputRow {
+            mode: mode.to_owned(),
+            requests,
+            clauses: m,
+            width: w,
+            p50_micros: hist.p50(),
+            p99_micros: hist.p99(),
+            inst_per_sec: requests as f64 / secs,
+        });
+    }
+    rows
+}
+
 /// Runs `f` `k` times; returns its (deterministic) result and the
 /// minimum wall-clock milliseconds observed — the usual guard against
 /// one-off scheduling noise.

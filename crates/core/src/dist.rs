@@ -60,6 +60,15 @@ pub enum DistError {
     Sim(SimError),
     /// The fixer rejected the instance.
     Fixer(FixerError),
+    /// A precomputed [`Schedule`] was supplied for a different graph (or
+    /// the wrong schedule kind for the driver).
+    ScheduleMismatch {
+        /// Schedule slots the driver requires (edges for the rank-2
+        /// driver, nodes for the rank-3 driver).
+        expected: usize,
+        /// Slots the supplied schedule actually carries.
+        found: usize,
+    },
 }
 
 impl fmt::Display for DistError {
@@ -67,6 +76,10 @@ impl fmt::Display for DistError {
         match self {
             DistError::Sim(e) => write!(f, "simulation error: {e}"),
             DistError::Fixer(e) => write!(f, "fixer error: {e}"),
+            DistError::ScheduleMismatch { expected, found } => write!(
+                f,
+                "schedule mismatch: driver needs {expected} schedule slots, schedule has {found}"
+            ),
         }
     }
 }
@@ -104,6 +117,122 @@ pub struct DistReport {
 /// runaway simulations.
 fn round_budget(n: usize) -> usize {
     10_000 + 4 * n
+}
+
+/// Which coloring a [`Schedule`] carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleKind {
+    /// A proper edge coloring (one color slot per edge) — drives the
+    /// rank-2 sweep of Corollary 1.2.
+    Edge,
+    /// A distance-2 vertex coloring (one color slot per node) — drives
+    /// the rank-3 sweep of Corollary 1.4.
+    Distance2,
+}
+
+/// A reusable scheduling artifact: the coloring a distributed driver
+/// computes before its fixing sweep, detached from any one instance.
+///
+/// The coloring depends only on the dependency *graph* (its labeled
+/// structure and the schedule seed), never on probabilities, predicates,
+/// or the fixing state — which is what makes it shareable across every
+/// instance with the same graph shape. `lll-serve` exploits exactly
+/// this: its topology cache keys schedules by
+/// [`Graph::fingerprint`](lll_graphs::Graph::fingerprint) and replays
+/// them through [`distributed_fixer2_scheduled_recorded`] /
+/// [`distributed_fixer3_scheduled_recorded`], so only the fixing sweep
+/// runs per request. Determinism contract: the scheduled drivers execute
+/// the *same* fixing steps the self-scheduling drivers would (those are
+/// now thin wrappers that compute a `Schedule` and delegate), so a
+/// cached replay is byte-identical to a cold run — assignment, bills,
+/// and recorded stream — at every worker count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    kind: ScheduleKind,
+    colors: Vec<usize>,
+    palette: usize,
+    coloring_rounds: usize,
+}
+
+impl Schedule {
+    /// Computes the rank-2 schedule: a proper edge coloring of `g` via
+    /// the real LOCAL simulation (`threads` simulator workers; the
+    /// result is identical for every count).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] if the coloring simulation fails.
+    pub fn edge(g: &lll_graphs::Graph, seed: u64, threads: usize) -> Result<Schedule, SimError> {
+        if g.num_edges() == 0 {
+            return Ok(Schedule {
+                kind: ScheduleKind::Edge,
+                colors: Vec::new(),
+                palette: 0,
+                coloring_rounds: 0,
+            });
+        }
+        let sim = Simulator::with_shuffled_ids(g, seed).threads(threads);
+        let col = edge_coloring(&sim, round_budget(g.num_nodes()))?;
+        Ok(Schedule {
+            kind: ScheduleKind::Edge,
+            colors: col.colors,
+            palette: col.palette,
+            coloring_rounds: col.rounds,
+        })
+    }
+
+    /// Computes the rank-3 schedule: a distance-2 coloring of `g` via the
+    /// real LOCAL simulation (`threads` simulator workers; the result is
+    /// identical for every count).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] if the coloring simulation fails.
+    pub fn distance2(
+        g: &lll_graphs::Graph,
+        seed: u64,
+        threads: usize,
+    ) -> Result<Schedule, SimError> {
+        if g.num_nodes() == 0 {
+            return Ok(Schedule {
+                kind: ScheduleKind::Distance2,
+                colors: Vec::new(),
+                palette: 0,
+                coloring_rounds: 0,
+            });
+        }
+        let sim = Simulator::with_shuffled_ids(g, seed).threads(threads);
+        let col = distance2_coloring(&sim, round_budget(g.num_nodes()))?;
+        Ok(Schedule {
+            kind: ScheduleKind::Distance2,
+            colors: col.colors,
+            palette: col.palette,
+            coloring_rounds: col.rounds,
+        })
+    }
+
+    /// Which sweep this schedule drives.
+    pub fn kind(&self) -> ScheduleKind {
+        self.kind
+    }
+
+    /// One color per edge ([`ScheduleKind::Edge`]) or node
+    /// ([`ScheduleKind::Distance2`]).
+    pub fn colors(&self) -> &[usize] {
+        &self.colors
+    }
+
+    /// Number of color classes.
+    pub fn palette(&self) -> usize {
+        self.palette
+    }
+
+    /// LOCAL rounds the coloring simulation took — billed once per
+    /// *computation*; cached replays still report it so cold and warm
+    /// responses agree byte for byte.
+    pub fn coloring_rounds(&self) -> usize {
+        self.coloring_rounds
+    }
 }
 
 /// Distributed rank-2 LLL (Corollary 1.2): edge-color the dependency
@@ -209,9 +338,58 @@ pub fn distributed_fixer2_audited_recorded<T: Num, R: Recorder>(
     fixer2_driver(inst, seed, check, threads, Some((p_bound, tol)), rec)
 }
 
+/// [`distributed_fixer2_parallel`] driven by a precomputed [`Schedule`]
+/// instead of a fresh coloring simulation: only the fixing sweep runs.
+/// The self-scheduling drivers are wrappers over this entry point, so a
+/// replayed schedule produces the identical report (and, via the
+/// recorded variant, the identical event stream) a cold run would.
+///
+/// # Errors
+///
+/// As [`distributed_fixer2`], plus [`DistError::ScheduleMismatch`] if
+/// `schedule` is not an edge schedule sized for this instance's
+/// dependency graph.
+pub fn distributed_fixer2_scheduled<T: Num>(
+    inst: &Instance<T>,
+    schedule: &Schedule,
+    check: CriterionCheck,
+    threads: usize,
+) -> Result<DistReport, DistError> {
+    fixer2_scheduled_driver(inst, schedule, check, threads, None, &mut NullRecorder)
+}
+
+/// [`distributed_fixer2_scheduled`] with a flight recorder; the stream
+/// is byte-identical to [`distributed_fixer2_recorded`]'s for the same
+/// seed, at every worker count.
+///
+/// # Errors
+///
+/// As [`distributed_fixer2_scheduled`].
+pub fn distributed_fixer2_scheduled_recorded<T: Num, R: Recorder>(
+    inst: &Instance<T>,
+    schedule: &Schedule,
+    check: CriterionCheck,
+    threads: usize,
+    rec: &mut R,
+) -> Result<DistReport, DistError> {
+    fixer2_scheduled_driver(inst, schedule, check, threads, None, rec)
+}
+
 fn fixer2_driver<T: Num, R: Recorder>(
     inst: &Instance<T>,
     seed: u64,
+    check: CriterionCheck,
+    threads: usize,
+    audit: Option<(&T, &T)>,
+    rec: &mut R,
+) -> Result<DistReport, DistError> {
+    let schedule = Schedule::edge(inst.dependency_graph(), seed, threads)?;
+    fixer2_scheduled_driver(inst, &schedule, check, threads, audit, rec)
+}
+
+fn fixer2_scheduled_driver<T: Num, R: Recorder>(
+    inst: &Instance<T>,
+    schedule: &Schedule,
     check: CriterionCheck,
     threads: usize,
     audit: Option<(&T, &T)>,
@@ -222,14 +400,17 @@ fn fixer2_driver<T: Num, R: Recorder>(
         CriterionCheck::Skip => Fixer2::new_unchecked(inst)?,
     };
     let g = inst.dependency_graph();
-
-    let (colors, palette, coloring_rounds) = if g.num_edges() == 0 {
-        (Vec::new(), 0, 0)
-    } else {
-        let sim = Simulator::with_shuffled_ids(g, seed).threads(threads);
-        let col = edge_coloring(&sim, round_budget(g.num_nodes()))?;
-        (col.colors, col.palette, col.rounds)
-    };
+    if schedule.kind() != ScheduleKind::Edge || schedule.colors().len() != g.num_edges() {
+        return Err(DistError::ScheduleMismatch {
+            expected: g.num_edges(),
+            found: schedule.colors().len(),
+        });
+    }
+    let (colors, palette, coloring_rounds) = (
+        schedule.colors(),
+        schedule.palette(),
+        schedule.coloring_rounds(),
+    );
 
     // Schedule: the rank-1 warm-up class first (cells = one event's
     // variables — no two rank-1 variables on different events interact,
@@ -382,9 +563,58 @@ pub fn distributed_fixer3_audited_recorded<T: Num, R: Recorder>(
     fixer3_driver(inst, seed, check, threads, Some((p_bound, tol)), rec)
 }
 
+/// [`distributed_fixer3_parallel`] driven by a precomputed [`Schedule`]
+/// instead of a fresh coloring simulation: only the fixing sweep runs.
+/// The self-scheduling drivers are wrappers over this entry point, so a
+/// replayed schedule produces the identical report (and, via the
+/// recorded variant, the identical event stream) a cold run would.
+///
+/// # Errors
+///
+/// As [`distributed_fixer3`], plus [`DistError::ScheduleMismatch`] if
+/// `schedule` is not a distance-2 schedule sized for this instance's
+/// dependency graph.
+pub fn distributed_fixer3_scheduled<T: Num>(
+    inst: &Instance<T>,
+    schedule: &Schedule,
+    check: CriterionCheck,
+    threads: usize,
+) -> Result<DistReport, DistError> {
+    fixer3_scheduled_driver(inst, schedule, check, threads, None, &mut NullRecorder)
+}
+
+/// [`distributed_fixer3_scheduled`] with a flight recorder; the stream
+/// is byte-identical to [`distributed_fixer3_recorded`]'s for the same
+/// seed, at every worker count.
+///
+/// # Errors
+///
+/// As [`distributed_fixer3_scheduled`].
+pub fn distributed_fixer3_scheduled_recorded<T: Num, R: Recorder>(
+    inst: &Instance<T>,
+    schedule: &Schedule,
+    check: CriterionCheck,
+    threads: usize,
+    rec: &mut R,
+) -> Result<DistReport, DistError> {
+    fixer3_scheduled_driver(inst, schedule, check, threads, None, rec)
+}
+
 fn fixer3_driver<T: Num, R: Recorder>(
     inst: &Instance<T>,
     seed: u64,
+    check: CriterionCheck,
+    threads: usize,
+    audit: Option<(&T, &T)>,
+    rec: &mut R,
+) -> Result<DistReport, DistError> {
+    let schedule = Schedule::distance2(inst.dependency_graph(), seed, threads)?;
+    fixer3_scheduled_driver(inst, &schedule, check, threads, audit, rec)
+}
+
+fn fixer3_scheduled_driver<T: Num, R: Recorder>(
+    inst: &Instance<T>,
+    schedule: &Schedule,
     check: CriterionCheck,
     threads: usize,
     audit: Option<(&T, &T)>,
@@ -396,14 +626,17 @@ fn fixer3_driver<T: Num, R: Recorder>(
     };
     let g = inst.dependency_graph();
     let n = g.num_nodes();
-
-    let (colors, palette, coloring_rounds) = if n == 0 {
-        (Vec::new(), 0, 0)
-    } else {
-        let sim = Simulator::with_shuffled_ids(g, seed).threads(threads);
-        let col = distance2_coloring(&sim, round_budget(n))?;
-        (col.colors, col.palette, col.rounds)
-    };
+    if schedule.kind() != ScheduleKind::Distance2 || schedule.colors().len() != n {
+        return Err(DistError::ScheduleMismatch {
+            expected: n,
+            found: schedule.colors().len(),
+        });
+    }
+    let (colors, palette, coloring_rounds) = (
+        schedule.colors(),
+        schedule.palette(),
+        schedule.coloring_rounds(),
+    );
 
     // Variables incident to each event node.
     let mut vars_of: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -828,5 +1061,72 @@ mod tests {
             text.lines().filter(|l| l.contains("\"fix_step\"")).count(),
             rep.fix.num_steps()
         );
+    }
+
+    #[test]
+    fn scheduled_drivers_replay_cold_runs_byte_for_byte() {
+        let inst2 = ring_instance(64, 3);
+        let g2 = inst2.dependency_graph();
+        let sched2 = Schedule::edge(g2, 5, 1).unwrap();
+        let (cold_bytes2, cold2) = recorded_fixer2_bytes(&inst2, 1);
+        let inst3 = hyper_ring_instance(32, 3);
+        let sched3 = Schedule::distance2(inst3.dependency_graph(), 7, 1).unwrap();
+        let (cold_bytes3, cold3) = recorded_fixer3_bytes(&inst3, 1);
+        for t in [1usize, 2, 8] {
+            let mut rec = lll_obs::JsonlRecorder::new(Vec::new());
+            let warm2 = distributed_fixer2_scheduled_recorded(
+                &inst2,
+                &sched2,
+                CriterionCheck::Enforce,
+                t,
+                &mut rec,
+            )
+            .unwrap();
+            assert_eq!(rec.finish().unwrap(), cold_bytes2, "fixer2 threads {t}");
+            assert_eq!(warm2.fix.assignment(), cold2.fix.assignment());
+            assert_eq!(warm2.rounds, cold2.rounds);
+            assert_eq!(warm2.coloring_rounds, cold2.coloring_rounds);
+            assert_eq!(warm2.num_classes, cold2.num_classes);
+
+            let mut rec = lll_obs::JsonlRecorder::new(Vec::new());
+            let warm3 = distributed_fixer3_scheduled_recorded(
+                &inst3,
+                &sched3,
+                CriterionCheck::Enforce,
+                t,
+                &mut rec,
+            )
+            .unwrap();
+            assert_eq!(rec.finish().unwrap(), cold_bytes3, "fixer3 threads {t}");
+            assert_eq!(warm3.fix.assignment(), cold3.fix.assignment());
+            assert_eq!(warm3.rounds, cold3.rounds);
+            assert_eq!(warm3.coloring_rounds, cold3.coloring_rounds);
+        }
+    }
+
+    #[test]
+    fn mismatched_schedules_are_rejected_not_misapplied() {
+        let inst2 = ring_instance(16, 3);
+        let inst3 = hyper_ring_instance(32, 3);
+        let edge16 = Schedule::edge(inst2.dependency_graph(), 5, 1).unwrap();
+        let d2_32 = Schedule::distance2(inst3.dependency_graph(), 7, 1).unwrap();
+        // Wrong kind for the driver.
+        assert!(matches!(
+            distributed_fixer2_scheduled(&inst2, &d2_32, CriterionCheck::Enforce, 1),
+            Err(DistError::ScheduleMismatch { .. })
+        ));
+        assert!(matches!(
+            distributed_fixer3_scheduled(&inst3, &edge16, CriterionCheck::Enforce, 1),
+            Err(DistError::ScheduleMismatch { .. })
+        ));
+        // Right kind, wrong graph size.
+        let edge64 = Schedule::edge(ring_instance(64, 3).dependency_graph(), 5, 1).unwrap();
+        assert!(matches!(
+            distributed_fixer2_scheduled(&inst2, &edge64, CriterionCheck::Enforce, 1),
+            Err(DistError::ScheduleMismatch {
+                expected: 16,
+                found: 64
+            })
+        ));
     }
 }

@@ -204,6 +204,37 @@ impl Graph {
         self.edges.binary_search(&(a, b)).ok()
     }
 
+    /// A structural fingerprint of the graph: a 64-bit FNV-1a hash over
+    /// the node count and the canonical (sorted) edge list.
+    ///
+    /// The fingerprint depends only on the labeled *shape* of the graph —
+    /// never on RNG seeds, id shuffles, or any execution state — so two
+    /// instances whose dependency graphs were built from the same
+    /// structure hash identically. Because the edge list is canonical and
+    /// the CSR layout (ports, edge ids, twin-port involution) is a pure
+    /// function of it, equal fingerprints mean every derived topology
+    /// artifact (colorings, schedules, slot tables) is reusable across
+    /// the graphs. Equal hashes do not *prove* equal graphs; collision-
+    /// sensitive callers (e.g. the `lll-serve` topology cache) must
+    /// confirm with a full structure comparison before reuse.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
+            }
+        };
+        mix(self.num_nodes() as u64);
+        mix(self.edges.len() as u64);
+        for &(u, v) in &self.edges {
+            mix(u as u64);
+            mix(v as u64);
+        }
+        h
+    }
+
     /// The neighbor reached from `v` through port `port`.
     ///
     /// # Panics
@@ -437,6 +468,23 @@ mod tests {
             let expect: Vec<usize> = (0..3).filter(|&u| u != v).collect();
             assert_eq!(nbrs, expect);
         }
+    }
+
+    #[test]
+    fn fingerprint_tracks_structure_not_construction_order() {
+        let g = triangle();
+        // Same structure, different insertion order and edge direction.
+        let h = Graph::from_edges(3, [(2, 1), (0, 2), (1, 0)]).unwrap();
+        assert_eq!(g.fingerprint(), h.fingerprint());
+        // Structure changes move the fingerprint.
+        let path = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        assert_ne!(g.fingerprint(), path.fingerprint());
+        let bigger = Graph::from_edges(4, [(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert_ne!(g.fingerprint(), bigger.fingerprint());
+        // Relabelings are distinct shapes by design.
+        let relabeled = Graph::from_edges(4, [(0, 1), (1, 3), (0, 3)]).unwrap();
+        assert_ne!(bigger.fingerprint(), relabeled.fingerprint());
+        assert_ne!(Graph::empty(2).fingerprint(), Graph::empty(3).fingerprint());
     }
 
     #[test]

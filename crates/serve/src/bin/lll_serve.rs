@@ -1,0 +1,170 @@
+//! The `lll-serve` binary: stdin/stdout (default) or a Unix socket.
+//!
+//! Exit codes: 0 — clean shutdown (EOF or a `{"shutdown":true}`
+//! request, in-flight work drained); 2 — usage error; 3 — transport
+//! I/O error. Engine statistics (request counts, cache hit/miss,
+//! latency percentiles) go to stderr on exit; stdout carries only
+//! response lines.
+
+use std::io::{BufWriter, Write};
+use std::os::unix::net::UnixListener;
+use std::process::ExitCode;
+
+use lll_serve::{serve, Engine, EngineConfig, ServeConfig};
+
+const USAGE: &str = "\
+lll-serve: batched, cache-warmed LLL-solving daemon
+
+USAGE:
+    lll-serve [OPTIONS]
+
+Reads newline-delimited JSON requests from stdin (or a Unix socket)
+and writes one JSON response line per request, in input order.
+
+REQUESTS:
+    {\"id\":ID,\"dimacs\":\"p cnf ...\"}     solve a DIMACS CNF formula
+    {\"id\":ID,\"instance\":{...}}          solve a JSON LLL instance
+    {\"id\":ID,\"shutdown\":true}           drain, acknowledge, exit
+Optional request fields: \"schedule_seed\", \"obs\" (tee a JSONL
+recorder stream to a path), \"timeout_ms\" (opt-in deadline).
+
+OPTIONS:
+    --threads N          worker pool width per batch [default: 1]
+    --seed N             default schedule seed [default: 5]
+    --batch N            max requests per batch [default: 16]
+    --max-events N       largest accepted instance [default: 1048576]
+    --max-line-bytes N   longest accepted request line [default: 8388608]
+    --no-cache           disable the schedule cache (cold baseline)
+    --socket PATH        listen on a Unix socket instead of stdin
+    --help               print this help
+
+EXIT CODES:
+    0   clean shutdown (EOF or shutdown request)
+    2   usage error
+    3   transport I/O error
+";
+
+struct Args {
+    engine: EngineConfig,
+    serve: ServeConfig,
+    socket: Option<String>,
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut engine = EngineConfig::default();
+    let mut serve = ServeConfig::default();
+    let mut socket = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut num = |what: &str| -> Result<usize, String> {
+            args.next()
+                .ok_or_else(|| format!("{what} needs a value"))?
+                .parse::<usize>()
+                .map_err(|_| format!("{what} needs a non-negative integer"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--threads" => serve.threads = num("--threads")?.max(1),
+            "--seed" => engine.default_seed = num("--seed")? as u64,
+            "--batch" => serve.batch = num("--batch")?.max(1),
+            "--max-events" => engine.max_events = num("--max-events")?,
+            "--max-line-bytes" => serve.max_line_bytes = num("--max-line-bytes")?,
+            "--no-cache" => engine.cache = false,
+            "--socket" => {
+                socket = Some(
+                    args.next()
+                        .ok_or_else(|| "--socket needs a path".to_owned())?,
+                );
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(Some(Args {
+        engine,
+        serve,
+        socket,
+    }))
+}
+
+fn run() -> u8 {
+    let args = match parse_args() {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            print!("{USAGE}");
+            return 0;
+        }
+        Err(e) => {
+            eprintln!("lll-serve: {e}");
+            eprintln!("lll-serve: try --help");
+            return 2;
+        }
+    };
+    let engine = Engine::new(args.engine);
+    let result = match &args.socket {
+        None => {
+            let stdin = std::io::stdin().lock();
+            let stdout = std::io::stdout().lock();
+            let mut out = BufWriter::new(stdout);
+            serve(&engine, stdin, &mut out, &args.serve).and_then(|s| {
+                out.flush()?;
+                Ok(s)
+            })
+        }
+        Some(path) => serve_socket(&engine, path, &args.serve),
+    };
+    let stats = engine.stats();
+    eprintln!(
+        "lll-serve: {} requests ({} ok, {} errors), cache {} hits / {} misses \
+         ({} schedules), p50 {}us p99 {}us",
+        stats.requests,
+        stats.ok,
+        stats.errors,
+        stats.cache_hits,
+        stats.cache_misses,
+        engine.cached_schedules(),
+        stats.p50_micros,
+        stats.p99_micros,
+    );
+    match result {
+        Ok(_) => 0,
+        Err(e) => {
+            eprintln!("lll-serve: transport error: {e}");
+            3
+        }
+    }
+}
+
+/// Accepts connections one at a time; each connection is its own
+/// newline-delimited request/response stream over the shared engine
+/// (so the schedule cache stays warm across connections). A shutdown
+/// request ends the accept loop after its connection drains.
+fn serve_socket(
+    engine: &Engine,
+    path: &str,
+    config: &ServeConfig,
+) -> std::io::Result<lll_serve::ServeSummary> {
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    let mut last = lll_serve::ServeSummary {
+        responses: 0,
+        shutdown: false,
+    };
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let reader = stream.try_clone()?;
+        let mut writer = BufWriter::new(stream);
+        let summary = serve(engine, reader, &mut writer, config)?;
+        writer.flush()?;
+        last.responses += summary.responses;
+        if summary.shutdown {
+            last.shutdown = true;
+            break;
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(last)
+}
+
+fn main() -> ExitCode {
+    ExitCode::from(run())
+}

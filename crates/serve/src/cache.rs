@@ -1,0 +1,112 @@
+//! The topology cache.
+//!
+//! Schedules ([`Schedule`]: coloring + palette + round bill) are pure
+//! functions of `(dependency graph, seed)`, so requests sharing a
+//! graph shape can reuse one schedule and pay only the fixing sweep.
+//! The cache is keyed by [`lll_graphs::Graph::fingerprint`] — cheap,
+//! label-sensitive, seed-independent — but a fingerprint is only a
+//! hash: on every hit the stored graph is compared structurally
+//! (`Graph: Eq`) before the schedule is reused, so a collision costs a
+//! recompute, never a wrong schedule. Entries are never evicted; the
+//! daemon's workloads are bounded batches, and `--no-cache` exists for
+//! the cold baseline.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::Mutex;
+
+use lll_core::dist::{Schedule, ScheduleKind};
+use lll_graphs::Graph;
+
+struct CacheEntry {
+    graph: Graph,
+    seed: u64,
+    schedule: Arc<Schedule>,
+}
+
+/// A concurrent schedule cache with hit/miss counters.
+///
+/// Counters are observability only (stderr stats); they never reach a
+/// response body, which must stay byte-identical hit vs. miss.
+pub struct TopologyCache {
+    entries: Mutex<HashMap<u64, Vec<CacheEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TopologyCache {
+    /// An empty cache.
+    pub fn new() -> TopologyCache {
+        TopologyCache {
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached schedule for `(g, seed, kind)`, or computes,
+    /// stores, and returns it. The map lock is held across `compute`,
+    /// so concurrent requests for the same shape compute the schedule
+    /// once and the rest hit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute`'s error; nothing is stored on failure.
+    pub fn get_or_compute<E>(
+        &self,
+        g: &Graph,
+        seed: u64,
+        kind: ScheduleKind,
+        compute: impl FnOnce() -> Result<Schedule, E>,
+    ) -> Result<Arc<Schedule>, E> {
+        let fp = g.fingerprint();
+        let mut entries = self.entries.lock().expect("cache lock poisoned");
+        let bucket = entries.entry(fp).or_default();
+        for entry in bucket.iter() {
+            if entry.seed == seed && entry.schedule.kind() == kind && entry.graph == *g {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&entry.schedule));
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let schedule = Arc::new(compute()?);
+        bucket.push(CacheEntry {
+            graph: g.clone(),
+            seed,
+            schedule: Arc::clone(&schedule),
+        });
+        Ok(schedule)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (= schedules computed) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of stored schedules.
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .expect("cache lock poisoned")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for TopologyCache {
+    fn default() -> TopologyCache {
+        TopologyCache::new()
+    }
+}

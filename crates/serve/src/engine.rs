@@ -1,0 +1,315 @@
+//! The solving engine: request in, deterministic response out.
+//!
+//! Routing: instances of rank ≤ 2 go to the rank-2 fixer under an
+//! edge-coloring schedule, rank 3 to the rank-3 fixer under a
+//! distance-2 schedule (Theorems 1.1/1.3); rank > 3 is refused with an
+//! `out_of_regime` error. Schedules come from the [`TopologyCache`]
+//! keyed by graph fingerprint + seed, and the sweep runs through the
+//! `*_scheduled` drivers — the same code path a cold run takes, so a
+//! cache hit cannot change a byte of the response or of a teed
+//! recorder stream.
+//!
+//! Per-request solves are single-threaded; parallelism lives one
+//! level up, across the requests of a batch (see [`crate::server`]).
+//!
+//! Timeouts are opt-in (`timeout_ms`) and checked when the solve
+//! completes: a request past its deadline gets a structured `timeout`
+//! error instead of its result. The check is cooperative — a sweep is
+//! never aborted mid-flight — so requests without a deadline remain
+//! purely deterministic, and `max_events`/`max_line_bytes` are the
+//! deterministic work bounds.
+
+use std::fs::File;
+use std::io::BufWriter;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use lll_apps::sat::CnfFormula;
+use lll_core::dist::{
+    distributed_fixer2_scheduled_recorded, distributed_fixer3_scheduled_recorded, CriterionCheck,
+    DistError, DistReport, Schedule, ScheduleKind,
+};
+use lll_core::Instance;
+use lll_obs::hist::Histogram;
+use lll_obs::{JsonlRecorder, NullRecorder, Recorder};
+use serde::Value;
+
+use crate::cache::TopologyCache;
+use crate::error::RequestError;
+use crate::request::{Payload, Request, SolveRequest, SCHEMA_VERSION};
+use crate::response::{OkResponse, Response};
+
+/// Engine configuration. All of it is deterministic input: two engines
+/// with the same config produce byte-identical responses for the same
+/// requests, regardless of `cache` (which only changes *when* work
+/// happens, not what it computes).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Schedule seed used when a request does not carry one.
+    pub default_seed: u64,
+    /// Whether to reuse schedules across same-shape requests.
+    pub cache: bool,
+    /// Largest number of events a request may declare.
+    pub max_events: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            default_seed: 5,
+            cache: true,
+            max_events: 1 << 20,
+        }
+    }
+}
+
+/// A snapshot of the engine's counters, for stderr reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests answered (ok + error + shutdown).
+    pub requests: u64,
+    /// Successful solves.
+    pub ok: u64,
+    /// Error responses.
+    pub errors: u64,
+    /// Schedule-cache hits.
+    pub cache_hits: u64,
+    /// Schedule-cache misses (schedules computed).
+    pub cache_misses: u64,
+    /// p50 request latency in microseconds (0 when no requests).
+    pub p50_micros: u64,
+    /// p99 request latency in microseconds (0 when no requests).
+    pub p99_micros: u64,
+}
+
+/// The long-lived solving engine shared by all workers.
+pub struct Engine {
+    config: EngineConfig,
+    cache: TopologyCache,
+    requests: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    latency: Mutex<Histogram>,
+}
+
+impl Engine {
+    /// An engine with the given configuration and an empty cache.
+    pub fn new(config: EngineConfig) -> Engine {
+        Engine {
+            config,
+            cache: TopologyCache::new(),
+            requests: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency: Mutex::new(Histogram::new()),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Parses and answers one request line. Never panics on input;
+    /// every failure is a typed error response.
+    pub fn solve_line(&self, line: &str) -> Response {
+        let start = Instant::now();
+        let response = match Request::parse(line) {
+            Ok(Request::Shutdown { id }) => Response::Shutdown { id },
+            Ok(Request::Solve(req)) => self.respond(&req),
+            Err(e) => Response::error(salvage_id(line), e),
+        };
+        self.note(&response, start.elapsed());
+        response
+    }
+
+    /// Answers an already-parsed solve request.
+    pub fn respond(&self, req: &SolveRequest) -> Response {
+        match self.solve(req) {
+            Ok(ok) => Response::Ok(ok),
+            Err(error) => Response::error(req.id.clone(), error),
+        }
+    }
+
+    /// Counter + latency snapshot.
+    pub fn stats(&self) -> EngineStats {
+        let hist = self.latency.lock().expect("latency lock poisoned");
+        EngineStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            p50_micros: if hist.is_empty() { 0 } else { hist.p50() },
+            p99_micros: if hist.is_empty() { 0 } else { hist.p99() },
+        }
+    }
+
+    /// Number of schedules currently cached.
+    pub fn cached_schedules(&self) -> usize {
+        self.cache.len()
+    }
+
+    fn note(&self, response: &Response, elapsed: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match response {
+            Response::Ok(_) => {
+                self.ok.fetch_add(1, Ordering::Relaxed);
+            }
+            Response::Error { .. } => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            Response::Shutdown { .. } => {}
+        }
+        self.latency
+            .lock()
+            .expect("latency lock poisoned")
+            .record(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    fn solve(&self, req: &SolveRequest) -> Result<OkResponse, RequestError> {
+        let start = Instant::now();
+        let inst = self.build_instance(req)?;
+        let g = inst.dependency_graph();
+        let rank = inst.max_rank();
+        let seed = req.schedule_seed.unwrap_or(self.config.default_seed);
+        let kind = match rank {
+            0..=2 => ScheduleKind::Edge,
+            3 => ScheduleKind::Distance2,
+            r => {
+                return Err(RequestError::out_of_regime(format!(
+                    "instance has rank {r}; the fixers cover rank <= 3"
+                )))
+            }
+        };
+        let compute = || match kind {
+            ScheduleKind::Edge => Schedule::edge(g, seed, 1),
+            ScheduleKind::Distance2 => Schedule::distance2(g, seed, 1),
+        };
+        let schedule = if self.config.cache {
+            self.cache.get_or_compute(g, seed, kind, compute)
+        } else {
+            compute().map(std::sync::Arc::new)
+        }
+        .map_err(|e| RequestError::internal(format!("schedule coloring failed: {e}")))?;
+
+        let report = match &req.obs {
+            None => run_scheduled(&inst, &schedule, kind, &mut NullRecorder)?,
+            Some(path) => {
+                let file = File::create(path).map_err(|e| {
+                    RequestError::io(format!("cannot create obs tee {path:?}: {e}"))
+                })?;
+                // No provenance meta line: the stream must be
+                // byte-identical cold vs. warm and at every worker
+                // count, and the meta line carries host facts.
+                let mut rec = JsonlRecorder::new(BufWriter::new(file));
+                let report = run_scheduled(&inst, &schedule, kind, &mut rec);
+                let writer = rec
+                    .finish()
+                    .map_err(|e| RequestError::io(format!("obs tee {path:?}: {e}")))?;
+                writer
+                    .into_inner()
+                    .map_err(|e| RequestError::io(format!("obs tee {path:?}: {e}")))?;
+                report?
+            }
+        };
+
+        if let Some(ms) = req.timeout_ms {
+            if start.elapsed() >= Duration::from_millis(ms) {
+                return Err(RequestError::timeout(format!(
+                    "deadline of {ms} ms exceeded"
+                )));
+            }
+        }
+
+        let violated = inst
+            .violated_events(report.fix.assignment())
+            .map_err(|e| RequestError::internal(format!("post-check: {e}")))?
+            .len();
+        let fixer = if kind == ScheduleKind::Edge { 2 } else { 3 };
+        Ok(OkResponse {
+            id: req.id.clone(),
+            assignment: report.fix.assignment().to_vec(),
+            steps: report.fix.num_steps(),
+            rounds: report.rounds,
+            coloring_rounds: report.coloring_rounds,
+            classes: report.num_classes,
+            violated,
+            fingerprint: format!("{:016x}", g.fingerprint()),
+            provenance: format!(
+                "schema={SCHEMA_VERSION} engine=lll-serve/{} fixer={fixer} seed={seed} \
+                 nodes={} edges={} max_degree={}",
+                env!("CARGO_PKG_VERSION"),
+                g.num_nodes(),
+                g.num_edges(),
+                g.max_degree(),
+            ),
+        })
+    }
+
+    fn build_instance(&self, req: &SolveRequest) -> Result<Instance<f64>, RequestError> {
+        match &req.payload {
+            Payload::Dimacs(text) => {
+                let cnf: CnfFormula = text
+                    .parse()
+                    .map_err(|e| RequestError::parse(format!("DIMACS: {e}")))?;
+                if cnf.clauses().len() > self.config.max_events {
+                    return Err(RequestError::oversized(format!(
+                        "{} clauses exceed the limit of {}",
+                        cnf.clauses().len(),
+                        self.config.max_events
+                    )));
+                }
+                cnf.to_instance::<f64>()
+                    .map_err(|e| RequestError::invalid(format!("DIMACS: {e}")))
+            }
+            Payload::Instance(ji) => {
+                if ji.events.len() > self.config.max_events {
+                    return Err(RequestError::oversized(format!(
+                        "{} events exceed the limit of {}",
+                        ji.events.len(),
+                        self.config.max_events
+                    )));
+                }
+                ji.build_instance()
+            }
+        }
+    }
+}
+
+fn run_scheduled<R: Recorder>(
+    inst: &Instance<f64>,
+    schedule: &Schedule,
+    kind: ScheduleKind,
+    rec: &mut R,
+) -> Result<DistReport, RequestError> {
+    let result = match kind {
+        ScheduleKind::Edge => {
+            distributed_fixer2_scheduled_recorded(inst, schedule, CriterionCheck::Enforce, 1, rec)
+        }
+        ScheduleKind::Distance2 => {
+            distributed_fixer3_scheduled_recorded(inst, schedule, CriterionCheck::Enforce, 1, rec)
+        }
+    };
+    result.map_err(|e| match e {
+        DistError::Fixer(f) => RequestError::out_of_regime(f.to_string()),
+        other => RequestError::internal(other.to_string()),
+    })
+}
+
+/// Best-effort id recovery for lines that fail request parsing but are
+/// themselves valid JSON objects with a scalar `id` — so clients can
+/// correlate even schema-violation errors.
+fn salvage_id(line: &str) -> String {
+    if let Ok(value) = serde_json::from_str::<Value>(line) {
+        if let Some(id @ (Value::Null | Value::String(_) | Value::U64(_) | Value::I64(_))) =
+            value.get("id")
+        {
+            if let Ok(text) = serde_json::to_string(id) {
+                return text;
+            }
+        }
+    }
+    "null".to_owned()
+}

@@ -1,0 +1,122 @@
+//! Typed request-level errors.
+//!
+//! Every way a request can fail maps to exactly one [`ErrorKind`], and
+//! every failure becomes a structured `{"status":"error"}` response —
+//! the daemon never panics on input and never wedges the pipeline.
+
+use std::fmt;
+
+/// Category of a request failure, serialized as the `error.kind` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The line is not valid JSON, not a request object, or the DIMACS
+    /// payload does not parse.
+    Parse,
+    /// The request parsed but describes an unusable instance (variable
+    /// occurring nowhere, event referencing a variable that does not
+    /// affect it, value out of domain, ...).
+    Invalid,
+    /// The request exceeds a configured limit (`max_events`,
+    /// `max_line_bytes`).
+    Oversized,
+    /// The instance falls outside the solver's guarantee regime:
+    /// rank > 3 or the exponential criterion `p < 2^-d` fails.
+    OutOfRegime,
+    /// The request's opt-in `timeout_ms` deadline was exceeded.
+    Timeout,
+    /// An I/O side effect requested by the client failed (e.g. the
+    /// `obs` tee file could not be written).
+    Io,
+    /// Anything else — a bug guard, never expected in normal operation.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire name of the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::Invalid => "invalid",
+            ErrorKind::Oversized => "oversized",
+            ErrorKind::OutOfRegime => "out_of_regime",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::Io => "io",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// A typed request failure: kind + human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError {
+    /// The failure category.
+    pub kind: ErrorKind,
+    /// What went wrong, for the client.
+    pub message: String,
+}
+
+impl RequestError {
+    /// A [`ErrorKind::Parse`] error.
+    pub fn parse(message: impl Into<String>) -> RequestError {
+        RequestError {
+            kind: ErrorKind::Parse,
+            message: message.into(),
+        }
+    }
+
+    /// An [`ErrorKind::Invalid`] error.
+    pub fn invalid(message: impl Into<String>) -> RequestError {
+        RequestError {
+            kind: ErrorKind::Invalid,
+            message: message.into(),
+        }
+    }
+
+    /// An [`ErrorKind::Oversized`] error.
+    pub fn oversized(message: impl Into<String>) -> RequestError {
+        RequestError {
+            kind: ErrorKind::Oversized,
+            message: message.into(),
+        }
+    }
+
+    /// An [`ErrorKind::OutOfRegime`] error.
+    pub fn out_of_regime(message: impl Into<String>) -> RequestError {
+        RequestError {
+            kind: ErrorKind::OutOfRegime,
+            message: message.into(),
+        }
+    }
+
+    /// An [`ErrorKind::Timeout`] error.
+    pub fn timeout(message: impl Into<String>) -> RequestError {
+        RequestError {
+            kind: ErrorKind::Timeout,
+            message: message.into(),
+        }
+    }
+
+    /// An [`ErrorKind::Io`] error.
+    pub fn io(message: impl Into<String>) -> RequestError {
+        RequestError {
+            kind: ErrorKind::Io,
+            message: message.into(),
+        }
+    }
+
+    /// An [`ErrorKind::Internal`] error.
+    pub fn internal(message: impl Into<String>) -> RequestError {
+        RequestError {
+            kind: ErrorKind::Internal,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind.as_str(), self.message)
+    }
+}
+
+impl std::error::Error for RequestError {}

@@ -1,0 +1,129 @@
+//! Response construction.
+//!
+//! Responses are one JSON object per line with a fixed field order, so
+//! the bytes of a response are a pure function of the request and the
+//! engine's deterministic configuration (schema version, default seed)
+//! — never of worker count, cache state, or wall-clock. That is what
+//! lets the differential batteries pin exact bytes cold vs. warm and
+//! at every thread count. Anything timing- or host-dependent (cache
+//! hit rates, latency histograms) goes to stderr instead.
+
+use serde::Value;
+
+use crate::error::RequestError;
+
+/// A successful solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OkResponse {
+    /// The request id, as JSON text.
+    pub id: String,
+    /// One value per variable, in variable-index order (for DIMACS
+    /// payloads: variable `i+1` is true iff `assignment[i] == 1`).
+    pub assignment: Vec<usize>,
+    /// Fixing steps taken.
+    pub steps: usize,
+    /// Total LOCAL round bill (coloring + sweep).
+    pub rounds: usize,
+    /// Rounds spent on the schedule coloring (amortized away on a
+    /// cache hit, but still billed so responses are cache-oblivious).
+    pub coloring_rounds: usize,
+    /// Color classes in the schedule.
+    pub classes: usize,
+    /// Violated events under the returned assignment (0 on success).
+    pub violated: usize,
+    /// Dependency-graph fingerprint, 16 lowercase hex digits.
+    pub fingerprint: String,
+    /// Deterministic provenance line (`schema=… engine=… seed=…`).
+    pub provenance: String,
+}
+
+/// One response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `{"status":"ok",...}`.
+    Ok(OkResponse),
+    /// `{"status":"error","error":{...}}`.
+    Error {
+        /// The request id, as JSON text.
+        id: String,
+        /// What failed.
+        error: RequestError,
+    },
+    /// `{"status":"shutdown"}` — acknowledges a shutdown request.
+    Shutdown {
+        /// The request id, as JSON text.
+        id: String,
+    },
+}
+
+impl Response {
+    /// An error response.
+    pub fn error(id: impl Into<String>, error: RequestError) -> Response {
+        Response::Error {
+            id: id.into(),
+            error,
+        }
+    }
+
+    /// Whether this is a shutdown acknowledgement.
+    pub fn is_shutdown(&self) -> bool {
+        matches!(self, Response::Shutdown { .. })
+    }
+
+    /// The JSON wire form (one line, no trailing newline).
+    pub fn to_json(&self) -> String {
+        let id_value = |id: &str| {
+            serde_json::from_str::<Value>(id).unwrap_or_else(|_| Value::String(id.to_owned()))
+        };
+        let fields = match self {
+            Response::Ok(ok) => vec![
+                ("id".to_owned(), id_value(&ok.id)),
+                ("status".to_owned(), Value::String("ok".to_owned())),
+                (
+                    "assignment".to_owned(),
+                    Value::Array(
+                        ok.assignment
+                            .iter()
+                            .map(|&v| Value::U64(v as u64))
+                            .collect(),
+                    ),
+                ),
+                ("steps".to_owned(), Value::U64(ok.steps as u64)),
+                ("rounds".to_owned(), Value::U64(ok.rounds as u64)),
+                (
+                    "coloring_rounds".to_owned(),
+                    Value::U64(ok.coloring_rounds as u64),
+                ),
+                ("classes".to_owned(), Value::U64(ok.classes as u64)),
+                ("violated".to_owned(), Value::U64(ok.violated as u64)),
+                (
+                    "fingerprint".to_owned(),
+                    Value::String(ok.fingerprint.clone()),
+                ),
+                (
+                    "provenance".to_owned(),
+                    Value::String(ok.provenance.clone()),
+                ),
+            ],
+            Response::Error { id, error } => vec![
+                ("id".to_owned(), id_value(id)),
+                ("status".to_owned(), Value::String("error".to_owned())),
+                (
+                    "error".to_owned(),
+                    Value::Object(vec![
+                        (
+                            "kind".to_owned(),
+                            Value::String(error.kind.as_str().to_owned()),
+                        ),
+                        ("message".to_owned(), Value::String(error.message.clone())),
+                    ]),
+                ),
+            ],
+            Response::Shutdown { id } => vec![
+                ("id".to_owned(), id_value(id)),
+                ("status".to_owned(), Value::String("shutdown".to_owned())),
+            ],
+        };
+        serde_json::to_string(&Value::Object(fields)).expect("response values are finite")
+    }
+}

@@ -1,0 +1,232 @@
+//! The serving loop: adaptive batching + a scoped worker pool.
+//!
+//! Requests are newline-delimited. The loop blocks for the first
+//! request of a batch, then opportunistically drains whatever further
+//! lines are already buffered (up to `batch`) — so an interactive
+//! client gets an immediate answer while a pipe-fed workload runs in
+//! full batches. Each batch is solved by `std::thread::scope` workers
+//! (clamped via [`lll_local::effective_workers`]) pulling requests
+//! from an atomic cursor; responses are written strictly in input
+//! order, so the output stream is byte-identical at every worker
+//! count.
+//!
+//! A `{"shutdown":true}` request drains the batch it arrived in,
+//! is acknowledged with `{"status":"shutdown"}`, and stops the loop.
+//! EOF on the input stream does the same without an acknowledgement.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::engine::Engine;
+use crate::error::RequestError;
+use crate::response::Response;
+
+/// Serving-loop configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum requests per batch.
+    pub batch: usize,
+    /// Worker-pool width (clamped to the batch size per batch).
+    pub threads: usize,
+    /// Longest accepted request line, in bytes (excluding the
+    /// newline); longer lines are skipped and answered with an
+    /// `oversized` error.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            batch: 16,
+            threads: 1,
+            max_line_bytes: 8 << 20,
+        }
+    }
+}
+
+/// What a serving loop did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Responses written (one per non-blank request line).
+    pub responses: u64,
+    /// Whether the loop ended on a shutdown request (vs. EOF).
+    pub shutdown: bool,
+}
+
+/// One unit of work cut from the input stream.
+enum Item {
+    /// A complete line within the size limit.
+    Line(String),
+    /// A line longer than `max_line_bytes`; content was skipped.
+    Oversized,
+    /// A line that is not valid UTF-8.
+    BadUtf8,
+}
+
+/// Newline framing over a raw reader, with a hard per-line byte cap
+/// and a non-blocking probe for already-buffered data.
+struct LineReader<R: Read> {
+    inner: BufReader<R>,
+    max: usize,
+}
+
+impl<R: Read> LineReader<R> {
+    fn new(reader: R, max: usize) -> LineReader<R> {
+        LineReader {
+            inner: BufReader::new(reader),
+            max,
+        }
+    }
+
+    /// The next non-blank item, or `None` at EOF. With `block ==
+    /// false`, returns `None` immediately when nothing is buffered
+    /// (the only case may-block data is a line straddling the buffer
+    /// boundary, which means bytes are actively arriving).
+    fn next(&mut self, block: bool) -> std::io::Result<Option<Item>> {
+        loop {
+            if !block && self.inner.buffer().is_empty() {
+                return Ok(None);
+            }
+            let mut line: Vec<u8> = Vec::new();
+            let mut oversized = false;
+            let mut saw_bytes = false;
+            loop {
+                let available = self.inner.fill_buf()?;
+                if available.is_empty() {
+                    break; // EOF: flush whatever the final line holds.
+                }
+                saw_bytes = true;
+                match available.iter().position(|&b| b == b'\n') {
+                    Some(i) => {
+                        if !oversized && line.len() + i > self.max {
+                            oversized = true;
+                        }
+                        if !oversized {
+                            line.extend_from_slice(&available[..i]);
+                        }
+                        self.inner.consume(i + 1);
+                        break;
+                    }
+                    None => {
+                        let n = available.len();
+                        if !oversized && line.len() + n > self.max {
+                            oversized = true;
+                            line.clear();
+                        }
+                        if !oversized {
+                            line.extend_from_slice(available);
+                        }
+                        self.inner.consume(n);
+                    }
+                }
+            }
+            if oversized {
+                return Ok(Some(Item::Oversized));
+            }
+            if !saw_bytes && line.is_empty() {
+                return Ok(None); // EOF before any byte.
+            }
+            match String::from_utf8(line) {
+                Ok(s) if s.trim().is_empty() => continue, // skip blank lines
+                Ok(s) => return Ok(Some(Item::Line(s))),
+                Err(_) => return Ok(Some(Item::BadUtf8)),
+            }
+        }
+    }
+}
+
+/// Runs the serving loop until EOF or a shutdown request. Responses
+/// are flushed after every batch.
+///
+/// # Errors
+///
+/// Only transport errors (reading requests, writing responses) — a
+/// malformed request is answered, never escalated.
+pub fn serve<R: Read, W: Write>(
+    engine: &Engine,
+    input: R,
+    output: &mut W,
+    config: &ServeConfig,
+) -> std::io::Result<ServeSummary> {
+    let mut lines = LineReader::new(input, config.max_line_bytes);
+    let mut summary = ServeSummary {
+        responses: 0,
+        shutdown: false,
+    };
+    let batch_size = config.batch.max(1);
+    loop {
+        let mut batch: Vec<Item> = Vec::new();
+        match lines.next(true)? {
+            None => break,
+            Some(item) => batch.push(item),
+        }
+        while batch.len() < batch_size {
+            match lines.next(false)? {
+                Some(item) => batch.push(item),
+                None => break,
+            }
+        }
+        let responses = process_batch(engine, &batch, config.threads, config.max_line_bytes);
+        for response in &responses {
+            output.write_all(response.to_json().as_bytes())?;
+            output.write_all(b"\n")?;
+            summary.responses += 1;
+            if response.is_shutdown() {
+                summary.shutdown = true;
+            }
+        }
+        output.flush()?;
+        if summary.shutdown {
+            break;
+        }
+    }
+    Ok(summary)
+}
+
+/// Solves one batch on a scoped worker pool; the returned responses
+/// are in input order regardless of worker count.
+fn process_batch(
+    engine: &Engine,
+    batch: &[Item],
+    threads: usize,
+    max_line_bytes: usize,
+) -> Vec<Response> {
+    let answer = |item: &Item| match item {
+        Item::Line(line) => engine.solve_line(line),
+        Item::Oversized => Response::error(
+            "null",
+            RequestError::oversized(format!("request line exceeds {max_line_bytes} bytes")),
+        ),
+        Item::BadUtf8 => Response::error(
+            "null",
+            RequestError::parse("request line is not valid UTF-8"),
+        ),
+    };
+    let workers = lll_local::effective_workers(threads, batch.len());
+    if workers <= 1 {
+        return batch.iter().map(answer).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Response>>> = batch.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= batch.len() {
+                    break;
+                }
+                let response = answer(&batch[i]);
+                *slots[i].lock().expect("slot lock poisoned") = Some(response);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock poisoned")
+                .expect("every slot below the cursor is filled")
+        })
+        .collect()
+}

@@ -1,0 +1,173 @@
+//! Proptest battery for the request parsers.
+//!
+//! Two properties per parser family: (1) canonical serialization
+//! round-trips (`parse(to_json(r)) == r`, `parse(display(cnf)) ==
+//! cnf`), and (2) arbitrary garbage — byte noise, malformed JSON,
+//! schema violations — always yields a typed error response, never a
+//! panic and never a wedged serving loop.
+
+use lll_apps::sat::CnfFormula;
+use lll_serve::{
+    serve, Engine, EngineConfig, JsonEvent, JsonInstance, JsonVariable, Payload, Request, Response,
+    ServeConfig, SolveRequest,
+};
+use proptest::prelude::*;
+use proptest::TestRng;
+
+fn arb_id(rng: &mut TestRng) -> String {
+    match rng.below(4) {
+        0 => "null".to_owned(),
+        1 => format!("{}", rng.below(1000)),
+        2 => format!("-{}", rng.below(1000) + 1),
+        _ => serde_json::to_string(&format!("req-{}", rng.below(1000))).unwrap(),
+    }
+}
+
+fn arb_json_instance(rng: &mut TestRng) -> JsonInstance {
+    // Shape-valid but not necessarily semantically valid: the wire
+    // round-trip must hold for anything the parser accepts.
+    let num_events = 1 + rng.below(5) as usize;
+    let num_vars = 1 + rng.below(5) as usize;
+    let variables = (0..num_vars)
+        .map(|_| {
+            let affects = (0..1 + rng.below(3))
+                .map(|_| rng.below(8) as usize)
+                .collect();
+            JsonVariable {
+                affects,
+                k: 2 + rng.below(4) as usize,
+            }
+        })
+        .collect();
+    let events = (0..num_events)
+        .map(|_| {
+            let n = rng.below(3) as usize;
+            JsonEvent {
+                vars: (0..n).map(|_| rng.below(8) as usize).collect(),
+                values: (0..n).map(|_| rng.below(4) as usize).collect(),
+            }
+        })
+        .collect();
+    JsonInstance { variables, events }
+}
+
+prop_compose! {
+    fn arb_request()(raw in proptest::Generated::new(|rng: &mut TestRng| {
+        let id = arb_id(rng);
+        if rng.below(8) == 0 {
+            return Request::Shutdown { id };
+        }
+        let payload = if rng.below(2) == 0 {
+            let m = 5 + rng.below(8) as usize;
+            let w = 5 + rng.below(3) as usize;
+            Payload::Dimacs(lll_apps::sat::ring_formula(m, w, rng.next_u64()).to_string())
+        } else {
+            Payload::Instance(arb_json_instance(rng))
+        };
+        Request::Solve(SolveRequest {
+            id,
+            payload,
+            schedule_seed: if rng.below(2) == 0 { Some(rng.below(1000)) } else { None },
+            obs: if rng.below(4) == 0 {
+                Some(format!("/tmp/trace-{}.jsonl", rng.below(100)))
+            } else {
+                None
+            },
+            timeout_ms: if rng.below(4) == 0 { Some(rng.below(100_000)) } else { None },
+        })
+    })) -> Request { raw }
+}
+
+prop_compose! {
+    fn arb_cnf()(raw in proptest::Generated::new(|rng: &mut TestRng| {
+        let num_vars = 1 + rng.below(6) as usize;
+        let num_clauses = 1 + rng.below(6) as usize;
+        let clauses = (0..num_clauses)
+            .map(|_| {
+                // A non-empty subset of the variables, random polarity.
+                let mask = 1 + rng.below((1u64 << num_vars) - 1);
+                (0..num_vars)
+                    .filter(|&x| mask >> x & 1 == 1)
+                    .map(|x| {
+                        let lit = (x + 1) as i32;
+                        if rng.below(2) == 0 { lit } else { -lit }
+                    })
+                    .collect::<Vec<i32>>()
+            })
+            .collect();
+        CnfFormula::new(num_vars, clauses).expect("subset clauses are well-formed")
+    })) -> CnfFormula { raw }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn request_json_round_trips(req in arb_request()) {
+        let wire = req.to_json();
+        let back = Request::parse(&wire);
+        prop_assert_eq!(back.as_ref(), Ok(&req), "wire: {}", wire);
+        // Canonical text is a fixed point.
+        let again = Request::parse(&wire).unwrap().to_json();
+        prop_assert_eq!(again, wire);
+    }
+
+    #[test]
+    fn dimacs_round_trips(cnf in arb_cnf()) {
+        let text = cnf.to_string();
+        let back: CnfFormula = text.parse().expect("display output parses");
+        prop_assert_eq!(back, cnf);
+    }
+
+    #[test]
+    fn garbage_strings_get_typed_errors(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let engine = Engine::new(EngineConfig::default());
+        let line = String::from_utf8_lossy(&bytes).replace('\n', " ");
+        let response = engine.solve_line(&line);
+        match response {
+            Response::Error { .. } => {}
+            other => {
+                // Random bytes parsing into a valid request would be
+                // astonishing; accept it but require a response.
+                prop_assert!(!other.is_shutdown() || line.contains("shutdown"));
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_streams_never_wedge_the_loop(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let engine = Engine::new(EngineConfig::default());
+        let mut out = Vec::new();
+        let summary = serve(
+            &engine,
+            bytes.as_slice(),
+            &mut out,
+            &ServeConfig { batch: 4, threads: 2, max_line_bytes: 64 },
+        )
+        .expect("in-memory transport cannot fail");
+        let text = String::from_utf8(out).expect("responses are UTF-8");
+        let mut lines = 0;
+        for line in text.lines() {
+            lines += 1;
+            let value: serde::Value =
+                serde_json::from_str(line).expect("every response line is JSON");
+            prop_assert!(value.get("status").is_some(), "line: {line}");
+        }
+        prop_assert_eq!(lines, summary.responses as usize);
+    }
+
+    #[test]
+    fn schema_violations_get_parse_errors(field in 0usize..7) {
+        let line = [
+            r#"{"dimacs":"p cnf 1 1\n1 0\n"}"#.replace("dimacs", "dimcas"),
+            r#"{"id":[1,2],"dimacs":"x"}"#.to_owned(),
+            r#"{"id":"a","dimacs":7}"#.to_owned(),
+            r#"{"id":"a","dimacs":"x","instance":{"variables":[],"events":[]}}"#.to_owned(),
+            r#"{"id":"a"}"#.to_owned(),
+            r#"{"id":"a","instance":{"variables":[{"affects":[0],"k":-2}],"events":[]}}"#.to_owned(),
+            r#"{"id":"a","schedule_seed":-1,"dimacs":"x"}"#.to_owned(),
+        ][field].clone();
+        let err = Request::parse(&line).expect_err("schema violation");
+        prop_assert_eq!(err.kind, lll_serve::ErrorKind::Parse, "{}", err);
+    }
+}

@@ -1,0 +1,219 @@
+//! End-to-end protocol test: drives the `lll-serve` binary over a
+//! pipe with a batch of mixed valid / invalid / oversized requests and
+//! pins the per-request responses, error payloads, and exit codes.
+//!
+//! Response lines are pinned byte-for-byte where the payload is small
+//! enough to read — the determinism contract says these bytes are a
+//! pure function of the request and the engine configuration, so this
+//! test doubles as a canary for accidental nondeterminism (thread
+//! counts, cache state, or timing leaking into responses).
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_lll-serve");
+
+/// Runs the daemon with `args`, writes `input` to stdin, closes it,
+/// and returns (stdout lines, exit code).
+fn run(args: &[&str], input: &str) -> (Vec<String>, i32) {
+    let mut child = Command::new(BIN)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn lll-serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("write requests");
+    let out = child.wait_with_output().expect("daemon exit");
+    let stdout = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+    (
+        stdout.lines().map(str::to_owned).collect(),
+        out.status.code().expect("no signal"),
+    )
+}
+
+#[test]
+fn mixed_batch_pins_responses_and_exit_code() {
+    let input = concat!(
+        // Valid rank-2 CNF.
+        r#"{"id":"q0","dimacs":"p cnf 2 2\n1 2 0\n-1 2 0\n"}"#,
+        "\n",
+        // Not JSON at all.
+        "not json\n",
+        // JSON, but not an object.
+        "[1,2,3]\n",
+        // Unknown field (typo'd payload key), id still salvaged.
+        r#"{"id":"q1","dimcas":"x"}"#,
+        "\n",
+        // Missing payload.
+        r#"{"id":42}"#,
+        "\n",
+        // Malformed DIMACS.
+        r#"{"id":"q2","dimacs":"p cnf 2 1\n1 2"}"#,
+        "\n",
+        // Semantically invalid instance: event tests a foreign variable.
+        r#"{"id":"q3","instance":{"variables":[{"affects":[0],"k":2}],"events":[{"vars":[1],"values":[0]}]}}"#,
+        "\n",
+        // Out of regime: at-threshold formula (two width-1 clauses
+        // sharing the variable: p = 1/2, d = 1, p * 2^d = 1).
+        r#"{"id":"q4","dimacs":"p cnf 1 2\n1 0\n-1 0\n"}"#,
+        "\n",
+        // Forced timeout (opt-in zero deadline).
+        r#"{"id":"q5","timeout_ms":0,"dimacs":"p cnf 2 2\n1 2 0\n-1 2 0\n"}"#,
+        "\n",
+        // Clean shutdown with an id.
+        r#"{"id":"bye","shutdown":true}"#,
+        "\n",
+        // After the shutdown: with --batch 1 the shutdown is always
+        // its own batch, so this line is deterministically unread.
+        r#"{"id":"late","dimacs":"p cnf 2 2\n1 2 0\n-1 2 0\n"}"#,
+        "\n",
+    );
+    let (lines, code) = run(&["--batch", "1"], input);
+    assert_eq!(code, 0, "clean shutdown");
+
+    let expected_q0 = concat!(
+        r#"{"id":"q0","status":"ok","assignment":[0,1],"steps":2,"rounds":3,"#,
+        r#""coloring_rounds":0,"classes":2,"violated":0,"fingerprint":"0f869412e0fcd667","#,
+        r#""provenance":"schema=1 engine=lll-serve/0.1.0 fixer=2 seed=5 nodes=2 edges=1 max_degree=1"}"#
+    );
+    assert_eq!(lines[0], expected_q0);
+    assert!(
+        lines[1].starts_with(r#"{"id":null,"status":"error","error":{"kind":"parse","#),
+        "line 1: {}",
+        lines[1]
+    );
+    assert!(
+        lines[2].starts_with(r#"{"id":null,"status":"error","error":{"kind":"parse","#),
+        "line 2: {}",
+        lines[2]
+    );
+    assert_eq!(
+        lines[3],
+        r#"{"id":"q1","status":"error","error":{"kind":"parse","message":"unknown request field \"dimcas\""}}"#
+    );
+    assert_eq!(
+        lines[4],
+        r#"{"id":42,"status":"error","error":{"kind":"parse","message":"request needs exactly one of \"dimacs\" or \"instance\""}}"#
+    );
+    assert_eq!(
+        lines[5],
+        r#"{"id":"q2","status":"error","error":{"kind":"parse","message":"DIMACS: bad application input: unterminated final clause"}}"#
+    );
+    assert_eq!(
+        lines[6],
+        r#"{"id":"q3","status":"error","error":{"kind":"invalid","message":"event 0 tests variable 1, but there are only 1 variables"}}"#
+    );
+    assert!(
+        lines[7].starts_with(r#"{"id":"q4","status":"error","error":{"kind":"out_of_regime","#),
+        "line 7: {}",
+        lines[7]
+    );
+    assert_eq!(
+        lines[8],
+        r#"{"id":"q5","status":"error","error":{"kind":"timeout","message":"deadline of 0 ms exceeded"}}"#
+    );
+    assert_eq!(lines[9], r#"{"id":"bye","status":"shutdown"}"#);
+    // Nothing after the shutdown acknowledgement… unless the late
+    // request rode in the same batch (batch=4 makes it a later batch).
+    assert_eq!(lines.len(), 10, "shutdown stopped the stream: {lines:?}");
+}
+
+#[test]
+fn oversized_lines_are_skipped_and_reported() {
+    let big = format!(
+        "{{\"id\":\"fat\",\"dimacs\":\"{}\"}}\n",
+        "c padding ".repeat(40)
+    );
+    let input = format!(
+        "{big}{}\n",
+        r#"{"id":"after","dimacs":"p cnf 2 2\n1 2 0\n-1 2 0\n"}"#
+    );
+    let (lines, code) = run(&["--max-line-bytes", "128"], &input);
+    assert_eq!(code, 0, "EOF after draining is clean");
+    assert_eq!(
+        lines[0],
+        r#"{"id":null,"status":"error","error":{"kind":"oversized","message":"request line exceeds 128 bytes"}}"#
+    );
+    // The pipeline is not wedged: the next request still solves.
+    assert!(
+        lines[1].starts_with(r#"{"id":"after","status":"ok","#),
+        "line 1: {}",
+        lines[1]
+    );
+    assert_eq!(lines.len(), 2);
+}
+
+#[test]
+fn oversized_instances_are_refused() {
+    let input = concat!(
+        r#"{"id":"cap","dimacs":"p cnf 2 2\n1 2 0\n-1 2 0\n"}"#,
+        "\n"
+    );
+    let (lines, code) = run(&["--max-events", "1"], input);
+    assert_eq!(code, 0);
+    assert_eq!(
+        lines[0],
+        r#"{"id":"cap","status":"error","error":{"kind":"oversized","message":"2 clauses exceed the limit of 1"}}"#
+    );
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let (_, code) = run(&["--frobnicate"], "");
+    assert_eq!(code, 2);
+    let out = Command::new(BIN)
+        .args(["--threads"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2), "missing value is a usage error");
+}
+
+#[test]
+fn help_exits_0_and_documents_exit_codes() {
+    let out = Command::new(BIN).arg("--help").output().expect("spawn");
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).unwrap();
+    for needle in ["EXIT CODES", "shutdown", "--no-cache", "--socket"] {
+        assert!(text.contains(needle), "help is missing {needle:?}");
+    }
+}
+
+#[test]
+fn eof_without_requests_is_clean() {
+    let (lines, code) = run(&[], "");
+    assert_eq!(code, 0);
+    assert!(lines.is_empty());
+}
+
+#[test]
+fn responses_identical_at_every_worker_count() {
+    // Protocol-level replay of the determinism contract: same input
+    // stream, worker counts 1 / 2 / 8, byte-identical stdout.
+    let mut input = String::new();
+    for i in 0..12 {
+        let cnf = lll_apps::sat::ring_formula(16, 5, i);
+        input.push_str(&format!(
+            "{{\"id\":{i},\"dimacs\":{}}}\n",
+            serde_json::to_string(&cnf.to_string()).unwrap()
+        ));
+    }
+    input.push_str("garbage line\n");
+    let (base, code) = run(&["--threads", "1", "--batch", "6"], &input);
+    assert_eq!(code, 0);
+    assert_eq!(base.len(), 13);
+    for threads in ["2", "8"] {
+        let (lines, code) = run(&["--threads", threads, "--batch", "6"], &input);
+        assert_eq!(code, 0);
+        assert_eq!(lines, base, "stdout diverged at {threads} workers");
+    }
+    // And with the cache disabled: cold bytes == warm bytes.
+    let (cold, code) = run(&["--threads", "2", "--batch", "6", "--no-cache"], &input);
+    assert_eq!(code, 0);
+    assert_eq!(cold, base, "cache state leaked into responses");
+}
