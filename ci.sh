@@ -75,17 +75,71 @@ done > "$tmp_serve/requests.jsonl"
 test "$(wc -l < "$tmp_serve/t1.out")" -eq 100
 cmp "$tmp_serve/t1.out" "$tmp_serve/t4.out"
 cmp "$tmp_serve/t1.out" "$tmp_serve/nocache.out"
-# A request-level obs tee must be a valid flight-recorder stream.
+# A request-level obs tee must be a valid flight-recorder stream, and
+# its lines carry the request id (obs schema v2 `req` tag) so
+# `--by-request` can attribute them.
 printf '{"id":"trace","obs":"%s/serve_trace.jsonl","dimacs":"p cnf 2 2\\n1 2 0\\n-1 2 0\\n"}\n' \
   "$tmp_serve" | ./target/release/lll-serve > /dev/null
 cargo run --release -q -p lll-obs --bin obs-report -- \
-  summarize --validate "$tmp_serve/serve_trace.jsonl" > /dev/null
+  summarize --validate --json --by-request "$tmp_serve/serve_trace.jsonl" \
+  | grep -q '"by_request":{"\\"trace\\""'
 rm -rf "$tmp_serve"
+
+echo "==> service mode: telemetry smoke (scrape + exposition + SIGUSR1, byte-identity)"
+tmp_tel="$(mktemp -d)"
+for i in $(seq 1 10); do
+  printf '{"id":%d,"dimacs":"p cnf 2 2\\n1 2 0\\n-1 2 0\\n"}\n' "$i"
+done > "$tmp_tel/requests.jsonl"
+# Quiet baseline, then the same requests with the exporter live: the
+# telemetry plane is side-band, so stdout must be byte-identical.
+./target/release/lll-serve < "$tmp_tel/requests.jsonl" > "$tmp_tel/quiet.out"
+mkfifo "$tmp_tel/in"
+./target/release/lll-serve --metrics "$tmp_tel/metrics.sock" --cache-capacity 8 \
+  < "$tmp_tel/in" > "$tmp_tel/metered.out" 2> "$tmp_tel/metered.err" &
+serve_pid=$!
+exec 9> "$tmp_tel/in" # hold the daemon's stdin open while we scrape
+cat "$tmp_tel/requests.jsonl" >&9
+for _ in $(seq 1 100); do
+  [ "$(wc -l < "$tmp_tel/metered.out")" -eq 10 ] && break
+  sleep 0.1
+done
+./target/release/lll-metrics-scrape "$tmp_tel/metrics.sock" > "$tmp_tel/exposition.txt"
+# Validate the exposition: text-format grammar (HELP/TYPE comments,
+# `name[{labels}] value` samples, integer values) and the counters the
+# 10 requests must have driven.
+awk '
+  /^# TYPE / { if ($NF !~ /^(counter|gauge|summary|histogram|untyped)$/) exit 1; next }
+  /^#/      { if ($0 !~ /^# HELP /) exit 1; next }
+  NF != 2   { print "bad sample: " $0; exit 1 }
+  $1 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})?$/ { print "bad name: " $0; exit 1 }
+  $2 !~ /^-?[0-9]+$/ { print "bad value: " $0; exit 1 }
+  $1 == "lll_serve_requests_total" { reqs = $2 }
+  $1 == "lll_serve_ok_total" { ok = $2 }
+  $1 == "lll_serve_cache_hits_total" { hits = $2 }
+  END { exit !(reqs == 10 && ok == 10 && hits == 9) }
+' "$tmp_tel/exposition.txt"
+# SIGUSR1 dumps a stats line to stderr on demand.
+kill -USR1 "$serve_pid"
+for _ in $(seq 1 100); do
+  grep -q '^lll-serve: 10 requests' "$tmp_tel/metered.err" && break
+  sleep 0.1
+done
+grep -q '^lll-serve: 10 requests (10 ok, 0 errors)' "$tmp_tel/metered.err"
+exec 9>&- # EOF: drain and exit 0
+wait "$serve_pid"
+cmp "$tmp_tel/quiet.out" "$tmp_tel/metered.out"
+test ! -e "$tmp_tel/metrics.sock" # exporter socket removed on shutdown
+rm -rf "$tmp_tel"
 
 echo "==> service mode: E18 throughput (warm cache must be >= 2x cold)"
 cargo run --release -q -p lll-bench --bin tables -- --csv results E18
 awk -F, '!/^#/ && NR > 2 { ips[$1] = $7 } END { exit !(ips["warm"] >= 2 * ips["cold"]) }' \
   results/e18_serve_throughput.csv
+
+echo "==> service mode: E19 telemetry overhead (scraped must be <= 1.05x quiet)"
+cargo run --release -q -p lll-bench --bin tables -- --csv results E19
+awk -F, '!/^#/ && NR > 2 { ips[$1] = $7 } END { exit !(ips["quiet"] <= 1.05 * ips["scraped"]) }' \
+  results/e19_metrics_overhead.csv
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check

@@ -692,6 +692,59 @@ fn main() {
         trace_experiment(&mut obs, "E18", rows.len());
     }
 
+    if wanted(&selected, "E19") {
+        println!("== E19: live-telemetry overhead — warm serve workload, quiet vs scraped ==");
+        let data = ex::e19_metrics_overhead(400, 96, 5);
+        write_csv(
+            "e19_metrics_overhead.csv",
+            "mode,requests,clauses,width,p50_micros,p99_micros,inst_per_sec",
+            &data
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{},{},{},{},{},{},{:.1}",
+                        r.mode,
+                        r.requests,
+                        r.clauses,
+                        r.width,
+                        r.p50_micros,
+                        r.p99_micros,
+                        r.inst_per_sec
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        let rows: Vec<Vec<String>> = data
+            .into_iter()
+            .map(|r| {
+                vec![
+                    r.mode,
+                    r.requests.to_string(),
+                    format!("{}x{}", r.clauses, r.width),
+                    r.p50_micros.to_string(),
+                    r.p99_micros.to_string(),
+                    format!("{:.1}", r.inst_per_sec),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "mode",
+                    "requests",
+                    "cnf (m x w)",
+                    "p50 (us)",
+                    "p99 (us)",
+                    "inst/sec"
+                ],
+                &rows
+            )
+        );
+        println!("(the warm E18 workload with the Prometheus exporter bound to a Unix socket and\n a scraper fetching the exposition in a loop; response bytes asserted identical\n quiet vs scraped before timing — CI gates the slowdown at 1.05x)\n");
+        trace_experiment(&mut obs, "E19", rows.len());
+    }
+
     if selected.contains("TRACE") {
         println!("== TRACE: recorded schedule-coloring workload (ring n = {TRACE_N}) ==");
         let mut timing = lll_obs::TimingRecorder::new();

@@ -32,7 +32,8 @@ use std::fmt;
 use lll_coloring::{distance2_coloring, edge_coloring};
 use lll_local::{SimError, Simulator};
 use lll_numeric::Num;
-use lll_obs::{Event, NullRecorder, Recorder};
+use lll_obs::timing::{span_nanos, span_start};
+use lll_obs::{Event, NullRecorder, NullTiming, Recorder, TimingScope, TimingSink};
 
 use crate::audit::{AuditDelta, IncrementalAuditor};
 use crate::error::FixerError;
@@ -233,6 +234,13 @@ impl Schedule {
     pub fn coloring_rounds(&self) -> usize {
         self.coloring_rounds
     }
+
+    /// Approximate heap footprint in bytes — the color vector plus the
+    /// struct header. Feeds the serve daemon's topology-cache memory
+    /// gauge; an estimate for accounting, not an allocator truth.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Schedule>() + self.colors.capacity() * std::mem::size_of::<usize>()
+    }
 }
 
 /// Distributed rank-2 LLL (Corollary 1.2): edge-color the dependency
@@ -355,7 +363,15 @@ pub fn distributed_fixer2_scheduled<T: Num>(
     check: CriterionCheck,
     threads: usize,
 ) -> Result<DistReport, DistError> {
-    fixer2_scheduled_driver(inst, schedule, check, threads, None, &mut NullRecorder)
+    fixer2_scheduled_driver(
+        inst,
+        schedule,
+        check,
+        threads,
+        None,
+        &mut NullRecorder,
+        &mut NullTiming,
+    )
 }
 
 /// [`distributed_fixer2_scheduled`] with a flight recorder; the stream
@@ -372,7 +388,30 @@ pub fn distributed_fixer2_scheduled_recorded<T: Num, R: Recorder>(
     threads: usize,
     rec: &mut R,
 ) -> Result<DistReport, DistError> {
-    fixer2_scheduled_driver(inst, schedule, check, threads, None, rec)
+    fixer2_scheduled_driver(inst, schedule, check, threads, None, rec, &mut NullTiming)
+}
+
+/// [`distributed_fixer2_scheduled_recorded`] with a side-band timing
+/// sink: the whole sweep is one [`TimingScope::FixRun`] span and each
+/// color class one [`TimingScope::FixClass`] span. This is the serve
+/// daemon's request-scoped entry point — the caller constructs a
+/// per-request recorder (tagged with the request's correlation id) and
+/// a per-request sink, so every event and span attributes to the
+/// request that caused it. Wall-clock flows only into `sink`; the
+/// recorder stream stays byte-identical to the untimed drivers'.
+///
+/// # Errors
+///
+/// As [`distributed_fixer2_scheduled`].
+pub fn distributed_fixer2_scheduled_traced<T: Num, R: Recorder, S: TimingSink>(
+    inst: &Instance<T>,
+    schedule: &Schedule,
+    check: CriterionCheck,
+    threads: usize,
+    rec: &mut R,
+    sink: &mut S,
+) -> Result<DistReport, DistError> {
+    fixer2_scheduled_driver(inst, schedule, check, threads, None, rec, sink)
 }
 
 fn fixer2_driver<T: Num, R: Recorder>(
@@ -384,16 +423,17 @@ fn fixer2_driver<T: Num, R: Recorder>(
     rec: &mut R,
 ) -> Result<DistReport, DistError> {
     let schedule = Schedule::edge(inst.dependency_graph(), seed, threads)?;
-    fixer2_scheduled_driver(inst, &schedule, check, threads, audit, rec)
+    fixer2_scheduled_driver(inst, &schedule, check, threads, audit, rec, &mut NullTiming)
 }
 
-fn fixer2_scheduled_driver<T: Num, R: Recorder>(
+fn fixer2_scheduled_driver<T: Num, R: Recorder, S: TimingSink>(
     inst: &Instance<T>,
     schedule: &Schedule,
     check: CriterionCheck,
     threads: usize,
     audit: Option<(&T, &T)>,
     rec: &mut R,
+    sink: &mut S,
 ) -> Result<DistReport, DistError> {
     let mut fixer = match check {
         CriterionCheck::Enforce => Fixer2::new(inst)?,
@@ -445,14 +485,22 @@ fn fixer2_scheduled_driver<T: Num, R: Recorder>(
         IncrementalAuditor::new(inst, fixer.partial(), fixer.phi(), p_bound, tol)
     });
 
+    let run_started = span_start::<S>();
     for cells in &classes {
         if cells.is_empty() {
             continue;
         }
+        let class_started = span_start::<S>();
         let class_vars: Vec<usize> = cells.iter().flatten().copied().collect();
         assert_no_shared_events_across_edges(inst, &class_vars);
         let deltas = fix_class_sharded(&mut fixer, cells, threads, audit, rec)?;
         audit_class(&mut auditor, &deltas, &fixer, &class_vars, rec)?;
+        if S::ENABLED {
+            sink.record_span(TimingScope::FixClass, span_nanos(class_started));
+        }
+    }
+    if S::ENABLED {
+        sink.record_span(TimingScope::FixRun, span_nanos(run_started));
     }
 
     finish_driver(fixer.into_report(), coloring_rounds, palette, 1, rec)
@@ -580,7 +628,15 @@ pub fn distributed_fixer3_scheduled<T: Num>(
     check: CriterionCheck,
     threads: usize,
 ) -> Result<DistReport, DistError> {
-    fixer3_scheduled_driver(inst, schedule, check, threads, None, &mut NullRecorder)
+    fixer3_scheduled_driver(
+        inst,
+        schedule,
+        check,
+        threads,
+        None,
+        &mut NullRecorder,
+        &mut NullTiming,
+    )
 }
 
 /// [`distributed_fixer3_scheduled`] with a flight recorder; the stream
@@ -597,7 +653,29 @@ pub fn distributed_fixer3_scheduled_recorded<T: Num, R: Recorder>(
     threads: usize,
     rec: &mut R,
 ) -> Result<DistReport, DistError> {
-    fixer3_scheduled_driver(inst, schedule, check, threads, None, rec)
+    fixer3_scheduled_driver(inst, schedule, check, threads, None, rec, &mut NullTiming)
+}
+
+/// [`distributed_fixer3_scheduled_recorded`] with a side-band timing
+/// sink — the rank-3 counterpart of
+/// [`distributed_fixer2_scheduled_traced`]: one
+/// [`TimingScope::FixRun`] span for the sweep, one
+/// [`TimingScope::FixClass`] span per color class, attributed to the
+/// caller's per-request recorder/sink pair. The recorder stream stays
+/// byte-identical to the untimed drivers'.
+///
+/// # Errors
+///
+/// As [`distributed_fixer3_scheduled`].
+pub fn distributed_fixer3_scheduled_traced<T: Num, R: Recorder, S: TimingSink>(
+    inst: &Instance<T>,
+    schedule: &Schedule,
+    check: CriterionCheck,
+    threads: usize,
+    rec: &mut R,
+    sink: &mut S,
+) -> Result<DistReport, DistError> {
+    fixer3_scheduled_driver(inst, schedule, check, threads, None, rec, sink)
 }
 
 fn fixer3_driver<T: Num, R: Recorder>(
@@ -609,16 +687,17 @@ fn fixer3_driver<T: Num, R: Recorder>(
     rec: &mut R,
 ) -> Result<DistReport, DistError> {
     let schedule = Schedule::distance2(inst.dependency_graph(), seed, threads)?;
-    fixer3_scheduled_driver(inst, &schedule, check, threads, audit, rec)
+    fixer3_scheduled_driver(inst, &schedule, check, threads, audit, rec, &mut NullTiming)
 }
 
-fn fixer3_scheduled_driver<T: Num, R: Recorder>(
+fn fixer3_scheduled_driver<T: Num, R: Recorder, S: TimingSink>(
     inst: &Instance<T>,
     schedule: &Schedule,
     check: CriterionCheck,
     threads: usize,
     audit: Option<(&T, &T)>,
     rec: &mut R,
+    sink: &mut S,
 ) -> Result<DistReport, DistError> {
     let mut fixer = match check {
         CriterionCheck::Enforce => Fixer3::new(inst)?,
@@ -658,7 +737,9 @@ fn fixer3_scheduled_driver<T: Num, R: Recorder>(
         IncrementalAuditor::new(inst, fixer.partial(), fixer.phi(), p_bound, tol)
     });
 
+    let run_started = span_start::<S>();
     for class in &classes {
+        let class_started = span_start::<S>();
         assert_no_shared_events_across_nodes(inst, class, &vars_of);
         // Cells: one class node's still-unfixed incident variables.
         // Membership is stable while the class runs — the witness above
@@ -681,6 +762,12 @@ fn fixer3_scheduled_driver<T: Num, R: Recorder>(
         let class_vars: Vec<usize> = cells.iter().flatten().copied().collect();
         let deltas = fix_class_sharded(&mut fixer, &cells, threads, audit, rec)?;
         audit_class(&mut auditor, &deltas, &fixer, &class_vars, rec)?;
+        if S::ENABLED {
+            sink.record_span(TimingScope::FixClass, span_nanos(class_started));
+        }
+    }
+    if S::ENABLED {
+        sink.record_span(TimingScope::FixRun, span_nanos(run_started));
     }
 
     finish_driver(fixer.into_report(), coloring_rounds, palette, 0, rec)

@@ -3,10 +3,18 @@
 //!
 //! ```text
 //! obs-report [--validate] <file.jsonl>...            summary (legacy form)
-//! obs-report summarize [--validate] <file.jsonl>...  same, explicit
+//! obs-report summarize [--validate] [--json] [--by-request] <file.jsonl>...
 //! obs-report series --out <dir> <file.jsonl>...      per-round/halt/step CSVs
 //! obs-report diff [--context K] <a.jsonl> <b.jsonl>  first-divergence triage
+//! obs-report tail [--interval-ms N] [--idle-exit-ms N] <file.jsonl>
 //! ```
+//!
+//! `summarize --json` prints one machine-readable JSON object per input
+//! file instead of the human summary; `--by-request` appends the
+//! per-`req` correlation-tag section (schema v2 streams). `tail`
+//! follows a growing file, folding complete lines incrementally and
+//! reprinting the live summary; `--idle-exit-ms N` makes it exit once
+//! the file has been quiet for `N` ms (useful in scripts and tests).
 //!
 //! Every mode streams its inputs line-by-line through a [`BufRead`] loop in
 //! bounded memory — a multi-gigabyte trace is folded without ever being
@@ -46,9 +54,10 @@ const EXIT_IO: u8 = 2;
 const EXIT_TRUNCATED: u8 = 3;
 
 const USAGE: &str = "usage: obs-report [--validate] <file.jsonl>...
-       obs-report summarize [--validate] <file.jsonl>...
+       obs-report summarize [--validate] [--json] [--by-request] <file.jsonl>...
        obs-report series --out <dir> <file.jsonl>...
        obs-report diff [--context K] <a.jsonl> <b.jsonl>
+       obs-report tail [--interval-ms N] [--idle-exit-ms N] <file.jsonl>
 exit codes: 0 ok; 1 schema violation (diff: divergent); 2 I/O error; 3 truncated stream";
 
 /// First-failure-wins exit code accumulator.
@@ -110,12 +119,22 @@ fn stream_file(path: &str, mut fold: impl FnMut(usize, &str) -> Result<(), Strin
     }
 }
 
+/// Output shaping for the summarize mode.
+#[derive(Clone, Copy, Default)]
+struct SummarizeOpts {
+    validate: bool,
+    /// Machine-readable output: one JSON object per input file.
+    json: bool,
+    /// Append the per-request (`req` correlation tag) section.
+    by_request: bool,
+}
+
 /// The summarize mode (also the legacy no-subcommand form): streaming
 /// validation (optional) + streaming summary per input file.
-fn run_summarize(validate: bool, paths: &[String]) -> u8 {
+fn run_summarize(opts: SummarizeOpts, paths: &[String]) -> u8 {
     let mut exit = Exit(EXIT_OK);
     for path in paths {
-        let mut validator = validate.then(StreamValidator::new);
+        let mut validator = opts.validate.then(StreamValidator::new);
         let mut summary = Summary::default();
         let code = stream_file(path, |_, line| {
             if let Some(v) = validator.as_mut() {
@@ -127,7 +146,11 @@ fn run_summarize(validate: bool, paths: &[String]) -> u8 {
         if code == EXIT_OK {
             if let Some(v) = validator.take() {
                 match v.finish() {
-                    Ok(lines) => println!("{path}: schema OK ({lines} lines)"),
+                    Ok(lines) => {
+                        if !opts.json {
+                            println!("{path}: schema OK ({lines} lines)");
+                        }
+                    }
                     Err(e) => {
                         eprintln!("obs-report: {path}: schema violation: {e}");
                         code = EXIT_SCHEMA;
@@ -136,12 +159,116 @@ fn run_summarize(validate: bool, paths: &[String]) -> u8 {
             }
         }
         if code == EXIT_OK || code == EXIT_TRUNCATED {
-            println!("== {path} ==");
-            print!("{summary}");
+            if opts.json {
+                let mut obj = match summary.to_json() {
+                    serde::Value::Object(fields) => fields,
+                    _ => unreachable!("Summary::to_json returns an object"),
+                };
+                obj.insert(0, ("file".to_owned(), serde::Value::String(path.clone())));
+                match serde_json::to_string(&serde::Value::Object(obj)) {
+                    Ok(line) => println!("{line}"),
+                    Err(e) => {
+                        eprintln!("obs-report: {path}: cannot encode summary: {e}");
+                        code = EXIT_IO;
+                    }
+                }
+            } else {
+                println!("== {path} ==");
+                print!("{summary}");
+                if opts.by_request {
+                    let mut section = String::new();
+                    summary
+                        .write_by_request(&mut section)
+                        .expect("String sink never fails");
+                    print!("{section}");
+                }
+            }
         }
         exit.set(code);
     }
     exit.0
+}
+
+/// The tail mode: follow a growing JSONL file, folding complete lines
+/// incrementally and reprinting the summary whenever new data arrives.
+/// A final line without its newline is held back until the producer
+/// finishes it. With `--idle-exit-ms N`, exits once the file has been
+/// quiet for `N` ms — code 0 normally, 3 if an unfinished partial line
+/// is still pending (crashed producer).
+fn run_tail(path: &str, interval_ms: u64, idle_exit_ms: Option<u64>, by_request: bool) -> u8 {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("obs-report: {path}: {e}");
+            return EXIT_IO;
+        }
+    };
+    let mut summary = Summary::default();
+    let mut offset = 0u64;
+    let mut partial = String::new();
+    let mut idle = std::time::Duration::ZERO;
+    let interval = std::time::Duration::from_millis(interval_ms.max(1));
+    loop {
+        if let Err(e) = file.seek(SeekFrom::Start(offset)) {
+            eprintln!("obs-report: {path}: seek: {e}");
+            return EXIT_IO;
+        }
+        let mut chunk = String::new();
+        match file.read_to_string(&mut chunk) {
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("obs-report: {path}: read error: {e}");
+                return EXIT_IO;
+            }
+        }
+        offset += chunk.len() as u64;
+        let mut folded = 0usize;
+        if !chunk.is_empty() {
+            partial.push_str(&chunk);
+            while let Some(nl) = partial.find('\n') {
+                let line: String = partial.drain(..=nl).collect();
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                if let Err(e) = summary.fold_line(line) {
+                    eprintln!("obs-report: {path}: {e}");
+                    return EXIT_SCHEMA;
+                }
+                folded += 1;
+            }
+        }
+        if folded > 0 {
+            idle = std::time::Duration::ZERO;
+            println!("== tail {path} ({} lines) ==", summary.lines);
+            print!("{summary}");
+            if by_request {
+                let mut section = String::new();
+                summary
+                    .write_by_request(&mut section)
+                    .expect("String sink never fails");
+                print!("{section}");
+            }
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        } else {
+            idle += interval;
+            if let Some(limit) = idle_exit_ms {
+                if idle >= std::time::Duration::from_millis(limit) {
+                    if partial.trim().is_empty() {
+                        return EXIT_OK;
+                    }
+                    eprintln!(
+                        "obs-report: {path}: warning: unfinished final line after idle \
+                         timeout (crashed producer?)"
+                    );
+                    return EXIT_TRUNCATED;
+                }
+            }
+        }
+        std::thread::sleep(interval);
+    }
 }
 
 /// The series mode: fold each input with [`Replay`] and write the three
@@ -228,17 +355,49 @@ fn main() -> ExitCode {
     let code = match args.first().map(String::as_str) {
         Some("summarize") => {
             let rest = &args[1..];
-            let validate = rest.iter().any(|a| a == "--validate");
+            let opts = SummarizeOpts {
+                validate: rest.iter().any(|a| a == "--validate"),
+                json: rest.iter().any(|a| a == "--json"),
+                by_request: rest.iter().any(|a| a == "--by-request"),
+            };
             let paths: Vec<String> = rest
                 .iter()
-                .filter(|a| *a != "--validate")
+                .filter(|a| !matches!(a.as_str(), "--validate" | "--json" | "--by-request"))
                 .cloned()
                 .collect();
             if paths.is_empty() {
                 eprintln!("obs-report: no input files\n{USAGE}");
                 EXIT_IO
             } else {
-                run_summarize(validate, &paths)
+                run_summarize(opts, &paths)
+            }
+        }
+        Some("tail") => {
+            let mut interval_ms = 200u64;
+            let mut idle_exit_ms = None;
+            let mut by_request = false;
+            let mut paths = Vec::new();
+            let mut it = args[1..].iter();
+            let mut usage_error = false;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--interval-ms" => match it.next().and_then(|n| n.parse().ok()) {
+                        Some(n) => interval_ms = n,
+                        None => usage_error = true,
+                    },
+                    "--idle-exit-ms" => match it.next().and_then(|n| n.parse().ok()) {
+                        Some(n) => idle_exit_ms = Some(n),
+                        None => usage_error = true,
+                    },
+                    "--by-request" => by_request = true,
+                    _ => paths.push(a.clone()),
+                }
+            }
+            if usage_error || paths.len() != 1 {
+                eprintln!("obs-report: tail needs exactly one file\n{USAGE}");
+                EXIT_IO
+            } else {
+                run_tail(&paths[0], interval_ms, idle_exit_ms, by_request)
             }
         }
         Some("series") => {
@@ -298,7 +457,13 @@ fn main() -> ExitCode {
                 eprintln!("obs-report: no input files\n{USAGE}");
                 EXIT_IO
             } else {
-                run_summarize(validate, &paths)
+                run_summarize(
+                    SummarizeOpts {
+                        validate,
+                        ..SummarizeOpts::default()
+                    },
+                    &paths,
+                )
             }
         }
         None => {

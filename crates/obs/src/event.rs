@@ -8,7 +8,13 @@
 
 /// Version of the JSONL event schema. Bump on any change to field names,
 /// field order, or variant tags; see DESIGN.md §3.7 for the versioning rules.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2 (additive over v1): any event line may carry an optional `req`
+/// field — a scalar correlation id, spliced directly after `type` —
+/// attributing the event to the serve request that caused it. Untagged
+/// lines are byte-identical to v1, and readers accept both versions
+/// (DESIGN.md §3.11).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// A single recorded event from one of the three instrumented layers.
 #[derive(Debug, Clone, PartialEq)]
@@ -162,6 +168,23 @@ impl Event {
             Event::ExperimentRow { .. } => "experiment_row",
             Event::ExperimentEnd { .. } => "experiment_end",
         }
+    }
+
+    /// [`Event::to_jsonl`] with an optional request-correlation tag:
+    /// `req` (already-encoded JSON scalar text, e.g. `"q7"` or `12`) is
+    /// spliced in directly after the `type` field, so a tagged line is
+    /// the untagged line plus one field — and `to_jsonl_tagged(None)`
+    /// is byte-identical to [`Event::to_jsonl`]. The tag must be a
+    /// scalar's JSON text; serve request ids (null/string/integer)
+    /// satisfy this by construction.
+    pub fn to_jsonl_tagged(&self, req: Option<&str>) -> String {
+        let mut s = self.to_jsonl();
+        if let Some(req) = req {
+            // Position just past `{"type":"<kind>"`.
+            let at = "{\"type\":\"".len() + self.kind().len() + 1;
+            s.insert_str(at, &format!(",\"req\":{req}"));
+        }
+        s
     }
 
     /// Serialize to one JSONL line (no trailing newline). Field order is
@@ -374,6 +397,20 @@ mod tests {
         assert_eq!(fmt_f64(0.1), "0.1");
         assert_eq!(fmt_f64(f64::NAN), "null");
         assert_eq!(fmt_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn tagged_lines_splice_req_after_type() {
+        let e = Event::NodeHalt { round: 1, node: 2 };
+        assert_eq!(e.to_jsonl_tagged(None), e.to_jsonl());
+        assert_eq!(
+            e.to_jsonl_tagged(Some("\"q7\"")),
+            "{\"type\":\"node_halt\",\"req\":\"q7\",\"round\":1,\"node\":2}"
+        );
+        assert_eq!(
+            e.to_jsonl_tagged(Some("12")),
+            "{\"type\":\"node_halt\",\"req\":12,\"round\":1,\"node\":2}"
+        );
     }
 
     #[test]

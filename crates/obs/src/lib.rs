@@ -14,6 +14,11 @@
 //! the optional `meta` provenance line, which is explicitly excluded from
 //! the byte-identity guarantee.
 //!
+//! Live telemetry (DESIGN.md §3.11) lives in [`metrics`]: a
+//! [`MetricsRegistry`] of sharded counters/gauges/histograms with
+//! Prometheus text-format exposition — like [`timing`], a strictly
+//! side-band channel that never feeds the deterministic stream.
+//!
 //! The read/diagnose side (DESIGN.md §3.8) lives in four modules:
 //! [`hist`] — log-bucketed fixed-point streaming histograms; [`timing`] —
 //! the side-band wall-clock channel (a [`TimingSink`] mirror of the
@@ -32,6 +37,7 @@ mod recorder;
 
 pub mod diff;
 pub mod hist;
+pub mod metrics;
 pub mod replay;
 pub mod report;
 pub mod schema;
@@ -39,6 +45,7 @@ pub mod timing;
 
 pub use event::{Event, SCHEMA_VERSION};
 pub use hist::Histogram;
+pub use metrics::{Counter, Gauge, MetricHist, MetricsRegistry};
 pub use provenance::Provenance;
 pub use recorder::{BufRecorder, CounterRecorder, JsonlRecorder, NullRecorder, Recorder};
 pub use timing::{NullTiming, TimingRecorder, TimingScope, TimingSink};

@@ -156,7 +156,10 @@ mod tests {
             Some(serde::Value::String(t)) => assert_eq!(t, "meta"),
             other => panic!("bad type field {other:?}"),
         }
-        assert_eq!(v.get("schema"), Some(&serde::Value::U64(1)));
+        assert_eq!(
+            v.get("schema"),
+            Some(&serde::Value::U64(u64::from(crate::SCHEMA_VERSION)))
+        );
         assert_eq!(v.get("seed"), Some(&serde::Value::U64(7)));
         assert!(v.get("git_rev").is_some());
         assert!(v.get("rustc").is_some());

@@ -195,6 +195,9 @@ pub struct JsonlRecorder<W: Write> {
     writer: W,
     lines: usize,
     error: Option<io::Error>,
+    /// Request-correlation tag (pre-encoded JSON scalar text) spliced
+    /// into every event line; `None` keeps the v1 byte layout.
+    req: Option<String>,
 }
 
 impl<W: Write> JsonlRecorder<W> {
@@ -205,6 +208,21 @@ impl<W: Write> JsonlRecorder<W> {
             writer,
             lines: 0,
             error: None,
+            req: None,
+        }
+    }
+
+    /// A recorder that tags every event line with a `req` correlation
+    /// id (schema v2). `req` must be the JSON text of a scalar — serve
+    /// request ids (null/string/integer) are by construction. Because
+    /// the tag is a pure function of the request, a tagged stream stays
+    /// byte-identical cold vs. warm and at every worker count.
+    pub fn with_request(writer: W, req: impl Into<String>) -> Self {
+        JsonlRecorder {
+            writer,
+            lines: 0,
+            error: None,
+            req: Some(req.into()),
         }
     }
 
@@ -215,6 +233,7 @@ impl<W: Write> JsonlRecorder<W> {
             writer,
             lines: 1,
             error: None,
+            req: None,
         })
     }
 
@@ -243,7 +262,11 @@ impl<W: Write> Recorder for JsonlRecorder<W> {
         if self.error.is_some() {
             return;
         }
-        if let Err(e) = writeln!(self.writer, "{}", event.to_jsonl()) {
+        if let Err(e) = writeln!(
+            self.writer,
+            "{}",
+            event.to_jsonl_tagged(self.req.as_deref())
+        ) {
             self.error = Some(e);
         } else {
             self.lines += 1;
@@ -334,6 +357,20 @@ mod tests {
             r.finish().unwrap()
         };
         assert_eq!(jsonl.finish().unwrap(), direct);
+    }
+
+    #[test]
+    fn jsonl_recorder_tags_every_line_with_req() {
+        let mut r = JsonlRecorder::with_request(Vec::new(), "\"q0\"");
+        r.record(&Event::FixRunEnd {
+            steps: 1,
+            violated: 0,
+        });
+        let text = String::from_utf8(r.finish().unwrap()).unwrap();
+        assert_eq!(
+            text,
+            "{\"type\":\"fix_run_end\",\"req\":\"q0\",\"steps\":1,\"violated\":0}\n"
+        );
     }
 
     #[test]

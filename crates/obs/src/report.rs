@@ -35,6 +35,24 @@ pub struct Summary {
     pub experiments: Vec<(String, usize)>,
     /// Provenance facts from the meta line, if present.
     pub provenance: Vec<(String, String)>,
+    /// Per-request aggregates, keyed by the JSON text of the `req`
+    /// correlation tag (schema v2). Empty for untagged (v1) streams.
+    pub by_request: BTreeMap<String, RequestStats>,
+}
+
+/// Aggregates for one `req` correlation id within a stream.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RequestStats {
+    /// Lines carrying this tag.
+    pub events: usize,
+    /// Fixer runs completed under this tag.
+    pub fix_runs: usize,
+    /// Fixing steps under this tag.
+    pub fix_steps: usize,
+    /// Simulator runs completed under this tag.
+    pub sim_runs: usize,
+    /// Billed rounds summed over this tag's completed simulator runs.
+    pub rounds: usize,
 }
 
 fn uint(v: Option<&Value>) -> usize {
@@ -80,6 +98,19 @@ impl Summary {
         };
         s.lines += 1;
         *s.by_type.entry(ty.clone()).or_insert(0) += 1;
+        if let Some(req) = v.get("req") {
+            let r = s.by_request.entry(req.to_string()).or_default();
+            r.events += 1;
+            match ty.as_str() {
+                "fix_run_end" => r.fix_runs += 1,
+                "fix_step" => r.fix_steps += 1,
+                "sim_run_end" => {
+                    r.sim_runs += 1;
+                    r.rounds += uint(v.get("rounds"));
+                }
+                _ => {}
+            }
+        }
         match ty.as_str() {
             "meta" => {
                 if let Value::Object(fields) = &v {
@@ -124,6 +155,91 @@ impl Summary {
                 }
             }
             _ => {}
+        }
+        Ok(())
+    }
+
+    /// The summary as a machine-readable JSON object (one line via
+    /// [`serde_json::to_string`]) — the `summarize --json` payload.
+    /// Field order is fixed; `by_request` is keyed by the tag's JSON
+    /// text and sorted.
+    pub fn to_json(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = vec![
+            ("lines".to_owned(), Value::U64(self.lines as u64)),
+            ("sim_runs".to_owned(), Value::U64(self.sim_runs as u64)),
+            ("rounds".to_owned(), Value::U64(self.rounds as u64)),
+            ("messages".to_owned(), Value::U64(self.messages as u64)),
+            ("bytes".to_owned(), Value::U64(self.bytes as u64)),
+            ("node_halts".to_owned(), Value::U64(self.node_halts as u64)),
+            ("fix_runs".to_owned(), Value::U64(self.fix_runs as u64)),
+            ("fix_steps".to_owned(), Value::U64(self.fix_steps as u64)),
+            (
+                "audit_passes".to_owned(),
+                Value::U64(self.audit_passes as u64),
+            ),
+            (
+                "audit_violations".to_owned(),
+                Value::U64(self.audit_violations as u64),
+            ),
+            (
+                "min_headroom".to_owned(),
+                self.min_headroom.map_or(Value::Null, Value::F64),
+            ),
+            (
+                "by_type".to_owned(),
+                Value::Object(
+                    self.by_type
+                        .iter()
+                        .map(|(ty, n)| (ty.clone(), Value::U64(*n as u64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "experiments".to_owned(),
+                Value::Object(
+                    self.experiments
+                        .iter()
+                        .map(|(id, rows)| (id.clone(), Value::U64(*rows as u64)))
+                        .collect(),
+                ),
+            ),
+        ];
+        fields.push((
+            "by_request".to_owned(),
+            Value::Object(
+                self.by_request
+                    .iter()
+                    .map(|(req, r)| {
+                        (
+                            req.clone(),
+                            Value::Object(vec![
+                                ("events".to_owned(), Value::U64(r.events as u64)),
+                                ("fix_runs".to_owned(), Value::U64(r.fix_runs as u64)),
+                                ("fix_steps".to_owned(), Value::U64(r.fix_steps as u64)),
+                                ("sim_runs".to_owned(), Value::U64(r.sim_runs as u64)),
+                                ("rounds".to_owned(), Value::U64(r.rounds as u64)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ));
+        Value::Object(fields)
+    }
+
+    /// Writes the `--by-request` section: one line per correlation tag,
+    /// sorted by tag text. No output for untagged streams.
+    pub fn write_by_request(&self, f: &mut impl fmt::Write) -> fmt::Result {
+        if self.by_request.is_empty() {
+            return Ok(());
+        }
+        writeln!(f, "  by request:")?;
+        for (req, r) in &self.by_request {
+            writeln!(
+                f,
+                "    {req:<18} {} event(s), {} fix run(s), {} step(s), {} sim run(s), {} round(s)",
+                r.events, r.fix_runs, r.fix_steps, r.sim_runs, r.rounds
+            )?;
         }
         Ok(())
     }
@@ -225,5 +341,51 @@ mod tests {
         assert_eq!(s.by_type.get("round_end"), Some(&1));
         let rendered = s.to_string();
         assert!(rendered.contains("simulator: 1 run(s)"));
+    }
+
+    #[test]
+    fn groups_tagged_lines_by_request() {
+        let text = [
+            Event::FixRunStart {
+                variables: 2,
+                events: 1,
+                max_rank: 2,
+            }
+            .to_jsonl_tagged(Some("\"a\"")),
+            Event::FixStep {
+                step: 0,
+                variable: 0,
+                value: 1,
+                rank: 2,
+                touched: vec![0],
+                inc: vec![1.0],
+                phi_product: vec![0.5],
+                headroom: vec![1.0],
+            }
+            .to_jsonl_tagged(Some("\"a\"")),
+            Event::FixRunEnd {
+                steps: 1,
+                violated: 0,
+            }
+            .to_jsonl_tagged(Some("\"a\"")),
+            Event::FixRunEnd {
+                steps: 0,
+                violated: 0,
+            }
+            .to_jsonl_tagged(Some("7")),
+        ]
+        .join("\n");
+        let s = Summary::from_stream(&text).unwrap();
+        assert_eq!(s.by_request.len(), 2);
+        let a = &s.by_request["\"a\""];
+        assert_eq!((a.events, a.fix_runs, a.fix_steps), (3, 1, 1));
+        assert_eq!(s.by_request["7"].fix_runs, 1);
+        let mut out = String::new();
+        s.write_by_request(&mut out).unwrap();
+        assert!(out.contains("by request:"));
+        assert!(out.contains("\"a\""));
+        let json = serde_json::to_string(&s.to_json()).unwrap();
+        assert!(json.contains("\"by_request\""));
+        assert!(json.contains("\"fix_steps\":1"));
     }
 }

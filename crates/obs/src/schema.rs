@@ -112,11 +112,26 @@ pub fn validate_line(line: &str) -> Result<String, String> {
             ));
         }
     }
+    // Optional request-correlation tag (schema v2): a scalar, on any
+    // event type. v1 streams simply never carry it.
+    if let Some(req) = v.get("req") {
+        if !matches!(
+            req,
+            Value::Null | Value::String(_) | Value::U64(_) | Value::I64(_)
+        ) {
+            return Err(format!(
+                "{ty}: field \"req\" must be a scalar, got {}",
+                req.kind()
+            ));
+        }
+    }
     if ty == "meta" {
         let schema = uint(v.get("schema").expect("checked above")).expect("checked above");
-        if schema != u64::from(SCHEMA_VERSION) {
+        // v2 is additive over v1 (optional `req` only), so both fold
+        // identically; reject anything newer than this reader.
+        if schema == 0 || schema > u64::from(SCHEMA_VERSION) {
             return Err(format!(
-                "meta: schema version {schema} != supported {SCHEMA_VERSION}"
+                "meta: schema version {schema} not supported (max {SCHEMA_VERSION})"
             ));
         }
     }
@@ -398,6 +413,33 @@ mod tests {
         .join("\n");
         let e = validate_stream(&text).unwrap_err();
         assert!(e.contains("first line"), "{e}");
+    }
+
+    #[test]
+    fn accepts_v1_meta_and_tagged_lines() {
+        // A v1 stream (schema 1, no `req`) still validates under the
+        // v2 reader.
+        assert_eq!(
+            validate_line("{\"type\":\"meta\",\"schema\":1,\"git_rev\":\"x\",\"rustc\":\"y\"}"),
+            Ok("meta".to_string())
+        );
+        // Tagged lines validate with any scalar tag.
+        for tag in ["\"q0\"", "12", "null"] {
+            let line = format!("{{\"type\":\"node_halt\",\"req\":{tag},\"round\":1,\"node\":0}}");
+            assert_eq!(validate_line(&line), Ok("node_halt".to_string()), "{line}");
+        }
+        // Non-scalar tags are rejected.
+        assert!(
+            validate_line("{\"type\":\"node_halt\",\"req\":[1],\"round\":1,\"node\":0}")
+                .unwrap_err()
+                .contains("scalar")
+        );
+        // Future schema versions are rejected.
+        assert!(validate_line(
+            "{\"type\":\"meta\",\"schema\":99,\"git_rev\":\"x\",\"rustc\":\"y\"}"
+        )
+        .unwrap_err()
+        .contains("not supported"));
     }
 
     #[test]

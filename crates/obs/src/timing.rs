@@ -33,16 +33,20 @@ pub enum TimingScope {
     FixRun = 3,
     /// One fixing step (`fix_variable`).
     FixStep = 4,
+    /// One color class's sweep inside a scheduled driver (all cells of
+    /// the class, across every shard).
+    FixClass = 5,
 }
 
 impl TimingScope {
     /// Every scope, in slot order.
-    pub const ALL: [TimingScope; 5] = [
+    pub const ALL: [TimingScope; 6] = [
         TimingScope::SimRun,
         TimingScope::SimRound,
         TimingScope::ShardWork,
         TimingScope::FixRun,
         TimingScope::FixStep,
+        TimingScope::FixClass,
     ];
 
     /// The scope's stable snake_case tag, as serialized in timing JSONL.
@@ -53,6 +57,7 @@ impl TimingScope {
             TimingScope::ShardWork => "shard_work",
             TimingScope::FixRun => "fix_run",
             TimingScope::FixStep => "fix_step",
+            TimingScope::FixClass => "fix_class",
         }
     }
 }

@@ -202,6 +202,189 @@ fn series_writes_stamped_csvs() {
     std::fs::remove_dir_all(&out_dir).ok();
 }
 
+/// The same stream as [`valid_stream`], with every line tagged with a
+/// `req` correlation field (schema v2).
+fn tagged_stream(req: &str) -> String {
+    valid_stream()
+        .lines()
+        .map(|line| {
+            let (head, tail) = line.split_once(',').expect("every event has >= 2 fields");
+            format!("{head},\"req\":{req},{tail}\n")
+        })
+        .collect()
+}
+
+#[test]
+fn summarize_json_pins_exit_codes_and_shape() {
+    // Exit 0: valid stream, one JSON object on stdout.
+    let path = scratch("json-ok.jsonl");
+    std::fs::write(&path, valid_stream()).unwrap();
+    let out = run(&["summarize", "--validate", "--json", path.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert_eq!(text.lines().count(), 1, "one JSON line per file: {text}");
+    assert!(!text.contains("schema OK"), "json mode is machine-only");
+    let v: serde::Value = serde_json::from_str(text.trim()).expect("summary is JSON");
+    assert_eq!(
+        v.get("file"),
+        Some(&serde::Value::String(path.to_str().unwrap().to_owned()))
+    );
+    assert_eq!(v.get("lines"), Some(&serde::Value::U64(8)));
+    assert_eq!(v.get("sim_runs"), Some(&serde::Value::U64(1)));
+    assert_eq!(v.get("fix_steps"), Some(&serde::Value::U64(1)));
+    assert!(v.get("by_type").is_some());
+    assert!(v.get("by_request").is_some());
+    std::fs::remove_file(&path).ok();
+
+    // Exit 1: stream-level schema violation under --validate.
+    let bad = scratch("json-bad.jsonl");
+    let mut text = Event::SimRunStart {
+        nodes: 1,
+        edges: 0,
+        max_degree: 0,
+        seed: 0,
+    }
+    .to_jsonl();
+    text.push('\n');
+    text.push_str(
+        &Event::RoundStart {
+            round: 2,
+            running: 1,
+        }
+        .to_jsonl(),
+    );
+    text.push('\n');
+    std::fs::write(&bad, &text).unwrap();
+    let out = run(&["summarize", "--validate", "--json", bad.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 1, "stderr: {}", stderr(&out));
+    std::fs::remove_file(&bad).ok();
+
+    // Exit 2: unreadable input.
+    let out = run(&["summarize", "--json", "/nonexistent/trace.jsonl"]);
+    assert_eq!(exit_code(&out), 2);
+
+    // Exit 3: truncated final line — but the complete prefix is still
+    // summarized, as JSON.
+    let torn = scratch("json-torn.jsonl");
+    let mut text = valid_stream();
+    text.push_str("{\"type\":\"sim_run_start\",\"nod");
+    std::fs::write(&torn, &text).unwrap();
+    let out = run(&["summarize", "--json", torn.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 3, "stderr: {}", stderr(&out));
+    let v: serde::Value = serde_json::from_str(stdout(&out).trim()).expect("summary is JSON");
+    assert_eq!(v.get("lines"), Some(&serde::Value::U64(8)));
+    std::fs::remove_file(&torn).ok();
+}
+
+#[test]
+fn summarize_by_request_groups_tagged_streams() {
+    let path = scratch("tagged.jsonl");
+    let mut text = tagged_stream("\"q0\"");
+    text.push_str(&tagged_stream("17"));
+    std::fs::write(&path, &text).unwrap();
+    let out = run(&[
+        "summarize",
+        "--validate",
+        "--by-request",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("by request:"), "{text}");
+    assert!(text.contains("\"q0\""), "{text}");
+    assert!(
+        text.contains("1 fix run(s), 1 step(s), 1 sim run(s)"),
+        "{text}"
+    );
+    // And the JSON form carries the same grouping.
+    let out = run(&["summarize", "--json", path.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 0);
+    let v: serde::Value = serde_json::from_str(stdout(&out).trim()).unwrap();
+    match v.get("by_request") {
+        Some(serde::Value::Object(reqs)) => {
+            assert_eq!(reqs.len(), 2, "two distinct correlation ids");
+        }
+        other => panic!("by_request is not an object: {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn tail_follows_appends_and_exits_clean() {
+    let path = scratch("tail.jsonl");
+    let full = valid_stream();
+    let lines: Vec<&str> = full.lines().collect();
+    let (head, tail) = lines.split_at(4);
+    std::fs::write(&path, format!("{}\n", head.join("\n"))).unwrap();
+
+    let child = Command::new(BIN)
+        .args([
+            "tail",
+            "--interval-ms",
+            "20",
+            "--idle-exit-ms",
+            "500",
+            path.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn obs-report tail");
+    // Let it fold the first chunk, then append the rest mid-flight.
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .unwrap();
+    writeln!(f, "{}", tail.join("\n")).unwrap();
+    drop(f);
+    let out = child.wait_with_output().expect("tail exit");
+    assert_eq!(out.status.code(), Some(0), "idle timeout is a clean exit");
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Two reprints (one per chunk), final state covers all 8 lines.
+    assert!(text.contains("== tail"), "{text}");
+    assert!(text.matches("== tail").count() >= 2, "{text}");
+    assert!(text.contains("(8 lines)"), "{text}");
+    assert!(text.contains("simulator: 1 run(s)"), "{text}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn tail_with_pending_partial_line_exits_three() {
+    let path = scratch("tail-torn.jsonl");
+    let mut text = valid_stream();
+    text.push_str("{\"type\":\"fix_run_start\",\"var");
+    std::fs::write(&path, &text).unwrap();
+    let out = run(&[
+        "tail",
+        "--interval-ms",
+        "20",
+        "--idle-exit-ms",
+        "200",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 3, "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("unfinished"), "{}", stderr(&out));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn tail_usage_errors_exit_two() {
+    assert_eq!(exit_code(&run(&["tail"])), 2);
+    let a = scratch("tail-a.jsonl");
+    let b = scratch("tail-b.jsonl");
+    std::fs::write(&a, valid_stream()).unwrap();
+    std::fs::write(&b, valid_stream()).unwrap();
+    assert_eq!(
+        exit_code(&run(&["tail", a.to_str().unwrap(), b.to_str().unwrap()])),
+        2,
+        "tail takes exactly one file"
+    );
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+}
+
 #[test]
 fn diff_identical_exits_zero_divergent_exits_one() {
     let a_path = scratch("a.jsonl");

@@ -5,12 +5,21 @@
 //! I/O error. Engine statistics (request counts, cache hit/miss,
 //! latency percentiles) go to stderr on exit; stdout carries only
 //! response lines.
+//!
+//! Live telemetry is opt-in: `--metrics PATH` serves the Prometheus
+//! text exposition over a Unix socket, `--stats-interval SECS` prints
+//! periodic stderr snapshots, and `SIGUSR1` dumps one snapshot on
+//! demand. All of it is side-band — enabling telemetry cannot change a
+//! response byte or a teed recorder stream.
 
 use std::io::{BufWriter, Write};
 use std::os::unix::net::UnixListener;
 use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
 
-use lll_serve::{serve, Engine, EngineConfig, ServeConfig};
+use lll_serve::{serve, spawn_telemetry, Engine, EngineConfig, ServeConfig, TelemetryConfig};
 
 const USAGE: &str = "\
 lll-serve: batched, cache-warmed LLL-solving daemon
@@ -26,7 +35,8 @@ REQUESTS:
     {\"id\":ID,\"instance\":{...}}          solve a JSON LLL instance
     {\"id\":ID,\"shutdown\":true}           drain, acknowledge, exit
 Optional request fields: \"schedule_seed\", \"obs\" (tee a JSONL
-recorder stream to a path), \"timeout_ms\" (opt-in deadline).
+recorder stream to a path; every line carries the request id as its
+\"req\" correlation field), \"timeout_ms\" (opt-in deadline).
 
 OPTIONS:
     --threads N          worker pool width per batch [default: 1]
@@ -35,8 +45,14 @@ OPTIONS:
     --max-events N       largest accepted instance [default: 1048576]
     --max-line-bytes N   longest accepted request line [default: 8388608]
     --no-cache           disable the schedule cache (cold baseline)
+    --cache-capacity N   bound the schedule cache to N entries (LRU)
     --socket PATH        listen on a Unix socket instead of stdin
+    --metrics PATH       serve Prometheus metrics on a Unix socket
+    --stats-interval S   print a stats snapshot to stderr every S seconds
     --help               print this help
+
+SIGNALS:
+    SIGUSR1              print one stats snapshot to stderr
 
 EXIT CODES:
     0   clean shutdown (EOF or shutdown request)
@@ -44,16 +60,56 @@ EXIT CODES:
     3   transport I/O error
 ";
 
+/// Minimal `SIGUSR1` plumbing: the handler only sets an [`AtomicBool`]
+/// that the telemetry thread polls. Hand-rolled `signal(2)` FFI —
+/// the workspace vendors no signal crate, and this is the one unsafe
+/// block the daemon needs.
+mod sigusr1 {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    /// `SIGUSR1` on Linux.
+    const SIGUSR1: i32 = 10;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    static FLAG: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_sigusr1(_signum: i32) {
+        // Async-signal-safe: one relaxed atomic store, nothing else.
+        FLAG.store(true, Ordering::Relaxed);
+    }
+
+    /// Installs the handler and returns a flag the telemetry thread
+    /// drains. The process-global `FLAG` is bridged to a fresh `Arc`
+    /// by the caller polling [`take`].
+    pub fn install() -> Arc<AtomicBool> {
+        unsafe {
+            signal(SIGUSR1, on_sigusr1 as extern "C" fn(i32) as usize);
+        }
+        Arc::new(AtomicBool::new(false))
+    }
+
+    /// Whether the signal fired since the last call.
+    pub fn take() -> bool {
+        FLAG.swap(false, Ordering::Relaxed)
+    }
+}
+
 struct Args {
     engine: EngineConfig,
     serve: ServeConfig,
     socket: Option<String>,
+    telemetry: TelemetryConfig,
 }
 
 fn parse_args() -> Result<Option<Args>, String> {
     let mut engine = EngineConfig::default();
     let mut serve = ServeConfig::default();
     let mut socket = None;
+    let mut telemetry = TelemetryConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut num = |what: &str| -> Result<usize, String> {
@@ -70,11 +126,22 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--max-events" => engine.max_events = num("--max-events")?,
             "--max-line-bytes" => serve.max_line_bytes = num("--max-line-bytes")?,
             "--no-cache" => engine.cache = false,
+            "--cache-capacity" => engine.cache_capacity = Some(num("--cache-capacity")?),
             "--socket" => {
                 socket = Some(
                     args.next()
                         .ok_or_else(|| "--socket needs a path".to_owned())?,
                 );
+            }
+            "--metrics" => {
+                telemetry.socket = Some(
+                    args.next()
+                        .ok_or_else(|| "--metrics needs a path".to_owned())?,
+                );
+            }
+            "--stats-interval" => {
+                telemetry.stats_interval =
+                    Some(Duration::from_secs(num("--stats-interval")?.max(1) as u64));
             }
             other => return Err(format!("unknown option {other:?}")),
         }
@@ -83,6 +150,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         engine,
         serve,
         socket,
+        telemetry,
     }))
 }
 
@@ -99,7 +167,33 @@ fn run() -> u8 {
             return 2;
         }
     };
-    let engine = Engine::new(args.engine);
+    let engine = Arc::new(Engine::new(args.engine));
+    let telemetry = if args.telemetry.is_active() {
+        let dump = sigusr1::install();
+        // Bridge the process-global signal flag into the telemetry
+        // thread's dump flag with a tiny poller (the handler itself
+        // may only touch the global).
+        let bridge_dump = Arc::clone(&dump);
+        let bridge_stop = Arc::new(AtomicBool::new(false));
+        let bridge_stop2 = Arc::clone(&bridge_stop);
+        let bridge = std::thread::spawn(move || {
+            while !bridge_stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                if sigusr1::take() {
+                    bridge_dump.store(true, std::sync::atomic::Ordering::Relaxed);
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        });
+        match spawn_telemetry(Arc::clone(&engine), args.telemetry.clone(), dump) {
+            Ok(handle) => Some((handle, bridge_stop, bridge)),
+            Err(e) => {
+                eprintln!("lll-serve: cannot bind metrics socket: {e}");
+                return 2;
+            }
+        }
+    } else {
+        None
+    };
     let result = match &args.socket {
         None => {
             let stdin = std::io::stdin().lock();
@@ -112,19 +206,12 @@ fn run() -> u8 {
         }
         Some(path) => serve_socket(&engine, path, &args.serve),
     };
-    let stats = engine.stats();
-    eprintln!(
-        "lll-serve: {} requests ({} ok, {} errors), cache {} hits / {} misses \
-         ({} schedules), p50 {}us p99 {}us",
-        stats.requests,
-        stats.ok,
-        stats.errors,
-        stats.cache_hits,
-        stats.cache_misses,
-        engine.cached_schedules(),
-        stats.p50_micros,
-        stats.p99_micros,
-    );
+    if let Some((handle, bridge_stop, bridge)) = telemetry {
+        handle.shutdown();
+        bridge_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let _ = bridge.join();
+    }
+    eprintln!("lll-serve: {}", engine.stats_line());
     match result {
         Ok(_) => 0,
         Err(e) => {

@@ -1,0 +1,74 @@
+//! `lll-metrics-scrape`: fetch one Prometheus exposition from a
+//! daemon's `--metrics` Unix socket and print it to stdout.
+//!
+//! A dependency-free stand-in for `curl --unix-socket` so CI and tests
+//! can scrape the daemon with nothing but this workspace. Exit codes
+//! follow the daemon's convention: 0 — scraped; 2 — usage error; 3 —
+//! connect/transport error (including a malformed HTTP response).
+
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+lll-metrics-scrape: fetch a Prometheus exposition from a Unix socket
+
+USAGE:
+    lll-metrics-scrape SOCKET_PATH
+
+Prints the text exposition body to stdout.
+
+EXIT CODES:
+    0   scraped
+    2   usage error
+    3   connect or transport error
+";
+
+fn scrape(path: &str) -> Result<String, String> {
+    let mut stream =
+        UnixStream::connect(path).map_err(|e| format!("cannot connect to {path}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| format!("socket setup: {e}"))?;
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+        .map_err(|e| format!("write request: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read response: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| "response has no HTTP header/body separator".to_owned())?;
+    if !head.starts_with("HTTP/1.0 200") && !head.starts_with("HTTP/1.1 200") {
+        let status = head.lines().next().unwrap_or("");
+        return Err(format!("non-200 response: {status}"));
+    }
+    Ok(body.to_owned())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [arg] if arg == "--help" || arg == "-h" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        [path] => match scrape(path) {
+            Ok(body) => {
+                print!("{body}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("lll-metrics-scrape: {e}");
+                ExitCode::from(3)
+            }
+        },
+        _ => {
+            eprintln!("lll-metrics-scrape: expected exactly one socket path");
+            eprintln!("lll-metrics-scrape: try --help");
+            ExitCode::from(2)
+        }
+    }
+}

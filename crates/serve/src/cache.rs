@@ -7,9 +7,17 @@
 //! label-sensitive, seed-independent — but a fingerprint is only a
 //! hash: on every hit the stored graph is compared structurally
 //! (`Graph: Eq`) before the schedule is reused, so a collision costs a
-//! recompute, never a wrong schedule. Entries are never evicted; the
+//! recompute, never a wrong schedule.
+//!
+//! An unbounded cache ([`TopologyCache::new`]) never evicts — the
 //! daemon's workloads are bounded batches, and `--no-cache` exists for
-//! the cold baseline.
+//! the cold baseline. [`TopologyCache::with_capacity`] bounds the
+//! entry count with least-recently-used eviction: every hit stamps the
+//! entry with a monotone use tick, and an insert past capacity drops
+//! the entry with the oldest stamp. Eviction only ever costs a
+//! recompute on the next request for that shape — the recomputed
+//! schedule is the same pure function of `(graph, seed)`, so responses
+//! stay byte-identical.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -23,25 +31,48 @@ struct CacheEntry {
     graph: Graph,
     seed: u64,
     schedule: Arc<Schedule>,
+    /// Monotone use stamp for LRU: updated on every hit and on insert.
+    last_used: u64,
 }
 
-/// A concurrent schedule cache with hit/miss counters.
+impl CacheEntry {
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<CacheEntry>() + self.graph.approx_bytes() + self.schedule.approx_bytes()
+    }
+}
+
+/// A concurrent schedule cache with hit/miss/eviction counters.
 ///
-/// Counters are observability only (stderr stats); they never reach a
-/// response body, which must stay byte-identical hit vs. miss.
+/// Counters are observability only (stderr stats, metrics export);
+/// they never reach a response body, which must stay byte-identical
+/// hit vs. miss vs. post-eviction recompute.
 pub struct TopologyCache {
     entries: Mutex<HashMap<u64, Vec<CacheEntry>>>,
+    /// Maximum number of stored schedules; `None` = unbounded.
+    capacity: Option<usize>,
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl TopologyCache {
-    /// An empty cache.
+    /// An empty, unbounded cache (never evicts).
     pub fn new() -> TopologyCache {
+        TopologyCache::with_capacity(None)
+    }
+
+    /// An empty cache holding at most `capacity` schedules, evicting
+    /// the least-recently-used entry when full. `None` is unbounded;
+    /// `Some(0)` caches nothing (every request is a miss).
+    pub fn with_capacity(capacity: Option<usize>) -> TopologyCache {
         TopologyCache {
             entries: Mutex::new(HashMap::new()),
+            capacity,
+            tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -62,21 +93,58 @@ impl TopologyCache {
     ) -> Result<Arc<Schedule>, E> {
         let fp = g.fingerprint();
         let mut entries = self.entries.lock().expect("cache lock poisoned");
-        let bucket = entries.entry(fp).or_default();
-        for entry in bucket.iter() {
-            if entry.seed == seed && entry.schedule.kind() == kind && entry.graph == *g {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(Arc::clone(&entry.schedule));
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(bucket) = entries.get_mut(&fp) {
+            for entry in bucket.iter_mut() {
+                if entry.seed == seed && entry.schedule.kind() == kind && entry.graph == *g {
+                    entry.last_used = stamp;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(&entry.schedule));
+                }
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let schedule = Arc::new(compute()?);
-        bucket.push(CacheEntry {
+        if self.capacity == Some(0) {
+            return Ok(schedule);
+        }
+        if let Some(cap) = self.capacity {
+            let len: usize = entries.values().map(Vec::len).sum();
+            if len >= cap {
+                Self::evict_lru(&mut entries);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        entries.entry(fp).or_default().push(CacheEntry {
             graph: g.clone(),
             seed,
             schedule: Arc::clone(&schedule),
+            last_used: stamp,
         });
         Ok(schedule)
+    }
+
+    /// Removes the entry with the oldest `last_used` stamp. O(entries)
+    /// scan — fine at daemon cache sizes, and only paid on insert past
+    /// capacity.
+    fn evict_lru(entries: &mut HashMap<u64, Vec<CacheEntry>>) {
+        let victim = entries
+            .iter()
+            .flat_map(|(fp, bucket)| {
+                bucket
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, e)| (e.last_used, *fp, i))
+            })
+            .min()
+            .map(|(_, fp, i)| (fp, i));
+        if let Some((fp, i)) = victim {
+            let bucket = entries.get_mut(&fp).expect("victim bucket exists");
+            bucket.remove(i);
+            if bucket.is_empty() {
+                entries.remove(&fp);
+            }
+        }
     }
 
     /// Cache hits so far.
@@ -87,6 +155,16 @@ impl TopologyCache {
     /// Cache misses (= schedules computed) so far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by the LRU bound so far (always 0 unbounded).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// The configured entry bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// Number of stored schedules.
@@ -102,6 +180,18 @@ impl TopologyCache {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Approximate resident bytes of all cached graphs + schedules.
+    /// Telemetry estimate (capacities, not allocator book-keeping).
+    pub fn approx_bytes(&self) -> usize {
+        self.entries
+            .lock()
+            .expect("cache lock poisoned")
+            .values()
+            .flatten()
+            .map(CacheEntry::approx_bytes)
+            .sum()
     }
 }
 

@@ -21,22 +21,20 @@
 
 use std::fs::File;
 use std::io::BufWriter;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use lll_apps::sat::CnfFormula;
 use lll_core::dist::{
-    distributed_fixer2_scheduled_recorded, distributed_fixer3_scheduled_recorded, CriterionCheck,
+    distributed_fixer2_scheduled_traced, distributed_fixer3_scheduled_traced, CriterionCheck,
     DistError, DistReport, Schedule, ScheduleKind,
 };
 use lll_core::Instance;
-use lll_obs::hist::Histogram;
-use lll_obs::{JsonlRecorder, NullRecorder, Recorder};
+use lll_obs::{JsonlRecorder, NullRecorder, Recorder, TimingScope, TimingSink};
 use serde::Value;
 
 use crate::cache::TopologyCache;
 use crate::error::RequestError;
+use crate::metrics::ServeMetrics;
 use crate::request::{Payload, Request, SolveRequest, SCHEMA_VERSION};
 use crate::response::{OkResponse, Response};
 
@@ -50,6 +48,9 @@ pub struct EngineConfig {
     pub default_seed: u64,
     /// Whether to reuse schedules across same-shape requests.
     pub cache: bool,
+    /// Schedule-cache entry bound with LRU eviction (`None` =
+    /// unbounded, the historical behavior).
+    pub cache_capacity: Option<usize>,
     /// Largest number of events a request may declare.
     pub max_events: usize,
 }
@@ -59,6 +60,7 @@ impl Default for EngineConfig {
         EngineConfig {
             default_seed: 5,
             cache: true,
+            cache_capacity: None,
             max_events: 1 << 20,
         }
     }
@@ -77,6 +79,8 @@ pub struct EngineStats {
     pub cache_hits: u64,
     /// Schedule-cache misses (schedules computed).
     pub cache_misses: u64,
+    /// Schedule-cache LRU evictions.
+    pub cache_evictions: u64,
     /// p50 request latency in microseconds (0 when no requests).
     pub p50_micros: u64,
     /// p99 request latency in microseconds (0 when no requests).
@@ -87,28 +91,28 @@ pub struct EngineStats {
 pub struct Engine {
     config: EngineConfig,
     cache: TopologyCache,
-    requests: AtomicU64,
-    ok: AtomicU64,
-    errors: AtomicU64,
-    latency: Mutex<Histogram>,
+    metrics: ServeMetrics,
 }
 
 impl Engine {
     /// An engine with the given configuration and an empty cache.
     pub fn new(config: EngineConfig) -> Engine {
+        let cache = TopologyCache::with_capacity(config.cache_capacity);
         Engine {
             config,
-            cache: TopologyCache::new(),
-            requests: AtomicU64::new(0),
-            ok: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            latency: Mutex::new(Histogram::new()),
+            cache,
+            metrics: ServeMetrics::new(),
         }
     }
 
     /// The configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The live metrics bundle.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
     }
 
     /// Parses and answers one request line. Never panics on input;
@@ -134,16 +138,54 @@ impl Engine {
 
     /// Counter + latency snapshot.
     pub fn stats(&self) -> EngineStats {
-        let hist = self.latency.lock().expect("latency lock poisoned");
+        let hist = self.metrics.latency_micros.merged();
         EngineStats {
-            requests: self.requests.load(Ordering::Relaxed),
-            ok: self.ok.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
+            requests: self.metrics.requests.value(),
+            ok: self.metrics.ok.value(),
+            errors: self.metrics.errors(),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
+            cache_evictions: self.cache.evictions(),
             p50_micros: if hist.is_empty() { 0 } else { hist.p50() },
             p99_micros: if hist.is_empty() { 0 } else { hist.p99() },
         }
+    }
+
+    /// The one-line stderr stats form shared by the exit report, the
+    /// interval snapshot, and the `SIGUSR1` dump.
+    pub fn stats_line(&self) -> String {
+        let stats = self.stats();
+        format!(
+            "{} requests ({} ok, {} errors), cache {} hits / {} misses / {} evictions \
+             ({} schedules, ~{} bytes), p50 {}us p99 {}us",
+            stats.requests,
+            stats.ok,
+            stats.errors,
+            stats.cache_hits,
+            stats.cache_misses,
+            stats.cache_evictions,
+            self.cache.len(),
+            self.cache.approx_bytes(),
+            stats.p50_micros,
+            stats.p99_micros,
+        )
+    }
+
+    /// Syncs externally-tracked totals (cache counters, memory gauges)
+    /// into the registry and renders the Prometheus text exposition.
+    pub fn render_metrics(&self) -> String {
+        self.metrics.cache_hits.sync_total(self.cache.hits());
+        self.metrics.cache_misses.sync_total(self.cache.misses());
+        self.metrics
+            .cache_evictions
+            .sync_total(self.cache.evictions());
+        self.metrics
+            .cache_entries
+            .set(i64::try_from(self.cache.len()).unwrap_or(i64::MAX));
+        self.metrics
+            .cache_bytes
+            .set(i64::try_from(self.cache.approx_bytes()).unwrap_or(i64::MAX));
+        self.metrics.registry().render()
     }
 
     /// Number of schedules currently cached.
@@ -152,19 +194,14 @@ impl Engine {
     }
 
     fn note(&self, response: &Response, elapsed: Duration) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.metrics.requests.inc();
         match response {
-            Response::Ok(_) => {
-                self.ok.fetch_add(1, Ordering::Relaxed);
-            }
-            Response::Error { .. } => {
-                self.errors.fetch_add(1, Ordering::Relaxed);
-            }
-            Response::Shutdown { .. } => {}
+            Response::Ok(_) => self.metrics.ok.inc(),
+            Response::Error { error, .. } => self.metrics.note_error(error.kind),
+            Response::Shutdown { .. } => self.metrics.shutdowns.inc(),
         }
-        self.latency
-            .lock()
-            .expect("latency lock poisoned")
+        self.metrics
+            .latency_micros
             .record(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
     }
 
@@ -194,17 +231,28 @@ impl Engine {
         }
         .map_err(|e| RequestError::internal(format!("schedule coloring failed: {e}")))?;
 
+        // The sweep histograms are fed by a side-band timing sink
+        // (DESIGN.md §3.11): spans are recorded *about* the sweep but
+        // never read by it, so telemetry cannot perturb a byte of the
+        // response or of the teed stream below.
+        let mut sink = MetricsTiming {
+            metrics: &self.metrics,
+        };
         let report = match &req.obs {
-            None => run_scheduled(&inst, &schedule, kind, &mut NullRecorder)?,
+            None => run_scheduled(&inst, &schedule, kind, &mut NullRecorder, &mut sink)?,
             Some(path) => {
                 let file = File::create(path).map_err(|e| {
                     RequestError::io(format!("cannot create obs tee {path:?}: {e}"))
                 })?;
                 // No provenance meta line: the stream must be
                 // byte-identical cold vs. warm and at every worker
-                // count, and the meta line carries host facts.
-                let mut rec = JsonlRecorder::new(BufWriter::new(file));
-                let report = run_scheduled(&inst, &schedule, kind, &mut rec);
+                // count, and the meta line carries host facts. Every
+                // line is tagged with the request id (already JSON
+                // text) as its `req` correlation field — a pure
+                // function of the request, so the tag is identical
+                // across engines, thread counts, and cache states.
+                let mut rec = JsonlRecorder::with_request(BufWriter::new(file), req.id.clone());
+                let report = run_scheduled(&inst, &schedule, kind, &mut rec, &mut sink);
                 let writer = rec
                     .finish()
                     .map_err(|e| RequestError::io(format!("obs tee {path:?}: {e}")))?;
@@ -278,19 +326,47 @@ impl Engine {
     }
 }
 
-fn run_scheduled<R: Recorder>(
+/// A [`TimingSink`] that folds sweep spans into the engine's metric
+/// histograms, in microseconds. Write-only from the solve's point of
+/// view — the sweep never reads it back.
+struct MetricsTiming<'a> {
+    metrics: &'a ServeMetrics,
+}
+
+impl TimingSink for MetricsTiming<'_> {
+    fn record_span(&mut self, scope: TimingScope, nanos: u64) {
+        match scope {
+            TimingScope::FixRun => self.metrics.sweep_micros.record(nanos / 1_000),
+            TimingScope::FixClass => self.metrics.class_micros.record(nanos / 1_000),
+            _ => {}
+        }
+    }
+}
+
+fn run_scheduled<R: Recorder, S: TimingSink>(
     inst: &Instance<f64>,
     schedule: &Schedule,
     kind: ScheduleKind,
     rec: &mut R,
+    sink: &mut S,
 ) -> Result<DistReport, RequestError> {
     let result = match kind {
-        ScheduleKind::Edge => {
-            distributed_fixer2_scheduled_recorded(inst, schedule, CriterionCheck::Enforce, 1, rec)
-        }
-        ScheduleKind::Distance2 => {
-            distributed_fixer3_scheduled_recorded(inst, schedule, CriterionCheck::Enforce, 1, rec)
-        }
+        ScheduleKind::Edge => distributed_fixer2_scheduled_traced(
+            inst,
+            schedule,
+            CriterionCheck::Enforce,
+            1,
+            rec,
+            sink,
+        ),
+        ScheduleKind::Distance2 => distributed_fixer3_scheduled_traced(
+            inst,
+            schedule,
+            CriterionCheck::Enforce,
+            1,
+            rec,
+            sink,
+        ),
     };
     result.map_err(|e| match e {
         DistError::Fixer(f) => RequestError::out_of_regime(f.to_string()),

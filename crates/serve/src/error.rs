@@ -32,6 +32,19 @@ pub enum ErrorKind {
 }
 
 impl ErrorKind {
+    /// Every kind, in wire-name order. Used to pre-register one
+    /// labelled metrics counter per kind so the exposition always
+    /// lists all error series, even at zero.
+    pub const ALL: [ErrorKind; 7] = [
+        ErrorKind::Parse,
+        ErrorKind::Invalid,
+        ErrorKind::Oversized,
+        ErrorKind::OutOfRegime,
+        ErrorKind::Timeout,
+        ErrorKind::Io,
+        ErrorKind::Internal,
+    ];
+
     /// The wire name of the kind.
     pub fn as_str(self) -> &'static str {
         match self {

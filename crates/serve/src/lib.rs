@@ -26,6 +26,7 @@
 pub mod cache;
 pub mod engine;
 pub mod error;
+pub mod metrics;
 pub mod request;
 pub mod response;
 pub mod server;
@@ -33,6 +34,7 @@ pub mod server;
 pub use cache::TopologyCache;
 pub use engine::{Engine, EngineConfig, EngineStats};
 pub use error::{ErrorKind, RequestError};
+pub use metrics::{spawn_telemetry, ServeMetrics, TelemetryConfig, TelemetryHandle};
 pub use request::{JsonEvent, JsonInstance, JsonVariable, Payload, Request, SolveRequest};
 pub use response::{OkResponse, Response};
 pub use server::{serve, ServeConfig, ServeSummary};

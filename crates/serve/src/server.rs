@@ -192,16 +192,32 @@ fn process_batch(
     threads: usize,
     max_line_bytes: usize,
 ) -> Vec<Response> {
-    let answer = |item: &Item| match item {
-        Item::Line(line) => engine.solve_line(line),
-        Item::Oversized => Response::error(
-            "null",
-            RequestError::oversized(format!("request line exceeds {max_line_bytes} bytes")),
-        ),
-        Item::BadUtf8 => Response::error(
-            "null",
-            RequestError::parse("request line is not valid UTF-8"),
-        ),
+    // Queue-depth and in-flight-bytes gauges are observability only:
+    // written around each solve, read by the scrape endpoint, never by
+    // the solving path.
+    let depth = &engine.metrics().queue_depth;
+    let inflight = &engine.metrics().inflight_bytes;
+    depth.set(i64::try_from(batch.len()).unwrap_or(i64::MAX));
+    let answer = |item: &Item| {
+        let bytes = match item {
+            Item::Line(line) => i64::try_from(line.len()).unwrap_or(i64::MAX),
+            Item::Oversized | Item::BadUtf8 => 0,
+        };
+        inflight.add(bytes);
+        let response = match item {
+            Item::Line(line) => engine.solve_line(line),
+            Item::Oversized => Response::error(
+                "null",
+                RequestError::oversized(format!("request line exceeds {max_line_bytes} bytes")),
+            ),
+            Item::BadUtf8 => Response::error(
+                "null",
+                RequestError::parse("request line is not valid UTF-8"),
+            ),
+        };
+        inflight.add(-bytes);
+        depth.add(-1);
+        response
     };
     let workers = lll_local::effective_workers(threads, batch.len());
     if workers <= 1 {

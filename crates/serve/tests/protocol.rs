@@ -8,10 +8,12 @@
 //! test doubles as a canary for accidental nondeterminism (thread
 //! counts, cache state, or timing leaking into responses).
 
-use std::io::Write;
+use std::io::{BufRead, BufReader, Write};
 use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
 
 const BIN: &str = env!("CARGO_BIN_EXE_lll-serve");
+const SCRAPE_BIN: &str = env!("CARGO_BIN_EXE_lll-metrics-scrape");
 
 /// Runs the daemon with `args`, writes `input` to stdin, closes it,
 /// and returns (stdout lines, exit code).
@@ -189,6 +191,121 @@ fn eof_without_requests_is_clean() {
     let (lines, code) = run(&[], "");
     assert_eq!(code, 0);
     assert!(lines.is_empty());
+}
+
+/// Scrapes the daemon's metrics socket with the workspace's own
+/// scrape binary, retrying briefly while the socket comes up.
+fn scrape(socket: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let out = Command::new(SCRAPE_BIN)
+            .arg(socket)
+            .output()
+            .expect("spawn lll-metrics-scrape");
+        if out.status.code() == Some(0) {
+            return String::from_utf8(out.stdout).expect("exposition is UTF-8");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "metrics socket {socket} never came up: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn sample(exposition: &str, series: &str) -> i64 {
+    exposition
+        .lines()
+        .find(|l| l.strip_prefix(series).is_some_and(|r| r.starts_with(' ')))
+        .unwrap_or_else(|| panic!("exposition has no series {series:?}:\n{exposition}"))
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .expect("integer sample")
+}
+
+/// Live-scrape test: drive the daemon with a mixed batch, scrape the
+/// `--metrics` socket mid-session, and pin the exported counters
+/// against the known per-request outcomes. The response lines
+/// themselves must be exactly the no-telemetry bytes.
+#[test]
+fn metrics_socket_pins_per_request_counters() {
+    let dir = std::env::temp_dir().join(format!("lll-serve-metrics-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let socket = dir.join("metrics.sock");
+    let socket = socket.to_str().expect("utf-8 path");
+
+    let mut child = Command::new(BIN)
+        .args(["--batch", "1", "--metrics", socket, "--cache-capacity", "8"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn lll-serve");
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut read_line = || {
+        let mut line = String::new();
+        stdout.read_line(&mut line).expect("read response");
+        line
+    };
+
+    // 2 ok solves (same shape: 1 miss + 1 hit), 1 parse error, 1
+    // timeout error — answered before we scrape, so the counters are
+    // settled.
+    let ok_req = r#"{"id":"q0","dimacs":"p cnf 2 2\n1 2 0\n-1 2 0\n"}"#;
+    let expected_ok = concat!(
+        r#"{"id":"q0","status":"ok","assignment":[0,1],"steps":2,"rounds":3,"#,
+        r#""coloring_rounds":0,"classes":2,"violated":0,"fingerprint":"0f869412e0fcd667","#,
+        r#""provenance":"schema=1 engine=lll-serve/0.1.0 fixer=2 seed=5 nodes=2 edges=1 max_degree=1"}"#
+    );
+    for _ in 0..2 {
+        writeln!(stdin, "{ok_req}").expect("write request");
+        assert_eq!(
+            read_line().trim_end(),
+            expected_ok,
+            "telemetry changed bytes"
+        );
+    }
+    writeln!(stdin, "not json").expect("write request");
+    assert!(read_line().contains(r#""kind":"parse""#));
+    writeln!(
+        stdin,
+        r#"{{"id":"t","timeout_ms":0,"dimacs":"p cnf 2 2\n1 2 0\n-1 2 0\n"}}"#
+    )
+    .expect("write request");
+    assert!(read_line().contains(r#""kind":"timeout""#));
+
+    let text = scrape(socket);
+    assert_eq!(sample(&text, "lll_serve_requests_total"), 4);
+    assert_eq!(sample(&text, "lll_serve_ok_total"), 2);
+    assert_eq!(sample(&text, "lll_serve_errors_total{kind=\"parse\"}"), 1);
+    assert_eq!(sample(&text, "lll_serve_errors_total{kind=\"timeout\"}"), 1);
+    assert_eq!(
+        sample(&text, "lll_serve_errors_total{kind=\"internal\"}"),
+        0
+    );
+    // The timeout request still solves (the deadline check is
+    // cooperative), so it hits the cached schedule too: 1 miss, 2 hits.
+    assert_eq!(sample(&text, "lll_serve_cache_hits_total"), 2);
+    assert_eq!(sample(&text, "lll_serve_cache_misses_total"), 1);
+    assert_eq!(sample(&text, "lll_serve_cache_entries"), 1);
+    assert_eq!(sample(&text, "lll_serve_latency_micros_count"), 4);
+    // 3 solves ran a sweep (2 ok + the cooperative-timeout one).
+    assert_eq!(sample(&text, "lll_serve_sweep_micros_count"), 3);
+    assert!(sample(&text, "lll_serve_cache_bytes") > 0);
+    assert_eq!(sample(&text, "lll_serve_shutdowns_total"), 0);
+
+    writeln!(stdin, r#"{{"id":"bye","shutdown":true}}"#).expect("write request");
+    drop(stdin);
+    let status = child.wait().expect("daemon exit");
+    assert_eq!(status.code(), Some(0));
+    assert!(
+        !std::path::Path::new(socket).exists(),
+        "metrics socket not removed on shutdown"
+    );
 }
 
 #[test]
