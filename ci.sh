@@ -57,6 +57,33 @@ cargo run --release -q -p lll-obs --bin obs-report -- \
   diff "$tmp_obs/sweep_t1.jsonl" "$tmp_obs/sweep_t4.jsonl"
 rm -rf "$tmp_obs"
 
+echo "==> checkpoint/resume: differential battery + kill/resume smoke + E20 gate"
+cargo test -q -p lll-bench --test resume_differential
+tmp_ckpt="$(mktemp -d)"
+# Uninterrupted reference, then the same run aborted mid-stream (the
+# kill switch calls abort() after the 100th event — no flush, no
+# destructors, exactly a crash) and resumed in place at a different
+# worker count. The resumed file must be byte-identical to the
+# reference, and the offline verifier must agree the (prefix,
+# checkpoint, continuation) triple is coherent.
+./target/release/ckpt run --out "$tmp_ckpt/ref.jsonl" --n 256 --interval 8
+rc=0
+./target/release/ckpt run --out "$tmp_ckpt/killed.jsonl" --n 256 --interval 8 \
+  --kill-after-events 100 2>/dev/null || rc=$?
+test "$rc" -eq 134 # SIGABRT: the run really died mid-stream
+cp "$tmp_ckpt/killed.jsonl" "$tmp_ckpt/prefix.jsonl"
+./target/release/ckpt resume --out "$tmp_ckpt/killed.jsonl" --n 256 --interval 8 --threads 4
+cmp "$tmp_ckpt/ref.jsonl" "$tmp_ckpt/killed.jsonl"
+cargo run --release -q -p lll-obs --bin obs-report -- \
+  resume-check "$tmp_ckpt/prefix.jsonl" "$tmp_ckpt/killed.jsonl"
+rm -rf "$tmp_ckpt"
+# E20: a #checkpoint sidecar every N progress events must stay within
+# 1.05x of the uncheckpointed recorder (numeric-interval rows only; the
+# uninterrupted/resumed rows are wall-clock context, not a gate).
+cargo run --release -q -p lll-bench --bin tables -- --csv results E20
+awk -F, '!/^#/ && NR > 2 && $2 ~ /^[0-9]+$/ { if ($4 > 1.05) bad = 1 } END { exit bad }' \
+  results/e20_resume_overhead.csv
+
 echo "==> service mode: protocol + cache + parse + soak batteries"
 cargo test -q -p lll-serve
 LLL_DIFF_THREADS=2 cargo test -q -p lll-serve --test soak

@@ -745,6 +745,86 @@ fn main() {
         trace_experiment(&mut obs, "E19", rows.len());
     }
 
+    if wanted(&selected, "E20") {
+        println!("== E20: checkpoint/resume — sidecar overhead and recovery wall-clock ==");
+        let n = 512;
+        let overhead = ex::e20_resume_overhead(n, &[8, 64, 512]);
+        let wallclock = ex::e20_resume_wallclock(n, 8);
+        let uninterrupted = wallclock
+            .iter()
+            .find(|r| r.mode == "uninterrupted")
+            .expect("both modes reported")
+            .millis;
+        let mut csv: Vec<String> = overhead
+            .iter()
+            .map(|r| {
+                format!(
+                    "{},{},{:.3},{:.4},{},{}",
+                    r.n, r.interval, r.millis, r.overhead, r.checkpoints, r.bytes
+                )
+            })
+            .collect();
+        csv.extend(wallclock.iter().map(|r| {
+            format!(
+                "{},{},{:.3},{:.4},0,0",
+                r.n,
+                r.mode,
+                r.millis,
+                r.millis / uninterrupted
+            )
+        }));
+        write_csv(
+            "e20_resume_overhead.csv",
+            "n,row,millis,overhead,checkpoints,bytes",
+            &csv,
+        );
+        let rows: Vec<Vec<String>> = overhead
+            .iter()
+            .map(|r| {
+                vec![
+                    r.n.to_string(),
+                    r.interval.clone(),
+                    format!("{:.3}", r.millis),
+                    format!("{:.3}", r.overhead),
+                    r.checkpoints.to_string(),
+                    r.bytes.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "n",
+                    "interval",
+                    "millis",
+                    "overhead",
+                    "checkpoints",
+                    "bytes"
+                ],
+                &rows
+            )
+        );
+        let wrows: Vec<Vec<String>> = wallclock
+            .iter()
+            .map(|r| {
+                vec![
+                    r.n.to_string(),
+                    r.mode.clone(),
+                    format!("{:.3}", r.millis),
+                    format!("{:.3}", r.millis / uninterrupted),
+                    r.steps.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(&["n", "mode", "millis", "vs full", "steps"], &wrows)
+        );
+        println!("(recorded rank-2 sweep with #checkpoint sidecars every N progress events; the\n resumed row folds the surviving prefix and continues from the midpoint\n checkpoint, asserted byte-identical to the uninterrupted stream before any\n timing — CI gates the densest sidecar cadence at 1.05x)\n");
+        trace_experiment(&mut obs, "E20", overhead.len() + wallclock.len());
+    }
+
     if selected.contains("TRACE") {
         println!("== TRACE: recorded schedule-coloring workload (ring n = {TRACE_N}) ==");
         let mut timing = lll_obs::TimingRecorder::new();

@@ -17,8 +17,9 @@ use lll_apps::weak_splitting::{is_weak_splitting, weak_splitting_instance};
 use lll_core::dist::distributed_fg;
 use lll_core::dist::{
     distributed_fixer2, distributed_fixer2_audited, distributed_fixer2_parallel,
-    distributed_fixer2_recorded, distributed_fixer3, distributed_fixer3_audited,
-    distributed_fixer3_parallel, CriterionCheck, DistReport,
+    distributed_fixer2_recorded, distributed_fixer2_scheduled_recorded,
+    distributed_fixer2_scheduled_resumed, distributed_fixer3, distributed_fixer3_audited,
+    distributed_fixer3_parallel, CriterionCheck, DistReport, ResumeCursor, Schedule,
 };
 use lll_core::fg_criterion;
 use lll_core::orders::{run_fixer2_adaptive_worst, run_fixer3_adaptive_worst, StaticOrder};
@@ -1503,6 +1504,183 @@ pub fn e3_membership_spot_checks() -> (usize, usize) {
     (inside, outside)
 }
 
+/// E20 — checkpoint overhead: the recorded fixing sweep with
+/// `#checkpoint` sidecars every `interval` progress events, vs the
+/// same sweep with checkpointing off.
+#[derive(Debug, Clone)]
+pub struct ResumeOverheadRow {
+    /// Ring size (events of the generated instance).
+    pub n: usize,
+    /// Sidecar cadence: `"off"` (plain [`lll_obs::JsonlRecorder`],
+    /// exactly the unreplicated code path) or the progress-event
+    /// interval as a number.
+    pub interval: String,
+    /// Best-of-three wall-clock milliseconds of the recorded sweep.
+    pub millis: f64,
+    /// `millis` relative to the `"off"` row of the same `n`.
+    pub overhead: f64,
+    /// `#checkpoint` sidecar lines written in one pass.
+    pub checkpoints: usize,
+    /// JSONL bytes written per pass, sidecars included.
+    pub bytes: usize,
+}
+
+/// Runs the checkpoint-interval half of experiment E20: times
+/// [`record_sweep_workload`] streaming into an in-memory
+/// [`lll_obs::JsonlRecorder`] with checkpointing off, then with a
+/// `#checkpoint` sidecar every `interval` progress events for each
+/// requested interval. The acceptance target (EXPERIMENTS.md) is the
+/// densest interval within 1.05× of `"off"`: a sidecar is one rolling
+/// digest update plus one short line, never a stream rewrite.
+pub fn e20_resume_overhead(n: usize, intervals: &[u64]) -> Vec<ResumeOverheadRow> {
+    let count_checkpoints = |buf: &[u8]| {
+        String::from_utf8_lossy(buf)
+            .lines()
+            .filter(|l| l.starts_with(lll_obs::CHECKPOINT_PREFIX))
+            .count()
+    };
+    // Warm-up pass so the "off" flavor doesn't pay cold caches.
+    record_sweep_workload(n, 1, &mut lll_obs::NullRecorder);
+    let (off_bytes, off_millis) = best_of(3, || {
+        let mut rec = lll_obs::JsonlRecorder::new(Vec::with_capacity(1 << 20));
+        record_sweep_workload(n, 1, &mut rec);
+        rec.finish().expect("in-memory writer never fails").len()
+    });
+    let mut rows = vec![ResumeOverheadRow {
+        n,
+        interval: "off".to_owned(),
+        millis: off_millis,
+        overhead: 1.0,
+        checkpoints: 0,
+        bytes: off_bytes,
+    }];
+    for &interval in intervals {
+        let (buf, millis) = best_of(3, || {
+            let mut rec =
+                lll_obs::JsonlRecorder::new(Vec::with_capacity(1 << 20)).checkpoint_every(interval);
+            record_sweep_workload(n, 1, &mut rec);
+            rec.finish().expect("in-memory writer never fails")
+        });
+        rows.push(ResumeOverheadRow {
+            n,
+            interval: interval.to_string(),
+            millis,
+            overhead: millis / off_millis,
+            checkpoints: count_checkpoints(&buf),
+            bytes: buf.len(),
+        });
+    }
+    rows
+}
+
+/// E20 — resumed-vs-uninterrupted wall clock: what a mid-run kill
+/// actually costs at recovery time.
+#[derive(Debug, Clone)]
+pub struct ResumeWallClockRow {
+    /// Ring size (events of the generated instance).
+    pub n: usize,
+    /// `"uninterrupted"` (the whole checkpointed sweep) or `"resumed"`
+    /// (fold the surviving prefix, then continue from the midpoint
+    /// checkpoint to the end).
+    pub mode: String,
+    /// Best-of-three wall-clock milliseconds.
+    pub millis: f64,
+    /// Recorded steps covered by the timed portion (replayed steps
+    /// count for `"resumed"`: the fold is part of recovery).
+    pub steps: u64,
+}
+
+/// Runs the recovery half of experiment E20: records the checkpointed
+/// sweep once to fix the reference stream, kills it (logically) at the
+/// midpoint checkpoint, and times uninterrupted vs fold-plus-resume.
+/// Before any timing is reported the resumed continuation is asserted
+/// byte-identical to the reference suffix — the wall-clock comparison
+/// is only meaningful between runs that provably produce the same
+/// stream (DESIGN.md §3.12).
+///
+/// # Panics
+///
+/// Panics if the workload produces no midpoint checkpoint at the given
+/// `interval`, or if the resumed stream diverges from the reference.
+pub fn e20_resume_wallclock(n: usize, interval: u64) -> Vec<ResumeWallClockRow> {
+    use lll_obs::replay::RunState;
+
+    let g = ring(n);
+    let inst = random_rank2_instance(&g, 8, 0.9, 7);
+    let schedule =
+        Schedule::edge(inst.dependency_graph(), 5, 1).expect("schedule coloring converges");
+    let run_full = || {
+        let mut rec =
+            lll_obs::JsonlRecorder::new(Vec::with_capacity(1 << 20)).checkpoint_every(interval);
+        distributed_fixer2_scheduled_recorded(
+            &inst,
+            &schedule,
+            CriterionCheck::Enforce,
+            1,
+            &mut rec,
+        )
+        .expect("below threshold");
+        rec.finish().expect("in-memory writer never fails")
+    };
+    let full = run_full();
+    let text = String::from_utf8(full.clone()).expect("stream is utf-8");
+    let checkpoints: Vec<lll_obs::Checkpoint> = text
+        .lines()
+        .filter(|l| l.starts_with(lll_obs::CHECKPOINT_PREFIX))
+        .map(|l| lll_obs::Checkpoint::parse(l).expect("recorder writes valid sidecars"))
+        .collect();
+    assert!(
+        checkpoints.len() >= 2,
+        "workload too small for a midpoint checkpoint at interval {interval}"
+    );
+    let kill = checkpoints[checkpoints.len() / 2];
+    let cut = usize::try_from(kill.resume_offset()).expect("offset fits usize");
+    let prefix = &text[..cut];
+    let total_steps = checkpoints.last().expect("non-empty").step;
+    let run_resumed = || {
+        let (state, torn) = RunState::from_stream(prefix).expect("prefix folds cleanly");
+        assert!(torn.is_none(), "prefix cut at a checkpoint is never torn");
+        let cursor = ResumeCursor::from_run_state(&state).expect("prefix has a checkpoint");
+        let ck = state.last_checkpoint().expect("prefix has a checkpoint");
+        let mut tail =
+            lll_obs::JsonlRecorder::resumed(Vec::with_capacity(1 << 20), interval, &ck.checkpoint);
+        distributed_fixer2_scheduled_resumed(
+            &inst,
+            &schedule,
+            CriterionCheck::Enforce,
+            1,
+            &cursor,
+            &mut tail,
+        )
+        .expect("below threshold");
+        tail.finish().expect("in-memory writer never fails")
+    };
+    // Byte-identity first, timing after: prefix + continuation must be
+    // exactly the uninterrupted stream.
+    let mut rejoined = prefix.as_bytes().to_vec();
+    rejoined.extend_from_slice(&run_resumed());
+    assert_eq!(
+        rejoined, full,
+        "resumed continuation diverged from the uninterrupted stream"
+    );
+    let (_, full_millis) = best_of(3, run_full);
+    let (_, resumed_millis) = best_of(3, run_resumed);
+    vec![
+        ResumeWallClockRow {
+            n,
+            mode: "uninterrupted".to_owned(),
+            millis: full_millis,
+            steps: total_steps,
+        },
+        ResumeWallClockRow {
+            n,
+            mode: "resumed".to_owned(),
+            millis: resumed_millis,
+            steps: total_steps,
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1619,6 +1797,29 @@ mod tests {
         assert!(jsonl.bytes > 0);
         assert_eq!(null.events, 0);
         assert!((null.overhead - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn e20_checkpointing_adds_sidecars_not_events() {
+        let rows = e20_resume_overhead(96, &[8]);
+        assert_eq!(rows.len(), 2);
+        let off = rows.iter().find(|r| r.interval == "off").unwrap();
+        let on = rows.iter().find(|r| r.interval == "8").unwrap();
+        assert_eq!(off.checkpoints, 0);
+        assert!(on.checkpoints > 0, "{on:?}");
+        // Sidecars are the only extra bytes: the event stream itself is
+        // byte-identical with checkpointing on or off.
+        assert!(on.bytes > off.bytes, "sidecars occupy bytes");
+        assert!((off.overhead - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn e20_resumed_run_rejoins_the_reference_stream() {
+        // The byte-identity assertion lives inside the experiment; a
+        // divergence panics before any row is returned.
+        let rows = e20_resume_wallclock(96, 8);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.millis > 0.0 && r.steps > 0));
     }
 
     #[test]

@@ -70,6 +70,20 @@ pub enum DistError {
         /// Slots the supplied schedule actually carries.
         found: usize,
     },
+    /// A resumed run's recorded step prefix contradicts the schedule it
+    /// is replayed against — wrong schedule or instance, a prefix from a
+    /// different driver, or corrupt audit accounting. The resumed
+    /// drivers fail loudly rather than continue a stream they could not
+    /// reproduce byte for byte.
+    ResumeMismatch {
+        /// Index into the recorded step prefix at which replay failed
+        /// (`prefix.len()` for end-of-prefix accounting failures).
+        at: usize,
+        /// What the schedule expected at that point.
+        expected: String,
+        /// What the recorded prefix actually carried.
+        found: String,
+    },
 }
 
 impl fmt::Display for DistError {
@@ -80,6 +94,14 @@ impl fmt::Display for DistError {
             DistError::ScheduleMismatch { expected, found } => write!(
                 f,
                 "schedule mismatch: driver needs {expected} schedule slots, schedule has {found}"
+            ),
+            DistError::ResumeMismatch {
+                at,
+                expected,
+                found,
+            } => write!(
+                f,
+                "resume mismatch at recorded step {at}: expected {expected}, found {found}"
             ),
         }
     }
@@ -243,6 +265,233 @@ impl Schedule {
     }
 }
 
+/// Where to pick an interrupted fixing run back up: the recorded
+/// `(variable, value)` step prefix up to a durable `#checkpoint `
+/// sidecar, plus the stream accounting the resumed drivers need to
+/// continue the event stream byte for byte.
+///
+/// The fixers are pure functions of their applied step sequence, so the
+/// prefix alone determines the mid-run state exactly; the counters
+/// determine which bracketing/audit events the prefix already contains
+/// (and therefore must *not* be re-emitted). Build one from a folded
+/// [`RunState`](lll_obs::replay::RunState) via
+/// [`ResumeCursor::from_run_state`], or assemble the parts manually.
+#[derive(Debug, Clone, Copy)]
+pub struct ResumeCursor<'a> {
+    steps: &'a [(u64, u64)],
+    audits: u64,
+    fix_run_started: bool,
+}
+
+impl<'a> ResumeCursor<'a> {
+    /// A cursor from raw parts: the step prefix to replay, the number of
+    /// audit events the prefix already contains, and whether the prefix
+    /// contains the run's `fix_run_start` bracket (it does whenever the
+    /// checkpoint landed inside the fixing run).
+    pub fn new(steps: &'a [(u64, u64)], audits: u64, fix_run_started: bool) -> ResumeCursor<'a> {
+        ResumeCursor {
+            steps,
+            audits,
+            fix_run_started,
+        }
+    }
+
+    /// The cursor at `state`'s last verified checkpoint, or `None` if
+    /// the folded prefix contains no `#checkpoint ` sidecar (or the
+    /// fold is short of the sidecar's step count, which means the
+    /// caller folded the wrong stream).
+    ///
+    /// `state` should be the fold of the durable prefix being resumed —
+    /// the bytes up to
+    /// [`Checkpoint::resume_offset`](lll_obs::Checkpoint::resume_offset).
+    /// Folding a *longer* stream also works: the cursor slices the step
+    /// list back to the checkpoint.
+    pub fn from_run_state(state: &'a lll_obs::replay::RunState) -> Option<ResumeCursor<'a>> {
+        let rp = state.last_checkpoint()?;
+        let n = usize::try_from(rp.checkpoint.step).ok()?;
+        Some(ResumeCursor {
+            steps: state.steps().get(..n)?,
+            audits: rp.audits,
+            fix_run_started: rp.fix_runs > 0,
+        })
+    }
+
+    /// The recorded step prefix this cursor replays.
+    pub fn steps(&self) -> &'a [(u64, u64)] {
+        self.steps
+    }
+}
+
+fn resume_mismatch(at: usize, expected: impl Into<String>, found: impl Into<String>) -> DistError {
+    DistError::ResumeMismatch {
+        at,
+        expected: expected.into(),
+        found: found.into(),
+    }
+}
+
+/// The replay phase of a resumed sweep: walks the recorded step prefix
+/// through the schedule's class order, verifying each recorded step
+/// against the variable the schedule puts there, and hands the run over
+/// to live execution at the exact step where the prefix ends.
+struct ReplayPhase<'a> {
+    steps: &'a [(u64, u64)],
+    pos: usize,
+    /// Audit events the prefix already contains.
+    audits: u64,
+    /// Non-empty classes fully replayed so far.
+    classes_replayed: u64,
+}
+
+impl ReplayPhase<'_> {
+    /// Replays one scheduled class from the prefix. Returns `false`
+    /// while the prefix extends beyond the class (the class was fully
+    /// replayed, nothing live happened) and `true` once the prefix is
+    /// exhausted — at the class boundary or inside the class, in which
+    /// case the in-class remainder has been fixed live (sequentially:
+    /// identical event order to the shard-merged emission), the
+    /// boundary audit emitted, and `auditor` rebuilt for the remaining
+    /// classes.
+    ///
+    /// Rebuilding the auditor by a full scan is sound because the
+    /// incremental cache is a pure function of `(partial, φ)` — see
+    /// [`ClassFixer::fresh_auditor`]. The boundary class's audit
+    /// verdict therefore equals the uninterrupted run's, whose cache
+    /// described the same state.
+    fn replay_class<T: Num, F: ClassFixer<T>, R: Recorder>(
+        &mut self,
+        inst: &Instance<T>,
+        fixer: &mut F,
+        class_vars: &[usize],
+        audit: Option<(&T, &T)>,
+        auditor: &mut Option<IncrementalAuditor<T>>,
+        rec: &mut R,
+    ) -> Result<bool, DistError> {
+        let take = (self.steps.len() - self.pos).min(class_vars.len());
+        for &x in &class_vars[..take] {
+            let (rx, ry) = self.steps[self.pos];
+            if rx != x as u64 {
+                return Err(resume_mismatch(
+                    self.pos,
+                    format!("variable {x} (schedule order)"),
+                    format!("variable {rx}"),
+                ));
+            }
+            let k = inst.variable(x).num_values();
+            if ry >= k as u64 {
+                return Err(resume_mismatch(
+                    self.pos,
+                    format!("a value below {k} for variable {x}"),
+                    format!("value {ry}"),
+                ));
+            }
+            fixer.replay(x, ry as usize).map_err(DistError::Fixer)?;
+            self.pos += 1;
+        }
+        let boundary_exact = take == class_vars.len();
+        if boundary_exact {
+            self.classes_replayed += 1;
+            if self.pos < self.steps.len() {
+                return Ok(false);
+            }
+        } else {
+            // The prefix ends inside this class: the rest of the class
+            // runs live. Sequential cell order equals the sharded
+            // drivers' static merge order, so the continued stream
+            // stays byte-identical at every thread count.
+            fixer
+                .fix_cell(&class_vars[take..], rec)
+                .map_err(DistError::Fixer)?;
+        }
+        if let Some((p_bound, tol)) = audit {
+            let rebuilt = fixer.fresh_auditor(p_bound, tol);
+            // Checkpoints land only after event lines, and the class
+            // audit event follows the class's last fix_step — so a
+            // prefix ending exactly at a class boundary may still owe
+            // that class's audit event.
+            let pending = if boundary_exact {
+                if self.audits == self.classes_replayed {
+                    false
+                } else if self.audits + 1 == self.classes_replayed {
+                    true
+                } else {
+                    return Err(resume_mismatch(
+                        self.pos,
+                        format!(
+                            "{} or {} audit events for {} replayed classes",
+                            self.classes_replayed - 1,
+                            self.classes_replayed,
+                            self.classes_replayed
+                        ),
+                        format!("{} audit events", self.audits),
+                    ));
+                }
+            } else {
+                if self.audits != self.classes_replayed {
+                    return Err(resume_mismatch(
+                        self.pos,
+                        format!(
+                            "{} audit events for {} replayed classes",
+                            self.classes_replayed, self.classes_replayed
+                        ),
+                        format!("{} audit events", self.audits),
+                    ));
+                }
+                true
+            };
+            if pending {
+                let report = rebuilt.report();
+                let step = fixer.steps_done() - 1;
+                let variable = *class_vars.last().expect("class is non-empty");
+                if R::ENABLED {
+                    rec.record(&audit_event(step, variable, &report));
+                }
+                if !report.holds() {
+                    return Err(DistError::Fixer(FixerError::PStarViolated {
+                        step,
+                        variable,
+                        pair_violations: report.pair_violations,
+                        prob_violations: report.prob_violations,
+                    }));
+                }
+            }
+            *auditor = Some(rebuilt);
+        }
+        Ok(true)
+    }
+}
+
+/// Sets up the replay phase for a driver: validates the cursor's audit
+/// accounting against the driver's mode and decides whether the
+/// `fix_run_start` bracket must still be emitted. Returns
+/// `(replay, emit_fix_run_start)`.
+fn begin_replay<'a>(
+    resume: Option<&ResumeCursor<'a>>,
+    audited: bool,
+) -> Result<(Option<ReplayPhase<'a>>, bool), DistError> {
+    let Some(cursor) = resume else {
+        return Ok((None, true));
+    };
+    if !audited && cursor.audits != 0 {
+        return Err(resume_mismatch(
+            cursor.steps.len(),
+            "no audit events (unaudited driver)",
+            format!("{} audit events", cursor.audits),
+        ));
+    }
+    let replay = if cursor.steps.is_empty() {
+        None
+    } else {
+        Some(ReplayPhase {
+            steps: cursor.steps,
+            pos: 0,
+            audits: cursor.audits,
+            classes_replayed: 0,
+        })
+    };
+    Ok((replay, !cursor.fix_run_started))
+}
+
 /// Distributed rank-2 LLL (Corollary 1.2): edge-color the dependency
 /// graph, then fix each color class of variables in parallel.
 ///
@@ -369,6 +618,7 @@ pub fn distributed_fixer2_scheduled<T: Num>(
         check,
         threads,
         None,
+        None,
         &mut NullRecorder,
         &mut NullTiming,
     )
@@ -388,7 +638,16 @@ pub fn distributed_fixer2_scheduled_recorded<T: Num, R: Recorder>(
     threads: usize,
     rec: &mut R,
 ) -> Result<DistReport, DistError> {
-    fixer2_scheduled_driver(inst, schedule, check, threads, None, rec, &mut NullTiming)
+    fixer2_scheduled_driver(
+        inst,
+        schedule,
+        check,
+        threads,
+        None,
+        None,
+        rec,
+        &mut NullTiming,
+    )
 }
 
 /// [`distributed_fixer2_scheduled_recorded`] with a side-band timing
@@ -411,7 +670,79 @@ pub fn distributed_fixer2_scheduled_traced<T: Num, R: Recorder, S: TimingSink>(
     rec: &mut R,
     sink: &mut S,
 ) -> Result<DistReport, DistError> {
-    fixer2_scheduled_driver(inst, schedule, check, threads, None, rec, sink)
+    fixer2_scheduled_driver(inst, schedule, check, threads, None, None, rec, sink)
+}
+
+/// [`distributed_fixer2_scheduled_recorded`] resumed from a recorded
+/// checkpoint: replays `cursor`'s step prefix through the schedule
+/// (verifying every recorded step against the variable the schedule
+/// puts there), then continues live from the exact step where the
+/// prefix ends. The events written to `rec` are precisely the
+/// uninterrupted run's stream minus the prefix — concatenating the
+/// durable prefix bytes with `rec`'s output reproduces the
+/// uninterrupted stream byte for byte, at every `threads` count
+/// (DESIGN.md §3.12). The returned report bills the *whole* logical
+/// run, identical to the uninterrupted report.
+///
+/// # Errors
+///
+/// As [`distributed_fixer2_scheduled`], plus
+/// [`DistError::ResumeMismatch`] if the prefix contradicts the schedule
+/// (wrong schedule/instance, or a prefix from an audited run).
+pub fn distributed_fixer2_scheduled_resumed<T: Num, R: Recorder>(
+    inst: &Instance<T>,
+    schedule: &Schedule,
+    check: CriterionCheck,
+    threads: usize,
+    cursor: &ResumeCursor<'_>,
+    rec: &mut R,
+) -> Result<DistReport, DistError> {
+    fixer2_scheduled_driver(
+        inst,
+        schedule,
+        check,
+        threads,
+        None,
+        Some(cursor),
+        rec,
+        &mut NullTiming,
+    )
+}
+
+/// The audited counterpart of [`distributed_fixer2_scheduled_resumed`]:
+/// resumes a stream produced by an *audited* recorded run. Audit events
+/// already contained in the prefix (per `cursor`) are not re-emitted;
+/// the audit cache is rebuilt by a full scan at the live boundary,
+/// which equals the incremental cache the uninterrupted run carried
+/// there — so every remaining verdict, and the continued stream, are
+/// identical to the uninterrupted run's.
+///
+/// # Errors
+///
+/// As [`distributed_fixer2_audited`], plus
+/// [`DistError::ResumeMismatch`] if the prefix contradicts the schedule
+/// or its audit accounting.
+#[allow(clippy::too_many_arguments)]
+pub fn distributed_fixer2_scheduled_resumed_audited<T: Num, R: Recorder>(
+    inst: &Instance<T>,
+    schedule: &Schedule,
+    check: CriterionCheck,
+    threads: usize,
+    p_bound: &T,
+    tol: &T,
+    cursor: &ResumeCursor<'_>,
+    rec: &mut R,
+) -> Result<DistReport, DistError> {
+    fixer2_scheduled_driver(
+        inst,
+        schedule,
+        check,
+        threads,
+        Some((p_bound, tol)),
+        Some(cursor),
+        rec,
+        &mut NullTiming,
+    )
 }
 
 fn fixer2_driver<T: Num, R: Recorder>(
@@ -423,15 +754,26 @@ fn fixer2_driver<T: Num, R: Recorder>(
     rec: &mut R,
 ) -> Result<DistReport, DistError> {
     let schedule = Schedule::edge(inst.dependency_graph(), seed, threads)?;
-    fixer2_scheduled_driver(inst, &schedule, check, threads, audit, rec, &mut NullTiming)
+    fixer2_scheduled_driver(
+        inst,
+        &schedule,
+        check,
+        threads,
+        audit,
+        None,
+        rec,
+        &mut NullTiming,
+    )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn fixer2_scheduled_driver<T: Num, R: Recorder, S: TimingSink>(
     inst: &Instance<T>,
     schedule: &Schedule,
     check: CriterionCheck,
     threads: usize,
     audit: Option<(&T, &T)>,
+    resume: Option<&ResumeCursor<'_>>,
     rec: &mut R,
     sink: &mut S,
 ) -> Result<DistReport, DistError> {
@@ -478,12 +820,19 @@ fn fixer2_scheduled_driver<T: Num, R: Recorder, S: TimingSink>(
         }
     }
 
-    if R::ENABLED {
+    let (mut replay, emit_start) = begin_replay(resume, audit.is_some())?;
+    if R::ENABLED && emit_start {
         rec.record(&fix_run_start_event(inst));
     }
-    let mut auditor = audit.map(|(p_bound, tol)| {
-        IncrementalAuditor::new(inst, fixer.partial(), fixer.phi(), p_bound, tol)
-    });
+    let mut auditor = if replay.is_some() {
+        // Rebuilt at the live boundary (see ReplayPhase::replay_class);
+        // scanning here would describe pre-replay state.
+        None
+    } else {
+        audit.map(|(p_bound, tol)| {
+            IncrementalAuditor::new(inst, fixer.partial(), fixer.phi(), p_bound, tol)
+        })
+    };
 
     let run_started = span_start::<S>();
     for cells in &classes {
@@ -493,6 +842,12 @@ fn fixer2_scheduled_driver<T: Num, R: Recorder, S: TimingSink>(
         let class_started = span_start::<S>();
         let class_vars: Vec<usize> = cells.iter().flatten().copied().collect();
         assert_no_shared_events_across_edges(inst, &class_vars);
+        if let Some(rp) = replay.as_mut() {
+            if rp.replay_class(inst, &mut fixer, &class_vars, audit, &mut auditor, rec)? {
+                replay = None;
+            }
+            continue;
+        }
         let deltas = fix_class_sharded(&mut fixer, cells, threads, audit, rec)?;
         audit_class(&mut auditor, &deltas, &fixer, &class_vars, rec)?;
         if S::ENABLED {
@@ -501,6 +856,16 @@ fn fixer2_scheduled_driver<T: Num, R: Recorder, S: TimingSink>(
     }
     if S::ENABLED {
         sink.record_span(TimingScope::FixRun, span_nanos(run_started));
+    }
+    if let Some(rp) = replay {
+        return Err(resume_mismatch(
+            rp.pos,
+            "end of the schedule",
+            format!(
+                "{} recorded steps beyond the schedule",
+                rp.steps.len() - rp.pos
+            ),
+        ));
     }
 
     finish_driver(fixer.into_report(), coloring_rounds, palette, 1, rec)
@@ -634,6 +999,7 @@ pub fn distributed_fixer3_scheduled<T: Num>(
         check,
         threads,
         None,
+        None,
         &mut NullRecorder,
         &mut NullTiming,
     )
@@ -653,7 +1019,16 @@ pub fn distributed_fixer3_scheduled_recorded<T: Num, R: Recorder>(
     threads: usize,
     rec: &mut R,
 ) -> Result<DistReport, DistError> {
-    fixer3_scheduled_driver(inst, schedule, check, threads, None, rec, &mut NullTiming)
+    fixer3_scheduled_driver(
+        inst,
+        schedule,
+        check,
+        threads,
+        None,
+        None,
+        rec,
+        &mut NullTiming,
+    )
 }
 
 /// [`distributed_fixer3_scheduled_recorded`] with a side-band timing
@@ -675,7 +1050,70 @@ pub fn distributed_fixer3_scheduled_traced<T: Num, R: Recorder, S: TimingSink>(
     rec: &mut R,
     sink: &mut S,
 ) -> Result<DistReport, DistError> {
-    fixer3_scheduled_driver(inst, schedule, check, threads, None, rec, sink)
+    fixer3_scheduled_driver(inst, schedule, check, threads, None, None, rec, sink)
+}
+
+/// The rank-3 counterpart of [`distributed_fixer2_scheduled_resumed`]:
+/// resumes a recorded rank-3 sweep from a checkpoint, continuing the
+/// stream byte for byte at every `threads` count. Replay reproduces the
+/// partial assignment exactly, so the per-class still-unfixed cell
+/// membership the live phase computes equals the uninterrupted run's.
+///
+/// # Errors
+///
+/// As [`distributed_fixer3_scheduled`], plus
+/// [`DistError::ResumeMismatch`] if the prefix contradicts the
+/// schedule.
+pub fn distributed_fixer3_scheduled_resumed<T: Num, R: Recorder>(
+    inst: &Instance<T>,
+    schedule: &Schedule,
+    check: CriterionCheck,
+    threads: usize,
+    cursor: &ResumeCursor<'_>,
+    rec: &mut R,
+) -> Result<DistReport, DistError> {
+    fixer3_scheduled_driver(
+        inst,
+        schedule,
+        check,
+        threads,
+        None,
+        Some(cursor),
+        rec,
+        &mut NullTiming,
+    )
+}
+
+/// The audited counterpart of [`distributed_fixer3_scheduled_resumed`]
+/// (see [`distributed_fixer2_scheduled_resumed_audited`] for the audit
+/// rebuild argument).
+///
+/// # Errors
+///
+/// As [`distributed_fixer3_audited`], plus
+/// [`DistError::ResumeMismatch`] if the prefix contradicts the schedule
+/// or its audit accounting.
+#[allow(clippy::too_many_arguments)]
+pub fn distributed_fixer3_scheduled_resumed_audited<T: Num, R: Recorder>(
+    inst: &Instance<T>,
+    schedule: &Schedule,
+    check: CriterionCheck,
+    threads: usize,
+    p_bound: &T,
+    tol: &T,
+    cursor: &ResumeCursor<'_>,
+    rec: &mut R,
+) -> Result<DistReport, DistError> {
+    fixer3_scheduled_driver(
+        inst,
+        schedule,
+        check,
+        threads,
+        Some((p_bound, tol)),
+        Some(cursor),
+        rec,
+        &mut NullTiming,
+    )
 }
 
 fn fixer3_driver<T: Num, R: Recorder>(
@@ -687,15 +1125,26 @@ fn fixer3_driver<T: Num, R: Recorder>(
     rec: &mut R,
 ) -> Result<DistReport, DistError> {
     let schedule = Schedule::distance2(inst.dependency_graph(), seed, threads)?;
-    fixer3_scheduled_driver(inst, &schedule, check, threads, audit, rec, &mut NullTiming)
+    fixer3_scheduled_driver(
+        inst,
+        &schedule,
+        check,
+        threads,
+        audit,
+        None,
+        rec,
+        &mut NullTiming,
+    )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn fixer3_scheduled_driver<T: Num, R: Recorder, S: TimingSink>(
     inst: &Instance<T>,
     schedule: &Schedule,
     check: CriterionCheck,
     threads: usize,
     audit: Option<(&T, &T)>,
+    resume: Option<&ResumeCursor<'_>>,
     rec: &mut R,
     sink: &mut S,
 ) -> Result<DistReport, DistError> {
@@ -730,12 +1179,19 @@ fn fixer3_scheduled_driver<T: Num, R: Recorder, S: TimingSink>(
         classes[c].push(v);
     }
 
-    if R::ENABLED {
+    let (mut replay, emit_start) = begin_replay(resume, audit.is_some())?;
+    if R::ENABLED && emit_start {
         rec.record(&fix_run_start_event(inst));
     }
-    let mut auditor = audit.map(|(p_bound, tol)| {
-        IncrementalAuditor::new(inst, fixer.partial(), fixer.phi(), p_bound, tol)
-    });
+    let mut auditor = if replay.is_some() {
+        // Rebuilt at the live boundary (see ReplayPhase::replay_class);
+        // scanning here would describe pre-replay state.
+        None
+    } else {
+        audit.map(|(p_bound, tol)| {
+            IncrementalAuditor::new(inst, fixer.partial(), fixer.phi(), p_bound, tol)
+        })
+    };
 
     let run_started = span_start::<S>();
     for class in &classes {
@@ -744,7 +1200,10 @@ fn fixer3_scheduled_driver<T: Num, R: Recorder, S: TimingSink>(
         // Cells: one class node's still-unfixed incident variables.
         // Membership is stable while the class runs — the witness above
         // guarantees no other cell of the class touches these events, so
-        // the filter can be evaluated up front.
+        // the filter can be evaluated up front. During replay the same
+        // expression holds: replayed steps update the partial
+        // assignment exactly like live ones, so each class sees the
+        // membership the uninterrupted run saw.
         let cells: Vec<Vec<usize>> = class
             .iter()
             .map(|&v| {
@@ -760,6 +1219,12 @@ fn fixer3_scheduled_driver<T: Num, R: Recorder, S: TimingSink>(
             continue;
         }
         let class_vars: Vec<usize> = cells.iter().flatten().copied().collect();
+        if let Some(rp) = replay.as_mut() {
+            if rp.replay_class(inst, &mut fixer, &class_vars, audit, &mut auditor, rec)? {
+                replay = None;
+            }
+            continue;
+        }
         let deltas = fix_class_sharded(&mut fixer, &cells, threads, audit, rec)?;
         audit_class(&mut auditor, &deltas, &fixer, &class_vars, rec)?;
         if S::ENABLED {
@@ -768,6 +1233,16 @@ fn fixer3_scheduled_driver<T: Num, R: Recorder, S: TimingSink>(
     }
     if S::ENABLED {
         sink.record_span(TimingScope::FixRun, span_nanos(run_started));
+    }
+    if let Some(rp) = replay {
+        return Err(resume_mismatch(
+            rp.pos,
+            "end of the schedule",
+            format!(
+                "{} recorded steps beyond the schedule",
+                rp.steps.len() - rp.pos
+            ),
+        ));
     }
 
     finish_driver(fixer.into_report(), coloring_rounds, palette, 0, rec)
@@ -1189,6 +1664,276 @@ mod tests {
             assert_eq!(warm3.rounds, cold3.rounds);
             assert_eq!(warm3.coloring_rounds, cold3.coloring_rounds);
         }
+    }
+
+    fn checkpoints_in(text: &str) -> Vec<lll_obs::Checkpoint> {
+        text.lines()
+            .filter(|l| l.starts_with(lll_obs::CHECKPOINT_PREFIX))
+            .map(|l| lll_obs::Checkpoint::parse(l).unwrap())
+            .collect()
+    }
+
+    fn cursor_for(prefix: &[u8]) -> (lll_obs::replay::RunState, ()) {
+        let (state, torn) =
+            lll_obs::replay::RunState::from_stream(std::str::from_utf8(prefix).unwrap()).unwrap();
+        assert_eq!(torn, None, "a checkpoint prefix has no torn tail");
+        (state, ())
+    }
+
+    #[test]
+    fn resumed_runs_continue_checkpointed_streams_byte_for_byte() {
+        let interval = 3;
+        let inst2 = ring_instance(64, 3);
+        let sched2 = Schedule::edge(inst2.dependency_graph(), 5, 1).unwrap();
+        let mut rec = lll_obs::JsonlRecorder::new(Vec::new()).checkpoint_every(interval);
+        let full2 = distributed_fixer2_scheduled_recorded(
+            &inst2,
+            &sched2,
+            CriterionCheck::Enforce,
+            1,
+            &mut rec,
+        )
+        .unwrap();
+        let bytes2 = rec.finish().unwrap();
+
+        let inst3 = hyper_ring_instance(32, 3);
+        let sched3 = Schedule::distance2(inst3.dependency_graph(), 7, 1).unwrap();
+        let mut rec = lll_obs::JsonlRecorder::new(Vec::new()).checkpoint_every(interval);
+        let full3 = distributed_fixer3_scheduled_recorded(
+            &inst3,
+            &sched3,
+            CriterionCheck::Enforce,
+            1,
+            &mut rec,
+        )
+        .unwrap();
+        let bytes3 = rec.finish().unwrap();
+
+        for (bytes, rank2) in [(&bytes2, true), (&bytes3, false)] {
+            let cks = checkpoints_in(std::str::from_utf8(bytes).unwrap());
+            assert!(
+                cks.len() >= 3,
+                "want several checkpoints, got {}",
+                cks.len()
+            );
+            for ck in &cks {
+                let prefix = &bytes[..ck.resume_offset() as usize];
+                let (state, ()) = cursor_for(prefix);
+                let cursor = ResumeCursor::from_run_state(&state).unwrap();
+                assert_eq!(cursor.steps().len() as u64, ck.step);
+                for t in [1usize, 2, 8] {
+                    let mut tail = lll_obs::JsonlRecorder::resumed(Vec::new(), interval, ck);
+                    let (rep, full) = if rank2 {
+                        (
+                            distributed_fixer2_scheduled_resumed(
+                                &inst2,
+                                &sched2,
+                                CriterionCheck::Enforce,
+                                t,
+                                &cursor,
+                                &mut tail,
+                            )
+                            .unwrap(),
+                            &full2,
+                        )
+                    } else {
+                        (
+                            distributed_fixer3_scheduled_resumed(
+                                &inst3,
+                                &sched3,
+                                CriterionCheck::Enforce,
+                                t,
+                                &cursor,
+                                &mut tail,
+                            )
+                            .unwrap(),
+                            &full3,
+                        )
+                    };
+                    let mut joined = prefix.to_vec();
+                    joined.extend_from_slice(&tail.finish().unwrap());
+                    assert_eq!(
+                        &joined, bytes,
+                        "stream diverged: threads {t}, checkpoint at step {}",
+                        ck.step
+                    );
+                    assert_eq!(rep.fix.assignment(), full.fix.assignment());
+                    assert_eq!(rep.rounds, full.rounds);
+                    assert_eq!(rep.num_classes, full.num_classes);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resumed_audited_runs_rebuild_audit_state_exactly() {
+        // Interval 1 puts a checkpoint after *every* fixing step, which
+        // covers the boundary case where the prefix ends exactly at a
+        // class boundary with that class's audit event still owed.
+        let inst2 = ring_instance(48, 3);
+        let p2 = inst2.max_event_probability();
+        let sched2 = Schedule::edge(inst2.dependency_graph(), 5, 1).unwrap();
+        let mut rec = lll_obs::JsonlRecorder::new(Vec::new()).checkpoint_every(1);
+        let full2 = distributed_fixer2_audited_recorded(
+            &inst2,
+            5,
+            CriterionCheck::Enforce,
+            1,
+            &p2,
+            &1e-9,
+            &mut rec,
+        )
+        .unwrap();
+        let bytes2 = rec.finish().unwrap();
+
+        let inst3 = hyper_ring_instance(24, 3);
+        let p3 = inst3.max_event_probability();
+        let sched3 = Schedule::distance2(inst3.dependency_graph(), 7, 1).unwrap();
+        let mut rec = lll_obs::JsonlRecorder::new(Vec::new()).checkpoint_every(1);
+        let full3 = distributed_fixer3_audited_recorded(
+            &inst3,
+            7,
+            CriterionCheck::Enforce,
+            1,
+            &p3,
+            &1e-9,
+            &mut rec,
+        )
+        .unwrap();
+        let bytes3 = rec.finish().unwrap();
+
+        for (bytes, rank2) in [(&bytes2, true), (&bytes3, false)] {
+            let cks = checkpoints_in(std::str::from_utf8(bytes).unwrap());
+            assert!(!cks.is_empty());
+            for ck in &cks {
+                let prefix = &bytes[..ck.resume_offset() as usize];
+                let (state, ()) = cursor_for(prefix);
+                let cursor = ResumeCursor::from_run_state(&state).unwrap();
+                for t in [1usize, 2] {
+                    let mut tail = lll_obs::JsonlRecorder::resumed(Vec::new(), 1, ck);
+                    let (rep, full) = if rank2 {
+                        (
+                            distributed_fixer2_scheduled_resumed_audited(
+                                &inst2,
+                                &sched2,
+                                CriterionCheck::Enforce,
+                                t,
+                                &p2,
+                                &1e-9,
+                                &cursor,
+                                &mut tail,
+                            )
+                            .unwrap(),
+                            &full2,
+                        )
+                    } else {
+                        (
+                            distributed_fixer3_scheduled_resumed_audited(
+                                &inst3,
+                                &sched3,
+                                CriterionCheck::Enforce,
+                                t,
+                                &p3,
+                                &1e-9,
+                                &cursor,
+                                &mut tail,
+                            )
+                            .unwrap(),
+                            &full3,
+                        )
+                    };
+                    let mut joined = prefix.to_vec();
+                    joined.extend_from_slice(&tail.finish().unwrap());
+                    assert_eq!(
+                        &joined, bytes,
+                        "audited stream diverged: threads {t}, step {}",
+                        ck.step
+                    );
+                    assert_eq!(rep.fix.assignment(), full.fix.assignment());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resume_mismatches_fail_loudly() {
+        let inst = ring_instance(16, 3);
+        let sched = Schedule::edge(inst.dependency_graph(), 5, 1).unwrap();
+        let mut rec = lll_obs::JsonlRecorder::new(Vec::new()).checkpoint_every(4);
+        distributed_fixer2_scheduled_recorded(&inst, &sched, CriterionCheck::Enforce, 1, &mut rec)
+            .unwrap();
+        let bytes = rec.finish().unwrap();
+        let (state, ()) = cursor_for(&bytes);
+        let honest = state.steps().to_vec();
+        assert_eq!(honest.len(), 16);
+
+        // A prefix whose first step names a variable the schedule does
+        // not put there.
+        let mut steps = honest.clone();
+        steps[0].0 += 1;
+        let cur = ResumeCursor::new(&steps[..4], 0, true);
+        let err = distributed_fixer2_scheduled_resumed(
+            &inst,
+            &sched,
+            CriterionCheck::Enforce,
+            1,
+            &cur,
+            &mut NullRecorder,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, DistError::ResumeMismatch { at: 0, .. }),
+            "{err}"
+        );
+
+        // A recorded value outside the variable's domain.
+        let mut steps = honest.clone();
+        steps[0].1 = 999;
+        let cur = ResumeCursor::new(&steps[..4], 0, true);
+        let err = distributed_fixer2_scheduled_resumed(
+            &inst,
+            &sched,
+            CriterionCheck::Enforce,
+            1,
+            &cur,
+            &mut NullRecorder,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, DistError::ResumeMismatch { at: 0, .. }),
+            "{err}"
+        );
+
+        // More recorded steps than the schedule has variables.
+        let mut steps = honest.clone();
+        steps.push((0, 0));
+        let cur = ResumeCursor::new(&steps, 0, true);
+        let err = distributed_fixer2_scheduled_resumed(
+            &inst,
+            &sched,
+            CriterionCheck::Enforce,
+            1,
+            &cur,
+            &mut NullRecorder,
+        )
+        .unwrap_err();
+        match err {
+            DistError::ResumeMismatch { at, .. } => assert_eq!(at, honest.len()),
+            other => panic!("expected overrun mismatch, got {other}"),
+        }
+
+        // An audited prefix fed to the unaudited driver.
+        let cur = ResumeCursor::new(&honest[..4], 2, true);
+        let err = distributed_fixer2_scheduled_resumed(
+            &inst,
+            &sched,
+            CriterionCheck::Enforce,
+            1,
+            &cur,
+            &mut NullRecorder,
+        )
+        .unwrap_err();
+        assert!(matches!(err, DistError::ResumeMismatch { .. }), "{err}");
     }
 
     #[test]

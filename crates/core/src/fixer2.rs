@@ -276,6 +276,75 @@ impl<'i, T: Num> Fixer2<'i, T> {
         Ok(choice)
     }
 
+    /// Replays a recorded fixing step: fixes variable `x` to the value
+    /// `y` a previous run chose, applying exactly the φ updates
+    /// [`fix_variable`](Fixer2::fix_variable) would apply for winner `y`
+    /// — without re-running the value search and without emitting any
+    /// event. Because the fixing process is deterministic, replaying a
+    /// run's recorded `(variable, value)` steps reproduces its partial
+    /// assignment and `φ` state bit for bit; this is the resume seam the
+    /// checkpointed drivers re-seed from (see `crate::dist`).
+    ///
+    /// # Errors
+    ///
+    /// [`FixerError::NonFiniteCost`] if the recorded value's cost is not
+    /// comparable (only reachable if the replayed state is degenerate —
+    /// an honest prefix of a completed run never trips this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is already fixed or `y` is out of range (the
+    /// resumed drivers validate recorded values before replaying).
+    pub fn replay_variable(&mut self, x: usize, y: usize) -> Result<(), FixerError> {
+        assert!(self.partial.get(x).is_none(), "variable {x} already fixed");
+        let var = self.inst.variable(x);
+        assert!(y < var.num_values(), "value {y} out of range");
+        match *var.affects() {
+            [_] => {} // rank 1: the step only fixes the value
+            [u, v] => {
+                let g = self.inst.dependency_graph();
+                let eid = g.edge_id(u, v).expect("co-affected events are adjacent");
+                let s = self
+                    .phi
+                    .get(eid, u)
+                    .expect("u is an endpoint of its edge")
+                    .clone();
+                let t = self
+                    .phi
+                    .get(eid, v)
+                    .expect("v is an endpoint of its edge")
+                    .clone();
+                let new_u = self.inc(u, x, y) * s;
+                if non_finite(&new_u) {
+                    return Err(FixerError::NonFiniteCost {
+                        variable: x,
+                        event: u,
+                    });
+                }
+                let new_v = self.inc(v, x, y) * t;
+                if non_finite(&new_v) {
+                    return Err(FixerError::NonFiniteCost {
+                        variable: x,
+                        event: v,
+                    });
+                }
+                self.phi
+                    .set(eid, u, new_u)
+                    .expect("u is an endpoint of its edge");
+                self.phi
+                    .set(eid, v, new_v)
+                    .expect("v is an endpoint of its edge");
+            }
+            _ => unreachable!("rank validated at construction"),
+        }
+        self.partial.fix(x, y);
+        self.steps.push(FixStepRecord {
+            variable: x,
+            value: y,
+        });
+        Ok(())
+    }
+
     /// Runs the process over the given variable order (must enumerate
     /// every unfixed variable exactly once) and reports the outcome.
     ///
@@ -500,6 +569,14 @@ impl<T: Num> crate::sweep::ClassFixer<T> for Fixer2<'_, T> {
             }
         }
         self.steps.extend(shard.steps);
+    }
+
+    fn replay(&mut self, x: usize, y: usize) -> Result<(), FixerError> {
+        self.replay_variable(x, y)
+    }
+
+    fn fresh_auditor(&self, p_bound: &T, tol: &T) -> crate::audit::IncrementalAuditor<T> {
+        crate::audit::IncrementalAuditor::new(self.inst, &self.partial, &self.phi, p_bound, tol)
     }
 
     fn audit_delta(&self, vars: &[usize], p_bound: &T, tol: &T) -> crate::audit::AuditDelta<T> {

@@ -404,6 +404,156 @@ impl<'i, T: Num> Fixer3<'i, T> {
         Ok(y)
     }
 
+    /// Replays a recorded fixing step: fixes variable `x` to the value
+    /// `y` a previous run chose, applying exactly the φ updates
+    /// [`fix_variable`](Fixer3::fix_variable) would apply for winner `y`
+    /// — without re-running the value search and without emitting any
+    /// event (the resume seam; see [`Fixer2::replay_variable`] and
+    /// `crate::dist`).
+    ///
+    /// At rank 3 the equivalence holds because the original step used a
+    /// decomposition of `y`'s scaled triple iff one exists: had `y` won
+    /// via the multiplicative fallback, *no* candidate decomposed —
+    /// in particular `y` — so replaying `decompose`-else-fallback on
+    /// `y`'s triple alone takes the same branch and writes the same φ
+    /// entries (including the `invariant_intact` flag).
+    ///
+    /// # Errors
+    ///
+    /// [`FixerError::NonFiniteCost`] if the recorded value's cost is not
+    /// comparable (only reachable if the replayed state is degenerate —
+    /// an honest prefix of a completed run never trips this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is already fixed or `y` is out of range (the
+    /// resumed drivers validate recorded values before replaying).
+    pub fn replay_variable(&mut self, x: usize, y: usize) -> Result<(), FixerError> {
+        assert!(self.partial.get(x).is_none(), "variable {x} already fixed");
+        let var = self.inst.variable(x);
+        assert!(y < var.num_values(), "value {y} out of range");
+        match *var.affects() {
+            [_] => {} // rank 1: the step only fixes the value
+            [u, v] => {
+                let g = self.inst.dependency_graph();
+                let eid = g.edge_id(u, v).expect("co-affected events are adjacent");
+                let s = self
+                    .phi
+                    .get(eid, u)
+                    .expect("u is an endpoint of its edge")
+                    .clone();
+                let t = self
+                    .phi
+                    .get(eid, v)
+                    .expect("v is an endpoint of its edge")
+                    .clone();
+                let new_u = self.inc(u, x, y) * s;
+                if non_finite(&new_u) {
+                    return Err(FixerError::NonFiniteCost {
+                        variable: x,
+                        event: u,
+                    });
+                }
+                let new_v = self.inc(v, x, y) * t;
+                if non_finite(&new_v) {
+                    return Err(FixerError::NonFiniteCost {
+                        variable: x,
+                        event: v,
+                    });
+                }
+                self.phi
+                    .set(eid, u, new_u)
+                    .expect("u is an endpoint of its edge");
+                self.phi
+                    .set(eid, v, new_v)
+                    .expect("v is an endpoint of its edge");
+            }
+            [u, v, w] => self.replay_rank3(x, y, u, v, w)?,
+            _ => unreachable!("rank validated at construction"),
+        }
+        self.partial.fix(x, y);
+        self.steps.push(FixStepRecord {
+            variable: x,
+            value: y,
+        });
+        Ok(())
+    }
+
+    /// The rank-3 arm of [`replay_variable`](Fixer3::replay_variable):
+    /// recomputes the recorded winner's scaled triple and takes the same
+    /// decompose-else-fallback branch [`fix_rank3`](Fixer3::fix_rank3)
+    /// took for it.
+    fn replay_rank3(
+        &mut self,
+        x: usize,
+        y: usize,
+        u: usize,
+        v: usize,
+        w: usize,
+    ) -> Result<(), FixerError> {
+        let g = self.inst.dependency_graph();
+        let e = g.edge_id(u, v).expect("u, v share variable x");
+        let e1 = g.edge_id(u, w).expect("u, w share variable x");
+        let e2 = g.edge_id(v, w).expect("v, w share variable x");
+        let at = |eid: usize, node: usize| {
+            self.phi
+                .get(eid, node)
+                .expect("node is an endpoint of its edge")
+                .clone()
+        };
+        let a = at(e, u) * at(e1, u);
+        let b = at(e, v) * at(e2, v);
+        let c = at(e1, w) * at(e2, w);
+        let sa = self.inc(u, x, y) * a;
+        if non_finite(&sa) {
+            return Err(FixerError::NonFiniteCost {
+                variable: x,
+                event: u,
+            });
+        }
+        let sb = self.inc(v, x, y) * b;
+        if non_finite(&sb) {
+            return Err(FixerError::NonFiniteCost {
+                variable: x,
+                event: v,
+            });
+        }
+        let sc = self.inc(w, x, y) * c;
+        if non_finite(&sc) {
+            return Err(FixerError::NonFiniteCost {
+                variable: x,
+                event: w,
+            });
+        }
+        let endpoint = "node is an endpoint of its edge";
+        if let Some(d) = decompose(&sa, &sb, &sc) {
+            self.phi.set(e, u, d.a1).expect(endpoint);
+            self.phi.set(e1, u, d.a2).expect(endpoint);
+            self.phi.set(e, v, d.b1).expect(endpoint);
+            self.phi.set(e2, v, d.b3).expect(endpoint);
+            self.phi.set(e1, w, d.c2).expect(endpoint);
+            self.phi.set(e2, w, d.c3).expect(endpoint);
+            return Ok(());
+        }
+        // The original step fell through to the multiplicative fallback
+        // (its winner's triple did not decompose), so replay does too.
+        self.invariant_intact = false;
+        let scale = |target: T, denom: &T| {
+            if denom.is_zero() {
+                T::zero()
+            } else {
+                target / denom.clone()
+            }
+        };
+        let new_a1 = scale(sa, &self.phi.get(e1, u).expect(endpoint).clone());
+        self.phi.set(e, u, new_a1).expect(endpoint);
+        let new_b1 = scale(sb, &self.phi.get(e2, v).expect(endpoint).clone());
+        self.phi.set(e, v, new_b1).expect(endpoint);
+        let new_c2 = scale(sc, &self.phi.get(e2, w).expect(endpoint).clone());
+        self.phi.set(e1, w, new_c2).expect(endpoint);
+        Ok(())
+    }
+
     /// Runs the process over the given variable order (must enumerate
     /// every variable exactly once).
     ///
@@ -636,6 +786,14 @@ impl<T: Num> crate::sweep::ClassFixer<T> for Fixer3<'_, T> {
         }
         self.invariant_intact &= shard.invariant_intact;
         self.steps.extend(shard.steps);
+    }
+
+    fn replay(&mut self, x: usize, y: usize) -> Result<(), FixerError> {
+        self.replay_variable(x, y)
+    }
+
+    fn fresh_auditor(&self, p_bound: &T, tol: &T) -> crate::audit::IncrementalAuditor<T> {
+        crate::audit::IncrementalAuditor::new(self.inst, &self.partial, &self.phi, p_bound, tol)
     }
 
     fn audit_delta(&self, vars: &[usize], p_bound: &T, tol: &T) -> crate::audit::AuditDelta<T> {

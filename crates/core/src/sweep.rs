@@ -35,7 +35,7 @@ use lll_local::{effective_workers, shard_bounds};
 use lll_numeric::Num;
 use lll_obs::{BufRecorder, NullRecorder, Recorder};
 
-use crate::audit::AuditDelta;
+use crate::audit::{AuditDelta, IncrementalAuditor};
 use crate::error::FixerError;
 
 /// A fixer that the class sweep can fork, run over cells, and merge
@@ -53,6 +53,21 @@ pub(crate) trait ClassFixer<T: Num>: Send + Sized {
 
     /// Fixes every variable of one cell, in order.
     fn fix_cell<R: Recorder>(&mut self, cell: &[usize], rec: &mut R) -> Result<(), FixerError>;
+
+    /// Replays a recorded fixing step: fixes `x` to the value `y` a
+    /// previous run chose, applying the exact `φ` updates of a live
+    /// step but skipping the value search and emitting no event (see
+    /// [`Fixer2::replay_variable`](crate::Fixer2::replay_variable)).
+    /// The resumed drivers in `crate::dist` drive this from a recorded
+    /// step prefix.
+    fn replay(&mut self, x: usize, y: usize) -> Result<(), FixerError>;
+
+    /// A freshly scanned [`IncrementalAuditor`] over the fixer's
+    /// current state. The auditor's cache is a pure function of
+    /// `(partial, φ)`, so this equals the incremental cache an audited
+    /// run carries at the same point — which is what lets a resumed run
+    /// rebuild audit state at the live boundary (DESIGN.md §3.12).
+    fn fresh_auditor(&self, p_bound: &T, tol: &T) -> IncrementalAuditor<T>;
 
     /// Merges a finished shard fork back into `self`: applies its fixed
     /// values, copies the `φ` entries its steps touched, appends its

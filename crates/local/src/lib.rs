@@ -67,6 +67,7 @@
 #![warn(missing_docs)]
 
 pub mod gather;
+pub mod gauges;
 pub mod parallel;
 
 pub use parallel::{effective_workers, shard_bounds, split_mut};
@@ -75,7 +76,9 @@ use std::fmt;
 
 use lll_graphs::Graph;
 use lll_obs::timing::{span_nanos, span_start};
-use lll_obs::{Event, NullRecorder, NullTiming, Recorder, TimingScope, TimingSink};
+use lll_obs::{
+    Event, NullRecorder, NullTiming, Recorder, SkipPrefixRecorder, TimingScope, TimingSink,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -641,6 +644,45 @@ impl<'g> Simulator<'g> {
         }
     }
 
+    /// [`Simulator::run_auto_recorded`] resumed from a recorded
+    /// checkpoint: re-executes the protocol deterministically from round
+    /// 1 but suppresses every event a durable stream prefix already
+    /// contains — the `sim_run_start` bracket and everything up to and
+    /// including the `skip_rounds`-th `round_end` (see
+    /// [`SkipPrefixRecorder`]). `rec` receives exactly the events an
+    /// uninterrupted run would have emitted after that point, so
+    /// appending them to the prefix (via a resumed
+    /// [`JsonlRecorder`](lll_obs::JsonlRecorder) seeded from the
+    /// checkpoint) reproduces the uninterrupted stream byte for byte.
+    ///
+    /// This trades recomputation for storage: a simulation run is a
+    /// pure function of `(graph, ids, seed, threads-independent
+    /// protocol)`, so only the stream bytes need to survive an
+    /// interruption — no simulator state is ever serialized. The
+    /// fixers' resume seam (`lll-core`'s `ResumeCursor`) picks up where
+    /// this leaves off when the checkpoint lands past the simulation.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::run`].
+    pub fn resume_recorded<P, F, R>(
+        &self,
+        make: F,
+        max_rounds: usize,
+        skip_rounds: u64,
+        rec: &mut R,
+    ) -> Result<RunOutcome<P::Output>, SimError>
+    where
+        P: NodeProgram + Send,
+        P::Message: Send + Sync,
+        P::Output: Send,
+        F: FnMut(&NodeContext) -> P,
+        R: Recorder,
+    {
+        let mut skip = SkipPrefixRecorder::new(rec, skip_rounds);
+        self.run_auto_recorded(make, max_rounds, &mut skip)
+    }
+
     /// [`Simulator::run_auto_recorded`] with a side-band timing sink
     /// attached (see [`Simulator::run_timed_recorded`]). Timing data
     /// depends on the engine and the host, but the event stream in `rec`
@@ -746,6 +788,50 @@ mod tests {
                 RoundResult::Halt(out)
             } else {
                 RoundResult::Continue(broadcast(self.seen.clone(), ctx.degree))
+            }
+        }
+    }
+
+    #[test]
+    fn resume_recorded_continues_sim_streams_byte_for_byte() {
+        let g = ring(12);
+        let make = |_: &NodeContext| Flood {
+            ttl: 5,
+            seen: vec![],
+        };
+        let sim = Simulator::new(&g);
+        let mut rec = lll_obs::JsonlRecorder::new(Vec::new()).checkpoint_every(2);
+        let full_run = sim.run_auto_recorded(make, 20, &mut rec).unwrap();
+        let bytes = rec.finish().unwrap();
+        let text = std::str::from_utf8(&bytes).unwrap();
+        let cks: Vec<lll_obs::Checkpoint> = text
+            .lines()
+            .filter(|l| l.starts_with(lll_obs::CHECKPOINT_PREFIX))
+            .map(|l| lll_obs::Checkpoint::parse(l).unwrap())
+            .collect();
+        assert!(
+            cks.len() >= 2,
+            "want several checkpoints, got {}",
+            cks.len()
+        );
+        for ck in &cks {
+            for threads in [1usize, 2, 8] {
+                let prefix = &bytes[..ck.resume_offset() as usize];
+                let mut tail = lll_obs::JsonlRecorder::resumed(Vec::new(), 2, ck);
+                let run = sim
+                    .clone()
+                    .threads(threads)
+                    .resume_recorded(make, 20, ck.round, &mut tail)
+                    .unwrap();
+                let mut joined = prefix.to_vec();
+                joined.extend_from_slice(&tail.finish().unwrap());
+                assert_eq!(
+                    joined, bytes,
+                    "stream diverged: threads {threads}, round {}",
+                    ck.round
+                );
+                assert_eq!(run.outputs, full_run.outputs);
+                assert_eq!(run.rounds, full_run.rounds);
             }
         }
     }

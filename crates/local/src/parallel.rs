@@ -507,6 +507,16 @@ impl<'g> Simulator<'g> {
         let twin = g.twin_ports();
         let bounds = shard_bounds(offsets, threads);
         let slot_cuts: Vec<usize> = bounds.iter().map(|&v| offsets[v]).collect();
+        crate::gauges::record_slab(crate::gauges::SlabStats {
+            slab_bytes: 2 * g.num_ports() as u64 * std::mem::size_of::<Option<P::Message>>() as u64,
+            slots: g.num_ports() as u64,
+            shards: (bounds.len() - 1) as u64,
+            max_shard_slots: slot_cuts
+                .windows(2)
+                .map(|w| (w[1] - w[0]) as u64)
+                .max()
+                .unwrap_or(0),
+        });
         let mut scratches: Vec<Vec<Option<P::Message>>> =
             (0..threads).map(|_| Vec::new()).collect();
         // Per-shard halt-event buffers (stay empty unless recording).

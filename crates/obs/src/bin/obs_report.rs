@@ -4,8 +4,10 @@
 //! ```text
 //! obs-report [--validate] <file.jsonl>...            summary (legacy form)
 //! obs-report summarize [--validate] [--json] [--by-request] <file.jsonl>...
+//! obs-report validate [--stats] <file.jsonl>...      schema + fold check
 //! obs-report series --out <dir> <file.jsonl>...      per-round/halt/step CSVs
 //! obs-report diff [--context K] <a.jsonl> <b.jsonl>  first-divergence triage
+//! obs-report resume-check <prefix.jsonl> <full.jsonl>  verify a resume triple
 //! obs-report tail [--interval-ms N] [--idle-exit-ms N] <file.jsonl>
 //! ```
 //!
@@ -19,8 +21,19 @@
 //! Every mode streams its inputs line-by-line through a [`BufRead`] loop in
 //! bounded memory — a multi-gigabyte trace is folded without ever being
 //! resident. A final line cut short by a crashed producer (no trailing
-//! newline, not parseable as JSON) is reported as *truncated*, with a
-//! warning, after everything before it has been processed normally.
+//! newline, not parseable) is reported as *truncated*, with a warning
+//! naming the byte offset where the durable prefix ends, after everything
+//! before it has been processed normally — including cuts that land
+//! inside the provenance meta line or a `#checkpoint ` sidecar line.
+//!
+//! `validate` runs the stream through the schema validator *and* the
+//! checkpoint-aware [`RunState`] fold (which verifies every sidecar's
+//! counters and digest against the events before it); `--stats` prints
+//! one awk-friendly `key=value` line per file. `resume-check` verifies a
+//! (prefix, checkpoint, continuation) triple offline: the interrupted
+//! file's durable prefix must reach a checkpoint, and the continued
+//! stream must extend that prefix byte-for-byte through it (DESIGN.md
+//! §3.12).
 //!
 //! # Exit codes (the contract CI relies on)
 //!
@@ -35,7 +48,7 @@
 //! The codes are pinned by `crates/obs/tests/cli.rs`.
 
 use lll_obs::diff::first_divergence;
-use lll_obs::replay::Replay;
+use lll_obs::replay::{Replay, RunState};
 use lll_obs::report::Summary;
 use lll_obs::schema::StreamValidator;
 use lll_obs::Provenance;
@@ -55,8 +68,10 @@ const EXIT_TRUNCATED: u8 = 3;
 
 const USAGE: &str = "usage: obs-report [--validate] <file.jsonl>...
        obs-report summarize [--validate] [--json] [--by-request] <file.jsonl>...
+       obs-report validate [--stats] <file.jsonl>...
        obs-report series --out <dir> <file.jsonl>...
        obs-report diff [--context K] <a.jsonl> <b.jsonl>
+       obs-report resume-check <prefix.jsonl> <full.jsonl>
        obs-report tail [--interval-ms N] [--idle-exit-ms N] <file.jsonl>
 exit codes: 0 ok; 1 schema violation (diff: divergent); 2 I/O error; 3 truncated stream";
 
@@ -73,8 +88,11 @@ impl Exit {
 
 /// Streams `path` line-by-line into `fold`. Returns the exit code for
 /// this file: `fold` errors map to [`EXIT_SCHEMA`], read errors to
-/// [`EXIT_IO`], and an unterminated final line that is not valid JSON to
-/// [`EXIT_TRUNCATED`] (with a warning; earlier lines are still folded).
+/// [`EXIT_IO`], and an unterminated final line that is not valid JSON
+/// (including a cut inside the meta line or a `#checkpoint ` sidecar,
+/// neither of which parses when torn) to [`EXIT_TRUNCATED`] — with a
+/// warning naming the byte offset where the durable prefix ends; earlier
+/// lines are still folded.
 fn stream_file(path: &str, mut fold: impl FnMut(usize, &str) -> Result<(), String>) -> u8 {
     let file = match File::open(path) {
         Ok(f) => f,
@@ -86,6 +104,7 @@ fn stream_file(path: &str, mut fold: impl FnMut(usize, &str) -> Result<(), Strin
     let mut reader = BufReader::new(file);
     let mut line = String::new();
     let mut lineno = 0usize;
+    let mut offset = 0u64;
     loop {
         line.clear();
         let read = match reader.read_line(&mut line) {
@@ -99,15 +118,23 @@ fn stream_file(path: &str, mut fold: impl FnMut(usize, &str) -> Result<(), Strin
             return EXIT_OK;
         }
         lineno += 1;
+        let start = offset;
+        offset += read as u64;
         let terminated = line.ends_with('\n');
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
         }
-        if !terminated && serde_json::from_str::<serde::Value>(trimmed).is_err() {
+        // An unterminated sidecar line is always torn (a sidecar is only
+        // durable with its newline); an unterminated JSON line is torn
+        // when it no longer parses.
+        let torn = !terminated
+            && (trimmed.starts_with('#') || serde_json::from_str::<serde::Value>(trimmed).is_err());
+        if torn {
             eprintln!(
-                "obs-report: {path}: warning: line {lineno} is truncated (crashed producer?); \
-                 {} complete line(s) were processed",
+                "obs-report: {path}: warning: line {lineno} is truncated at byte offset \
+                 {start} (crashed producer?); {} complete line(s) / {start} byte(s) were \
+                 processed",
                 lineno - 1
             );
             return EXIT_TRUNCATED;
@@ -346,6 +373,241 @@ fn run_diff(context: usize, a_path: &str, b_path: &str) -> u8 {
     }
 }
 
+/// Folds `path` through the checkpoint-aware [`RunState`] fold,
+/// byte-precisely (lines are passed unshortened, so the fold's byte
+/// offsets are file offsets). Returns the state, the torn-tail offset
+/// if the final line is unterminated (RunState policy: a torn tail is
+/// never folded), and the exit code.
+fn fold_run_state(path: &str) -> (RunState, Option<u64>, u8) {
+    let mut state = RunState::new();
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("obs-report: {path}: {e}");
+            return (state, None, EXIT_IO);
+        }
+    };
+    let mut reader = BufReader::new(file);
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        let read = match reader.read_line(&mut line) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("obs-report: {path}: read error: {e}");
+                return (state, None, EXIT_IO);
+            }
+        };
+        if read == 0 {
+            return (state, None, EXIT_OK);
+        }
+        lineno += 1;
+        match line.strip_suffix('\n') {
+            Some(content) => {
+                if let Err(e) = state.fold_line(content) {
+                    eprintln!("obs-report: {path}: line {lineno}: {e}");
+                    return (state, None, EXIT_SCHEMA);
+                }
+            }
+            None => {
+                let torn_at = state.bytes();
+                eprintln!(
+                    "obs-report: {path}: warning: line {lineno} is truncated at byte offset \
+                     {torn_at} (crashed producer?); the durable prefix is {torn_at} byte(s) / \
+                     {} event(s)",
+                    state.events()
+                );
+                return (state, Some(torn_at), EXIT_TRUNCATED);
+            }
+        }
+    }
+}
+
+/// The validate mode: schema validation plus the checkpoint-aware
+/// `RunState` fold (which verifies every `#checkpoint ` sidecar against
+/// the events before it). With `--stats`, prints one awk-friendly
+/// `key=value` line per file; `last_checkpoint_round` is `-1` when the
+/// stream carries no checkpoint.
+fn run_validate(stats: bool, paths: &[String]) -> u8 {
+    let mut exit = Exit(EXIT_OK);
+    for path in paths {
+        let mut validator = StreamValidator::new();
+        let mut schema_ok = true;
+        let code = stream_file(path, |_, line| {
+            if schema_ok {
+                if let Err(e) = validator.check(line) {
+                    schema_ok = false;
+                    return Err(e);
+                }
+            }
+            Ok(())
+        });
+        let mut code = code;
+        if code == EXIT_OK {
+            if let Err(e) = validator.finish() {
+                eprintln!("obs-report: {path}: schema violation: {e}");
+                code = EXIT_SCHEMA;
+            }
+        }
+        if code == EXIT_OK || code == EXIT_TRUNCATED {
+            // Second pass: the resumable-state fold, with byte-precise
+            // offsets and sidecar counter/digest verification.
+            let (state, torn, fold_code) = fold_run_state(path);
+            if fold_code != EXIT_OK && fold_code != EXIT_TRUNCATED {
+                code = fold_code;
+            } else if fold_code == EXIT_TRUNCATED && code == EXIT_OK {
+                code = EXIT_TRUNCATED;
+            }
+            if code == EXIT_OK || code == EXIT_TRUNCATED {
+                if stats {
+                    let last_ck_round = state
+                        .last_checkpoint()
+                        .map_or(-1i64, |rp| rp.checkpoint.round as i64);
+                    println!(
+                        "{path}: events={} bytes={} rounds={} steps={} sim_runs={} \
+                         fix_runs={} audits={} checkpoints={} last_checkpoint_round={} \
+                         digest={:016x} torn={}",
+                        state.events(),
+                        state.bytes(),
+                        state.rounds(),
+                        state.steps().len(),
+                        state.sim_runs(),
+                        state.fix_runs(),
+                        state.audits(),
+                        u64::from(state.last_checkpoint().is_some()),
+                        last_ck_round,
+                        state.digest(),
+                        u64::from(torn.is_some()),
+                    );
+                } else {
+                    println!(
+                        "{path}: schema OK ({} event(s), {} byte(s))",
+                        state.events(),
+                        state.bytes()
+                    );
+                }
+            }
+        }
+        exit.set(code);
+    }
+    exit.0
+}
+
+/// Byte-compares the first `limit` bytes of two files in bounded
+/// memory. Returns the offset of the first mismatch, if any.
+fn compare_prefix(a_path: &str, b_path: &str, limit: u64) -> Result<Option<u64>, String> {
+    use std::io::Read;
+    let open = |p: &str| {
+        File::open(p)
+            .map(BufReader::new)
+            .map_err(|e| format!("{p}: {e}"))
+    };
+    let mut a = open(a_path)?.take(limit);
+    let mut b = open(b_path)?.take(limit);
+    let mut buf_a = vec![0u8; 64 * 1024];
+    let mut buf_b = vec![0u8; 64 * 1024];
+    let mut offset = 0u64;
+    loop {
+        let na = a.read(&mut buf_a).map_err(|e| format!("{a_path}: {e}"))?;
+        // Fill b's buffer to the same length as a's chunk.
+        let mut nb = 0usize;
+        while nb < na {
+            let n = b
+                .read(&mut buf_b[nb..na])
+                .map_err(|e| format!("{b_path}: {e}"))?;
+            if n == 0 {
+                break;
+            }
+            nb += n;
+        }
+        if na == 0 && nb == 0 {
+            if offset < limit {
+                return Err(format!(
+                    "both files end at byte {offset}, before the checkpoint boundary {limit}"
+                ));
+            }
+            return Ok(None);
+        }
+        for i in 0..na.min(nb) {
+            if buf_a[i] != buf_b[i] {
+                return Ok(Some(offset + i as u64));
+            }
+        }
+        if na != nb {
+            return Ok(Some(offset + na.min(nb) as u64));
+        }
+        offset += na as u64;
+    }
+}
+
+/// The resume-check mode: verifies a (prefix, checkpoint, continuation)
+/// triple offline. `prefix` is the interrupted run's stream (its torn
+/// tail, if any, is ignored past the last checkpoint); `full` is the
+/// continued (or reference) stream from the same recorder lineage.
+///
+/// Checks: the prefix's durable part reaches a `#checkpoint ` sidecar
+/// whose counters and digest the fold verified; the full stream is
+/// complete (no torn tail) and folds clean — re-verifying that same
+/// sidecar against its own events; and the two files are byte-identical
+/// through the checkpoint boundary, so the continuation really extends
+/// the checkpointed prefix rather than some other run.
+fn run_resume_check(prefix_path: &str, full_path: &str) -> u8 {
+    let (prefix_state, _torn, prefix_code) = fold_run_state(prefix_path);
+    if prefix_code != EXIT_OK && prefix_code != EXIT_TRUNCATED {
+        return prefix_code;
+    }
+    let Some(rp) = prefix_state.last_checkpoint().copied() else {
+        eprintln!(
+            "obs-report: {prefix_path}: no #checkpoint sidecar in the durable prefix \
+             ({} byte(s)); nothing to resume from",
+            prefix_state.bytes()
+        );
+        return EXIT_SCHEMA;
+    };
+    let (full_state, full_torn, full_code) = fold_run_state(full_path);
+    if full_code != EXIT_OK {
+        if full_torn.is_some() {
+            eprintln!("obs-report: {full_path}: continued stream is itself truncated");
+        }
+        return full_code;
+    }
+    let boundary = rp.checkpoint.resume_offset();
+    if full_state.bytes() < boundary {
+        eprintln!(
+            "obs-report: {full_path}: continued stream ends at byte {} — before the \
+             checkpoint boundary {boundary}",
+            full_state.bytes()
+        );
+        return EXIT_SCHEMA;
+    }
+    match compare_prefix(prefix_path, full_path, boundary) {
+        Ok(None) => {}
+        Ok(Some(at)) => {
+            eprintln!(
+                "obs-report: resume-check: {prefix_path} and {full_path} diverge at byte \
+                 {at}, before the checkpoint boundary {boundary} — the continuation does \
+                 not extend the checkpointed prefix"
+            );
+            return EXIT_SCHEMA;
+        }
+        Err(e) => {
+            eprintln!("obs-report: resume-check: {e}");
+            return EXIT_IO;
+        }
+    }
+    println!(
+        "resume-check OK: checkpoint at {} verified; continuation adds {} event(s) / {} \
+         byte(s) beyond it ({} step(s), {} round(s) total)",
+        rp.checkpoint,
+        full_state.events() - rp.checkpoint.events,
+        full_state.bytes() - boundary,
+        full_state.steps().len(),
+        full_state.rounds(),
+    );
+    EXIT_OK
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -421,6 +683,30 @@ fn main() -> ExitCode {
                     eprintln!("obs-report: series needs --out <dir> and input files\n{USAGE}");
                     EXIT_IO
                 }
+            }
+        }
+        Some("validate") => {
+            let rest = &args[1..];
+            let stats = rest.iter().any(|a| a == "--stats");
+            let paths: Vec<String> = rest
+                .iter()
+                .filter(|a| a.as_str() != "--stats")
+                .cloned()
+                .collect();
+            if paths.is_empty() {
+                eprintln!("obs-report: no input files\n{USAGE}");
+                EXIT_IO
+            } else {
+                run_validate(stats, &paths)
+            }
+        }
+        Some("resume-check") => {
+            let paths: Vec<String> = args[1..].to_vec();
+            if paths.len() != 2 {
+                eprintln!("obs-report: resume-check needs exactly two files\n{USAGE}");
+                EXIT_IO
+            } else {
+                run_resume_check(&paths[0], &paths[1])
             }
         }
         Some("diff") => {

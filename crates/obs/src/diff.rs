@@ -123,11 +123,14 @@ fn field_deltas(a: Option<&Value>, b: Option<&Value>) -> Vec<FieldDelta> {
     deltas
 }
 
-/// Event lines of a stream: blank lines skipped everywhere, a `meta`
-/// line skipped in first position only (per the byte-identity contract).
+/// Event lines of a stream: blank lines and `#`-prefixed sidecar lines
+/// (checkpoints) skipped everywhere, a `meta` line skipped in first
+/// position only (per the byte-identity contract — sidecars, like meta,
+/// are explicitly outside it, so a checkpointed stream diffs clean
+/// against an uncheckpointed one).
 fn events<I: Iterator<Item = String>>(lines: I) -> impl Iterator<Item = String> {
     lines
-        .filter(|l| !l.trim().is_empty())
+        .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
         .enumerate()
         .filter(|(i, l)| !(*i == 0 && l.contains("\"type\":\"meta\"")))
         .map(|(_, l)| l)
@@ -281,6 +284,23 @@ mod tests {
     fn identical_streams_have_no_divergence() {
         let a = stream(&sample());
         assert!(diff_streams(&a, &a, 3).is_none());
+    }
+
+    #[test]
+    fn checkpoint_sidecars_are_excluded_from_comparison() {
+        let body = stream(&sample());
+        let mut with_ck = String::new();
+        for (i, line) in body.lines().enumerate() {
+            with_ck.push_str(line);
+            with_ck.push('\n');
+            if i % 3 == 2 {
+                with_ck.push_str(
+                    "#checkpoint {\"round\":1,\"step\":0,\"events\":3,\"offset\":0,\
+                     \"digest\":\"0000000000000000\"}\n",
+                );
+            }
+        }
+        assert!(diff_streams(&body, &with_ck, 2).is_none());
     }
 
     #[test]

@@ -27,6 +27,12 @@
 //! bounded-memory folding of JSONL into per-round/per-node/per-step
 //! series; and [`diff`] — first-divergence triage for the differential
 //! batteries. The `obs-report` binary surfaces all of them.
+//!
+//! Checkpoint/resume (DESIGN.md §3.12) promotes the stream from a tee to
+//! the system of record: [`checkpoint`] defines the `#checkpoint` sidecar
+//! format and fold digest, a checkpointing [`JsonlRecorder`] emits
+//! sidecars every N progress events, and [`replay::RunState`] folds a
+//! stream prefix back into resumable run state in bounded memory.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +41,7 @@ mod event;
 mod provenance;
 mod recorder;
 
+pub mod checkpoint;
 pub mod diff;
 pub mod hist;
 pub mod metrics;
@@ -43,9 +50,12 @@ pub mod report;
 pub mod schema;
 pub mod timing;
 
+pub use checkpoint::{Checkpoint, StreamDigest, CHECKPOINT_PREFIX};
 pub use event::{Event, SCHEMA_VERSION};
 pub use hist::Histogram;
 pub use metrics::{Counter, Gauge, MetricHist, MetricsRegistry};
 pub use provenance::Provenance;
-pub use recorder::{BufRecorder, CounterRecorder, JsonlRecorder, NullRecorder, Recorder};
+pub use recorder::{
+    BufRecorder, CounterRecorder, JsonlRecorder, NullRecorder, Recorder, SkipPrefixRecorder,
+};
 pub use timing::{NullTiming, TimingRecorder, TimingScope, TimingSink};

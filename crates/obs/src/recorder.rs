@@ -6,6 +6,7 @@
 //! the event construction are statically eliminated — the monomorphized code
 //! is the uninstrumented code.
 
+use crate::checkpoint::{Checkpoint, StreamDigest};
 use crate::event::Event;
 use crate::provenance::Provenance;
 use std::io::{self, Write};
@@ -182,6 +183,34 @@ impl Recorder for BufRecorder {
     }
 }
 
+/// Checkpointing state carried by a [`JsonlRecorder`] with sidecar
+/// emission enabled.
+///
+/// The counters mirror exactly what a [`RunState`](crate::replay::RunState)
+/// fold of the recorder's own output would hold, so an emitted
+/// [`Checkpoint`] is verifiable offline (`obs-report resume-check`) and a
+/// resumed recorder seeded from one continues the sidecar cadence
+/// byte-for-byte.
+#[derive(Debug)]
+struct CheckpointState {
+    /// Emit a sidecar once `progress` reaches this many trigger events
+    /// (`round_end` + `fix_step`).
+    interval: u64,
+    /// Trigger events since the last sidecar.
+    progress: u64,
+    /// `round_end` events written.
+    round: u64,
+    /// `fix_step` events written.
+    step: u64,
+    /// Event lines written (meta and sidecar lines excluded).
+    events: u64,
+    /// Bytes written, including meta and sidecar lines — the file offset
+    /// the next line starts at.
+    bytes: u64,
+    /// Rolling digest over event lines.
+    digest: StreamDigest,
+}
+
 /// Streams events as schema-versioned JSONL to any [`Write`] sink.
 ///
 /// The optional provenance/meta line (written by [`JsonlRecorder::with_provenance`])
@@ -190,6 +219,14 @@ impl Recorder for BufRecorder {
 /// engine-invariant. Write errors are sticky: the first one is kept and all
 /// later records become no-ops — check [`JsonlRecorder::take_error`] or
 /// [`JsonlRecorder::finish`].
+///
+/// With [`JsonlRecorder::checkpoint_every`], the recorder additionally
+/// emits a `#checkpoint ` sidecar line after every N progress events
+/// (`round_end` + `fix_step`): the fold digest, logical coordinates, and
+/// the sidecar's own byte offset (see [`Checkpoint`]). Sidecars are
+/// schema-v2-additive — every reader skips `#`-prefixed lines — and the
+/// event lines between them are unchanged, so a checkpointed stream with
+/// sidecars stripped is byte-identical to an uncheckpointed one.
 #[derive(Debug)]
 pub struct JsonlRecorder<W: Write> {
     writer: W,
@@ -198,6 +235,13 @@ pub struct JsonlRecorder<W: Write> {
     /// Request-correlation tag (pre-encoded JSON scalar text) spliced
     /// into every event line; `None` keeps the v1 byte layout.
     req: Option<String>,
+    /// Bytes of the meta line written by `with_provenance` (0 if none) —
+    /// the stream-head byte offset checkpoint counters start from.
+    meta_bytes: u64,
+    /// Sidecar emission state; `None` keeps the recorder a pure tee.
+    ckpt: Option<CheckpointState>,
+    /// The last sidecar written, for callers that persist resume points.
+    last_ckpt: Option<Checkpoint>,
 }
 
 impl<W: Write> JsonlRecorder<W> {
@@ -209,6 +253,9 @@ impl<W: Write> JsonlRecorder<W> {
             lines: 0,
             error: None,
             req: None,
+            meta_bytes: 0,
+            ckpt: None,
+            last_ckpt: None,
         }
     }
 
@@ -218,23 +265,72 @@ impl<W: Write> JsonlRecorder<W> {
     /// the tag is a pure function of the request, a tagged stream stays
     /// byte-identical cold vs. warm and at every worker count.
     pub fn with_request(writer: W, req: impl Into<String>) -> Self {
-        JsonlRecorder {
-            writer,
-            lines: 0,
-            error: None,
-            req: Some(req.into()),
-        }
+        let mut rec = JsonlRecorder::new(writer);
+        rec.req = Some(req.into());
+        rec
     }
 
     /// A recorder whose first line is a `"type":"meta"` provenance record.
     pub fn with_provenance(mut writer: W, provenance: &Provenance) -> io::Result<Self> {
-        writeln!(writer, "{}", provenance.to_jsonl())?;
-        Ok(JsonlRecorder {
-            writer,
-            lines: 1,
-            error: None,
-            req: None,
-        })
+        let meta = provenance.to_jsonl();
+        writeln!(writer, "{meta}")?;
+        let mut rec = JsonlRecorder::new(writer);
+        rec.lines = 1;
+        rec.meta_bytes = meta.len() as u64 + 1;
+        Ok(rec)
+    }
+
+    /// Enables `#checkpoint ` sidecar emission: one sidecar after every
+    /// `interval` progress events (`round_end` + `fix_step`). Must be
+    /// called before any event is recorded — counters start at the
+    /// stream head (the meta line, if any, counts toward byte offsets
+    /// but not toward the digest or event count).
+    ///
+    /// # Panics
+    ///
+    /// If `interval` is zero or events were already recorded.
+    pub fn checkpoint_every(mut self, interval: u64) -> Self {
+        assert!(interval > 0, "checkpoint interval must be positive");
+        assert!(
+            self.lines == 0 || (self.lines == 1 && self.meta_bytes > 0),
+            "checkpoint_every must be called before any event is recorded"
+        );
+        self.ckpt = Some(CheckpointState {
+            interval,
+            progress: 0,
+            round: 0,
+            step: 0,
+            events: 0,
+            bytes: self.meta_bytes,
+            digest: StreamDigest::new(),
+        });
+        self
+    }
+
+    /// A recorder that *resumes* an interrupted checkpointed stream:
+    /// `writer` must be positioned at [`Checkpoint::resume_offset`] of
+    /// `from` (the file truncated just past that sidecar line), and the
+    /// counters are re-seeded from the sidecar so every subsequent event
+    /// and sidecar line is byte-identical to what an uninterrupted
+    /// recorder would have written.
+    pub fn resumed(writer: W, interval: u64, from: &Checkpoint) -> Self {
+        assert!(interval > 0, "checkpoint interval must be positive");
+        let mut rec = JsonlRecorder::new(writer);
+        rec.ckpt = Some(CheckpointState {
+            interval,
+            progress: 0,
+            round: from.round,
+            step: from.step,
+            events: from.events,
+            bytes: from.resume_offset(),
+            digest: StreamDigest::from_value(from.digest),
+        });
+        rec
+    }
+
+    /// The last `#checkpoint ` sidecar written, if any.
+    pub fn last_checkpoint(&self) -> Option<Checkpoint> {
+        self.last_ckpt
     }
 
     /// Lines written so far (including the meta line, if any).
@@ -257,20 +353,105 @@ impl<W: Write> JsonlRecorder<W> {
     }
 }
 
+/// Drops every event until `rounds` [`Event::RoundEnd`]s have passed,
+/// then forwards the rest to the wrapped recorder verbatim.
+///
+/// This is the simulator's resume seam: a LOCAL simulation is cheap to
+/// re-execute deterministically, so `Simulator::resume_recorded` (in
+/// `lll-local`) re-runs the protocol from round 1 and uses this wrapper
+/// to suppress
+/// the rounds the durable prefix already contains — the inner recorder
+/// (typically a [`JsonlRecorder::resumed`]) only ever sees the
+/// continuation, byte-identical to an uninterrupted run's tail.
+///
+/// The `sim_run_start` bracket counts as part of round 1's prefix: it
+/// is suppressed whenever `rounds > 0` (a checkpoint inside a sim run
+/// always has the bracket in its prefix).
+#[derive(Debug)]
+pub struct SkipPrefixRecorder<'a, R: Recorder> {
+    inner: &'a mut R,
+    rounds: u64,
+    seen: u64,
+}
+
+impl<'a, R: Recorder> SkipPrefixRecorder<'a, R> {
+    /// Wraps `inner`, swallowing everything up to and including the
+    /// `rounds`-th `round_end` event.
+    pub fn new(inner: &'a mut R, rounds: u64) -> Self {
+        SkipPrefixRecorder {
+            inner,
+            rounds,
+            seen: 0,
+        }
+    }
+
+    /// `round_end` events swallowed or forwarded so far.
+    pub fn rounds_seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+impl<R: Recorder> Recorder for SkipPrefixRecorder<'_, R> {
+    const ENABLED: bool = R::ENABLED;
+
+    fn record(&mut self, event: &Event) {
+        if self.seen >= self.rounds {
+            self.inner.record(event);
+            return;
+        }
+        if let Event::RoundEnd { .. } = event {
+            self.seen += 1;
+        }
+    }
+}
+
 impl<W: Write> Recorder for JsonlRecorder<W> {
     fn record(&mut self, event: &Event) {
         if self.error.is_some() {
             return;
         }
-        if let Err(e) = writeln!(
-            self.writer,
-            "{}",
-            event.to_jsonl_tagged(self.req.as_deref())
-        ) {
+        let line = event.to_jsonl_tagged(self.req.as_deref());
+        if let Err(e) = writeln!(self.writer, "{line}") {
             self.error = Some(e);
-        } else {
-            self.lines += 1;
+            return;
         }
+        self.lines += 1;
+        let Some(ck) = &mut self.ckpt else {
+            return;
+        };
+        ck.events += 1;
+        ck.bytes += line.len() as u64 + 1;
+        ck.digest.update_line(&line);
+        match event {
+            Event::RoundEnd { .. } => {
+                ck.round += 1;
+                ck.progress += 1;
+            }
+            Event::FixStep { .. } => {
+                ck.step += 1;
+                ck.progress += 1;
+            }
+            _ => {}
+        }
+        if ck.progress < ck.interval {
+            return;
+        }
+        let sidecar = Checkpoint {
+            round: ck.round,
+            step: ck.step,
+            events: ck.events,
+            offset: ck.bytes,
+            digest: ck.digest.value(),
+        };
+        let sidecar_line = sidecar.to_line();
+        if let Err(e) = writeln!(self.writer, "{sidecar_line}") {
+            self.error = Some(e);
+            return;
+        }
+        self.lines += 1;
+        ck.bytes += sidecar_line.len() as u64 + 1;
+        ck.progress = 0;
+        self.last_ckpt = Some(sidecar);
     }
 }
 
@@ -371,6 +552,82 @@ mod tests {
             text,
             "{\"type\":\"fix_run_end\",\"req\":\"q0\",\"steps\":1,\"violated\":0}\n"
         );
+    }
+
+    fn round_end(round: usize) -> Event {
+        Event::RoundEnd {
+            round,
+            delivered: 2,
+            bytes: 8,
+            halted: 0,
+            running: 2,
+        }
+    }
+
+    #[test]
+    fn checkpointing_recorder_emits_verifiable_sidecars() {
+        let mut r = JsonlRecorder::new(Vec::new()).checkpoint_every(2);
+        for round in 1..=5 {
+            r.record(&round_end(round));
+        }
+        let last = r.last_checkpoint().expect("two sidecars were due");
+        assert_eq!((last.round, last.step, last.events), (4, 0, 4));
+        let text = String::from_utf8(r.finish().unwrap()).unwrap();
+        let sidecars: Vec<&str> = text.lines().filter(|l| l.starts_with('#')).collect();
+        // 5 triggers at interval 2 → sidecars after rounds 2 and 4.
+        assert_eq!(sidecars.len(), 2);
+        let ck = Checkpoint::parse(sidecars[1]).unwrap();
+        assert_eq!(ck, last);
+        // The recorded offset is where the sidecar line actually starts.
+        let at = text
+            .lines()
+            .take_while(|l| !l.starts_with('#') || Checkpoint::parse(l).unwrap() != ck)
+            .map(|l| l.len() + 1)
+            .sum::<usize>() as u64;
+        assert_eq!(ck.offset, at);
+        // The digest matches a fold over the event lines of the prefix.
+        let mut d = StreamDigest::new();
+        for l in text.lines().take(5).filter(|l| !l.starts_with('#')) {
+            d.update_line(l);
+        }
+        assert_eq!(d.value(), ck.digest);
+        // Stripping sidecars recovers the uncheckpointed stream.
+        let mut plain = JsonlRecorder::new(Vec::new());
+        for round in 1..=5 {
+            plain.record(&round_end(round));
+        }
+        let plain = String::from_utf8(plain.finish().unwrap()).unwrap();
+        let stripped: String = text
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(stripped, plain);
+    }
+
+    #[test]
+    fn resumed_recorder_continues_byte_for_byte() {
+        let mut full = JsonlRecorder::new(Vec::new()).checkpoint_every(2);
+        for round in 1..=7 {
+            full.record(&round_end(round));
+        }
+        let full = full.finish().unwrap();
+
+        // Interrupted copy: killed after round 5, resumed from the
+        // sidecar emitted after round 4.
+        let mut head = JsonlRecorder::new(Vec::new()).checkpoint_every(2);
+        for round in 1..=5 {
+            head.record(&round_end(round));
+        }
+        let ck = head.last_checkpoint().unwrap();
+        let mut bytes = head.finish().unwrap();
+        bytes.truncate(ck.resume_offset() as usize);
+        let mut tail = JsonlRecorder::resumed(Vec::new(), 2, &ck);
+        for round in 5..=7 {
+            tail.record(&round_end(round));
+        }
+        bytes.extend_from_slice(&tail.finish().unwrap());
+        assert_eq!(bytes, full);
     }
 
     #[test]

@@ -11,7 +11,17 @@
 //! potential of Lemmas 3.5–3.7). Each series exports as a
 //! provenance-stamped CSV via [`Replay::rounds_csv`] and friends — the
 //! `obs-report series` subcommand is a thin wrapper around them.
+//!
+//! The checkpoint/resume side (DESIGN.md §3.12) lives in [`RunState`]:
+//! a second bounded-memory fold that reconstructs *resumable* run state
+//! — the applied `(variable, value)` step sequence, round and audit
+//! counters, the byte offset, and the rolling
+//! [`StreamDigest`](crate::StreamDigest) — and verifies every
+//! `#checkpoint ` sidecar it passes against its own counters. Both
+//! folds skip `#`-prefixed sidecar lines, so checkpointed and plain
+//! streams replay identically.
 
+use crate::checkpoint::{is_sidecar, Checkpoint, StreamDigest};
 use serde::Value;
 
 /// One `round_end` event: the per-round bill of one simulator run.
@@ -132,6 +142,10 @@ impl Replay {
     /// A description of the malformed line (invalid JSON or missing
     /// `type` tag).
     pub fn fold_line(&mut self, line: &str) -> Result<(), String> {
+        if is_sidecar(line) {
+            // Checkpoint (and other) sidecar comments are not events.
+            return Ok(());
+        }
         let v: Value = serde_json::from_str(line).map_err(|e| format!("not valid JSON: {e}"))?;
         let ty = match v.get("type") {
             Some(Value::String(t)) => t.clone(),
@@ -252,6 +266,265 @@ impl Replay {
     }
 }
 
+/// The resumable facts of a [`RunState`] frozen at a verified
+/// `#checkpoint ` sidecar — everything a resume driver needs beyond the
+/// step prefix (`RunState::steps()[..checkpoint.step]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumePoint {
+    /// The sidecar record itself, as verified against the fold.
+    pub checkpoint: Checkpoint,
+    /// Audit events (`audit_pass` + `audit_violation`) folded by then.
+    pub audits: u64,
+    /// Simulator runs started by then.
+    pub sim_runs: u64,
+    /// `round_end` events of the *current* simulator run by then.
+    pub sim_rounds: u64,
+    /// Whether the current simulator run had completed by then.
+    pub sim_run_complete: bool,
+    /// Fixer runs started by then.
+    pub fix_runs: u64,
+    /// Whether the current fixer run had completed by then.
+    pub fix_run_complete: bool,
+}
+
+/// A bounded-memory fold that reconstructs *resumable* run state from a
+/// prefix of a recorded stream.
+///
+/// Where [`Replay`] accumulates analytics series, `RunState` keeps only
+/// what a resume needs: the applied `(variable, value)` step sequence
+/// (the fixers are pure functions of it — DESIGN.md §3.12), round /
+/// audit / event counters, the byte offset after the last durable line,
+/// and the rolling digest. Memory is `O(steps)`, independent of round
+/// count and event volume.
+///
+/// Every `#checkpoint ` sidecar encountered is verified against the
+/// fold's own counters and digest — a mismatch means the stream is
+/// corrupt, not merely torn, and folding fails loudly.
+///
+/// Torn tails are the caller's to detect (a final line without `\n`):
+/// stop folding and treat [`RunState::bytes`] as the end of the durable
+/// prefix. [`RunState::from_stream`] implements exactly that policy.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct RunState {
+    steps: Vec<(u64, u64)>,
+    lines: u64,
+    events: u64,
+    bytes: u64,
+    round_ends: u64,
+    sim_runs: u64,
+    sim_rounds: u64,
+    sim_run_complete: bool,
+    fix_runs: u64,
+    fix_run_complete: bool,
+    audits: u64,
+    digest: StreamDigest,
+    meta: Option<String>,
+    last: Option<ResumePoint>,
+}
+
+impl RunState {
+    /// An empty fold.
+    pub fn new() -> Self {
+        RunState {
+            digest: StreamDigest::new(),
+            ..RunState::default()
+        }
+    }
+
+    /// Folds the next *terminated* line of the stream (newline already
+    /// stripped; blank lines are ignored). A torn final line must not be
+    /// passed here — see the type-level docs.
+    ///
+    /// # Errors
+    ///
+    /// A description of the malformed line (invalid JSON, missing
+    /// `type`, malformed `#checkpoint ` payload) or of a checkpoint
+    /// whose counters contradict the fold (corrupt stream).
+    pub fn fold_line(&mut self, line: &str) -> Result<(), String> {
+        self.lines += 1;
+        if line.trim().is_empty() {
+            self.bytes += line.len() as u64 + 1;
+            return Ok(());
+        }
+        if is_sidecar(line) {
+            if line.starts_with(crate::checkpoint::CHECKPOINT_PREFIX) {
+                let ck = Checkpoint::parse(line)?;
+                self.verify_checkpoint(&ck)?;
+                self.last = Some(ResumePoint {
+                    checkpoint: ck,
+                    audits: self.audits,
+                    sim_runs: self.sim_runs,
+                    sim_rounds: self.sim_rounds,
+                    sim_run_complete: self.sim_run_complete,
+                    fix_runs: self.fix_runs,
+                    fix_run_complete: self.fix_run_complete,
+                });
+            }
+            self.bytes += line.len() as u64 + 1;
+            return Ok(());
+        }
+        let v: Value = serde_json::from_str(line).map_err(|e| format!("not valid JSON: {e}"))?;
+        let ty = match v.get("type") {
+            Some(Value::String(t)) => t.clone(),
+            _ => return Err("missing \"type\" field".to_string()),
+        };
+        if ty == "meta" {
+            self.meta = Some(line.to_string());
+            self.bytes += line.len() as u64 + 1;
+            return Ok(());
+        }
+        match ty.as_str() {
+            "sim_run_start" => {
+                self.sim_runs += 1;
+                self.sim_rounds = 0;
+                self.sim_run_complete = false;
+            }
+            "round_end" => {
+                self.round_ends += 1;
+                self.sim_rounds += 1;
+            }
+            "sim_run_end" => self.sim_run_complete = true,
+            "fix_run_start" => {
+                self.fix_runs += 1;
+                self.fix_run_complete = false;
+            }
+            "fix_step" => self
+                .steps
+                .push((uint(v.get("variable")), uint(v.get("value")))),
+            "audit_pass" | "audit_violation" => self.audits += 1,
+            "fix_run_end" => self.fix_run_complete = true,
+            _ => {}
+        }
+        self.events += 1;
+        self.digest.update_line(line);
+        self.bytes += line.len() as u64 + 1;
+        Ok(())
+    }
+
+    fn verify_checkpoint(&self, ck: &Checkpoint) -> Result<(), String> {
+        let expect = (
+            self.round_ends,
+            self.steps.len() as u64,
+            self.events,
+            self.bytes,
+            self.digest.value(),
+        );
+        let got = (ck.round, ck.step, ck.events, ck.offset, ck.digest);
+        if expect != got {
+            return Err(format!(
+                "checkpoint at line {} contradicts the fold: sidecar says \
+                 (round,step,events,offset,digest)=({},{},{},{},{:016x}) \
+                 but the fold reached ({},{},{},{},{:016x}) — corrupt stream",
+                self.lines,
+                got.0,
+                got.1,
+                got.2,
+                got.3,
+                got.4,
+                expect.0,
+                expect.1,
+                expect.2,
+                expect.3,
+                expect.4
+            ));
+        }
+        Ok(())
+    }
+
+    /// Folds a whole in-memory stream, tolerating a torn final line
+    /// (no trailing `\n`): the tail is *not* folded and its start
+    /// offset — the end of the durable prefix — is returned alongside
+    /// the state.
+    ///
+    /// # Errors
+    ///
+    /// As [`RunState::fold_line`], prefixed with the 1-based line
+    /// number.
+    pub fn from_stream(text: &str) -> Result<(RunState, Option<u64>), String> {
+        let mut state = RunState::new();
+        for (idx, raw) in text.split_inclusive('\n').enumerate() {
+            let line_no = idx + 1;
+            match raw.strip_suffix('\n') {
+                Some(line) => state
+                    .fold_line(line)
+                    .map_err(|e| format!("line {line_no}: {e}"))?,
+                None => {
+                    let torn_at = state.bytes;
+                    return Ok((state, Some(torn_at)));
+                }
+            }
+        }
+        Ok((state, None))
+    }
+
+    /// The applied `(variable, value)` fixing steps, in stream order.
+    pub fn steps(&self) -> &[(u64, u64)] {
+        &self.steps
+    }
+
+    /// Event lines folded (meta and sidecar lines excluded).
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Byte offset one past the last folded line — the length of the
+    /// durable prefix.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// `round_end` events folded, across all simulator runs.
+    pub fn rounds(&self) -> u64 {
+        self.round_ends
+    }
+
+    /// `round_end` events of the current (latest) simulator run.
+    pub fn sim_rounds(&self) -> u64 {
+        self.sim_rounds
+    }
+
+    /// Simulator runs started.
+    pub fn sim_runs(&self) -> u64 {
+        self.sim_runs
+    }
+
+    /// Whether the latest simulator run has its `sim_run_end`.
+    pub fn sim_run_complete(&self) -> bool {
+        self.sim_run_complete
+    }
+
+    /// Fixer runs started.
+    pub fn fix_runs(&self) -> u64 {
+        self.fix_runs
+    }
+
+    /// Whether the latest fixer run has its `fix_run_end`.
+    pub fn fix_run_complete(&self) -> bool {
+        self.fix_run_complete
+    }
+
+    /// Audit events (`audit_pass` + `audit_violation`) folded.
+    pub fn audits(&self) -> u64 {
+        self.audits
+    }
+
+    /// The rolling digest over the folded event lines.
+    pub fn digest(&self) -> u64 {
+        self.digest.value()
+    }
+
+    /// The raw meta line, if the stream carried one.
+    pub fn meta(&self) -> Option<&str> {
+        self.meta.as_deref()
+    }
+
+    /// The last verified `#checkpoint ` sidecar and the resumable facts
+    /// frozen at it.
+    pub fn last_checkpoint(&self) -> Option<&ResumePoint> {
+        self.last.as_ref()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,5 +626,150 @@ mod tests {
         assert!(Replay::from_stream("{\"x\":1}")
             .unwrap_err()
             .contains("type"));
+    }
+
+    #[test]
+    fn replay_skips_sidecar_lines() {
+        let mut text = sample_stream();
+        text.push_str("#checkpoint {\"round\":1,\"step\":1,\"events\":8,\"offset\":0,\"digest\":\"0000000000000000\"}\n");
+        let with = Replay::from_stream(&text).unwrap();
+        let without = Replay::from_stream(&sample_stream()).unwrap();
+        assert_eq!(with, without);
+    }
+
+    /// A checkpointed recording of the sample events, for `RunState` tests.
+    fn checkpointed_stream(interval: u64) -> String {
+        use crate::recorder::{JsonlRecorder, Recorder};
+        let mut rec = JsonlRecorder::new(Vec::new()).checkpoint_every(interval);
+        for e in sample_events() {
+            rec.record(&e);
+        }
+        String::from_utf8(rec.finish().unwrap()).unwrap()
+    }
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::SimRunStart {
+                nodes: 2,
+                edges: 1,
+                max_degree: 1,
+                seed: 9,
+            },
+            Event::RoundEnd {
+                round: 1,
+                delivered: 2,
+                bytes: 8,
+                halted: 1,
+                running: 1,
+            },
+            Event::RoundEnd {
+                round: 2,
+                delivered: 0,
+                bytes: 0,
+                halted: 1,
+                running: 0,
+            },
+            Event::SimRunEnd {
+                rounds: 1,
+                messages: 2,
+            },
+            Event::FixRunStart {
+                variables: 2,
+                events: 2,
+                max_rank: 2,
+            },
+            Event::FixStep {
+                step: 0,
+                variable: 3,
+                value: 1,
+                rank: 2,
+                touched: vec![0, 1],
+                inc: vec![1.0, 0.5],
+                phi_product: vec![0.5, 0.75],
+                headroom: vec![1.25, 0.75],
+            },
+            Event::AuditPass {
+                step: 0,
+                variable: 3,
+            },
+            Event::FixStep {
+                step: 1,
+                variable: 5,
+                value: 0,
+                rank: 1,
+                touched: vec![1],
+                inc: vec![1.0],
+                phi_product: vec![0.5],
+                headroom: vec![],
+            },
+            Event::FixRunEnd {
+                steps: 2,
+                violated: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn run_state_folds_and_verifies_checkpoints() {
+        let text = checkpointed_stream(2);
+        let (state, torn) = RunState::from_stream(&text).unwrap();
+        assert_eq!(torn, None);
+        assert_eq!(state.events(), 9);
+        assert_eq!(state.rounds(), 2);
+        assert_eq!(state.steps(), &[(3, 1), (5, 0)]);
+        assert_eq!(state.audits(), 1);
+        assert_eq!(state.bytes(), text.len() as u64);
+        assert!(state.sim_run_complete());
+        assert!(state.fix_run_complete());
+        let rp = state.last_checkpoint().expect("interval 2 fires");
+        // Triggers: round_end ×2 (sidecar), fix_step ×2 (sidecar).
+        assert_eq!(rp.checkpoint.round, 2);
+        assert_eq!(rp.checkpoint.step, 2);
+        assert_eq!(rp.audits, 1);
+        assert_eq!(rp.sim_runs, 1);
+        assert!(rp.sim_run_complete);
+        assert_eq!(rp.fix_runs, 1);
+        assert!(!rp.fix_run_complete);
+    }
+
+    #[test]
+    fn run_state_rejects_contradicted_checkpoint() {
+        let text = checkpointed_stream(2);
+        // Corrupt one event line inside the first checkpointed window:
+        // same length, different bytes, so only the digest can tell.
+        let bad = text.replacen("\"delivered\":2", "\"delivered\":3", 1);
+        let err = RunState::from_stream(&bad).unwrap_err();
+        assert!(err.contains("corrupt stream"), "{err}");
+    }
+
+    #[test]
+    fn run_state_reports_torn_tail_offset() {
+        let text = checkpointed_stream(2);
+        // Cut inside the final line.
+        let cut = &text[..text.len() - 5];
+        let (state, torn) = RunState::from_stream(cut).unwrap();
+        let torn = torn.expect("tail is torn");
+        assert_eq!(torn, state.bytes());
+        assert!(text[torn as usize..].starts_with("{\"type\":\"fix_run_end\""));
+        assert!(!state.fix_run_complete());
+        assert_eq!(state.steps().len(), 2);
+    }
+
+    #[test]
+    fn run_state_matches_recorder_counters_at_checkpoint() {
+        // The durable prefix up to the sidecar re-folds to exactly the
+        // sidecar's counters (the resume-check invariant).
+        let text = checkpointed_stream(3);
+        let (full, _) = RunState::from_stream(&text).unwrap();
+        let rp = *full.last_checkpoint().unwrap();
+        let prefix = &text[..rp.checkpoint.resume_offset() as usize];
+        let (state, torn) = RunState::from_stream(prefix).unwrap();
+        assert_eq!(torn, None);
+        assert_eq!(state.events(), rp.checkpoint.events);
+        assert_eq!(state.rounds(), rp.checkpoint.round);
+        assert_eq!(state.steps().len() as u64, rp.checkpoint.step);
+        assert_eq!(state.digest(), rp.checkpoint.digest);
+        assert_eq!(state.bytes(), rp.checkpoint.resume_offset());
+        assert_eq!(state.last_checkpoint(), Some(&rp));
     }
 }

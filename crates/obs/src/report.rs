@@ -91,6 +91,11 @@ impl Summary {
     /// caller knows the position).
     pub fn fold_line(&mut self, line: &str) -> Result<(), String> {
         let s = self;
+        if line.starts_with('#') {
+            // Sidecar comment (e.g. a `#checkpoint ` line): not an
+            // event, not counted.
+            return Ok(());
+        }
         let v: Value = serde_json::from_str(line).map_err(|e| format!("not valid JSON: {e}"))?;
         let ty = match v.get("type") {
             Some(Value::String(t)) => t.clone(),

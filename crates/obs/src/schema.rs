@@ -167,6 +167,17 @@ impl StreamValidator {
     pub fn check(&mut self, line: &str) -> Result<(), String> {
         let lineno = self.lines + 1;
         let err = |msg: String| Err(format!("line {lineno}: {msg}"));
+        if line.starts_with('#') {
+            // Sidecar comments carry no stream-level invariants, but a
+            // known `#checkpoint ` sidecar must at least parse.
+            if line.starts_with(crate::checkpoint::CHECKPOINT_PREFIX) {
+                if let Err(e) = crate::checkpoint::Checkpoint::parse(line) {
+                    return err(e);
+                }
+            }
+            self.lines += 1;
+            return Ok(());
+        }
         let ty = match validate_line(line) {
             Ok(ty) => ty,
             Err(e) => return err(e),
@@ -440,6 +451,30 @@ mod tests {
         )
         .unwrap_err()
         .contains("not supported"));
+    }
+
+    #[test]
+    fn sidecar_lines_are_accepted_but_checkpoints_must_parse() {
+        let good = "#checkpoint {\"round\":1,\"step\":0,\"events\":2,\"offset\":10,\
+                    \"digest\":\"00000000000000ab\"}";
+        let text = [
+            Event::ExperimentStart {
+                id: "E1".to_string(),
+            }
+            .to_jsonl(),
+            good.to_string(),
+            "# free-form sidecar comment".to_string(),
+            Event::ExperimentEnd {
+                id: "E1".to_string(),
+                rows: 0,
+            }
+            .to_jsonl(),
+        ]
+        .join("\n");
+        assert_eq!(validate_stream(&text), Ok(4));
+        let bad = text.replace(good, "#checkpoint {oops");
+        let e = validate_stream(&bad).unwrap_err();
+        assert!(e.contains("line 2"), "{e}");
     }
 
     #[test]

@@ -42,7 +42,17 @@ fn stderr(out: &Output) -> String {
 /// A small, schema-valid stream: one simulator run plus one fixer run.
 fn valid_stream() -> String {
     let mut text = String::new();
-    for e in [
+    for e in valid_events() {
+        text.push_str(&e.to_jsonl());
+        text.push('\n');
+    }
+    text
+}
+
+/// The events behind [`valid_stream`], for recording through a
+/// checkpointing recorder.
+fn valid_events() -> Vec<Event> {
+    vec![
         Event::SimRunStart {
             nodes: 2,
             edges: 1,
@@ -84,11 +94,19 @@ fn valid_stream() -> String {
             steps: 1,
             violated: 0,
         },
-    ] {
-        text.push_str(&e.to_jsonl());
-        text.push('\n');
+    ]
+}
+
+/// [`valid_stream`] recorded through a checkpointing recorder: the same
+/// event lines plus `#checkpoint ` sidecars every `interval` progress
+/// events.
+fn checkpointed_stream(interval: u64) -> String {
+    use lll_obs::{JsonlRecorder, Recorder};
+    let mut rec = JsonlRecorder::new(Vec::new()).checkpoint_every(interval);
+    for e in valid_events() {
+        rec.record(&e);
     }
-    text
+    String::from_utf8(rec.finish().unwrap()).unwrap()
 }
 
 #[test]
@@ -412,4 +430,146 @@ fn diff_identical_exits_zero_divergent_exits_one() {
     assert!(text.contains("delivered"), "{text}");
     std::fs::remove_file(&a_path).ok();
     std::fs::remove_file(&b_path).ok();
+}
+
+#[test]
+fn diff_ignores_checkpoint_sidecars() {
+    let a_path = scratch("plain.jsonl");
+    let b_path = scratch("checkpointed.jsonl");
+    std::fs::write(&a_path, valid_stream()).unwrap();
+    std::fs::write(&b_path, checkpointed_stream(1)).unwrap();
+    let out = run(&["diff", a_path.to_str().unwrap(), b_path.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+    std::fs::remove_file(&a_path).ok();
+    std::fs::remove_file(&b_path).ok();
+}
+
+#[test]
+fn validate_stats_prints_awk_friendly_shape() {
+    let text = checkpointed_stream(1);
+    let path = scratch("stats.jsonl");
+    std::fs::write(&path, &text).unwrap();
+    let out = run(&["validate", "--stats", path.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+    let line = stdout(&out);
+    for key in [
+        "events=8",
+        &format!("bytes={}", text.len()),
+        "rounds=1",
+        "steps=1",
+        "sim_runs=1",
+        "fix_runs=1",
+        "checkpoints=1",
+        "last_checkpoint_round=1",
+        "torn=0",
+    ] {
+        assert!(line.contains(key), "missing {key} in: {line}");
+    }
+    std::fs::remove_file(&path).ok();
+
+    // A plain stream reports no checkpoint as -1.
+    let plain = scratch("stats-plain.jsonl");
+    std::fs::write(&plain, valid_stream()).unwrap();
+    let out = run(&["validate", "--stats", plain.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+    assert!(
+        stdout(&out).contains("last_checkpoint_round=-1"),
+        "{}",
+        stdout(&out)
+    );
+    std::fs::remove_file(&plain).ok();
+}
+
+#[test]
+fn validate_rejects_contradicted_checkpoint() {
+    // Same-length mutation inside the checkpointed window: schema-valid,
+    // only the fold digest can catch it.
+    let text = checkpointed_stream(2).replace("\"delivered\":2", "\"delivered\":3");
+    let path = scratch("corrupt.jsonl");
+    std::fs::write(&path, &text).unwrap();
+    let out = run(&["validate", path.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 1, "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("corrupt stream"), "{}", stderr(&out));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn torn_sidecar_line_reports_byte_offset() {
+    let text = checkpointed_stream(1);
+    let cut_line_start = text.rfind("#checkpoint").unwrap();
+    let torn = &text[..cut_line_start + 15];
+    let path = scratch("torn-sidecar.jsonl");
+    std::fs::write(&path, torn).unwrap();
+    for args in [
+        vec!["validate", path.to_str().unwrap()],
+        vec!["summarize", path.to_str().unwrap()],
+    ] {
+        let out = run(&args);
+        assert_eq!(exit_code(&out), 3, "stderr: {}", stderr(&out));
+        assert!(
+            stderr(&out).contains(&format!("byte offset {cut_line_start}")),
+            "args {args:?}: {}",
+            stderr(&out)
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn torn_meta_line_reports_byte_offset_zero() {
+    let meta = lll_obs::Provenance::capture().with_seed(3).to_jsonl();
+    let path = scratch("torn-meta.jsonl");
+    std::fs::write(&path, &meta[..meta.len() / 2]).unwrap();
+    let out = run(&["validate", path.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 3, "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("byte offset 0"), "{}", stderr(&out));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_check_verifies_a_triple() {
+    let full_text = checkpointed_stream(1);
+    let prefix_path = scratch("rc-prefix.jsonl");
+    let full_path = scratch("rc-full.jsonl");
+    // The interrupted copy: killed mid-way through the final event line,
+    // after the last sidecar.
+    std::fs::write(&prefix_path, &full_text[..full_text.len() - 10]).unwrap();
+    std::fs::write(&full_path, &full_text).unwrap();
+    let out = run(&[
+        "resume-check",
+        prefix_path.to_str().unwrap(),
+        full_path.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("resume-check OK"), "{}", stdout(&out));
+
+    // A continuation from a different run diverges before the boundary.
+    let other = full_text.replace("\"delivered\":2", "\"delivered\":3");
+    std::fs::write(&full_path, &other).unwrap();
+    let out = run(&[
+        "resume-check",
+        prefix_path.to_str().unwrap(),
+        full_path.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 1, "stderr: {}", stderr(&out));
+
+    // A prefix with no checkpoint has nothing to resume from.
+    std::fs::write(&prefix_path, valid_stream()).unwrap();
+    std::fs::write(&full_path, &full_text).unwrap();
+    let out = run(&[
+        "resume-check",
+        prefix_path.to_str().unwrap(),
+        full_path.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 1, "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("nothing to resume from"),
+        "{}",
+        stderr(&out)
+    );
+
+    // Usage: exactly two files.
+    assert_eq!(exit_code(&run(&["resume-check", "one.jsonl"])), 2);
+    std::fs::remove_file(&prefix_path).ok();
+    std::fs::remove_file(&full_path).ok();
 }

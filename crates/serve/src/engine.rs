@@ -185,6 +185,7 @@ impl Engine {
         self.metrics
             .cache_bytes
             .set(i64::try_from(self.cache.approx_bytes()).unwrap_or(i64::MAX));
+        self.metrics.sync_memory();
         self.metrics.registry().render()
     }
 

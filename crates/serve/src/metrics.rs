@@ -71,6 +71,16 @@ pub struct ServeMetrics {
     pub queue_depth: Gauge,
     /// Bytes of request lines currently being solved.
     pub inflight_bytes: Gauge,
+    /// Bytes of the parallel engine's two message slabs (last run).
+    pub slab_bytes: Gauge,
+    /// Port slots per message slab (last run).
+    pub slab_slots: Gauge,
+    /// Worker shards the slab was cut into (last run).
+    pub slab_shards: Gauge,
+    /// Slots of the widest shard — the load-balance worst case.
+    pub slab_max_shard_slots: Gauge,
+    /// Peak resident set size of the daemon process in bytes.
+    pub peak_rss_bytes: Gauge,
 }
 
 impl ServeMetrics {
@@ -124,6 +134,26 @@ impl ServeMetrics {
             "lll_serve_inflight_bytes",
             "Bytes of request lines currently being solved",
         );
+        let slab_bytes = registry.gauge(
+            "lll_engine_slab_bytes",
+            "Bytes of the parallel engine's two message slabs (last run)",
+        );
+        let slab_slots = registry.gauge(
+            "lll_engine_slab_slots",
+            "Port slots per message slab (last run)",
+        );
+        let slab_shards = registry.gauge(
+            "lll_engine_slab_shards",
+            "Worker shards the slab was cut into (last run)",
+        );
+        let slab_max_shard_slots = registry.gauge(
+            "lll_engine_slab_max_shard_slots",
+            "Slots of the widest slab shard (last run)",
+        );
+        let peak_rss_bytes = registry.gauge(
+            "lll_process_peak_rss_bytes",
+            "Peak resident set size of the daemon process in bytes",
+        );
         ServeMetrics {
             registry,
             requests,
@@ -140,6 +170,30 @@ impl ServeMetrics {
             cache_bytes,
             queue_depth,
             inflight_bytes,
+            slab_bytes,
+            slab_slots,
+            slab_shards,
+            slab_max_shard_slots,
+            peak_rss_bytes,
+        }
+    }
+
+    /// Syncs the slab-engine memory gauges from the process-wide
+    /// engine gauges (`lll_local::gauges`). Zeroes before the first
+    /// parallel run; RSS is skipped where the platform has no procfs.
+    pub fn sync_memory(&self) {
+        let slab = lll_local::gauges::slab_snapshot();
+        self.slab_bytes
+            .set(i64::try_from(slab.slab_bytes).unwrap_or(i64::MAX));
+        self.slab_slots
+            .set(i64::try_from(slab.slots).unwrap_or(i64::MAX));
+        self.slab_shards
+            .set(i64::try_from(slab.shards).unwrap_or(i64::MAX));
+        self.slab_max_shard_slots
+            .set(i64::try_from(slab.max_shard_slots).unwrap_or(i64::MAX));
+        if let Some(rss) = lll_local::gauges::peak_rss_bytes() {
+            self.peak_rss_bytes
+                .set(i64::try_from(rss).unwrap_or(i64::MAX));
         }
     }
 

@@ -146,6 +146,11 @@ fn exposition_is_well_formed_and_complete() {
         "lll_serve_latency_micros_count 3\n",
         "lll_serve_sweep_micros_count 2\n",
         "lll_serve_shutdowns_total 0\n",
+        "lll_engine_slab_bytes",
+        "lll_engine_slab_slots",
+        "lll_engine_slab_shards",
+        "lll_engine_slab_max_shard_slots",
+        "lll_process_peak_rss_bytes",
     ] {
         assert!(
             text.contains(needle),
@@ -159,6 +164,16 @@ fn exposition_is_well_formed_and_complete() {
         .expect("cache bytes gauge");
     let bytes: i64 = bytes_line.rsplit(' ').next().unwrap().parse().unwrap();
     assert!(bytes > 0, "cached schedules occupy no bytes? {bytes_line}");
+    // Where procfs exists, the peak-RSS gauge reads the allocator truth.
+    #[cfg(target_os = "linux")]
+    {
+        let rss_line = text
+            .lines()
+            .find(|l| l.starts_with("lll_process_peak_rss_bytes "))
+            .expect("peak RSS gauge");
+        let rss: i64 = rss_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(rss > 0, "implausible peak RSS: {rss_line}");
+    }
 }
 
 /// Per-request attribution: every solve feeds exactly one latency and
