@@ -11,6 +11,10 @@ cargo build --release
 echo "==> cargo test -q (tier-1 gate)"
 cargo test -q
 
+echo "==> numeric crossover battery (i128 <-> Wide <-> Heap, 10k cases/op)"
+cargo test -q -p lll-numeric --test wide_crossover
+cargo test -q -p lll-numeric --features serde --test wide_crossover
+
 echo "==> cargo test --workspace -q (full suite)"
 cargo test --workspace -q
 
@@ -83,6 +87,17 @@ rm -rf "$tmp_ckpt"
 cargo run --release -q -p lll-bench --bin tables -- --csv results E20
 awk -F, '!/^#/ && NR > 2 && $2 ~ /^[0-9]+$/ { if ($4 > 1.05) bad = 1 } END { exit bad }' \
   results/e20_resume_overhead.csv
+
+echo "==> E22: wide-tier gear (audited speedup must be >= 1.5x pre-gear baseline)"
+# Byte-identity across t in {1,2,8} and across both gears is asserted
+# inside the experiment before any timing; the gate here is the
+# wall-clock claim against the committed pre-gear baseline.
+cargo run --release -q -p lll-bench --bin tables -- --csv results E22
+awk -F, '!/^#/ && NR > 2 { if ($7 < 1.5) bad = 1; rows++ } END { exit !(rows == 2 && !bad) }' \
+  results/e22_wide_tier.csv
+
+echo "==> Criterion wide-tier kernel medians"
+cargo bench -p lll-bench --bench numeric | tee results/criterion_numeric_medians.txt
 
 echo "==> service mode: protocol + cache + parse + soak batteries"
 cargo test -q -p lll-serve

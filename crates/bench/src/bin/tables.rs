@@ -825,6 +825,67 @@ fn main() {
         trace_experiment(&mut obs, "E20", overhead.len() + wallclock.len());
     }
 
+    if wanted(&selected, "E22") {
+        println!("== E22: the second exact gear — wide-tier audited driver wall-clock ==");
+        let data = ex::e22_wide_tier(2048, 512);
+        write_csv(
+            "e22_wide_tier.csv",
+            "driver,n,millis,narrow_millis,gear_ratio,baseline_millis,speedup,tier_promotes,tier_demotes",
+            &data
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{},{},{:.3},{:.3},{:.3},{:.1},{:.3},{},{}",
+                        r.driver,
+                        r.n,
+                        r.millis,
+                        r.narrow_millis,
+                        r.gear_ratio,
+                        r.baseline_millis,
+                        r.speedup,
+                        r.tier_promotes,
+                        r.tier_demotes
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        let rows: Vec<Vec<String>> = data
+            .iter()
+            .map(|r| {
+                vec![
+                    r.driver.clone(),
+                    r.n.to_string(),
+                    format!("{:.1}", r.millis),
+                    format!("{:.1}", r.narrow_millis),
+                    format!("{:.2}", r.gear_ratio),
+                    format!("{:.1}", r.baseline_millis),
+                    format!("{:.2}", r.speedup),
+                    r.tier_promotes.to_string(),
+                    r.tier_demotes.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "driver",
+                    "n",
+                    "ms (wide)",
+                    "ms (i128/heap)",
+                    "gear ratio",
+                    "ms (pre-gear)",
+                    "speedup",
+                    "promotes",
+                    "demotes",
+                ],
+                &rows
+            )
+        );
+        println!("(audited E2/E6 drivers on BigRational, k=16, tightness 0.9, seed 7, exact zero\n tolerance, one worker, best-of-2; streams and assignments asserted byte-identical\n across t in {{1,2,8}} and across both gears before timing; pre-gear baseline\n measured at commit 5ab4b4d on the same machine — CI gates speedup >= 1.5)\n");
+        trace_experiment(&mut obs, "E22", rows.len());
+    }
+
     if selected.contains("TRACE") {
         println!("== TRACE: recorded schedule-coloring workload (ring n = {TRACE_N}) ==");
         let mut timing = lll_obs::TimingRecorder::new();
@@ -950,12 +1011,23 @@ fn main() {
                     r.backend,
                     r.success_and_audit.to_string(),
                     format!("{:.0}", r.micros),
+                    r.tier_promotes.to_string(),
+                    r.tier_demotes.to_string(),
                 ]
             })
             .collect();
         println!(
             "{}",
-            render_table(&["backend", "success (+P* audit)", "µs/run"], &rows)
+            render_table(
+                &[
+                    "backend",
+                    "success (+P* audit)",
+                    "µs/run",
+                    "tier promotes",
+                    "tier demotes",
+                ],
+                &rows
+            )
         );
         trace_experiment(&mut obs, "A2", rows.len());
     }

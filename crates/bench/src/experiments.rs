@@ -527,7 +527,8 @@ pub fn a1_value_rule(trials: usize) -> Vec<AblationRow> {
     rows
 }
 
-/// A2 — ablation: arithmetic backend (exact rational vs `f64`).
+/// A2 — ablation: arithmetic backend (`f64` vs the exact rational
+/// backend in its two gears — `Wide` tier disabled/enabled).
 #[derive(Debug, Clone)]
 pub struct BackendRow {
     /// Backend label.
@@ -536,25 +537,25 @@ pub struct BackendRow {
     pub success_and_audit: bool,
     /// Wall-clock (µs) for one full fixing pass.
     pub micros: f64,
+    /// `BigInt` tier promotions during the run (0 for `f64`).
+    pub tier_promotes: u64,
+    /// `BigInt` tier demotions during the run (0 for `f64`).
+    pub tier_demotes: u64,
 }
 
-/// Runs ablation A2 on a hyper-ring orientation instance.
-pub fn a2_backend() -> Vec<BackendRow> {
+/// One exact-backend A2 run: build, fix, audit once, with the `Wide`
+/// tier set as given and the tier-transition counters bracketing the
+/// run. The instance is built *after* the gear flip — canonical forms
+/// must not cross a flip.
+fn a2_exact_run(label: &str, wide: bool) -> BackendRow {
     let h = hyper_ring(12);
-
-    let start = Instant::now();
-    let inst_f = hyper_orientation_instance::<f64>(&h).expect("valid hypergraph");
-    let rep_f = Fixer3::new(&inst_f)
-        .expect("below threshold")
-        .run_default()
-        .expect("finite costs below the threshold");
-    let micros_f = start.elapsed().as_micros() as f64;
-
+    let restore = lll_numeric::wide_tier_enabled();
+    lll_numeric::set_wide_tier_enabled(wide);
+    lll_numeric::reset_tier_counters();
     let start = Instant::now();
     let inst_q = hyper_orientation_instance::<BigRational>(&h).expect("valid hypergraph");
     let p = inst_q.max_event_probability();
     let mut fixer = Fixer3::new(&inst_q).expect("below threshold");
-    let mut audits_ok = true;
     for x in 0..inst_q.num_variables() {
         fixer.fix_variable(x).expect("exact costs are finite");
     }
@@ -567,21 +568,45 @@ pub fn a2_backend() -> Vec<BackendRow> {
         &p,
         &BigRational::zero(),
     );
-    audits_ok &= audit.holds();
     let rep_q = fixer.into_report();
-    let micros_q = start.elapsed().as_micros() as f64;
+    let micros = start.elapsed().as_micros() as f64;
+    let tiers = lll_numeric::tier_counters();
+    lll_numeric::set_wide_tier_enabled(restore);
+    BackendRow {
+        backend: label.to_owned(),
+        success_and_audit: rep_q.is_success() && audit.holds(),
+        micros,
+        tier_promotes: tiers.promote,
+        tier_demotes: tiers.demote,
+    }
+}
+
+/// Runs ablation A2 on a hyper-ring orientation instance: `f64`,
+/// exact with the historical two-tier representation (`exact-i128`),
+/// and exact with the 256-bit middle tier (`exact-wide`). The two
+/// exact gears must agree on success/audit — only residency and time
+/// may differ.
+pub fn a2_backend() -> Vec<BackendRow> {
+    let h = hyper_ring(12);
+
+    let start = Instant::now();
+    let inst_f = hyper_orientation_instance::<f64>(&h).expect("valid hypergraph");
+    let rep_f = Fixer3::new(&inst_f)
+        .expect("below threshold")
+        .run_default()
+        .expect("finite costs below the threshold");
+    let micros_f = start.elapsed().as_micros() as f64;
 
     vec![
         BackendRow {
             backend: "f64".to_owned(),
             success_and_audit: rep_f.is_success(),
             micros: micros_f,
+            tier_promotes: 0,
+            tier_demotes: 0,
         },
-        BackendRow {
-            backend: "exact-rational".to_owned(),
-            success_and_audit: rep_q.is_success() && audits_ok,
-            micros: micros_q,
-        },
+        a2_exact_run("exact-i128", false),
+        a2_exact_run("exact-wide", true),
     ]
 }
 
@@ -1677,6 +1702,197 @@ pub fn e20_resume_wallclock(n: usize, interval: u64) -> Vec<ResumeWallClockRow> 
             mode: "resumed".to_owned(),
             millis: resumed_millis,
             steps: total_steps,
+        },
+    ]
+}
+
+/// E22 — the second exact gear end to end: the audited E2/E6 drivers
+/// on `BigRational` with the 256-bit `Wide` tier enabled (this
+/// release's gear) vs disabled (the historical `i128`/heap two-tier
+/// representation), against the recorded pre-gear baseline. Streams
+/// and assignments are asserted byte-identical across worker counts
+/// *and* across gears before a single number is reported: the wide
+/// tier is a representation change, never an arithmetic one.
+#[derive(Debug, Clone)]
+pub struct WideTierRow {
+    /// Driver label: `"fixer2-audited"` or `"fixer3-audited"`.
+    pub driver: String,
+    /// Number of events.
+    pub n: usize,
+    /// Audited driver wall-clock at one worker, wide gear (ms).
+    pub millis: f64,
+    /// Same run with the wide tier disabled (ms).
+    pub narrow_millis: f64,
+    /// `narrow_millis / millis` — the wide tier's marginal gear ratio.
+    pub gear_ratio: f64,
+    /// Pre-gear baseline wall-clock (ms); see the `E22_BASELINE_*`
+    /// constants for provenance.
+    pub baseline_millis: f64,
+    /// `baseline_millis / millis` — the full speedup this release
+    /// claims (wide tier + audit-probability cache + sparse tuples).
+    pub speedup: f64,
+    /// `BigInt` tier promotions during the wide-gear timed pass.
+    pub tier_promotes: u64,
+    /// `BigInt` tier demotions during the wide-gear timed pass.
+    pub tier_demotes: u64,
+}
+
+/// Pre-gear rank-2 baseline: the audited E22 rank-2 workload
+/// (`ring(2048)`, `k = 16`, tightness 0.9, seed 7, exact zero
+/// tolerance, one worker, best-of-2) measured at commit `5ab4b4d` —
+/// the tip before the wide tier, the audit-probability cache, and the
+/// sparse occurring-tuple lists landed — on the same machine that
+/// produced `results/e22_wide_tier.csv`.
+pub const E22_BASELINE_RANK2_MILLIS: f64 = 113.8;
+/// Pre-gear rank-3 baseline (`hyper_ring(512)`, same protocol).
+pub const E22_BASELINE_RANK3_MILLIS: f64 = 233.1;
+
+/// One gear pass of E22: flips the wide tier, rebuilds both instances
+/// from scratch (canonical forms must never cross a gear flip),
+/// captures the recorded audited streams and assignments at each
+/// worker count, then times the audited unrecorded drivers at one
+/// worker. Returns per-thread `(rank-2 stream, rank-2 assignment,
+/// rank-3 stream, rank-3 assignment)` plus the two timings and the
+/// tier-counter deltas bracketing each timed run.
+#[allow(clippy::type_complexity)]
+fn e22_gear_pass(
+    n2: usize,
+    n3: usize,
+    thread_counts: &[usize],
+    wide: bool,
+) -> (
+    Vec<(Vec<u8>, String, Vec<u8>, String)>,
+    (f64, lll_numeric::TierCounters),
+    (f64, lll_numeric::TierCounters),
+) {
+    use lll_core::dist::{
+        distributed_fixer2_audited_recorded, distributed_fixer3_audited_recorded,
+    };
+
+    lll_numeric::set_wide_tier_enabled(wide);
+    lll_numeric::reset_tier_counters();
+    let g = ring(n2);
+    let i2 = crate::workloads::random_rank2_instance_in::<BigRational>(&g, 16, 0.9, 7);
+    let p2 = i2.max_event_probability();
+    let h = hyper_ring(n3);
+    let i3 = crate::workloads::random_rank3_instance_in::<BigRational>(&h, 16, 0.9, 7);
+    let p3 = i3.max_event_probability();
+    let zero = BigRational::zero();
+
+    let mut streams = Vec::new();
+    for &t in thread_counts {
+        let mut rec = lll_obs::JsonlRecorder::new(Vec::new());
+        let rep2 = distributed_fixer2_audited_recorded(
+            &i2,
+            5,
+            CriterionCheck::Enforce,
+            t,
+            &p2,
+            &zero,
+            &mut rec,
+        )
+        .expect("below threshold");
+        let s2 = rec.finish().expect("in-memory writer never fails");
+        let mut rec = lll_obs::JsonlRecorder::new(Vec::new());
+        let rep3 = distributed_fixer3_audited_recorded(
+            &i3,
+            5,
+            CriterionCheck::Enforce,
+            t,
+            &p3,
+            &zero,
+            &mut rec,
+        )
+        .expect("below threshold");
+        let s3 = rec.finish().expect("in-memory writer never fails");
+        streams.push((
+            s2,
+            format!("{:?}/{}", rep2.fix.assignment(), rep2.rounds),
+            s3,
+            format!("{:?}/{}", rep3.fix.assignment(), rep3.rounds),
+        ));
+    }
+
+    lll_numeric::reset_tier_counters();
+    let (_, m2) = best_of(2, || {
+        distributed_fixer2_audited(&i2, 5, CriterionCheck::Enforce, 1, &p2, &zero)
+            .expect("below threshold")
+    });
+    let t2 = lll_numeric::tier_counters();
+    lll_numeric::reset_tier_counters();
+    let (_, m3) = best_of(2, || {
+        distributed_fixer3_audited(&i3, 5, CriterionCheck::Enforce, 1, &p3, &zero)
+            .expect("below threshold")
+    });
+    let t3 = lll_numeric::tier_counters();
+    (streams, (m2, t2), (m3, t3))
+}
+
+/// Runs experiment E22 on the E2/E6 audited workloads (`ring(n2)`
+/// rank 2, `hyper_ring(n3)` rank 3, `k = 16`, tightness 0.9, seed 7,
+/// exact zero tolerance). Byte-identity is the gate, timing the
+/// payload: recorded streams and assignments must match across
+/// `t ∈ {1, 2, 8}` and across both gears before the audited
+/// one-worker wall-clocks are reported against the pre-gear baseline.
+pub fn e22_wide_tier(n2: usize, n3: usize) -> Vec<WideTierRow> {
+    let thread_counts = [1usize, 2, 8];
+    let restore = lll_numeric::wide_tier_enabled();
+    let (narrow_streams, (narrow2, _), (narrow3, _)) = e22_gear_pass(n2, n3, &thread_counts, false);
+    let (wide_streams, (wide2, tiers2), (wide3, tiers3)) =
+        e22_gear_pass(n2, n3, &thread_counts, true);
+    lll_numeric::set_wide_tier_enabled(restore);
+
+    for (i, &t) in thread_counts.iter().enumerate() {
+        let wide_run = &wide_streams[i];
+        let narrow_run = &narrow_streams[i];
+        assert_eq!(
+            wide_run.0, wide_streams[0].0,
+            "rank-2 stream diverged across workers at t={t}"
+        );
+        assert_eq!(
+            wide_run.2, wide_streams[0].2,
+            "rank-3 stream diverged across workers at t={t}"
+        );
+        assert_eq!(
+            wide_run.0, narrow_run.0,
+            "rank-2 stream diverged across gears at t={t}"
+        );
+        assert_eq!(
+            wide_run.1, narrow_run.1,
+            "rank-2 assignment diverged across gears at t={t}"
+        );
+        assert_eq!(
+            wide_run.2, narrow_run.2,
+            "rank-3 stream diverged across gears at t={t}"
+        );
+        assert_eq!(
+            wide_run.3, narrow_run.3,
+            "rank-3 assignment diverged across gears at t={t}"
+        );
+    }
+
+    vec![
+        WideTierRow {
+            driver: "fixer2-audited".to_owned(),
+            n: n2,
+            millis: wide2,
+            narrow_millis: narrow2,
+            gear_ratio: narrow2 / wide2,
+            baseline_millis: E22_BASELINE_RANK2_MILLIS,
+            speedup: E22_BASELINE_RANK2_MILLIS / wide2,
+            tier_promotes: tiers2.promote,
+            tier_demotes: tiers2.demote,
+        },
+        WideTierRow {
+            driver: "fixer3-audited".to_owned(),
+            n: n3,
+            millis: wide3,
+            narrow_millis: narrow3,
+            gear_ratio: narrow3 / wide3,
+            baseline_millis: E22_BASELINE_RANK3_MILLIS,
+            speedup: E22_BASELINE_RANK3_MILLIS / wide3,
+            tier_promotes: tiers3.promote,
+            tier_demotes: tiers3.demote,
         },
     ]
 }

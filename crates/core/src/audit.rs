@@ -114,10 +114,22 @@ pub(crate) struct AuditDelta<T> {
 /// against the given state — the union-of-`affects` analogue of
 /// [`IncrementalAuditor::reverify`], shared by the sequential and the
 /// sharded audit paths so their verdicts are identical by construction.
+///
+/// `post_probs` is the fixers' per-event conditional-probability cache:
+/// a `Some(p)` entry short-circuits the `Pr[v | partial]` enumeration.
+/// The caller guarantees freshness for every event touched by `vars` —
+/// the fixing step that touched `v` last wrote `Pr[v | partial ∪ {x:y}]`
+/// there, and `probability_with` runs the *identical* enumeration as
+/// `probability` against the post-fix partial (variables fixed later
+/// are outside `support(v)`, or they would have rewritten the entry),
+/// so the cached value equals the recomputation bit for bit on every
+/// backend. Pass `&[]` to disable the cache (entries beyond the slice
+/// are recomputed).
 pub(crate) fn audit_delta_for<T: Num>(
     inst: &Instance<T>,
     partial: &PartialAssignment,
     phi: &Phi<T>,
+    post_probs: &[Option<T>],
     vars: &[usize],
     p_bound: &T,
     tol: &T,
@@ -139,7 +151,11 @@ pub(crate) fn audit_delta_for<T: Num>(
         for &v in touched {
             let product = phi.product_at(g, v);
             let bound = p_bound.clone() * product.clone();
-            let ok = inst.probability(v, partial) <= bound + tol.clone();
+            let pr = match post_probs.get(v) {
+                Some(Some(p)) => p.clone(),
+                _ => inst.probability(v, partial),
+            };
+            let ok = pr <= bound + tol.clone();
             probs.push((v, product, ok));
         }
     }
@@ -264,7 +280,7 @@ impl<T: Num> IncrementalAuditor<T> {
         phi: &Phi<T>,
         vars: &[usize],
     ) -> AuditReport {
-        let delta = audit_delta_for(inst, partial, phi, vars, &self.p_bound, &self.tol);
+        let delta = audit_delta_for(inst, partial, phi, &[], vars, &self.p_bound, &self.tol);
         self.apply_delta(&delta);
         self.report()
     }

@@ -59,6 +59,15 @@ pub struct Fixer2<'i, T> {
     /// `fix_step` events carry run-global step numbers).
     step_base: usize,
     steps: Vec<FixStepRecord>,
+    /// `Pr[v | partial]` per event, refreshed whenever a *live* fixing
+    /// step touches `v` — the value-selection loop already computes the
+    /// winner's conditional probability, so stashing it here lets
+    /// [`audit_delta`](crate::sweep::ClassFixer::audit_delta) skip the
+    /// re-enumeration. Entries are meaningful only for events touched by
+    /// the steps since the last fork/absorb, which is exactly the set a
+    /// class audit reads; anything else may be stale and must not be
+    /// trusted (see [`audit_delta_for`](crate::audit::audit_delta_for)).
+    post_probs: Vec<Option<T>>,
 }
 
 impl<'i, T: Num> Fixer2<'i, T> {
@@ -98,6 +107,7 @@ impl<'i, T: Num> Fixer2<'i, T> {
             phi: Phi::ones(inst.dependency_graph()),
             step_base: 0,
             steps: Vec::new(),
+            post_probs: vec![None; inst.num_events()],
         })
     }
 
@@ -123,18 +133,36 @@ impl<'i, T: Num> Fixer2<'i, T> {
     /// the paper).
     fn inc(&self, ev: usize, x: usize, y: usize) -> T {
         let old = self.inst.probability(ev, &self.partial);
-        self.inc_given(ev, &old, x, y)
+        self.prob_and_inc(ev, &old, x, y).1
     }
 
-    /// [`inc`](Fixer2::inc) with the invariant `Pr[ev | partial]`
-    /// precomputed — the value-selection loops hoist it so the
-    /// conditional-probability enumeration runs once per event instead
-    /// of once per candidate value. Bit-identical to [`inc`](Fixer2::inc).
-    fn inc_given(&self, ev: usize, old: &T, x: usize, y: usize) -> T {
+    /// `(Pr[ev | partial ∪ {x:y}], Inc(ev, y))` with the invariant
+    /// `Pr[ev | partial]` precomputed — the value-selection loops hoist
+    /// it so the conditional-probability enumeration runs once per event
+    /// instead of once per candidate value. The factor is bit-identical
+    /// to [`inc`](Fixer2::inc); the probability is returned so the
+    /// winner's value can seed [`post_probs`](Fixer2::post_probs). An
+    /// impossible event stays impossible under any extension, so both
+    /// components are zero without enumerating.
+    fn prob_and_inc(&self, ev: usize, old: &T, x: usize, y: usize) -> (T, T) {
         if old.is_zero() {
-            return T::zero();
+            return (T::zero(), T::zero());
         }
-        self.inst.probability_with(ev, &self.partial, x, y) / old.clone()
+        let p = self.inst.probability_with(ev, &self.partial, x, y);
+        let inc = p.clone() / old.clone();
+        (p, inc)
+    }
+
+    /// `(Pr[ev | partial ∪ {x:y}], Inc(t, y) · w)` with the cost as one
+    /// fused multiply-divide: [`Num::mul_div`] lets the exact backend
+    /// cross-multiply and reduce once instead of normalising the
+    /// quotient and the product separately. Canonical forms are unique,
+    /// so the cost — and for `f64`, the operation order — is
+    /// bit-identical to `inc_given(ev, old, x, y) * w`.
+    fn prob_and_cost(&self, ev: usize, old: &T, x: usize, y: usize, w: &T) -> (T, T) {
+        let p = self.inst.probability_with(ev, &self.partial, x, y);
+        let cost = T::mul_div(p.clone(), w.clone(), old.clone());
+        (p, cost)
     }
 
     /// Fixes variable `x` (which must be unfixed), choosing the value
@@ -180,9 +208,9 @@ impl<'i, T: Num> Fixer2<'i, T> {
                 // Strict `<` keeps the first minimiser, so exact ties
                 // resolve to the lowest index.
                 let old_u = self.inst.probability(u, &self.partial);
-                let mut best: Option<(T, usize)> = None;
+                let mut best: Option<(T, usize, T)> = None;
                 for y in 0..k {
-                    let inc = self.inc_given(u, &old_u, x, y);
+                    let (p_u, inc) = self.prob_and_inc(u, &old_u, x, y);
                     if non_finite(&inc) {
                         return Err(FixerError::NonFiniteCost {
                             variable: x,
@@ -191,13 +219,15 @@ impl<'i, T: Num> Fixer2<'i, T> {
                     }
                     let better = match &best {
                         None => true,
-                        Some((b, _)) => inc < *b,
+                        Some((b, _, _)) => inc < *b,
                     };
                     if better {
-                        best = Some((inc, y));
+                        best = Some((inc, y, p_u));
                     }
                 }
-                best.expect("variables have at least one value").1
+                let (_, choice, p_u) = best.expect("variables have at least one value");
+                self.post_probs[u] = Some(p_u);
+                choice
             }
             [u, v] => {
                 let g = self.inst.dependency_graph();
@@ -214,18 +244,19 @@ impl<'i, T: Num> Fixer2<'i, T> {
                     .clone();
                 let old_u = self.inst.probability(u, &self.partial);
                 let old_v = self.inst.probability(v, &self.partial);
-                // The winner's costs double as the new φ values, so the
-                // loop carries them instead of recomputing after it.
-                let mut best: Option<(T, usize, T, T)> = None;
+                // The winner's costs double as the new φ values and its
+                // probabilities seed the audit cache, so the loop
+                // carries them instead of recomputing after it.
+                let mut best: Option<(T, usize, T, T, T, T)> = None;
                 for y in 0..k {
-                    let cost_u = self.inc_given(u, &old_u, x, y) * s.clone();
+                    let (p_u, cost_u) = self.prob_and_cost(u, &old_u, x, y, &s);
                     if non_finite(&cost_u) {
                         return Err(FixerError::NonFiniteCost {
                             variable: x,
                             event: u,
                         });
                     }
-                    let cost_v = self.inc_given(v, &old_v, x, y) * t.clone();
+                    let (p_v, cost_v) = self.prob_and_cost(v, &old_v, x, y, &t);
                     if non_finite(&cost_v) {
                         return Err(FixerError::NonFiniteCost {
                             variable: x,
@@ -241,19 +272,22 @@ impl<'i, T: Num> Fixer2<'i, T> {
                     }
                     let better = match &best {
                         None => true,
-                        Some((b, _, _, _)) => cost < *b,
+                        Some((b, ..)) => cost < *b,
                     };
                     if better {
-                        best = Some((cost, y, cost_u, cost_v));
+                        best = Some((cost, y, cost_u, cost_v, p_u, p_v));
                     }
                 }
-                let (_, best, new_u, new_v) = best.expect("variables have at least one value");
+                let (_, best, new_u, new_v, p_u, p_v) =
+                    best.expect("variables have at least one value");
                 self.phi
                     .set(eid, u, new_u)
                     .expect("u is an endpoint of its edge");
                 self.phi
                     .set(eid, v, new_v)
                     .expect("v is an endpoint of its edge");
+                self.post_probs[u] = Some(p_u);
+                self.post_probs[v] = Some(p_v);
                 best
             }
             _ => unreachable!("rank validated at construction"),
@@ -314,14 +348,16 @@ impl<'i, T: Num> Fixer2<'i, T> {
                     .get(eid, v)
                     .expect("v is an endpoint of its edge")
                     .clone();
-                let new_u = self.inc(u, x, y) * s;
+                let old_u = self.inst.probability(u, &self.partial);
+                let (p_u, new_u) = self.prob_and_cost(u, &old_u, x, y, &s);
                 if non_finite(&new_u) {
                     return Err(FixerError::NonFiniteCost {
                         variable: x,
                         event: u,
                     });
                 }
-                let new_v = self.inc(v, x, y) * t;
+                let old_v = self.inst.probability(v, &self.partial);
+                let (p_v, new_v) = self.prob_and_cost(v, &old_v, x, y, &t);
                 if non_finite(&new_v) {
                     return Err(FixerError::NonFiniteCost {
                         variable: x,
@@ -334,6 +370,8 @@ impl<'i, T: Num> Fixer2<'i, T> {
                 self.phi
                     .set(eid, v, new_v)
                     .expect("v is an endpoint of its edge");
+                self.post_probs[u] = Some(p_u);
+                self.post_probs[v] = Some(p_v);
             }
             _ => unreachable!("rank validated at construction"),
         }
@@ -536,6 +574,11 @@ impl<T: Num> crate::sweep::ClassFixer<T> for Fixer2<'_, T> {
             phi: self.phi.clone(),
             step_base,
             steps: Vec::new(),
+            // A fork audits only events its own live steps touch, so it
+            // starts with an empty probability cache instead of deep-
+            // cloning the parent's (absorb likewise leaves the parent's
+            // cache alone — its stale entries are never read).
+            post_probs: vec![None; self.inst.num_events()],
         }
     }
 
@@ -580,7 +623,15 @@ impl<T: Num> crate::sweep::ClassFixer<T> for Fixer2<'_, T> {
     }
 
     fn audit_delta(&self, vars: &[usize], p_bound: &T, tol: &T) -> crate::audit::AuditDelta<T> {
-        crate::audit::audit_delta_for(self.inst, &self.partial, &self.phi, vars, p_bound, tol)
+        crate::audit::audit_delta_for(
+            self.inst,
+            &self.partial,
+            &self.phi,
+            &self.post_probs,
+            vars,
+            p_bound,
+            tol,
+        )
     }
 }
 

@@ -64,6 +64,15 @@ pub struct Fixer3<'i, T> {
     /// `fix_step` events carry run-global step numbers).
     step_base: usize,
     steps: Vec<FixStepRecord>,
+    /// `Pr[v | partial]` per event, refreshed whenever a *live* fixing
+    /// step touches `v` — the value-selection loop already computes the
+    /// winner's conditional probability, so stashing it here lets
+    /// [`audit_delta`](crate::sweep::ClassFixer::audit_delta) skip the
+    /// re-enumeration. Entries are meaningful only for events touched by
+    /// the steps since the last fork/absorb, which is exactly the set a
+    /// class audit reads; anything else may be stale and must not be
+    /// trusted (see [`audit_delta_for`](crate::audit::audit_delta_for)).
+    post_probs: Vec<Option<T>>,
 }
 
 impl<'i, T: Num> Fixer3<'i, T> {
@@ -104,6 +113,7 @@ impl<'i, T: Num> Fixer3<'i, T> {
             invariant_intact: true,
             step_base: 0,
             steps: Vec::new(),
+            post_probs: vec![None; inst.num_events()],
         })
     }
 
@@ -137,18 +147,36 @@ impl<'i, T: Num> Fixer3<'i, T> {
 
     fn inc(&self, ev: usize, x: usize, y: usize) -> T {
         let old = self.inst.probability(ev, &self.partial);
-        self.inc_given(ev, &old, x, y)
+        self.prob_and_inc(ev, &old, x, y).1
     }
 
-    /// [`inc`](Fixer3::inc) with the invariant `Pr[ev | partial]`
-    /// precomputed — the value-selection loops hoist it so the
-    /// conditional-probability enumeration runs once per event instead
-    /// of once per candidate value. Bit-identical to [`inc`](Fixer3::inc).
-    fn inc_given(&self, ev: usize, old: &T, x: usize, y: usize) -> T {
+    /// `(Pr[ev | partial ∪ {x:y}], Inc(ev, y))` with the invariant
+    /// `Pr[ev | partial]` precomputed — the value-selection loops hoist
+    /// it so the conditional-probability enumeration runs once per event
+    /// instead of once per candidate value. The factor is bit-identical
+    /// to [`inc`](Fixer3::inc); the probability is returned so the
+    /// winner's value can seed [`post_probs`](Fixer3::post_probs). An
+    /// impossible event stays impossible under any extension, so both
+    /// components are zero without enumerating.
+    fn prob_and_inc(&self, ev: usize, old: &T, x: usize, y: usize) -> (T, T) {
         if old.is_zero() {
-            return T::zero();
+            return (T::zero(), T::zero());
         }
-        self.inst.probability_with(ev, &self.partial, x, y) / old.clone()
+        let p = self.inst.probability_with(ev, &self.partial, x, y);
+        let inc = p.clone() / old.clone();
+        (p, inc)
+    }
+
+    /// `(Pr[ev | partial ∪ {x:y}], Inc(t, y) · w)` with the cost as one
+    /// fused multiply-divide: [`Num::mul_div`] lets the exact backend
+    /// cross-multiply and reduce once instead of normalising the
+    /// quotient and the product separately. Canonical forms are unique,
+    /// so the cost — and for `f64`, the operation order — is
+    /// bit-identical to `inc_given(ev, old, x, y) * w`.
+    fn prob_and_cost(&self, ev: usize, old: &T, x: usize, y: usize, w: &T) -> (T, T) {
+        let p = self.inst.probability_with(ev, &self.partial, x, y);
+        let cost = T::mul_div(p.clone(), w.clone(), old.clone());
+        (p, cost)
     }
 
     /// Fixes variable `x`, returning the chosen value. Exact cost ties
@@ -194,9 +222,9 @@ impl<'i, T: Num> Fixer3<'i, T> {
                 // Strict `<` keeps the first minimiser, so exact ties
                 // resolve to the lowest index.
                 let old_u = self.inst.probability(u, &self.partial);
-                let mut best: Option<(T, usize)> = None;
+                let mut best: Option<(T, usize, T)> = None;
                 for y in 0..k {
-                    let inc = self.inc_given(u, &old_u, x, y);
+                    let (p_u, inc) = self.prob_and_inc(u, &old_u, x, y);
                     if non_finite(&inc) {
                         return Err(FixerError::NonFiniteCost {
                             variable: x,
@@ -205,13 +233,15 @@ impl<'i, T: Num> Fixer3<'i, T> {
                     }
                     let better = match &best {
                         None => true,
-                        Some((b, _)) => inc < *b,
+                        Some((b, _, _)) => inc < *b,
                     };
                     if better {
-                        best = Some((inc, y));
+                        best = Some((inc, y, p_u));
                     }
                 }
-                best.expect("variables have at least one value").1
+                let (_, choice, p_u) = best.expect("variables have at least one value");
+                self.post_probs[u] = Some(p_u);
+                choice
             }
             [u, v] => {
                 let g = self.inst.dependency_graph();
@@ -228,18 +258,19 @@ impl<'i, T: Num> Fixer3<'i, T> {
                     .clone();
                 let old_u = self.inst.probability(u, &self.partial);
                 let old_v = self.inst.probability(v, &self.partial);
-                // The winner's costs double as the new φ values, so the
-                // loop carries them instead of recomputing after it.
-                let mut best: Option<(T, usize, T, T)> = None;
+                // The winner's costs double as the new φ values and its
+                // probabilities seed the audit cache, so the loop
+                // carries them instead of recomputing after it.
+                let mut best: Option<(T, usize, T, T, T, T)> = None;
                 for y in 0..k {
-                    let cost_u = self.inc_given(u, &old_u, x, y) * s.clone();
+                    let (p_u, cost_u) = self.prob_and_cost(u, &old_u, x, y, &s);
                     if non_finite(&cost_u) {
                         return Err(FixerError::NonFiniteCost {
                             variable: x,
                             event: u,
                         });
                     }
-                    let cost_v = self.inc_given(v, &old_v, x, y) * t.clone();
+                    let (p_v, cost_v) = self.prob_and_cost(v, &old_v, x, y, &t);
                     if non_finite(&cost_v) {
                         return Err(FixerError::NonFiniteCost {
                             variable: x,
@@ -255,19 +286,22 @@ impl<'i, T: Num> Fixer3<'i, T> {
                     }
                     let better = match &best {
                         None => true,
-                        Some((b, _, _, _)) => cost < *b,
+                        Some((b, ..)) => cost < *b,
                     };
                     if better {
-                        best = Some((cost, y, cost_u, cost_v));
+                        best = Some((cost, y, cost_u, cost_v, p_u, p_v));
                     }
                 }
-                let (_, best, new_u, new_v) = best.expect("variables have at least one value");
+                let (_, best, new_u, new_v, p_u, p_v) =
+                    best.expect("variables have at least one value");
                 self.phi
                     .set(eid, u, new_u)
                     .expect("u is an endpoint of its edge");
                 self.phi
                     .set(eid, v, new_v)
                     .expect("v is an endpoint of its edge");
+                self.post_probs[u] = Some(p_u);
+                self.post_probs[v] = Some(p_v);
                 best
             }
             [u, v, w] => self.fix_rank3(x, u, v, w)?,
@@ -311,26 +345,29 @@ impl<'i, T: Num> Fixer3<'i, T> {
         let old_u = self.inst.probability(u, &self.partial);
         let old_v = self.inst.probability(v, &self.partial);
         let old_w = self.inst.probability(w, &self.partial);
-        // Candidate triples, most robustly representable first. Every
+        // Candidate triples, most robustly representable first, each
+        // carrying its post-fix probabilities for the audit cache. Every
         // component and score is checked for self-comparability here, so
         // the comparison closures below cannot see a NaN.
-        let mut candidates: Vec<(T, usize, (T, T, T))> = Vec::with_capacity(k);
+        #[allow(clippy::type_complexity)]
+        let mut candidates: Vec<(T, usize, (T, T, T), (T, T, T))> = Vec::with_capacity(k);
         for y in 0..k {
-            let sa = self.inc_given(u, &old_u, x, y) * a.clone();
+            let (p_u, sa) = self.prob_and_cost(u, &old_u, x, y, &a);
             if non_finite(&sa) {
                 return Err(FixerError::NonFiniteCost {
                     variable: x,
                     event: u,
                 });
             }
-            let sb = self.inc_given(v, &old_v, x, y) * b.clone();
+            let (p_v, sb) = self.prob_and_cost(v, &old_v, x, y, &b);
             if non_finite(&sb) {
                 return Err(FixerError::NonFiniteCost {
                     variable: x,
                     event: v,
                 });
             }
-            let sc = self.inc_given(w, &old_w, x, y) * c.clone();
+            let (p_w, inc_w) = self.prob_and_inc(w, &old_w, x, y);
+            let sc = inc_w * c.clone();
             if non_finite(&sc) {
                 return Err(FixerError::NonFiniteCost {
                     variable: x,
@@ -344,17 +381,17 @@ impl<'i, T: Num> Fixer3<'i, T> {
                     event: u,
                 });
             }
-            candidates.push((score, y, (sa, sb, sc)));
+            candidates.push((score, y, (sa, sb, sc), (p_u, p_v, p_w)));
         }
         match self.rule {
-            ValueRule::BestScore => candidates.sort_by(|(s1, y1, _), (s2, y2, _)| {
+            ValueRule::BestScore => candidates.sort_by(|(s1, y1, ..), (s2, y2, ..)| {
                 s2.partial_cmp(s1).expect("finite scores").then(y1.cmp(y2))
             }),
             ValueRule::FirstFeasible => {
                 // Keep index order, but move non-representable triples to
                 // the back (still sorted by score there) so the fallback
                 // below remains the best available option.
-                candidates.sort_by(|(s1, y1, _), (s2, y2, _)| {
+                candidates.sort_by(|(s1, y1, ..), (s2, y2, ..)| {
                     let r1 = *s1 >= T::zero();
                     let r2 = *s2 >= T::zero();
                     r2.cmp(&r1)
@@ -368,7 +405,7 @@ impl<'i, T: Num> Fixer3<'i, T> {
             }
         }
 
-        for (_, y, (sa, sb, sc)) in &candidates {
+        for (_, y, (sa, sb, sc), (p_u, p_v, p_w)) in &candidates {
             if let Some(d) = decompose(sa, sb, sc) {
                 let endpoint = "node is an endpoint of its edge";
                 self.phi.set(e, u, d.a1).expect(endpoint);
@@ -377,6 +414,9 @@ impl<'i, T: Num> Fixer3<'i, T> {
                 self.phi.set(e2, v, d.b3).expect(endpoint);
                 self.phi.set(e1, w, d.c2).expect(endpoint);
                 self.phi.set(e2, w, d.c3).expect(endpoint);
+                self.post_probs[u] = Some(p_u.clone());
+                self.post_probs[v] = Some(p_v.clone());
+                self.post_probs[w] = Some(p_w.clone());
                 return Ok(*y);
             }
         }
@@ -386,7 +426,11 @@ impl<'i, T: Num> Fixer3<'i, T> {
         // keeps sub-property (2) — each node's φ-product scales by its
         // Inc — but may break the pair sums of sub-property (1).
         self.invariant_intact = false;
-        let (_, y, (sa, sb, sc)) = candidates.into_iter().next().expect("k >= 1 values");
+        let (_, y, (sa, sb, sc), (p_u, p_v, p_w)) =
+            candidates.into_iter().next().expect("k >= 1 values");
+        self.post_probs[u] = Some(p_u);
+        self.post_probs[v] = Some(p_v);
+        self.post_probs[w] = Some(p_w);
         let scale = |target: T, denom: &T| {
             if denom.is_zero() {
                 T::zero()
@@ -447,14 +491,16 @@ impl<'i, T: Num> Fixer3<'i, T> {
                     .get(eid, v)
                     .expect("v is an endpoint of its edge")
                     .clone();
-                let new_u = self.inc(u, x, y) * s;
+                let old_u = self.inst.probability(u, &self.partial);
+                let (p_u, new_u) = self.prob_and_cost(u, &old_u, x, y, &s);
                 if non_finite(&new_u) {
                     return Err(FixerError::NonFiniteCost {
                         variable: x,
                         event: u,
                     });
                 }
-                let new_v = self.inc(v, x, y) * t;
+                let old_v = self.inst.probability(v, &self.partial);
+                let (p_v, new_v) = self.prob_and_cost(v, &old_v, x, y, &t);
                 if non_finite(&new_v) {
                     return Err(FixerError::NonFiniteCost {
                         variable: x,
@@ -467,6 +513,8 @@ impl<'i, T: Num> Fixer3<'i, T> {
                 self.phi
                     .set(eid, v, new_v)
                     .expect("v is an endpoint of its edge");
+                self.post_probs[u] = Some(p_u);
+                self.post_probs[v] = Some(p_v);
             }
             [u, v, w] => self.replay_rank3(x, y, u, v, w)?,
             _ => unreachable!("rank validated at construction"),
@@ -504,27 +552,33 @@ impl<'i, T: Num> Fixer3<'i, T> {
         let a = at(e, u) * at(e1, u);
         let b = at(e, v) * at(e2, v);
         let c = at(e1, w) * at(e2, w);
-        let sa = self.inc(u, x, y) * a;
+        let old_u = self.inst.probability(u, &self.partial);
+        let (p_u, sa) = self.prob_and_cost(u, &old_u, x, y, &a);
         if non_finite(&sa) {
             return Err(FixerError::NonFiniteCost {
                 variable: x,
                 event: u,
             });
         }
-        let sb = self.inc(v, x, y) * b;
+        let old_v = self.inst.probability(v, &self.partial);
+        let (p_v, sb) = self.prob_and_cost(v, &old_v, x, y, &b);
         if non_finite(&sb) {
             return Err(FixerError::NonFiniteCost {
                 variable: x,
                 event: v,
             });
         }
-        let sc = self.inc(w, x, y) * c;
+        let old_w = self.inst.probability(w, &self.partial);
+        let (p_w, sc) = self.prob_and_cost(w, &old_w, x, y, &c);
         if non_finite(&sc) {
             return Err(FixerError::NonFiniteCost {
                 variable: x,
                 event: w,
             });
         }
+        self.post_probs[u] = Some(p_u);
+        self.post_probs[v] = Some(p_v);
+        self.post_probs[w] = Some(p_w);
         let endpoint = "node is an endpoint of its edge";
         if let Some(d) = decompose(&sa, &sb, &sc) {
             self.phi.set(e, u, d.a1).expect(endpoint);
@@ -745,6 +799,11 @@ impl<T: Num> crate::sweep::ClassFixer<T> for Fixer3<'_, T> {
             invariant_intact: self.invariant_intact,
             step_base,
             steps: Vec::new(),
+            // A fork audits only events its own live steps touch, so it
+            // starts with an empty probability cache instead of deep-
+            // cloning the parent's (absorb likewise leaves the parent's
+            // cache alone — its stale entries are never read).
+            post_probs: vec![None; self.inst.num_events()],
         }
     }
 
@@ -797,7 +856,15 @@ impl<T: Num> crate::sweep::ClassFixer<T> for Fixer3<'_, T> {
     }
 
     fn audit_delta(&self, vars: &[usize], p_bound: &T, tol: &T) -> crate::audit::AuditDelta<T> {
-        crate::audit::audit_delta_for(self.inst, &self.partial, &self.phi, vars, p_bound, tol)
+        crate::audit::audit_delta_for(
+            self.inst,
+            &self.partial,
+            &self.phi,
+            &self.post_probs,
+            vars,
+            p_bound,
+            tol,
+        )
     }
 }
 

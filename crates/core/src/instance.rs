@@ -91,6 +91,14 @@ pub struct Event<T> {
     table: Option<Vec<bool>>,
     /// Strides for table indexing, aligned with `support`.
     strides: Vec<usize>,
+    /// The occurring support tuples, flattened with stride
+    /// `support.len()`, in table-index order — which is exactly the
+    /// probability engine's odometer order (position 0 fastest). Present
+    /// whenever `table` is: LLL workloads are sparse (few bad tuples per
+    /// event), so iterating this list replaces the full mixed-radix scan
+    /// in the conditional-probability engine. Values fit `u16` because
+    /// every `num_values` is bounded by the table size limit.
+    occ: Option<Vec<u16>>,
     _marker: std::marker::PhantomData<T>,
 }
 
@@ -342,26 +350,45 @@ impl<T: Num> Instance<T> {
                 T::zero()
             };
         }
-        // Odometer over the free positions.
+        if let Some(occ) = &event.occ {
+            return self.prob_sparse(v, occ, values, free);
+        }
+        // Odometer over the free positions. For exact backends the tuple
+        // weights are buffered in odometer order and folded through the
+        // `Num` accumulation kernels, whose overrides renormalize once
+        // per call instead of once per tuple; the kernel *defaults* are
+        // the literal inline folds below, so the two arms compute the
+        // same sequence of `Num` operations and inexact backends keep
+        // the historical allocation-free loop (the `is_exact` branch is
+        // resolved at monomorphization).
         let mut total = T::zero();
+        let mut weights: Vec<T> = Vec::new();
         let counters = &mut counters[..num_free];
         counters.fill(0);
-        loop {
+        'tuples: loop {
             for (ci, &pos) in free.iter().enumerate() {
                 values[pos] = counters[ci];
             }
             if event.occurs(values) {
-                let mut w = T::one();
-                for (ci, &pos) in free.iter().enumerate() {
-                    w = w * self.variables[support[pos]].probs[counters[ci]].clone();
+                let probs = |ci: usize| {
+                    let pos = free[ci];
+                    &self.variables[support[pos]].probs[counters[ci]]
+                };
+                if T::is_exact() {
+                    weights.push(T::product_of((0..free.len()).map(probs)));
+                } else {
+                    let mut w = T::one();
+                    for ci in 0..free.len() {
+                        w = w * probs(ci).clone();
+                    }
+                    total = total + w;
                 }
-                total = total + w;
             }
             // increment odometer
             let mut ci = 0;
             loop {
                 if ci == free.len() {
-                    return total;
+                    break 'tuples;
                 }
                 counters[ci] += 1;
                 if counters[ci] < self.variables[support[free[ci]]].num_values() {
@@ -370,6 +397,57 @@ impl<T: Num> Instance<T> {
                 counters[ci] = 0;
                 ci += 1;
             }
+        }
+        if T::is_exact() {
+            T::sum_of(weights.iter())
+        } else {
+            total
+        }
+    }
+
+    /// The sparse arm of [`prob_loop`](Instance::prob_loop): iterates the
+    /// event's precomputed occurring tuples instead of the full odometer.
+    /// The list is stored in odometer order, consistency filtering
+    /// preserves that order, and the weight/accumulation arithmetic below
+    /// is literally the odometer arm's — so the two paths produce the
+    /// same sequence of `Num` operations and are bit-identical on every
+    /// backend; only the cost of *rejecting* non-occurring tuples
+    /// disappears.
+    fn prob_sparse(&self, v: usize, occ: &[u16], values: &[usize], free: &[usize]) -> T {
+        let event = &self.events[v];
+        let support = &event.support;
+        let s = support.len();
+        let mut total = T::zero();
+        let mut weights: Vec<T> = Vec::new();
+        'tuples: for tuple in occ.chunks_exact(s) {
+            // `free` lists free positions ascending, so one merge pointer
+            // splits positions into free (skipped) and fixed (matched).
+            let mut fi = 0usize;
+            for (pos, &t_val) in tuple.iter().enumerate() {
+                if fi < free.len() && free[fi] == pos {
+                    fi += 1;
+                } else if t_val as usize != values[pos] {
+                    continue 'tuples;
+                }
+            }
+            let probs = |ci: usize| {
+                let pos = free[ci];
+                &self.variables[support[pos]].probs[tuple[pos] as usize]
+            };
+            if T::is_exact() {
+                weights.push(T::product_of((0..free.len()).map(probs)));
+            } else {
+                let mut w = T::one();
+                for ci in 0..free.len() {
+                    w = w * probs(ci).clone();
+                }
+                total = total + w;
+            }
+        }
+        if T::is_exact() {
+            T::sum_of(weights.iter())
+        } else {
+            total
         }
     }
 
@@ -642,8 +720,9 @@ impl<T: Num> InstanceBuilder<T> {
                     }
                 };
             }
-            let table = if fits {
+            let (table, occ) = if fits {
                 let mut table = vec![false; size];
+                let mut occ = Vec::new();
                 let mut values = vec![0usize; support.len()];
                 for (idx, slot) in table.iter_mut().enumerate() {
                     let mut rest = idx;
@@ -655,16 +734,20 @@ impl<T: Num> InstanceBuilder<T> {
                         support: &support,
                         values: &values,
                     });
+                    if *slot {
+                        occ.extend(values.iter().map(|&v| v as u16));
+                    }
                 }
-                Some(table)
+                (Some(table), Some(occ))
             } else {
-                None
+                (None, None)
             };
             events.push(Event {
                 support,
                 predicate,
                 table,
                 strides,
+                occ,
                 _marker: std::marker::PhantomData,
             });
         }

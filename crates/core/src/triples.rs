@@ -79,17 +79,33 @@ pub fn is_representable<T: Num>(a: &T, b: &T, c: &T) -> bool {
     if a.clone() + b.clone() > four {
         return false;
     }
-    let two = T::from_ratio(2, 1);
-    let ab = a.clone() * b.clone();
-    let r = T::from_ratio(8, 1) + ab.clone()
-        - two.clone() * a.clone()
-        - two.clone() * b.clone()
-        - two * c.clone();
+    let (r, d) = surface_terms(a, b, c);
     if r < zero {
         return false;
     }
-    let d = ab * (four.clone() - a.clone()) * (four - b.clone());
     T::sqrt_leq(&d, &r)
+}
+
+/// The two polynomial terms of the representability inequality,
+/// `r = 8 + ab - 2a - 2b - 2c` and `d = ab(4-a)(4-b)`, evaluated through
+/// the [`Num`] accumulation kernels: the kernel defaults reproduce the
+/// historical operation-for-operation `f64` folds (subtraction is
+/// exactly addition of the negation), while the exact backend
+/// renormalizes each term once instead of per partial product/sum.
+fn surface_terms<T: Num>(a: &T, b: &T, c: &T) -> (T, T) {
+    let two = T::from_ratio(2, 1);
+    let four = T::from_ratio(4, 1);
+    let ab = a.clone() * b.clone();
+    let r_terms = [
+        T::from_ratio(8, 1),
+        ab.clone(),
+        -(two.clone() * a.clone()),
+        -(two.clone() * b.clone()),
+        -(two * c.clone()),
+    ];
+    let r = T::sum_of(r_terms.iter());
+    let d_terms = [ab, four.clone() - a.clone(), four - b.clone()];
+    (r, T::product_of(d_terms.iter()))
 }
 
 /// A smooth ranking of how comfortably `(a, b, c)` sits inside `S_rep`:
@@ -107,16 +123,10 @@ pub fn representability_score<T: Num>(a: &T, b: &T, c: &T) -> T {
     if slack < zero {
         return slack - T::one();
     }
-    let two = T::from_ratio(2, 1);
-    let ab = a.clone() * b.clone();
-    let r = T::from_ratio(8, 1) + ab.clone()
-        - two.clone() * a.clone()
-        - two.clone() * b.clone()
-        - two * c.clone();
+    let (r, d) = surface_terms(a, b, c);
     if r < zero {
         return r;
     }
-    let d = ab * (four.clone() - a.clone()) * (four - b.clone());
     r.clone() * r - d
 }
 
@@ -459,14 +469,10 @@ impl<T: Num> Phi<T> {
     /// The product `Π_{e∋v} φ_e^v` bounding event `v`'s probability
     /// blow-up (sub-property (2) of `P*`).
     pub fn product_at(&self, g: &Graph, v: usize) -> T {
-        let mut p = T::one();
-        for &eid in g.incident_edges(v) {
-            p = p * self
-                .get(eid, v)
+        T::product_of(g.incident_edges(v).iter().map(|&eid| {
+            self.get(eid, v)
                 .expect("incident edges have v as an endpoint")
-                .clone();
-        }
-        p
+        }))
     }
 
     /// Number of edges carrying potential values.

@@ -1,0 +1,112 @@
+//! Thread-local scratch pool for limb-vector temporaries.
+//!
+//! The deep (`Heap`) fallback paths of `BigInt::divrem` and `BigInt::gcd`
+//! need working buffers whose lengths change every iteration. Allocating
+//! them from the global allocator per call (let alone per loop iteration,
+//! as the pre-arena shift–subtract loops did) dominates deep-recursion
+//! audits. This module keeps a small per-thread free list of `Vec<u32>`
+//! buffers: [`Scratch::take`] pops one (or creates an empty vector),
+//! `Drop` returns it. The pool is bounded both in buffer count and in
+//! retained capacity, so a burst of huge operands cannot pin memory, and
+//! there is no `unsafe` and no cross-thread sharing — each thread owns
+//! its pool, which is exactly the sweep-worker isolation model used by
+//! `lll-core`'s parallel fixing sweep.
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<u32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Buffers kept per thread; excess buffers drop to the allocator.
+const MAX_POOLED: usize = 16;
+/// Largest capacity worth caching — bigger buffers are released so a
+/// one-off huge operand does not pin memory for the thread's lifetime.
+const MAX_POOLED_CAPACITY: usize = 4096;
+
+/// An owned limb buffer borrowed from the thread-local pool; dereferences
+/// to `Vec<u32>` and returns itself to the pool on drop.
+pub(crate) struct Scratch {
+    buf: Vec<u32>,
+}
+
+impl Scratch {
+    /// An empty scratch buffer (pooled capacity when available).
+    pub(crate) fn take() -> Scratch {
+        let mut buf = POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+        buf.clear();
+        Scratch { buf }
+    }
+
+    /// A scratch buffer initialized to a copy of `s`.
+    pub(crate) fn from_slice(s: &[u32]) -> Scratch {
+        let mut t = Scratch::take();
+        t.buf.extend_from_slice(s);
+        t
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.buf);
+        if buf.capacity() == 0 || buf.capacity() > MAX_POOLED_CAPACITY {
+            return;
+        }
+        POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < MAX_POOLED {
+                pool.push(buf);
+            }
+        });
+    }
+}
+
+impl Deref for Scratch {
+    type Target = Vec<u32>;
+    fn deref(&self) -> &Vec<u32> {
+        &self.buf
+    }
+}
+
+impl DerefMut for Scratch {
+    fn deref_mut(&mut self) -> &mut Vec<u32> {
+        &mut self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_recycle_within_a_thread() {
+        let ptr = {
+            let mut s = Scratch::take();
+            s.extend_from_slice(&[1, 2, 3]);
+            s.as_ptr() as usize
+        };
+        // The next take on this thread reuses the returned buffer and
+        // hands it back empty.
+        let s = Scratch::take();
+        assert_eq!(s.len(), 0);
+        assert!(s.capacity() >= 3);
+        assert_eq!(s.as_ptr() as usize, ptr);
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_retained() {
+        {
+            let mut s = Scratch::take();
+            s.reserve(MAX_POOLED_CAPACITY + 1);
+        }
+        let s = Scratch::take();
+        assert!(s.capacity() <= MAX_POOLED_CAPACITY);
+    }
+
+    #[test]
+    fn from_slice_copies() {
+        let s = Scratch::from_slice(&[7, 8]);
+        assert_eq!(&s[..], &[7, 8]);
+    }
+}

@@ -1,22 +1,35 @@
-//! Sign–magnitude arbitrary-precision integers with an inline fast path.
+//! Sign–magnitude arbitrary-precision integers with a three-tier
+//! stack-first representation.
 //!
-//! The representation is a tagged union ([`Repr`]): values whose magnitude
-//! fits `i128` are stored **inline** as a single machine word pair
-//! (`Repr::Small`), everything larger spills to a little-endian vector of
-//! `u32` limbs plus a [`Sign`] (`Repr::Heap`). The representation is
-//! *canonical* — a value is `Small` **iff** its magnitude is at most
-//! `i128::MAX` (so `i128::MIN`, whose magnitude `2^127` has no inline
-//! negation, is heap-allocated), heap limb vectors carry no most-significant
-//! zero limbs, and zero is `Small(0)` — so derived structural equality and
-//! hashing coincide with numeric equality.
+//! The representation is a tagged union ([`Repr`]) with three tiers:
 //!
-//! Arithmetic on two inline values uses checked `i128`/`u128` primitives and
-//! **never allocates** while the result still fits; overflow (and any heap
-//! operand) falls back to the limb algorithms, whose results demote back to
-//! the inline form as soon as they fit again. The limb paths remain
-//! reachable directly through the `#[doc(hidden)]` `limb_*` reference
-//! methods so differential tests can pin the fast path against them
-//! bit-for-bit.
+//! 1. `Small` — magnitudes up to `i128::MAX`, stored inline as a single
+//!    `i128`.
+//! 2. `Wide` — magnitudes up to `2^256 - 1`, stored as a sign plus a
+//!    fixed-width [`U256`] (four `u64` words, still entirely on the
+//!    stack).
+//! 3. `Heap` — everything larger, as a little-endian vector of `u32`
+//!    limbs plus a [`Sign`].
+//!
+//! The representation is *canonical* — every value lives in the
+//! **smallest tier that fits it** (`Small` iff the magnitude is at most
+//! `i128::MAX`, so `i128::MIN`, whose magnitude `2^127` has no inline
+//! negation, is `Wide`; `Wide` iff it needs at most 256 bits; `Heap`
+//! limb vectors carry no most-significant zero limbs and always encode
+//! at least 257 bits), and zero is `Small(0)` — so derived structural
+//! equality and hashing coincide with numeric equality. The `Wide` tier
+//! can be disabled at runtime ([`set_wide_tier_enabled`]) for A/B
+//! benchmarking, restoring the historical two-tier canonical form; tier
+//! crossings are counted ([`tier_counters`]) so benchmarks can report
+//! tier residency.
+//!
+//! Arithmetic on two stack-resident values uses checked `i128`/`u128`/
+//! `U256` primitives and **never allocates** while the result still fits
+//! 256 bits; overflow (and any heap operand) falls back to the limb
+//! algorithms, whose results demote back down as soon as they fit again.
+//! The limb paths remain reachable directly through the `#[doc(hidden)]`
+//! `limb_*` reference methods so differential tests can pin both fast
+//! tiers against them bit-for-bit.
 //!
 //! Only the operations needed by the workspace are implemented — ring
 //! arithmetic, Euclidean division, binary GCD, bit shifts, integer square
@@ -28,6 +41,77 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Shl, Shr, Sub, SubAssign};
 use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
+
+use crate::arena::Scratch;
+use crate::u256::U256;
+
+/// Whether freshly built values may use the stack-resident 256-bit
+/// `Wide` tier (`true` by default). Disabling restores the historical
+/// two-tier `Small`/`Heap` canonical form for A/B benchmarking.
+static WIDE_ENABLED: AtomicBool = AtomicBool::new(true);
+/// Results that spilled into a wider representation tier.
+static TIER_PROMOTE: AtomicU64 = AtomicU64::new(0);
+/// Results computed in a wider domain that canonicalized back down.
+static TIER_DEMOTE: AtomicU64 = AtomicU64::new(0);
+
+/// Enables or disables the 256-bit `Wide` representation tier for values
+/// built *after* the call (process-wide).
+///
+/// Intended for A/B benchmarking only: values must not flow across a
+/// flip, because the canonical form — and hence structural equality —
+/// differs between the two modes. Build every operand fresh after
+/// changing the setting (the E22 benchmark rebuilds its instances per
+/// mode for exactly this reason).
+pub fn set_wide_tier_enabled(enabled: bool) {
+    WIDE_ENABLED.store(enabled, AtomicOrdering::Relaxed);
+}
+
+/// `true` iff the 256-bit `Wide` tier is currently enabled.
+pub fn wide_tier_enabled() -> bool {
+    WIDE_ENABLED.load(AtomicOrdering::Relaxed)
+}
+
+/// Snapshot of the representation-tier transition counters.
+///
+/// `promote` counts results that outgrew their operands' tier (an inline
+/// `i128` fast path overflowing into `Wide`/`Heap`, or a `Wide`
+/// operation overflowing into the limb path). `demote` counts results
+/// computed in a wider domain that canonicalized into a strictly
+/// narrower representation. Both are process-wide relaxed counters —
+/// cheap enough to leave on, precise enough to spot tier-residency
+/// regressions without a profiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TierCounters {
+    /// Fast-path overflows into a wider tier.
+    pub promote: u64,
+    /// Wider-domain results canonicalized into a narrower tier.
+    pub demote: u64,
+}
+
+/// Current values of the tier-transition counters.
+pub fn tier_counters() -> TierCounters {
+    TierCounters {
+        promote: TIER_PROMOTE.load(AtomicOrdering::Relaxed),
+        demote: TIER_DEMOTE.load(AtomicOrdering::Relaxed),
+    }
+}
+
+/// Resets both tier-transition counters to zero (benchmark setup).
+pub fn reset_tier_counters() {
+    TIER_PROMOTE.store(0, AtomicOrdering::Relaxed);
+    TIER_DEMOTE.store(0, AtomicOrdering::Relaxed);
+}
+
+#[inline]
+fn count_promote() {
+    TIER_PROMOTE.fetch_add(1, AtomicOrdering::Relaxed);
+}
+
+#[inline]
+fn count_demote() {
+    TIER_DEMOTE.fetch_add(1, AtomicOrdering::Relaxed);
+}
 
 /// Sign of a [`BigInt`].
 ///
@@ -51,16 +135,35 @@ impl Sign {
 }
 
 /// Canonical tagged representation: `Small` iff the magnitude fits
-/// `i128::MAX`, otherwise normalized heap limbs (never empty, top limb
-/// non-zero, at least 128 bits of magnitude).
+/// `i128::MAX`, then `Wide` while it fits 256 bits (when the tier is
+/// enabled), otherwise normalized heap limbs (never empty, top limb
+/// non-zero).
 #[derive(Clone, PartialEq, Eq, Hash)]
 enum Repr {
     Small(i128),
+    /// Stack-resident 256-bit magnitude; only built while
+    /// [`wide_tier_enabled`] and never for magnitudes that fit `Small`.
+    Wide {
+        sign: Sign,
+        mag: U256,
+    },
     Heap {
         sign: Sign,
         /// Little-endian limbs; no trailing (most significant) zeros.
         limbs: Vec<u32>,
     },
+}
+
+/// The representation tier a [`BigInt`] currently occupies (diagnostic;
+/// see [`BigInt::tier`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Inline `i128`.
+    Small,
+    /// Stack-resident 256-bit sign–magnitude.
+    Wide,
+    /// Heap-allocated limb vector.
+    Heap,
 }
 
 /// An arbitrary-precision signed integer.
@@ -109,6 +212,13 @@ impl BigInt {
         if mag <= SMALL_MAX_MAG {
             let v = mag as i128;
             BigInt::small(if sign == Sign::Minus { -v } else { v })
+        } else if wide_tier_enabled() {
+            BigInt {
+                repr: Repr::Wide {
+                    sign,
+                    mag: U256::from_u128(mag),
+                },
+            }
         } else {
             BigInt {
                 repr: Repr::Heap {
@@ -116,6 +226,44 @@ impl BigInt {
                     limbs: Self::mag_to_limbs(mag),
                 },
             }
+        }
+    }
+
+    /// Builds the canonical representation of `sign · mag` from a
+    /// 256-bit magnitude computed by a `Wide` fast path, demoting to the
+    /// inline form when it fits.
+    fn from_sign_u256(sign: Sign, mag: U256) -> BigInt {
+        if let Some(m) = mag.to_u128() {
+            if m <= SMALL_MAX_MAG {
+                count_demote();
+                let v = m as i128;
+                return BigInt::small(if sign == Sign::Minus { -v } else { v });
+            }
+        }
+        if wide_tier_enabled() {
+            BigInt {
+                repr: Repr::Wide { sign, mag },
+            }
+        } else {
+            BigInt {
+                repr: Repr::Heap {
+                    sign,
+                    limbs: mag.to_limbs(),
+                },
+            }
+        }
+    }
+
+    /// Sign and 256-bit magnitude for stack-resident tiers (`None` for
+    /// heap values) — the common entry to the `Wide` fast paths.
+    fn sign_mag256(&self) -> Option<(Sign, U256)> {
+        match &self.repr {
+            Repr::Small(v) => Some((
+                if *v < 0 { Sign::Minus } else { Sign::Plus },
+                U256::from_u128(v.unsigned_abs()),
+            )),
+            Repr::Wide { sign, mag } => Some((*sign, *mag)),
+            Repr::Heap { .. } => None,
         }
     }
 
@@ -141,13 +289,27 @@ impl BigInt {
     }
 
     /// Normalizes a limb vector into the canonical representation,
-    /// demoting to the inline form whenever the magnitude fits.
+    /// demoting to the narrowest tier the magnitude fits.
     fn canonical(sign: Sign, mut limbs: Vec<u32>) -> BigInt {
         while limbs.last() == Some(&0) {
             limbs.pop();
         }
         match Self::limbs_to_mag(&limbs) {
-            Some(mag) => Self::from_sign_mag(sign, mag),
+            Some(mag) => {
+                if mag <= SMALL_MAX_MAG || wide_tier_enabled() {
+                    count_demote();
+                }
+                Self::from_sign_mag(sign, mag)
+            }
+            None if limbs.len() <= 8 && wide_tier_enabled() => {
+                count_demote();
+                BigInt {
+                    repr: Repr::Wide {
+                        sign,
+                        mag: U256::from_limbs(&limbs).expect("at most 8 limbs"),
+                    },
+                }
+            }
             None => BigInt {
                 repr: Repr::Heap { sign, limbs },
             },
@@ -155,14 +317,15 @@ impl BigInt {
     }
 
     /// Sign and limb view of the magnitude; borrows for heap values,
-    /// materializes (allocates) for inline ones — only the limb fallback
-    /// paths call this.
+    /// materializes (allocates) for stack-resident ones — only the limb
+    /// fallback paths call this.
     fn to_parts(&self) -> (Sign, Cow<'_, [u32]>) {
         match &self.repr {
             Repr::Small(v) => {
                 let sign = if *v < 0 { Sign::Minus } else { Sign::Plus };
                 (sign, Cow::Owned(Self::mag_to_limbs(v.unsigned_abs())))
             }
+            Repr::Wide { sign, mag } => (*sign, Cow::Owned(mag.to_limbs())),
             Repr::Heap { sign, limbs } => (*sign, Cow::Borrowed(limbs)),
         }
     }
@@ -176,11 +339,23 @@ impl BigInt {
         Self::canonical(sign, limbs)
     }
 
-    /// `true` iff the value is stored in the inline (non-allocating)
+    /// `true` iff the value is stored in the inline `i128`
     /// representation — every magnitude up to `i128::MAX`, by the
     /// canonical-form invariant. Exposed for tests and diagnostics.
     pub fn is_inline(&self) -> bool {
         matches!(self.repr, Repr::Small(_))
+    }
+
+    /// The representation tier the value currently occupies. By the
+    /// canonical-form invariant this is determined by the magnitude
+    /// alone (given the [`wide_tier_enabled`] setting at construction
+    /// time). Exposed for tests and diagnostics.
+    pub fn tier(&self) -> Tier {
+        match &self.repr {
+            Repr::Small(_) => Tier::Small,
+            Repr::Wide { .. } => Tier::Wide,
+            Repr::Heap { .. } => Tier::Heap,
+        }
     }
 
     /// Returns `true` iff the value is zero.
@@ -192,7 +367,7 @@ impl BigInt {
     pub fn is_negative(&self) -> bool {
         match &self.repr {
             Repr::Small(v) => *v < 0,
-            Repr::Heap { sign, .. } => *sign == Sign::Minus,
+            Repr::Wide { sign, .. } | Repr::Heap { sign, .. } => *sign == Sign::Minus,
         }
     }
 
@@ -200,7 +375,8 @@ impl BigInt {
     pub fn is_positive(&self) -> bool {
         match &self.repr {
             Repr::Small(v) => *v > 0,
-            Repr::Heap { sign, .. } => *sign == Sign::Plus,
+            // Wide and heap magnitudes are never zero (canonical form).
+            Repr::Wide { sign, .. } | Repr::Heap { sign, .. } => *sign == Sign::Plus,
         }
     }
 
@@ -208,6 +384,7 @@ impl BigInt {
     pub fn is_even(&self) -> bool {
         match &self.repr {
             Repr::Small(v) => v & 1 == 0,
+            Repr::Wide { mag, .. } => mag.is_even(),
             Repr::Heap { limbs, .. } => limbs.first().is_none_or(|l| l % 2 == 0),
         }
     }
@@ -222,7 +399,7 @@ impl BigInt {
                     Sign::Plus
                 }
             }
-            Repr::Heap { sign, .. } => *sign,
+            Repr::Wide { sign, .. } | Repr::Heap { sign, .. } => *sign,
         }
     }
 
@@ -230,6 +407,12 @@ impl BigInt {
     pub fn abs(&self) -> BigInt {
         match &self.repr {
             Repr::Small(v) => BigInt::small(v.abs()),
+            Repr::Wide { mag, .. } => BigInt {
+                repr: Repr::Wide {
+                    sign: Sign::Plus,
+                    mag: *mag,
+                },
+            },
             Repr::Heap { limbs, .. } => BigInt {
                 repr: Repr::Heap {
                     sign: Sign::Plus,
@@ -243,12 +426,18 @@ impl BigInt {
     pub fn bit_len(&self) -> u64 {
         match &self.repr {
             Repr::Small(v) => (128 - v.unsigned_abs().leading_zeros()) as u64,
-            Repr::Heap { limbs, .. } => match limbs.last() {
-                None => 0,
-                Some(&top) => {
-                    (limbs.len() as u64 - 1) * BASE_BITS as u64 + (32 - top.leading_zeros()) as u64
-                }
-            },
+            Repr::Wide { mag, .. } => mag.bit_len(),
+            Repr::Heap { limbs, .. } => Self::mag_bit_len(limbs),
+        }
+    }
+
+    /// Number of significant bits of a normalized limb slice.
+    fn mag_bit_len(limbs: &[u32]) -> u64 {
+        match limbs.last() {
+            None => 0,
+            Some(&top) => {
+                (limbs.len() as u64 - 1) * BASE_BITS as u64 + (32 - top.leading_zeros()) as u64
+            }
         }
     }
 
@@ -256,6 +445,7 @@ impl BigInt {
     pub fn bit(&self, i: u64) -> bool {
         match &self.repr {
             Repr::Small(v) => i < 128 && (v.unsigned_abs() >> i) & 1 == 1,
+            Repr::Wide { mag, .. } => mag.bit(i),
             Repr::Heap { limbs, .. } => {
                 let limb = (i / BASE_BITS as u64) as usize;
                 let off = (i % BASE_BITS as u64) as u32;
@@ -393,31 +583,71 @@ impl BigInt {
         a.first().is_none_or(|l| l % 2 == 0)
     }
 
+    /// Halves a magnitude in place (`a >>= 1`), keeping it normalized.
+    fn shr1_in_place(a: &mut Vec<u32>) {
+        let mut carry = 0u32;
+        for l in a.iter_mut().rev() {
+            let new = (*l >> 1) | (carry << (BASE_BITS - 1));
+            carry = *l & 1;
+            *l = new;
+        }
+        while a.last() == Some(&0) {
+            a.pop();
+        }
+    }
+
+    /// Subtracts magnitudes in place (`a -= b`), requiring `a >= b`.
+    fn sub_mag_in_place(a: &mut Vec<u32>, b: &[u32]) {
+        debug_assert!(Self::cmp_mag(a, b) != Ordering::Less);
+        let mut borrow = 0i64;
+        for (i, l) in a.iter_mut().enumerate() {
+            let d = *l as i64 - b.get(i).copied().unwrap_or(0) as i64 - borrow;
+            if d < 0 {
+                *l = (d + (1i64 << BASE_BITS)) as u32;
+                borrow = 1;
+            } else {
+                *l = d as u32;
+                borrow = 0;
+            }
+        }
+        debug_assert_eq!(borrow, 0);
+        while a.last() == Some(&0) {
+            a.pop();
+        }
+    }
+
     /// Binary GCD on raw magnitudes.
-    fn gcd_mag(mut a: Vec<u32>, mut b: Vec<u32>) -> Vec<u32> {
-        if a.is_empty() {
-            return b;
+    ///
+    /// The loop mutates two arena-pooled scratch buffers in place
+    /// (`shr1_in_place`/`sub_mag_in_place`) instead of allocating a fresh
+    /// vector per halving/subtraction as the pre-arena version did; only
+    /// the final result is materialized for the caller.
+    fn gcd_mag(a_in: &[u32], b_in: &[u32]) -> Vec<u32> {
+        if a_in.is_empty() {
+            return b_in.to_vec();
         }
-        if b.is_empty() {
-            return a;
+        if b_in.is_empty() {
+            return a_in.to_vec();
         }
+        let mut a = Scratch::from_slice(a_in);
+        let mut b = Scratch::from_slice(b_in);
         let mut shift = 0u64;
         while Self::is_even_mag(&a) && Self::is_even_mag(&b) {
-            a = Self::shr_mag(&a, 1);
-            b = Self::shr_mag(&b, 1);
+            Self::shr1_in_place(&mut a);
+            Self::shr1_in_place(&mut b);
             shift += 1;
         }
         while Self::is_even_mag(&a) {
-            a = Self::shr_mag(&a, 1);
+            Self::shr1_in_place(&mut a);
         }
         loop {
             while Self::is_even_mag(&b) {
-                b = Self::shr_mag(&b, 1);
+                Self::shr1_in_place(&mut b);
             }
             if Self::cmp_mag(&a, &b) == Ordering::Greater {
                 std::mem::swap(&mut a, &mut b);
             }
-            b = Self::sub_mag(&b, &a);
+            Self::sub_mag_in_place(&mut b, &a);
             if b.is_empty() {
                 break;
             }
@@ -494,15 +724,18 @@ impl BigInt {
             };
             return (q, r);
         }
-        let a_bits = BigInt::from_limbs(Sign::Plus, a.to_vec()).bit_len();
-        let b_bits = BigInt::from_limbs(Sign::Plus, b.to_vec()).bit_len();
-        let mut shift = a_bits - b_bits;
-        let mut rem = a.to_vec();
+        // Shift–subtract over two arena-pooled scratch buffers: the
+        // remainder and the walking shifted divisor are mutated in place
+        // (the pre-arena loop allocated a fresh vector per subtraction
+        // and per halving of the divisor).
+        let mut shift = Self::mag_bit_len(a) - Self::mag_bit_len(b);
+        let mut rem = Scratch::from_slice(a);
         let mut quo: Vec<u32> = vec![0; (shift / BASE_BITS as u64 + 1) as usize];
-        let mut cur = Self::shl_mag(b, shift);
+        let mut cur = Scratch::take();
+        cur.extend_from_slice(&Self::shl_mag(b, shift));
         loop {
             if Self::cmp_mag(&rem, &cur) != Ordering::Less {
-                rem = Self::sub_mag(&rem, &cur);
+                Self::sub_mag_in_place(&mut rem, &cur);
                 let limb = (shift / BASE_BITS as u64) as usize;
                 quo[limb] |= 1 << (shift % BASE_BITS as u64);
             }
@@ -510,12 +743,12 @@ impl BigInt {
                 break;
             }
             shift -= 1;
-            cur = Self::shr_mag(&cur, 1);
+            Self::shr1_in_place(&mut cur);
         }
         while quo.last() == Some(&0) {
             quo.pop();
         }
-        (quo, rem)
+        (quo, rem.to_vec())
     }
 
     /// Euclidean division returning `(quotient, remainder)` with the
@@ -535,7 +768,22 @@ impl BigInt {
             }
             // |heap| > i128::MAX >= |small|: the quotient is zero.
             (Repr::Small(_), Repr::Heap { .. }) => (BigInt::zero(), self.clone()),
-            _ => self.limb_divrem(other),
+            // A canonical heap divisor outweighs any 256-bit dividend;
+            // the limb-count check keeps this robust even for heap
+            // values built while the `Wide` tier was disabled.
+            (Repr::Wide { .. }, Repr::Heap { limbs, .. }) if limbs.len() > 8 => {
+                (BigInt::zero(), self.clone())
+            }
+            _ => {
+                if let (Some((sa, ma)), Some((sb, mb))) = (self.sign_mag256(), other.sign_mag256())
+                {
+                    assert!(!mb.is_zero(), "division by zero BigInt");
+                    let (q, r) = ma.divrem(mb);
+                    let q_sign = if sa == sb { Sign::Plus } else { Sign::Minus };
+                    return (Self::from_sign_u256(q_sign, q), Self::from_sign_u256(sa, r));
+                }
+                self.limb_divrem(other)
+            }
         }
     }
 
@@ -561,6 +809,11 @@ impl BigInt {
                 Self::gcd_u128(a.unsigned_abs(), b.unsigned_abs()),
             );
         }
+        // Stack-resident operands (at least one `Wide`): binary GCD on
+        // `U256`, no allocation.
+        if let (Some((_, ma)), Some((_, mb))) = (self.sign_mag256(), other.sign_mag256()) {
+            return Self::from_sign_u256(Sign::Plus, U256::gcd(ma, mb));
+        }
         self.limb_gcd(other)
     }
 
@@ -570,7 +823,7 @@ impl BigInt {
     pub fn limb_gcd(&self, other: &BigInt) -> BigInt {
         let (_, la) = self.to_parts();
         let (_, lb) = other.to_parts();
-        Self::canonical(Sign::Plus, Self::gcd_mag(la.into_owned(), lb.into_owned()))
+        Self::canonical(Sign::Plus, Self::gcd_mag(&la, &lb))
     }
 
     /// Raises `self` to the power `exp` by binary exponentiation.
@@ -600,9 +853,21 @@ impl BigInt {
             // Fits u128, and the root fits u64 — always inline.
             return Self::from_sign_mag(Sign::Plus, Self::isqrt_u128(v.unsigned_abs()));
         }
-        // Newton iteration with an over-estimate start: x0 = 2^ceil(bits/2).
+        // Newton iteration seeded from the inline root of the top ≤126
+        // bits: with `m = ⌊n / 4^t⌋`, `(isqrt(m) + 1) · 2^t` over-
+        // estimates `√n` by at most one part in ~2^62, so the descent
+        // below needs only a couple of big divisions instead of the
+        // ~bits/4 a `2^⌈bits/2⌉` start costs. The loop's fixed point is
+        // the floor root no matter the (over-estimating) seed, so the
+        // result is unchanged.
         let bits = self.bit_len();
-        let mut x = &BigInt::one() << bits.div_ceil(2);
+        let shift = bits.saturating_sub(126).div_ceil(2) * 2;
+        let top = self >> shift;
+        let seed = match &top.repr {
+            Repr::Small(v) => Self::isqrt_u128(v.unsigned_abs()) + 1,
+            _ => unreachable!("126-bit values are inline"),
+        };
+        let mut x = &Self::from_sign_mag(Sign::Plus, seed) << (shift / 2);
         loop {
             // x' = (x + n/x) / 2
             let (div, _) = self.divrem(&x);
@@ -614,10 +879,32 @@ impl BigInt {
         }
     }
 
+    /// Bitmask of the quadratic residues of 64: bit `r` is set iff some
+    /// square is ≡ `r` (mod 64). Only 12 of the 64 classes qualify.
+    const SQUARES_MOD_64: u64 = {
+        let mut mask = 0u64;
+        let mut r = 0u64;
+        while r < 64 {
+            mask |= 1 << ((r * r) & 63);
+            r += 1;
+        }
+        mask
+    };
+
     /// Returns `Some(r)` with `r*r == self` iff the value is a perfect
     /// square (negative values never are).
     pub fn perfect_sqrt(&self) -> Option<BigInt> {
         if self.is_negative() {
+            return None;
+        }
+        // A square's low six bits land in one of 12 residue classes;
+        // the other 52 reject without computing a root.
+        let low = match &self.repr {
+            Repr::Small(v) => (v.unsigned_abs() & 63) as u64,
+            Repr::Wide { mag, .. } => (mag.limb32(0) & 63) as u64,
+            Repr::Heap { limbs, .. } => (limbs.first().copied().unwrap_or(0) & 63) as u64,
+        };
+        if Self::SQUARES_MOD_64 >> low & 1 == 0 {
             return None;
         }
         let r = self.isqrt();
@@ -633,6 +920,20 @@ impl BigInt {
     pub fn to_f64(&self) -> f64 {
         match &self.repr {
             Repr::Small(v) => *v as f64,
+            Repr::Wide { sign, mag } => {
+                // Fold base-2^32 limbs exactly like the heap arm below:
+                // the rounding sequence (and hence the result) must not
+                // depend on the tier a magnitude happens to occupy.
+                let mut v = 0.0f64;
+                for i in (0..8).rev() {
+                    v = v * (u32::MAX as f64 + 1.0) + mag.limb32(i) as f64;
+                }
+                if *sign == Sign::Minus {
+                    -v
+                } else {
+                    v
+                }
+            }
             Repr::Heap { sign, limbs } => {
                 let mut v = 0.0f64;
                 for &l in limbs.iter().rev() {
@@ -651,8 +952,8 @@ impl BigInt {
     pub fn to_u64(&self) -> Option<u64> {
         match &self.repr {
             Repr::Small(v) => u64::try_from(*v).ok(),
-            // Heap magnitudes exceed i128::MAX and hence u64::MAX.
-            Repr::Heap { .. } => None,
+            // Wide and heap magnitudes exceed i128::MAX and hence u64::MAX.
+            Repr::Wide { .. } | Repr::Heap { .. } => None,
         }
     }
 
@@ -660,7 +961,7 @@ impl BigInt {
     pub fn to_i64(&self) -> Option<i64> {
         match &self.repr {
             Repr::Small(v) => i64::try_from(*v).ok(),
-            Repr::Heap { .. } => None,
+            Repr::Wide { .. } | Repr::Heap { .. } => None,
         }
     }
 
@@ -748,35 +1049,58 @@ impl PartialOrd for BigInt {
     }
 }
 
+impl BigInt {
+    /// Compares magnitudes across any tier pair without allocating.
+    fn cmp_abs(&self, other: &BigInt) -> Ordering {
+        match (&self.repr, &other.repr) {
+            (Repr::Heap { limbs: la, .. }, Repr::Heap { limbs: lb, .. }) => Self::cmp_mag(la, lb),
+            (Repr::Heap { limbs, .. }, _) => {
+                let (_, mb) = other.sign_mag256().expect("non-heap operand");
+                Self::cmp_u256_vs_limbs(mb, limbs).reverse()
+            }
+            (_, Repr::Heap { limbs, .. }) => {
+                let (_, ma) = self.sign_mag256().expect("non-heap operand");
+                Self::cmp_u256_vs_limbs(ma, limbs)
+            }
+            _ => {
+                let (_, ma) = self.sign_mag256().expect("non-heap operand");
+                let (_, mb) = other.sign_mag256().expect("non-heap operand");
+                ma.cmp_mag(mb)
+            }
+        }
+    }
+
+    /// Compares a 256-bit magnitude against a normalized limb vector
+    /// without materializing limbs. Canonically a heap magnitude always
+    /// wins, but comparing limb-by-limb keeps the order correct even for
+    /// narrow heap values built while the `Wide` tier was disabled.
+    fn cmp_u256_vs_limbs(mag: U256, limbs: &[u32]) -> Ordering {
+        let wlen = mag.bit_len().div_ceil(BASE_BITS as u64) as usize;
+        if wlen != limbs.len() {
+            return wlen.cmp(&limbs.len());
+        }
+        for i in (0..wlen).rev() {
+            match mag.limb32(i).cmp(&limbs[i]) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
 impl Ord for BigInt {
     fn cmp(&self, other: &Self) -> Ordering {
-        match (&self.repr, &other.repr) {
-            (Repr::Small(a), Repr::Small(b)) => a.cmp(b),
-            // A heap magnitude always exceeds any inline magnitude, so the
-            // heap operand's sign decides.
-            (Repr::Small(_), Repr::Heap { sign, .. }) => match sign {
-                Sign::Plus => Ordering::Less,
-                Sign::Minus => Ordering::Greater,
-            },
-            (Repr::Heap { sign, .. }, Repr::Small(_)) => match sign {
-                Sign::Plus => Ordering::Greater,
-                Sign::Minus => Ordering::Less,
-            },
-            (
-                Repr::Heap {
-                    sign: sa,
-                    limbs: la,
-                },
-                Repr::Heap {
-                    sign: sb,
-                    limbs: lb,
-                },
-            ) => match (sa, sb) {
-                (Sign::Plus, Sign::Minus) => Ordering::Greater,
-                (Sign::Minus, Sign::Plus) => Ordering::Less,
-                (Sign::Plus, Sign::Plus) => Self::cmp_mag(la, lb),
-                (Sign::Minus, Sign::Minus) => Self::cmp_mag(lb, la),
-            },
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            return a.cmp(b);
+        }
+        // Zero is always `Small` (sign `Plus`), so differing signs decide
+        // correctly even against zero.
+        match (self.sign(), other.sign()) {
+            (Sign::Plus, Sign::Minus) => Ordering::Greater,
+            (Sign::Minus, Sign::Plus) => Ordering::Less,
+            (Sign::Plus, Sign::Plus) => self.cmp_abs(other),
+            (Sign::Minus, Sign::Minus) => other.cmp_abs(self),
         }
     }
 }
@@ -787,6 +1111,12 @@ impl Neg for &BigInt {
         match &self.repr {
             // Canonical form excludes i128::MIN, so negation never overflows.
             Repr::Small(v) => BigInt::small(-v),
+            Repr::Wide { sign, mag } => BigInt {
+                repr: Repr::Wide {
+                    sign: sign.flip(),
+                    mag: *mag,
+                },
+            },
             Repr::Heap { sign, limbs } => BigInt {
                 repr: Repr::Heap {
                     sign: sign.flip(),
@@ -802,12 +1132,40 @@ impl Neg for BigInt {
     fn neg(self) -> BigInt {
         match self.repr {
             Repr::Small(v) => BigInt::small(-v),
+            Repr::Wide { sign, mag } => BigInt {
+                repr: Repr::Wide {
+                    sign: sign.flip(),
+                    mag,
+                },
+            },
             Repr::Heap { sign, limbs } => BigInt {
                 repr: Repr::Heap {
                     sign: sign.flip(),
                     limbs,
                 },
             },
+        }
+    }
+}
+
+impl BigInt {
+    /// Sign–magnitude addition over 256-bit magnitudes, spilling to the
+    /// limb path only when a same-sign sum needs a 257th bit.
+    fn wide_add(sa: Sign, ma: U256, sb: Sign, mb: U256) -> BigInt {
+        if sa == sb {
+            match ma.checked_add(mb) {
+                Some(m) => Self::from_sign_u256(sa, m),
+                None => {
+                    count_promote();
+                    Self::canonical(sa, Self::add_mag(&ma.to_limbs(), &mb.to_limbs()))
+                }
+            }
+        } else {
+            match ma.cmp_mag(mb) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => Self::from_sign_u256(sa, ma.wrapping_sub(mb)),
+                Ordering::Less => Self::from_sign_u256(sb, mb.wrapping_sub(ma)),
+            }
         }
     }
 }
@@ -821,6 +1179,14 @@ impl Add for &BigInt {
                 // inline; route it through the sign/magnitude constructor.
                 return BigInt::from(s);
             }
+            // `i128` overflow implies equal signs, so the magnitude sum
+            // is exact in `u128` (at most `2^128 - 2`).
+            count_promote();
+            let sign = if *a < 0 { Sign::Minus } else { Sign::Plus };
+            return BigInt::from_sign_mag(sign, a.unsigned_abs() + b.unsigned_abs());
+        }
+        if let (Some((sa, ma)), Some((sb, mb))) = (self.sign_mag256(), other.sign_mag256()) {
+            return BigInt::wide_add(sa, ma, sb, mb);
         }
         self.limb_add(other)
     }
@@ -833,6 +1199,14 @@ impl Sub for &BigInt {
             if let Some(s) = a.checked_sub(*b) {
                 return BigInt::from(s);
             }
+            // Overflowing `a - b` implies opposite signs and `a != 0`,
+            // so the result carries `a`'s sign with magnitude `|a|+|b|`.
+            count_promote();
+            let sign = if *a < 0 { Sign::Minus } else { Sign::Plus };
+            return BigInt::from_sign_mag(sign, a.unsigned_abs() + b.unsigned_abs());
+        }
+        if let (Some((sa, ma)), Some((sb, mb))) = (self.sign_mag256(), other.sign_mag256()) {
+            return BigInt::wide_add(sa, ma, sb.flip(), mb);
         }
         self.limb_sub(other)
     }
@@ -845,6 +1219,28 @@ impl Mul for &BigInt {
             if let Some(p) = a.checked_mul(*b) {
                 return BigInt::from(p);
             }
+            // Two 127-bit magnitudes multiply to at most 254 bits —
+            // always representable in the `Wide` tier.
+            count_promote();
+            let sign = if (*a < 0) == (*b < 0) {
+                Sign::Plus
+            } else {
+                Sign::Minus
+            };
+            return BigInt::from_sign_u256(
+                sign,
+                U256::mul_u128(a.unsigned_abs(), b.unsigned_abs()),
+            );
+        }
+        if let (Some((sa, ma)), Some((sb, mb))) = (self.sign_mag256(), other.sign_mag256()) {
+            let sign = if sa == sb { Sign::Plus } else { Sign::Minus };
+            return match ma.checked_mul(mb) {
+                Some(m) => BigInt::from_sign_u256(sign, m),
+                None => {
+                    count_promote();
+                    BigInt::canonical(sign, BigInt::mul_mag(&ma.to_limbs(), &mb.to_limbs()))
+                }
+            };
         }
         self.limb_mul(other)
     }
@@ -877,6 +1273,18 @@ impl Shl<u64> for &BigInt {
                 return BigInt::from_sign_mag(self.sign(), mag << bits);
             }
         }
+        if let Some((sign, mag)) = self.sign_mag256() {
+            if let Some(shifted) = mag.checked_shl(bits) {
+                if matches!(self.repr, Repr::Small(_)) {
+                    // The result left the inline tier (the ≤127-bit case
+                    // returned above).
+                    count_promote();
+                }
+                return BigInt::from_sign_u256(sign, shifted);
+            }
+            // Past 256 bits: spill to the limb path.
+            count_promote();
+        }
         let (sign, limbs) = self.to_parts();
         BigInt::canonical(sign, BigInt::shl_mag(&limbs, bits))
     }
@@ -889,6 +1297,9 @@ impl Shr<u64> for &BigInt {
             let mag = v.unsigned_abs();
             let shifted = if bits >= 128 { 0 } else { mag >> bits };
             return BigInt::from_sign_mag(self.sign(), shifted);
+        }
+        if let Repr::Wide { sign, mag } = &self.repr {
+            return BigInt::from_sign_u256(*sign, mag.shr(bits));
         }
         let (sign, limbs) = self.to_parts();
         BigInt::canonical(sign, BigInt::shr_mag(&limbs, bits))

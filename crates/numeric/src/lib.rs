@@ -34,14 +34,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod bigint;
 mod num;
 mod primes;
 mod rational;
 #[cfg(feature = "serde")]
 mod serde_impls;
+mod u256;
 
-pub use bigint::{BigInt, ParseBigIntError, Sign};
+pub use bigint::{
+    reset_tier_counters, set_wide_tier_enabled, tier_counters, wide_tier_enabled, BigInt,
+    ParseBigIntError, Sign, Tier, TierCounters,
+};
 pub use num::{Num, F64_MARGIN};
 pub use primes::{is_prime_u64, next_prime, primes_below};
 pub use rational::BigRational;

@@ -146,6 +146,65 @@ pub trait Num:
         }
         None
     }
+
+    /// Product of a sequence of factors — the φ-product kernel used by
+    /// `Phi::product_at` and the `P*` auditors.
+    ///
+    /// The default is the literal left fold `acc = acc * f.clone()` that
+    /// the call sites historically inlined, so the `f64` backend's
+    /// rounding *sequence* (and hence every recorded stream byte) is
+    /// unchanged. [`BigRational`] overrides it to accumulate numerators
+    /// and denominators separately and renormalize **once**; canonical
+    /// -form uniqueness makes the result structurally identical to the
+    /// reduce-per-step fold while skipping the intermediate gcds.
+    fn product_of<'a, I>(factors: I) -> Self
+    where
+        I: IntoIterator<Item = &'a Self>,
+        Self: 'a,
+    {
+        let mut p = Self::one();
+        for f in factors {
+            p = p * f.clone();
+        }
+        p
+    }
+
+    /// Sum of a sequence of terms — the accumulation kernel of the
+    /// conditional-probability odometer (`Instance::prob_loop`).
+    ///
+    /// The default is the literal left fold `acc = acc + t.clone()`
+    /// starting from zero, matching the historical inline loop so the
+    /// `f64` backend's rounding sequence is unchanged. [`BigRational`]
+    /// overrides it with a raw numerator/denominator accumulator that
+    /// turns same-denominator runs — every tuple of a fixed free-variable
+    /// set shares one weight denominator — into plain integer additions,
+    /// normalizing once; exact associativity plus canonical-form
+    /// uniqueness make the result structurally identical.
+    fn sum_of<'a, I>(terms: I) -> Self
+    where
+        I: IntoIterator<Item = &'a Self>,
+        Self: 'a,
+    {
+        let mut acc = Self::zero();
+        for t in terms {
+            acc = acc + t.clone();
+        }
+        acc
+    }
+
+    /// The fixers' combined update step `(a / c) · b`, with `inc_given`'s
+    /// zero-divisor convention: a zero `c` yields an `Inc` of zero (the
+    /// "φ entry already zero" fast path), so the result is `0 · b`.
+    ///
+    /// The default performs literally `(if c = 0 { 0 } else { a / c }) · b`
+    /// — the exact operation sequence the fixers used before batching, so
+    /// `f64` results are bit-identical, including NaN propagation when
+    /// `b` is non-finite. [`BigRational`] overrides it with a single
+    /// renormalization over the combined numerator and denominator.
+    fn mul_div(a: Self, b: Self, c: Self) -> Self {
+        let inc = if c.is_zero() { Self::zero() } else { a / c };
+        inc * b
+    }
 }
 
 impl Num for f64 {
@@ -225,6 +284,52 @@ impl Num for BigRational {
     fn exact_sqrt(&self) -> Option<Self> {
         BigRational::perfect_sqrt(self)
     }
+
+    fn product_of<'a, I>(factors: I) -> Self
+    where
+        I: IntoIterator<Item = &'a Self>,
+    {
+        // Multiply numerators and denominators separately and reduce
+        // once at the end: each factor is canonical, so the single
+        // renormalization yields the same canonical pair as reducing
+        // after every step — with one gcd instead of one per factor.
+        // Zero- and one-factor products short-circuit without touching
+        // the renormalization at all (a lone factor is already
+        // canonical).
+        let mut it = factors.into_iter();
+        let Some(first) = it.next() else {
+            return BigRational::one();
+        };
+        let Some(second) = it.next() else {
+            return first.clone();
+        };
+        let mut num = first.numer() * second.numer();
+        let mut den = first.denom() * second.denom();
+        for f in it {
+            num = &num * f.numer();
+            den = &den * f.denom();
+        }
+        BigRational::new(num, den)
+    }
+
+    fn sum_of<'a, I>(terms: I) -> Self
+    where
+        I: IntoIterator<Item = &'a Self>,
+    {
+        BigRational::sum_of_refs(terms)
+    }
+
+    fn mul_div(a: Self, b: Self, c: Self) -> Self {
+        if c.is_zero() {
+            return BigRational::zero();
+        }
+        // Reduce in two stages rather than once over the combined
+        // six-factor pair: the staged gcds stay within the inline/u128
+        // fast path for the magnitudes the fixers produce, where the
+        // combined pair would cross into the wide tier. Both routes end
+        // at the same canonical value.
+        (a / c) * b
+    }
 }
 
 #[cfg(test)]
@@ -273,6 +378,51 @@ mod tests {
         // f64 keeps the default: perfect squares of dyadics round-trip.
         assert_eq!(2.25f64.exact_sqrt(), Some(1.5));
         assert_eq!((-1.0f64).exact_sqrt(), None);
+    }
+
+    #[test]
+    fn batched_kernels_match_stepwise() {
+        fn check<T: Num>() {
+            let f = [
+                T::from_ratio(3, 4),
+                T::from_ratio(7, 6),
+                T::from_ratio(-2, 9),
+                T::zero(),
+                T::from_ratio(11, 5),
+            ];
+            for n in 0..=f.len() {
+                let step = f[..n].iter().fold(T::one(), |acc, x| acc * x.clone());
+                assert_eq!(T::product_of(f[..n].iter()), step, "prefix {n}");
+                let step = f[..n].iter().fold(T::zero(), |acc, x| acc + x.clone());
+                assert_eq!(T::sum_of(f[..n].iter()), step, "sum prefix {n}");
+            }
+            // Same-denominator runs exercise the integer-add fast branch.
+            let same_den = [
+                T::from_ratio(1, 16),
+                T::from_ratio(3, 16),
+                T::from_ratio(-5, 16),
+                T::from_ratio(7, 16),
+            ];
+            let step = same_den.iter().fold(T::zero(), |acc, x| acc + x.clone());
+            assert_eq!(T::sum_of(same_den.iter()), step);
+            let (a, b, c) = (
+                T::from_ratio(5, 8),
+                T::from_ratio(-9, 2),
+                T::from_ratio(3, 7),
+            );
+            assert_eq!(
+                T::mul_div(a.clone(), b.clone(), c.clone()),
+                (a.clone() / c) * b
+            );
+            // Zero divisor: the inc_given convention yields zero.
+            assert_eq!(T::mul_div(a, T::from_ratio(4, 1), T::zero()), T::zero());
+        }
+        check::<f64>();
+        check::<BigRational>();
+        assert_eq!(
+            BigRational::product_of(std::iter::empty::<&BigRational>()),
+            BigRational::one()
+        );
     }
 
     #[test]

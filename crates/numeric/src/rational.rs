@@ -64,9 +64,21 @@ impl BigRational {
         if num.is_zero() {
             return BigRational::zero();
         }
-        let g = num.gcd(&den);
-        let mut num = &num / &g;
-        let mut den = &den / &g;
+        // A magnitude-1 numerator or denominator makes the fraction
+        // already reduced (gcd 1): skip the gcd *and* the two divisions.
+        // `bit_len() == 1` is exactly "magnitude is 1", and a gcd that
+        // comes back 1 likewise short-circuits the divisions — both
+        // rewrites produce the identical canonical pair.
+        let (mut num, mut den) = if num.bit_len() == 1 || den.bit_len() == 1 {
+            (num, den)
+        } else {
+            let g = num.gcd(&den);
+            if g.bit_len() == 1 {
+                (num, den)
+            } else {
+                (&num / &g, &den / &g)
+            }
+        };
         if den.is_negative() {
             num = -num;
             den = -den;
@@ -217,6 +229,71 @@ impl BigRational {
         Some(BigRational { num: n, den: d })
     }
 
+    /// `a ± b` for canonical operands. A zero operand short-circuits to
+    /// a clone — identities of exact addition, so the result is the
+    /// canonical pair the cross-multiply would produce, without its gcd.
+    fn add_sub(a: &BigRational, b: &BigRational, subtract: bool) -> BigRational {
+        if b.is_zero() {
+            return a.clone();
+        }
+        let b_num = if subtract {
+            -b.num.clone()
+        } else {
+            b.num.clone()
+        };
+        if a.is_zero() {
+            return BigRational {
+                num: b_num,
+                den: b.den.clone(),
+            };
+        }
+        BigRational::new(&(&a.num * &b.den) + &(&b_num * &a.den), &a.den * &b.den)
+    }
+
+    /// Returns `true` iff the value is exactly 1 (`num == den` holds
+    /// only for 1 in canonical form).
+    fn is_one(&self) -> bool {
+        self.num == self.den
+    }
+
+    /// Exact sum of `terms` in one pass: the accumulator is kept as a
+    /// *raw* numerator/denominator pair so consecutive terms over the
+    /// same denominator — the common case for conditional-probability
+    /// sums, whose tuple weights share one product-of-supports
+    /// denominator — cost a single integer addition instead of a
+    /// cross-multiply plus gcd. Rational addition is exactly associative
+    /// and canonical forms are unique, so the final [`BigRational::new`]
+    /// yields bit-for-bit the value of the naive left fold.
+    pub(crate) fn sum_of_refs<'a, I>(terms: I) -> BigRational
+    where
+        I: IntoIterator<Item = &'a BigRational>,
+    {
+        let mut num = BigInt::zero();
+        let mut den = BigInt::one();
+        for t in terms {
+            if t.num.is_zero() {
+                continue;
+            }
+            if num.is_zero() {
+                num = t.num.clone();
+                den = t.den.clone();
+            } else if t.den == den {
+                num = &num + &t.num;
+            } else {
+                num = &(&num * &t.den) + &(&t.num * &den);
+                den = &den * &t.den;
+                // Keep the raw pair bounded: normalise once the
+                // denominator outgrows the fixed-width tier.
+                if den.bit_len() > 256 {
+                    let r = BigRational::new(num, den);
+                    num = r.num;
+                    den = r.den;
+                }
+            }
+        }
+        BigRational::new(num, den)
+    }
+
     /// Minimum of two values (by reference, cloning the smaller).
     pub fn min(a: &BigRational, b: &BigRational) -> BigRational {
         if a <= b {
@@ -268,7 +345,17 @@ impl PartialOrd for BigRational {
 
 impl Ord for BigRational {
     fn cmp(&self, other: &Self) -> Ordering {
+        // Different signs decide without any multiplication; a shared
+        // denominator reduces to a numerator compare. Otherwise
         // a/b <=> c/d iff a*d <=> c*b (b, d > 0).
+        let sa = i8::from(self.num.is_positive()) - i8::from(self.num.is_negative());
+        let sb = i8::from(other.num.is_positive()) - i8::from(other.num.is_negative());
+        if sa != sb {
+            return sa.cmp(&sb);
+        }
+        if self.den == other.den {
+            return self.num.cmp(&other.num);
+        }
         (&self.num * &other.den).cmp(&(&other.num * &self.den))
     }
 }
@@ -276,26 +363,31 @@ impl Ord for BigRational {
 impl Add for &BigRational {
     type Output = BigRational;
     fn add(self, other: &BigRational) -> BigRational {
-        BigRational::new(
-            &(&self.num * &other.den) + &(&other.num * &self.den),
-            &self.den * &other.den,
-        )
+        BigRational::add_sub(self, other, false)
     }
 }
 
 impl Sub for &BigRational {
     type Output = BigRational;
     fn sub(self, other: &BigRational) -> BigRational {
-        BigRational::new(
-            &(&self.num * &other.den) - &(&other.num * &self.den),
-            &self.den * &other.den,
-        )
+        BigRational::add_sub(self, other, true)
     }
 }
 
 impl Mul for &BigRational {
     type Output = BigRational;
     fn mul(self, other: &BigRational) -> BigRational {
+        // Annihilator and identity fast paths return the exact canonical
+        // result without the product's gcd.
+        if self.is_zero() || other.is_zero() {
+            return BigRational::zero();
+        }
+        if self.is_one() {
+            return other.clone();
+        }
+        if other.is_one() {
+            return self.clone();
+        }
         BigRational::new(&self.num * &other.num, &self.den * &other.den)
     }
 }
@@ -304,6 +396,12 @@ impl Div for &BigRational {
     type Output = BigRational;
     fn div(self, other: &BigRational) -> BigRational {
         assert!(!other.is_zero(), "division by zero BigRational");
+        if self.is_zero() {
+            return BigRational::zero();
+        }
+        if other.is_one() {
+            return self.clone();
+        }
         BigRational::new(&self.num * &other.den, &self.den * &other.num)
     }
 }

@@ -1,0 +1,390 @@
+//! Fixed-width 256-bit unsigned magnitudes backing [`BigInt`]'s `Wide`
+//! tier.
+//!
+//! [`U256`] is a little-endian `[u64; 4]` kept entirely on the stack.
+//! Every operation is allocation-free; arithmetic that can exceed 256
+//! bits is *checked* (`checked_add`, `checked_mul`, `checked_shl`) so the
+//! caller can promote to the limb representation instead of silently
+//! wrapping. Division and GCD mirror the limb algorithms in `bigint.rs`
+//! bit-for-bit — shift–subtract restoring division and binary GCD — so
+//! the `Wide` fast path and the `limb_*` reference implementations are
+//! differentially testable against each other.
+//!
+//! [`BigInt`]: crate::BigInt
+
+use std::cmp::Ordering;
+
+/// A 256-bit unsigned magnitude: little-endian 64-bit words, no heap.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct U256 {
+    /// Little-endian 64-bit words (`w[0]` least significant).
+    w: [u64; 4],
+}
+
+impl U256 {
+    pub(crate) const ZERO: U256 = U256 { w: [0; 4] };
+
+    pub(crate) fn from_u128(v: u128) -> U256 {
+        U256 {
+            w: [v as u64, (v >> 64) as u64, 0, 0],
+        }
+    }
+
+    /// `Some(v)` iff the magnitude fits `u128`.
+    pub(crate) fn to_u128(self) -> Option<u128> {
+        if self.w[2] == 0 && self.w[3] == 0 {
+            Some(self.w[0] as u128 | (self.w[1] as u128) << 64)
+        } else {
+            None
+        }
+    }
+
+    /// `Some(v)` iff the magnitude fits `u64`.
+    fn to_u64(self) -> Option<u64> {
+        if self.w[1] == 0 && self.w[2] == 0 && self.w[3] == 0 {
+            Some(self.w[0])
+        } else {
+            None
+        }
+    }
+
+    /// The raw little-endian 64-bit words.
+    #[cfg(test)]
+    pub(crate) fn words(self) -> [u64; 4] {
+        self.w
+    }
+
+    pub(crate) fn is_zero(self) -> bool {
+        self.w == [0; 4]
+    }
+
+    pub(crate) fn is_even(self) -> bool {
+        self.w[0] & 1 == 0
+    }
+
+    /// Number of significant bits (`0` for zero).
+    pub(crate) fn bit_len(self) -> u64 {
+        for i in (0..4).rev() {
+            if self.w[i] != 0 {
+                return i as u64 * 64 + (64 - self.w[i].leading_zeros()) as u64;
+            }
+        }
+        0
+    }
+
+    fn trailing_zeros(self) -> u64 {
+        for i in 0..4 {
+            if self.w[i] != 0 {
+                return i as u64 * 64 + self.w[i].trailing_zeros() as u64;
+            }
+        }
+        256
+    }
+
+    /// Value of bit `i` (little-endian indexing; `false` past the top).
+    pub(crate) fn bit(self, i: u64) -> bool {
+        i < 256 && (self.w[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// The `i`-th little-endian `u32` limb (the `bigint` limb base).
+    pub(crate) fn limb32(self, i: usize) -> u32 {
+        (self.w[i / 2] >> ((i % 2) * 32)) as u32
+    }
+
+    pub(crate) fn cmp_mag(self, other: U256) -> Ordering {
+        for i in (0..4).rev() {
+            match self.w[i].cmp(&other.w[i]) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// `self + other` unless the sum needs a 257th bit.
+    pub(crate) fn checked_add(self, other: U256) -> Option<U256> {
+        let mut w = [0u64; 4];
+        let mut carry = false;
+        for (wi, (&a, &b)) in w.iter_mut().zip(self.w.iter().zip(&other.w)) {
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry as u64);
+            *wi = s2;
+            carry = c1 | c2;
+        }
+        if carry {
+            None
+        } else {
+            Some(U256 { w })
+        }
+    }
+
+    /// `self - other` modulo `2^256`. Callers outside the division loop
+    /// guarantee `self >= other`; the division loop relies on the modular
+    /// identity to absorb its transient 257th bit.
+    pub(crate) fn wrapping_sub(self, other: U256) -> U256 {
+        let mut w = [0u64; 4];
+        let mut borrow = false;
+        for (wi, (&a, &b)) in w.iter_mut().zip(self.w.iter().zip(&other.w)) {
+            let (d1, b1) = a.overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow as u64);
+            *wi = d2;
+            borrow = b1 | b2;
+        }
+        U256 { w }
+    }
+
+    /// Schoolbook 256×256→512-bit product; `Some` iff the high half is
+    /// zero, i.e. the exact product fits 256 bits.
+    pub(crate) fn checked_mul(self, other: U256) -> Option<U256> {
+        let mut wide = [0u64; 8];
+        for i in 0..4 {
+            if self.w[i] == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for j in 0..4 {
+                let t = wide[i + j] as u128 + self.w[i] as u128 * other.w[j] as u128 + carry;
+                wide[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            // The total product is < 2^512, so the carry never leaves
+            // word 7.
+            for wk in &mut wide[i + 4..] {
+                if carry == 0 {
+                    break;
+                }
+                let t = *wk as u128 + carry;
+                *wk = t as u64;
+                carry = t >> 64;
+            }
+            debug_assert_eq!(carry, 0);
+        }
+        if wide[4..] != [0u64; 4] {
+            return None;
+        }
+        Some(U256 {
+            w: [wide[0], wide[1], wide[2], wide[3]],
+        })
+    }
+
+    /// Widening `u128 × u128` product — always representable in 256 bits.
+    pub(crate) fn mul_u128(a: u128, b: u128) -> U256 {
+        U256::from_u128(a)
+            .checked_mul(U256::from_u128(b))
+            .expect("128-bit factors cannot overflow 256 bits")
+    }
+
+    /// `self << bits` iff the result still fits 256 bits.
+    pub(crate) fn checked_shl(self, bits: u64) -> Option<U256> {
+        if self.is_zero() {
+            return Some(self);
+        }
+        if self.bit_len() + bits > 256 {
+            return None;
+        }
+        Some(self.shl_unchecked(bits as u32))
+    }
+
+    /// `self << bits` for shifts known to fit (`bit_len() + bits ≤ 256`).
+    fn shl_unchecked(self, bits: u32) -> U256 {
+        let word = (bits / 64) as usize;
+        let bit = bits % 64;
+        let mut w = [0u64; 4];
+        for i in (word..4).rev() {
+            let mut v = self.w[i - word] << bit;
+            if bit != 0 && i - word > 0 {
+                v |= self.w[i - word - 1] >> (64 - bit);
+            }
+            w[i] = v;
+        }
+        U256 { w }
+    }
+
+    /// Logical right shift (saturates to zero past 256 bits).
+    pub(crate) fn shr(self, bits: u64) -> U256 {
+        if bits >= 256 {
+            return U256::ZERO;
+        }
+        let word = (bits / 64) as usize;
+        let bit = (bits % 64) as u32;
+        let mut w = [0u64; 4];
+        for (i, wi) in w.iter_mut().enumerate().take(4 - word) {
+            let mut v = self.w[i + word] >> bit;
+            if bit != 0 && i + word + 1 < 4 {
+                v |= self.w[i + word + 1] << (64 - bit);
+            }
+            *wi = v;
+        }
+        U256 { w }
+    }
+
+    /// `(self / div, self % div)` — shift–subtract restoring division,
+    /// with word-at-a-time short division when the divisor fits `u64`
+    /// (the same structure as the limb-path `divrem_mag`).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `div` is zero (callers check).
+    pub(crate) fn divrem(self, div: U256) -> (U256, U256) {
+        debug_assert!(!div.is_zero(), "division by zero U256");
+        if self.cmp_mag(div) == Ordering::Less {
+            return (U256::ZERO, self);
+        }
+        if let Some(d) = div.to_u64() {
+            let d = d as u128;
+            let mut q = [0u64; 4];
+            let mut rem = 0u128;
+            for i in (0..4).rev() {
+                let cur = (rem << 64) | self.w[i] as u128;
+                q[i] = (cur / d) as u64;
+                rem = cur % d;
+            }
+            return (U256 { w: q }, U256::from_u128(rem));
+        }
+        // `self >= div`, so the shifted divisor fits 256 bits.
+        let mut shift = self.bit_len() - div.bit_len();
+        let mut rem = self;
+        let mut quo = U256::ZERO;
+        let mut cur = div.shl_unchecked(shift as u32);
+        loop {
+            if rem.cmp_mag(cur) != Ordering::Less {
+                rem = rem.wrapping_sub(cur);
+                quo.w[(shift / 64) as usize] |= 1 << (shift % 64);
+            }
+            if shift == 0 {
+                break;
+            }
+            shift -= 1;
+            cur = cur.shr(1);
+        }
+        (quo, rem)
+    }
+
+    /// Binary GCD (the stack-resident analogue of `gcd_mag`).
+    pub(crate) fn gcd(mut a: U256, mut b: U256) -> U256 {
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let shift = a.trailing_zeros().min(b.trailing_zeros());
+        a = a.shr(a.trailing_zeros());
+        loop {
+            b = b.shr(b.trailing_zeros());
+            if a.cmp_mag(b) == Ordering::Greater {
+                std::mem::swap(&mut a, &mut b);
+            }
+            // `b >= a` here, so the subtraction cannot wrap.
+            b = b.wrapping_sub(a);
+            if b.is_zero() {
+                // The GCD divides both inputs, so restoring the common
+                // power of two cannot overflow.
+                return a.shl_unchecked(shift as u32);
+            }
+        }
+    }
+
+    /// Little-endian `u32` limbs with no trailing zeros (the `bigint`
+    /// heap format).
+    pub(crate) fn to_limbs(self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(8);
+        for i in 0..4 {
+            out.push(self.w[i] as u32);
+            out.push((self.w[i] >> 32) as u32);
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Reconstructs from at most 8 little-endian `u32` limbs.
+    pub(crate) fn from_limbs(limbs: &[u32]) -> Option<U256> {
+        if limbs.len() > 8 {
+            return None;
+        }
+        let mut w = [0u64; 4];
+        for (i, &l) in limbs.iter().enumerate() {
+            w[i / 2] |= (l as u64) << ((i % 2) * 32);
+        }
+        Some(U256 { w })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u128) -> U256 {
+        U256::from_u128(v)
+    }
+
+    #[test]
+    fn u128_roundtrip_and_limits() {
+        for v in [0u128, 1, u64::MAX as u128, u128::MAX] {
+            assert_eq!(u(v).to_u128(), Some(v));
+        }
+        let big = u(u128::MAX).checked_add(u(1)).unwrap();
+        assert_eq!(big.to_u128(), None);
+        assert_eq!(big.bit_len(), 129);
+    }
+
+    #[test]
+    fn add_sub_mul_against_u128() {
+        let samples = [0u128, 1, 7, 1 << 63, u64::MAX as u128, 1 << 100];
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(u(a).checked_add(u(b)).unwrap(), u(a + b));
+                if a >= b {
+                    assert_eq!(u(a).wrapping_sub(u(b)), u(a - b));
+                }
+                assert_eq!(U256::mul_u128(a, b).to_u128(), a.checked_mul(b));
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_is_detected() {
+        let top = U256::from_limbs(&[0, 0, 0, 0, 0, 0, 0, u32::MAX]).unwrap();
+        assert_eq!(top.checked_add(top), None);
+        assert_eq!(top.checked_mul(u(1 << 32)), None);
+        assert_eq!(top.checked_shl(32), None);
+        assert_eq!(top.checked_shl(0), Some(top));
+        assert!(top.shr(8).checked_shl(8).is_some());
+    }
+
+    #[test]
+    fn divrem_reconstructs() {
+        let a = U256::mul_u128(u128::MAX, 987_654_321_123_456_789);
+        for d in [u(3), u(u64::MAX as u128), u(u128::MAX - 4), a] {
+            let (q, r) = a.divrem(d);
+            assert!(r.cmp_mag(d) == Ordering::Less);
+            let back = q.checked_mul(d).unwrap().checked_add(r).unwrap();
+            assert_eq!(back, a);
+        }
+    }
+
+    #[test]
+    fn gcd_matches_u128_binary_gcd() {
+        let a = U256::mul_u128(3 * 5 * 7 * (1 << 20), 1 << 90);
+        let b = U256::mul_u128(5 * 7 * 11, (1 << 85) + (1 << 20));
+        let g = U256::gcd(a, b);
+        assert!(a.divrem(g).1.is_zero());
+        assert!(b.divrem(g).1.is_zero());
+        assert_eq!(U256::gcd(u(0), b), b);
+        assert_eq!(U256::gcd(a, U256::ZERO), a);
+    }
+
+    #[test]
+    fn limb_roundtrip_matches_shr() {
+        let v = U256::mul_u128(u128::MAX, u128::MAX - 1);
+        assert_eq!(U256::from_limbs(&v.to_limbs()), Some(v));
+        assert_eq!(v.shr(64).words()[0], v.words()[1]);
+        assert_eq!(v.shr(256), U256::ZERO);
+        assert_eq!(v.checked_shl(0).unwrap(), v);
+        let one_up = u(1).checked_shl(255).unwrap();
+        assert_eq!(one_up.bit_len(), 256);
+        assert!(one_up.bit(255) && !one_up.bit(254));
+    }
+}

@@ -1,0 +1,240 @@
+//! Differential battery for the three-tier representation: operands
+//! concentrated on **both** crossovers — `Small(i128)` ↔ `Wide` (256-bit
+//! stack magnitude) at `|v| = i128::MAX`, and `Wide` ↔ `Heap` at
+//! `|v| = 2^256 − 1` — pinned bit-for-bit against the `limb_*` reference
+//! implementations, with the canonical-form invariant re-checked after
+//! every operation and serde round-trips through the `Wide` range.
+//!
+//! Complements `differential.rs` (PR 1's i128↔Heap battery, written
+//! before the middle tier existed): that one still passes unchanged,
+//! this one aims the same oracle at the two new seams.
+
+use lll_numeric::{BigInt, BigRational, Num, Tier};
+use proptest::prelude::*;
+
+/// The last `Small` magnitude.
+fn i128_max() -> BigInt {
+    BigInt::from(i128::MAX)
+}
+
+/// The first `Heap` magnitude, `2^256`.
+fn heap_floor() -> BigInt {
+    &BigInt::one() << 256
+}
+
+/// Operands concentrated around both tier boundaries: a random offset
+/// applied to a representation-critical anchor.
+fn crossover_bigint(anchor: u8, offset: i64, stretch: u8, negate: bool) -> BigInt {
+    let base = match anchor % 8 {
+        0 => BigInt::zero(),
+        1 => i128_max(),                                       // last Small value
+        2 => &i128_max() + &BigInt::one(),                     // first Wide value
+        3 => BigInt::from(i128::MIN),                          // Wide despite fitting i128
+        4 => &BigInt::one() << (130 + (stretch % 120) as u64), // mid-Wide
+        5 => &heap_floor() - &BigInt::one(),                   // last Wide value
+        6 => heap_floor(),                                     // first Heap value
+        _ => &BigInt::one() << (260 + (stretch % 60) as u64),  // clearly Heap
+    };
+    let v = &base + &BigInt::from(offset);
+    if negate {
+        -v
+    } else {
+        v
+    }
+}
+
+prop_compose! {
+    fn arb_crossover()(
+        anchor in any::<u8>(),
+        offset in any::<i64>(),
+        stretch in any::<u8>(),
+        negate in any::<bool>(),
+    ) -> BigInt {
+        crossover_bigint(anchor, offset, stretch, negate)
+    }
+}
+
+/// The tier the canonical-form invariant dictates for a value: smallest
+/// representation that fits the magnitude (with the `Wide` tier enabled,
+/// which is the process default these tests run under).
+fn expected_tier(v: &BigInt) -> Tier {
+    let abs = v.clone().max(-v);
+    if abs <= i128_max() {
+        Tier::Small
+    } else if abs < heap_floor() {
+        Tier::Wide
+    } else {
+        Tier::Heap
+    }
+}
+
+/// Asserts the canonical-form invariant on an operation result.
+fn assert_canonical(v: &BigInt) {
+    assert_eq!(
+        v.tier(),
+        expected_tier(v),
+        "canonical form violated for {v}"
+    );
+    // The decimal round-trip re-canonicalizes from scratch; structural
+    // equality then pins sign normalization and limb trimming too.
+    let reparsed: BigInt = v.to_string().parse().unwrap();
+    assert_eq!(&reparsed, v);
+    assert_eq!(reparsed.tier(), v.tier());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10_000))]
+
+    /// Addition/subtraction agree with the limb reference exactly and
+    /// land in the canonical tier, at both boundaries.
+    #[test]
+    fn add_sub_match_limb_reference(a in arb_crossover(), b in arb_crossover()) {
+        let sum = &a + &b;
+        prop_assert_eq!(&sum, &a.limb_add(&b));
+        assert_canonical(&sum);
+        let diff = &a - &b;
+        prop_assert_eq!(&diff, &a.limb_sub(&b));
+        assert_canonical(&diff);
+    }
+
+    /// Multiplication agrees with the limb reference exactly — the op
+    /// most likely to promote (Small·Small → Wide, Wide·Wide → Heap).
+    #[test]
+    fn mul_matches_limb_reference(a in arb_crossover(), b in arb_crossover()) {
+        let prod = &a * &b;
+        prop_assert_eq!(&prod, &a.limb_mul(&b));
+        assert_canonical(&prod);
+    }
+
+    /// Division + remainder agree with the limb reference exactly, and
+    /// satisfy the Euclidean identity in every tier combination.
+    #[test]
+    fn divrem_matches_limb_reference(a in arb_crossover(), b in arb_crossover()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.divrem(&b);
+        let (ql, rl) = a.limb_divrem(&b);
+        prop_assert_eq!(&q, &ql);
+        prop_assert_eq!(&r, &rl);
+        assert_canonical(&q);
+        assert_canonical(&r);
+        prop_assert_eq!(&(&(&q * &b) + &r), &a);
+    }
+
+    /// GCD agrees with the limb reference exactly (non-negative,
+    /// canonical) across both boundaries.
+    #[test]
+    fn gcd_matches_limb_reference(a in arb_crossover(), b in arb_crossover()) {
+        let g = a.gcd(&b);
+        prop_assert_eq!(&g, &a.limb_gcd(&b));
+        prop_assert!(!g.is_negative());
+        assert_canonical(&g);
+    }
+
+    /// Ordering agrees with the limb reference in every tier pairing —
+    /// including the mixed-tier comparisons the `Wide` variant added.
+    #[test]
+    fn cmp_matches_limb_reference(a in arb_crossover(), b in arb_crossover()) {
+        prop_assert_eq!(a.cmp(&b), a.limb_cmp(&b));
+        prop_assert_eq!(a == b, a.limb_cmp(&b).is_eq());
+    }
+
+    /// Shifts across both tier boundaries round-trip and re-canonicalize.
+    #[test]
+    fn shifts_round_trip(a in arb_crossover(), bits in 0u64..300) {
+        let up = &a << bits;
+        assert_canonical(&up);
+        prop_assert_eq!(&(&up >> bits), &a);
+    }
+
+    /// String round-trips preserve value *and* canonical tier for
+    /// `Wide`-range magnitudes — the representation serde encodes, so
+    /// this is the feature-independent half of the serde guarantee.
+    #[test]
+    fn display_round_trips_wide_range(a in arb_crossover()) {
+        let back: BigInt = a.to_string().parse().unwrap();
+        prop_assert_eq!(&back, &a);
+        prop_assert_eq!(back.tier(), a.tier());
+    }
+}
+
+#[cfg(feature = "serde")]
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10_000))]
+
+    /// Serde round-trips preserve value *and* canonical tier for
+    /// `Wide`-range magnitudes (the new variant's encoding is the same
+    /// decimal string as the other tiers).
+    #[test]
+    fn serde_round_trips_wide_range(a in arb_crossover()) {
+        let json = serde_json::to_string(&a).unwrap();
+        let back: BigInt = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &a);
+        prop_assert_eq!(back.tier(), a.tier());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10_000))]
+
+    /// The two-`Small` GCD fast path (binary GCD on `u128`) is pinned to
+    /// the limb reference over the full inline range.
+    #[test]
+    fn small_gcd_matches_limb_gcd(a in any::<i128>(), b in any::<i128>()) {
+        let (a, b) = (BigInt::from(a), BigInt::from(b));
+        prop_assert_eq!(&a.gcd(&b), &a.limb_gcd(&b));
+    }
+}
+
+/// Squares straddling the `Small` ↔ `Wide` boundary at `2^127`: roots
+/// near `⌊√(2^127)⌋` whose squares land on either side, exercising the
+/// Figure-2 decompose path's square-root kernels right where the
+/// representation switches.
+#[test]
+fn perfect_sqrt_at_small_wide_boundary() {
+    // ⌊√(i128::MAX)⌋ — the largest root whose square is still Small.
+    let root127 = BigInt::from(i128::MAX).isqrt();
+    for d in -3i64..=3 {
+        let r = &root127 + &BigInt::from(d);
+        let sq = &r * &r;
+        // The squares cross the boundary within this window.
+        assert_eq!(sq.perfect_sqrt().as_ref(), Some(&r), "root {r}");
+        assert_eq!(sq.isqrt(), r);
+        // Off-by-one neighbours are never squares (consecutive squares
+        // differ by 2r+1 > 2 here).
+        assert_eq!((&sq + &BigInt::one()).perfect_sqrt(), None);
+        assert_eq!((&sq - &BigInt::one()).perfect_sqrt(), None);
+        // isqrt of the neighbours still floors correctly.
+        assert_eq!((&sq + &BigInt::one()).isqrt(), r);
+        assert_eq!((&sq - &BigInt::one()).isqrt(), &r - &BigInt::one());
+    }
+    // Sanity: the window really does straddle the tier boundary.
+    let below = &root127 * &root127;
+    let above = &(&root127 + &BigInt::one()) * &(&root127 + &BigInt::one());
+    assert_eq!(below.tier(), Tier::Small);
+    assert_eq!(above.tier(), Tier::Wide);
+}
+
+/// Same boundary through `Num::exact_sqrt` on rationals: numerators and
+/// denominators whose squares straddle `2^127` must still produce exact
+/// rational roots (or exactly `None`).
+#[test]
+fn exact_sqrt_at_small_wide_boundary() {
+    let root127 = BigInt::from(i128::MAX).isqrt();
+    for dn in -2i64..=2 {
+        for dd in -2i64..=2 {
+            let n = &root127 + &BigInt::from(dn);
+            let d = &root127 + &BigInt::from(dd);
+            let q = BigRational::new(&n * &n, &d * &d);
+            let r = q.exact_sqrt().expect("ratio of squares has an exact root");
+            assert_eq!(&(r.clone() * r.clone()), &q);
+            assert!(!r.is_negative());
+            // A non-square numerator must reject exactly.
+            let off = BigRational::new(&(&n * &n) + &BigInt::one(), &d * &d);
+            if off.exact_sqrt().is_some() {
+                // Only possible if the bumped numerator is itself a
+                // square — rule it out explicitly.
+                assert!((&(&n * &n) + &BigInt::one()).perfect_sqrt().is_some());
+            }
+        }
+    }
+}

@@ -186,6 +186,7 @@ impl Engine {
             .cache_bytes
             .set(i64::try_from(self.cache.approx_bytes()).unwrap_or(i64::MAX));
         self.metrics.sync_memory();
+        self.metrics.sync_numeric();
         self.metrics.registry().render()
     }
 

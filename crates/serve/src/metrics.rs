@@ -81,6 +81,12 @@ pub struct ServeMetrics {
     pub slab_max_shard_slots: Gauge,
     /// Peak resident set size of the daemon process in bytes.
     pub peak_rss_bytes: Gauge,
+    /// Exact-arithmetic results that spilled into a wider `BigInt`
+    /// representation tier (mirror of `lll_numeric::tier_counters`).
+    pub tier_promotes: Counter,
+    /// Exact-arithmetic results that canonicalized back into a narrower
+    /// `BigInt` tier (mirror).
+    pub tier_demotes: Counter,
 }
 
 impl ServeMetrics {
@@ -154,6 +160,14 @@ impl ServeMetrics {
             "lll_process_peak_rss_bytes",
             "Peak resident set size of the daemon process in bytes",
         );
+        let tier_promotes = registry.counter(
+            "lll_numeric_tier_promotes_total",
+            "BigInt results promoted into a wider representation tier",
+        );
+        let tier_demotes = registry.counter(
+            "lll_numeric_tier_demotes_total",
+            "BigInt results demoted into a narrower representation tier",
+        );
         ServeMetrics {
             registry,
             requests,
@@ -175,7 +189,19 @@ impl ServeMetrics {
             slab_shards,
             slab_max_shard_slots,
             peak_rss_bytes,
+            tier_promotes,
+            tier_demotes,
         }
+    }
+
+    /// Syncs the `BigInt` representation-tier transition counters from
+    /// the process-wide `lll_numeric` atomics. Tier residency is a
+    /// leading indicator for exact-arithmetic cost: a promote-rate jump
+    /// means operands are outgrowing the stack-resident fast paths.
+    pub fn sync_numeric(&self) {
+        let tiers = lll_numeric::tier_counters();
+        self.tier_promotes.sync_total(tiers.promote);
+        self.tier_demotes.sync_total(tiers.demote);
     }
 
     /// Syncs the slab-engine memory gauges from the process-wide

@@ -151,6 +151,8 @@ fn exposition_is_well_formed_and_complete() {
         "lll_engine_slab_shards",
         "lll_engine_slab_max_shard_slots",
         "lll_process_peak_rss_bytes",
+        "lll_numeric_tier_promotes_total",
+        "lll_numeric_tier_demotes_total",
     ] {
         assert!(
             text.contains(needle),
